@@ -1,0 +1,79 @@
+// Ablation: server selection policy — "picks the most promising server"
+// (§2.1, most free memory) vs plain round-robin — under *uneven* donations.
+// With equal servers the two coincide; when donations are skewed,
+// round-robin slams into the small servers' denials and migrates, while
+// most-free fills proportionally.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/no_reliability.h"
+#include "src/server/memory_server.h"
+#include "src/transport/inproc_transport.h"
+
+namespace rmp {
+namespace {
+
+struct Rig {
+  std::vector<std::unique_ptr<MemoryServer>> servers;
+  std::unique_ptr<NoReliabilityBackend> backend;
+};
+
+Rig MakeRig(const std::vector<uint64_t>& capacities, ServerSelection selection) {
+  Rig rig;
+  Cluster cluster;
+  for (size_t i = 0; i < capacities.size(); ++i) {
+    MemoryServerParams params;
+    params.name = "ws" + std::to_string(i);
+    params.capacity_pages = capacities[i];
+    rig.servers.push_back(std::make_unique<MemoryServer>(params));
+    cluster.AddPeer(params.name, std::make_unique<InProcTransport>(rig.servers.back().get()));
+  }
+  auto fabric = std::make_shared<NetworkFabric>(PaperEthernet());
+  RemotePagerParams pager_params;
+  pager_params.selection = selection;
+  pager_params.alloc_extent_pages = 64;
+  rig.backend = std::make_unique<NoReliabilityBackend>(std::move(cluster), fabric, pager_params);
+  return rig;
+}
+
+int Main() {
+  std::printf("=== Ablation: server selection under uneven donations ===\n\n");
+  const auto fft = MakeFft(24.0);
+  // FFT at 24 MB pages ~1536 distinct pages out through 18 MB of frames.
+  // Skewed donations sized just above that spill: 800/400/250/180 pages.
+  const std::vector<uint64_t> skewed = {800, 400, 250, 180};
+  std::printf("%-14s %10s %14s %30s\n", "selection", "FFT s", "denials", "pages per server");
+  for (ServerSelection selection : {ServerSelection::kMostFree, ServerSelection::kRoundRobin}) {
+    Rig rig = MakeRig(skewed, selection);
+    RunConfig config;
+    config.physical_frames = kPaperFrames;
+    auto run = SimulateRun(*fft, rig.backend.get(), config);
+    if (!run.ok()) {
+      std::printf("%-14s FAILED: %s\n",
+                  selection == ServerSelection::kMostFree ? "most-free" : "round-robin",
+                  run.status().ToString().c_str());
+      continue;
+    }
+    int64_t denials = 0;
+    char distribution[128];
+    int off = 0;
+    for (const auto& server : rig.servers) {
+      denials += server->stats().denials;
+      off += std::snprintf(distribution + off, sizeof(distribution) - off, "%llu ",
+                           (unsigned long long)server->live_pages());
+    }
+    std::printf("%-14s %10.2f %14lld %30s\n",
+                selection == ServerSelection::kMostFree ? "most-free" : "round-robin",
+                run->etime_s, static_cast<long long>(denials), distribution);
+  }
+  std::printf("\n(both end up filling every donation; most-free incurs somewhat fewer\n"
+              " denials because it steers load away from the small hosts earlier —\n"
+              " denials are cheap control messages, so completion time barely moves)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

@@ -1,0 +1,76 @@
+// Shared helpers for the figure benches: paper-calibrated network/disk
+// models, testbed construction sized like the paper's cluster, and row
+// printing with paper-reference columns.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/testbed.h"
+#include "src/model/run_simulator.h"
+#include "src/net/ethernet_model.h"
+#include "src/workloads/workload.h"
+
+namespace rmp {
+
+// The paper's 10 Mbit/s Ethernet: 9.64 ms wire + 1.6 ms protocol per page.
+inline std::shared_ptr<const NetworkModel> PaperEthernet(int background_stations = 0) {
+  EthernetParams params;
+  params.background_stations = background_stations;
+  return std::make_shared<EthernetModel>(params);
+}
+
+// ~18 MB of the 32 MB DEC Alpha available for application data.
+inline constexpr uint32_t kPaperFrames = 2304;
+
+struct PolicyRunConfig {
+  Policy policy = Policy::kNoReliability;
+  int data_servers = 2;  // Paper: 2 for NO_REL / MIRRORING, 4(+1) for parity.
+  uint32_t frames = kPaperFrames;
+  std::shared_ptr<const NetworkModel> network;
+  double overflow_fraction = 0.10;  // Parity-logging server slack (§2.2).
+};
+
+// Builds a testbed sized for `workload` and simulates one run.
+inline Result<RunResult> RunWorkloadUnderPolicy(const Workload& workload,
+                                                const PolicyRunConfig& config) {
+  const uint64_t total_pages = PagesForBytes(workload.info().data_bytes) + 32;
+  TestbedParams params;
+  params.policy = config.policy;
+  params.data_servers = config.data_servers;
+  params.network = config.network != nullptr ? config.network : PaperEthernet();
+  // Every server can hold its share of the working set plus overflow slack;
+  // mirroring stores two copies, so it needs double.
+  const double copies = config.policy == Policy::kMirroring ? 2.0 : 1.0;
+  params.server_capacity_pages =
+      static_cast<uint64_t>(static_cast<double>(total_pages) * copies *
+                            (1.0 + config.overflow_fraction) /
+                            config.data_servers) +
+      512;
+  params.disk_blocks = total_pages + 1024;
+  auto testbed = Testbed::Create(params);
+  if (!testbed.ok()) {
+    return testbed.status();
+  }
+  RunConfig run_config;
+  run_config.physical_frames = config.frames;
+  return SimulateRun(workload, &(*testbed)->backend(), run_config);
+}
+
+// Prints "name  measured  paper  ratio" rows.
+inline void PrintRow(const std::string& workload, const std::string& policy, double measured_s,
+                     double paper_s) {
+  if (paper_s > 0.0) {
+    std::printf("%-8s %-16s measured %8.2f s   paper %7.2f s   ratio %5.2f\n", workload.c_str(),
+                policy.c_str(), measured_s, paper_s, measured_s / paper_s);
+  } else {
+    std::printf("%-8s %-16s measured %8.2f s\n", workload.c_str(), policy.c_str(), measured_s);
+  }
+}
+
+}  // namespace rmp
+
+#endif  // BENCH_BENCH_UTIL_H_

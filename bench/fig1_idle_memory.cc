@@ -1,0 +1,72 @@
+// Figure 1: idle memory across the cluster over one week (Thursday through
+// Wednesday, matching the paper's Feb 2-8 1995 trace). The paper's shape:
+// free memory above 700 MB at night and over the weekend, dipping at noon
+// and mid-afternoon on working days, never below ~300 MB.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/model/cluster_usage.h"
+
+namespace rmp {
+namespace {
+
+int Main() {
+  std::printf("=== Figure 1: unused memory in a 16-workstation / 800 MB cluster ===\n\n");
+  ClusterUsageParams params;
+  const auto samples = SimulateClusterWeek(params, /*step_minutes=*/30);
+
+  // Hourly sparkline per day plus daily min/mean/max.
+  int current_day = -1;
+  double day_min = 1e9;
+  double day_max = 0.0;
+  double day_sum = 0.0;
+  int day_count = 0;
+  double week_min = 1e9;
+  auto flush_day = [&]() {
+    if (current_day >= 0 && day_count > 0) {
+      std::printf("%-10s  free MB: min %6.1f  mean %6.1f  max %6.1f\n",
+                  DayName(current_day).c_str(), day_min, day_sum / day_count, day_max);
+    }
+    day_min = 1e9;
+    day_max = 0.0;
+    day_sum = 0.0;
+    day_count = 0;
+  };
+  for (const UsageSample& s : samples) {
+    if (s.day_of_week != current_day) {
+      flush_day();
+      current_day = s.day_of_week;
+    }
+    day_min = std::min(day_min, s.free_mb);
+    day_max = std::max(day_max, s.free_mb);
+    day_sum += s.free_mb;
+    ++day_count;
+    week_min = std::min(week_min, s.free_mb);
+  }
+  flush_day();
+
+  std::printf("\nhour-of-day profile (weekdays), free MB:\n");
+  for (int hour = 0; hour < 24; ++hour) {
+    double sum = 0.0;
+    int n = 0;
+    for (const UsageSample& s : samples) {
+      const bool weekend = s.day_of_week == 2 || s.day_of_week == 3;
+      if (!weekend && static_cast<int>(s.hour_of_day) == hour) {
+        sum += s.free_mb;
+        ++n;
+      }
+    }
+    const double mean = n > 0 ? sum / n : 0.0;
+    const int bar = static_cast<int>(mean / 16.0);
+    std::printf("  %02d:00  %6.1f  |%.*s\n", hour, mean, bar,
+                "##################################################");
+  }
+  std::printf("\nweek minimum free memory: %.1f MB (paper: never below ~300 MB)\n", week_min);
+  return week_min >= 250.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

@@ -1,0 +1,80 @@
+// Figure 2: completion time of the six applications under the four paging
+// configurations of §4.1 —
+//   NO RELIABILITY : 2 remote memory servers
+//   PARITY LOGGING : 4 data servers + 1 parity server, 10% overflow memory
+//   MIRRORING      : primary + mirror server
+//   DISK           : the local DEC RZ55
+// The paper's numbers are printed alongside for shape comparison.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace rmp {
+namespace {
+
+// Paper values read off Fig. 2 (seconds).
+const std::map<std::string, std::map<std::string, double>> kPaperSeconds = {
+    {"MVEC", {{"NO_RELIABILITY", 19.02}, {"PARITY_LOGGING", 23.37}, {"MIRRORING", 34.05},
+              {"DISK", 25.15}}},
+    {"GAUSS", {{"NO_RELIABILITY", 40.62}, {"PARITY_LOGGING", 49.80}, {"MIRRORING", 67.25},
+               {"DISK", 79.61}}},
+    {"QSORT", {{"NO_RELIABILITY", 74.26}, {"PARITY_LOGGING", 81.05}, {"MIRRORING", 100.67},
+               {"DISK", 113.80}}},
+    {"FFT", {{"NO_RELIABILITY", 108.02}, {"PARITY_LOGGING", 121.67}, {"MIRRORING", 138.86},
+             {"DISK", 150.00}}},
+    {"FILTER", {{"NO_RELIABILITY", 80.18}, {"PARITY_LOGGING", 94.07}, {"MIRRORING", 104.98},
+                {"DISK", 126.61}}},
+    {"CC", {{"NO_RELIABILITY", 101.69}, {"PARITY_LOGGING", 103.25}, {"MIRRORING", 117.31},
+            {"DISK", 128.70}}},
+};
+
+double PaperValue(const std::string& workload, const std::string& policy) {
+  auto row = kPaperSeconds.find(workload);
+  if (row == kPaperSeconds.end()) {
+    return 0.0;
+  }
+  auto cell = row->second.find(policy);
+  return cell != row->second.end() ? cell->second : 0.0;
+}
+
+int Main() {
+  std::printf("=== Figure 2: application completion time by paging policy ===\n");
+  std::printf("(8 KB pages, 10 Mbit/s Ethernet, RZ55 disk, %u frames of app memory)\n\n",
+              kPaperFrames);
+  struct PolicySetup {
+    Policy policy;
+    int data_servers;
+  };
+  const PolicySetup setups[] = {
+      {Policy::kNoReliability, 2},
+      {Policy::kParityLogging, 4},
+      {Policy::kMirroring, 2},
+      {Policy::kDisk, 0},
+  };
+  for (const auto& workload : MakePaperWorkloads()) {
+    for (const PolicySetup& setup : setups) {
+      PolicyRunConfig config;
+      config.policy = setup.policy;
+      config.data_servers = setup.data_servers;
+      auto result = RunWorkloadUnderPolicy(*workload, config);
+      if (!result.ok()) {
+        std::printf("%-8s %-16s FAILED: %s\n", workload->info().name.c_str(),
+                    std::string(PolicyName(setup.policy)).c_str(),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      PrintRow(result->workload, result->policy, result->etime_s,
+               PaperValue(result->workload, result->policy));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

@@ -1,0 +1,61 @@
+// Figure 4 + the §4.3 analysis: FFT under DISK, ETHERNET (parity logging,
+// measured), ETHERNET*10 (extrapolated with the paper's formula) and
+// ALL_MEMORY. The paper's 24 MB anchor: 130.76 s measured = 66.138 u +
+// 3.133 sys + 0.21 init + 61.279 ptime over 5452 transfers; a 10x network
+// gives 83.459 s, paging < 17% of execution.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/model/extrapolation.h"
+
+namespace rmp {
+namespace {
+
+int Main() {
+  std::printf("=== Figure 4: FFT under DISK / ETHERNET / ETHERNET*10 / ALL_MEMORY ===\n\n");
+  const double sizes_mb[] = {17.0, 18.5, 20.0, 21.6, 23.2, 24.0};
+  std::printf("%8s  %10s  %10s  %12s  %11s\n", "size MB", "DISK s", "ETHERNET s", "ETHERNET*10 s",
+              "ALL_MEM s");
+  TimeDecomposition last_decomposition;
+  RunResult last_run;
+  for (const double mb : sizes_mb) {
+    const auto fft = MakeFft(mb);
+    PolicyRunConfig disk_config;
+    disk_config.policy = Policy::kDisk;
+    auto disk = RunWorkloadUnderPolicy(*fft, disk_config);
+    PolicyRunConfig pl_config;
+    pl_config.policy = Policy::kParityLogging;
+    pl_config.data_servers = 4;
+    auto ethernet = RunWorkloadUnderPolicy(*fft, pl_config);
+    if (!disk.ok() || !ethernet.ok()) {
+      std::printf("%8.1f  FAILED\n", mb);
+      continue;
+    }
+    const TimeDecomposition d = Decompose(*ethernet);
+    std::printf("%8.1f  %10.2f  %10.2f  %12.2f  %11.2f\n", mb, disk->etime_s, ethernet->etime_s,
+                ExpectedElapsedSeconds(d, 10.0), AllMemorySeconds(d));
+    last_decomposition = d;
+    last_run = *ethernet;
+  }
+
+  std::printf("\n--- §4.3 decomposition of the 24 MB ETHERNET run ---\n");
+  std::printf("utime=%.3f s  systime=%.3f s  inittime=%.3f s\n", last_decomposition.utime_s,
+              last_decomposition.systime_s, last_decomposition.inittime_s);
+  std::printf("page transfers=%lld  pptime=%.3f s  btime=%.3f s\n",
+              static_cast<long long>(last_decomposition.page_transfers),
+              last_decomposition.pptime_s, last_decomposition.btime_s);
+  const double x10 = ExpectedElapsedSeconds(last_decomposition, 10.0);
+  const double paging_fraction =
+      (last_decomposition.pptime_s + last_decomposition.btime_s / 10.0) / x10;
+  std::printf("ETHERNET*10 expected etime=%.3f s, paging share=%.1f%%\n", x10,
+              paging_fraction * 100.0);
+  std::printf("paper anchors: etime 130.76, ptime 61.279, 5452 transfers, *10 -> 83.459 s,\n"
+              "               paging < 17%% of execution on a 100 Mbit/s network\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

@@ -1,0 +1,83 @@
+// Figure 5 / §4.7: WRITE THROUGH (remote memory as a write-through cache of
+// the local disk) against NO RELIABILITY and PARITY LOGGING. With disk
+// bandwidth comparable to the network (both 10 Mbit/s here), write-through
+// sits between the two; the second table scales the network 10x, where the
+// disk becomes the pageout bottleneck and parity logging wins — the §4.7
+// crossover.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace rmp {
+namespace {
+
+const std::map<std::string, std::map<std::string, double>> kPaperSeconds = {
+    {"MVEC", {{"NO_RELIABILITY", 19.02}, {"WRITE_THROUGH", 25.49}, {"PARITY_LOGGING", 23.37}}},
+    {"GAUSS", {{"NO_RELIABILITY", 40.62}, {"WRITE_THROUGH", 41.15}, {"PARITY_LOGGING", 49.80}}},
+    {"QSORT", {{"NO_RELIABILITY", 74.26}, {"WRITE_THROUGH", 79.85}, {"PARITY_LOGGING", 81.05}}},
+    {"FFT", {{"NO_RELIABILITY", 108.02}, {"WRITE_THROUGH", 110.78}, {"PARITY_LOGGING", 121.67}}},
+};
+
+double PaperValue(const std::string& workload, const std::string& policy) {
+  auto row = kPaperSeconds.find(workload);
+  if (row == kPaperSeconds.end()) {
+    return 0.0;
+  }
+  auto cell = row->second.find(policy);
+  return cell != row->second.end() ? cell->second : 0.0;
+}
+
+void RunTable(double bandwidth_factor) {
+  struct Setup {
+    Policy policy;
+    int data_servers;
+  };
+  const Setup setups[] = {
+      {Policy::kNoReliability, 2},
+      {Policy::kWriteThrough, 2},
+      {Policy::kParityLogging, 4},
+  };
+  const char* names[] = {"MVEC", "GAUSS", "QSORT", "FFT"};
+  for (const char* name : names) {
+    auto workload = MakeWorkloadByName(name);
+    if (!workload.ok()) {
+      continue;
+    }
+    for (const Setup& setup : setups) {
+      PolicyRunConfig config;
+      config.policy = setup.policy;
+      config.data_servers = setup.data_servers;
+      if (bandwidth_factor != 1.0) {
+        config.network =
+            std::make_shared<ScaledBandwidthModel>(PaperEthernet(), bandwidth_factor);
+      }
+      auto result = RunWorkloadUnderPolicy(**workload, config);
+      if (!result.ok()) {
+        std::printf("%-8s %-16s FAILED: %s\n", name,
+                    std::string(PolicyName(setup.policy)).c_str(),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      PrintRow(result->workload, result->policy, result->etime_s,
+               bandwidth_factor == 1.0 ? PaperValue(result->workload, result->policy) : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+int Main() {
+  std::printf("=== Figure 5: write-through vs no-reliability vs parity logging ===\n");
+  std::printf("--- 10 Mbit/s network, 10 Mbit/s disk (the paper's hardware) ---\n\n");
+  RunTable(1.0);
+  std::printf("--- 10x network (§4.7: write-through becomes disk-bound) ---\n\n");
+  RunTable(10.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

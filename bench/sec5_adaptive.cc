@@ -1,0 +1,80 @@
+// §5 "Network load" (future work, implemented here): an adaptive pager that
+// measures per-request service time and switches pageout routing between
+// remote memory and the local disk. Sweep the Ethernet's background load;
+// the adaptive policy should track the better of the two fixed choices.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/adaptive.h"
+#include "src/core/no_reliability.h"
+#include "src/server/memory_server.h"
+#include "src/transport/inproc_transport.h"
+
+namespace rmp {
+namespace {
+
+struct AdaptiveRig {
+  std::vector<std::unique_ptr<MemoryServer>> servers;
+  std::unique_ptr<AdaptiveBackend> backend;
+};
+
+AdaptiveRig MakeAdaptive(int background, uint64_t total_pages) {
+  AdaptiveRig rig;
+  Cluster cluster;
+  for (int i = 0; i < 2; ++i) {
+    MemoryServerParams params;
+    params.name = "ws" + std::to_string(i);
+    params.capacity_pages = total_pages;
+    rig.servers.push_back(std::make_unique<MemoryServer>(params));
+    cluster.AddPeer(params.name, std::make_unique<InProcTransport>(rig.servers.back().get()));
+  }
+  auto fabric = std::make_shared<NetworkFabric>(PaperEthernet(background));
+  auto remote =
+      std::make_unique<NoReliabilityBackend>(std::move(cluster), fabric, RemotePagerParams{});
+  auto disk = DiskBackend::Create(DiskParams(), total_pages + 1024);
+  rig.backend = std::make_unique<AdaptiveBackend>(
+      std::move(remote), std::make_unique<DiskBackend>(std::move(*disk)));
+  return rig;
+}
+
+int Main() {
+  std::printf("=== §5 future work: load-adaptive pageout routing ===\n\n");
+  std::printf("%12s %12s %12s %12s %10s\n", "background", "REMOTE s", "DISK s", "ADAPTIVE s",
+              "switches");
+  const auto fft = MakeFft(24.0);
+  const uint64_t total_pages = PagesForBytes(fft->info().data_bytes) + 32;
+  for (int background : {0, 1, 2, 4, 6}) {
+    PolicyRunConfig remote_config;
+    remote_config.policy = Policy::kNoReliability;
+    remote_config.data_servers = 2;
+    remote_config.network = PaperEthernet(background);
+    auto remote = RunWorkloadUnderPolicy(*fft, remote_config);
+
+    PolicyRunConfig disk_config;
+    disk_config.policy = Policy::kDisk;
+    auto disk = RunWorkloadUnderPolicy(*fft, disk_config);
+
+    AdaptiveRig rig = MakeAdaptive(background, total_pages);
+    RunConfig run_config;
+    run_config.physical_frames = kPaperFrames;
+    auto adaptive = SimulateRun(*fft, rig.backend.get(), run_config);
+
+    if (!remote.ok() || !disk.ok() || !adaptive.ok()) {
+      std::printf("%12d FAILED\n", background);
+      continue;
+    }
+    std::printf("%12d %12.2f %12.2f %12.2f %10lld\n", background, remote->etime_s, disk->etime_s,
+                adaptive->etime_s,
+                static_cast<long long>(rig.backend->switches_to_disk() +
+                                       rig.backend->switches_to_network()));
+  }
+  std::printf("\n(adaptive should track the better fixed choice at every load level;\n"
+              " the paper proposed exactly this threshold scheme in §5)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() { return rmp::Main(); }

@@ -1,0 +1,91 @@
+#include "src/core/adaptive.h"
+
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+void AdaptiveBackend::RecordSample(DurationNs service) {
+  samples_.push_back(service);
+  while (static_cast<int>(samples_.size()) > params_.window) {
+    samples_.pop_front();
+  }
+}
+
+bool AdaptiveBackend::AverageAboveThreshold() const {
+  if (static_cast<int>(samples_.size()) < params_.window / 2) {
+    return false;  // Not enough evidence yet.
+  }
+  const DurationNs sum = std::accumulate(samples_.begin(), samples_.end(), DurationNs{0});
+  return sum / static_cast<DurationNs>(samples_.size()) > params_.latency_threshold;
+}
+
+double AdaptiveBackend::recent_remote_latency_ms() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  const DurationNs sum = std::accumulate(samples_.begin(), samples_.end(), DurationNs{0});
+  return ToMillis(sum / static_cast<DurationNs>(samples_.size()));
+}
+
+Result<TimeNs> AdaptiveBackend::PageOut(TimeNs now, uint64_t page_id,
+                                        std::span<const uint8_t> data) {
+  ++merged_stats_.pageouts;
+  const bool probe_due = !using_network_ && now - last_probe_ >= params_.reprobe_interval;
+  if (using_network_ || probe_due) {
+    last_probe_ = now;
+    auto done = remote_->PageOut(now, page_id, data);
+    if (done.ok()) {
+      RecordSample(*done - now);
+      on_disk_[page_id] = false;
+      if (using_network_ && AverageAboveThreshold()) {
+        using_network_ = false;
+        ++switches_to_disk_;
+        samples_.clear();
+        RMP_LOG(kInfo) << "adaptive: network congested ("
+                       << ToMillis(*done - now) << " ms/request), routing pageouts to disk";
+      } else if (!using_network_ && !AverageAboveThreshold() &&
+                 static_cast<int>(samples_.size()) >= params_.window / 2) {
+        using_network_ = true;
+        ++switches_to_network_;
+        RMP_LOG(kInfo) << "adaptive: network recovered, routing pageouts remotely";
+      }
+      return done;
+    }
+    // Remote refused (full / dead): fall through to the disk.
+  }
+  auto done = disk_->PageOut(now, page_id, data);
+  if (done.ok()) {
+    on_disk_[page_id] = true;
+  }
+  return done;
+}
+
+Result<TimeNs> AdaptiveBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
+  ++merged_stats_.pageins;
+  auto it = on_disk_.find(page_id);
+  if (it == on_disk_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  if (it->second) {
+    return disk_->PageIn(now, page_id, out);
+  }
+  auto done = remote_->PageIn(now, page_id, out);
+  if (done.ok()) {
+    RecordSample(*done - now);
+  }
+  return done;
+}
+
+const BackendStats& AdaptiveBackend::stats() const {
+  merged_stats_.page_transfers = remote_->stats().page_transfers;
+  merged_stats_.disk_transfers = disk_->stats().disk_transfers;
+  merged_stats_.protocol_time = remote_->stats().protocol_time;
+  merged_stats_.wire_time = remote_->stats().wire_time;
+  merged_stats_.disk_time = disk_->stats().disk_time;
+  merged_stats_.paging_time = remote_->stats().paging_time + disk_->stats().paging_time;
+  return merged_stats_;
+}
+
+}  // namespace rmp

@@ -1,0 +1,79 @@
+// ADAPTIVE policy — the paper's §5 "Network load" future work, implemented:
+//
+//   "Such a situation could be handled by the RMP by measuring the time it
+//    takes to satisfy a request and using a threshold to determine whether
+//    it should continue to use the network to route pageout requests or it
+//    would be better to switch to the local disk."
+//
+// AdaptiveBackend wraps a remote policy backend and a local DiskBackend. It
+// keeps a moving average of recent remote per-request service times; when
+// the average crosses `latency_threshold` (network congested), new pageouts
+// route to the local disk. While on disk it periodically probes the network
+// with a single pageout and switches back once latency recovers. Pageins
+// always go wherever the page currently lives.
+
+#ifndef SRC_CORE_ADAPTIVE_H_
+#define SRC_CORE_ADAPTIVE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/paging_backend.h"
+#include "src/disk/disk_backend.h"
+
+namespace rmp {
+
+struct AdaptiveParams {
+  // Remote per-request service time above which the disk wins. The paper's
+  // disk costs ~17 ms/page, so congestion pushing remote past ~2x its idle
+  // 11.24 ms makes the disk the better pageout target.
+  DurationNs latency_threshold = Millis(22);
+  // Moving-average window of recent remote request times.
+  int window = 16;
+  // While routed to disk, probe the network again this often.
+  DurationNs reprobe_interval = Seconds(5);
+};
+
+class AdaptiveBackend final : public PagingBackend {
+ public:
+  AdaptiveBackend(std::unique_ptr<PagingBackend> remote, std::unique_ptr<DiskBackend> disk,
+                  const AdaptiveParams& params = AdaptiveParams())
+      : remote_(std::move(remote)), disk_(std::move(disk)), params_(params) {}
+
+  Result<TimeNs> PageOut(TimeNs now, uint64_t page_id, std::span<const uint8_t> data) override;
+  Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) override;
+
+  const BackendStats& stats() const override;
+  std::string Name() const override { return "ADAPTIVE"; }
+
+  bool using_network() const { return using_network_; }
+  int64_t switches_to_disk() const { return switches_to_disk_; }
+  int64_t switches_to_network() const { return switches_to_network_; }
+  double recent_remote_latency_ms() const;
+
+  PagingBackend& remote() { return *remote_; }
+  DiskBackend& disk() { return *disk_; }
+
+ private:
+  void RecordSample(DurationNs service);
+  bool AverageAboveThreshold() const;
+
+  std::unique_ptr<PagingBackend> remote_;
+  std::unique_ptr<DiskBackend> disk_;
+  AdaptiveParams params_;
+
+  // Where the current version of each page lives.
+  std::unordered_map<uint64_t, bool> on_disk_;
+
+  std::deque<DurationNs> samples_;
+  bool using_network_ = true;
+  TimeNs last_probe_ = 0;
+  int64_t switches_to_disk_ = 0;
+  int64_t switches_to_network_ = 0;
+  mutable BackendStats merged_stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_ADAPTIVE_H_

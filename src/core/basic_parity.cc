@@ -1,0 +1,174 @@
+#include "src/core/basic_parity.h"
+
+#include <cassert>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+namespace {
+constexpr uint64_t kEmptyCell = ~0ull;
+}  // namespace
+
+BasicParityBackend::BasicParityBackend(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
+                                       const RemotePagerParams& params, size_t parity_peer,
+                                       size_t data_columns)
+    : RemotePagerBase(std::move(cluster), std::move(fabric), params), parity_peer_(parity_peer) {
+  assert(parity_peer_ < cluster_.size());
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (i != parity_peer_ && (data_columns == 0 || columns_.size() < data_columns)) {
+      columns_.push_back(i);
+    }
+  }
+  assert(!columns_.empty());
+}
+
+Status BasicParityBackend::EnsureRow(uint64_t row, TimeNs* now) {
+  // The stripe geometry assumes this backend is the sole client of its
+  // servers starting from a fresh state, so extents come back row-aligned:
+  // slot r on every server is stripe row r.
+  while (rows_provisioned_ <= row) {
+    for (const size_t column : columns_) {
+      RMP_RETURN_IF_ERROR(cluster_.peer(column).AllocExtent(params_.alloc_extent_pages));
+    }
+    RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).AllocExtent(params_.alloc_extent_pages));
+    *now = ChargeControl(*now);
+    rows_provisioned_ += params_.alloc_extent_pages;
+  }
+  return OkStatus();
+}
+
+Result<TimeNs> BasicParityBackend::PageOut(TimeNs now, uint64_t page_id,
+                                           std::span<const uint8_t> data) {
+  if (data.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  ++stats_.pageouts;
+  const TimeNs start = now;
+  Position pos;
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    pos = it->second;
+  } else {
+    const uint64_t seq = next_sequence_++;
+    pos.column = static_cast<size_t>(seq % columns_.size());
+    pos.row = seq / columns_.size();
+    RMP_RETURN_IF_ERROR(EnsureRow(pos.row, &now));
+    table_.emplace(page_id, pos);
+    auto& row_cells = row_pages_[pos.row];
+    row_cells.resize(columns_.size(), kEmptyCell);
+    row_cells[pos.column] = page_id;
+  }
+  // Step 1: data server stores the page and returns old XOR new.
+  auto delta = cluster_.peer(columns_[pos.column]).DeltaPageOutTo(pos.row, data);
+  if (!delta.ok()) {
+    return delta.status();
+  }
+  now = ChargePageTransfer(now, columns_[pos.column]);
+  // Step 2: the delta updates the parity server in place. On the paper's
+  // shared Ethernet this second transfer serializes behind the first; the
+  // client must also wait for it before discarding the page (§2.2).
+  RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).XorMergeOn(pos.row, delta->span()));
+  now = ChargePageTransfer(now, parity_peer_);
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  ++stats_.pageins;
+  const TimeNs start = now;
+  const Position pos = it->second;
+  ServerPeer& holder = cluster_.peer(columns_[pos.column]);
+  if (holder.alive()) {
+    const Status status = holder.PageInFrom(pos.row, out);
+    if (status.ok()) {
+      now = ChargePageTransfer(now, columns_[pos.column]);
+      stats_.paging_time += now - start;
+      return now;
+    }
+    if (status.code() != ErrorCode::kUnavailable) {
+      return status;
+    }
+  }
+  // Degraded read: parity row XOR surviving columns of the stripe.
+  PageBuffer xor_buf;
+  RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).PageInFrom(pos.row, xor_buf.span()));
+  now = ChargePageTransfer(now, parity_peer_);
+  PageBuffer page;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c == pos.column) {
+      continue;
+    }
+    auto& row_cells = row_pages_[pos.row];
+    if (row_cells.empty() || row_cells[c] == kEmptyCell) {
+      continue;  // Cell never written; it contributes zeroes to the parity.
+    }
+    RMP_RETURN_IF_ERROR(cluster_.peer(columns_[c]).PageInFrom(pos.row, page.span()));
+    now = ChargePageTransfer(now, columns_[c]);
+    xor_buf.XorWith(page.span());
+  }
+  std::copy(xor_buf.span().begin(), xor_buf.span().end(), out.begin());
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Status BasicParityBackend::Recover(size_t peer_index, TimeNs* now) {
+  size_t dead_column = columns_.size();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == peer_index) {
+      dead_column = c;
+      break;
+    }
+  }
+  if (dead_column == columns_.size()) {
+    return InvalidArgumentError("peer is not a data column");
+  }
+  if (!spare_peer_.has_value()) {
+    return FailedPreconditionError("no spare server registered for rebuild");
+  }
+  const size_t spare = *spare_peer_;
+  ServerPeer& spare_server = cluster_.peer(spare);
+  // Provision the spare with the full row range.
+  for (uint64_t provisioned = 0; provisioned < rows_provisioned_;
+       provisioned += params_.alloc_extent_pages) {
+    RMP_RETURN_IF_ERROR(spare_server.AllocExtent(params_.alloc_extent_pages));
+  }
+  *now = ChargeControl(*now);
+
+  PageBuffer xor_buf;
+  PageBuffer page;
+  int64_t rebuilt = 0;
+  for (auto& [row, cells] : row_pages_) {
+    if (cells[dead_column] == kEmptyCell) {
+      continue;  // Nothing of the dead column in this stripe row.
+    }
+    xor_buf.Clear();
+    RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).PageInFrom(row, xor_buf.span()));
+    *now = ChargePageTransfer(*now, parity_peer_);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c == dead_column || cells[c] == kEmptyCell) {
+        continue;
+      }
+      RMP_RETURN_IF_ERROR(cluster_.peer(columns_[c]).PageInFrom(row, page.span()));
+      *now = ChargePageTransfer(*now, columns_[c]);
+      xor_buf.XorWith(page.span());
+    }
+    auto advise = spare_server.PageOutTo(row, xor_buf.span());
+    if (!advise.ok()) {
+      return advise.status();
+    }
+    *now = ChargePageTransfer(*now, spare);
+    ++rebuilt;
+  }
+  columns_[dead_column] = spare;
+  spare_peer_.reset();
+  RMP_LOG(kInfo) << "basic parity: rebuilt " << rebuilt << " rows onto "
+                 << spare_server.name();
+  return OkStatus();
+}
+
+}  // namespace rmp

@@ -1,0 +1,231 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+Result<uint64_t> ServerPeer::TakeSlot() {
+  if (!returned_.empty()) {
+    const uint64_t slot = returned_.back();
+    returned_.pop_back();
+    return slot;
+  }
+  while (!extents_.empty()) {
+    SlotExtent& extent = extents_.back();
+    if (extent.count == 0) {
+      extents_.pop_back();
+      continue;
+    }
+    const uint64_t slot = extent.first;
+    ++extent.first;
+    --extent.count;
+    return slot;
+  }
+  return NotFoundError("slot pool empty on " + name_);
+}
+
+uint64_t ServerPeer::pooled_slots() const {
+  uint64_t n = returned_.size();
+  for (const SlotExtent& extent : extents_) {
+    n += extent.count;
+  }
+  return n;
+}
+
+void ServerPeer::DropPool() {
+  extents_.clear();
+  returned_.clear();
+}
+
+Status ServerPeer::AllocExtent(uint64_t pages) {
+  auto reply = transport_->Call(MakeAllocRequest(NextRequestId(), pages));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kAllocReply) {
+    return ProtocolError("unexpected reply to ALLOC on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "alloc denied by " + name_);
+  }
+  AddExtent(SlotExtent{reply->slot, reply->count});
+  // Client-side accounting: the grant consumed server memory, so most-free
+  // selection stays meaningful between load refreshes.
+  known_free_pages_ -= std::min(known_free_pages_, reply->count);
+  return OkStatus();
+}
+
+Result<bool> ServerPeer::PageOutTo(uint64_t slot, std::span<const uint8_t> page) {
+  auto reply = transport_->Call(MakePageOut(NextRequestId(), slot, page));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kPageOutAck) {
+    return ProtocolError("unexpected reply to PAGEOUT on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "pageout rejected by " + name_);
+  }
+  ++pages_sent_;
+  return reply->advise_stop();
+}
+
+Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
+  if (out.size() != kPageSize) {
+    return InvalidArgumentError("pagein target must be kPageSize");
+  }
+  auto reply = transport_->Call(MakePageIn(NextRequestId(), slot));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kPageInReply) {
+    return ProtocolError("unexpected reply to PAGEIN on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "pagein failed on " + name_);
+  }
+  if (reply->payload.size() != kPageSize) {
+    return ProtocolError("short pagein payload from " + name_);
+  }
+  std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
+  ++pages_fetched_;
+  return OkStatus();
+}
+
+Status ServerPeer::FreeOn(uint64_t first_slot, uint64_t count) {
+  auto reply = transport_->Call(MakeFreeRequest(NextRequestId(), first_slot, count));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "free failed on " + name_);
+  }
+  return OkStatus();
+}
+
+Result<PageBuffer> ServerPeer::DeltaPageOutTo(uint64_t slot, std::span<const uint8_t> page) {
+  Message request = MakePageOut(NextRequestId(), slot, page);
+  request.type = MessageType::kDeltaPageOut;
+  auto reply = transport_->Call(request);
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "delta pageout rejected by " + name_);
+  }
+  if (reply->payload.size() != kPageSize) {
+    return ProtocolError("short delta payload from " + name_);
+  }
+  ++pages_sent_;
+  return PageBuffer(std::span<const uint8_t>(reply->payload));
+}
+
+Status ServerPeer::XorMergeOn(uint64_t slot, std::span<const uint8_t> delta) {
+  Message request = MakePageOut(NextRequestId(), slot, delta);
+  request.type = MessageType::kXorMerge;
+  auto reply = transport_->Call(request);
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "xor merge rejected by " + name_);
+  }
+  ++pages_sent_;
+  return OkStatus();
+}
+
+Result<ServerPeer::LoadInfo> ServerPeer::QueryLoad() {
+  auto reply = transport_->Call(MakeLoadQuery(NextRequestId()));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kLoadReport) {
+    return ProtocolError("unexpected reply to LOAD_QUERY on " + name_);
+  }
+  LoadInfo info;
+  info.free_pages = reply->count;
+  info.total_pages = reply->aux;
+  info.advise_stop = reply->advise_stop();
+  known_free_pages_ = info.free_pages;
+  return info;
+}
+
+Result<size_t> Cluster::MostPromising(bool refresh) {
+  Result<size_t> best = NotFoundError("no usable server");
+  uint64_t best_free = 0;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    ServerPeer& p = *peers_[i];
+    if (!p.alive() || p.stopped()) {
+      continue;
+    }
+    if (refresh) {
+      auto load = p.QueryLoad();
+      if (!load.ok()) {
+        continue;
+      }
+      p.set_no_new_extents(load->advise_stop);
+    }
+    if (!p.usable()) {
+      continue;
+    }
+    if (!best.ok() || p.known_free_pages() > best_free) {
+      best = i;
+      best_free = p.known_free_pages();
+    }
+  }
+  return best;
+}
+
+Result<size_t> Cluster::NextUsable(size_t* cursor) const {
+  if (peers_.empty()) {
+    return NotFoundError("cluster is empty");
+  }
+  for (size_t step = 1; step <= peers_.size(); ++step) {
+    const size_t i = (*cursor + step) % peers_.size();
+    const ServerPeer& p = *peers_[i];
+    if (p.usable()) {
+      *cursor = i;
+      return i;
+    }
+  }
+  return NotFoundError("no usable server");
+}
+
+bool Cluster::AnyUsable() const {
+  for (const auto& p : peers_) {
+    if (p->usable()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rmp

@@ -1,0 +1,142 @@
+// Client-side view of the server cluster: one peer per remote memory server,
+// with the blocking RPC helpers the paging daemon uses and a per-peer pool of
+// granted swap slots.
+//
+// Swap space is requested in extents (§2.1: the client "asks for a number of
+// page frames and starts sending requests"), so most pageouts hit a locally
+// cached slot and cost exactly one page transfer on the wire.
+
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/transport/transport.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace rmp {
+
+// A run of slots granted by one ALLOC_REQUEST.
+struct SlotExtent {
+  uint64_t first = 0;
+  uint64_t count = 0;
+};
+
+class ServerPeer {
+ public:
+  ServerPeer(std::string name, std::unique_ptr<Transport> transport)
+      : name_(std::move(name)), transport_(std::move(transport)) {}
+
+  const std::string& name() const { return name_; }
+  Transport& transport() { return *transport_; }
+
+  bool stopped() const { return stopped_; }
+  void set_stopped(bool stopped) { stopped_ = stopped; }
+
+  // ADVISE_STOP semantics (§2.1): "send no more pages to this server" means
+  // no *new* swap-space grants; slots the client already holds in its pool
+  // remain valid (the server accounted for them when it granted them).
+  bool no_new_extents() const { return no_new_extents_; }
+  void set_no_new_extents(bool value) { no_new_extents_ = value; }
+
+  // Eligible as a pageout target right now.
+  bool usable() const {
+    return alive_ && !stopped_ && (!no_new_extents_ || pooled_slots() > 0);
+  }
+
+  bool alive() const { return alive_; }
+  void mark_dead() { alive_ = false; }
+  void mark_alive() { alive_ = true; }
+
+  uint64_t known_free_pages() const { return known_free_pages_; }
+  void set_known_free_pages(uint64_t pages) { known_free_pages_ = pages; }
+
+  // --- Slot pool -----------------------------------------------------------
+
+  // Takes one slot from the cached extents; NotFound when the pool is empty
+  // (caller then issues an ALLOC_REQUEST).
+  Result<uint64_t> TakeSlot();
+  void AddExtent(SlotExtent extent) { extents_.push_back(extent); }
+  void ReturnSlot(uint64_t slot) { returned_.push_back(slot); }
+  uint64_t pooled_slots() const;
+  void DropPool();
+
+  // --- Blocking RPCs (functional path; timing is charged by the caller) ----
+
+  // Requests `pages` fresh slots; adds them to the pool on success.
+  Status AllocExtent(uint64_t pages);
+
+  // Sends one page. On success reports whether the server advised stop.
+  Result<bool> PageOutTo(uint64_t slot, std::span<const uint8_t> page);
+
+  Status PageInFrom(uint64_t slot, std::span<uint8_t> out);
+
+  Status FreeOn(uint64_t first_slot, uint64_t count);
+
+  // Basic-parity RPCs: store-and-return-delta, and parity fold-in.
+  Result<PageBuffer> DeltaPageOutTo(uint64_t slot, std::span<const uint8_t> page);
+  Status XorMergeOn(uint64_t slot, std::span<const uint8_t> delta);
+
+  struct LoadInfo {
+    uint64_t free_pages = 0;
+    uint64_t total_pages = 0;
+    bool advise_stop = false;
+  };
+  Result<LoadInfo> QueryLoad();
+
+  // Counters.
+  int64_t pages_sent() const { return pages_sent_; }
+  int64_t pages_fetched() const { return pages_fetched_; }
+
+ private:
+  uint64_t NextRequestId() { return ++request_id_; }
+
+  std::string name_;
+  std::unique_ptr<Transport> transport_;
+  bool stopped_ = false;
+  bool no_new_extents_ = false;
+  bool alive_ = true;
+  uint64_t known_free_pages_ = 0;
+  uint64_t request_id_ = 0;
+  std::vector<SlotExtent> extents_;
+  std::vector<uint64_t> returned_;
+  int64_t pages_sent_ = 0;
+  int64_t pages_fetched_ = 0;
+};
+
+// The registry of peers plus selection helpers.
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+
+  void AddPeer(std::string name, std::unique_ptr<Transport> transport) {
+    peers_.push_back(std::make_unique<ServerPeer>(std::move(name), std::move(transport)));
+  }
+
+  size_t size() const { return peers_.size(); }
+  ServerPeer& peer(size_t i) { return *peers_[i]; }
+  const ServerPeer& peer(size_t i) const { return *peers_[i]; }
+
+  // "Picks the most promising server" (§2.1): the usable peer with the most
+  // known free pages. Refreshes load info when `refresh` is set. Returns the
+  // peer index or NotFound when every peer is stopped/dead.
+  Result<size_t> MostPromising(bool refresh);
+
+  // Round-robin over usable peers starting after `cursor`; updates `cursor`.
+  Result<size_t> NextUsable(size_t* cursor) const;
+
+  bool AnyUsable() const;
+
+ private:
+  std::vector<std::unique_ptr<ServerPeer>> peers_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_CLUSTER_H_

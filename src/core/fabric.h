@@ -1,0 +1,129 @@
+// NetworkFabric: the one shared Ethernet segment every page transfer rides.
+//
+// All servers in the paper's cluster hang off a single 10 Mbit/s Ethernet, so
+// a mirrored pageout costs two *serialized* wire occupancies — that is why
+// MIRRORING roughly doubles pageout cost while PARITY LOGGING pays only
+// 1 + 1/S transfers. Fabric charges each transfer as: protocol processing on
+// the client CPU, then queued occupancy of the wire Resource.
+//
+// A fabric with no model is free (TCP mode: wall-clock reality is the timing).
+
+#ifndef SRC_CORE_FABRIC_H_
+#define SRC_CORE_FABRIC_H_
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/network_model.h"
+#include "src/sim/resource.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+// Pseudo-peer index meaning "the shared segment" (no dedicated link).
+inline constexpr size_t kSharedSegment = static_cast<size_t>(-1);
+
+class NetworkFabric {
+ public:
+  NetworkFabric() : wire_("ethernet") {}
+  explicit NetworkFabric(std::shared_ptr<const NetworkModel> model)
+      : model_(std::move(model)), wire_("ethernet") {}
+
+  // Heterogeneous networks (§5): give one peer its own link — e.g. a
+  // supercomputer reached over a dedicated ATM line — instead of the shared
+  // segment. Transfers to that peer queue on the dedicated wire and use the
+  // dedicated model's timing; everyone else still shares the segment.
+  void SetPeerLink(size_t peer, std::shared_ptr<const NetworkModel> model) {
+    auto link = std::make_unique<Link>();
+    link->model = std::move(model);
+    peer_links_[peer] = std::move(link);
+  }
+  bool HasPeerLink(size_t peer) const { return peer_links_.count(peer) > 0; }
+
+  struct TransferCost {
+    TimeNs completion = 0;
+    DurationNs protocol = 0;
+    DurationNs wire = 0;  // Includes queueing behind earlier transfers.
+  };
+
+  // Charges one client-blocking transfer of `bytes` issued at `now` to
+  // `peer` (kSharedSegment or a peer without a dedicated link rides the
+  // shared wire).
+  TransferCost Transfer(TimeNs now, uint64_t bytes, size_t peer = kSharedSegment) {
+    const NetworkModel* model = ModelFor(peer);
+    TransferCost cost;
+    if (model == nullptr) {
+      cost.completion = now;
+      return cost;
+    }
+    cost.protocol = model->ProtocolTime();
+    const TimeNs enqueue = now + cost.protocol;
+    const TimeNs done = WireFor(peer).Serve(enqueue, model->TransferTime(bytes));
+    cost.wire = done - enqueue;
+    cost.completion = done;
+    return cost;
+  }
+
+  // Write-behind variant for pageouts: the paging daemon queues the page and
+  // the application proceeds once the data is handed to the protocol stack —
+  // unless the wire has fallen more than `async_lag` behind (socket buffer
+  // full), in which case the sender blocks until the backlog drains to the
+  // lag window. Pageins issued later still queue behind these writes on the
+  // wire Resource, which is why pagein-heavy phases see the full cost.
+  TransferCost TransferAsync(TimeNs now, uint64_t bytes, size_t peer = kSharedSegment) {
+    const NetworkModel* model = ModelFor(peer);
+    TransferCost cost;
+    if (model == nullptr) {
+      cost.completion = now;
+      return cost;
+    }
+    cost.protocol = model->ProtocolTime();
+    const TimeNs enqueue = now + cost.protocol;
+    const TimeNs done = WireFor(peer).Serve(enqueue, model->TransferTime(bytes));
+    const TimeNs unblock = std::max(enqueue, done - async_lag_);
+    cost.wire = unblock - enqueue;
+    cost.completion = unblock;
+    return cost;
+  }
+
+  void set_async_lag(DurationNs lag) { async_lag_ = lag; }
+  DurationNs async_lag() const { return async_lag_; }
+
+  bool has_model() const { return model_ != nullptr; }
+  const NetworkModel* model() const { return model_.get(); }
+  Resource& wire() { return wire_; }
+
+ private:
+  struct Link {
+    std::shared_ptr<const NetworkModel> model;
+    Resource wire{"peer-link"};
+  };
+
+  const NetworkModel* ModelFor(size_t peer) const {
+    auto it = peer_links_.find(peer);
+    if (it != peer_links_.end()) {
+      return it->second->model.get();
+    }
+    return model_.get();
+  }
+  Resource& WireFor(size_t peer) {
+    auto it = peer_links_.find(peer);
+    return it != peer_links_.end() ? it->second->wire : wire_;
+  }
+
+  std::shared_ptr<const NetworkModel> model_;
+  Resource wire_;
+  std::unordered_map<size_t, std::unique_ptr<Link>> peer_links_;
+  // Default window: roughly four in-flight pages of socket buffering.
+  DurationNs async_lag_ = Millis(40);
+};
+
+// Bytes a page occupies on the wire including the RMP message header.
+inline constexpr uint64_t kPageWireBytes = kPageSize + 52;
+// Bytes of a small control message (alloc/free/load/pagein request).
+inline constexpr uint64_t kControlWireBytes = 52;
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_FABRIC_H_

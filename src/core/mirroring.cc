@@ -1,0 +1,174 @@
+#include "src/core/mirroring.h"
+
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
+    TimeNs* now, std::span<const uint8_t> data, size_t avoid) {
+  for (size_t attempts = 0; attempts < cluster_.size() + 1; ++attempts) {
+    auto pick = cluster_.NextUsable(&rr_cursor_);
+    if (!pick.ok()) {
+      return pick.status();
+    }
+    if (*pick == avoid) {
+      // Only one usable peer left and it is the one to avoid.
+      if (cluster_.size() == 1) {
+        return NoSpaceError("cannot mirror on a single server");
+      }
+      auto second = cluster_.NextUsable(&rr_cursor_);
+      if (!second.ok() || *second == avoid) {
+        return NoSpaceError("no second server available for mirror");
+      }
+      pick = second;
+    }
+    const size_t peer_index = *pick;
+    ServerPeer& peer = cluster_.peer(peer_index);
+    auto slot = TakeSlotOn(peer_index, now);
+    if (!slot.ok()) {
+      if (slot.status().code() == ErrorCode::kNoSpace) {
+        peer.set_stopped(true);
+        continue;
+      }
+      if (slot.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return slot.status();
+    }
+    auto advise = peer.PageOutTo(*slot, data);
+    if (!advise.ok()) {
+      if (advise.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return advise.status();
+    }
+    *now = ChargePageTransferAsync(*now, peer_index);
+    if (*advise) {
+      peer.set_no_new_extents(true);
+    }
+    return Replica{peer_index, *slot};
+  }
+  return NoSpaceError("no usable server for mirror replica");
+}
+
+Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
+                                         std::span<const uint8_t> data) {
+  if (data.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  ++stats_.pageouts;
+  const TimeNs start = now;
+  auto it = table_.find(page_id);
+  if (it != table_.end()) {
+    // Overwrite both replicas in place; replace any that died.
+    MirrorEntry& entry = it->second;
+    for (int c = 0; c < 2; ++c) {
+      ServerPeer& peer = cluster_.peer(entry.copies[c].peer);
+      bool ok = false;
+      if (peer.alive()) {
+        auto advise = peer.PageOutTo(entry.copies[c].slot, data);
+        if (advise.ok()) {
+          now = ChargePageTransferAsync(now, entry.copies[c].peer);
+          if (*advise) {
+            peer.set_no_new_extents(true);
+          }
+          ok = true;
+        } else if (advise.status().code() != ErrorCode::kUnavailable) {
+          return advise.status();
+        }
+      }
+      if (!ok) {
+        const size_t other = entry.copies[1 - c].peer;
+        auto replica = WriteNewReplica(&now, data, other);
+        if (!replica.ok()) {
+          return replica.status();
+        }
+        entry.copies[c] = *replica;
+      }
+    }
+    stats_.paging_time += now - start;
+    return now;
+  }
+
+  MirrorEntry entry;
+  auto first = WriteNewReplica(&now, data, cluster_.size());
+  if (!first.ok()) {
+    return first.status();
+  }
+  entry.copies[0] = *first;
+  auto second = WriteNewReplica(&now, data, first->peer);
+  if (!second.ok()) {
+    return second.status();
+  }
+  entry.copies[1] = *second;
+  table_.emplace(page_id, entry);
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Result<TimeNs> MirroringBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  ++stats_.pageins;
+  const TimeNs start = now;
+  for (int c = 0; c < 2; ++c) {
+    ServerPeer& peer = cluster_.peer(it->second.copies[c].peer);
+    if (!peer.alive()) {
+      continue;
+    }
+    const Status status = peer.PageInFrom(it->second.copies[c].slot, out);
+    if (status.ok()) {
+      now = ChargePageTransfer(now, it->second.copies[c].peer);
+      stats_.paging_time += now - start;
+      return now;
+    }
+    if (status.code() != ErrorCode::kUnavailable) {
+      return status;
+    }
+  }
+  return UnavailableError("both replicas of page " + std::to_string(page_id) + " unreachable");
+}
+
+Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
+  std::vector<uint64_t> orphaned;
+  for (const auto& [page_id, entry] : table_) {
+    if (entry.copies[0].peer == peer_index || entry.copies[1].peer == peer_index) {
+      orphaned.push_back(page_id);
+    }
+  }
+  PageBuffer buffer;
+  for (const uint64_t page_id : orphaned) {
+    MirrorEntry& entry = table_[page_id];
+    const int dead = entry.copies[0].peer == peer_index ? 0 : 1;
+    const int live = 1 - dead;
+    ServerPeer& survivor = cluster_.peer(entry.copies[live].peer);
+    RMP_RETURN_IF_ERROR(survivor.PageInFrom(entry.copies[live].slot, buffer.span()));
+    *now = ChargePageTransfer(*now, entry.copies[live].peer);
+    auto replica = WriteNewReplica(now, buffer.span(), entry.copies[live].peer);
+    if (!replica.ok()) {
+      return replica.status();
+    }
+    entry.copies[dead] = *replica;
+  }
+  RMP_LOG(kInfo) << "mirroring: re-replicated " << orphaned.size() << " pages after crash of peer "
+                 << peer_index;
+  return OkStatus();
+}
+
+int64_t MirroringBackend::fully_replicated_pages() const {
+  int64_t n = 0;
+  for (const auto& [page_id, entry] : table_) {
+    const ServerPeer& a = cluster_.peer(entry.copies[0].peer);
+    const ServerPeer& b = cluster_.peer(entry.copies[1].peer);
+    if (a.alive() && b.alive() && entry.copies[0].peer != entry.copies[1].peer) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace rmp

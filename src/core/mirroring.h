@@ -1,0 +1,58 @@
+// MIRRORING policy (§2.2): every page is sent to two different servers, so a
+// single server crash loses nothing and recovery is trivial — the surviving
+// copy is promoted and re-replicated. The price is double the pageout
+// traffic (both copies serialize on the shared Ethernet) and half the
+// effective remote memory, which is why the paper's MVEC — all pageouts,
+// almost no pageins — is the one workload where MIRRORING loses to the disk.
+
+#ifndef SRC_CORE_MIRRORING_H_
+#define SRC_CORE_MIRRORING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/remote_pager.h"
+
+namespace rmp {
+
+class MirroringBackend final : public RemotePagerBase {
+ public:
+  MirroringBackend(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
+                   const RemotePagerParams& params)
+      : RemotePagerBase(std::move(cluster), std::move(fabric), params) {}
+
+  Result<TimeNs> PageOut(TimeNs now, uint64_t page_id, std::span<const uint8_t> data) override;
+  Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) override;
+
+  std::string Name() const override { return "MIRRORING"; }
+
+  // Re-establishes two live replicas for every page that lost one to the
+  // crash of `peer_index`. Charged against *now; also invoked lazily by
+  // PageIn when it trips over a dead primary.
+  Status Recover(size_t peer_index, TimeNs* now);
+
+  // Number of pages currently holding two live replicas (invariant probe).
+  int64_t fully_replicated_pages() const;
+
+ private:
+  struct Replica {
+    size_t peer = 0;
+    uint64_t slot = 0;
+  };
+  struct MirrorEntry {
+    Replica copies[2];
+  };
+
+  // Picks two distinct usable peers.
+  Result<std::pair<size_t, size_t>> PickPair(TimeNs* now);
+
+  // Writes `data` to a fresh slot on some usable peer other than `avoid`
+  // (pass cluster_.size() to allow any). Returns the written replica.
+  Result<Replica> WriteNewReplica(TimeNs* now, std::span<const uint8_t> data, size_t avoid);
+
+  std::unordered_map<uint64_t, MirrorEntry> table_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_MIRRORING_H_

@@ -1,0 +1,229 @@
+#include "src/core/no_reliability.h"
+
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+Result<TimeNs> NoReliabilityBackend::SendToDisk(TimeNs now, uint64_t page_id,
+                                                std::span<const uint8_t> data) {
+  if (local_disk_ == nullptr) {
+    return NoSpaceError("no usable server and no local disk fallback");
+  }
+  auto done = local_disk_->PageOut(now, page_id, data);
+  if (!done.ok()) {
+    return done.status();
+  }
+  Location& loc = table_[page_id];
+  if (!loc.on_disk) {
+    loc.on_disk = true;
+    ++pages_on_disk_;
+  }
+  ++stats_.disk_transfers;
+  stats_.disk_time += *done - now;
+  return *done;
+}
+
+Result<TimeNs> NoReliabilityBackend::PlaceAndSend(TimeNs now, uint64_t page_id,
+                                                  std::span<const uint8_t> data) {
+  // Try servers until one takes the page; denial marks the server stopped
+  // (§2.1) and the search continues.
+  while (cluster_.AnyUsable()) {
+    auto pick = PickPeer(&now);
+    if (!pick.ok()) {
+      break;
+    }
+    const size_t peer_index = *pick;
+    ServerPeer& peer = cluster_.peer(peer_index);
+    auto slot = TakeSlotOn(peer_index, &now);
+    if (!slot.ok()) {
+      if (slot.status().code() == ErrorCode::kNoSpace) {
+        peer.set_stopped(true);
+        continue;
+      }
+      if (slot.status().code() == ErrorCode::kUnavailable) {
+        continue;  // Peer died; marked dead by the RPC layer.
+      }
+      return slot.status();
+    }
+    auto advise = peer.PageOutTo(*slot, data);
+    if (!advise.ok()) {
+      if (advise.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return advise.status();
+    }
+    now = ChargePageTransferAsync(now, peer_index);
+    Location& loc = table_[page_id];
+    loc.on_disk = false;
+    loc.peer = peer_index;
+    loc.slot = *slot;
+    if (*advise) {
+      // No new swap space from this server; already-granted slots stay
+      // usable. The next explicit MigrateFrom (or natural overwrites)
+      // drains the peer.
+      peer.set_no_new_extents(true);
+    }
+    return now;
+  }
+  return SendToDisk(now, page_id, data);
+}
+
+Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
+                                             std::span<const uint8_t> data) {
+  if (data.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  ++stats_.pageouts;
+  const TimeNs start = now;
+  auto it = table_.find(page_id);
+  if (it != table_.end() && !it->second.on_disk) {
+    // Overwrite in place on the same server.
+    ServerPeer& peer = cluster_.peer(it->second.peer);
+    if (peer.alive()) {
+      auto advise = peer.PageOutTo(it->second.slot, data);
+      if (advise.ok()) {
+        now = ChargePageTransferAsync(now, it->second.peer);
+        if (*advise) {
+          peer.set_no_new_extents(true);
+        }
+        stats_.paging_time += now - start;
+        return now;
+      }
+      if (advise.status().code() != ErrorCode::kUnavailable) {
+        return advise.status();
+      }
+      // Server died under us; we still hold the data, so relocate.
+    }
+    table_.erase(it);
+  } else if (it != table_.end() && it->second.on_disk) {
+    // Page currently parked on disk: prefer putting the fresh copy on a
+    // server again if any has room.
+    if (cluster_.AnyUsable()) {
+      table_.erase(it);
+      --pages_on_disk_;
+    } else {
+      auto done = SendToDisk(now, page_id, data);
+      if (done.ok()) {
+        stats_.paging_time += *done - start;
+      }
+      return done;
+    }
+  }
+  auto done = PlaceAndSend(now, page_id, data);
+  if (done.ok()) {
+    stats_.paging_time += *done - start;
+  }
+  return done;
+}
+
+Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
+                                            std::span<uint8_t> out) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  ++stats_.pageins;
+  const TimeNs start = now;
+  if (it->second.on_disk) {
+    auto done = local_disk_->PageIn(now, page_id, out);
+    if (!done.ok()) {
+      return done.status();
+    }
+    ++stats_.disk_transfers;
+    stats_.disk_time += *done - now;
+    stats_.paging_time += *done - start;
+    return *done;
+  }
+  ServerPeer& peer = cluster_.peer(it->second.peer);
+  const Status status = peer.PageInFrom(it->second.slot, out);
+  if (!status.ok()) {
+    // Without redundancy a crashed server means the page is gone — the
+    // situation §2.2 calls unacceptable and the reliable policies fix.
+    return status;
+  }
+  now = ChargePageTransfer(now, it->second.peer);
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Status NoReliabilityBackend::MigrateFrom(size_t peer_index, TimeNs* now) {
+  ServerPeer& source = cluster_.peer(peer_index);
+  if (!source.alive()) {
+    return UnavailableError("cannot migrate from a crashed server");
+  }
+  source.set_stopped(true);
+  std::vector<uint64_t> victims;
+  for (const auto& [page_id, loc] : table_) {
+    if (!loc.on_disk && loc.peer == peer_index) {
+      victims.push_back(page_id);
+    }
+  }
+  PageBuffer buffer;
+  for (const uint64_t page_id : victims) {
+    const Location loc = table_[page_id];
+    RMP_RETURN_IF_ERROR(source.PageInFrom(loc.slot, buffer.span()));
+    *now = ChargePageTransfer(*now, peer_index);
+    auto done = PlaceAndSend(*now, page_id, buffer.span());
+    if (!done.ok()) {
+      return done.status();
+    }
+    *now = *done;
+    // Release the old slot (best effort; the server may be reclaiming).
+    (void)source.FreeOn(loc.slot, 1);
+    source.ReturnSlot(loc.slot);
+  }
+  RMP_LOG(kInfo) << "migrated " << victims.size() << " pages off " << source.name();
+  return OkStatus();
+}
+
+Result<int> NoReliabilityBackend::DrainDiskToServers(TimeNs* now, int max_pages) {
+  if (local_disk_ == nullptr || pages_on_disk_ == 0) {
+    return 0;
+  }
+  // Re-open stopped-but-alive servers whose load has dropped.
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    ServerPeer& peer = cluster_.peer(i);
+    if (peer.alive() && (peer.stopped() || peer.no_new_extents())) {
+      auto load = peer.QueryLoad();
+      *now = ChargeControl(*now);
+      if (load.ok() && !load->advise_stop && load->free_pages > 0) {
+        peer.set_stopped(false);
+        peer.set_no_new_extents(false);
+      }
+    }
+  }
+  if (!cluster_.AnyUsable()) {
+    return 0;
+  }
+  std::vector<uint64_t> parked;
+  for (const auto& [page_id, loc] : table_) {
+    if (loc.on_disk) {
+      parked.push_back(page_id);
+      if (static_cast<int>(parked.size()) >= max_pages) {
+        break;
+      }
+    }
+  }
+  int moved = 0;
+  PageBuffer buffer;
+  for (const uint64_t page_id : parked) {
+    auto read = local_disk_->PageIn(*now, page_id, buffer.span());
+    if (!read.ok()) {
+      return read.status();
+    }
+    stats_.disk_time += *read - *now;
+    *now = *read;
+    auto done = PlaceAndSend(*now, page_id, buffer.span());
+    if (!done.ok()) {
+      break;  // Cluster filled up again; the rest stay parked.
+    }
+    *now = *done;
+    --pages_on_disk_;
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace rmp

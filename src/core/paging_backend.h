@@ -1,0 +1,56 @@
+// The block-device boundary.
+//
+// In the paper the DEC OSF/1 kernel "just performs ordinary paging activities
+// using a block device" (§3): every configuration — local disk, remote memory
+// with any reliability policy, write-through — is a block device that reads
+// and writes 8 KB pages. PagingBackend is that boundary. The VM subsystem
+// above it is policy-oblivious, exactly as the unmodified kernel was.
+//
+// Each operation takes the simulated time at which it is issued and returns
+// the simulated time at which it completes, so one interface serves both the
+// functional system (real bytes move) and the timing reproduction (device
+// models charge seek/wire/protocol costs). Callers that only care about
+// functionality pass now = 0 and ignore the returned time.
+
+#ifndef SRC_CORE_PAGING_BACKEND_H_
+#define SRC_CORE_PAGING_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+// Counters every backend maintains; the benches and EXPERIMENTS.md rows are
+// printed from these.
+struct BackendStats {
+  int64_t pageouts = 0;        // Pages written by the VM.
+  int64_t pageins = 0;         // Pages read by the VM.
+  int64_t page_transfers = 0;  // Network page transfers (incl. parity/mirror copies).
+  int64_t disk_transfers = 0;  // Pages moved to/from the local disk.
+  DurationNs protocol_time = 0;  // Client CPU spent in the protocol stack.
+  DurationNs wire_time = 0;      // Network blocking time.
+  DurationNs disk_time = 0;      // Disk blocking time.
+  DurationNs paging_time = 0;    // Total time the client was blocked on paging.
+};
+
+class PagingBackend {
+ public:
+  virtual ~PagingBackend() = default;
+
+  // Writes one page. `data` must be exactly kPageSize bytes.
+  virtual Result<TimeNs> PageOut(TimeNs now, uint64_t page_id, std::span<const uint8_t> data) = 0;
+
+  // Reads one page previously written. `out` must be exactly kPageSize bytes.
+  virtual Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) = 0;
+
+  virtual const BackendStats& stats() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_PAGING_BACKEND_H_

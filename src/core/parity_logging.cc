@@ -1,0 +1,555 @@
+#include "src/core/parity_logging.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+ParityLoggingBackend::ParityLoggingBackend(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
+                                           const RemotePagerParams& params, size_t parity_peer,
+                                           const ParityLoggingParams& pl_params)
+    : RemotePagerBase(std::move(cluster), std::move(fabric), params),
+      parity_peer_(parity_peer),
+      pl_params_(pl_params) {
+  assert(parity_peer_ < cluster_.size());
+  assert(cluster_.size() >= 2 && "parity logging needs at least one data server");
+  open_group_id_ = next_group_id_++;
+  groups_[open_group_id_] = ParityGroup{};
+}
+
+std::vector<size_t> ParityLoggingBackend::DataPeers() const {
+  std::vector<size_t> peers;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (i != parity_peer_) {
+      peers.push_back(i);
+    }
+  }
+  return peers;
+}
+
+int ParityLoggingBackend::EffectiveGroupSize() const {
+  if (pl_params_.group_size > 0) {
+    return pl_params_.group_size;
+  }
+  return static_cast<int>(cluster_.size()) - 1;
+}
+
+bool ParityLoggingBackend::OpenGroupUses(size_t peer) const {
+  const ParityGroup& open = groups_.at(open_group_id_);
+  for (const GroupEntry& e : open.entries) {
+    if (e.peer == peer) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<size_t> ParityLoggingBackend::PickDataPeer(TimeNs* now) {
+  for (int round = 0; round < 2; ++round) {
+    bool any_usable = false;
+    const std::vector<size_t> data_peers = DataPeers();
+    // Round-robin scan starting after the cursor.
+    for (size_t step = 1; step <= data_peers.size(); ++step) {
+      const size_t i = data_peers[(rr_cursor_ + step) % data_peers.size()];
+      const ServerPeer& peer = cluster_.peer(i);
+      if (!peer.usable()) {
+        continue;
+      }
+      any_usable = true;
+      if (OpenGroupUses(i)) {
+        continue;
+      }
+      rr_cursor_ = (rr_cursor_ + step) % data_peers.size();
+      return i;
+    }
+    if (!any_usable) {
+      return NoSpaceError("no usable data server");
+    }
+    // Every usable server already appears in the open group: the group has
+    // saturated its distinct-server budget, so seal it early and retry.
+    RMP_RETURN_IF_ERROR(FlushParity(now));
+  }
+  return InternalError("data peer selection failed after parity flush");
+}
+
+void ParityLoggingBackend::RetireOldVersion(uint64_t page_id, TimeNs* now) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return;
+  }
+  const PageLocation loc = it->second;
+  table_.erase(it);
+  auto git = groups_.find(loc.group_id);
+  if (git == groups_.end()) {
+    return;
+  }
+  ParityGroup& group = git->second;
+  GroupEntry& entry = group.entries[loc.entry_index];
+  if (!entry.active) {
+    return;
+  }
+  entry.active = false;
+  --group.active_count;
+  if (group.sealed && group.active_count == 0) {
+    ReclaimGroup(loc.group_id, now);
+  }
+}
+
+void ParityLoggingBackend::ReclaimGroup(uint64_t group_id, TimeNs* now) {
+  auto git = groups_.find(group_id);
+  if (git == groups_.end()) {
+    return;
+  }
+  ParityGroup& group = git->second;
+  assert(group.sealed && group.active_count == 0);
+  for (const GroupEntry& entry : group.entries) {
+    ServerPeer& peer = cluster_.peer(entry.peer);
+    if (peer.alive()) {
+      (void)peer.FreeOn(entry.slot, 1);
+    }
+  }
+  ServerPeer& parity = cluster_.peer(parity_peer_);
+  if (parity.alive()) {
+    (void)parity.FreeOn(group.parity_slot, 1);
+  }
+  // One batched free announcement on the wire per reclaimed group.
+  *now = ChargeControl(*now);
+  groups_.erase(git);
+  ++groups_reclaimed_;
+}
+
+Status ParityLoggingBackend::FlushParity(TimeNs* now) {
+  if (groups_.at(open_group_id_).entries.empty()) {
+    return OkStatus();
+  }
+  ServerPeer& parity = cluster_.peer(parity_peer_);
+  if (!parity.alive()) {
+    return UnavailableError("parity server is down");
+  }
+  auto slot = TakeSlotOn(parity_peer_, now);
+  if (!slot.ok() && slot.status().code() == ErrorCode::kNoSpace && !in_gc_) {
+    const uint64_t group_before_gc = open_group_id_;
+    RMP_RETURN_IF_ERROR(GarbageCollect(now));
+    if (open_group_id_ != group_before_gc) {
+      // GC re-placement filled and sealed the group we were flushing (its
+      // parity went out with the GC entries folded in), so the job is done.
+      return OkStatus();
+    }
+    slot = TakeSlotOn(parity_peer_, now);
+  }
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  // Re-acquire after every potentially reentrant call above.
+  ParityGroup& open = groups_.at(open_group_id_);
+  auto advise = parity.PageOutTo(*slot, accumulator_.span());
+  if (!advise.ok()) {
+    return advise.status();
+  }
+  *now = ChargePageTransferAsync(*now, parity_peer_);
+  ++parity_flushes_;
+  open.parity_slot = *slot;
+  open.sealed = true;
+  const uint64_t sealed_id = open_group_id_;
+  // Open a fresh group before any reclamation below invalidates references.
+  open_group_id_ = next_group_id_++;
+  groups_[open_group_id_] = ParityGroup{};
+  accumulator_.Clear();
+  ParityGroup& sealed = groups_.at(sealed_id);
+  if (sealed.active_count == 0) {
+    ReclaimGroup(sealed_id, now);
+  }
+  return OkStatus();
+}
+
+Status ParityLoggingBackend::PlacePage(uint64_t page_id, std::span<const uint8_t> data,
+                                       TimeNs* now) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto pick = PickDataPeer(now);
+    if (!pick.ok()) {
+      if (pick.status().code() == ErrorCode::kNoSpace && !in_gc_) {
+        RMP_RETURN_IF_ERROR(GarbageCollect(now));
+        continue;
+      }
+      return pick.status();
+    }
+    const size_t peer_index = *pick;
+    ServerPeer& peer = cluster_.peer(peer_index);
+    auto slot = TakeSlotOn(peer_index, now);
+    if (!slot.ok()) {
+      if (slot.status().code() == ErrorCode::kNoSpace) {
+        peer.set_stopped(true);
+        continue;
+      }
+      if (slot.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return slot.status();
+    }
+    auto advise = peer.PageOutTo(*slot, data);
+    if (!advise.ok()) {
+      if (advise.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return advise.status();
+    }
+    *now = ChargePageTransferAsync(*now, peer_index);
+    if (*advise) {
+      peer.set_no_new_extents(true);
+    }
+    accumulator_.XorWith(data);
+    ParityGroup& open = groups_.at(open_group_id_);
+    open.entries.push_back(GroupEntry{peer_index, *slot, page_id, true});
+    ++open.active_count;
+    table_[page_id] = PageLocation{open_group_id_, open.entries.size() - 1};
+    if (static_cast<int>(open.entries.size()) >= EffectiveGroupSize()) {
+      RMP_RETURN_IF_ERROR(FlushParity(now));
+    }
+    return OkStatus();
+  }
+  return NoSpaceError("remote memory exhausted (consider more overflow memory)");
+}
+
+Result<TimeNs> ParityLoggingBackend::PageOut(TimeNs now, uint64_t page_id,
+                                             std::span<const uint8_t> data) {
+  if (data.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  ++stats_.pageouts;
+  const TimeNs start = now;
+  RetireOldVersion(page_id, &now);
+  RMP_RETURN_IF_ERROR(PlacePage(page_id, data, &now));
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
+                                            std::span<uint8_t> out) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  ++stats_.pageins;
+  const TimeNs start = now;
+  const PageLocation loc = it->second;
+  const ParityGroup& group = groups_.at(loc.group_id);
+  const GroupEntry& entry = group.entries[loc.entry_index];
+  ServerPeer& peer = cluster_.peer(entry.peer);
+  if (peer.alive()) {
+    const Status status = peer.PageInFrom(entry.slot, out);
+    if (status.ok()) {
+      now = ChargePageTransfer(now, entry.peer);
+      stats_.paging_time += now - start;
+      return now;
+    }
+    if (status.code() != ErrorCode::kUnavailable) {
+      return status;
+    }
+  }
+  // The holding server crashed: reconstruct everything it held, then the
+  // page is live again on a healthy server.
+  RMP_RETURN_IF_ERROR(Recover(entry.peer, &now));
+  auto retry = table_.find(page_id);
+  if (retry == table_.end()) {
+    return InternalError("page lost during recovery");
+  }
+  const ParityGroup& new_group = groups_.at(retry->second.group_id);
+  const GroupEntry& new_entry = new_group.entries[retry->second.entry_index];
+  RMP_RETURN_IF_ERROR(cluster_.peer(new_entry.peer).PageInFrom(new_entry.slot, out));
+  now = ChargePageTransfer(now, new_entry.peer);
+  stats_.paging_time += now - start;
+  return now;
+}
+
+Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
+  if (in_gc_) {
+    return InternalError("re-entrant garbage collection");
+  }
+  in_gc_ = true;
+  ++gc_passes_;
+  // Victims: sealed groups with the fewest active pages reclaim the most
+  // server memory per transferred page.
+  std::vector<std::pair<int, uint64_t>> victims;
+  for (const auto& [group_id, group] : groups_) {
+    if (group.sealed) {
+      victims.emplace_back(group.active_count, group_id);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+
+  auto reopen_servers = [&] {
+    // A denial marked servers stopped; reclamation frees their memory, so
+    // probe them again (a server with any free page is usable for GC).
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      ServerPeer& peer = cluster_.peer(i);
+      if (peer.alive() && (peer.stopped() || peer.no_new_extents())) {
+        auto load = peer.QueryLoad();
+        *now = ChargeControl(*now);
+        if (load.ok() && load->free_pages > 0) {
+          // Under GC pressure any free page is fair game: ADVISE_STOP is
+          // load advice, and the next pageout ack re-asserts it if the
+          // server is still squeezed.
+          peer.set_stopped(false);
+          peer.set_no_new_extents(false);
+        }
+      }
+    }
+  };
+  reopen_servers();
+
+  int freed = 0;
+  Status result = OkStatus();
+  for (const auto& [active_count, group_id] : victims) {
+    if (freed >= pl_params_.gc_reclaim_target) {
+      break;
+    }
+    auto git = groups_.find(group_id);
+    if (git == groups_.end()) {
+      continue;  // Already reclaimed as a side effect of re-placement.
+    }
+    ParityGroup& group = git->second;
+    const int group_pages = static_cast<int>(group.entries.size()) + 1;
+    // Stash the active pages in client memory. Holding them client-side
+    // keeps single-crash recoverability: exactly like a page in flight
+    // during a normal pageout, the client copy IS the redundancy until the
+    // page lands in a new group.
+    std::vector<std::pair<uint64_t, PageBuffer>> stash;
+    for (const GroupEntry& entry : group.entries) {
+      if (!entry.active) {
+        continue;
+      }
+      ServerPeer& peer = cluster_.peer(entry.peer);
+      PageBuffer page;
+      const Status read = peer.PageInFrom(entry.slot, page.span());
+      if (!read.ok()) {
+        result = read;
+        break;
+      }
+      *now = ChargePageTransfer(*now, entry.peer);
+      stash.emplace_back(entry.page_id, std::move(page));
+    }
+    if (!result.ok()) {
+      break;
+    }
+    // Reclaim the victim *before* re-placing, so its slots provide the very
+    // space the re-placement needs (the way out of the full-cluster bind).
+    for (GroupEntry& entry : group.entries) {
+      if (entry.active) {
+        table_.erase(entry.page_id);
+        entry.active = false;
+      }
+    }
+    group.active_count = 0;
+    ReclaimGroup(group_id, now);
+    reopen_servers();
+    freed += group_pages;
+    for (auto& [page_id, page] : stash) {
+      const Status placed = PlacePage(page_id, page.span(), now);
+      if (!placed.ok()) {
+        result = placed;
+        break;
+      }
+    }
+    if (!result.ok()) {
+      break;
+    }
+  }
+  in_gc_ = false;
+  if (result.ok() && freed == 0) {
+    return NoSpaceError("garbage collection found nothing to reclaim");
+  }
+  return result;
+}
+
+Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
+  ServerPeer& failed = cluster_.peer(peer_index);
+
+  if (peer_index == parity_peer_) {
+    // Data pages are intact; only redundancy was lost. Rebuild every sealed
+    // group's parity onto the (restarted) parity server.
+    failed.DropPool();
+    failed.mark_alive();
+    for (auto& [group_id, group] : groups_) {
+      if (!group.sealed) {
+        continue;  // The open group's parity is the client-side accumulator.
+      }
+      PageBuffer parity;
+      PageBuffer page;
+      for (const GroupEntry& entry : group.entries) {
+        RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).PageInFrom(entry.slot, page.span()));
+        *now = ChargePageTransfer(*now, entry.peer);
+        parity.XorWith(page.span());
+      }
+      auto slot = TakeSlotOn(parity_peer_, now);
+      if (!slot.ok()) {
+        return slot.status();
+      }
+      auto advise = failed.PageOutTo(*slot, parity.span());
+      if (!advise.ok()) {
+        return advise.status();
+      }
+      *now = ChargePageTransfer(*now, parity_peer_);
+      group.parity_slot = *slot;
+    }
+    RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << groups_.size() - 1 << " groups";
+    return OkStatus();
+  }
+
+  failed.mark_dead();
+  failed.DropPool();
+
+  // Collect affected groups (any entry on the dead server), including open.
+  std::vector<uint64_t> affected;
+  for (const auto& [group_id, group] : groups_) {
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.peer == peer_index) {
+        affected.push_back(group_id);
+        break;
+      }
+    }
+  }
+
+  std::vector<std::pair<uint64_t, PageBuffer>> stash;  // Active pages to re-home.
+  bool open_dissolved = false;
+  for (const uint64_t group_id : affected) {
+    ParityGroup& group = groups_.at(group_id);
+    // Reconstruction seed: sealed groups fetch the stored parity; the open
+    // group's parity is the in-memory accumulator.
+    PageBuffer xor_buf;
+    if (group.sealed) {
+      RMP_RETURN_IF_ERROR(
+          cluster_.peer(parity_peer_).PageInFrom(group.parity_slot, xor_buf.span()));
+      *now = ChargePageTransfer(*now, parity_peer_);
+    } else {
+      xor_buf = accumulator_;
+    }
+    const GroupEntry* lost = nullptr;
+    PageBuffer page;
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.peer == peer_index) {
+        if (lost != nullptr) {
+          return InternalError("two entries of one parity group on one server");
+        }
+        lost = &entry;
+        continue;
+      }
+      RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).PageInFrom(entry.slot, page.span()));
+      *now = ChargePageTransfer(*now, entry.peer);
+      xor_buf.XorWith(page.span());
+      if (entry.active) {
+        // Dissolving the group surrenders this page's redundancy; re-home it.
+        stash.emplace_back(entry.page_id, PageBuffer(page.span()));
+      }
+    }
+    if (lost != nullptr && lost->active) {
+      stash.emplace_back(lost->page_id, xor_buf);  // The reconstructed page.
+    }
+    // Dissolve: free surviving slots and the parity slot, drop the group.
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.peer == peer_index) {
+        continue;
+      }
+      ServerPeer& peer = cluster_.peer(entry.peer);
+      if (peer.alive()) {
+        (void)peer.FreeOn(entry.slot, 1);
+      }
+      if (entry.active) {
+        table_.erase(entry.page_id);
+      }
+    }
+    if (lost != nullptr && lost->active) {
+      table_.erase(lost->page_id);
+    }
+    if (group.sealed) {
+      (void)cluster_.peer(parity_peer_).FreeOn(group.parity_slot, 1);
+    } else {
+      open_dissolved = true;
+    }
+    *now = ChargeControl(*now);
+    groups_.erase(group_id);
+  }
+  if (open_dissolved || groups_.count(open_group_id_) == 0) {
+    open_group_id_ = next_group_id_++;
+    groups_[open_group_id_] = ParityGroup{};
+    accumulator_.Clear();
+  }
+  // Re-home every rescued page through the normal pageout path.
+  for (auto& [page_id, page] : stash) {
+    RMP_RETURN_IF_ERROR(PlacePage(page_id, page.span(), now));
+  }
+  RMP_LOG(kInfo) << "parity logging: recovered from crash of peer " << peer_index << ", re-homed "
+                 << stash.size() << " pages across " << affected.size() << " groups";
+  return OkStatus();
+}
+
+std::vector<ParityLoggingBackend::GroupSnapshot> ParityLoggingBackend::Snapshot() const {
+  std::vector<GroupSnapshot> out;
+  out.reserve(groups_.size());
+  for (const auto& [group_id, group] : groups_) {
+    GroupSnapshot snap;
+    snap.group_id = group_id;
+    snap.parity_slot = group.parity_slot;
+    snap.sealed = group.sealed;
+    for (const GroupEntry& entry : group.entries) {
+      snap.entries.push_back(EntrySnapshot{entry.peer, entry.slot, entry.page_id, entry.active});
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+Status ParityLoggingBackend::CheckInvariants() const {
+  for (const auto& [group_id, group] : groups_) {
+    int active = 0;
+    std::vector<size_t> peers_seen;
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.active) {
+        ++active;
+        auto it = table_.find(entry.page_id);
+        if (it == table_.end()) {
+          return InternalError("active entry without table mapping (group " +
+                               std::to_string(group_id) + ")");
+        }
+        if (it->second.group_id != group_id) {
+          return InternalError("table points elsewhere for page " +
+                               std::to_string(entry.page_id));
+        }
+      }
+      if (std::find(peers_seen.begin(), peers_seen.end(), entry.peer) != peers_seen.end()) {
+        return InternalError("group " + std::to_string(group_id) +
+                             " holds two entries on one server");
+      }
+      peers_seen.push_back(entry.peer);
+      if (entry.peer == parity_peer_) {
+        return InternalError("data entry on the parity server");
+      }
+    }
+    if (active != group.active_count) {
+      return InternalError("active_count drift in group " + std::to_string(group_id));
+    }
+    if (group.sealed && group.active_count == 0) {
+      return InternalError("dead sealed group " + std::to_string(group_id) + " not reclaimed");
+    }
+    if (!group.sealed && group_id != open_group_id_) {
+      return InternalError("unsealed non-open group " + std::to_string(group_id));
+    }
+  }
+  for (const auto& [page_id, loc] : table_) {
+    auto git = groups_.find(loc.group_id);
+    if (git == groups_.end()) {
+      return InternalError("table points to reclaimed group for page " + std::to_string(page_id));
+    }
+    if (loc.entry_index >= git->second.entries.size()) {
+      return InternalError("table entry index out of range for page " + std::to_string(page_id));
+    }
+    const GroupEntry& entry = git->second.entries[loc.entry_index];
+    if (entry.page_id != page_id || !entry.active) {
+      return InternalError("table mapping stale for page " + std::to_string(page_id));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace rmp

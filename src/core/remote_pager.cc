@@ -1,0 +1,61 @@
+#include "src/core/remote_pager.h"
+
+namespace rmp {
+
+TimeNs RemotePagerBase::ChargePageTransfer(TimeNs now, size_t peer) {
+  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, kPageWireBytes, peer);
+  ++stats_.page_transfers;
+  stats_.protocol_time += cost.protocol;
+  stats_.wire_time += cost.wire;
+  return cost.completion;
+}
+
+TimeNs RemotePagerBase::ChargePageTransferAsync(TimeNs now, size_t peer) {
+  const NetworkFabric::TransferCost cost = fabric_->TransferAsync(now, kPageWireBytes, peer);
+  ++stats_.page_transfers;
+  stats_.protocol_time += cost.protocol;
+  stats_.wire_time += cost.wire;
+  return cost.completion;
+}
+
+TimeNs RemotePagerBase::ChargeControl(TimeNs now, size_t peer) {
+  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, kControlWireBytes, peer);
+  stats_.protocol_time += cost.protocol;
+  stats_.wire_time += cost.wire;
+  return cost.completion;
+}
+
+Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
+  ServerPeer& peer = cluster_.peer(i);
+  auto slot = peer.TakeSlot();
+  if (slot.ok()) {
+    return slot;
+  }
+  if (peer.no_new_extents()) {
+    return NoSpaceError(peer.name() + " advised stop; pool exhausted");
+  }
+  Status granted = peer.AllocExtent(params_.alloc_extent_pages);
+  if (granted.code() == ErrorCode::kNoSpace && params_.alloc_extent_pages > 1) {
+    // A long-lived server's free space fragments into scattered single
+    // slots (reclaimed parity-group members); fall back to single-slot
+    // grants before giving up on the server.
+    granted = peer.AllocExtent(1);
+  }
+  RMP_RETURN_IF_ERROR(granted);
+  *now = ChargeControl(*now);
+  return peer.TakeSlot();
+}
+
+Result<size_t> RemotePagerBase::PickPeer(TimeNs* now) {
+  if (params_.selection == ServerSelection::kRoundRobin) {
+    return cluster_.NextUsable(&rr_cursor_);
+  }
+  const bool refresh = ++pageouts_since_refresh_ > kLoadRefreshInterval;
+  if (refresh) {
+    pageouts_since_refresh_ = 0;
+    *now = ChargeControl(*now);  // One round of LOAD_QUERY traffic.
+  }
+  return cluster_.MostPromising(refresh);
+}
+
+}  // namespace rmp

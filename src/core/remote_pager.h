@@ -1,0 +1,70 @@
+// Shared machinery of every remote-memory paging policy: the cluster view,
+// the shared network fabric, slot acquisition with extent-granularity
+// allocation, and the transfer-time accounting that feeds BackendStats.
+
+#ifndef SRC_CORE_REMOTE_PAGER_H_
+#define SRC_CORE_REMOTE_PAGER_H_
+
+#include <memory>
+
+#include "src/core/cluster.h"
+#include "src/core/fabric.h"
+#include "src/core/paging_backend.h"
+
+namespace rmp {
+
+// How the client picks a server for a fresh page (§2.1 describes most-free;
+// parity logging requires round robin by construction).
+enum class ServerSelection { kMostFree, kRoundRobin };
+
+struct RemotePagerParams {
+  // Swap slots requested per ALLOC_REQUEST; amortizes control traffic.
+  uint64_t alloc_extent_pages = 256;
+  ServerSelection selection = ServerSelection::kMostFree;
+};
+
+class RemotePagerBase : public PagingBackend {
+ public:
+  const BackendStats& stats() const override { return stats_; }
+
+  Cluster& cluster() { return cluster_; }
+  NetworkFabric& fabric() { return *fabric_; }
+
+ protected:
+  RemotePagerBase(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
+                  const RemotePagerParams& params)
+      : cluster_(std::move(cluster)), fabric_(std::move(fabric)), params_(params) {}
+
+  // Charges one page-sized transfer starting at `now` to `peer`; bumps
+  // transfer stats. The blocking (pagein) form waits for wire completion;
+  // the async form models pageout write-behind (see
+  // NetworkFabric::TransferAsync). `peer` routes over a dedicated link when
+  // the fabric has one for it (§5 heterogeneous networks).
+  TimeNs ChargePageTransfer(TimeNs now, size_t peer = kSharedSegment);
+  TimeNs ChargePageTransferAsync(TimeNs now, size_t peer = kSharedSegment);
+
+  // Charges one small control-message exchange.
+  TimeNs ChargeControl(TimeNs now, size_t peer = kSharedSegment);
+
+  // Takes a slot from peer `i`, issuing an ALLOC_REQUEST (and charging a
+  // control exchange against *now) when the local pool is dry.
+  Result<uint64_t> TakeSlotOn(size_t i, TimeNs* now);
+
+  // Picks a peer for a fresh page according to params_.selection.
+  Result<size_t> PickPeer(TimeNs* now);
+
+  Cluster cluster_;
+  std::shared_ptr<NetworkFabric> fabric_;
+  RemotePagerParams params_;
+  BackendStats stats_;
+  size_t rr_cursor_ = 0;
+
+ private:
+  // Refresh load info at most every this many pageouts (most-free mode).
+  static constexpr int kLoadRefreshInterval = 64;
+  int pageouts_since_refresh_ = kLoadRefreshInterval;  // Refresh on first use.
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_REMOTE_PAGER_H_

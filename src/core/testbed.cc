@@ -1,0 +1,120 @@
+#include "src/core/testbed.h"
+
+namespace rmp {
+
+std::string_view PolicyName(Policy policy) {
+  switch (policy) {
+    case Policy::kNoReliability:
+      return "NO_RELIABILITY";
+    case Policy::kMirroring:
+      return "MIRRORING";
+    case Policy::kBasicParity:
+      return "BASIC_PARITY";
+    case Policy::kParityLogging:
+      return "PARITY_LOGGING";
+    case Policy::kWriteThrough:
+      return "WRITE_THROUGH";
+    case Policy::kDisk:
+      return "DISK";
+  }
+  return "UNKNOWN";
+}
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
+  if (params.data_servers < 1 && params.policy != Policy::kDisk) {
+    return InvalidArgumentError("need at least one data server");
+  }
+  auto testbed = std::unique_ptr<Testbed>(new Testbed(params));
+
+  if (params.policy == Policy::kDisk) {
+    auto disk = DiskBackend::Create(params.disk, params.disk_blocks);
+    if (!disk.ok()) {
+      return disk.status();
+    }
+    testbed->backend_ = std::make_unique<DiskBackend>(std::move(*disk));
+    return testbed;
+  }
+
+  const bool has_parity =
+      params.policy == Policy::kParityLogging || params.policy == Policy::kBasicParity;
+  const int total_servers =
+      params.data_servers + (has_parity ? 1 : 0) + (params.with_spare ? 1 : 0);
+
+  Cluster cluster;
+  for (int i = 0; i < total_servers; ++i) {
+    MemoryServerParams server_params;
+    server_params.name = "server-" + std::to_string(i);
+    server_params.capacity_pages = params.server_capacity_pages;
+    testbed->servers_.push_back(std::make_unique<MemoryServer>(server_params));
+    auto transport = std::make_unique<InProcTransport>(testbed->servers_.back().get());
+    testbed->transports_.push_back(transport.get());
+    cluster.AddPeer(server_params.name, std::move(transport));
+  }
+  // A spare must not be selected by normal placement until recovery uses it.
+  if (params.with_spare) {
+    cluster.peer(static_cast<size_t>(total_servers) - 1).set_stopped(true);
+  }
+
+  auto fabric = params.network != nullptr ? std::make_shared<NetworkFabric>(params.network)
+                                          : std::make_shared<NetworkFabric>();
+  const size_t parity_peer = static_cast<size_t>(params.data_servers);
+
+  switch (params.policy) {
+    case Policy::kNoReliability: {
+      std::unique_ptr<DiskBackend> fallback;
+      if (params.no_reliability_disk_fallback) {
+        auto disk = DiskBackend::Create(params.disk, params.disk_blocks);
+        if (!disk.ok()) {
+          return disk.status();
+        }
+        fallback = std::make_unique<DiskBackend>(std::move(*disk));
+      }
+      testbed->backend_ = std::make_unique<NoReliabilityBackend>(
+          std::move(cluster), fabric, params.pager, std::move(fallback));
+      break;
+    }
+    case Policy::kMirroring:
+      testbed->backend_ =
+          std::make_unique<MirroringBackend>(std::move(cluster), fabric, params.pager);
+      break;
+    case Policy::kBasicParity: {
+      auto backend = std::make_unique<BasicParityBackend>(
+          std::move(cluster), fabric, params.pager, parity_peer,
+          static_cast<size_t>(params.data_servers));
+      if (params.with_spare) {
+        backend->SetSpare(static_cast<size_t>(total_servers) - 1);
+      }
+      testbed->backend_ = std::move(backend);
+      break;
+    }
+    case Policy::kParityLogging:
+      testbed->backend_ = std::make_unique<ParityLoggingBackend>(
+          std::move(cluster), fabric, params.pager, parity_peer, params.parity_logging);
+      break;
+    case Policy::kWriteThrough: {
+      auto disk = DiskBackend::Create(params.disk, params.disk_blocks);
+      if (!disk.ok()) {
+        return disk.status();
+      }
+      testbed->backend_ = std::make_unique<WriteThroughBackend>(
+          std::move(cluster), fabric, params.pager,
+          std::make_unique<DiskBackend>(std::move(*disk)));
+      break;
+    }
+    case Policy::kDisk:
+      return InternalError("unreachable");
+  }
+  return testbed;
+}
+
+void Testbed::CrashServer(size_t i) {
+  servers_[i]->Crash();
+  transports_[i]->Disconnect();
+}
+
+void Testbed::RestartServer(size_t i) {
+  servers_[i]->Restart();
+  transports_[i]->Reconnect();
+}
+
+}  // namespace rmp

@@ -1,0 +1,111 @@
+// Testbed: assembles an in-process cluster — memory servers, transports,
+// shared Ethernet fabric, and a paging backend for the chosen policy — in
+// one call. Used by the unit/integration tests, the examples, and the
+// figure benches. The TCP tools assemble the same pieces over sockets.
+
+#ifndef SRC_CORE_TESTBED_H_
+#define SRC_CORE_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/basic_parity.h"
+#include "src/core/mirroring.h"
+#include "src/core/no_reliability.h"
+#include "src/core/parity_logging.h"
+#include "src/core/write_through.h"
+#include "src/server/memory_server.h"
+#include "src/transport/inproc_transport.h"
+
+namespace rmp {
+
+// The paging configurations of the paper's evaluation (Fig. 2 / Fig. 5).
+enum class Policy {
+  kNoReliability,
+  kMirroring,
+  kBasicParity,
+  kParityLogging,
+  kWriteThrough,
+  kDisk,
+};
+
+std::string_view PolicyName(Policy policy);
+
+struct TestbedParams {
+  Policy policy = Policy::kNoReliability;
+  // Number of data-holding servers; parity policies add one parity server
+  // on top (the paper: 2 for NO_RELIABILITY/MIRRORING, 4 + parity for
+  // PARITY_LOGGING).
+  int data_servers = 2;
+  uint64_t server_capacity_pages = 8192;
+  // Timing model for the shared segment; nullptr runs untimed (functional
+  // tests). Ignored by kDisk.
+  std::shared_ptr<const NetworkModel> network;
+  DiskParams disk;
+  uint64_t disk_blocks = 1 << 16;
+  RemotePagerParams pager;
+  ParityLoggingParams parity_logging;
+  // Give NO_RELIABILITY a local-disk fallback (needed for the §2.1
+  // migration-to-disk path; benches leave it off so denials surface).
+  bool no_reliability_disk_fallback = false;
+  // Extra server appended as the basic-parity hot spare.
+  bool with_spare = false;
+};
+
+class Testbed {
+ public:
+  static Result<std::unique_ptr<Testbed>> Create(const TestbedParams& params);
+
+  PagingBackend& backend() { return *backend_; }
+
+  size_t server_count() const { return servers_.size(); }
+  MemoryServer& server(size_t i) { return *servers_[i]; }
+  InProcTransport& transport(size_t i) { return *transports_[i]; }
+
+  // Crashes server `i`: its stored pages vanish and its transport drops.
+  void CrashServer(size_t i);
+
+  // Brings a crashed server back, empty, and reconnects its transport.
+  void RestartServer(size_t i);
+
+  // The policy-typed views (null when the policy does not match).
+  ParityLoggingBackend* parity_logging() {
+    return params_.policy == Policy::kParityLogging
+               ? static_cast<ParityLoggingBackend*>(backend_.get())
+               : nullptr;
+  }
+  MirroringBackend* mirroring() {
+    return params_.policy == Policy::kMirroring ? static_cast<MirroringBackend*>(backend_.get())
+                                                : nullptr;
+  }
+  NoReliabilityBackend* no_reliability() {
+    return params_.policy == Policy::kNoReliability
+               ? static_cast<NoReliabilityBackend*>(backend_.get())
+               : nullptr;
+  }
+  WriteThroughBackend* write_through() {
+    return params_.policy == Policy::kWriteThrough
+               ? static_cast<WriteThroughBackend*>(backend_.get())
+               : nullptr;
+  }
+  BasicParityBackend* basic_parity() {
+    return params_.policy == Policy::kBasicParity
+               ? static_cast<BasicParityBackend*>(backend_.get())
+               : nullptr;
+  }
+
+  const TestbedParams& params() const { return params_; }
+
+ private:
+  explicit Testbed(TestbedParams params) : params_(std::move(params)) {}
+
+  TestbedParams params_;
+  std::vector<std::unique_ptr<MemoryServer>> servers_;
+  std::vector<InProcTransport*> transports_;  // Owned by the Cluster inside backend_.
+  std::unique_ptr<PagingBackend> backend_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_TESTBED_H_

@@ -1,0 +1,151 @@
+#include "src/core/write_through.h"
+
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+Result<TimeNs> WriteThroughBackend::SendRemote(TimeNs now, uint64_t page_id,
+                                               std::span<const uint8_t> data) {
+  Location& loc = table_[page_id];
+  if (loc.remote_valid) {
+    ServerPeer& peer = cluster_.peer(loc.peer);
+    if (peer.alive()) {
+      auto advise = peer.PageOutTo(loc.slot, data);
+      if (advise.ok()) {
+        now = ChargePageTransferAsync(now, loc.peer);
+        if (*advise) {
+          peer.set_no_new_extents(true);
+        }
+        return now;
+      }
+      if (advise.status().code() != ErrorCode::kUnavailable) {
+        return advise.status();
+      }
+    }
+    loc.remote_valid = false;
+  }
+  while (cluster_.AnyUsable()) {
+    auto pick = PickPeer(&now);
+    if (!pick.ok()) {
+      break;
+    }
+    const size_t peer_index = *pick;
+    ServerPeer& peer = cluster_.peer(peer_index);
+    auto slot = TakeSlotOn(peer_index, &now);
+    if (!slot.ok()) {
+      if (slot.status().code() == ErrorCode::kNoSpace) {
+        peer.set_stopped(true);
+        continue;
+      }
+      if (slot.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return slot.status();
+    }
+    auto advise = peer.PageOutTo(*slot, data);
+    if (!advise.ok()) {
+      if (advise.status().code() == ErrorCode::kUnavailable) {
+        continue;
+      }
+      return advise.status();
+    }
+    now = ChargePageTransferAsync(now, peer_index);
+    if (*advise) {
+      peer.set_no_new_extents(true);
+    }
+    loc.remote_valid = true;
+    loc.peer = peer_index;
+    loc.slot = *slot;
+    return now;
+  }
+  // No server available: the disk copy alone still makes the write durable;
+  // reads will come from disk until Recover()/a later pageout re-uploads.
+  return now;
+}
+
+Result<TimeNs> WriteThroughBackend::PageOut(TimeNs now, uint64_t page_id,
+                                            std::span<const uint8_t> data) {
+  if (data.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  ++stats_.pageouts;
+  const TimeNs start = now;
+  // Both copies are written "in parallel" (§4.7): the network transfer and
+  // the disk write overlap, so the pageout completes at the later of the two.
+  auto remote_done = SendRemote(now, page_id, data);
+  if (!remote_done.ok()) {
+    return remote_done.status();
+  }
+  auto disk_done = disk_->PageOut(now, page_id, data);
+  if (!disk_done.ok()) {
+    return disk_done.status();
+  }
+  ++stats_.disk_transfers;
+  stats_.disk_time += *disk_done - now;
+  const TimeNs done = std::max(*remote_done, *disk_done);
+  stats_.paging_time += done - start;
+  return done;
+}
+
+Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return NotFoundError("page " + std::to_string(page_id) + " was never paged out");
+  }
+  ++stats_.pageins;
+  const TimeNs start = now;
+  if (it->second.remote_valid) {
+    ServerPeer& peer = cluster_.peer(it->second.peer);
+    if (peer.alive()) {
+      const Status status = peer.PageInFrom(it->second.slot, out);
+      if (status.ok()) {
+        now = ChargePageTransfer(now, it->second.peer);
+        stats_.paging_time += now - start;
+        return now;
+      }
+      if (status.code() != ErrorCode::kUnavailable) {
+        return status;
+      }
+    }
+    it->second.remote_valid = false;
+  }
+  // Degraded path: the write-through disk copy is always current.
+  auto done = disk_->PageIn(now, page_id, out);
+  if (!done.ok()) {
+    return done.status();
+  }
+  ++stats_.disk_transfers;
+  stats_.disk_time += *done - now;
+  stats_.paging_time += *done - start;
+  return *done;
+}
+
+Status WriteThroughBackend::Recover(size_t peer_index, TimeNs* now) {
+  std::vector<uint64_t> lost;
+  for (auto& [page_id, loc] : table_) {
+    if (loc.remote_valid && loc.peer == peer_index) {
+      loc.remote_valid = false;
+      lost.push_back(page_id);
+    }
+  }
+  PageBuffer buffer;
+  for (const uint64_t page_id : lost) {
+    auto read = disk_->PageIn(*now, page_id, buffer.span());
+    if (!read.ok()) {
+      return read.status();
+    }
+    *now = *read;
+    auto sent = SendRemote(*now, page_id, buffer.span());
+    if (!sent.ok()) {
+      return sent.status();
+    }
+    *now = *sent;
+  }
+  RMP_LOG(kInfo) << "write-through: re-uploaded " << lost.size() << " pages after crash of peer "
+                 << peer_index;
+  return OkStatus();
+}
+
+}  // namespace rmp

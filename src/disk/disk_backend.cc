@@ -1,0 +1,59 @@
+#include "src/disk/disk_backend.h"
+
+#include <algorithm>
+
+namespace rmp {
+
+Result<DiskBackend> DiskBackend::Create(const DiskParams& params, uint64_t blocks) {
+  DiskParams sized = params;
+  sized.total_blocks = blocks;
+  auto store = DiskStore::Create(blocks);
+  if (!store.ok()) {
+    return store.status();
+  }
+  return DiskBackend(DiskModel(sized), std::move(*store));
+}
+
+Result<uint64_t> DiskBackend::BlockFor(uint64_t page_id, bool allocate) {
+  auto it = page_to_block_.find(page_id);
+  if (it != page_to_block_.end()) {
+    return it->second;
+  }
+  if (!allocate) {
+    return NotFoundError("page " + std::to_string(page_id) + " never paged out");
+  }
+  RMP_ASSIGN_OR_RETURN(const uint64_t block, store_.Allocate(1));
+  page_to_block_.emplace(page_id, block);
+  return block;
+}
+
+Result<TimeNs> DiskBackend::PageOut(TimeNs now, uint64_t page_id,
+                                    std::span<const uint8_t> data) {
+  RMP_ASSIGN_OR_RETURN(const uint64_t block, BlockFor(page_id, /*allocate=*/true));
+  RMP_RETURN_IF_ERROR(store_.Write(block, data));
+  const DurationNs service = model_.Access(block, 1, /*is_write=*/true);
+  const TimeNs done = arm_.Serve(now, service);
+  // Write-behind: the process resumes once the page is queued, unless the
+  // arm has fallen more than writeback_lag behind. Later pageins still queue
+  // behind these writes on the arm Resource.
+  const TimeNs unblock = std::max(now, done - model_.params().writeback_lag);
+  ++stats_.pageouts;
+  ++stats_.disk_transfers;
+  stats_.disk_time += unblock - now;
+  stats_.paging_time += unblock - now;
+  return unblock;
+}
+
+Result<TimeNs> DiskBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
+  RMP_ASSIGN_OR_RETURN(const uint64_t block, BlockFor(page_id, /*allocate=*/false));
+  RMP_RETURN_IF_ERROR(store_.Read(block, out));
+  const DurationNs service = model_.Access(block, 1, /*is_write=*/false);
+  const TimeNs done = arm_.Serve(now, service);
+  ++stats_.pageins;
+  ++stats_.disk_transfers;
+  stats_.disk_time += done - now;
+  stats_.paging_time += done - now;
+  return done;
+}
+
+}  // namespace rmp

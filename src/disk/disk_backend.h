@@ -1,0 +1,56 @@
+// DISK configuration: the baseline the paper compares against. Pages go to a
+// local swap partition; the DiskModel charges RZ55 positioning and transfer
+// time and the DiskStore keeps the real bytes.
+//
+// Swap blocks are allocated in first-pageout order (bump allocation), which
+// reproduces the sequential layout an OSF/1 swap partition develops: pageout
+// bursts stream, pageins that return in a different order pay seeks.
+
+#ifndef SRC_DISK_DISK_BACKEND_H_
+#define SRC_DISK_DISK_BACKEND_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/paging_backend.h"
+#include "src/disk/disk_model.h"
+#include "src/disk/disk_store.h"
+#include "src/sim/resource.h"
+
+namespace rmp {
+
+class DiskBackend final : public PagingBackend {
+ public:
+  static Result<DiskBackend> Create(const DiskParams& params, uint64_t blocks);
+
+  DiskBackend(DiskBackend&&) = default;
+
+  Result<TimeNs> PageOut(TimeNs now, uint64_t page_id, std::span<const uint8_t> data) override;
+  Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) override;
+
+  const BackendStats& stats() const override { return stats_; }
+  std::string Name() const override { return "DISK"; }
+
+  const DiskModel& model() const { return model_; }
+  DiskModel& model() { return model_; }
+  DiskStore& store() { return store_; }
+
+  // The disk as a queued device: WRITE_THROUGH shares it with this backend.
+  Resource& arm() { return arm_; }
+
+ private:
+  DiskBackend(DiskModel model, DiskStore store)
+      : model_(std::move(model)), store_(std::move(store)), arm_("disk-arm") {}
+
+  Result<uint64_t> BlockFor(uint64_t page_id, bool allocate);
+
+  DiskModel model_;
+  DiskStore store_;
+  Resource arm_;
+  std::unordered_map<uint64_t, uint64_t> page_to_block_;
+  BackendStats stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_DISK_DISK_BACKEND_H_

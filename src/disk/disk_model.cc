@@ -1,0 +1,78 @@
+#include "src/disk/disk_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rmp {
+
+DiskModel::DiskModel(const DiskParams& params) : params_(params) {
+  assert(params_.bandwidth_mbps > 0.0);
+  assert(params_.rpm > 0.0);
+  assert(params_.max_seek >= params_.min_seek);
+  const double rotation_s = 60.0 / params_.rpm;
+  rotation_avg_ = static_cast<DurationNs>(rotation_s / 2.0 * kSecond);
+}
+
+DurationNs DiskModel::SeekTime(uint64_t distance) const {
+  if (distance == 0) {
+    return 0;
+  }
+  // Square-root seek curve: short seeks are dominated by arm acceleration.
+  const double frac =
+      std::sqrt(static_cast<double>(distance) / static_cast<double>(params_.total_blocks));
+  return params_.min_seek +
+         static_cast<DurationNs>(frac * static_cast<double>(params_.max_seek - params_.min_seek));
+}
+
+DurationNs DiskModel::PositioningCost(uint64_t block) const {
+  const uint64_t distance = block >= head_ ? block - head_ : head_ - block;
+  if (distance <= params_.contiguous_window) {
+    return 0;  // Track buffer / streaming continuation.
+  }
+  return SeekTime(distance) + rotation_avg_;
+}
+
+DurationNs DiskModel::TransferTime(uint64_t pages) const {
+  return WireTime(pages * kPageSize, params_.bandwidth_mbps);
+}
+
+DurationNs DiskModel::Access(uint64_t block, uint64_t pages, bool is_write) {
+  assert(pages > 0);
+  DurationNs positioning = PositioningCost(block);
+  if (positioning > 0) {
+    ++seeks_;
+  } else if (is_write) {
+    // No write cache: even an adjacent write waits for the platter to come
+    // back around (there is no data in a track buffer to merge with).
+    positioning = rotation_avg_;
+  }
+  const DurationNs service = params_.controller_overhead + positioning + TransferTime(pages);
+  head_ = block + pages;
+  ++requests_;
+  busy_time_ += service;
+  return service;
+}
+
+DurationNs DiskModel::AverageRandomPageTime() const {
+  // E[sqrt(U)] = 2/3 for the seek fraction over a uniform stroke.
+  const DurationNs avg_seek =
+      params_.min_seek +
+      static_cast<DurationNs>(2.0 / 3.0 *
+                              static_cast<double>(params_.max_seek - params_.min_seek));
+  return params_.controller_overhead + avg_seek + rotation_avg_ + TransferTime(1);
+}
+
+void DiskModel::ResetStats() {
+  requests_ = 0;
+  seeks_ = 0;
+  busy_time_ = 0;
+}
+
+std::string DiskModel::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "disk-%.0fMbps", params_.bandwidth_mbps);
+  return buf;
+}
+
+}  // namespace rmp

@@ -1,0 +1,89 @@
+#include "src/model/cluster_usage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace rmp {
+namespace {
+
+// The trace starts Thursday (the paper's plot runs Thursday..Wednesday).
+const char* kDayNames[7] = {"Thursday", "Friday",  "Saturday", "Sunday",
+                            "Monday",   "Tuesday", "Wednesday"};
+
+bool IsWeekend(int day_of_week) { return day_of_week == 2 || day_of_week == 3; }
+
+}  // namespace
+
+std::string DayName(int day_of_week) { return kDayNames[day_of_week % 7]; }
+
+double SessionProbability(int day_of_week, double hour_of_day) {
+  // Two gaussian bumps: late morning and mid afternoon (the paper notes
+  // usage "at each peak ... at noon and afternoon of working days").
+  const double morning = std::exp(-std::pow(hour_of_day - 11.5, 2.0) / (2.0 * 2.0 * 2.0));
+  const double afternoon = std::exp(-std::pow(hour_of_day - 15.5, 2.0) / (2.0 * 2.5 * 2.5));
+  double p = 0.85 * std::max(morning, afternoon);
+  if (IsWeekend(day_of_week)) {
+    p *= 0.15;  // A few people drop by at the weekend.
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+std::vector<UsageSample> SimulateClusterWeek(const ClusterUsageParams& params, int step_minutes) {
+  std::vector<UsageSample> samples;
+  Rng rng(params.seed);
+  const double total_mb = params.memory_mb_each * params.workstations;
+  // Per-workstation session state persists across samples so usage looks
+  // like sessions, not noise: a user arrives, works a while, leaves.
+  struct Station {
+    double session_mb = 0.0;  // 0 = idle.
+    double batch_mb = 0.0;
+    int session_ttl = 0;  // Samples remaining.
+    int batch_ttl = 0;
+  };
+  std::vector<Station> fleet(params.workstations);
+
+  const int steps_per_week = 7 * 24 * 60 / step_minutes;
+  const double steps_per_hour = 60.0 / step_minutes;
+  for (int s = 0; s < steps_per_week; ++s) {
+    const double hours = static_cast<double>(s) * step_minutes / 60.0;
+    const int day = static_cast<int>(hours / 24.0) % 7;
+    const double hour_of_day = std::fmod(hours, 24.0);
+    double used = 0.0;
+    for (auto& st : fleet) {
+      // Session arrivals: calibrated so the *steady-state* occupancy tracks
+      // SessionProbability. Sessions last ~2 hours.
+      const double target = SessionProbability(day, hour_of_day);
+      const double arrival_p = target / (2.0 * steps_per_hour);
+      if (st.session_ttl == 0 && rng.Bernoulli(arrival_p)) {
+        st.session_mb = params.session_min_mb +
+                        rng.NextDouble() * (params.session_max_mb - params.session_min_mb);
+        st.session_ttl = static_cast<int>((1.0 + 2.0 * rng.NextDouble()) * steps_per_hour);
+      }
+      // Batch jobs arrive at any hour and run ~4 hours.
+      if (st.batch_ttl == 0 && rng.Bernoulli(params.batch_probability / (4.0 * steps_per_hour))) {
+        st.batch_mb = params.batch_job_mb * (0.5 + rng.NextDouble());
+        st.batch_ttl = static_cast<int>((2.0 + 4.0 * rng.NextDouble()) * steps_per_hour);
+      }
+      if (st.session_ttl > 0 && --st.session_ttl == 0) {
+        st.session_mb = 0.0;
+      }
+      if (st.batch_ttl > 0 && --st.batch_ttl == 0) {
+        st.batch_mb = 0.0;
+      }
+      used += std::min(params.memory_mb_each,
+                       params.os_base_mb + st.session_mb + st.batch_mb);
+    }
+    UsageSample sample;
+    sample.hours_since_start = hours;
+    sample.day_of_week = day;
+    sample.hour_of_day = hour_of_day;
+    sample.used_mb = used;
+    sample.free_mb = total_mb - used;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace rmp

@@ -1,0 +1,52 @@
+// Fig. 1 substrate: a diurnal model of memory usage across a workstation
+// cluster, standing in for the week of profiling (Feb 2-8, 1995) the paper
+// ran over its 16 workstations / 800 MB lab.
+//
+// Shape targets from the figure: free memory peaks above 700 MB at night and
+// through the weekend, dips hardest around noon and mid-afternoon on working
+// days, and never falls below ~300 MB.
+
+#ifndef SRC_MODEL_CLUSTER_USAGE_H_
+#define SRC_MODEL_CLUSTER_USAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace rmp {
+
+struct ClusterUsageParams {
+  int workstations = 16;
+  double memory_mb_each = 50.0;
+  double os_base_mb = 10.0;          // Kernel + daemons, always resident.
+  double session_min_mb = 8.0;       // Interactive session (X, editor...).
+  double session_max_mb = 30.0;
+  double batch_job_mb = 14.0;        // VERILOG-style batch simulation.
+  double batch_probability = 0.08;   // Per-workstation, any hour.
+  uint64_t seed = 19950202;          // The paper's week.
+};
+
+struct UsageSample {
+  double hours_since_start = 0.0;  // The trace starts Thursday 00:00.
+  int day_of_week = 0;             // 0 = Thursday ... 6 = Wednesday.
+  double hour_of_day = 0.0;
+  double free_mb = 0.0;
+  double used_mb = 0.0;
+};
+
+// Returns samples at `step_minutes` over one week.
+std::vector<UsageSample> SimulateClusterWeek(const ClusterUsageParams& params, int step_minutes);
+
+// Day name for reporting ("Thursday"...).
+std::string DayName(int day_of_week);
+
+// Occupancy probability of an interactive session at the given local time —
+// the diurnal curve itself, exposed for tests (monotone into the midday
+// peak, near zero at 4am, suppressed on weekends).
+double SessionProbability(int day_of_week, double hour_of_day);
+
+}  // namespace rmp
+
+#endif  // SRC_MODEL_CLUSTER_USAGE_H_

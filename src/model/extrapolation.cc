@@ -1,0 +1,27 @@
+#include "src/model/extrapolation.h"
+
+#include <algorithm>
+
+namespace rmp {
+
+TimeDecomposition Decompose(const RunResult& run, double protocol_s_per_transfer) {
+  TimeDecomposition d;
+  d.utime_s = run.utime_s;
+  d.systime_s = run.systime_s;
+  d.inittime_s = run.inittime_s;
+  d.page_transfers = run.backend.page_transfers;
+  d.pptime_s = static_cast<double>(d.page_transfers) * protocol_s_per_transfer;
+  d.btime_s = std::max(
+      0.0, run.etime_s - d.utime_s - d.systime_s - d.inittime_s - d.pptime_s);
+  return d;
+}
+
+double ExpectedElapsedSeconds(const TimeDecomposition& d, double bandwidth_factor) {
+  return d.utime_s + d.systime_s + d.inittime_s + d.pptime_s + d.btime_s / bandwidth_factor;
+}
+
+double AllMemorySeconds(const TimeDecomposition& d) {
+  return d.utime_s + d.systime_s + d.inittime_s;
+}
+
+}  // namespace rmp

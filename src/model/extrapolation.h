@@ -1,0 +1,45 @@
+// The paper's §4.3 bandwidth-scaling extrapolation, verbatim:
+//
+//   btime = etime - utime - systime - inittime - transfers * pptime
+//   expected_etime(X) = utime + systime + inittime + transfers * pptime
+//                       + btime / X
+//
+// where pptime = 1.6 ms of protocol processing per page transfer (measured
+// for TCP/IP on the DEC Alpha) and X is the bandwidth multiple. The protocol
+// term is CPU-bound and does not shrink with a faster wire — which is why
+// ETHERNET*10 lands ~17% above ALL_MEMORY rather than converging to it.
+
+#ifndef SRC_MODEL_EXTRAPOLATION_H_
+#define SRC_MODEL_EXTRAPOLATION_H_
+
+#include <cstdint>
+
+#include "src/model/run_simulator.h"
+
+namespace rmp {
+
+inline constexpr double kPaperProtocolSecondsPerTransfer = 0.0016;
+
+struct TimeDecomposition {
+  double utime_s = 0.0;
+  double systime_s = 0.0;
+  double inittime_s = 0.0;
+  int64_t page_transfers = 0;
+  double pptime_s = 0.0;  // Total protocol time: transfers * per-transfer.
+  double btime_s = 0.0;   // Bandwidth-dependent blocking time.
+};
+
+// Splits a measured run into the five §4.3 components.
+TimeDecomposition Decompose(const RunResult& run,
+                            double protocol_s_per_transfer = kPaperProtocolSecondsPerTransfer);
+
+// Predicted completion time on a network with `bandwidth_factor` times the
+// measured bandwidth (1.0 reproduces the measurement).
+double ExpectedElapsedSeconds(const TimeDecomposition& d, double bandwidth_factor);
+
+// Lower bound: the machine had enough memory for the whole working set.
+double AllMemorySeconds(const TimeDecomposition& d);
+
+}  // namespace rmp
+
+#endif  // SRC_MODEL_EXTRAPOLATION_H_

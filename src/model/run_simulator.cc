@@ -1,0 +1,49 @@
+#include "src/model/run_simulator.h"
+
+#include <cstdio>
+
+namespace rmp {
+
+Result<RunResult> SimulateRun(const Workload& workload, PagingBackend* backend,
+                              const RunConfig& config) {
+  const WorkloadInfo meta = workload.info();
+  VmParams vm_params;
+  vm_params.virtual_pages = PagesForBytes(meta.data_bytes) + 16;  // Headroom for small arrays.
+  vm_params.physical_frames = config.physical_frames;
+  vm_params.replacement = config.replacement;
+  PagedVm vm(vm_params, backend);
+
+  TimeNs now = Seconds(meta.init_seconds);
+  RMP_RETURN_IF_ERROR(workload.Run(&vm, &now));
+  // Process exit: dirty resident pages are discarded with the address space,
+  // not written back, so the run ends here.
+
+  RunResult result;
+  result.workload = meta.name;
+  result.policy = backend->Name();
+  result.etime_s = ToSeconds(now);
+  result.utime_s = meta.user_seconds;
+  result.systime_s = meta.system_seconds;
+  result.inittime_s = meta.init_seconds;
+  result.ptime_s =
+      result.etime_s - result.utime_s - result.systime_s - result.inittime_s;
+  result.vm = vm.stats();
+  result.backend = backend->stats();
+  return result;
+}
+
+std::string FormatRunResult(const RunResult& result) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-8s %-16s etime=%8.2fs  (u=%.2f sys=%.2f init=%.2f ptime=%.2f)  "
+                "outs=%lld ins=%lld transfers=%lld",
+                result.workload.c_str(), result.policy.c_str(), result.etime_s, result.utime_s,
+                result.systime_s, result.inittime_s, result.ptime_s,
+                static_cast<long long>(result.vm.pageouts),
+                static_cast<long long>(result.vm.pageins),
+                static_cast<long long>(result.backend.page_transfers +
+                                       result.backend.disk_transfers));
+  return buf;
+}
+
+}  // namespace rmp

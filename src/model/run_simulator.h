@@ -1,0 +1,47 @@
+// Drives one application run: workload -> PagedVm -> PagingBackend on the
+// simulated clock, and produces the paper's measurement decomposition
+// (§4.3): etime = utime + systime + inittime + ptime.
+
+#ifndef SRC_MODEL_RUN_SIMULATOR_H_
+#define SRC_MODEL_RUN_SIMULATOR_H_
+
+#include <string>
+
+#include "src/core/paging_backend.h"
+#include "src/vm/paged_vm.h"
+#include "src/workloads/workload.h"
+
+namespace rmp {
+
+struct RunConfig {
+  // Physical frames available to the application. The paper's DEC Alpha
+  // 3000/300 had 32 MB; ~18 MB of it was usable by the application (the FFT
+  // of Fig. 3 starts paging just above an 18 MB input).
+  uint32_t physical_frames = 2304;
+  ReplacementKind replacement = ReplacementKind::kLru;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string policy;
+  double etime_s = 0.0;     // Completion (elapsed) time.
+  double utime_s = 0.0;     // User compute.
+  double systime_s = 0.0;   // System time.
+  double inittime_s = 0.0;  // Startup.
+  double ptime_s = 0.0;     // Page-transfer time: etime - u - sys - init.
+  VmStats vm;
+  BackendStats backend;
+};
+
+// Runs `workload` against `backend` with a fresh VM. The backend keeps its
+// state across calls (callers construct one per run unless they are
+// deliberately studying residual state).
+Result<RunResult> SimulateRun(const Workload& workload, PagingBackend* backend,
+                              const RunConfig& config);
+
+// Pretty row for bench output: "GAUSS  NO_RELIABILITY  40.62s (u=.. p=..)".
+std::string FormatRunResult(const RunResult& result);
+
+}  // namespace rmp
+
+#endif  // SRC_MODEL_RUN_SIMULATOR_H_

@@ -1,0 +1,39 @@
+// Decorator adding a fixed per-transfer latency to any NetworkModel — the
+// §4.5 busy-server experiment: a loaded server workstation schedules the
+// memory-server process a little later, which the client sees as extra
+// per-request latency (fractions of a millisecond for an interactive X/vi
+// session, around a scheduling quantum for a cpu-bound competitor).
+
+#ifndef SRC_NET_DELAYED_MODEL_H_
+#define SRC_NET_DELAYED_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/network_model.h"
+
+namespace rmp {
+
+class DelayedNetworkModel final : public NetworkModel {
+ public:
+  DelayedNetworkModel(std::shared_ptr<const NetworkModel> base, DurationNs per_transfer_delay)
+      : base_(std::move(base)), delay_(per_transfer_delay) {}
+
+  DurationNs TransferTime(uint64_t bytes) const override {
+    return base_->TransferTime(bytes) + delay_;
+  }
+  DurationNs ProtocolTime() const override { return base_->ProtocolTime(); }
+  double EffectiveBandwidthMbps() const override {
+    const DurationNs t = TransferTime(kPageSize);
+    return t > 0 ? static_cast<double>(kPageSize) * 8.0 / ToSeconds(t) / 1e6 : 0.0;
+  }
+  std::string Name() const override { return base_->Name() + "+delay"; }
+
+ private:
+  std::shared_ptr<const NetworkModel> base_;
+  DurationNs delay_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_NET_DELAYED_MODEL_H_

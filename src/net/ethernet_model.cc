@@ -1,0 +1,91 @@
+#include "src/net/ethernet_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rmp {
+
+EthernetModel::EthernetModel(const EthernetParams& params) : params_(params) {
+  assert(params_.bandwidth_mbps > 0.0);
+  assert(params_.mtu_payload_bytes > 0);
+  assert(params_.background_stations >= 0);
+}
+
+int EthernetModel::FramesForBytes(uint64_t bytes) const {
+  if (bytes == 0) {
+    return 1;  // A zero-payload request still occupies one frame.
+  }
+  return static_cast<int>((bytes + params_.mtu_payload_bytes - 1) / params_.mtu_payload_bytes);
+}
+
+DurationNs EthernetModel::RawTransferTime(uint64_t bytes) const {
+  DurationNs total = 0;
+  uint64_t remaining = bytes;
+  const int frames = FramesForBytes(bytes);
+  for (int i = 0; i < frames; ++i) {
+    const uint64_t payload =
+        remaining > params_.mtu_payload_bytes ? params_.mtu_payload_bytes : remaining;
+    remaining -= payload;
+    const uint64_t on_wire = payload + params_.frame_overhead_bytes;
+    total += WireTime(on_wire, params_.bandwidth_mbps);
+    total += params_.inter_frame_gap;
+    total += params_.per_frame_host_cost;
+  }
+  return total;
+}
+
+double EthernetModel::ContentionEfficiency(int stations) const {
+  assert(stations >= 1);
+  if (stations == 1) {
+    return 1.0;
+  }
+  // Slotted CSMA/CD with k saturated stations, each transmitting in a free
+  // slot with the optimal probability p = 1/k: the per-slot acquisition
+  // probability is A = (1 - 1/k)^(k-1), so (1-A)/A contention slots are
+  // wasted per successful frame.
+  const double k = static_cast<double>(stations);
+  const double a = std::pow(1.0 - 1.0 / k, k - 1.0);
+  const double wasted_slots = (1.0 - a) / a;
+  // Mean frame time on the wire (full MTU frames dominate a paging workload).
+  const double frame_time = static_cast<double>(
+      WireTime(params_.mtu_payload_bytes + params_.frame_overhead_bytes, params_.bandwidth_mbps) +
+      params_.inter_frame_gap);
+  const double slot = static_cast<double>(params_.slot_time);
+  return frame_time / (frame_time + wasted_slots * slot);
+}
+
+double EthernetModel::ClientShare() const {
+  const int stations = params_.background_stations + 1;
+  // The channel as a whole runs at ContentionEfficiency; saturated stations
+  // split the surviving capacity evenly.
+  return ContentionEfficiency(stations) / static_cast<double>(stations);
+}
+
+DurationNs EthernetModel::TransferTime(uint64_t bytes) const {
+  const DurationNs raw = RawTransferTime(bytes);
+  const double share = ClientShare();
+  assert(share > 0.0);
+  return static_cast<DurationNs>(static_cast<double>(raw) / share);
+}
+
+double EthernetModel::EffectiveBandwidthMbps() const {
+  const DurationNs t = TransferTime(kPageSize);
+  if (t <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(kPageSize) * 8.0 / ToSeconds(t) / 1e6;
+}
+
+std::string EthernetModel::Name() const {
+  char buf[64];
+  if (params_.background_stations == 0) {
+    std::snprintf(buf, sizeof(buf), "ethernet-%.0fMbps", params_.bandwidth_mbps);
+  } else {
+    std::snprintf(buf, sizeof(buf), "ethernet-%.0fMbps+%dbg", params_.bandwidth_mbps,
+                  params_.background_stations);
+  }
+  return buf;
+}
+
+}  // namespace rmp

@@ -1,0 +1,73 @@
+// Frame-level analytic model of a shared 10 Mbit/s CSMA/CD Ethernet.
+//
+// An 8 KB page does not travel as one unit: it is fragmented into MTU-sized
+// frames, each paying header/preamble bytes, an inter-frame gap, and a
+// per-frame driver/DMA cost. With the default parameters an 8 KB page costs
+// 9.64 ms of wire time — the figure measured in §4.4 of the paper.
+//
+// Contention with background stations uses the classic slotted CSMA/CD
+// analysis (Metcalfe-Boggs / Tanenbaum §3, which the paper cites): with k
+// saturated stations the probability that some station acquires the channel
+// in a contention slot is A = C(k,1) p (1-p)^(k-1) maximized at p = 1/k, and
+// the channel wastes (1-A)/A slots per successful frame. Efficiency therefore
+// degrades toward 1/e and per-station goodput collapses as k grows — the
+// "throughput collapse" the paper observes on a loaded Ethernet (§4.6).
+
+#ifndef SRC_NET_ETHERNET_MODEL_H_
+#define SRC_NET_ETHERNET_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/network_model.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+struct EthernetParams {
+  double bandwidth_mbps = 10.0;
+  uint32_t mtu_payload_bytes = 1460;      // TCP payload per frame.
+  uint32_t frame_overhead_bytes = 58;     // Eth header+FCS+preamble + IP/TCP headers.
+  DurationNs inter_frame_gap = Micros(9.6);
+  // Per-frame host-side cost (driver, DMA setup). Calibrated so that an
+  // 8 KB page costs 9.64 ms of wire time as measured in the paper (§4.4).
+  DurationNs per_frame_host_cost = Micros(458.4);
+  DurationNs slot_time = Micros(51.2);    // CSMA/CD contention slot.
+  // Per-transfer TCP/IP protocol processing (paper §4.3: 1.6 ms/page).
+  DurationNs protocol_time = Micros(1600);
+  // Number of other stations saturating the segment with traffic; 0 models
+  // the paper's "almost idle Ethernet".
+  int background_stations = 0;
+};
+
+class EthernetModel final : public NetworkModel {
+ public:
+  explicit EthernetModel(const EthernetParams& params = EthernetParams());
+
+  DurationNs TransferTime(uint64_t bytes) const override;
+  DurationNs ProtocolTime() const override { return params_.protocol_time; }
+  double EffectiveBandwidthMbps() const override;
+  std::string Name() const override;
+
+  // Channel efficiency with `stations` saturated senders (1.0 when alone).
+  // Exposed for the §4.6 bench and for validation against the packet sim.
+  double ContentionEfficiency(int stations) const;
+
+  // Fraction of channel capacity this client obtains when competing with the
+  // configured background stations (efficiency / (background + 1)).
+  double ClientShare() const;
+
+  const EthernetParams& params() const { return params_; }
+
+  int FramesForBytes(uint64_t bytes) const;
+
+ private:
+  // Uncontended wire time for `bytes`.
+  DurationNs RawTransferTime(uint64_t bytes) const;
+
+  EthernetParams params_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_NET_ETHERNET_MODEL_H_

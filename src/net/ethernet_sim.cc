@@ -1,0 +1,153 @@
+#include "src/net/ethernet_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rmp {
+namespace {
+
+struct Station {
+  int64_t queued_frames = 0;   // Backlog (ignored when saturated).
+  int attempts = 0;            // Collisions suffered by the head-of-line frame.
+  int64_t backoff_slots = 0;   // Idle slots to wait before retrying.
+  TimeNs next_arrival = 0;     // Poisson mode only.
+  StationStats stats;
+};
+
+}  // namespace
+
+EthernetSimResult EthernetSimulator::RunSaturated(int stations, DurationNs duration,
+                                                  uint64_t seed) const {
+  return Run(stations, 0.0, /*saturated=*/true, duration, seed);
+}
+
+EthernetSimResult EthernetSimulator::RunPoisson(int stations, double offered_load,
+                                                DurationNs duration, uint64_t seed) const {
+  assert(offered_load >= 0.0);
+  const double capacity_fps =
+      params_.bandwidth_mbps * 1e6 / (static_cast<double>(params_.frame_bytes) * 8.0);
+  const double per_station = offered_load * capacity_fps / static_cast<double>(stations);
+  return Run(stations, per_station, /*saturated=*/false, duration, seed);
+}
+
+EthernetSimResult EthernetSimulator::Run(int stations, double per_station_arrival_rate_fps,
+                                         bool saturated, DurationNs duration,
+                                         uint64_t seed) const {
+  assert(stations >= 1);
+  Rng rng(seed);
+  std::vector<Station> fleet(stations);
+
+  const DurationNs frame_time = WireTime(params_.frame_bytes, params_.bandwidth_mbps);
+  const double arrival_mean_ns =
+      per_station_arrival_rate_fps > 0.0 ? static_cast<double>(kSecond) / per_station_arrival_rate_fps
+                                         : 0.0;
+
+  if (!saturated) {
+    for (auto& st : fleet) {
+      st.next_arrival = static_cast<TimeNs>(rng.Exponential(arrival_mean_ns));
+    }
+  }
+
+  TimeNs now = 0;
+  DurationNs good_time = 0;
+  int64_t total_collisions = 0;
+
+  std::vector<int> ready;
+  ready.reserve(stations);
+
+  while (now < duration) {
+    if (!saturated) {
+      // Deliver Poisson arrivals up to `now`.
+      for (auto& st : fleet) {
+        while (st.next_arrival <= now) {
+          ++st.queued_frames;
+          st.next_arrival += static_cast<TimeNs>(rng.Exponential(arrival_mean_ns)) + 1;
+        }
+      }
+    }
+
+    ready.clear();
+    for (int i = 0; i < stations; ++i) {
+      Station& st = fleet[i];
+      const bool has_frame = saturated || st.queued_frames > 0;
+      if (has_frame && st.backoff_slots == 0) {
+        ready.push_back(i);
+      }
+    }
+
+    if (ready.empty()) {
+      // Idle slot: backoff counters tick down.
+      for (auto& st : fleet) {
+        const bool has_frame = saturated || st.queued_frames > 0;
+        if (has_frame && st.backoff_slots > 0) {
+          --st.backoff_slots;
+        }
+      }
+      now += params_.slot_time;
+      continue;
+    }
+
+    if (ready.size() == 1) {
+      // Successful acquisition: the frame occupies the channel. Deferring
+      // stations keep their backoff timers running (802.3 counts slots of
+      // elapsed time, not idle time), so several may reach zero and collide
+      // right after the channel frees.
+      Station& st = fleet[ready[0]];
+      ++st.stats.frames_delivered;
+      st.attempts = 0;
+      if (!saturated) {
+        --st.queued_frames;
+      }
+      const int64_t busy_slots = frame_time / params_.slot_time + 1;
+      for (auto& other : fleet) {
+        if (&other != &st && other.backoff_slots > 0) {
+          other.backoff_slots = std::max<int64_t>(0, other.backoff_slots - busy_slots);
+        }
+      }
+      now += frame_time;
+      good_time += frame_time;
+      continue;
+    }
+
+    // Collision: every ready station jams, then draws a fresh backoff.
+    for (int idx : ready) {
+      Station& st = fleet[idx];
+      ++st.stats.collisions;
+      ++total_collisions;
+      ++st.attempts;
+      if (st.attempts >= params_.max_attempts) {
+        ++st.stats.frames_dropped;
+        st.attempts = 0;
+        if (!saturated) {
+          --st.queued_frames;
+        }
+      }
+      const int exponent = std::min(st.attempts, params_.max_backoff_exponent);
+      st.backoff_slots = static_cast<int64_t>(rng.Below(1ULL << exponent));
+    }
+    now += params_.slot_time;  // The collision consumes one slot (jam).
+  }
+
+  EthernetSimResult result;
+  result.simulated_time = now;
+  result.total_collisions = total_collisions;
+  const double seconds = ToSeconds(now);
+  const double frame_bits = static_cast<double>(params_.frame_bytes) * 8.0;
+  for (auto& st : fleet) {
+    st.stats.goodput_mbps =
+        seconds > 0.0 ? static_cast<double>(st.stats.frames_delivered) * frame_bits / seconds / 1e6
+                      : 0.0;
+    result.total_frames_delivered += st.stats.frames_delivered;
+    result.stations.push_back(st.stats);
+  }
+  result.total_throughput_mbps =
+      seconds > 0.0
+          ? static_cast<double>(result.total_frames_delivered) * frame_bits / seconds / 1e6
+          : 0.0;
+  result.channel_efficiency =
+      now > 0 ? static_cast<double>(good_time) / static_cast<double>(now) : 0.0;
+  return result;
+}
+
+}  // namespace rmp

@@ -1,0 +1,27 @@
+#include "src/net/network_model.h"
+
+#include <cstdio>
+
+namespace rmp {
+
+double IdealLinkModel::EffectiveBandwidthMbps() const {
+  const DurationNs t = TransferTime(kPageSize);
+  if (t <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(kPageSize) * 8.0 / ToSeconds(t) / 1e6;
+}
+
+std::string IdealLinkModel::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ideal-%.0fMbps", bandwidth_mbps_);
+  return buf;
+}
+
+std::string ScaledBandwidthModel::Name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s*%.1f", base_->Name().c_str(), factor_);
+  return buf;
+}
+
+}  // namespace rmp

@@ -1,0 +1,85 @@
+// Timing models of the interconnection network, as seen by one paging client.
+//
+// The functional pager moves real bytes through a Transport; these models
+// answer only "how long does that take" for the simulated DEC-Alpha cluster.
+// Calibration targets come straight from the paper (§3.1, §4.4): an 8 KB page
+// costs 9.64 ms on the 10 Mbit/s Ethernet wire plus 1.6 ms of TCP/IP protocol
+// processing, 11.24 ms in total.
+
+#ifndef SRC_NET_NETWORK_MODEL_H_
+#define SRC_NET_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace rmp {
+
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  // Wire occupancy for a message of `bytes` payload: framing, inter-frame
+  // gaps, and contention included; protocol CPU time excluded.
+  virtual DurationNs TransferTime(uint64_t bytes) const = 0;
+
+  // Per-transfer protocol processing cost on the client CPU (TCP/IP stack).
+  virtual DurationNs ProtocolTime() const = 0;
+
+  // Effective payload bandwidth for page-sized transfers, in Mbit/s.
+  virtual double EffectiveBandwidthMbps() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// A contention-free link of fixed bandwidth with per-transfer setup latency.
+// Used for the ALL_MEMORY bound and as the base for bandwidth-scaling
+// extrapolation (ETHERNET*10 in Fig. 4).
+class IdealLinkModel final : public NetworkModel {
+ public:
+  IdealLinkModel(double bandwidth_mbps, DurationNs setup_latency, DurationNs protocol_time)
+      : bandwidth_mbps_(bandwidth_mbps),
+        setup_latency_(setup_latency),
+        protocol_time_(protocol_time) {}
+
+  DurationNs TransferTime(uint64_t bytes) const override {
+    return setup_latency_ + WireTime(bytes, bandwidth_mbps_);
+  }
+  DurationNs ProtocolTime() const override { return protocol_time_; }
+  double EffectiveBandwidthMbps() const override;
+  std::string Name() const override;
+
+ private:
+  double bandwidth_mbps_;
+  DurationNs setup_latency_;
+  DurationNs protocol_time_;
+};
+
+// Wraps another model, dividing wire time by `factor` (protocol time is CPU
+// bound and does not scale with the network). This is exactly the paper's
+// §4.3 extrapolation: "a network with X times higher bandwidth will decrease
+// btime by a factor of X".
+class ScaledBandwidthModel final : public NetworkModel {
+ public:
+  ScaledBandwidthModel(std::shared_ptr<const NetworkModel> base, double factor)
+      : base_(std::move(base)), factor_(factor) {}
+
+  DurationNs TransferTime(uint64_t bytes) const override {
+    return static_cast<DurationNs>(static_cast<double>(base_->TransferTime(bytes)) / factor_);
+  }
+  DurationNs ProtocolTime() const override { return base_->ProtocolTime(); }
+  double EffectiveBandwidthMbps() const override {
+    return base_->EffectiveBandwidthMbps() * factor_;
+  }
+  std::string Name() const override;
+
+ private:
+  std::shared_ptr<const NetworkModel> base_;
+  double factor_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_NET_NETWORK_MODEL_H_

@@ -1,0 +1,54 @@
+#include "src/net/token_ring_model.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace rmp {
+
+TokenRingModel::TokenRingModel(const TokenRingParams& params) : params_(params) {
+  assert(params_.bandwidth_mbps > 0.0);
+  assert(params_.background_stations >= 0);
+}
+
+double TokenRingModel::RingEfficiency(int stations) const {
+  assert(stations >= 1);
+  // Each token rotation services every active station once; the rotation
+  // wastes one token_walk_time regardless of how many frames it carries.
+  const double frame_time = static_cast<double>(
+      WireTime(params_.mtu_payload_bytes + params_.frame_overhead_bytes, params_.bandwidth_mbps));
+  const double useful = frame_time * static_cast<double>(stations);
+  return useful / (useful + static_cast<double>(params_.token_walk_time));
+}
+
+DurationNs TokenRingModel::TransferTime(uint64_t bytes) const {
+  DurationNs raw = 0;
+  uint64_t remaining = bytes == 0 ? 1 : bytes;
+  while (remaining > 0) {
+    const uint64_t payload =
+        remaining > params_.mtu_payload_bytes ? params_.mtu_payload_bytes : remaining;
+    remaining -= payload;
+    raw += WireTime(payload + params_.frame_overhead_bytes, params_.bandwidth_mbps);
+    raw += params_.per_frame_host_cost;
+  }
+  const int stations = params_.background_stations + 1;
+  // Fair round-robin sharing: with k active stations this client sees 1/k of
+  // the ring's (high, non-collapsing) efficiency.
+  const double share = RingEfficiency(stations) / static_cast<double>(stations);
+  return static_cast<DurationNs>(static_cast<double>(raw) / share);
+}
+
+double TokenRingModel::EffectiveBandwidthMbps() const {
+  const DurationNs t = TransferTime(kPageSize);
+  if (t <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(kPageSize) * 8.0 / ToSeconds(t) / 1e6;
+}
+
+std::string TokenRingModel::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "token-ring-%.0fMbps", params_.bandwidth_mbps);
+  return buf;
+}
+
+}  // namespace rmp

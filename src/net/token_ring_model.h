@@ -1,0 +1,52 @@
+// Token-ring timing model.
+//
+// §4.6 of the paper argues that the loaded-network throughput collapse is a
+// property of CSMA/CD, not of remote paging: "it is still beneficial to use
+// remote memory paging over networks that employ other technologies (e.g.
+// token ring)". A token ring degrades gracefully — each of k active stations
+// gets ~1/k of the capacity minus a small token-rotation overhead, with no
+// collision losses — so per-station goodput never collapses.
+
+#ifndef SRC_NET_TOKEN_RING_MODEL_H_
+#define SRC_NET_TOKEN_RING_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/network_model.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+struct TokenRingParams {
+  double bandwidth_mbps = 10.0;
+  uint32_t mtu_payload_bytes = 4096;      // Token ring allows larger frames.
+  uint32_t frame_overhead_bytes = 29;
+  DurationNs token_walk_time = Micros(30);  // Ring latency per rotation.
+  DurationNs per_frame_host_cost = Micros(200);
+  DurationNs protocol_time = Micros(1600);
+  int background_stations = 0;
+};
+
+class TokenRingModel final : public NetworkModel {
+ public:
+  explicit TokenRingModel(const TokenRingParams& params = TokenRingParams());
+
+  DurationNs TransferTime(uint64_t bytes) const override;
+  DurationNs ProtocolTime() const override { return params_.protocol_time; }
+  double EffectiveBandwidthMbps() const override;
+  std::string Name() const override;
+
+  // Efficiency of the ring with `stations` active stations. Near 1 and
+  // monotonically *increasing* with load (the token wastes less idle time).
+  double RingEfficiency(int stations) const;
+
+  const TokenRingParams& params() const { return params_; }
+
+ private:
+  TokenRingParams params_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_NET_TOKEN_RING_MODEL_H_

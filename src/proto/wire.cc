@@ -1,0 +1,309 @@
+#include "src/proto/wire.h"
+
+#include <cstring>
+
+#include "src/util/checksum.h"
+
+namespace rmp {
+namespace {
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
+         t <= static_cast<uint8_t>(MessageType::kAuthReply);
+}
+
+}  // namespace
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kAllocRequest:
+      return "ALLOC_REQUEST";
+    case MessageType::kAllocReply:
+      return "ALLOC_REPLY";
+    case MessageType::kFreeRequest:
+      return "FREE_REQUEST";
+    case MessageType::kFreeReply:
+      return "FREE_REPLY";
+    case MessageType::kPageOut:
+      return "PAGEOUT";
+    case MessageType::kPageOutAck:
+      return "PAGEOUT_ACK";
+    case MessageType::kPageIn:
+      return "PAGEIN";
+    case MessageType::kPageInReply:
+      return "PAGEIN_REPLY";
+    case MessageType::kLoadQuery:
+      return "LOAD_QUERY";
+    case MessageType::kLoadReport:
+      return "LOAD_REPORT";
+    case MessageType::kShutdown:
+      return "SHUTDOWN";
+    case MessageType::kErrorReply:
+      return "ERROR_REPLY";
+    case MessageType::kDeltaPageOut:
+      return "DELTA_PAGEOUT";
+    case MessageType::kXorMerge:
+      return "XOR_MERGE";
+    case MessageType::kXorMergeAck:
+      return "XOR_MERGE_ACK";
+    case MessageType::kAuth:
+      return "AUTH";
+    case MessageType::kAuthReply:
+      return "AUTH_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+bool Message::operator==(const Message& other) const {
+  return type == other.type && flags == other.flags && request_id == other.request_id &&
+         slot == other.slot && count == other.count && aux == other.aux &&
+         status == other.status && payload == other.payload;
+}
+
+void EncodeTo(const Message& message, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kWireHeaderSize + message.payload.size());
+  PutU32(out, kWireMagic);
+  out->push_back(static_cast<uint8_t>(message.type));
+  out->push_back(message.flags);
+  PutU16(out, 0);  // reserved
+  PutU64(out, message.request_id);
+  PutU64(out, message.slot);
+  PutU64(out, message.count);
+  PutU64(out, message.aux);
+  PutU32(out, message.status);
+  const uint32_t crc = message.payload.empty()
+                           ? 0
+                           : Crc32(std::span<const uint8_t>(message.payload));
+  PutU32(out, crc);
+  PutU32(out, static_cast<uint32_t>(message.payload.size()));
+  out->insert(out->end(), message.payload.begin(), message.payload.end());
+}
+
+std::vector<uint8_t> Encode(const Message& message) {
+  std::vector<uint8_t> out;
+  EncodeTo(message, &out);
+  return out;
+}
+
+Result<Message> Decode(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kWireHeaderSize) {
+    return ProtocolError("message shorter than header");
+  }
+  const uint8_t* p = bytes.data();
+  if (GetU32(p) != kWireMagic) {
+    return ProtocolError("bad magic");
+  }
+  const uint8_t raw_type = p[4];
+  if (!ValidType(raw_type)) {
+    return ProtocolError("unknown message type " + std::to_string(raw_type));
+  }
+  if (GetU16(p + 6) != 0) {
+    return ProtocolError("nonzero reserved field");
+  }
+  Message m;
+  m.type = static_cast<MessageType>(raw_type);
+  m.flags = p[5];
+  m.request_id = GetU64(p + 8);
+  m.slot = GetU64(p + 16);
+  m.count = GetU64(p + 24);
+  m.aux = GetU64(p + 32);
+  m.status = GetU32(p + 40);
+  const uint32_t crc = GetU32(p + 44);
+  // payload_len sits at offset 48... header is 52 bytes with the length
+  // field; keep kWireHeaderSize meaning "bytes before payload".
+  static_assert(kWireHeaderSize == 48, "layout audit");
+  if (bytes.size() < kWireHeaderSize + 4) {
+    return ProtocolError("message shorter than header");
+  }
+  const uint32_t payload_len = GetU32(p + 48);
+  if (bytes.size() != kWireHeaderSize + 4 + payload_len) {
+    return ProtocolError("payload length mismatch");
+  }
+  m.payload.assign(p + kWireHeaderSize + 4, p + kWireHeaderSize + 4 + payload_len);
+  const uint32_t actual_crc =
+      m.payload.empty() ? 0 : Crc32(std::span<const uint8_t>(m.payload));
+  if (actual_crc != crc) {
+    return CorruptionError("payload CRC mismatch");
+  }
+  return m;
+}
+
+void FrameReader::Feed(std::span<const uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<Message> FrameReader::Next() {
+  constexpr size_t kPrefix = kWireHeaderSize + 4;  // header + payload_len.
+  if (buffer_.size() < kPrefix) {
+    return NotFoundError("incomplete header");
+  }
+  if (GetU32(buffer_.data()) != kWireMagic) {
+    return ProtocolError("stream desynchronized: bad magic");
+  }
+  const uint32_t payload_len = GetU32(buffer_.data() + kWireHeaderSize);
+  const size_t total = kPrefix + payload_len;
+  if (buffer_.size() < total) {
+    return NotFoundError("incomplete payload");
+  }
+  auto result = Decode(std::span<const uint8_t>(buffer_.data(), total));
+  // Consume the frame even on decode failure so a corrupt message cannot
+  // wedge the stream forever; the caller drops the connection on error.
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(total));
+  return result;
+}
+
+Message MakeAllocRequest(uint64_t request_id, uint64_t pages) {
+  Message m;
+  m.type = MessageType::kAllocRequest;
+  m.request_id = request_id;
+  m.count = pages;
+  return m;
+}
+
+Message MakeAllocReply(uint64_t request_id, uint64_t granted, ErrorCode status) {
+  Message m;
+  m.type = MessageType::kAllocReply;
+  m.request_id = request_id;
+  m.count = granted;
+  m.status = static_cast<uint32_t>(status);
+  return m;
+}
+
+Message MakePageOut(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data) {
+  Message m;
+  m.type = MessageType::kPageOut;
+  m.request_id = request_id;
+  m.slot = slot;
+  m.payload.assign(data.begin(), data.end());
+  return m;
+}
+
+Message MakePageOutAck(uint64_t request_id, uint64_t slot, ErrorCode status, bool advise_stop) {
+  Message m;
+  m.type = MessageType::kPageOutAck;
+  m.request_id = request_id;
+  m.slot = slot;
+  m.status = static_cast<uint32_t>(status);
+  if (advise_stop) {
+    m.flags |= kFlagAdviseStop;
+  }
+  return m;
+}
+
+Message MakePageIn(uint64_t request_id, uint64_t slot) {
+  Message m;
+  m.type = MessageType::kPageIn;
+  m.request_id = request_id;
+  m.slot = slot;
+  return m;
+}
+
+Message MakePageInReply(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data,
+                        ErrorCode status) {
+  Message m;
+  m.type = MessageType::kPageInReply;
+  m.request_id = request_id;
+  m.slot = slot;
+  m.status = static_cast<uint32_t>(status);
+  m.payload.assign(data.begin(), data.end());
+  return m;
+}
+
+Message MakeFreeRequest(uint64_t request_id, uint64_t first_slot, uint64_t pages) {
+  Message m;
+  m.type = MessageType::kFreeRequest;
+  m.request_id = request_id;
+  m.slot = first_slot;
+  m.count = pages;
+  return m;
+}
+
+Message MakeLoadQuery(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kLoadQuery;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeLoadReport(uint64_t request_id, uint64_t free_pages, uint64_t total_pages,
+                       bool advise_stop) {
+  Message m;
+  m.type = MessageType::kLoadReport;
+  m.request_id = request_id;
+  m.count = free_pages;
+  m.aux = total_pages;
+  if (advise_stop) {
+    m.flags |= kFlagAdviseStop;
+  }
+  return m;
+}
+
+Message MakeShutdown(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kShutdown;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeErrorReply(uint64_t request_id, ErrorCode status) {
+  Message m;
+  m.type = MessageType::kErrorReply;
+  m.request_id = request_id;
+  m.status = static_cast<uint32_t>(status);
+  return m;
+}
+
+Message MakeAuth(uint64_t request_id, std::string_view token) {
+  Message m;
+  m.type = MessageType::kAuth;
+  m.request_id = request_id;
+  m.payload.assign(token.begin(), token.end());
+  return m;
+}
+
+Message MakeAuthReply(uint64_t request_id, ErrorCode status) {
+  Message m;
+  m.type = MessageType::kAuthReply;
+  m.request_id = request_id;
+  m.status = static_cast<uint32_t>(status);
+  return m;
+}
+
+}  // namespace rmp

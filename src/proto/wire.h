@@ -1,0 +1,136 @@
+// Wire protocol between the Remote Memory Pager client and memory servers.
+//
+// The paper's pager speaks a small request/reply protocol over TCP sockets
+// (§3.1-3.2): swap-space allocation and release, pageout, pagein, and
+// periodic memory-load reports that let the client notice an overloaded
+// server and migrate pages away. This module defines those messages and a
+// compact little-endian binary encoding with CRC-guarded payloads.
+//
+// Layout (all integers little-endian):
+//   magic      u32   'RMP1'
+//   type       u8
+//   flags      u8    (bit 0: ADVISE_STOP piggyback)
+//   reserved   u16
+//   request_id u64   client-chosen; echoed in the reply
+//   slot       u64   server swap slot (pageout/pagein)
+//   count      u64   page count (alloc/free) or free-pages (load report)
+//   aux        u64   total pages (load report) / error detail
+//   status     u32   rmp::ErrorCode of a reply
+//   payload_crc u32  CRC32 of payload (0 when empty)
+//   payload_len u32
+//   payload    payload_len bytes
+
+#ifndef SRC_PROTO_WIRE_H_
+#define SRC_PROTO_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rmp {
+
+enum class MessageType : uint8_t {
+  kAllocRequest = 1,   // count = pages wanted.
+  kAllocReply = 2,     // count = pages granted (0 + status=NO_SPACE on denial).
+  kFreeRequest = 3,    // slot = first slot, count = pages.
+  kFreeReply = 4,
+  kPageOut = 5,        // slot + payload.
+  kPageOutAck = 6,     // slot echoed; flags may carry ADVISE_STOP.
+  kPageIn = 7,         // slot.
+  kPageInReply = 8,    // slot + payload (or status != OK).
+  kLoadQuery = 9,
+  kLoadReport = 10,    // count = free pages, aux = total pages.
+  kShutdown = 11,
+  kErrorReply = 12,    // Catch-all failure reply; status holds the code.
+  // Storage primitives used by the basic (in-place) parity scheme, where the
+  // paper has the data server compute old^new and the parity server fold a
+  // delta into the stored parity (§2.2 "Parity").
+  kDeltaPageOut = 13,  // Store payload at slot; reply carries old XOR new.
+  kXorMerge = 14,      // stored[slot] ^= payload (slot auto-created as zero).
+  kXorMergeAck = 15,
+  // Connection authentication: the paper restricts access to the superuser
+  // via privileged ports (§3.1); the modern equivalent is a shared secret
+  // presented as the first message of a session. Payload = token bytes.
+  kAuth = 16,
+  kAuthReply = 17,
+};
+
+std::string_view MessageTypeName(MessageType type);
+
+// Flag bits.
+inline constexpr uint8_t kFlagAdviseStop = 0x1;  // "send no more pages here" (§2.1).
+
+struct Message {
+  MessageType type = MessageType::kErrorReply;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  uint64_t slot = 0;
+  uint64_t count = 0;
+  uint64_t aux = 0;
+  uint32_t status = 0;  // static_cast<uint32_t>(ErrorCode).
+  std::vector<uint8_t> payload;
+
+  bool advise_stop() const { return (flags & kFlagAdviseStop) != 0; }
+  ErrorCode status_code() const { return static_cast<ErrorCode>(status); }
+
+  bool operator==(const Message& other) const;
+};
+
+// Size of the fixed header in bytes.
+inline constexpr size_t kWireHeaderSize = 48;
+inline constexpr uint32_t kWireMagic = 0x31504d52;  // "RMP1".
+
+// Serializes `message`, computing the payload CRC.
+std::vector<uint8_t> Encode(const Message& message);
+
+// Appends the encoding to `out` (avoids an allocation per message on the
+// socket send path).
+void EncodeTo(const Message& message, std::vector<uint8_t>* out);
+
+// Decodes one complete message from `bytes` (which must contain exactly one
+// message). Verifies magic and payload CRC.
+Result<Message> Decode(std::span<const uint8_t> bytes);
+
+// Incremental decoder for a TCP byte stream: feed arbitrary chunks, pop
+// complete messages as they form.
+class FrameReader {
+ public:
+  // Appends raw bytes from the socket.
+  void Feed(std::span<const uint8_t> bytes);
+
+  // Extracts the next complete message, if any. Returns:
+  //   Result with a message  — one message consumed from the buffer,
+  //   NotFoundError          — need more bytes,
+  //   ProtocolError/Corruption — stream is broken (caller should drop it).
+  Result<Message> Next();
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Convenience constructors for the common messages.
+Message MakeAllocRequest(uint64_t request_id, uint64_t pages);
+Message MakeAllocReply(uint64_t request_id, uint64_t granted, ErrorCode status);
+Message MakePageOut(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data);
+Message MakePageOutAck(uint64_t request_id, uint64_t slot, ErrorCode status, bool advise_stop);
+Message MakePageIn(uint64_t request_id, uint64_t slot);
+Message MakePageInReply(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data,
+                        ErrorCode status);
+Message MakeFreeRequest(uint64_t request_id, uint64_t first_slot, uint64_t pages);
+Message MakeLoadQuery(uint64_t request_id);
+Message MakeLoadReport(uint64_t request_id, uint64_t free_pages, uint64_t total_pages,
+                       bool advise_stop);
+Message MakeShutdown(uint64_t request_id);
+Message MakeErrorReply(uint64_t request_id, ErrorCode status);
+Message MakeAuth(uint64_t request_id, std::string_view token);
+Message MakeAuthReply(uint64_t request_id, ErrorCode status);
+
+}  // namespace rmp
+
+#endif  // SRC_PROTO_WIRE_H_

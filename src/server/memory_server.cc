@@ -1,0 +1,276 @@
+#include "src/server/memory_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {}
+
+uint64_t MemoryServer::EffectiveCapacityLocked() const {
+  const double available = static_cast<double>(params_.capacity_pages) * (1.0 - native_load_);
+  return available <= 0.0 ? 0 : static_cast<uint64_t>(available);
+}
+
+uint64_t MemoryServer::FreePagesLocked() const {
+  const uint64_t capacity = EffectiveCapacityLocked();
+  return capacity > reserved_slots_ ? capacity - reserved_slots_ : 0;
+}
+
+bool MemoryServer::AdviseStopLocked() const {
+  const uint64_t capacity = EffectiveCapacityLocked();
+  if (capacity == 0) {
+    return true;
+  }
+  return static_cast<double>(reserved_slots_) >=
+         params_.advise_stop_fraction * static_cast<double>(capacity);
+}
+
+Result<uint64_t> MemoryServer::Allocate(uint64_t pages) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  if (pages == 0) {
+    return InvalidArgumentError("cannot allocate zero pages");
+  }
+  if (FreePagesLocked() < pages) {
+    ++stats_.denials;
+    return NoSpaceError(params_.name + " denies allocation of " + std::to_string(pages) +
+                        " pages (free " + std::to_string(FreePagesLocked()) + ")");
+  }
+  ++stats_.allocations;
+  reserved_slots_ += pages;
+  // Reuse freed slot runs first so long-lived servers do not leak slot space.
+  for (auto it = free_runs_.begin(); it != free_runs_.end(); ++it) {
+    if (it->second >= pages) {
+      const uint64_t start = it->first;
+      it->first += pages;
+      it->second -= pages;
+      if (it->second == 0) {
+        free_runs_.erase(it);
+      }
+      return start;
+    }
+  }
+  const uint64_t start = next_slot_;
+  next_slot_ += pages;
+  return start;
+}
+
+Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  if (pages == 0 || first_slot + pages > next_slot_) {
+    return InvalidArgumentError("bad free range");
+  }
+  for (uint64_t s = first_slot; s < first_slot + pages; ++s) {
+    pages_.erase(s);
+  }
+  reserved_slots_ -= std::min(reserved_slots_, pages);
+  free_runs_.emplace_back(first_slot, pages);
+  std::sort(free_runs_.begin(), free_runs_.end());
+  return OkStatus();
+}
+
+Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  if (slot >= next_slot_) {
+    return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
+  }
+  if (page.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  pages_[slot].Assign(page);
+  ++stats_.pageouts_served;
+  stats_.bytes_stored += page.size();
+  return OkStatus();
+}
+
+Result<PageBuffer> MemoryServer::Load(uint64_t slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  auto it = pages_.find(slot);
+  if (it == pages_.end()) {
+    return NotFoundError("slot " + std::to_string(slot) + " holds no page");
+  }
+  ++stats_.pageins_served;
+  stats_.bytes_returned += kPageSize;
+  return it->second;
+}
+
+Result<PageBuffer> MemoryServer::DeltaStore(uint64_t slot, std::span<const uint8_t> page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  if (slot >= next_slot_) {
+    return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
+  }
+  if (page.size() != kPageSize) {
+    return InvalidArgumentError("page must be exactly kPageSize bytes");
+  }
+  PageBuffer& stored = pages_[slot];  // Absent slot zero-initializes.
+  PageBuffer delta(stored.span());
+  delta.XorWith(page);
+  stored.Assign(page);
+  ++stats_.pageouts_served;
+  stats_.bytes_stored += page.size();
+  return delta;
+}
+
+Status MemoryServer::XorMerge(uint64_t slot, std::span<const uint8_t> delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  if (slot >= next_slot_) {
+    return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
+  }
+  if (delta.size() != kPageSize) {
+    return InvalidArgumentError("delta must be exactly kPageSize bytes");
+  }
+  pages_[slot].XorWith(delta);
+  ++stats_.pageouts_served;
+  stats_.bytes_stored += delta.size();
+  return OkStatus();
+}
+
+bool MemoryServer::Holds(uint64_t slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !crashed_ && pages_.count(slot) > 0;
+}
+
+std::vector<uint64_t> MemoryServer::LiveSlots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> slots;
+  slots.reserve(pages_.size());
+  for (const auto& [slot, page] : pages_) {
+    slots.push_back(slot);
+  }
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+void MemoryServer::Crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = true;
+  pages_.clear();
+  free_runs_.clear();
+  reserved_slots_ = 0;
+  next_slot_ = 0;
+  RMP_LOG(kInfo) << params_.name << " crashed, all pages lost";
+}
+
+bool MemoryServer::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void MemoryServer::Restart() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  crashed_ = false;
+}
+
+void MemoryServer::SetNativeLoad(double fraction) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  native_load_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+uint64_t MemoryServer::capacity_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EffectiveCapacityLocked();
+}
+
+uint64_t MemoryServer::free_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FreePagesLocked();
+}
+
+uint64_t MemoryServer::live_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pages_.size();
+}
+
+bool MemoryServer::ShouldAdviseStop() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AdviseStopLocked();
+}
+
+Message MemoryServer::Handle(const Message& request) {
+  switch (request.type) {
+    case MessageType::kAllocRequest: {
+      auto slot = Allocate(request.count);
+      if (!slot.ok()) {
+        Message reply = MakeAllocReply(request.request_id, 0, slot.status().code());
+        return reply;
+      }
+      Message reply = MakeAllocReply(request.request_id, request.count, ErrorCode::kOk);
+      reply.slot = *slot;
+      return reply;
+    }
+    case MessageType::kFreeRequest: {
+      const Status status = Free(request.slot, request.count);
+      Message reply;
+      reply.type = MessageType::kFreeReply;
+      reply.request_id = request.request_id;
+      reply.slot = request.slot;
+      reply.status = static_cast<uint32_t>(status.code());
+      return reply;
+    }
+    case MessageType::kPageOut: {
+      const Status status = Store(request.slot, std::span<const uint8_t>(request.payload));
+      return MakePageOutAck(request.request_id, request.slot, status.code(),
+                            status.ok() && ShouldAdviseStop());
+    }
+    case MessageType::kPageIn: {
+      auto page = Load(request.slot);
+      if (!page.ok()) {
+        return MakePageInReply(request.request_id, request.slot, {}, page.status().code());
+      }
+      return MakePageInReply(request.request_id, request.slot, page->span(), ErrorCode::kOk);
+    }
+    case MessageType::kLoadQuery: {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return MakeLoadReport(request.request_id, FreePagesLocked(), EffectiveCapacityLocked(),
+                            AdviseStopLocked());
+    }
+    case MessageType::kDeltaPageOut: {
+      auto delta = DeltaStore(request.slot, std::span<const uint8_t>(request.payload));
+      if (!delta.ok()) {
+        return MakePageInReply(request.request_id, request.slot, {}, delta.status().code());
+      }
+      // The delta travels back in a PAGEIN_REPLY-shaped message.
+      return MakePageInReply(request.request_id, request.slot, delta->span(), ErrorCode::kOk);
+    }
+    case MessageType::kXorMerge: {
+      const Status status = XorMerge(request.slot, std::span<const uint8_t>(request.payload));
+      Message reply;
+      reply.type = MessageType::kXorMergeAck;
+      reply.request_id = request.request_id;
+      reply.slot = request.slot;
+      reply.status = static_cast<uint32_t>(status.code());
+      return reply;
+    }
+    case MessageType::kShutdown: {
+      Message reply;
+      reply.type = MessageType::kFreeReply;
+      reply.request_id = request.request_id;
+      return reply;
+    }
+    default:
+      return MakeErrorReply(request.request_id, ErrorCode::kProtocol);
+  }
+}
+
+}  // namespace rmp

@@ -1,0 +1,113 @@
+// The user-level remote memory server (paper §3.2).
+//
+// "The server is a user level program listening to a socket... When the
+// client requests a pagein, the server transfers the requested page(s)...
+// When the client requests a pageout, the server reads the incoming pages
+// and stores them in its main memory. The server is also responsible for
+// swap space allocation and for providing periodically information to the
+// client concerning the memory load of its host."
+//
+// A parity server is *the same program*: "it just performs pageins and
+// pageouts... without knowing whether it stores memory pages or parity
+// pages" — so there is deliberately no parity-specific code here.
+//
+// Fault and load injection used by the experiments:
+//   Crash()          — drops every stored page (workstation crash, §2.2).
+//   SetNativeLoad()  — native processes claim memory; the server shrinks its
+//                      donated pool and starts advising the client to stop
+//                      sending pages (§2.1).
+
+#ifndef SRC_SERVER_MEMORY_SERVER_H_
+#define SRC_SERVER_MEMORY_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/transport/transport.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace rmp {
+
+struct MemoryServerParams {
+  std::string name = "server";
+  uint64_t capacity_pages = 4096;  // Donated main memory (32 MB by default).
+  // When the live page count exceeds this fraction of the (current)
+  // capacity, acks start carrying ADVISE_STOP.
+  double advise_stop_fraction = 0.95;
+};
+
+struct MemoryServerStats {
+  int64_t pageouts_served = 0;
+  int64_t pageins_served = 0;
+  int64_t allocations = 0;
+  int64_t denials = 0;
+  uint64_t bytes_stored = 0;
+  uint64_t bytes_returned = 0;
+};
+
+class MemoryServer : public MessageHandler {
+ public:
+  explicit MemoryServer(const MemoryServerParams& params = MemoryServerParams());
+
+  // MessageHandler: dispatches the wire protocol. Thread-safe.
+  Message Handle(const Message& request) override;
+
+  // Direct API (same semantics as the wire protocol; used by tests and by
+  // the recovery manager, which reads surviving servers' pages).
+  Result<uint64_t> Allocate(uint64_t pages);  // First slot of a fresh run.
+  Status Free(uint64_t first_slot, uint64_t pages);
+  Status Store(uint64_t slot, std::span<const uint8_t> page);
+  Result<PageBuffer> Load(uint64_t slot) const;
+
+  // Basic-parity primitives (§2.2 "Parity"): the data server computes
+  // old XOR new while storing, the parity server folds a delta into the
+  // stored page. An absent slot reads as all-zeroes for both.
+  Result<PageBuffer> DeltaStore(uint64_t slot, std::span<const uint8_t> page);
+  Status XorMerge(uint64_t slot, std::span<const uint8_t> delta);
+
+  bool Holds(uint64_t slot) const;
+
+  // All live slots, sorted (recovery enumerates a crashed server's peers).
+  std::vector<uint64_t> LiveSlots() const;
+
+  // Fault / load injection.
+  void Crash();
+  bool crashed() const;
+  void Restart();  // Clears the crashed flag; storage stays empty.
+  // `fraction` of the donated memory reclaimed by native processes on the
+  // server workstation. Raising it can push the server into ADVISE_STOP.
+  void SetNativeLoad(double fraction);
+
+  uint64_t capacity_pages() const;
+  uint64_t free_pages() const;
+  uint64_t live_pages() const;
+  bool ShouldAdviseStop() const;
+
+  const MemoryServerStats& stats() const { return stats_; }
+  const std::string& name() const { return params_.name; }
+
+ private:
+  uint64_t EffectiveCapacityLocked() const;
+  uint64_t FreePagesLocked() const;
+  bool AdviseStopLocked() const;
+
+  MemoryServerParams params_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, PageBuffer> pages_;
+  uint64_t reserved_slots_ = 0;  // Allocated (granted) but possibly unwritten.
+  uint64_t next_slot_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> free_runs_;
+  double native_load_ = 0.0;
+  bool crashed_ = false;
+  // Mutable: serving a pagein is logically const on the page store but must
+  // still count toward the served-request statistics.
+  mutable MemoryServerStats stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_SERVER_MEMORY_SERVER_H_

@@ -1,0 +1,41 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rmp {
+
+void EventQueue::ScheduleAt(TimeNs when, Callback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // at simulation granularity).
+  Event event = heap_.top();
+  heap_.pop();
+  now_ = event.when;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntilEmpty() {
+  while (Step()) {
+  }
+}
+
+void EventQueue::RunUntil(TimeNs deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace rmp

@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// The packet-level Ethernet model (§4.6 reproduction) and the cluster-usage
+// model (Fig. 1) run on this queue. Events at equal timestamps fire in
+// scheduling order (a monotonic sequence number breaks ties), so runs are
+// fully deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace rmp {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  TimeNs now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+  // Schedules `fn` at absolute time `when`; `when` must not be in the past.
+  void ScheduleAt(TimeNs when, Callback fn);
+
+  // Schedules `fn` after `delay` from now.
+  void ScheduleAfter(DurationNs delay, Callback fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Pops and runs the earliest event, advancing the clock to its timestamp.
+  // Returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains.
+  void RunUntilEmpty();
+
+  // Runs events with timestamp <= `deadline`, then advances the clock to
+  // `deadline` even if idle.
+  void RunUntil(TimeNs deadline);
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

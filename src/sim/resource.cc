@@ -1,0 +1,25 @@
+#include "src/sim/resource.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmp {
+
+TimeNs Resource::Serve(TimeNs start, DurationNs service) {
+  assert(service >= 0);
+  const TimeNs begin = std::max(start, busy_until_);
+  queue_delay_.Add(ToMillis(begin - start));
+  busy_until_ = begin + service;
+  busy_time_ += service;
+  ++requests_;
+  return busy_until_;
+}
+
+void Resource::Reset() {
+  busy_until_ = 0;
+  busy_time_ = 0;
+  requests_ = 0;
+  queue_delay_.Reset();
+}
+
+}  // namespace rmp

@@ -1,0 +1,287 @@
+#include "src/transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+namespace {
+
+Status ErrnoError(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    Reset(other.Release());
+  }
+  return *this;
+}
+
+int UniqueFd::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+Status SendAll(int fd, std::span<const uint8_t> bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host,
+                                                            uint16_t port,
+                                                            const std::string& auth_token) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return ErrnoError("socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad host address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoError("connect");
+  }
+  // Page-sized RPCs benefit from immediate sends.
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(std::move(fd)));
+  if (!auth_token.empty()) {
+    auto reply = transport->Call(MakeAuth(1, auth_token));
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    if (reply->type != MessageType::kAuthReply || reply->status_code() != ErrorCode::kOk) {
+      return FailedPreconditionError("server rejected authentication");
+    }
+  }
+  return transport;
+}
+
+void TcpTransport::Close() { fd_.Reset(); }
+
+Result<Message> TcpTransport::ReadReply() {
+  uint8_t chunk[16 * 1024];
+  for (;;) {
+    auto next = reader_.Next();
+    if (next.ok()) {
+      return next;
+    }
+    if (next.status().code() != ErrorCode::kNotFound) {
+      return next.status();  // Protocol/corruption: connection is unusable.
+    }
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return UnavailableError("peer closed connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("recv");
+    }
+    reader_.Feed(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+  }
+}
+
+Result<Message> TcpTransport::Call(const Message& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fd_.valid()) {
+    return UnavailableError("transport closed");
+  }
+  const std::vector<uint8_t> encoded = Encode(request);
+  Status sent = SendAll(fd_.get(), std::span<const uint8_t>(encoded));
+  if (!sent.ok()) {
+    Close();
+    return UnavailableError("send failed: " + sent.message());
+  }
+  auto reply = ReadReply();
+  if (!reply.ok() && reply.status().code() == ErrorCode::kUnavailable) {
+    Close();
+  }
+  return reply;
+}
+
+Status TcpTransport::SendOneWay(const Message& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fd_.valid()) {
+    return UnavailableError("transport closed");
+  }
+  const std::vector<uint8_t> encoded = Encode(request);
+  return SendAll(fd_.get(), std::span<const uint8_t>(encoded));
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactory factory,
+                                                    std::string required_token) {
+  UniqueFd listen_fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listen_fd.valid()) {
+    return ErrnoError("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoError("bind");
+  }
+  if (::listen(listen_fd.get(), 16) != 0) {
+    return ErrnoError("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoError("getsockname");
+  }
+  const uint16_t bound_port = ntohs(addr.sin_port);
+  return std::unique_ptr<TcpServer>(new TcpServer(std::move(listen_fd), bound_port,
+                                                  std::move(factory), std::move(required_token)));
+}
+
+TcpServer::TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
+                     std::string required_token)
+    : listen_fd_(std::move(listen_fd)),
+      port_(port),
+      factory_(std::move(factory)),
+      required_token_(std::move(required_token)) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+void TcpServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  // Closing the listen socket unblocks accept().
+  ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  listen_fd_.Reset();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+    // Wake session threads blocked in recv(); they observe EOF and exit.
+    for (const int fd : session_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (auto& t : sessions) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // Listen socket closed by Shutdown().
+    }
+    ++connections_served_;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session_fds_.push_back(fd);
+    sessions_.emplace_back([this, session_fd = UniqueFd(fd)]() mutable {
+      Session(std::move(session_fd));
+    });
+  }
+}
+
+void TcpServer::Session(UniqueFd fd) {
+  SessionLoop(fd);
+  // Deregister while the fd is still open so Shutdown() can never hit a
+  // recycled descriptor; the socket closes when `fd` goes out of scope.
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  session_fds_.erase(std::remove(session_fds_.begin(), session_fds_.end(), fd.get()),
+                     session_fds_.end());
+}
+
+void TcpServer::SessionLoop(UniqueFd& fd) {
+  std::unique_ptr<MessageHandler> handler = factory_();
+  FrameReader reader;
+  uint8_t chunk[16 * 1024];
+  bool authenticated = required_token_.empty();
+  for (;;) {
+    auto next = reader.Next();
+    if (next.ok()) {
+      if (next->type == MessageType::kShutdown) {
+        return;
+      }
+      if (next->type == MessageType::kAuth) {
+        const std::string presented(next->payload.begin(), next->payload.end());
+        const bool good = required_token_.empty() || presented == required_token_;
+        authenticated = authenticated || good;
+        const Message reply =
+            MakeAuthReply(next->request_id, good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition);
+        if (!SendAll(fd.get(), std::span<const uint8_t>(Encode(reply))).ok() || !good) {
+          return;  // Bad token: reply then drop the connection.
+        }
+        continue;
+      }
+      if (!authenticated) {
+        // Nothing but AUTH is served before the handshake.
+        const Message reply = MakeErrorReply(next->request_id, ErrorCode::kFailedPrecondition);
+        if (!SendAll(fd.get(), std::span<const uint8_t>(Encode(reply))).ok()) {
+          return;
+        }
+        continue;
+      }
+      const Message reply = handler->Handle(*next);
+      const std::vector<uint8_t> encoded = Encode(reply);
+      if (!SendAll(fd.get(), std::span<const uint8_t>(encoded)).ok()) {
+        return;
+      }
+      continue;
+    }
+    if (next.status().code() != ErrorCode::kNotFound) {
+      RMP_LOG(kWarning) << "dropping connection: " << next.status().ToString();
+      return;
+    }
+    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return;  // Peer closed or error.
+    }
+    reader.Feed(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace rmp

@@ -1,0 +1,124 @@
+// Real TCP transport: the paper's deployment shape, usable across processes.
+//
+// TcpServer accepts connections on a loopback or LAN port and — like the
+// paper's user-level memory server, which forks "a new instance of the
+// server" per client (§3.2) — serves each connection on its own thread with
+// its own MessageHandler created by a factory.
+//
+// TcpTransport is the client half: a blocking Call() that writes one encoded
+// request and reads frames until the reply arrives.
+
+#ifndef SRC_TRANSPORT_TCP_H_
+#define SRC_TRANSPORT_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/transport/transport.h"
+
+namespace rmp {
+
+// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Writes all of `bytes` to `fd`, retrying short writes. Returns IoError on
+// failure (EPIPE after a peer crash surfaces here).
+Status SendAll(int fd, std::span<const uint8_t> bytes);
+
+class TcpTransport final : public Transport {
+ public:
+  // Connects to host:port (host is an IPv4 dotted quad or "localhost").
+  // When `auth_token` is non-empty, an AUTH handshake is performed before
+  // the connection is handed back; a server that requires a different token
+  // fails the connect with FAILED_PRECONDITION.
+  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host, uint16_t port,
+                                                       const std::string& auth_token = "");
+
+  ~TcpTransport() override { Close(); }
+
+  Result<Message> Call(const Message& request) override;
+  Status SendOneWay(const Message& request) override;
+  bool connected() const override { return fd_.valid(); }
+  void Close() override;
+
+ private:
+  explicit TcpTransport(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  // Reads until one full frame is decodable.
+  Result<Message> ReadReply();
+
+  UniqueFd fd_;
+  FrameReader reader_;
+  std::mutex mutex_;  // Serializes concurrent Call()s on one connection.
+};
+
+// Accept loop + per-connection session threads.
+class TcpServer {
+ public:
+  using HandlerFactory = std::function<std::unique_ptr<MessageHandler>()>;
+
+  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  // accept thread. `factory` is invoked once per accepted connection. When
+  // `required_token` is non-empty, every session must open with a matching
+  // AUTH message before any other request is served (the paper's
+  // privileged-port restriction, modernized).
+  static Result<std::unique_ptr<TcpServer>> Start(uint16_t port, HandlerFactory factory,
+                                                  std::string required_token = "");
+
+  ~TcpServer();
+
+  uint16_t port() const { return port_; }
+  int connections_served() const { return connections_served_.load(); }
+
+  // Stops accepting and joins all session threads. Idempotent.
+  void Shutdown();
+
+ private:
+  TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
+            std::string required_token);
+
+  void AcceptLoop();
+  void Session(UniqueFd fd);
+  void SessionLoop(UniqueFd& fd);
+
+  UniqueFd listen_fd_;
+  uint16_t port_;
+  HandlerFactory factory_;
+  std::string required_token_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> connections_served_{0};
+  std::thread accept_thread_;
+  std::mutex sessions_mutex_;
+  std::vector<std::thread> sessions_;
+  // Raw fds of live sessions; Shutdown() half-closes them so session
+  // threads blocked in recv() wake up and can be joined.
+  std::vector<int> session_fds_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_TRANSPORT_TCP_H_

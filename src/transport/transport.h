@@ -1,0 +1,47 @@
+// Transport abstraction between the paging client and a memory server.
+//
+// The paper's client runs "one dedicated paging daemon" that issues blocking
+// request/reply exchanges over a TCP socket per server (§3.1). Transport
+// captures that call pattern; two implementations exist:
+//   - InProcTransport: direct dispatch to a MessageHandler in the same
+//     process. Deterministic; used by tests, benches and the simulator.
+//   - TcpTransport: a real socket to a ServerRunner, possibly in another
+//     process (tools/rmp_server). Exercises the full encode/frame/decode path.
+
+#ifndef SRC_TRANSPORT_TRANSPORT_H_
+#define SRC_TRANSPORT_TRANSPORT_H_
+
+#include "src/proto/wire.h"
+#include "src/util/status.h"
+
+namespace rmp {
+
+// Server-side message dispatch: a MemoryServer implements this.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+
+  // Processes one request and produces the reply. Transport-level failures
+  // are not representable here; a handler that cannot satisfy a request
+  // returns a reply message with a non-OK status field.
+  virtual Message Handle(const Message& request) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Blocking RPC: sends `request`, waits for the matching reply.
+  // Returns UnavailableError if the peer is gone (crash / closed socket).
+  virtual Result<Message> Call(const Message& request) = 0;
+
+  // Fire-and-forget send (e.g. SHUTDOWN). Best effort.
+  virtual Status SendOneWay(const Message& request) = 0;
+
+  virtual bool connected() const = 0;
+  virtual void Close() = 0;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_TRANSPORT_TRANSPORT_H_

@@ -1,0 +1,91 @@
+#include "src/util/bytes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace rmp {
+namespace {
+
+// SplitMix64 step; used to synthesize verifiable page contents.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void PageBuffer::Assign(std::span<const uint8_t> bytes) {
+  const size_t n = std::min(bytes.size(), data_.size());
+  std::memcpy(data_.data(), bytes.data(), n);
+  if (n < data_.size()) {
+    std::memset(data_.data() + n, 0, data_.size() - n);
+  }
+}
+
+void PageBuffer::XorWith(std::span<const uint8_t> other) {
+  assert(other.size() == data_.size());
+  XorBytes(data_.data(), other.data(), data_.size());
+}
+
+void PageBuffer::Clear() { std::memset(data_.data(), 0, data_.size()); }
+
+bool PageBuffer::IsZero() const {
+  for (uint8_t b : data_) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  // Word-at-a-time main loop; memcpy keeps it legal for unaligned buffers.
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, sizeof(a));
+    std::memcpy(&b, src + i, sizeof(b));
+    a ^= b;
+    std::memcpy(dst + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void FillPattern(std::span<uint8_t> page, uint64_t seed) {
+  uint64_t state = seed;
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= page.size(); i += sizeof(uint64_t)) {
+    const uint64_t word = Mix64(state + i);
+    std::memcpy(page.data() + i, &word, sizeof(word));
+  }
+  for (; i < page.size(); ++i) {
+    page[i] = static_cast<uint8_t>(Mix64(state + i));
+  }
+}
+
+bool CheckPattern(std::span<const uint8_t> page, uint64_t seed) {
+  uint64_t state = seed;
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= page.size(); i += sizeof(uint64_t)) {
+    const uint64_t expected = Mix64(state + i);
+    uint64_t actual;
+    std::memcpy(&actual, page.data() + i, sizeof(actual));
+    if (actual != expected) {
+      return false;
+    }
+  }
+  for (; i < page.size(); ++i) {
+    if (page[i] != static_cast<uint8_t>(Mix64(state + i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rmp

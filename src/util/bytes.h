@@ -1,0 +1,62 @@
+// Page-sized byte buffers and the XOR kernels that parity policies build on.
+
+#ifndef SRC_UTIL_BYTES_H_
+#define SRC_UTIL_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace rmp {
+
+// One operating-system page of data (8 KB). Value-semantic; zero-filled on
+// construction, which doubles as the parity-accumulator identity.
+class PageBuffer {
+ public:
+  PageBuffer() : data_(kPageSize, 0) {}
+  explicit PageBuffer(std::span<const uint8_t> bytes) : data_(kPageSize, 0) { Assign(bytes); }
+
+  std::span<uint8_t> span() { return std::span<uint8_t>(data_.data(), data_.size()); }
+  std::span<const uint8_t> span() const {
+    return std::span<const uint8_t>(data_.data(), data_.size());
+  }
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+  uint8_t& operator[](size_t i) { return data_[i]; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  // Copies `bytes` into the page; a short span zero-pads the remainder.
+  void Assign(std::span<const uint8_t> bytes);
+
+  // XOR-accumulates `other` into this page (the parity-logging primitive).
+  void XorWith(std::span<const uint8_t> other);
+
+  void Clear();
+  bool IsZero() const;
+
+  bool operator==(const PageBuffer& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+// dst ^= src over `n` bytes. Word-at-a-time; tolerates any alignment.
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n);
+
+// Fills a page with a deterministic pattern derived from `seed`, so tests and
+// workloads can later verify a page's identity after round-tripping through
+// servers, parity reconstruction, or the disk.
+void FillPattern(std::span<uint8_t> page, uint64_t seed);
+
+// True iff `page` matches FillPattern(seed).
+bool CheckPattern(std::span<const uint8_t> page, uint64_t seed);
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_BYTES_H_

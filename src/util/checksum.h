@@ -1,0 +1,22 @@
+// CRC32 (IEEE 802.3 polynomial) used to guard page payloads on the wire and
+// to verify reconstructed pages after recovery.
+
+#ifndef SRC_UTIL_CHECKSUM_H_
+#define SRC_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace rmp {
+
+// One-shot CRC32 of `data`.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental form: crc = Crc32Update(crc, chunk) starting from Crc32Init().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data);
+uint32_t Crc32Finalize(uint32_t crc);
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_CHECKSUM_H_

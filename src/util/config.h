@@ -1,0 +1,53 @@
+// Tiny key=value configuration reader.
+//
+// The paper registers every workstation that participates in remote paging
+// "in a common file" (§2.1); the TCP cluster tools use this parser for that
+// registry and for tuning constants. Format: one `key = value` per line,
+// '#' starts a comment, later keys override earlier ones.
+
+#ifndef SRC_UTIL_CONFIG_H_
+#define SRC_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rmp {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses from a string (tests) or a file (tools).
+  static Result<Config> Parse(std::string_view text);
+  static Result<Config> Load(const std::string& path);
+
+  bool Has(const std::string& key) const;
+
+  // Typed getters; return the fallback when the key is absent, and an error
+  // only when the key is present but malformed.
+  std::string GetString(const std::string& key, std::string fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+
+  void Set(const std::string& key, std::string value);
+
+  // All keys, sorted (map order).
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// Strips leading/trailing whitespace. Exposed for reuse by the wire-protocol
+// text helpers and tests.
+std::string_view TrimWhitespace(std::string_view s);
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_CONFIG_H_

@@ -1,0 +1,92 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rmp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / buckets), buckets_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  stats_.Add(x);
+  int idx = static_cast<int>((x - lo_) / bucket_width_);
+  idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+  ++buckets_[idx];
+}
+
+double Histogram::Percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  const int64_t total = stats_.count();
+  if (total == 0) {
+    return 0.0;
+  }
+  const double target = p / 100.0 * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const int64_t in_bucket = buckets_[i];
+    if (seen + in_bucket >= target && in_bucket > 0) {
+      // Interpolate position within the bucket.
+      const double frac = (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    seen += in_bucket;
+  }
+  return hi_;
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  int64_t peak = 1;
+  for (int64_t b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  char line[160];
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int bar = static_cast<int>(50.0 * static_cast<double>(buckets_[i]) /
+                                     static_cast<double>(peak));
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8lld |%.*s\n",
+                  lo_ + static_cast<double>(i) * bucket_width_,
+                  lo_ + static_cast<double>(i + 1) * bucket_width_,
+                  static_cast<long long>(buckets_[i]), bar,
+                  "##################################################");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rmp

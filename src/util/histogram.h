@@ -1,0 +1,65 @@
+// Streaming statistics accumulators used by the benchmark harness and the
+// server load monitor: running mean/min/max/stddev plus a fixed-bucket
+// histogram for latency distributions.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rmp {
+
+// Welford running moments. Add samples; read count/mean/stddev at any point.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // Sample variance (n-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Linear-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// edge buckets. Percentiles are interpolated within a bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t count() const { return stats_.count(); }
+  const RunningStats& stats() const { return stats_; }
+
+  // Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+  // Multi-line ASCII rendering for reports.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<int64_t> buckets_;
+  RunningStats stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

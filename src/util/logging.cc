@@ -1,0 +1,49 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+namespace rmp {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_sink_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (level < GetLogLevel()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+}
+
+}  // namespace rmp

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Streams to stderr; level settable at runtime so
+// tests stay quiet and the TCP server binaries can be made verbose.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rmp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal sink; use the RMP_LOG macro instead.
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+// Stream-style one-shot logger: builds the message then emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rmp
+
+#define RMP_LOG(level)                                             \
+  if (::rmp::LogLevel::level < ::rmp::GetLogLevel()) {             \
+  } else                                                           \
+    ::rmp::LogLine(::rmp::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_UTIL_LOGGING_H_

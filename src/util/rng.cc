@@ -1,0 +1,26 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace rmp {
+
+double Rng::Exponential(double mean) {
+  // Inverse transform; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-18;
+  }
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace rmp

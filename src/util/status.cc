@@ -1,0 +1,72 @@
+#include "src/util/status.h"
+
+namespace rmp {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kNoSpace:
+      return "NO_SPACE";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kProtocol:
+      return "PROTOCOL";
+    case ErrorCode::kCorruption:
+      return "CORRUPTION";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status NoSpaceError(std::string message) { return Status(ErrorCode::kNoSpace, std::move(message)); }
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status ProtocolError(std::string message) {
+  return Status(ErrorCode::kProtocol, std::move(message));
+}
+Status CorruptionError(std::string message) {
+  return Status(ErrorCode::kCorruption, std::move(message));
+}
+Status IoError(std::string message) { return Status(ErrorCode::kIoError, std::move(message)); }
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace rmp

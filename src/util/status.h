@@ -1,0 +1,148 @@
+// Error handling primitives for the RMP project.
+//
+// No exceptions cross module boundaries: fallible operations return
+// rmp::Status (for side-effecting calls) or rmp::Result<T> (for calls that
+// produce a value). Both carry an ErrorCode and a human-readable message.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rmp {
+
+// Coarse error taxonomy. Mirrors the failure modes the paper's pager must
+// distinguish: a full server (kNoSpace) triggers migration, a dead server
+// (kUnavailable) triggers recovery, a protocol violation (kProtocol) is fatal.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kNoSpace,       // Server denied a swap-space allocation.
+  kUnavailable,   // Peer crashed or connection lost.
+  kProtocol,      // Malformed or unexpected wire message.
+  kCorruption,    // Checksum mismatch on page data.
+  kIoError,       // Local disk / socket syscall failure.
+  kFailedPrecondition,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "NO_SPACE".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// Value-semantic status: either OK or an (code, message) pair.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NO_SPACE: server 3 denied allocation".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Convenience constructors, one per ErrorCode that call sites use.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status NoSpaceError(std::string message);
+Status UnavailableError(std::string message);
+Status ProtocolError(std::string message);
+Status CorruptionError(std::string message);
+Status IoError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: a T or an error Status. Minimal std::expected stand-in (C++20).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError(...);`
+  // both work at call sites.
+  Result(T value) : value_(std::move(value)) {}                    // NOLINT
+  Result(Status status) : status_(std::move(status)) {             // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds.
+};
+
+}  // namespace rmp
+
+// Propagates errors up the call stack, expression-statement style:
+//   RMP_RETURN_IF_ERROR(server.Store(page));
+#define RMP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::rmp::Status rmp_status_ = (expr);      \
+    if (!rmp_status_.ok()) {                 \
+      return rmp_status_;                    \
+    }                                        \
+  } while (false)
+
+// Unwraps a Result<T> into `lhs` or propagates the error.
+//   RMP_ASSIGN_OR_RETURN(auto frame, pool.Allocate());
+#define RMP_ASSIGN_OR_RETURN(lhs, expr)          \
+  RMP_ASSIGN_OR_RETURN_IMPL_(                    \
+      RMP_STATUS_CONCAT_(rmp_result_, __LINE__), lhs, expr)
+
+#define RMP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define RMP_STATUS_CONCAT_(a, b) RMP_STATUS_CONCAT_IMPL_(a, b)
+#define RMP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SRC_UTIL_STATUS_H_

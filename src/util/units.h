@@ -1,0 +1,47 @@
+// Time and size units used throughout the project.
+//
+// Simulated time is kept as integer nanoseconds (TimeNs / DurationNs) so that
+// event ordering is exact and runs are bit-reproducible; helper constructors
+// convert from the units the paper quotes (ms, seconds, Mbit/s).
+
+#ifndef SRC_UTIL_UNITS_H_
+#define SRC_UTIL_UNITS_H_
+
+#include <cstdint>
+
+namespace rmp {
+
+using TimeNs = int64_t;      // Absolute simulated time since run start.
+using DurationNs = int64_t;  // Interval between two TimeNs.
+
+inline constexpr DurationNs kNanosecond = 1;
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+
+constexpr DurationNs Micros(double us) { return static_cast<DurationNs>(us * kMicrosecond); }
+constexpr DurationNs Millis(double ms) { return static_cast<DurationNs>(ms * kMillisecond); }
+constexpr DurationNs Seconds(double s) { return static_cast<DurationNs>(s * kSecond); }
+
+constexpr double ToSeconds(DurationNs d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMillis(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+
+// The paper's DEC OSF/1 configuration pages in 8 KB units.
+inline constexpr uint64_t kPageSize = 8 * kKiB;
+
+constexpr uint64_t PagesForBytes(uint64_t bytes) { return (bytes + kPageSize - 1) / kPageSize; }
+
+// Time to push `bytes` through a link of `megabits_per_sec`, excluding any
+// protocol or per-packet overhead.
+constexpr DurationNs WireTime(uint64_t bytes, double megabits_per_sec) {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double seconds = bits / (megabits_per_sec * 1e6);
+  return static_cast<DurationNs>(seconds * kSecond);
+}
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_UNITS_H_

@@ -1,0 +1,166 @@
+#include "src/vm/paged_vm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rmp {
+
+PagedVm::PagedVm(const VmParams& params, PagingBackend* backend)
+    : params_(params),
+      backend_(backend),
+      policy_(MakeReplacementPolicy(params.replacement)),
+      frames_(params.physical_frames),
+      ever_paged_out_(params.virtual_pages, false) {
+  assert(backend_ != nullptr);
+  assert(params_.physical_frames > 0);
+  free_frames_.reserve(params_.physical_frames);
+  for (uint32_t f = 0; f < params_.physical_frames; ++f) {
+    free_frames_.push_back(params_.physical_frames - 1 - f);  // Pop in order 0,1,2...
+  }
+}
+
+bool PagedVm::IsDirty(uint64_t vpage) const {
+  auto it = frame_of_.find(vpage);
+  return it != frame_of_.end() && frames_[it->second].dirty;
+}
+
+Result<uint32_t> PagedVm::TakeFreeFrame(TimeNs* now) {
+  if (!free_frames_.empty()) {
+    const uint32_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  const uint32_t victim = policy_->Victim();
+  Frame& slot = frames_[victim];
+  assert(slot.live);
+  if (slot.dirty) {
+    auto done = backend_->PageOut(*now, slot.vpage, slot.data.span());
+    if (!done.ok()) {
+      return done.status();
+    }
+    *now = *done;
+    ever_paged_out_[slot.vpage] = true;
+    ++stats_.pageouts;
+  } else {
+    ++stats_.clean_evictions;
+  }
+  policy_->OnEvict(victim);
+  frame_of_.erase(slot.vpage);
+  slot.live = false;
+  slot.dirty = false;
+  return victim;
+}
+
+Result<uint32_t> PagedVm::Fault(TimeNs* now, uint64_t vpage) {
+  ++stats_.faults;
+  RMP_ASSIGN_OR_RETURN(const uint32_t frame, TakeFreeFrame(now));
+  Frame& slot = frames_[frame];
+  if (ever_paged_out_[vpage]) {
+    auto done = backend_->PageIn(*now, vpage, slot.data.span());
+    if (!done.ok()) {
+      return done.status();
+    }
+    *now = *done;
+    ++stats_.pageins;
+  } else {
+    slot.data.Clear();
+    ++stats_.zero_fills;
+  }
+  slot.vpage = vpage;
+  slot.dirty = false;
+  slot.live = true;
+  frame_of_[vpage] = frame;
+  policy_->OnInsert(frame);
+  return frame;
+}
+
+Status PagedVm::Touch(TimeNs* now, uint64_t vpage, bool write) {
+  if (vpage >= params_.virtual_pages) {
+    return InvalidArgumentError("virtual page out of range");
+  }
+  if (observer_) {
+    observer_(vpage, write);
+  }
+  ++stats_.accesses;
+  uint32_t frame;
+  auto it = frame_of_.find(vpage);
+  if (it != frame_of_.end()) {
+    ++stats_.hits;
+    frame = it->second;
+    policy_->OnAccess(frame);
+  } else {
+    RMP_ASSIGN_OR_RETURN(frame, Fault(now, vpage));
+  }
+  if (write) {
+    frames_[frame].dirty = true;
+  }
+  return OkStatus();
+}
+
+Status PagedVm::Read(TimeNs* now, uint64_t addr, std::span<uint8_t> out) {
+  uint64_t offset = 0;
+  while (offset < out.size()) {
+    const uint64_t vpage = (addr + offset) / kPageSize;
+    const uint64_t in_page = (addr + offset) % kPageSize;
+    const uint64_t chunk = std::min<uint64_t>(out.size() - offset, kPageSize - in_page);
+    RMP_RETURN_IF_ERROR(Touch(now, vpage, /*write=*/false));
+    const Frame& slot = frames_[frame_of_.at(vpage)];
+    std::copy_n(slot.data.data() + in_page, chunk, out.data() + offset);
+    offset += chunk;
+  }
+  return OkStatus();
+}
+
+Status PagedVm::Write(TimeNs* now, uint64_t addr, std::span<const uint8_t> in) {
+  uint64_t offset = 0;
+  while (offset < in.size()) {
+    const uint64_t vpage = (addr + offset) / kPageSize;
+    const uint64_t in_page = (addr + offset) % kPageSize;
+    const uint64_t chunk = std::min<uint64_t>(in.size() - offset, kPageSize - in_page);
+    RMP_RETURN_IF_ERROR(Touch(now, vpage, /*write=*/true));
+    Frame& slot = frames_[frame_of_.at(vpage)];
+    std::copy_n(in.data() + offset, chunk, slot.data.data() + in_page);
+    offset += chunk;
+  }
+  return OkStatus();
+}
+
+Status PagedVm::FlushDirty(TimeNs* now) {
+  // Deterministic order: ascending vpage.
+  std::vector<uint64_t> dirty;
+  for (const auto& [vpage, frame] : frame_of_) {
+    if (frames_[frame].dirty) {
+      dirty.push_back(vpage);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const uint64_t vpage : dirty) {
+    Frame& slot = frames_[frame_of_.at(vpage)];
+    auto done = backend_->PageOut(*now, vpage, slot.data.span());
+    if (!done.ok()) {
+      return done.status();
+    }
+    *now = *done;
+    ever_paged_out_[vpage] = true;
+    slot.dirty = false;
+    ++stats_.pageouts;
+  }
+  return OkStatus();
+}
+
+void PagedVm::InvalidateAll() {
+  for (uint32_t f = 0; f < params_.physical_frames; ++f) {
+    if (frames_[f].live) {
+      policy_->OnEvict(f);
+      frames_[f].live = false;
+      frames_[f].dirty = false;
+    }
+  }
+  frame_of_.clear();
+  free_frames_.clear();
+  for (uint32_t f = 0; f < params_.physical_frames; ++f) {
+    free_frames_.push_back(params_.physical_frames - 1 - f);
+  }
+}
+
+}  // namespace rmp

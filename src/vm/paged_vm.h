@@ -1,0 +1,106 @@
+// PagedVm: the virtual-memory substrate that stands in for the DEC OSF/1
+// kernel above the block device.
+//
+// An application owns a `virtual_pages`-page address space but only
+// `physical_frames` frames of real memory (the paper's DEC Alpha had 32 MB,
+// ~18 MB of it available to the application). Accesses to resident pages are
+// free; a miss evicts a victim (writing it to the PagingBackend if dirty —
+// a *pageout*) and, if the faulting page has been paged out before, reads it
+// back (a *pagein*). First-touch pages are zero-filled without device
+// traffic, exactly like a real VM.
+//
+// Two access layers:
+//   Touch(vpage, write)    — page-granular, used by the workload generators.
+//   Read/Write(addr, span) — byte-granular over real frame contents, used by
+//                            the data-mode kernels and integrity tests.
+
+#ifndef SRC_VM_PAGED_VM_H_
+#define SRC_VM_PAGED_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/paging_backend.h"
+#include "src/util/bytes.h"
+#include "src/vm/replacement.h"
+
+namespace rmp {
+
+struct VmParams {
+  uint64_t virtual_pages = 1024;
+  uint32_t physical_frames = 256;
+  ReplacementKind replacement = ReplacementKind::kLru;
+};
+
+struct VmStats {
+  int64_t accesses = 0;
+  int64_t hits = 0;
+  int64_t faults = 0;       // Misses (zero-fill + pagein).
+  int64_t zero_fills = 0;   // First-touch materializations.
+  int64_t pageins = 0;      // Faults served by the backend.
+  int64_t pageouts = 0;     // Dirty evictions written to the backend.
+  int64_t clean_evictions = 0;
+};
+
+class PagedVm {
+ public:
+  // `backend` must outlive the VM.
+  PagedVm(const VmParams& params, PagingBackend* backend);
+
+  // Touches one virtual page; on a miss, runs the fault path against the
+  // backend starting at *now and advances *now to the completion time.
+  Status Touch(TimeNs* now, uint64_t vpage, bool write);
+
+  // Byte-granular access across page boundaries (data mode).
+  Status Read(TimeNs* now, uint64_t addr, std::span<uint8_t> out);
+  Status Write(TimeNs* now, uint64_t addr, std::span<const uint8_t> in);
+
+  // Flushes every dirty resident page to the backend (app exit / checkpoint).
+  Status FlushDirty(TimeNs* now);
+
+  // Drops every resident page WITHOUT writeback (dirty state is lost unless
+  // flushed first). Resets residency, not the backend. For test scenarios.
+  void InvalidateAll();
+
+  // Observer invoked on every Touch (before the fault path); used by the
+  // trace recorder. Pass nullptr to detach.
+  using AccessObserver = std::function<void(uint64_t vpage, bool write)>;
+  void SetAccessObserver(AccessObserver observer) { observer_ = std::move(observer); }
+
+  const VmStats& stats() const { return stats_; }
+  uint64_t resident_pages() const { return frame_of_.size(); }
+  uint32_t physical_frames() const { return params_.physical_frames; }
+  uint64_t virtual_pages() const { return params_.virtual_pages; }
+  bool IsResident(uint64_t vpage) const { return frame_of_.count(vpage) > 0; }
+  bool IsDirty(uint64_t vpage) const;
+
+ private:
+  struct Frame {
+    PageBuffer data;
+    uint64_t vpage = 0;
+    bool dirty = false;
+    bool live = false;
+  };
+
+  // Makes `vpage` resident; returns its frame index.
+  Result<uint32_t> Fault(TimeNs* now, uint64_t vpage);
+
+  Result<uint32_t> TakeFreeFrame(TimeNs* now);
+
+  VmParams params_;
+  PagingBackend* backend_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<uint64_t, uint32_t> frame_of_;   // vpage -> frame.
+  std::vector<bool> ever_paged_out_;                  // vpage -> backend holds it.
+  AccessObserver observer_;
+  VmStats stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_VM_PAGED_VM_H_

@@ -1,0 +1,129 @@
+#include "src/vm/replacement.h"
+
+#include <cassert>
+
+namespace rmp {
+
+std::string_view ReplacementKindName(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return "LRU";
+    case ReplacementKind::kClock:
+      return "CLOCK";
+    case ReplacementKind::kFifo:
+      return "FIFO";
+  }
+  return "UNKNOWN";
+}
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementKind kind) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case ReplacementKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case ReplacementKind::kFifo:
+      return std::make_unique<FifoPolicy>();
+  }
+  return nullptr;
+}
+
+// --- LRU ---------------------------------------------------------------
+
+void LruPolicy::OnInsert(uint32_t frame) {
+  assert(where_.count(frame) == 0);
+  recency_.push_front(frame);
+  where_[frame] = recency_.begin();
+}
+
+void LruPolicy::OnAccess(uint32_t frame) {
+  auto it = where_.find(frame);
+  assert(it != where_.end());
+  recency_.splice(recency_.begin(), recency_, it->second);
+}
+
+void LruPolicy::OnEvict(uint32_t frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) {
+    return;
+  }
+  recency_.erase(it->second);
+  where_.erase(it);
+}
+
+uint32_t LruPolicy::Victim() {
+  assert(!recency_.empty());
+  return recency_.back();
+}
+
+// --- CLOCK -------------------------------------------------------------
+
+void ClockPolicy::OnInsert(uint32_t frame) {
+  assert(where_.count(frame) == 0);
+  // Reuse a dead ring slot if one exists; otherwise grow the ring.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (!ring_[i].live) {
+      ring_[i] = Slot{frame, true, true};
+      where_[frame] = i;
+      return;
+    }
+  }
+  ring_.push_back(Slot{frame, true, true});
+  where_[frame] = ring_.size() - 1;
+}
+
+void ClockPolicy::OnAccess(uint32_t frame) {
+  auto it = where_.find(frame);
+  assert(it != where_.end());
+  ring_[it->second].referenced = true;
+}
+
+void ClockPolicy::OnEvict(uint32_t frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) {
+    return;
+  }
+  ring_[it->second].live = false;
+  where_.erase(it);
+}
+
+uint32_t ClockPolicy::Victim() {
+  assert(!where_.empty());
+  for (;;) {
+    Slot& slot = ring_[hand_];
+    const size_t current = hand_;
+    hand_ = (hand_ + 1) % ring_.size();
+    if (!slot.live) {
+      continue;
+    }
+    if (slot.referenced) {
+      slot.referenced = false;  // Second chance.
+      continue;
+    }
+    return ring_[current].frame;
+  }
+}
+
+// --- FIFO --------------------------------------------------------------
+
+void FifoPolicy::OnInsert(uint32_t frame) {
+  assert(where_.count(frame) == 0);
+  queue_.push_back(frame);
+  where_[frame] = std::prev(queue_.end());
+}
+
+void FifoPolicy::OnEvict(uint32_t frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) {
+    return;
+  }
+  queue_.erase(it->second);
+  where_.erase(it);
+}
+
+uint32_t FifoPolicy::Victim() {
+  assert(!queue_.empty());
+  return queue_.front();
+}
+
+}  // namespace rmp

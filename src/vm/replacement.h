@@ -1,0 +1,98 @@
+// Page replacement policies for the simulated VM.
+//
+// The interface works in physical frame numbers: the VM tells the policy
+// when a frame is filled or referenced, and asks for a victim when memory is
+// full. LRU approximates what the DEC OSF/1 global page-replacement clock
+// achieved for the paper's single-application workloads; CLOCK and FIFO
+// exist for the replacement-policy ablation bench.
+
+#ifndef SRC_VM_REPLACEMENT_H_
+#define SRC_VM_REPLACEMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rmp {
+
+enum class ReplacementKind { kLru, kClock, kFifo };
+
+std::string_view ReplacementKindName(ReplacementKind kind);
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  // Frame was filled with a fresh page.
+  virtual void OnInsert(uint32_t frame) = 0;
+
+  // Frame was referenced (hit).
+  virtual void OnAccess(uint32_t frame) = 0;
+
+  // Frame was evicted by the VM (after Victim(), or explicit invalidation).
+  virtual void OnEvict(uint32_t frame) = 0;
+
+  // Chooses the frame to evict. Precondition: at least one frame inserted.
+  virtual uint32_t Victim() = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(ReplacementKind kind);
+
+// Exact LRU via an intrusive recency list.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint32_t frame) override;
+  void OnAccess(uint32_t frame) override;
+  void OnEvict(uint32_t frame) override;
+  uint32_t Victim() override;
+  std::string Name() const override { return "LRU"; }
+
+ private:
+  std::list<uint32_t> recency_;  // Front = most recent.
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> where_;
+};
+
+// Second-chance clock with one reference bit per frame.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint32_t frame) override;
+  void OnAccess(uint32_t frame) override;
+  void OnEvict(uint32_t frame) override;
+  uint32_t Victim() override;
+  std::string Name() const override { return "CLOCK"; }
+
+ private:
+  struct Slot {
+    uint32_t frame = 0;
+    bool referenced = false;
+    bool live = false;
+  };
+  std::vector<Slot> ring_;
+  std::unordered_map<uint32_t, size_t> where_;
+  size_t hand_ = 0;
+};
+
+// First-in first-out; referenced bits ignored.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint32_t frame) override;
+  void OnAccess(uint32_t /*frame*/) override {}
+  void OnEvict(uint32_t frame) override;
+  uint32_t Victim() override;
+  std::string Name() const override { return "FIFO"; }
+
+ private:
+  std::list<uint32_t> queue_;  // Front = oldest.
+  std::unordered_map<uint32_t, std::list<uint32_t>::iterator> where_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_VM_REPLACEMENT_H_

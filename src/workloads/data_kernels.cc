@@ -1,0 +1,318 @@
+#include "src/workloads/data_kernels.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace rmp {
+
+Status FillRandom(VmArray<uint64_t>* array, TimeNs* now, uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i < array->size(); ++i) {
+    RMP_RETURN_IF_ERROR(array->Set(now, i, rng.Next()));
+  }
+  return OkStatus();
+}
+
+Status QuicksortVm(VmArray<uint64_t>* array, TimeNs* now) {
+  if (array->size() < 2) {
+    return OkStatus();
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> stack;  // Inclusive ranges.
+  stack.emplace_back(0, array->size() - 1);
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (lo >= hi) {
+      continue;
+    }
+    // Insertion sort for tiny ranges keeps the stack shallow.
+    if (hi - lo < 16) {
+      for (uint64_t i = lo + 1; i <= hi; ++i) {
+        RMP_ASSIGN_OR_RETURN(const uint64_t key, array->Get(now, i));
+        uint64_t j = i;
+        while (j > lo) {
+          RMP_ASSIGN_OR_RETURN(const uint64_t prev, array->Get(now, j - 1));
+          if (prev <= key) {
+            break;
+          }
+          RMP_RETURN_IF_ERROR(array->Set(now, j, prev));
+          --j;
+        }
+        RMP_RETURN_IF_ERROR(array->Set(now, j, key));
+      }
+      continue;
+    }
+    // Hoare partition around the middle element.
+    RMP_ASSIGN_OR_RETURN(const uint64_t pivot, array->Get(now, lo + (hi - lo) / 2));
+    uint64_t i = lo;
+    uint64_t j = hi;
+    for (;;) {
+      for (;;) {
+        RMP_ASSIGN_OR_RETURN(const uint64_t vi, array->Get(now, i));
+        if (vi >= pivot) {
+          break;
+        }
+        ++i;
+      }
+      for (;;) {
+        RMP_ASSIGN_OR_RETURN(const uint64_t vj, array->Get(now, j));
+        if (vj <= pivot) {
+          break;
+        }
+        --j;
+      }
+      if (i >= j) {
+        break;
+      }
+      RMP_ASSIGN_OR_RETURN(const uint64_t vi, array->Get(now, i));
+      RMP_ASSIGN_OR_RETURN(const uint64_t vj, array->Get(now, j));
+      RMP_RETURN_IF_ERROR(array->Set(now, i, vj));
+      RMP_RETURN_IF_ERROR(array->Set(now, j, vi));
+      ++i;
+      if (j > 0) {
+        --j;
+      }
+    }
+    // Push larger half first so the smaller is processed next (bounded stack).
+    if (j + 1 <= hi) {
+      stack.emplace_back(j + 1, hi);
+    }
+    if (lo < j) {
+      stack.emplace_back(lo, j);
+    }
+  }
+  return OkStatus();
+}
+
+Status VerifySorted(const VmArray<uint64_t>& array, TimeNs* now) {
+  if (array.size() < 2) {
+    return OkStatus();
+  }
+  RMP_ASSIGN_OR_RETURN(uint64_t prev, array.Get(now, 0));
+  for (uint64_t i = 1; i < array.size(); ++i) {
+    RMP_ASSIGN_OR_RETURN(const uint64_t cur, array.Get(now, i));
+    if (cur < prev) {
+      return FailedPreconditionError("order violated at index " + std::to_string(i));
+    }
+    prev = cur;
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> ChecksumVm(const VmArray<uint64_t>& array, TimeNs* now) {
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < array.size(); ++i) {
+    RMP_ASSIGN_OR_RETURN(const uint64_t v, array.Get(now, i));
+    sum += v * 0x9e3779b97f4a7c15ULL + i;
+  }
+  return sum;
+}
+
+namespace {
+
+uint64_t FoldChecksum(const std::vector<uint64_t>& data) {
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < data.size(); ++i) {
+    sum += data[i] * 0x9e3779b97f4a7c15ULL + i;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<uint64_t> TwoPassFilterVm(VmArray<uint64_t>* src, VmArray<uint64_t>* dst, TimeNs* now,
+                                 int radius) {
+  const uint64_t n = src->size();
+  if (dst->size() != n) {
+    return InvalidArgumentError("filter src/dst size mismatch");
+  }
+  // Pass 1: in-place prefix sums over the input (sequential read + write).
+  uint64_t running = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    RMP_ASSIGN_OR_RETURN(const uint64_t v, src->Get(now, i));
+    running += v;
+    RMP_RETURN_IF_ERROR(src->Set(now, i, running));
+  }
+  // Pass 2 (backward, zigzag): windowed sums into the output image.
+  const auto r = static_cast<uint64_t>(radius);
+  for (uint64_t k = 0; k < n; ++k) {
+    const uint64_t i = n - 1 - k;
+    const uint64_t hi_idx = std::min(n - 1, i + r);
+    RMP_ASSIGN_OR_RETURN(const uint64_t hi_sum, src->Get(now, hi_idx));
+    uint64_t lo_sum = 0;
+    if (i > r) {
+      RMP_ASSIGN_OR_RETURN(lo_sum, src->Get(now, i - r - 1));
+    }
+    RMP_RETURN_IF_ERROR(dst->Set(now, i, hi_sum - lo_sum));
+  }
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    RMP_ASSIGN_OR_RETURN(const uint64_t v, dst->Get(now, i));
+    sum += v * 0x9e3779b97f4a7c15ULL + i;
+  }
+  return sum;
+}
+
+uint64_t TwoPassFilterReference(uint64_t count, uint64_t seed, int radius) {
+  Rng rng(seed);
+  std::vector<uint64_t> data(count);
+  for (auto& v : data) {
+    v = rng.Next();
+  }
+  for (uint64_t i = 1; i < count; ++i) {
+    data[i] += data[i - 1];
+  }
+  const auto r = static_cast<uint64_t>(radius);
+  std::vector<uint64_t> out(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    const uint64_t i = count - 1 - k;
+    const uint64_t hi_sum = data[std::min(count - 1, i + r)];
+    const uint64_t lo_sum = i > r ? data[i - r - 1] : 0;
+    out[i] = hi_sum - lo_sum;
+  }
+  return FoldChecksum(out);
+}
+
+
+namespace {
+
+// Diagonally dominant random matrix: guaranteed well-conditioned, so the
+// solve's residual isolates data-path corruption from numerics.
+double MatrixEntry(Rng* rng) { return rng->NextDouble() * 2.0 - 1.0; }
+
+}  // namespace
+
+Result<double> GaussSolveVm(PagedVm* vm, TimeNs* now, uint64_t base, uint64_t n, uint64_t seed) {
+  // Layout: augmented matrix, n rows of (n + 1) doubles: [A | b].
+  VmArray<double> m(vm, base, n * (n + 1));
+  const uint64_t cols = n + 1;
+  auto at = [cols](uint64_t r, uint64_t c) { return r * cols + c; };
+
+  // Generate A (diagonally dominant) and b = A * ones, so x_true = ones.
+  Rng rng(seed);
+  for (uint64_t r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (uint64_t c = 0; c < n; ++c) {
+      double v = MatrixEntry(&rng);
+      if (c == r) {
+        v += static_cast<double>(n);  // Dominant diagonal.
+      }
+      RMP_RETURN_IF_ERROR(m.Set(now, at(r, c), v));
+      row_sum += v;
+    }
+    RMP_RETURN_IF_ERROR(m.Set(now, at(r, n), row_sum));  // b_r = sum of row.
+  }
+
+  // Forward elimination with partial pivoting.
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t pivot = k;
+    RMP_ASSIGN_OR_RETURN(double best, m.Get(now, at(k, k)));
+    best = best < 0 ? -best : best;
+    for (uint64_t r = k + 1; r < n; ++r) {
+      RMP_ASSIGN_OR_RETURN(double v, m.Get(now, at(r, k)));
+      const double mag = v < 0 ? -v : v;
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (pivot != k) {
+      for (uint64_t c = k; c < cols; ++c) {
+        RMP_ASSIGN_OR_RETURN(const double a, m.Get(now, at(k, c)));
+        RMP_ASSIGN_OR_RETURN(const double b, m.Get(now, at(pivot, c)));
+        RMP_RETURN_IF_ERROR(m.Set(now, at(k, c), b));
+        RMP_RETURN_IF_ERROR(m.Set(now, at(pivot, c), a));
+      }
+    }
+    RMP_ASSIGN_OR_RETURN(const double diag, m.Get(now, at(k, k)));
+    if (diag == 0.0) {
+      return FailedPreconditionError("singular matrix");
+    }
+    for (uint64_t r = k + 1; r < n; ++r) {
+      RMP_ASSIGN_OR_RETURN(const double factor_num, m.Get(now, at(r, k)));
+      const double factor = factor_num / diag;
+      if (factor == 0.0) {
+        continue;
+      }
+      for (uint64_t c = k; c < cols; ++c) {
+        RMP_ASSIGN_OR_RETURN(const double a, m.Get(now, at(r, c)));
+        RMP_ASSIGN_OR_RETURN(const double p, m.Get(now, at(k, c)));
+        RMP_RETURN_IF_ERROR(m.Set(now, at(r, c), a - factor * p));
+      }
+    }
+  }
+
+  // Back substitution into column n, then compare with the all-ones truth.
+  double max_error = 0.0;
+  for (uint64_t ri = 0; ri < n; ++ri) {
+    const uint64_t r = n - 1 - ri;
+    RMP_ASSIGN_OR_RETURN(double acc, m.Get(now, at(r, n)));
+    for (uint64_t c = r + 1; c < n; ++c) {
+      RMP_ASSIGN_OR_RETURN(const double a, m.Get(now, at(r, c)));
+      RMP_ASSIGN_OR_RETURN(const double x, m.Get(now, at(c, n)));
+      acc -= a * x;
+    }
+    RMP_ASSIGN_OR_RETURN(const double diag, m.Get(now, at(r, r)));
+    const double x = acc / diag;
+    RMP_RETURN_IF_ERROR(m.Set(now, at(r, n), x));
+    const double err = x - 1.0;
+    max_error = std::max(max_error, err < 0 ? -err : err);
+  }
+  return max_error;
+}
+
+Result<uint64_t> MatrixVectorVm(PagedVm* vm, TimeNs* now, uint64_t base, uint64_t n,
+                                uint64_t seed) {
+  // Layout: x vector (n doubles), y vector (n doubles); A generated on the
+  // fly and written through the VM row by row at the end of the space —
+  // MVEC's fused generate-and-consume write stream.
+  VmArray<double> x(vm, base, n);
+  VmArray<double> y(vm, x.end_offset(), n);
+  VmArray<double> row(vm, y.end_offset(), n);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < n; ++i) {
+    RMP_RETURN_IF_ERROR(x.Set(now, i, rng.NextDouble()));
+  }
+  Rng a_rng(seed ^ 0xa5a5a5a5ull);
+  for (uint64_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (uint64_t c = 0; c < n; ++c) {
+      const double a = MatrixEntry(&a_rng);
+      RMP_RETURN_IF_ERROR(row.Set(now, c, a));  // The write stream.
+      RMP_ASSIGN_OR_RETURN(const double xv, x.Get(now, c));
+      acc += a * xv;
+    }
+    RMP_RETURN_IF_ERROR(y.Set(now, r, acc));
+  }
+  // Fold y into an order-sensitive checksum (quantized to be exact).
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    RMP_ASSIGN_OR_RETURN(const double v, y.Get(now, i));
+    sum = sum * 1000003ull + static_cast<uint64_t>(static_cast<int64_t>(v * 1e6));
+  }
+  return sum;
+}
+
+uint64_t MatrixVectorReference(uint64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) {
+    v = rng.NextDouble();
+  }
+  Rng a_rng(seed ^ 0xa5a5a5a5ull);
+  uint64_t sum = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (uint64_t c = 0; c < n; ++c) {
+      acc += MatrixEntry(&a_rng) * x[c];
+    }
+    sum = sum * 1000003ull + static_cast<uint64_t>(static_cast<int64_t>(acc * 1e6));
+  }
+  return sum;
+}
+
+
+}  // namespace rmp

@@ -1,0 +1,54 @@
+// Data-mode kernels: real computations running *through* the paged VM, so
+// their results prove that page contents survive eviction, remote storage,
+// parity reconstruction and recovery bit-exactly. Used by integration tests
+// and the crash-recovery example; the figure benches use the cheaper
+// access-pattern generators instead.
+
+#ifndef SRC_WORKLOADS_DATA_KERNELS_H_
+#define SRC_WORKLOADS_DATA_KERNELS_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+#include "src/vm/vm_array.h"
+
+namespace rmp {
+
+// Fills `array` with a deterministic pseudo-random permutation-ish stream.
+Status FillRandom(VmArray<uint64_t>* array, TimeNs* now, uint64_t seed);
+
+// In-place iterative quicksort (Hoare partition) over the VM-resident array.
+Status QuicksortVm(VmArray<uint64_t>* array, TimeNs* now);
+
+// Verifies ascending order; kFailedPrecondition names the first violation.
+Status VerifySorted(const VmArray<uint64_t>& array, TimeNs* now);
+
+// Sum of all elements (order-independent integrity probe).
+Result<uint64_t> ChecksumVm(const VmArray<uint64_t>& array, TimeNs* now);
+
+// Two-pass separable moving-sum filter with window `radius` (the FILTER
+// structure: input image + output image): pass 1 computes prefix sums in
+// place in `src`, pass 2 writes windowed sums into `dst`. Returns the
+// checksum of `dst` for comparison against the in-memory reference.
+Result<uint64_t> TwoPassFilterVm(VmArray<uint64_t>* src, VmArray<uint64_t>* dst, TimeNs* now,
+                                 int radius);
+
+// In-memory reference of TwoPassFilterVm for verification.
+uint64_t TwoPassFilterReference(uint64_t count, uint64_t seed, int radius);
+
+// Real Gaussian elimination with partial pivoting over an n x n system
+// living in the VM (the GAUSS structure). The system is generated from
+// `seed` with a known solution of all-ones; returns the max-abs error of
+// the recovered solution (should be ~1e-9 for well-conditioned systems).
+Result<double> GaussSolveVm(PagedVm* vm, TimeNs* now, uint64_t base, uint64_t n, uint64_t seed);
+
+// Real matrix-vector product y = A x over VM-resident data (the MVEC
+// structure): A is generated row by row from `seed`, consumed immediately.
+// Returns the checksum of y for comparison with MatrixVectorReference.
+Result<uint64_t> MatrixVectorVm(PagedVm* vm, TimeNs* now, uint64_t base, uint64_t n,
+                                uint64_t seed);
+uint64_t MatrixVectorReference(uint64_t n, uint64_t seed);
+
+}  // namespace rmp
+
+#endif  // SRC_WORKLOADS_DATA_KERNELS_H_

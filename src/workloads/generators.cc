@@ -1,0 +1,416 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workloads/workload.h"
+
+namespace rmp {
+namespace {
+
+// One page-granular memory reference.
+struct Access {
+  uint64_t vpage;
+  bool write;
+};
+
+using AccessSink = std::function<void(uint64_t vpage, bool write)>;
+
+// Base class: subclasses describe their reference stream via ForEachAccess;
+// the base interleaves a uniform compute slice per access so that
+// Run() spends exactly (user + system) seconds of CPU across the pattern.
+class PatternWorkload : public Workload {
+ public:
+  int64_t access_count() const override {
+    if (cached_count_ < 0) {
+      int64_t n = 0;
+      ForEachAccess([&n](uint64_t, bool) { ++n; });
+      cached_count_ = n;
+    }
+    return cached_count_;
+  }
+
+  Status Run(PagedVm* vm, TimeNs* now) const override {
+    const WorkloadInfo meta = info();
+    const int64_t total = access_count();
+    const double cpu_ns = (meta.user_seconds + meta.system_seconds) * kSecond;
+    const double slice = total > 0 ? cpu_ns / static_cast<double>(total) : 0.0;
+    double carry = 0.0;
+    Status failure = OkStatus();
+    ForEachAccess([&](uint64_t vpage, bool write) {
+      if (!failure.ok()) {
+        return;
+      }
+      carry += slice;
+      const auto step = static_cast<DurationNs>(carry);
+      carry -= static_cast<double>(step);
+      *now += step;  // Compute between references.
+      const Status status = vm->Touch(now, vpage, write);
+      if (!status.ok()) {
+        failure = status;
+      }
+    });
+    return failure;
+  }
+
+ protected:
+  virtual void ForEachAccess(const AccessSink& sink) const = 0;
+
+  // Zigzag sweep helper: forward on even `pass`, backward on odd, so
+  // consecutive passes re-enter the region where the previous one left off
+  // and LRU faults stay proportional to the memory deficit.
+  static void Sweep(const AccessSink& sink, uint64_t first, uint64_t last_exclusive, int pass,
+                    bool read, bool write) {
+    if (first >= last_exclusive) {
+      return;
+    }
+    const bool forward = (pass % 2) == 0;
+    const uint64_t n = last_exclusive - first;
+    for (uint64_t k = 0; k < n; ++k) {
+      const uint64_t page = forward ? first + k : last_exclusive - 1 - k;
+      if (read) {
+        sink(page, false);
+      }
+      if (write) {
+        sink(page, true);
+      }
+    }
+  }
+
+ private:
+  mutable int64_t cached_count_ = -1;
+};
+
+uint64_t PagesFor(uint64_t bytes) { return PagesForBytes(bytes); }
+
+// --- MVEC ------------------------------------------------------------------
+
+class MvecWorkload final : public PatternWorkload {
+ public:
+  explicit MvecWorkload(uint64_t n) : n_(n) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "MVEC";
+    meta.data_bytes = n_ * n_ * sizeof(double) + 2 * n_ * sizeof(double);
+    meta.user_seconds = 15.5;
+    meta.system_seconds = 0.8;
+    meta.init_seconds = 0.15;
+    return meta;
+  }
+
+ protected:
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t matrix_pages = PagesFor(n_ * n_ * sizeof(double));
+    const uint64_t vector_pages = std::max<uint64_t>(1, PagesFor(n_ * sizeof(double)));
+    // y = A x with A generated row by row and consumed immediately: one
+    // write stream over the matrix, the small x vector re-read (hot), the
+    // y vector written once at the end. Almost no pageins.
+    for (uint64_t p = 0; p < matrix_pages; ++p) {
+      sink(matrix_pages + (p % vector_pages), false);  // Read x (stays hot).
+      sink(p, true);                                   // Generate/consume a row block.
+    }
+    for (uint64_t p = 0; p < vector_pages; ++p) {
+      sink(matrix_pages + vector_pages + p, true);  // Write y.
+    }
+  }
+
+ private:
+  uint64_t n_;
+};
+
+// --- GAUSS -----------------------------------------------------------------
+
+class GaussWorkload final : public PatternWorkload {
+ public:
+  explicit GaussWorkload(uint64_t n) : n_(n) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "GAUSS";
+    meta.data_bytes = n_ * n_ * sizeof(double);
+    meta.user_seconds = 15.0;
+    meta.system_seconds = 1.0;
+    meta.init_seconds = 0.15;
+    return meta;
+  }
+
+ protected:
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t pages = PagesFor(n_ * n_ * sizeof(double));
+    // Initialize the matrix.
+    Sweep(sink, 0, pages, /*pass=*/0, /*read=*/false, /*write=*/true);
+    // Blocked elimination: each round keeps a growing pivot prefix hot
+    // (factored rows, touched but resident) and streams the remaining tail
+    // read+write. Three rounds over shrinking tails approximate the panel
+    // schedule of an out-of-core solver.
+    constexpr int kRounds = 3;
+    for (int r = 0; r < kRounds; ++r) {
+      const uint64_t tail_start = pages * static_cast<uint64_t>(r) / kRounds;
+      // Re-read a slice of the pivot prefix (pivot rows feed the updates).
+      const uint64_t pivot_lo = tail_start / 2;
+      Sweep(sink, pivot_lo, tail_start, r, /*read=*/true, /*write=*/false);
+      Sweep(sink, tail_start, pages, r + 1, /*read=*/true, /*write=*/true);
+    }
+  }
+
+ private:
+  uint64_t n_;
+};
+
+// --- QSORT -----------------------------------------------------------------
+
+class QsortWorkload final : public PatternWorkload {
+ public:
+  QsortWorkload(uint64_t records, uint64_t record_bytes)
+      : records_(records), record_bytes_(record_bytes) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "QSORT";
+    meta.data_bytes = records_ * record_bytes_;
+    meta.user_seconds = 40.0;
+    meta.system_seconds = 1.5;
+    meta.init_seconds = 0.1;
+    return meta;
+  }
+
+ protected:
+  // Sorting 8 KB records by copying them around would be absurd; a real
+  // QSORT of large records sorts *pointers* on the record keys and then
+  // permutes the records once:
+  //   1. generate the input        (sequential write pass)
+  //   2. read every record's key   (sequential read pass)
+  //   3. sort the pointer array    (in-memory; a few hot pages)
+  //   4. apply the permutation     (random reads, sequential-ish writes)
+  // Step 4's reads land at *random* record offsets — long seeks on the
+  // disk, indifferent on remote memory: the source of QSORT's outsized
+  // disk penalty in Fig. 2.
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t pages = PagesFor(records_ * record_bytes_);
+    const uint64_t pointer_pages = 4;  // The pointer array itself (hot).
+    Sweep(sink, 0, pages, /*pass=*/0, /*read=*/false, /*write=*/true);  // Generate input.
+    Sweep(sink, 0, pages, /*pass=*/1, /*read=*/true, /*write=*/false);  // Key scan.
+    // Pointer sort: ~n log n comparisons over the small pointer array.
+    const auto comparisons = static_cast<uint64_t>(
+        static_cast<double>(records_) * std::log2(static_cast<double>(records_)));
+    for (uint64_t c = 0; c < comparisons / 8; ++c) {
+      sink(pages + (c % pointer_pages), true);
+    }
+    // Permutation: destination advances sequentially, source is the sorted
+    // (i.e. random w.r.t. layout) record order.
+    Rng rng(records_ * 0x51u);
+    std::vector<uint64_t> order(pages);
+    for (uint64_t p = 0; p < pages; ++p) {
+      order[p] = p;
+    }
+    for (uint64_t p = pages; p > 1; --p) {  // Fisher-Yates.
+      std::swap(order[p - 1], order[rng.Below(p)]);
+    }
+    for (uint64_t dst = 0; dst < pages; ++dst) {
+      sink(order[dst], false);  // Fetch the record that belongs here.
+      sink(dst, true);          // Store it in place.
+    }
+  }
+
+ private:
+  uint64_t records_;
+  uint64_t record_bytes_;
+};
+
+// --- FFT -------------------------------------------------------------------
+
+class FftWorkload final : public PatternWorkload {
+ public:
+  explicit FftWorkload(double input_mb) : input_mb_(input_mb) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "FFT";
+    meta.data_bytes = static_cast<uint64_t>(input_mb_ * static_cast<double>(kMiB));
+    // The paper's measured decomposition at 24 MB: 66.138 u + 3.133 s +
+    // 0.21 init. Compute scales as n log n with the input size.
+    const double scale =
+        (input_mb_ * std::log2(std::max(2.0, input_mb_))) / (24.0 * std::log2(24.0));
+    meta.user_seconds = 66.138 * scale;
+    meta.system_seconds = 3.133 * scale;
+    meta.init_seconds = 0.21;
+    return meta;
+  }
+
+ protected:
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t pages = PagesFor(info().data_bytes);
+    // Load/initialize the signal.
+    Sweep(sink, 0, pages, /*pass=*/0, /*read=*/false, /*write=*/true);
+    // Out-of-core butterfly levels: a blocked FFT runs the top levels as
+    // full read+write passes; once sub-transforms fit in memory the
+    // remaining levels are one more blocked pass that mostly hits.
+    constexpr int kOutOfCorePasses = 2;
+    for (int pass = 1; pass <= kOutOfCorePasses; ++pass) {
+      Sweep(sink, 0, pages, pass, /*read=*/true, /*write=*/true);
+    }
+  }
+
+ private:
+  double input_mb_;
+};
+
+// --- FILTER ----------------------------------------------------------------
+
+class FilterWorkload final : public PatternWorkload {
+ public:
+  explicit FilterWorkload(uint64_t image_mb) : image_mb_(image_mb) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "FILTER";
+    meta.data_bytes = 2 * image_mb_ * kMiB;  // Input image + output image.
+    meta.user_seconds = 49.0;
+    meta.system_seconds = 1.5;
+    meta.init_seconds = 0.2;
+    return meta;
+  }
+
+ protected:
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t image_pages = PagesFor(image_mb_ * kMiB);
+    // Load the input image.
+    Sweep(sink, 0, image_pages, /*pass=*/0, /*read=*/false, /*write=*/true);
+    // Horizontal pass: read input, write output (two interleaved streams).
+    for (uint64_t p = 0; p < image_pages; ++p) {
+      sink(p, false);
+      sink(image_pages + p, true);
+    }
+    // Vertical pass, blocked by row panels: read the intermediate backward
+    // (zigzag), write the final image over the input buffer.
+    for (uint64_t k = 0; k < image_pages; ++k) {
+      const uint64_t p = image_pages - 1 - k;
+      sink(image_pages + p, false);
+      sink(p, true);
+    }
+  }
+
+ private:
+  uint64_t image_mb_;
+};
+
+// --- CC --------------------------------------------------------------------
+
+class CcWorkload final : public PatternWorkload {
+ public:
+  explicit CcWorkload(uint64_t tree_mb) : tree_mb_(tree_mb) {}
+
+  WorkloadInfo info() const override {
+    WorkloadInfo meta;
+    meta.name = "CC";
+    meta.data_bytes = tree_mb_ * kMiB;
+    meta.user_seconds = 95.0;
+    meta.system_seconds = 3.0;
+    meta.init_seconds = 0.3;
+    return meta;
+  }
+
+ protected:
+  void ForEachAccess(const AccessSink& sink) const override {
+    const uint64_t pages = PagesFor(tree_mb_ * kMiB);
+    const uint64_t header_pages = pages / 8;  // Shared headers + libraries.
+    const uint64_t unit_pages = 12;
+    const uint64_t object_pages = 6;
+    const uint64_t stride = unit_pages + object_pages;
+    const uint64_t units = (pages - header_pages) / stride;
+    Rng rng(0x4343u);  // "CC": deterministic pseudo-random schedule.
+    // Materialize the source tree: the sources and headers are file pages
+    // that the VM system holds dirty and pages out; every later read is a
+    // pagein. (On the paper's machine the build's file pages competed with
+    // the compiler's memory exactly this way.)
+    Sweep(sink, 0, pages, /*pass=*/0, /*read=*/false, /*write=*/true);
+    // Compile units in make's dependency order, which bears no relation to
+    // their on-disk layout: unit u sits at a scattered offset. The compiler
+    // also re-reads headers throughout. Both access streams are random at
+    // the disk — the seeks that make a kernel build painful to page there.
+    std::vector<uint64_t> unit_order(units);
+    for (uint64_t u = 0; u < units; ++u) {
+      unit_order[u] = u;
+    }
+    for (uint64_t u = units; u > 1; --u) {  // Fisher-Yates.
+      std::swap(unit_order[u - 1], unit_order[rng.Below(u)]);
+    }
+    for (const uint64_t unit : unit_order) {
+      const uint64_t base = header_pages + unit * stride;
+      for (int h = 0; h < 6; ++h) {
+        sink(rng.Below(header_pages), false);
+      }
+      for (uint64_t p = 0; p < unit_pages; ++p) {  // Parse the source unit.
+        sink(base + p, false);
+      }
+      for (uint64_t p = 0; p < object_pages; ++p) {  // Emit the object file.
+        sink(base + unit_pages + p, true);
+      }
+    }
+    // Final link: read every object (scattered order again), write the
+    // kernel image over the header region.
+    for (const uint64_t unit : unit_order) {
+      const uint64_t base = header_pages + unit * stride;
+      for (uint64_t p = 0; p < object_pages; ++p) {
+        sink(base + unit_pages + p, false);
+      }
+    }
+    Sweep(sink, 0, header_pages, /*pass=*/0, /*read=*/false, /*write=*/true);
+  }
+
+ private:
+  uint64_t tree_mb_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> MakeMvec(uint64_t n) { return std::make_unique<MvecWorkload>(n); }
+std::unique_ptr<Workload> MakeGauss(uint64_t n) { return std::make_unique<GaussWorkload>(n); }
+std::unique_ptr<Workload> MakeQsort(uint64_t records, uint64_t record_bytes) {
+  return std::make_unique<QsortWorkload>(records, record_bytes);
+}
+std::unique_ptr<Workload> MakeFft(double input_mb) {
+  return std::make_unique<FftWorkload>(input_mb);
+}
+std::unique_ptr<Workload> MakeFilter(uint64_t image_mb) {
+  return std::make_unique<FilterWorkload>(image_mb);
+}
+std::unique_ptr<Workload> MakeCc(uint64_t tree_mb) { return std::make_unique<CcWorkload>(tree_mb); }
+
+std::vector<std::unique_ptr<Workload>> MakePaperWorkloads() {
+  std::vector<std::unique_ptr<Workload>> workloads;
+  workloads.push_back(MakeMvec());
+  workloads.push_back(MakeGauss());
+  workloads.push_back(MakeQsort());
+  workloads.push_back(MakeFft());
+  workloads.push_back(MakeFilter());
+  workloads.push_back(MakeCc());
+  return workloads;
+}
+
+Result<std::unique_ptr<Workload>> MakeWorkloadByName(const std::string& name) {
+  if (name == "MVEC") {
+    return MakeMvec();
+  }
+  if (name == "GAUSS") {
+    return MakeGauss();
+  }
+  if (name == "QSORT") {
+    return MakeQsort();
+  }
+  if (name == "FFT") {
+    return MakeFft();
+  }
+  if (name == "FILTER") {
+    return MakeFilter();
+  }
+  if (name == "CC") {
+    return MakeCc();
+  }
+  return NotFoundError("unknown workload: " + name);
+}
+
+}  // namespace rmp

@@ -1,0 +1,96 @@
+// Application workloads from the paper's evaluation (§4): GAUSS, QSORT, FFT,
+// MVEC, FILTER and CC, reproduced as page-granularity access-pattern
+// generators.
+//
+// Each generator preserves the structure that determines paging behaviour —
+// working-set size, read/write mix, pass ordering and locality — rather than
+// doing the arithmetic. Compute time is *interleaved* with the accesses (a
+// uniform per-access cost summing to the paper's measured user time), which
+// is what lets pageout write-behind overlap computation exactly as it did on
+// the real machine.
+//
+// Sweep direction matters: well-behaved out-of-core programs revisit data in
+// a zigzag (the next pass starts where the previous one ended), which keeps
+// LRU faults proportional to the memory deficit instead of thrashing the
+// whole array per pass. The paper's measured fault counts (FFT at 24 MB:
+// 2718 pageouts, 2055 pageins — ~2.7x and ~2.0x the 768-page deficit) are
+// only reachable with such locality, so the generators sweep zigzag.
+
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/units.h"
+#include "src/vm/paged_vm.h"
+
+namespace rmp {
+
+struct WorkloadInfo {
+  std::string name;
+  uint64_t data_bytes = 0;      // Address-space footprint.
+  double user_seconds = 0.0;    // Pure compute (utime).
+  double system_seconds = 0.0;  // Kernel time excluding paging (systime).
+  double init_seconds = 0.0;    // Load/startup (inittime).
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual WorkloadInfo info() const = 0;
+
+  // Total Touch() calls Run() will issue (exact; used to spread compute).
+  virtual int64_t access_count() const = 0;
+
+  // Replays the access pattern through `vm`, advancing *now by interleaved
+  // compute slices and by fault service time.
+  virtual Status Run(PagedVm* vm, TimeNs* now) const = 0;
+};
+
+// --- The paper's six applications, with its input sizes as defaults -------
+
+// Matrix-vector multiply, 2100x2100 doubles, generated-and-consumed in one
+// fused pass: a pure write stream. "MVEC performs many pageouts and almost
+// no pageins" (§4.1) — the workload where write-behind matters most and
+// MIRRORING loses to the disk.
+std::unique_ptr<Workload> MakeMvec(uint64_t n = 2100);
+
+// Gaussian elimination, 1700x1700 doubles: an initialization write pass,
+// then elimination rounds that keep a hot pivot prefix resident and stream
+// the tail in zigzag read+write sweeps.
+std::unique_ptr<Workload> MakeGauss(uint64_t n = 1700);
+
+// Quicksort of 3000 records (8 KB each, 24 MB): recursive partition passes;
+// segments larger than memory stream read+write, recursion then works
+// depth-first with natural locality.
+std::unique_ptr<Workload> MakeQsort(uint64_t records = 3000, uint64_t record_bytes = kPageSize);
+
+// FFT over `input_mb` megabytes (paper sweeps 17..24 MB): an initialization
+// write pass plus out-of-core butterfly passes in zigzag; levels that fit in
+// memory run blocked and fault-free. Compute scales ~ n log n.
+std::unique_ptr<Workload> MakeFft(double input_mb = 24.0);
+
+// Two-pass separable image filter on a 12 MB image with a 12 MB output:
+// horizontal pass streams input to output; vertical pass re-reads the
+// output in column panels and rewrites the result.
+std::unique_ptr<Workload> MakeFilter(uint64_t image_mb = 12);
+
+// Kernel build (cc of DEC OSF/1 V3.2 with the paper's driver): compile-bound
+// with bursty reads of sources/headers and writes of objects inside a
+// sliding window; headers are re-read randomly — seeks that hurt the disk.
+std::unique_ptr<Workload> MakeCc(uint64_t tree_mb = 21);
+
+// All six with the paper's Fig. 2 inputs, in the paper's plot order.
+std::vector<std::unique_ptr<Workload>> MakePaperWorkloads();
+
+// Lookup by name ("MVEC", "GAUSS", "QSORT", "FFT", "FILTER", "CC").
+Result<std::unique_ptr<Workload>> MakeWorkloadByName(const std::string& name);
+
+}  // namespace rmp
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

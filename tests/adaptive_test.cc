@@ -1,0 +1,136 @@
+#include "src/core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/no_reliability.h"
+#include "src/net/ethernet_model.h"
+#include "src/server/memory_server.h"
+#include "src/transport/inproc_transport.h"
+
+namespace rmp {
+namespace {
+
+struct AdaptiveFixture {
+  explicit AdaptiveFixture(int background_stations, AdaptiveParams params = AdaptiveParams()) {
+    MemoryServerParams server_params;
+    server_params.capacity_pages = 4096;
+    server = std::make_unique<MemoryServer>(server_params);
+    Cluster cluster;
+    cluster.AddPeer("ws0", std::make_unique<InProcTransport>(server.get()));
+    EthernetParams ether;
+    ether.background_stations = background_stations;
+    auto fabric = std::make_shared<NetworkFabric>(std::make_shared<EthernetModel>(ether));
+    auto remote = std::make_unique<NoReliabilityBackend>(std::move(cluster), fabric,
+                                                         RemotePagerParams{});
+    auto disk = DiskBackend::Create(DiskParams(), 8192);
+    EXPECT_TRUE(disk.ok());
+    backend = std::make_unique<AdaptiveBackend>(
+        std::move(remote), std::make_unique<DiskBackend>(std::move(*disk)), params);
+  }
+
+  std::unique_ptr<MemoryServer> server;
+  std::unique_ptr<AdaptiveBackend> backend;
+};
+
+PageBuffer Patterned(uint64_t seed) {
+  PageBuffer page;
+  FillPattern(page.span(), seed);
+  return page;
+}
+
+TEST(AdaptiveTest, StaysOnIdleNetwork) {
+  AdaptiveFixture f(/*background_stations=*/0);
+  TimeNs now = 0;
+  for (uint64_t p = 0; p < 64; ++p) {
+    auto done = f.backend->PageOut(now, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    now = *done + Millis(5);
+  }
+  EXPECT_TRUE(f.backend->using_network());
+  EXPECT_EQ(f.backend->switches_to_disk(), 0);
+  EXPECT_GT(f.server->live_pages(), 60u);
+}
+
+TEST(AdaptiveTest, CongestedNetworkSwitchesToDisk) {
+  AdaptiveFixture f(/*background_stations=*/6);  // ~1.5 Mbit/s share: ~60 ms/page.
+  TimeNs now = 0;
+  for (uint64_t p = 0; p < 64; ++p) {
+    auto done = f.backend->PageOut(now, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    now = *done + Millis(5);
+  }
+  EXPECT_FALSE(f.backend->using_network());
+  EXPECT_GE(f.backend->switches_to_disk(), 1);
+  // Later pageouts landed on the disk.
+  EXPECT_GT(f.backend->disk().stats().pageouts, 0);
+}
+
+TEST(AdaptiveTest, AllPagesReadableWhereverTheyLive) {
+  AdaptiveFixture f(/*background_stations=*/6);
+  TimeNs now = 0;
+  for (uint64_t p = 0; p < 64; ++p) {
+    auto done = f.backend->PageOut(now, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    now = *done + Millis(5);
+  }
+  PageBuffer in;
+  for (uint64_t p = 0; p < 64; ++p) {
+    auto done = f.backend->PageIn(now, p, in.span());
+    ASSERT_TRUE(done.ok()) << p;
+    EXPECT_TRUE(CheckPattern(in.span(), p)) << p;
+    now = *done;
+  }
+}
+
+TEST(AdaptiveTest, UnknownPageIsNotFound) {
+  AdaptiveFixture f(0);
+  PageBuffer in;
+  EXPECT_EQ(f.backend->PageIn(0, 5, in.span()).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(AdaptiveTest, ProbesAndReturnsWhenNetworkRecovers) {
+  // Congestion cannot be changed mid-run on one model, so emulate recovery
+  // by swapping behaviour through time: use a short reprobe interval and a
+  // threshold that the idle network satisfies. The fixture's congested
+  // model stays congested, so here we only verify the probe cadence fires
+  // (pages keep landing on disk between probes, one remote probe per
+  // interval).
+  AdaptiveParams params;
+  params.reprobe_interval = Seconds(2);
+  AdaptiveFixture f(/*background_stations=*/6, params);
+  TimeNs now = 0;
+  for (uint64_t p = 0; p < 32; ++p) {  // Drive it onto the disk.
+    auto done = f.backend->PageOut(now, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    now = *done + Millis(5);
+  }
+  ASSERT_FALSE(f.backend->using_network());
+  const auto remote_before = f.backend->remote().stats().pageouts;
+  // Two reprobe windows => at least two remote probe pageouts.
+  for (int i = 0; i < 2; ++i) {
+    now += Seconds(3);
+    auto done = f.backend->PageOut(now, 100 + static_cast<uint64_t>(i), Patterned(1).span());
+    ASSERT_TRUE(done.ok());
+  }
+  EXPECT_GE(f.backend->remote().stats().pageouts, remote_before + 2);
+}
+
+TEST(AdaptiveTest, OverwriteMovesPageBetweenDevices) {
+  AdaptiveFixture f(/*background_stations=*/6);
+  TimeNs now = 0;
+  // First write goes remote (still probing), gets slow, switches...
+  for (uint64_t p = 0; p < 32; ++p) {
+    auto done = f.backend->PageOut(now, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    now = *done + Millis(5);
+  }
+  ASSERT_FALSE(f.backend->using_network());
+  // Rewrite page 0: new version lands on disk; reads must see it.
+  ASSERT_TRUE(f.backend->PageOut(now, 0, Patterned(999).span()).ok());
+  PageBuffer in;
+  ASSERT_TRUE(f.backend->PageIn(now, 0, in.span()).ok());
+  EXPECT_TRUE(CheckPattern(in.span(), 999));
+}
+
+}  // namespace
+}  // namespace rmp

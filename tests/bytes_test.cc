@@ -1,0 +1,124 @@
+#include "src/util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace rmp {
+namespace {
+
+TEST(PageBufferTest, ZeroInitialized) {
+  PageBuffer page;
+  EXPECT_EQ(page.size(), kPageSize);
+  EXPECT_TRUE(page.IsZero());
+}
+
+TEST(PageBufferTest, AssignCopiesAndZeroPads) {
+  std::vector<uint8_t> bytes = {1, 2, 3};
+  PageBuffer page;
+  FillPattern(page.span(), 99);  // Dirty it first.
+  page.Assign(std::span<const uint8_t>(bytes));
+  EXPECT_EQ(page[0], 1);
+  EXPECT_EQ(page[1], 2);
+  EXPECT_EQ(page[2], 3);
+  EXPECT_EQ(page[3], 0);
+  EXPECT_EQ(page[kPageSize - 1], 0);
+}
+
+TEST(PageBufferTest, ConstructFromSpan) {
+  PageBuffer source;
+  FillPattern(source.span(), 7);
+  PageBuffer copy(source.span());
+  EXPECT_EQ(copy, source);
+}
+
+TEST(PageBufferTest, XorWithSelfIsZero) {
+  PageBuffer page;
+  FillPattern(page.span(), 1234);
+  PageBuffer copy(page.span());
+  page.XorWith(copy.span());
+  EXPECT_TRUE(page.IsZero());
+}
+
+TEST(PageBufferTest, XorRoundTrips) {
+  PageBuffer a;
+  PageBuffer b;
+  FillPattern(a.span(), 1);
+  FillPattern(b.span(), 2);
+  PageBuffer original_a(a.span());
+  a.XorWith(b.span());
+  EXPECT_NE(a, original_a);
+  a.XorWith(b.span());
+  EXPECT_EQ(a, original_a);
+}
+
+// The parity-group identity: XOR of any set of pages recovers a missing
+// member when combined with the rest.
+TEST(PageBufferTest, ParityReconstructsAnyMember) {
+  constexpr int kPages = 5;
+  std::vector<PageBuffer> pages(kPages);
+  PageBuffer parity;
+  for (int i = 0; i < kPages; ++i) {
+    FillPattern(pages[i].span(), 100 + i);
+    parity.XorWith(pages[i].span());
+  }
+  for (int lost = 0; lost < kPages; ++lost) {
+    PageBuffer reconstructed(parity.span());
+    for (int i = 0; i < kPages; ++i) {
+      if (i != lost) {
+        reconstructed.XorWith(pages[i].span());
+      }
+    }
+    EXPECT_EQ(reconstructed, pages[lost]) << "lost member " << lost;
+  }
+}
+
+TEST(XorBytesTest, HandlesUnalignedTails) {
+  for (size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 100u}) {
+    std::vector<uint8_t> dst(n);
+    std::vector<uint8_t> src(n);
+    Rng rng(n);
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<uint8_t>(rng.Next());
+      src[i] = static_cast<uint8_t>(rng.Next());
+    }
+    std::vector<uint8_t> expected(n);
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = dst[i] ^ src[i];
+    }
+    XorBytes(dst.data(), src.data(), n);
+    EXPECT_EQ(dst, expected) << "n=" << n;
+  }
+}
+
+TEST(PatternTest, FillAndCheckAgree) {
+  PageBuffer page;
+  FillPattern(page.span(), 42);
+  EXPECT_TRUE(CheckPattern(page.span(), 42));
+  EXPECT_FALSE(CheckPattern(page.span(), 43));
+}
+
+TEST(PatternTest, SingleBitFlipDetected) {
+  PageBuffer page;
+  FillPattern(page.span(), 42);
+  page[kPageSize / 2] ^= 0x01;
+  EXPECT_FALSE(CheckPattern(page.span(), 42));
+}
+
+TEST(PatternTest, DistinctSeedsProduceDistinctPages) {
+  PageBuffer a;
+  PageBuffer b;
+  FillPattern(a.span(), 1);
+  FillPattern(b.span(), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(PageBufferTest, ClearZeroes) {
+  PageBuffer page;
+  FillPattern(page.span(), 9);
+  page.Clear();
+  EXPECT_TRUE(page.IsZero());
+}
+
+}  // namespace
+}  // namespace rmp

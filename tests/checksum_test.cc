@@ -1,0 +1,51 @@
+#include "src/util/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rmp {
+namespace {
+
+std::span<const uint8_t> AsBytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(Crc32(AsBytes("123456789")), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(Crc32({}), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t oneshot = Crc32(AsBytes(data));
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32Init();
+    crc = Crc32Update(crc, AsBytes(data.substr(0, split)));
+    crc = Crc32Update(crc, AsBytes(data.substr(split)));
+    EXPECT_EQ(Crc32Finalize(crc), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(1024, 0xa5);
+  const uint32_t clean = Crc32(std::span<const uint8_t>(data));
+  for (size_t byte : {0u, 511u, 1023u}) {
+    data[byte] ^= 0x10;
+    EXPECT_NE(Crc32(std::span<const uint8_t>(data)), clean);
+    data[byte] ^= 0x10;
+  }
+}
+
+TEST(Crc32Test, DetectsTransposition) {
+  std::vector<uint8_t> a = {1, 2, 3, 4};
+  std::vector<uint8_t> b = {1, 3, 2, 4};
+  EXPECT_NE(Crc32(std::span<const uint8_t>(a)), Crc32(std::span<const uint8_t>(b)));
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,97 @@
+#include "src/util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace rmp {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValues) {
+  auto config = Config::Parse("host = alpha\nport= 7000\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetString("host", ""), "alpha");
+  EXPECT_EQ(config->GetInt("port", 0).value(), 7000);
+}
+
+TEST(ConfigTest, CommentsAndBlankLines) {
+  auto config = Config::Parse("# registry of memory servers\n\nhost=beta # inline comment\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetString("host", ""), "beta");
+}
+
+TEST(ConfigTest, LaterKeysOverride) {
+  auto config = Config::Parse("x=1\nx=2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("x", 0).value(), 2);
+}
+
+TEST(ConfigTest, MissingEqualsIsError) {
+  auto config = Config::Parse("just a line\n");
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, EmptyKeyIsError) {
+  auto config = Config::Parse("= value\n");
+  EXPECT_FALSE(config.ok());
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  auto config = Config::Parse("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetString("absent", "dflt"), "dflt");
+  EXPECT_EQ(config->GetInt("absent", 12).value(), 12);
+  EXPECT_EQ(config->GetDouble("absent", 1.5).value(), 1.5);
+  EXPECT_EQ(config->GetBool("absent", true).value(), true);
+}
+
+TEST(ConfigTest, MalformedTypedValuesAreErrors) {
+  auto config = Config::Parse("n = twelve\nf = abc\nb = maybe\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->GetInt("n", 0).ok());
+  EXPECT_FALSE(config->GetDouble("f", 0.0).ok());
+  EXPECT_FALSE(config->GetBool("b", false).ok());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  auto config = Config::Parse("a=true\nb=1\nc=off\nd=no\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->GetBool("a", false).value());
+  EXPECT_TRUE(config->GetBool("b", false).value());
+  EXPECT_FALSE(config->GetBool("c", true).value());
+  EXPECT_FALSE(config->GetBool("d", true).value());
+}
+
+TEST(ConfigTest, HexAndNegativeIntegers) {
+  auto config = Config::Parse("hex = 0x10\nneg = -5\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("hex", 0).value(), 16);
+  EXPECT_EQ(config->GetInt("neg", 0).value(), -5);
+}
+
+TEST(ConfigTest, SetAndKeys) {
+  Config config;
+  config.Set("b", "2");
+  config.Set("a", "1");
+  EXPECT_TRUE(config.Has("a"));
+  EXPECT_FALSE(config.Has("c"));
+  const auto keys = config.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // Sorted.
+}
+
+TEST(ConfigTest, LoadMissingFileIsIoError) {
+  auto config = Config::Load("/nonexistent/rmp.conf");
+  EXPECT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), ErrorCode::kIoError);
+}
+
+TEST(TrimWhitespaceTest, Basics) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("\ta b\t"), "a b");
+}
+
+}  // namespace
+}  // namespace rmp

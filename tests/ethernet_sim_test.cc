@@ -1,0 +1,85 @@
+#include "src/net/ethernet_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/ethernet_model.h"
+
+namespace rmp {
+namespace {
+
+TEST(EthernetSimTest, SingleStationGetsFullChannel) {
+  EthernetSimulator sim;
+  const auto result = sim.RunSaturated(1, Seconds(5), 1);
+  EXPECT_EQ(result.total_collisions, 0);
+  EXPECT_GT(result.channel_efficiency, 0.99);
+  EXPECT_NEAR(result.total_throughput_mbps, 10.0, 0.2);
+}
+
+TEST(EthernetSimTest, PerStationGoodputCollapsesWithContention) {
+  EthernetSimulator sim;
+  double last_per_station = 11.0;
+  for (int stations : {1, 2, 4, 8, 16}) {
+    const auto result = sim.RunSaturated(stations, Seconds(5), 42);
+    const double per_station = result.total_throughput_mbps / stations;
+    EXPECT_LT(per_station, last_per_station);
+    last_per_station = per_station;
+  }
+  EXPECT_LT(last_per_station, 1.0);  // 16 stations: under a tenth of alone.
+}
+
+TEST(EthernetSimTest, CollisionsGrowWithStations) {
+  EthernetSimulator sim;
+  const auto two = sim.RunSaturated(2, Seconds(5), 7);
+  const auto eight = sim.RunSaturated(8, Seconds(5), 7);
+  EXPECT_GT(eight.total_collisions, two.total_collisions);
+}
+
+TEST(EthernetSimTest, MatchesAnalyticEfficiencyForFullFrames) {
+  EthernetSimulator sim;
+  EthernetModel model;
+  for (int stations : {2, 4, 8}) {
+    const auto result = sim.RunSaturated(stations, Seconds(10), 0x77 + stations);
+    const double analytic = model.ContentionEfficiency(stations);
+    EXPECT_NEAR(result.channel_efficiency, analytic, 0.07)
+        << "stations=" << stations;
+  }
+}
+
+TEST(EthernetSimTest, PoissonThroughputTracksOfferedLoadBelowSaturation) {
+  EthernetSimulator sim;
+  for (double load : {0.2, 0.5, 0.8}) {
+    const auto result = sim.RunPoisson(6, load, Seconds(10), 0x99);
+    EXPECT_NEAR(result.total_throughput_mbps, load * 10.0, 0.7) << "load=" << load;
+  }
+}
+
+TEST(EthernetSimTest, PoissonSaturatesNearCapacity) {
+  EthernetSimulator sim;
+  const auto result = sim.RunPoisson(6, 3.0, Seconds(10), 0x9a);
+  EXPECT_GT(result.total_throughput_mbps, 8.5);
+  EXPECT_LE(result.total_throughput_mbps, 10.01);
+}
+
+TEST(EthernetSimTest, DeterministicForSeed) {
+  EthernetSimulator sim;
+  const auto a = sim.RunSaturated(4, Seconds(2), 5);
+  const auto b = sim.RunSaturated(4, Seconds(2), 5);
+  EXPECT_EQ(a.total_frames_delivered, b.total_frames_delivered);
+  EXPECT_EQ(a.total_collisions, b.total_collisions);
+}
+
+TEST(EthernetSimTest, FairnessAcrossStationsLongRun) {
+  EthernetSimulator sim;
+  const auto result = sim.RunSaturated(4, Seconds(30), 13);
+  int64_t min_frames = result.stations[0].frames_delivered;
+  int64_t max_frames = min_frames;
+  for (const auto& st : result.stations) {
+    min_frames = std::min(min_frames, st.frames_delivered);
+    max_frames = std::max(max_frames, st.frames_delivered);
+  }
+  // BEB is unfair short-term (capture effect) but roughly fair over 30 s.
+  EXPECT_GT(static_cast<double>(min_frames) / static_cast<double>(max_frames), 0.5);
+}
+
+}  // namespace
+}  // namespace rmp

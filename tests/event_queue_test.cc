@@ -1,0 +1,121 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/resource.h"
+
+namespace rmp {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  queue.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  queue.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), Millis(30));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  TimeNs fired_at = -1;
+  queue.ScheduleAt(Millis(10), [&] {
+    queue.ScheduleAfter(Millis(5), [&] { fired_at = queue.now(); });
+  });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(fired_at, Millis(15));
+}
+
+TEST(EventQueueTest, EventsCanCascade) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) {
+      queue.ScheduleAfter(Millis(1), chain);
+    }
+  };
+  queue.ScheduleAt(0, chain);
+  queue.RunUntilEmpty();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(queue.now(), Millis(9));
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
+  EventQueue queue;
+  int fired = 0;
+  queue.ScheduleAt(Millis(10), [&] { ++fired; });
+  queue.ScheduleAt(Millis(30), [&] { ++fired; });
+  queue.RunUntil(Millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), Millis(20));
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Step());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ResourceTest, IdleRequestStartsImmediately) {
+  Resource r("dev");
+  EXPECT_EQ(r.Serve(Millis(5), Millis(10)), Millis(15));
+  EXPECT_EQ(r.busy_until(), Millis(15));
+}
+
+TEST(ResourceTest, BusyRequestQueues) {
+  Resource r("dev");
+  r.Serve(0, Millis(10));
+  EXPECT_EQ(r.Serve(Millis(2), Millis(10)), Millis(20));
+  EXPECT_EQ(r.requests(), 2);
+}
+
+TEST(ResourceTest, IdleGapResetsQueue) {
+  Resource r("dev");
+  r.Serve(0, Millis(10));
+  // Arrives long after the device drained: no queueing delay.
+  EXPECT_EQ(r.Serve(Millis(100), Millis(5)), Millis(105));
+}
+
+TEST(ResourceTest, BusyTimeAccumulates) {
+  Resource r("dev");
+  r.Serve(0, Millis(10));
+  r.Serve(0, Millis(20));
+  EXPECT_EQ(r.busy_time(), Millis(30));
+}
+
+TEST(ResourceTest, QueueDelayStatsTracked) {
+  Resource r("dev");
+  r.Serve(0, Millis(10));
+  r.Serve(0, Millis(10));  // Waits 10 ms.
+  EXPECT_EQ(r.queue_delay_stats().count(), 2);
+  EXPECT_NEAR(r.queue_delay_stats().max(), 10.0, 1e-9);
+}
+
+TEST(ResourceTest, ResetClearsState) {
+  Resource r("dev");
+  r.Serve(0, Millis(10));
+  r.Reset();
+  EXPECT_EQ(r.busy_until(), 0);
+  EXPECT_EQ(r.busy_time(), 0);
+  EXPECT_EQ(r.requests(), 0);
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,93 @@
+#include "src/core/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/ethernet_model.h"
+
+namespace rmp {
+namespace {
+
+TEST(FabricTest, NoModelIsFree) {
+  NetworkFabric fabric;
+  const auto cost = fabric.Transfer(Millis(5), kPageWireBytes);
+  EXPECT_EQ(cost.completion, Millis(5));
+  EXPECT_EQ(cost.protocol, 0);
+  EXPECT_EQ(cost.wire, 0);
+}
+
+TEST(FabricTest, TransferChargesProtocolThenWire) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  const auto cost = fabric.Transfer(0, kPageWireBytes);
+  EXPECT_EQ(cost.protocol, Micros(1600));
+  EXPECT_NEAR(ToMillis(cost.wire), 9.68, 0.2);
+  EXPECT_EQ(cost.completion, cost.protocol + cost.wire);
+}
+
+TEST(FabricTest, BackToBackTransfersQueue) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  const auto first = fabric.Transfer(0, kPageWireBytes);
+  const auto second = fabric.Transfer(0, kPageWireBytes);
+  EXPECT_GT(second.completion, first.completion);
+  // Wire time of the second includes waiting for the first.
+  EXPECT_GT(second.wire, first.wire);
+}
+
+TEST(FabricTest, AsyncUnblocksWithinLagWindow) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  fabric.set_async_lag(Seconds(1));  // Effectively unbounded buffering.
+  const auto cost = fabric.TransferAsync(0, kPageWireBytes);
+  // Only protocol time blocks the sender.
+  EXPECT_EQ(cost.completion, cost.protocol);
+  EXPECT_EQ(cost.wire, 0);
+}
+
+TEST(FabricTest, AsyncBlocksWhenBacklogExceedsLag) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  fabric.set_async_lag(Millis(15));
+  TimeNs now = 0;
+  TimeNs last = 0;
+  // Flood the wire: the backlog soon exceeds 15 ms and sends start blocking
+  // at roughly wire speed.
+  for (int i = 0; i < 20; ++i) {
+    last = fabric.TransferAsync(now, kPageWireBytes).completion;
+  }
+  EXPECT_GT(last, Millis(150));  // ~20 pages at ~11 ms each, minus the lag.
+}
+
+TEST(FabricTest, SyncQueuesBehindAsyncBacklog) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  for (int i = 0; i < 5; ++i) {
+    fabric.TransferAsync(0, kPageWireBytes);
+  }
+  // A pagein issued now waits for the five queued pageouts.
+  const auto read = fabric.Transfer(0, kPageWireBytes);
+  EXPECT_GT(read.completion, 5 * Millis(9));
+}
+
+TEST(FabricTest, DedicatedPeerLinkBypassesSharedWire) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  fabric.SetPeerLink(7, std::make_shared<IdealLinkModel>(155.0, Millis(2), Micros(1600)));
+  EXPECT_TRUE(fabric.HasPeerLink(7));
+  EXPECT_FALSE(fabric.HasPeerLink(3));
+  // Saturate the shared segment.
+  for (int i = 0; i < 10; ++i) {
+    fabric.Transfer(0, kPageWireBytes);
+  }
+  // The dedicated link is idle: a transfer to peer 7 completes fast.
+  const auto far = fabric.Transfer(0, kPageWireBytes, 7);
+  EXPECT_LT(far.completion, Millis(5));
+  // And a shared-segment transfer still queues.
+  const auto near = fabric.Transfer(0, kPageWireBytes, 3);
+  EXPECT_GT(near.completion, Millis(100));
+}
+
+TEST(FabricTest, DedicatedLinkHasItsOwnQueue) {
+  NetworkFabric fabric(std::make_shared<EthernetModel>());
+  fabric.SetPeerLink(1, std::make_shared<IdealLinkModel>(155.0, 0, Micros(1600)));
+  const auto a = fabric.Transfer(0, kPageWireBytes, 1);
+  const auto b = fabric.Transfer(0, kPageWireBytes, 1);
+  EXPECT_GT(b.completion, a.completion);  // Queued on the dedicated wire.
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,79 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rmp {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MomentsMatchClosedForm) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, Reset) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(HistogramTest, CountsAndPercentiles) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    hist.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_EQ(hist.count(), 100);
+  EXPECT_NEAR(hist.Percentile(50), 50.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(90), 90.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(100), 100.0, 1.5);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(-5.0);
+  hist.Add(50.0);
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_LE(hist.Percentile(25), 1.0);
+  EXPECT_GE(hist.Percentile(75), 9.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram hist(0.0, 1.0, 4);
+  EXPECT_EQ(hist.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ToStringRendersNonEmptyBuckets) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(1.5);
+  hist.Add(1.6);
+  const std::string out = hist.ToString();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,242 @@
+#include "src/server/memory_server.h"
+
+#include <gtest/gtest.h>
+
+namespace rmp {
+namespace {
+
+MemoryServerParams SmallServer(uint64_t capacity = 64) {
+  MemoryServerParams params;
+  params.name = "test-server";
+  params.capacity_pages = capacity;
+  return params;
+}
+
+TEST(MemoryServerTest, AllocateGrantsDistinctRuns) {
+  MemoryServer server(SmallServer());
+  auto a = server.Allocate(8);
+  auto b = server.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(server.free_pages(), 64u - 16u);
+}
+
+TEST(MemoryServerTest, DeniesBeyondCapacity) {
+  MemoryServer server(SmallServer(10));
+  EXPECT_TRUE(server.Allocate(10).ok());
+  auto denied = server.Allocate(1);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(server.stats().denials, 1);
+}
+
+TEST(MemoryServerTest, ZeroPageAllocationRejected) {
+  MemoryServer server(SmallServer());
+  EXPECT_EQ(server.Allocate(0).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemoryServerTest, StoreAndLoadRoundTrip) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(1);
+  PageBuffer page;
+  FillPattern(page.span(), 5);
+  ASSERT_TRUE(server.Store(*slot, page.span()).ok());
+  auto loaded = server.Load(*slot);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, page);
+}
+
+TEST(MemoryServerTest, LoadOfEmptySlotIsNotFound) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(1);
+  EXPECT_EQ(server.Load(*slot).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(MemoryServerTest, StoreToUnallocatedSlotRejected) {
+  MemoryServer server(SmallServer());
+  PageBuffer page;
+  EXPECT_EQ(server.Store(1000, page.span()).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MemoryServerTest, StoreWrongSizeRejected) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(1);
+  std::vector<uint8_t> tiny(16, 0);
+  EXPECT_EQ(server.Store(*slot, std::span<const uint8_t>(tiny)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(MemoryServerTest, FreeReleasesCapacityAndPages) {
+  MemoryServer server(SmallServer(8));
+  auto slot = server.Allocate(8);
+  PageBuffer page;
+  FillPattern(page.span(), 1);
+  ASSERT_TRUE(server.Store(*slot, page.span()).ok());
+  ASSERT_TRUE(server.Free(*slot, 8).ok());
+  EXPECT_EQ(server.free_pages(), 8u);
+  EXPECT_FALSE(server.Holds(*slot));
+  // Freed slots are reused.
+  auto again = server.Allocate(8);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *slot);
+}
+
+TEST(MemoryServerTest, AdviseStopNearCapacity) {
+  MemoryServerParams params = SmallServer(100);
+  params.advise_stop_fraction = 0.9;
+  MemoryServer server(params);
+  EXPECT_FALSE(server.ShouldAdviseStop());
+  ASSERT_TRUE(server.Allocate(90).ok());
+  EXPECT_TRUE(server.ShouldAdviseStop());
+}
+
+TEST(MemoryServerTest, NativeLoadShrinksCapacity) {
+  MemoryServer server(SmallServer(100));
+  EXPECT_EQ(server.capacity_pages(), 100u);
+  server.SetNativeLoad(0.5);
+  EXPECT_EQ(server.capacity_pages(), 50u);
+  server.SetNativeLoad(1.0);
+  EXPECT_EQ(server.capacity_pages(), 0u);
+  EXPECT_TRUE(server.ShouldAdviseStop());
+}
+
+TEST(MemoryServerTest, CrashDropsEverything) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(4);
+  PageBuffer page;
+  FillPattern(page.span(), 2);
+  ASSERT_TRUE(server.Store(*slot, page.span()).ok());
+  server.Crash();
+  EXPECT_TRUE(server.crashed());
+  EXPECT_EQ(server.live_pages(), 0u);
+  EXPECT_EQ(server.Load(*slot).status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(server.Store(*slot, page.span()).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(server.Allocate(1).status().code(), ErrorCode::kUnavailable);
+}
+
+TEST(MemoryServerTest, RestartComesBackEmpty) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(4);
+  server.Crash();
+  server.Restart();
+  EXPECT_FALSE(server.crashed());
+  EXPECT_EQ(server.live_pages(), 0u);
+  EXPECT_EQ(server.free_pages(), 64u);  // All capacity reclaimed.
+  (void)slot;
+}
+
+TEST(MemoryServerTest, DeltaStoreReturnsOldXorNew) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(1);
+  PageBuffer v1;
+  PageBuffer v2;
+  FillPattern(v1.span(), 10);
+  FillPattern(v2.span(), 11);
+  // First store: old is the zero page, so the delta equals v1.
+  auto delta1 = server.DeltaStore(*slot, v1.span());
+  ASSERT_TRUE(delta1.ok());
+  EXPECT_EQ(*delta1, v1);
+  // Second store: delta = v1 ^ v2.
+  auto delta2 = server.DeltaStore(*slot, v2.span());
+  ASSERT_TRUE(delta2.ok());
+  PageBuffer expected(v1.span());
+  expected.XorWith(v2.span());
+  EXPECT_EQ(*delta2, expected);
+  EXPECT_EQ(*server.Load(*slot), v2);
+}
+
+TEST(MemoryServerTest, XorMergeFoldsIntoStored) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(1);
+  PageBuffer a;
+  PageBuffer b;
+  FillPattern(a.span(), 20);
+  FillPattern(b.span(), 21);
+  ASSERT_TRUE(server.XorMerge(*slot, a.span()).ok());  // Zero ^ a = a.
+  ASSERT_TRUE(server.XorMerge(*slot, b.span()).ok());
+  PageBuffer expected(a.span());
+  expected.XorWith(b.span());
+  EXPECT_EQ(*server.Load(*slot), expected);
+}
+
+TEST(MemoryServerTest, LiveSlotsSorted) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(5);
+  PageBuffer page;
+  ASSERT_TRUE(server.Store(*slot + 3, page.span()).ok());
+  ASSERT_TRUE(server.Store(*slot + 1, page.span()).ok());
+  const auto slots = server.LiveSlots();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0], *slot + 1);
+  EXPECT_EQ(slots[1], *slot + 3);
+}
+
+// Wire-protocol dispatch.
+TEST(MemoryServerHandleTest, AllocAndDenial) {
+  MemoryServer server(SmallServer(4));
+  Message reply = server.Handle(MakeAllocRequest(1, 4));
+  EXPECT_EQ(reply.type, MessageType::kAllocReply);
+  EXPECT_EQ(reply.status_code(), ErrorCode::kOk);
+  EXPECT_EQ(reply.count, 4u);
+  reply = server.Handle(MakeAllocRequest(2, 1));
+  EXPECT_EQ(reply.status_code(), ErrorCode::kNoSpace);
+}
+
+TEST(MemoryServerHandleTest, PageOutInRoundTrip) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 1));
+  PageBuffer page;
+  FillPattern(page.span(), 30);
+  const Message ack = server.Handle(MakePageOut(2, alloc.slot, page.span()));
+  EXPECT_EQ(ack.type, MessageType::kPageOutAck);
+  EXPECT_EQ(ack.status_code(), ErrorCode::kOk);
+  const Message reply = server.Handle(MakePageIn(3, alloc.slot));
+  EXPECT_EQ(reply.type, MessageType::kPageInReply);
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(reply.payload), 30));
+}
+
+TEST(MemoryServerHandleTest, LoadReport) {
+  MemoryServer server(SmallServer(100));
+  const Message report = server.Handle(MakeLoadQuery(1));
+  EXPECT_EQ(report.type, MessageType::kLoadReport);
+  EXPECT_EQ(report.count, 100u);
+  EXPECT_EQ(report.aux, 100u);
+  EXPECT_FALSE(report.advise_stop());
+}
+
+TEST(MemoryServerHandleTest, AdviseStopPiggybackedOnAck) {
+  MemoryServerParams params = SmallServer(10);
+  params.advise_stop_fraction = 0.5;
+  MemoryServer server(params);
+  const Message alloc = server.Handle(MakeAllocRequest(1, 6));
+  PageBuffer page;
+  const Message ack = server.Handle(MakePageOut(2, alloc.slot, page.span()));
+  EXPECT_TRUE(ack.advise_stop());
+}
+
+TEST(MemoryServerHandleTest, UnknownRequestYieldsErrorReply) {
+  MemoryServer server(SmallServer());
+  Message bogus;
+  bogus.type = MessageType::kAllocReply;  // A reply is not a valid request.
+  bogus.request_id = 9;
+  const Message reply = server.Handle(bogus);
+  EXPECT_EQ(reply.type, MessageType::kErrorReply);
+  EXPECT_EQ(reply.status_code(), ErrorCode::kProtocol);
+  EXPECT_EQ(reply.request_id, 9u);
+}
+
+TEST(MemoryServerHandleTest, StatsCount) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 2));
+  PageBuffer page;
+  server.Handle(MakePageOut(2, alloc.slot, page.span()));
+  server.Handle(MakePageIn(3, alloc.slot));
+  EXPECT_EQ(server.stats().pageouts_served, 1);
+  EXPECT_EQ(server.stats().pageins_served, 1);
+  EXPECT_EQ(server.stats().allocations, 1);
+  EXPECT_EQ(server.stats().bytes_stored, kPageSize);
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/model/cluster_usage.h"
+#include "src/model/extrapolation.h"
+#include "src/model/run_simulator.h"
+#include "src/net/ethernet_model.h"
+
+namespace rmp {
+namespace {
+
+// --- Extrapolation (§4.3) ----------------------------------------------------
+
+TEST(ExtrapolationTest, ReproducesPaperArithmeticExactly) {
+  // The paper's FFT/24MB parity-logging run: etime 130.76 s, 66.138 u,
+  // 3.133 sys, 0.21 init, 5452 transfers at 1.6 ms -> 8.7232 s protocol,
+  // btime 52.556 s; a 10x network gives 83.459 s.
+  RunResult run;
+  run.etime_s = 130.76;
+  run.utime_s = 66.138;
+  run.systime_s = 3.133;
+  run.inittime_s = 0.21;
+  run.backend.page_transfers = 5452;
+  const TimeDecomposition d = Decompose(run);
+  EXPECT_NEAR(d.pptime_s, 8.7232, 1e-9);
+  EXPECT_NEAR(d.btime_s, 52.5558, 1e-3);
+  EXPECT_NEAR(ExpectedElapsedSeconds(d, 10.0), 83.459, 0.01);
+  EXPECT_NEAR(AllMemorySeconds(d), 69.481, 1e-9);
+  // Paging share on the 10x network is below the paper's 17% bound.
+  const double paging = d.pptime_s + d.btime_s / 10.0;
+  EXPECT_LT(paging / ExpectedElapsedSeconds(d, 10.0), 0.17);
+}
+
+TEST(ExtrapolationTest, FactorOneIsIdentity) {
+  RunResult run;
+  run.etime_s = 100.0;
+  run.utime_s = 40.0;
+  run.systime_s = 2.0;
+  run.inittime_s = 1.0;
+  run.backend.page_transfers = 1000;
+  const TimeDecomposition d = Decompose(run);
+  EXPECT_NEAR(ExpectedElapsedSeconds(d, 1.0), 100.0, 1e-9);
+}
+
+TEST(ExtrapolationTest, InfiniteBandwidthLeavesProtocolTime) {
+  RunResult run;
+  run.etime_s = 100.0;
+  run.utime_s = 40.0;
+  run.backend.page_transfers = 1000;
+  const TimeDecomposition d = Decompose(run);
+  const double limit = ExpectedElapsedSeconds(d, 1e9);
+  EXPECT_NEAR(limit, 40.0 + 1000 * 0.0016, 1e-3);
+}
+
+TEST(ExtrapolationTest, NegativeBtimeClampsToZero) {
+  RunResult run;
+  run.etime_s = 10.0;
+  run.utime_s = 9.999;
+  run.backend.page_transfers = 1000;  // Protocol alone exceeds the residue.
+  const TimeDecomposition d = Decompose(run);
+  EXPECT_EQ(d.btime_s, 0.0);
+}
+
+// --- RunSimulator -------------------------------------------------------------
+
+TEST(RunSimulatorTest, DecompositionAddsUp) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  params.server_capacity_pages = 8192;
+  params.network = std::make_shared<EthernetModel>();
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = 2304;
+  auto run = SimulateRun(*MakeFft(24.0), &(*bed)->backend(), config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_NEAR(run->etime_s,
+              run->utime_s + run->systime_s + run->inittime_s + run->ptime_s, 1e-6);
+  EXPECT_GT(run->ptime_s, 0.0);
+  EXPECT_EQ(run->vm.pageouts, run->backend.pageouts);
+  EXPECT_EQ(run->vm.pageins, run->backend.pageins);
+}
+
+TEST(RunSimulatorTest, NoPagingWhenWorkingSetFits) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = 4096;  // 32 MB for a 24 MB input.
+  auto run = SimulateRun(*MakeFft(24.0), &(*bed)->backend(), config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->backend.page_transfers, 0);
+  EXPECT_NEAR(run->ptime_s, 0.0, 1e-6);
+}
+
+TEST(RunSimulatorTest, SmallerMemoryMeansLongerRun) {
+  double last_etime = 0.0;
+  for (uint32_t frames : {2816u, 2560u, 2304u}) {
+    TestbedParams params;
+    params.policy = Policy::kNoReliability;
+    params.data_servers = 2;
+    params.server_capacity_pages = 8192;
+    params.network = std::make_shared<EthernetModel>();
+    auto bed = Testbed::Create(params);
+    ASSERT_TRUE(bed.ok());
+    RunConfig config;
+    config.physical_frames = frames;
+    auto run = SimulateRun(*MakeFft(24.0), &(*bed)->backend(), config);
+    ASSERT_TRUE(run.ok());
+    if (last_etime > 0.0) {
+      EXPECT_GT(run->etime_s, last_etime) << frames;
+    }
+    last_etime = run->etime_s;
+  }
+}
+
+TEST(RunSimulatorTest, FormatRunResultMentionsKeyFields) {
+  RunResult run;
+  run.workload = "FFT";
+  run.policy = "DISK";
+  run.etime_s = 12.5;
+  const std::string row = FormatRunResult(run);
+  EXPECT_NE(row.find("FFT"), std::string::npos);
+  EXPECT_NE(row.find("DISK"), std::string::npos);
+  EXPECT_NE(row.find("12.5"), std::string::npos);
+}
+
+// --- Cluster usage (Fig. 1) ----------------------------------------------------
+
+TEST(ClusterUsageTest, WeekHasExpectedSampleCount) {
+  ClusterUsageParams params;
+  const auto samples = SimulateClusterWeek(params, 30);
+  EXPECT_EQ(samples.size(), 7u * 24 * 2);
+  EXPECT_EQ(samples.front().day_of_week, 0);  // Thursday.
+  EXPECT_EQ(samples.back().day_of_week, 6);   // Wednesday.
+}
+
+TEST(ClusterUsageTest, FreeMemoryNeverBelowPaperFloor) {
+  ClusterUsageParams params;
+  for (const auto& s : SimulateClusterWeek(params, 30)) {
+    EXPECT_GE(s.free_mb, 250.0) << "at hour " << s.hours_since_start;
+    EXPECT_LE(s.free_mb, 800.0 - 16 * params.os_base_mb + 1e-9);
+  }
+}
+
+TEST(ClusterUsageTest, WeekdayNoonBusierThanNight) {
+  ClusterUsageParams params;
+  const auto samples = SimulateClusterWeek(params, 30);
+  double noon_free = 0.0;
+  int noon_n = 0;
+  double night_free = 0.0;
+  int night_n = 0;
+  for (const auto& s : samples) {
+    const bool weekend = s.day_of_week == 2 || s.day_of_week == 3;
+    if (weekend) {
+      continue;
+    }
+    if (s.hour_of_day >= 11.0 && s.hour_of_day < 16.0) {
+      noon_free += s.free_mb;
+      ++noon_n;
+    } else if (s.hour_of_day >= 1.0 && s.hour_of_day < 5.0) {
+      night_free += s.free_mb;
+      ++night_n;
+    }
+  }
+  EXPECT_LT(noon_free / noon_n, night_free / night_n - 30.0);
+}
+
+TEST(ClusterUsageTest, WeekendFreerThanWeekdayDaytime) {
+  ClusterUsageParams params;
+  const auto samples = SimulateClusterWeek(params, 30);
+  double weekend_free = 0.0;
+  int weekend_n = 0;
+  double weekday_free = 0.0;
+  int weekday_n = 0;
+  for (const auto& s : samples) {
+    if (s.hour_of_day < 9.0 || s.hour_of_day > 18.0) {
+      continue;
+    }
+    const bool weekend = s.day_of_week == 2 || s.day_of_week == 3;
+    if (weekend) {
+      weekend_free += s.free_mb;
+      ++weekend_n;
+    } else {
+      weekday_free += s.free_mb;
+      ++weekday_n;
+    }
+  }
+  EXPECT_GT(weekend_free / weekend_n, weekday_free / weekday_n);
+}
+
+TEST(ClusterUsageTest, SessionProbabilityShape) {
+  EXPECT_GT(SessionProbability(0, 11.5), SessionProbability(0, 4.0));
+  EXPECT_GT(SessionProbability(0, 15.5), SessionProbability(0, 22.0));
+  // Weekend suppression.
+  EXPECT_GT(SessionProbability(0, 12.0), SessionProbability(2, 12.0) * 3.0);
+}
+
+TEST(ClusterUsageTest, DeterministicForSeed) {
+  ClusterUsageParams params;
+  const auto a = SimulateClusterWeek(params, 60);
+  const auto b = SimulateClusterWeek(params, 60);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].free_mb, b[i].free_mb);
+  }
+}
+
+TEST(ClusterUsageTest, DayNames) {
+  EXPECT_EQ(DayName(0), "Thursday");
+  EXPECT_EQ(DayName(3), "Sunday");
+  EXPECT_EQ(DayName(6), "Wednesday");
+}
+
+}  // namespace
+}  // namespace rmp

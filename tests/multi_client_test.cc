@@ -1,0 +1,136 @@
+// Multiple independent clients paging against one shared server fleet. The
+// paper notes that unlike file systems, paging clients "never share their
+// swap spaces" (§6) — each client's pages must stay private and intact no
+// matter how the other clients hammer the same servers.
+
+#include <gtest/gtest.h>
+
+#include "src/core/no_reliability.h"
+#include "src/core/parity_logging.h"
+#include "src/server/memory_server.h"
+#include "src/transport/inproc_transport.h"
+#include "src/util/rng.h"
+
+namespace rmp {
+namespace {
+
+struct SharedFleet {
+  explicit SharedFleet(int count, uint64_t capacity) {
+    for (int i = 0; i < count; ++i) {
+      MemoryServerParams params;
+      params.name = "shared-" + std::to_string(i);
+      params.capacity_pages = capacity;
+      servers.push_back(std::make_unique<MemoryServer>(params));
+    }
+  }
+
+  // Each client gets its OWN transports and Cluster over the same servers —
+  // the paper's per-client server instances share the host's memory pool.
+  Cluster MakeClusterView() {
+    Cluster cluster;
+    for (auto& server : servers) {
+      cluster.AddPeer(server->name(), std::make_unique<InProcTransport>(server.get()));
+    }
+    return cluster;
+  }
+
+  std::vector<std::unique_ptr<MemoryServer>> servers;
+};
+
+PageBuffer Patterned(uint64_t seed) {
+  PageBuffer page;
+  FillPattern(page.span(), seed);
+  return page;
+}
+
+TEST(MultiClientTest, TwoClientsSwapSpacesAreDisjoint) {
+  SharedFleet fleet(2, 1024);
+  RemotePagerParams params;
+  params.alloc_extent_pages = 16;
+  NoReliabilityBackend client_a(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(),
+                                params);
+  NoReliabilityBackend client_b(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(),
+                                params);
+  // Interleave writes of the SAME page ids with different contents.
+  for (uint64_t p = 0; p < 50; ++p) {
+    ASSERT_TRUE(client_a.PageOut(0, p, Patterned(1000 + p).span()).ok());
+    ASSERT_TRUE(client_b.PageOut(0, p, Patterned(2000 + p).span()).ok());
+  }
+  PageBuffer in;
+  for (uint64_t p = 0; p < 50; ++p) {
+    ASSERT_TRUE(client_a.PageIn(0, p, in.span()).ok());
+    EXPECT_TRUE(CheckPattern(in.span(), 1000 + p)) << "client A page " << p;
+    ASSERT_TRUE(client_b.PageIn(0, p, in.span()).ok());
+    EXPECT_TRUE(CheckPattern(in.span(), 2000 + p)) << "client B page " << p;
+  }
+}
+
+TEST(MultiClientTest, OneClientFillingServersDeniesTheOtherGracefully) {
+  SharedFleet fleet(1, 64);
+  RemotePagerParams params;
+  params.alloc_extent_pages = 8;
+  NoReliabilityBackend hog(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(), params);
+  NoReliabilityBackend victim(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(),
+                              params);
+  // The hog takes almost everything.
+  for (uint64_t p = 0; p < 56; ++p) {
+    ASSERT_TRUE(hog.PageOut(0, p, Patterned(p).span()).ok());
+  }
+  // The victim gets denials eventually but never corruption.
+  uint64_t stored = 0;
+  for (uint64_t p = 0; p < 32; ++p) {
+    auto done = victim.PageOut(0, p, Patterned(500 + p).span());
+    if (!done.ok()) {
+      EXPECT_EQ(done.status().code(), ErrorCode::kNoSpace);
+      break;
+    }
+    ++stored;
+  }
+  PageBuffer in;
+  for (uint64_t p = 0; p < stored; ++p) {
+    ASSERT_TRUE(victim.PageIn(0, p, in.span()).ok());
+    EXPECT_TRUE(CheckPattern(in.span(), 500 + p));
+  }
+  // And the hog's pages are untouched by the victim's traffic.
+  for (uint64_t p = 0; p < 56; ++p) {
+    ASSERT_TRUE(hog.PageIn(0, p, in.span()).ok());
+    EXPECT_TRUE(CheckPattern(in.span(), p));
+  }
+}
+
+TEST(MultiClientTest, ParityClientsShareServersWithoutCrossTalk) {
+  SharedFleet fleet(5, 1024);
+  RemotePagerParams params;
+  params.alloc_extent_pages = 16;
+  ParityLoggingBackend client_a(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(),
+                                params, /*parity_peer=*/4);
+  ParityLoggingBackend client_b(fleet.MakeClusterView(), std::make_shared<NetworkFabric>(),
+                                params, /*parity_peer=*/4);
+  Rng rng(99);
+  std::vector<uint64_t> seeds_a(40);
+  std::vector<uint64_t> seeds_b(40);
+  for (uint64_t p = 0; p < 40; ++p) {
+    seeds_a[p] = rng.Next();
+    seeds_b[p] = rng.Next();
+    ASSERT_TRUE(client_a.PageOut(0, p, Patterned(seeds_a[p]).span()).ok());
+    ASSERT_TRUE(client_b.PageOut(0, p, Patterned(seeds_b[p]).span()).ok());
+  }
+  // Crash a shared server: BOTH clients must recover their own pages.
+  fleet.servers[1]->Crash();
+  PageBuffer in;
+  for (uint64_t p = 0; p < 40; ++p) {
+    ASSERT_TRUE(client_a.PageIn(0, p, in.span()).ok()) << p;
+    EXPECT_TRUE(CheckPattern(in.span(), seeds_a[p]));
+  }
+  fleet.servers[1]->Restart();  // A fresh restart does not confuse B...
+  fleet.servers[1]->Crash();    // ...which still sees the host as crashed.
+  for (uint64_t p = 0; p < 40; ++p) {
+    ASSERT_TRUE(client_b.PageIn(0, p, in.span()).ok()) << p;
+    EXPECT_TRUE(CheckPattern(in.span(), seeds_b[p]));
+  }
+  EXPECT_TRUE(client_a.CheckInvariants().ok());
+  EXPECT_TRUE(client_b.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,120 @@
+#include "src/net/network_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/delayed_model.h"
+#include "src/net/ethernet_model.h"
+#include "src/net/token_ring_model.h"
+
+namespace rmp {
+namespace {
+
+TEST(IdealLinkTest, TransferTimeMatchesBandwidth) {
+  IdealLinkModel link(100.0, /*setup=*/0, /*protocol=*/Micros(100));
+  // 1 MB at 100 Mbit/s = 80 ms.
+  EXPECT_EQ(link.TransferTime(1'000'000), Millis(80));
+  EXPECT_EQ(link.ProtocolTime(), Micros(100));
+}
+
+TEST(IdealLinkTest, SetupLatencyAdds) {
+  IdealLinkModel link(10.0, Millis(1), 0);
+  EXPECT_EQ(link.TransferTime(0), Millis(1));
+}
+
+TEST(ScaledModelTest, DividesWireTimeOnly) {
+  auto base = std::make_shared<EthernetModel>();
+  ScaledBandwidthModel scaled(base, 10.0);
+  EXPECT_EQ(scaled.TransferTime(kPageSize), base->TransferTime(kPageSize) / 10);
+  EXPECT_EQ(scaled.ProtocolTime(), base->ProtocolTime());
+  EXPECT_NEAR(scaled.EffectiveBandwidthMbps(), base->EffectiveBandwidthMbps() * 10.0, 1e-6);
+}
+
+// §4.4 calibration: an 8 KB page costs 9.64 ms of wire + 1.6 ms protocol on
+// the paper's 10 Mbit/s Ethernet.
+TEST(EthernetModelTest, PaperPageCalibration) {
+  EthernetModel ethernet;
+  EXPECT_NEAR(ToMillis(ethernet.TransferTime(kPageSize)), 9.64, 0.15);
+  EXPECT_EQ(ethernet.ProtocolTime(), Micros(1600));
+  const double total_ms =
+      ToMillis(ethernet.TransferTime(kPageSize) + ethernet.ProtocolTime());
+  EXPECT_NEAR(total_ms, 11.24, 0.2);
+}
+
+TEST(EthernetModelTest, FragmentsByMtu) {
+  EthernetModel ethernet;
+  EXPECT_EQ(ethernet.FramesForBytes(0), 1);
+  EXPECT_EQ(ethernet.FramesForBytes(1), 1);
+  EXPECT_EQ(ethernet.FramesForBytes(1460), 1);
+  EXPECT_EQ(ethernet.FramesForBytes(1461), 2);
+  EXPECT_EQ(ethernet.FramesForBytes(kPageSize), 6);
+}
+
+TEST(EthernetModelTest, TransferTimeMonotoneInSize) {
+  EthernetModel ethernet;
+  DurationNs last = 0;
+  for (uint64_t bytes : {100ull, 1000ull, 4096ull, 8192ull, 65536ull}) {
+    const DurationNs t = ethernet.TransferTime(bytes);
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+TEST(EthernetModelTest, ContentionEfficiencyDecreasesWithStations) {
+  EthernetModel ethernet;
+  double last = 1.01;
+  for (int stations = 1; stations <= 16; ++stations) {
+    const double eff = ethernet.ContentionEfficiency(stations);
+    EXPECT_LE(eff, last);
+    EXPECT_GT(eff, 0.5);  // Full-size frames keep CSMA/CD efficient.
+    last = eff;
+  }
+}
+
+TEST(EthernetModelTest, BackgroundStationsShrinkClientShare) {
+  EthernetParams alone;
+  EthernetParams crowded;
+  crowded.background_stations = 7;
+  EthernetModel a(alone);
+  EthernetModel b(crowded);
+  EXPECT_GT(a.ClientShare(), 0.99);
+  EXPECT_LT(b.ClientShare(), 0.15);
+  EXPECT_GT(b.TransferTime(kPageSize), 6 * a.TransferTime(kPageSize));
+}
+
+TEST(TokenRingModelTest, NoCollapseUnderLoad) {
+  TokenRingParams alone;
+  TokenRingParams crowded;
+  crowded.background_stations = 7;
+  TokenRingModel a(alone);
+  TokenRingModel b(crowded);
+  // Fair sharing: 8 stations -> transfer ~8x slower, but the *ring* still
+  // delivers nearly full aggregate bandwidth.
+  const double slowdown = static_cast<double>(b.TransferTime(kPageSize)) /
+                          static_cast<double>(a.TransferTime(kPageSize));
+  EXPECT_NEAR(slowdown, 8.0, 1.0);
+  EXPECT_GT(b.RingEfficiency(8), b.RingEfficiency(1));
+}
+
+TEST(TokenRingModelTest, EfficiencyApproachesOne) {
+  TokenRingModel ring;
+  EXPECT_GT(ring.RingEfficiency(4), 0.95);
+}
+
+TEST(DelayedModelTest, AddsFixedLatency) {
+  auto base = std::make_shared<EthernetModel>();
+  DelayedNetworkModel delayed(base, Millis(2));
+  EXPECT_EQ(delayed.TransferTime(kPageSize), base->TransferTime(kPageSize) + Millis(2));
+  EXPECT_EQ(delayed.ProtocolTime(), base->ProtocolTime());
+  EXPECT_LT(delayed.EffectiveBandwidthMbps(), base->EffectiveBandwidthMbps());
+}
+
+TEST(NetworkModelTest, NamesAreDescriptive) {
+  EXPECT_EQ(EthernetModel().Name(), "ethernet-10Mbps");
+  EthernetParams crowded;
+  crowded.background_stations = 2;
+  EXPECT_EQ(EthernetModel(crowded).Name(), "ethernet-10Mbps+2bg");
+  EXPECT_EQ(TokenRingModel().Name(), "token-ring-10Mbps");
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,169 @@
+// Model-based conformance: every paging backend must behave like a simple
+// map from page id to the last bytes written, regardless of policy
+// internals (striping, parity groups, mirrors, disk blocks, GC). Random
+// operation streams are replayed against a reference map; any divergence is
+// a bug. Parameterized over (policy x seed).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/core/testbed.h"
+#include "src/util/rng.h"
+
+namespace rmp {
+namespace {
+
+struct ModelParam {
+  Policy policy;
+  int data_servers;
+  uint64_t seed;
+};
+
+std::string ModelParamName(const ::testing::TestParamInfo<ModelParam>& info) {
+  return std::string(PolicyName(info.param.policy)) + "_s" + std::to_string(info.param.seed);
+}
+
+class PolicyModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(PolicyModelTest, RandomOpsMatchReferenceMap) {
+  const ModelParam param = GetParam();
+  TestbedParams params;
+  params.policy = param.policy;
+  params.data_servers = param.data_servers;
+  params.server_capacity_pages = 1024;
+  params.pager.alloc_extent_pages = 16;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  PagingBackend& backend = (*bed)->backend();
+
+  Rng rng(param.seed);
+  std::map<uint64_t, uint64_t> reference;  // page -> pattern seed.
+  PageBuffer buffer;
+  constexpr int kOps = 500;
+  constexpr uint64_t kPageSpace = 64;
+  for (int op = 0; op < kOps; ++op) {
+    const uint64_t page = rng.Below(kPageSpace);
+    const int kind = static_cast<int>(rng.Below(10));
+    if (kind < 6) {
+      // Write (fresh or overwrite).
+      const uint64_t seed = rng.Next() | 1;
+      FillPattern(buffer.span(), seed);
+      auto done = backend.PageOut(0, page, buffer.span());
+      ASSERT_TRUE(done.ok()) << PolicyName(param.policy) << " op " << op << ": "
+                             << done.status().ToString();
+      reference[page] = seed;
+    } else {
+      // Read.
+      auto done = backend.PageIn(0, page, buffer.span());
+      auto it = reference.find(page);
+      if (it == reference.end()) {
+        EXPECT_FALSE(done.ok()) << "read of never-written page " << page << " succeeded";
+      } else {
+        ASSERT_TRUE(done.ok()) << PolicyName(param.policy) << " op " << op << ": "
+                               << done.status().ToString();
+        EXPECT_TRUE(CheckPattern(buffer.span(), it->second))
+            << PolicyName(param.policy) << " page " << page << " at op " << op;
+      }
+    }
+  }
+  // Final sweep: every page reads back its last write.
+  for (const auto& [page, seed] : reference) {
+    ASSERT_TRUE(backend.PageIn(0, page, buffer.span()).ok()) << page;
+    EXPECT_TRUE(CheckPattern(buffer.span(), seed)) << page;
+  }
+}
+
+std::vector<ModelParam> ModelParams() {
+  std::vector<ModelParam> out;
+  const std::pair<Policy, int> policies[] = {
+      {Policy::kNoReliability, 2}, {Policy::kMirroring, 3},   {Policy::kBasicParity, 3},
+      {Policy::kParityLogging, 4}, {Policy::kWriteThrough, 2}, {Policy::kDisk, 0},
+  };
+  for (const auto& [policy, servers] : policies) {
+    for (uint64_t seed : {11ull, 22ull, 33ull}) {
+      out.push_back({policy, servers, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyModelTest, ::testing::ValuesIn(ModelParams()),
+                         ModelParamName);
+
+// Same model check with a mid-stream crash + recovery for the reliable
+// policies.
+class ReliablePolicyCrashModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(ReliablePolicyCrashModelTest, RandomOpsWithCrashMatchReference) {
+  const ModelParam param = GetParam();
+  TestbedParams params;
+  params.policy = param.policy;
+  params.data_servers = param.data_servers;
+  params.server_capacity_pages = 1024;
+  params.pager.alloc_extent_pages = 16;
+  params.with_spare = param.policy == Policy::kBasicParity;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  PagingBackend& backend = (*bed)->backend();
+
+  Rng rng(param.seed * 31);
+  std::map<uint64_t, uint64_t> reference;
+  PageBuffer buffer;
+  const int crash_at = 150 + static_cast<int>(rng.Below(100));
+  const auto victim = static_cast<size_t>(rng.Below(param.data_servers));
+  for (int op = 0; op < 400; ++op) {
+    if (op == crash_at) {
+      (*bed)->CrashServer(victim);
+      TimeNs now = 0;
+      if (auto* pl = (*bed)->parity_logging()) {
+        ASSERT_TRUE(pl->Recover(victim, &now).ok());
+      } else if (auto* mirror = (*bed)->mirroring()) {
+        ASSERT_TRUE(mirror->Recover(victim, &now).ok());
+      } else if (auto* bp = (*bed)->basic_parity()) {
+        ASSERT_TRUE(bp->Recover(victim, &now).ok());
+      } else if (auto* wt = (*bed)->write_through()) {
+        ASSERT_TRUE(wt->Recover(victim, &now).ok());
+      }
+    }
+    const uint64_t page = rng.Below(48);
+    if (rng.Below(10) < 6) {
+      const uint64_t seed = rng.Next() | 1;
+      FillPattern(buffer.span(), seed);
+      auto done = backend.PageOut(0, page, buffer.span());
+      ASSERT_TRUE(done.ok()) << PolicyName(param.policy) << " op " << op << ": "
+                             << done.status().ToString();
+      reference[page] = seed;
+    } else if (reference.count(page) > 0) {
+      ASSERT_TRUE(backend.PageIn(0, page, buffer.span()).ok())
+          << PolicyName(param.policy) << " op " << op;
+      EXPECT_TRUE(CheckPattern(buffer.span(), reference[page])) << page;
+    }
+  }
+  for (const auto& [page, seed] : reference) {
+    ASSERT_TRUE(backend.PageIn(0, page, buffer.span()).ok()) << page;
+    EXPECT_TRUE(CheckPattern(buffer.span(), seed)) << page;
+  }
+}
+
+std::vector<ModelParam> CrashModelParams() {
+  std::vector<ModelParam> out;
+  const std::pair<Policy, int> policies[] = {
+      {Policy::kMirroring, 3},
+      {Policy::kBasicParity, 3},
+      {Policy::kParityLogging, 4},
+      {Policy::kWriteThrough, 2},
+  };
+  for (const auto& [policy, servers] : policies) {
+    for (uint64_t seed : {5ull, 6ull, 7ull, 8ull}) {
+      out.push_back({policy, servers, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReliablePolicies, ReliablePolicyCrashModelTest,
+                         ::testing::ValuesIn(CrashModelParams()), ModelParamName);
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,118 @@
+// Thread-safety of the MemoryServer: the paper's server creates an instance
+// per client connection, all sharing the workstation's donated memory, so
+// the shared state must survive concurrent sessions (our TcpServer serves
+// each connection on its own thread against one MemoryServer object).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/server/memory_server.h"
+#include "src/util/bytes.h"
+
+namespace rmp {
+namespace {
+
+TEST(ServerConcurrencyTest, ParallelClientsNeverCorruptEachOther) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  MemoryServer server(params);
+  constexpr int kThreads = 8;
+  constexpr int kPagesPerThread = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &failures, t] {
+      auto base = server.Allocate(kPagesPerThread);
+      if (!base.ok()) {
+        ++failures;
+        return;
+      }
+      PageBuffer page;
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        const uint64_t seed = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+        FillPattern(page.span(), seed);
+        if (!server.Store(*base + static_cast<uint64_t>(i), page.span()).ok()) {
+          ++failures;
+          return;
+        }
+      }
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        const uint64_t seed = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+        auto loaded = server.Load(*base + static_cast<uint64_t>(i));
+        if (!loaded.ok() || !CheckPattern(loaded->span(), seed)) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.live_pages(), static_cast<uint64_t>(kThreads * kPagesPerThread));
+}
+
+TEST(ServerConcurrencyTest, AllocationsNeverOverlapUnderContention) {
+  MemoryServerParams params;
+  params.capacity_pages = 100000;
+  MemoryServer server(params);
+  constexpr int kThreads = 8;
+  constexpr int kAllocsPerThread = 200;
+  std::vector<std::vector<uint64_t>> grants(kThreads);
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &grants, t] {
+      for (int i = 0; i < kAllocsPerThread; ++i) {
+        auto slot = server.Allocate(3);
+        if (slot.ok()) {
+          grants[t].push_back(*slot);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  // Every granted 3-slot run must be disjoint from every other.
+  std::vector<uint64_t> all;
+  for (const auto& g : grants) {
+    all.insert(all.end(), g.begin(), g.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i], all[i - 1] + 3) << "overlapping grants at " << all[i - 1];
+  }
+}
+
+TEST(ServerConcurrencyTest, CrashDuringTrafficIsClean) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  MemoryServer server(params);
+  std::atomic<bool> stop{false};
+  std::thread traffic([&server, &stop] {
+    PageBuffer page;
+    auto base = server.Allocate(32);
+    uint64_t i = 0;
+    while (!stop.load()) {
+      if (base.ok()) {
+        (void)server.Store(*base + (i % 32), page.span());
+        (void)server.Load(*base + (i % 32));
+      }
+      ++i;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Crash();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  traffic.join();
+  EXPECT_TRUE(server.crashed());
+  EXPECT_EQ(server.live_pages(), 0u);
+}
+
+}  // namespace
+}  // namespace rmp

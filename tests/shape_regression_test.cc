@@ -1,0 +1,120 @@
+// Shape regression guards: the qualitative results the paper's figures rest
+// on, asserted as tests so a refactor that silently inverts an ordering
+// fails CI instead of shipping a wrong EXPERIMENTS.md. (The full figures
+// live in bench/; these use the cheapest workloads that exhibit each shape.)
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/model/extrapolation.h"
+#include "src/model/run_simulator.h"
+#include "src/net/ethernet_model.h"
+#include "src/workloads/workload.h"
+
+namespace rmp {
+namespace {
+
+double RunPolicy(const Workload& workload, Policy policy, int data_servers,
+                 uint32_t frames = 2304) {
+  TestbedParams params;
+  params.policy = policy;
+  params.data_servers = data_servers;
+  params.server_capacity_pages = 16384;
+  params.network = std::make_shared<EthernetModel>();
+  auto bed = Testbed::Create(params);
+  EXPECT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = frames;
+  auto run = SimulateRun(workload, &(*bed)->backend(), config);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return run.ok() ? run->etime_s : -1.0;
+}
+
+// Fig. 2's MVEC anomaly: on the pageout-only workload, the policy order is
+// NO_REL < PARITY_LOGGING < DISK < MIRRORING — the disk BEATS mirroring.
+TEST(ShapeRegressionTest, MvecAnomalyDiskBeatsMirroring) {
+  const auto mvec = MakeMvec();
+  const double no_rel = RunPolicy(*mvec, Policy::kNoReliability, 2);
+  const double parity = RunPolicy(*mvec, Policy::kParityLogging, 4);
+  const double mirror = RunPolicy(*mvec, Policy::kMirroring, 2);
+  const double disk = RunPolicy(*mvec, Policy::kDisk, 0);
+  EXPECT_LT(no_rel, parity);
+  EXPECT_LT(parity, disk);
+  EXPECT_LT(disk, mirror);
+}
+
+// Everywhere else the disk is last.
+TEST(ShapeRegressionTest, FilterOrdering) {
+  const auto filter = MakeFilter();
+  const double no_rel = RunPolicy(*filter, Policy::kNoReliability, 2);
+  const double parity = RunPolicy(*filter, Policy::kParityLogging, 4);
+  const double mirror = RunPolicy(*filter, Policy::kMirroring, 2);
+  const double disk = RunPolicy(*filter, Policy::kDisk, 0);
+  EXPECT_LT(no_rel, parity);
+  EXPECT_LT(parity, mirror);
+  EXPECT_LT(mirror, disk);
+}
+
+// Fig. 3's cliff: below the memory size no paging, above it completion
+// rises monotonically and the disk's rise is steeper.
+TEST(ShapeRegressionTest, FftCliffAndDiskGap) {
+  const double pl_17 = RunPolicy(*MakeFft(17.0), Policy::kParityLogging, 4);
+  const double pl_20 = RunPolicy(*MakeFft(20.0), Policy::kParityLogging, 4);
+  const double pl_24 = RunPolicy(*MakeFft(24.0), Policy::kParityLogging, 4);
+  const double disk_20 = RunPolicy(*MakeFft(20.0), Policy::kDisk, 0);
+  const double disk_24 = RunPolicy(*MakeFft(24.0), Policy::kDisk, 0);
+  EXPECT_LT(pl_17, pl_20);
+  EXPECT_LT(pl_20, pl_24);
+  EXPECT_GT(disk_20, pl_20);
+  // The disk's penalty grows with the paging volume.
+  EXPECT_GT(disk_24 - pl_24, disk_20 - pl_20);
+}
+
+// Fig. 4: the extrapolated ETHERNET*10 must land between ETHERNET and
+// ALL_MEMORY, within ~25% of the lower bound (paper: ~20% above it).
+TEST(ShapeRegressionTest, NetworkScalingBrackets) {
+  TestbedParams params;
+  params.policy = Policy::kParityLogging;
+  params.data_servers = 4;
+  params.server_capacity_pages = 16384;
+  params.network = std::make_shared<EthernetModel>();
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = 2304;
+  auto run = SimulateRun(*MakeFft(24.0), &(*bed)->backend(), config);
+  ASSERT_TRUE(run.ok());
+  const TimeDecomposition d = Decompose(*run);
+  const double x10 = ExpectedElapsedSeconds(d, 10.0);
+  const double all_memory = AllMemorySeconds(d);
+  EXPECT_LT(x10, run->etime_s);
+  EXPECT_GT(x10, all_memory);
+  EXPECT_LT(x10 / all_memory, 1.25);
+}
+
+// §4.7: on a 10x network, parity logging must beat write-through (which is
+// pinned to the disk's pageout bandwidth).
+TEST(ShapeRegressionTest, WriteThroughCrossoverOnFastNetwork) {
+  const auto gauss = MakeGauss();
+  auto fast = std::make_shared<ScaledBandwidthModel>(std::make_shared<EthernetModel>(), 10.0);
+  auto run_fast = [&](Policy policy, int servers) {
+    TestbedParams params;
+    params.policy = policy;
+    params.data_servers = servers;
+    params.server_capacity_pages = 16384;
+    params.network = fast;
+    auto bed = Testbed::Create(params);
+    EXPECT_TRUE(bed.ok());
+    RunConfig config;
+    config.physical_frames = 2304;
+    auto run = SimulateRun(*gauss, &(*bed)->backend(), config);
+    EXPECT_TRUE(run.ok());
+    return run.ok() ? run->etime_s : -1.0;
+  };
+  const double parity = run_fast(Policy::kParityLogging, 4);
+  const double write_through = run_fast(Policy::kWriteThrough, 2);
+  EXPECT_LT(parity, write_through * 0.8);
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,110 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rmp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = NoSpaceError("server full");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(status.message(), "server full");
+  EXPECT_EQ(status.ToString(), "NO_SPACE: server full");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(NoSpaceError("x").code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(UnavailableError("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(ProtocolError("x").code(), ErrorCode::kProtocol);
+  EXPECT_EQ(CorruptionError("x").code(), ErrorCode::kCorruption);
+  EXPECT_EQ(IoError("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "OK");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNoSpace), "NO_SPACE");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kCorruption), "CORRUPTION");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(OkStatus(), Status::Ok());
+  EXPECT_EQ(NoSpaceError("a"), NoSpaceError("a"));
+  EXPECT_FALSE(NoSpaceError("a") == NoSpaceError("b"));
+  EXPECT_FALSE(NoSpaceError("a") == UnavailableError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) {
+    return InternalError("boom");
+  }
+  return OkStatus();
+}
+
+Status Propagates(bool fail) {
+  RMP_RETURN_IF_ERROR(FailsWhen(fail));
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), ErrorCode::kInternal);
+}
+
+Result<int> MaybeValue(bool fail) {
+  if (fail) {
+    return UnavailableError("gone");
+  }
+  return 9;
+}
+
+Result<int> AssignsOrReturns(bool fail) {
+  RMP_ASSIGN_OR_RETURN(const int v, MaybeValue(fail));
+  return v + 1;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  auto ok = AssignsOrReturns(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 10);
+  auto err = AssignsOrReturns(true);
+  EXPECT_EQ(err.status().code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,204 @@
+// End-to-end tests of the real TCP transport: a MemoryServer behind a
+// TcpServer on loopback, driven by TcpTransport clients — the deployment
+// shape of the paper's user-level server (§3.2).
+
+#include "src/transport/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/server/memory_server.h"
+#include "src/util/bytes.h"
+
+namespace rmp {
+namespace {
+
+// All sessions share one server object (thread-safe), mirroring one
+// workstation's donated memory.
+struct ForwardingHandler : MessageHandler {
+  explicit ForwardingHandler(std::shared_ptr<MemoryServer> server) : server(std::move(server)) {}
+  Message Handle(const Message& request) override { return server->Handle(request); }
+  std::shared_ptr<MemoryServer> server;
+};
+
+class TcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryServerParams params;
+    params.name = "tcp-server";
+    params.capacity_pages = 256;
+    server_ = std::make_shared<MemoryServer>(params);
+    auto started = TcpServer::Start(0, [this]() -> std::unique_ptr<MessageHandler> {
+      return std::make_unique<ForwardingHandler>(server_);
+    });
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    tcp_server_ = std::move(*started);
+  }
+
+  Result<std::unique_ptr<TcpTransport>> Connect() {
+    return TcpTransport::Connect("127.0.0.1", tcp_server_->port());
+  }
+
+  std::shared_ptr<MemoryServer> server_;
+  std::unique_ptr<TcpServer> tcp_server_;
+};
+
+TEST_F(TcpTest, ConnectAndQueryLoad) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto reply = (*client)->Call(MakeLoadQuery(1));
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, MessageType::kLoadReport);
+  EXPECT_EQ(reply->aux, 256u);
+}
+
+TEST_F(TcpTest, PageRoundTripOverRealSockets) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 4));
+  ASSERT_TRUE(alloc.ok());
+  ASSERT_EQ(alloc->status_code(), ErrorCode::kOk);
+  PageBuffer page;
+  FillPattern(page.span(), 4242);
+  auto ack = (*client)->Call(MakePageOut(2, alloc->slot, page.span()));
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->status_code(), ErrorCode::kOk);
+  auto pagein = (*client)->Call(MakePageIn(3, alloc->slot));
+  ASSERT_TRUE(pagein.ok());
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(pagein->payload), 4242));
+}
+
+TEST_F(TcpTest, ManySequentialPages) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 64));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer page;
+  for (uint64_t i = 0; i < 64; ++i) {
+    FillPattern(page.span(), i);
+    auto ack = (*client)->Call(MakePageOut(100 + i, alloc->slot + i, page.span()));
+    ASSERT_TRUE(ack.ok()) << i;
+  }
+  for (uint64_t i = 0; i < 64; ++i) {
+    auto pagein = (*client)->Call(MakePageIn(200 + i, alloc->slot + i));
+    ASSERT_TRUE(pagein.ok()) << i;
+    EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(pagein->payload), i)) << i;
+  }
+}
+
+TEST_F(TcpTest, TwoClientsShareOneServer) {
+  auto a = Connect();
+  auto b = Connect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto alloc_a = (*a)->Call(MakeAllocRequest(1, 8));
+  auto alloc_b = (*b)->Call(MakeAllocRequest(1, 8));
+  ASSERT_TRUE(alloc_a.ok());
+  ASSERT_TRUE(alloc_b.ok());
+  EXPECT_NE(alloc_a->slot, alloc_b->slot);  // Distinct swap space.
+  PageBuffer page_a;
+  PageBuffer page_b;
+  FillPattern(page_a.span(), 1);
+  FillPattern(page_b.span(), 2);
+  ASSERT_TRUE((*a)->Call(MakePageOut(2, alloc_a->slot, page_a.span())).ok());
+  ASSERT_TRUE((*b)->Call(MakePageOut(2, alloc_b->slot, page_b.span())).ok());
+  auto in_a = (*a)->Call(MakePageIn(3, alloc_a->slot));
+  auto in_b = (*b)->Call(MakePageIn(3, alloc_b->slot));
+  ASSERT_TRUE(in_a.ok());
+  ASSERT_TRUE(in_b.ok());
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(in_a->payload), 1));
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(in_b->payload), 2));
+  EXPECT_GE(tcp_server_->connections_served(), 2);
+}
+
+TEST_F(TcpTest, ServerShutdownSurfacesUnavailable) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Call(MakeLoadQuery(1)).ok());
+  tcp_server_->Shutdown();
+  auto reply = (*client)->Call(MakeLoadQuery(2));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE((*client)->connected());
+}
+
+TEST_F(TcpTest, ConnectToClosedPortFails) {
+  tcp_server_->Shutdown();
+  const uint16_t dead_port = tcp_server_->port();
+  auto client = TcpTransport::Connect("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST_F(TcpTest, BadHostRejected) {
+  auto client = TcpTransport::Connect("not-an-ip", 1);
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// --- Authentication (§3.1's access restriction, modernized) -----------------
+
+class TcpAuthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MemoryServerParams params;
+    params.capacity_pages = 64;
+    server_ = std::make_shared<MemoryServer>(params);
+    auto started = TcpServer::Start(
+        0,
+        [this] {
+          return std::unique_ptr<MessageHandler>(new ForwardingHandler(server_));
+        },
+        /*required_token=*/"hunter2");
+    ASSERT_TRUE(started.ok());
+    tcp_server_ = std::move(*started);
+  }
+
+  std::shared_ptr<MemoryServer> server_;
+  std::unique_ptr<TcpServer> tcp_server_;
+};
+
+TEST_F(TcpAuthTest, CorrectTokenIsAccepted) {
+  auto client = TcpTransport::Connect("127.0.0.1", tcp_server_->port(), "hunter2");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Call(MakeLoadQuery(1)).ok());
+}
+
+TEST_F(TcpAuthTest, WrongTokenIsRejected) {
+  auto client = TcpTransport::Connect("127.0.0.1", tcp_server_->port(), "wrong");
+  EXPECT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TcpAuthTest, UnauthenticatedRequestsAreRefused) {
+  auto client = TcpTransport::Connect("127.0.0.1", tcp_server_->port());  // No token sent.
+  ASSERT_TRUE(client.ok());  // TCP connect succeeds...
+  auto reply = (*client)->Call(MakeLoadQuery(1));
+  ASSERT_TRUE(reply.ok());
+  // ...but every request is refused until AUTH.
+  EXPECT_EQ(reply->type, MessageType::kErrorReply);
+  EXPECT_EQ(reply->status_code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(TcpAuthTest, OpenServerIgnoresAuthRequirement) {
+  // A server started WITHOUT a token accepts token-presenting clients too.
+  MemoryServerParams params;
+  params.capacity_pages = 64;
+  auto open_server = std::make_shared<MemoryServer>(params);
+  auto started = TcpServer::Start(0, [open_server] {
+    return std::unique_ptr<MessageHandler>(new ForwardingHandler(open_server));
+  });
+  ASSERT_TRUE(started.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", (*started)->port(), "any-token");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE((*client)->Call(MakeLoadQuery(1)).ok());
+}
+
+TEST_F(TcpTest, LocalhostAliasResolves) {
+  auto client = TcpTransport::Connect("localhost", tcp_server_->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Call(MakeLoadQuery(1)).ok());
+}
+
+}  // namespace
+}  // namespace rmp

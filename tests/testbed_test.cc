@@ -1,0 +1,85 @@
+#include "src/core/testbed.h"
+
+#include <gtest/gtest.h>
+
+namespace rmp {
+namespace {
+
+TEST(TestbedTest, BuildsEveryPolicy) {
+  for (Policy policy : {Policy::kNoReliability, Policy::kMirroring, Policy::kBasicParity,
+                        Policy::kParityLogging, Policy::kWriteThrough, Policy::kDisk}) {
+    TestbedParams params;
+    params.policy = policy;
+    params.data_servers = 3;
+    auto bed = Testbed::Create(params);
+    ASSERT_TRUE(bed.ok()) << PolicyName(policy) << ": " << bed.status().ToString();
+    EXPECT_EQ((*bed)->backend().Name(), PolicyName(policy));
+  }
+}
+
+TEST(TestbedTest, ParityPoliciesGetExtraServer) {
+  TestbedParams params;
+  params.data_servers = 4;
+  params.policy = Policy::kParityLogging;
+  auto pl = Testbed::Create(params);
+  ASSERT_TRUE(pl.ok());
+  EXPECT_EQ((*pl)->server_count(), 5u);
+  params.policy = Policy::kMirroring;
+  auto mirror = Testbed::Create(params);
+  ASSERT_TRUE(mirror.ok());
+  EXPECT_EQ((*mirror)->server_count(), 4u);
+}
+
+TEST(TestbedTest, SpareAddsOneMore) {
+  TestbedParams params;
+  params.policy = Policy::kBasicParity;
+  params.data_servers = 3;
+  params.with_spare = true;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  EXPECT_EQ((*bed)->server_count(), 5u);  // 3 data + parity + spare.
+}
+
+TEST(TestbedTest, PolicyViewsMatch) {
+  TestbedParams params;
+  params.policy = Policy::kParityLogging;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  EXPECT_NE((*bed)->parity_logging(), nullptr);
+  EXPECT_EQ((*bed)->mirroring(), nullptr);
+  EXPECT_EQ((*bed)->no_reliability(), nullptr);
+}
+
+TEST(TestbedTest, CrashAndRestartCycle) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 1;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  (*bed)->CrashServer(0);
+  EXPECT_TRUE((*bed)->server(0).crashed());
+  EXPECT_FALSE((*bed)->transport(0).connected());
+  (*bed)->RestartServer(0);
+  EXPECT_FALSE((*bed)->server(0).crashed());
+  EXPECT_TRUE((*bed)->transport(0).connected());
+}
+
+TEST(TestbedTest, ZeroServersRejectedForRemotePolicies) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 0;
+  EXPECT_FALSE(Testbed::Create(params).ok());
+}
+
+TEST(TestbedTest, PolicyNamesComplete) {
+  EXPECT_EQ(PolicyName(Policy::kNoReliability), "NO_RELIABILITY");
+  EXPECT_EQ(PolicyName(Policy::kMirroring), "MIRRORING");
+  EXPECT_EQ(PolicyName(Policy::kBasicParity), "BASIC_PARITY");
+  EXPECT_EQ(PolicyName(Policy::kParityLogging), "PARITY_LOGGING");
+  EXPECT_EQ(PolicyName(Policy::kWriteThrough), "WRITE_THROUGH");
+  EXPECT_EQ(PolicyName(Policy::kDisk), "DISK");
+}
+
+}  // namespace
+}  // namespace rmp

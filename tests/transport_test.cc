@@ -1,0 +1,80 @@
+#include "src/transport/inproc_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "src/server/memory_server.h"
+#include "src/util/bytes.h"
+
+namespace rmp {
+namespace {
+
+class InProcTransportTest : public ::testing::Test {
+ protected:
+  InProcTransportTest() : server_(MakeParams()), transport_(&server_) {}
+
+  static MemoryServerParams MakeParams() {
+    MemoryServerParams params;
+    params.capacity_pages = 128;
+    return params;
+  }
+
+  MemoryServer server_;
+  InProcTransport transport_;
+};
+
+TEST_F(InProcTransportTest, CallRoundTrips) {
+  auto reply = transport_.Call(MakeAllocRequest(1, 4));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MessageType::kAllocReply);
+  EXPECT_EQ(reply->count, 4u);
+}
+
+TEST_F(InProcTransportTest, PayloadSurvivesWireFormat) {
+  auto alloc = transport_.Call(MakeAllocRequest(1, 1));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer page;
+  FillPattern(page.span(), 77);
+  auto ack = transport_.Call(MakePageOut(2, alloc->slot, page.span()));
+  ASSERT_TRUE(ack.ok());
+  auto pagein = transport_.Call(MakePageIn(3, alloc->slot));
+  ASSERT_TRUE(pagein.ok());
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(pagein->payload), 77));
+}
+
+TEST_F(InProcTransportTest, DisconnectMakesCallsUnavailable) {
+  transport_.Disconnect();
+  EXPECT_FALSE(transport_.connected());
+  auto reply = transport_.Call(MakeLoadQuery(1));
+  EXPECT_EQ(reply.status().code(), ErrorCode::kUnavailable);
+  transport_.Reconnect();
+  EXPECT_TRUE(transport_.Call(MakeLoadQuery(2)).ok());
+}
+
+TEST_F(InProcTransportTest, DropNextReplyLosesOneReply) {
+  transport_.DropNextReply();
+  auto lost = transport_.Call(MakeAllocRequest(1, 1));
+  EXPECT_EQ(lost.status().code(), ErrorCode::kUnavailable);
+  // The request *was* processed server-side (the reply was lost, not the
+  // request) and the connection is now down — like a mid-call crash.
+  EXPECT_FALSE(transport_.connected());
+  EXPECT_EQ(server_.stats().allocations, 1);
+}
+
+TEST_F(InProcTransportTest, CountsWireBytes) {
+  PageBuffer page;
+  auto alloc = transport_.Call(MakeAllocRequest(1, 1));
+  ASSERT_TRUE(alloc.ok());
+  const uint64_t before = transport_.bytes_sent();
+  ASSERT_TRUE(transport_.Call(MakePageOut(2, alloc->slot, page.span())).ok());
+  EXPECT_EQ(transport_.bytes_sent() - before, kWireHeaderSize + 4 + kPageSize);
+  EXPECT_EQ(transport_.calls(), 2u);
+}
+
+TEST_F(InProcTransportTest, SendOneWayDelivers) {
+  ASSERT_TRUE(transport_.SendOneWay(MakeShutdown(1)).ok());
+  transport_.Disconnect();
+  EXPECT_EQ(transport_.SendOneWay(MakeShutdown(2)).code(), ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace rmp

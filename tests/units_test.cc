@@ -1,0 +1,71 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/logging.h"
+#include "src/vm/vm_array.h"
+
+namespace rmp {
+namespace {
+
+TEST(UnitsTest, TimeConstructors) {
+  EXPECT_EQ(Micros(1), 1000);
+  EXPECT_EQ(Millis(1), 1000000);
+  EXPECT_EQ(Seconds(1), 1000000000);
+  EXPECT_EQ(Millis(1.5), 1500000);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(11.24)), 11.24);
+}
+
+TEST(UnitsTest, PageConstants) {
+  EXPECT_EQ(kPageSize, 8192u);  // The paper's DEC OSF/1 page size.
+  EXPECT_EQ(kMiB, 1048576u);
+}
+
+TEST(UnitsTest, PagesForBytesRoundsUp) {
+  EXPECT_EQ(PagesForBytes(0), 0u);
+  EXPECT_EQ(PagesForBytes(1), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize), 1u);
+  EXPECT_EQ(PagesForBytes(kPageSize + 1), 2u);
+  EXPECT_EQ(PagesForBytes(24 * kMiB), 3072u);
+}
+
+TEST(UnitsTest, WireTimeMatchesHandArithmetic) {
+  // 8192 bytes at 10 Mbit/s = 65536 bits / 1e7 bps = 6.5536 ms.
+  EXPECT_NEAR(ToMillis(WireTime(kPageSize, 10.0)), 6.5536, 1e-6);
+  // Doubling bandwidth halves time.
+  EXPECT_EQ(WireTime(kPageSize, 20.0), WireTime(kPageSize, 10.0) / 2);
+}
+
+TEST(LoggingTest, LevelThresholdRoundTrips) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Messages below the threshold are discarded without crashing.
+  RMP_LOG(kDebug) << "invisible " << 42;
+  RMP_LOG(kInfo) << "also invisible";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, NoneSilencesEverything) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kNone);
+  RMP_LOG(kError) << "discarded";
+  SetLogLevel(before);
+}
+
+// VmArray layout helpers.
+TEST(VmArrayTest, EndOffsetPacksArrays) {
+  // No VM needed to reason about layout.
+  VmArray<uint64_t> a(nullptr, 0, 100);
+  EXPECT_EQ(a.end_offset(), 800u);
+  VmArray<uint32_t> b(nullptr, a.end_offset(), 10);
+  EXPECT_EQ(b.end_offset(), 840u);
+  EXPECT_EQ(a.size(), 100u);
+}
+
+}  // namespace
+}  // namespace rmp

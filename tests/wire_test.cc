@@ -1,0 +1,182 @@
+#include "src/proto/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.h"
+
+namespace rmp {
+namespace {
+
+Message SamplePage(uint64_t request_id) {
+  PageBuffer page;
+  FillPattern(page.span(), request_id);
+  return MakePageOut(request_id, 17, page.span());
+}
+
+TEST(WireTest, HeaderSizeAudited) {
+  const Message m = MakeLoadQuery(1);
+  EXPECT_EQ(Encode(m).size(), kWireHeaderSize + 4);
+}
+
+TEST(WireTest, RoundTripEmptyPayload) {
+  const Message m = MakeAllocRequest(7, 256);
+  auto decoded = Decode(std::span<const uint8_t>(Encode(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireTest, RoundTripPagePayload) {
+  const Message m = SamplePage(11);
+  auto decoded = Decode(std::span<const uint8_t>(Encode(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(decoded->payload), 11));
+}
+
+// Round-trip every message constructor.
+class WireRoundTripTest : public ::testing::TestWithParam<Message> {};
+
+TEST_P(WireRoundTripTest, EncodeDecodeIdentity) {
+  const Message& m = GetParam();
+  auto decoded = Decode(std::span<const uint8_t>(Encode(m)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+std::vector<Message> AllMessageKinds() {
+  PageBuffer page;
+  FillPattern(page.span(), 3);
+  std::vector<Message> all;
+  all.push_back(MakeAllocRequest(1, 64));
+  all.push_back(MakeAllocReply(1, 64, ErrorCode::kOk));
+  all.push_back(MakeAllocReply(2, 0, ErrorCode::kNoSpace));
+  all.push_back(MakeFreeRequest(3, 10, 4));
+  all.push_back(MakePageOut(4, 99, page.span()));
+  all.push_back(MakePageOutAck(4, 99, ErrorCode::kOk, /*advise_stop=*/true));
+  all.push_back(MakePageIn(5, 99));
+  all.push_back(MakePageInReply(5, 99, page.span(), ErrorCode::kOk));
+  all.push_back(MakePageInReply(6, 99, {}, ErrorCode::kNotFound));
+  all.push_back(MakeLoadQuery(7));
+  all.push_back(MakeLoadReport(7, 100, 4096, /*advise_stop=*/false));
+  all.push_back(MakeShutdown(8));
+  all.push_back(MakeErrorReply(9, ErrorCode::kProtocol));
+  Message delta = MakePageOut(10, 5, page.span());
+  delta.type = MessageType::kDeltaPageOut;
+  all.push_back(delta);
+  Message merge = MakePageOut(11, 5, page.span());
+  merge.type = MessageType::kXorMerge;
+  all.push_back(merge);
+  all.push_back(MakeAuth(12, "secret-token"));
+  all.push_back(MakeAuthReply(12, ErrorCode::kOk));
+  all.push_back(MakeAuthReply(13, ErrorCode::kFailedPrecondition));
+  return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WireRoundTripTest, ::testing::ValuesIn(AllMessageKinds()));
+
+TEST(WireTest, AdviseStopFlagSurvives) {
+  const Message ack = MakePageOutAck(1, 2, ErrorCode::kOk, true);
+  auto decoded = Decode(std::span<const uint8_t>(Encode(ack)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->advise_stop());
+}
+
+TEST(WireTest, CorruptPayloadDetected) {
+  std::vector<uint8_t> encoded = Encode(SamplePage(1));
+  encoded[kWireHeaderSize + 4 + 100] ^= 0xff;  // Flip a payload byte.
+  auto decoded = Decode(std::span<const uint8_t>(encoded));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(WireTest, BadMagicRejected) {
+  std::vector<uint8_t> encoded = Encode(MakeLoadQuery(1));
+  encoded[0] = 0x00;
+  auto decoded = Decode(std::span<const uint8_t>(encoded));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireTest, UnknownTypeRejected) {
+  std::vector<uint8_t> encoded = Encode(MakeLoadQuery(1));
+  encoded[4] = 250;
+  EXPECT_FALSE(Decode(std::span<const uint8_t>(encoded)).ok());
+}
+
+TEST(WireTest, TruncatedMessageRejected) {
+  const std::vector<uint8_t> encoded = Encode(SamplePage(1));
+  auto decoded = Decode(std::span<const uint8_t>(encoded.data(), encoded.size() - 1));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  std::vector<uint8_t> encoded = Encode(MakeLoadQuery(1));
+  encoded.push_back(0);
+  EXPECT_FALSE(Decode(std::span<const uint8_t>(encoded)).ok());
+}
+
+TEST(FrameReaderTest, ReassemblesFromSingleFeed) {
+  FrameReader reader;
+  reader.Feed(std::span<const uint8_t>(Encode(MakeLoadQuery(5))));
+  auto m = reader.Next();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->type, MessageType::kLoadQuery);
+  EXPECT_EQ(reader.Next().status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FrameReaderTest, ReassemblesByteByByte) {
+  const std::vector<uint8_t> encoded = Encode(SamplePage(21));
+  FrameReader reader;
+  for (size_t i = 0; i + 1 < encoded.size(); ++i) {
+    reader.Feed(std::span<const uint8_t>(&encoded[i], 1));
+    EXPECT_EQ(reader.Next().status().code(), ErrorCode::kNotFound);
+  }
+  reader.Feed(std::span<const uint8_t>(&encoded.back(), 1));
+  auto m = reader.Next();
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(m->payload), 21));
+}
+
+TEST(FrameReaderTest, MultipleMessagesInOneFeed) {
+  std::vector<uint8_t> stream;
+  EncodeTo(MakeLoadQuery(1), &stream);
+  EncodeTo(SamplePage(2), &stream);
+  EncodeTo(MakeShutdown(3), &stream);
+  FrameReader reader;
+  reader.Feed(std::span<const uint8_t>(stream));
+  EXPECT_EQ(reader.Next()->type, MessageType::kLoadQuery);
+  EXPECT_EQ(reader.Next()->type, MessageType::kPageOut);
+  EXPECT_EQ(reader.Next()->type, MessageType::kShutdown);
+  EXPECT_EQ(reader.Next().status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, DesynchronizedStreamReportsProtocolError) {
+  FrameReader reader;
+  std::vector<uint8_t> junk(kWireHeaderSize + 4, 0xab);
+  reader.Feed(std::span<const uint8_t>(junk));
+  EXPECT_EQ(reader.Next().status().code(), ErrorCode::kProtocol);
+}
+
+TEST(FrameReaderTest, CorruptFrameConsumedNotStuck) {
+  std::vector<uint8_t> encoded = Encode(SamplePage(1));
+  encoded[kWireHeaderSize + 4] ^= 0xff;
+  std::vector<uint8_t> stream = encoded;
+  EncodeTo(MakeLoadQuery(2), &stream);
+  FrameReader reader;
+  reader.Feed(std::span<const uint8_t>(stream));
+  EXPECT_EQ(reader.Next().status().code(), ErrorCode::kCorruption);
+  // The broken frame was consumed; the next one still parses.
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->type, MessageType::kLoadQuery);
+}
+
+TEST(WireTest, MessageTypeNamesAreStable) {
+  EXPECT_EQ(MessageTypeName(MessageType::kPageOut), "PAGEOUT");
+  EXPECT_EQ(MessageTypeName(MessageType::kLoadReport), "LOAD_REPORT");
+  EXPECT_EQ(MessageTypeName(MessageType::kXorMerge), "XOR_MERGE");
+}
+
+}  // namespace
+}  // namespace rmp

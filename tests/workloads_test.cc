@@ -1,0 +1,126 @@
+#include "src/workloads/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/model/run_simulator.h"
+
+namespace rmp {
+namespace {
+
+TEST(WorkloadsTest, PaperSetHasSixApplications) {
+  const auto workloads = MakePaperWorkloads();
+  ASSERT_EQ(workloads.size(), 6u);
+  EXPECT_EQ(workloads[0]->info().name, "MVEC");
+  EXPECT_EQ(workloads[1]->info().name, "GAUSS");
+  EXPECT_EQ(workloads[2]->info().name, "QSORT");
+  EXPECT_EQ(workloads[3]->info().name, "FFT");
+  EXPECT_EQ(workloads[4]->info().name, "FILTER");
+  EXPECT_EQ(workloads[5]->info().name, "CC");
+}
+
+TEST(WorkloadsTest, PaperInputSizes) {
+  EXPECT_EQ(MakeGauss()->info().data_bytes, 1700ull * 1700 * 8);
+  EXPECT_EQ(MakeMvec()->info().data_bytes, 2100ull * 2100 * 8 + 2 * 2100 * 8);
+  EXPECT_EQ(MakeQsort()->info().data_bytes, 3000ull * kPageSize);
+  EXPECT_EQ(MakeFft(24.0)->info().data_bytes, 24ull * kMiB);
+  EXPECT_EQ(MakeFilter()->info().data_bytes, 24ull * kMiB);  // In + out images.
+}
+
+TEST(WorkloadsTest, LookupByName) {
+  for (const char* name : {"MVEC", "GAUSS", "QSORT", "FFT", "FILTER", "CC"}) {
+    auto workload = MakeWorkloadByName(name);
+    ASSERT_TRUE(workload.ok()) << name;
+    EXPECT_EQ((*workload)->info().name, name);
+  }
+  EXPECT_EQ(MakeWorkloadByName("NOPE").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(WorkloadsTest, AccessCountsAreDeterministic) {
+  for (const auto& workload : MakePaperWorkloads()) {
+    const int64_t first = workload->access_count();
+    EXPECT_GT(first, 0) << workload->info().name;
+    EXPECT_EQ(workload->access_count(), first);
+    // A fresh instance of the same workload agrees.
+    auto again = MakeWorkloadByName(workload->info().name);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ((*again)->access_count(), first) << workload->info().name;
+  }
+}
+
+TEST(WorkloadsTest, FftComputeScalesWithInput) {
+  const auto small = MakeFft(17.0)->info();
+  const auto large = MakeFft(24.0)->info();
+  EXPECT_LT(small.user_seconds, large.user_seconds);
+  // 24 MB anchors the paper's measured decomposition.
+  EXPECT_NEAR(large.user_seconds, 66.138, 1e-6);
+  EXPECT_NEAR(large.system_seconds, 3.133, 1e-6);
+  EXPECT_NEAR(large.init_seconds, 0.21, 1e-6);
+}
+
+// The Fig. 3 cliff: FFT at 17 MB fits in 18 MB of frames and must not page;
+// FFT at 24 MB must.
+TEST(WorkloadsTest, FftPagingCliff) {
+  for (const double mb : {17.0, 24.0}) {
+    TestbedParams params;
+    params.policy = Policy::kNoReliability;
+    params.data_servers = 2;
+    params.server_capacity_pages = 4096;
+    auto bed = Testbed::Create(params);
+    ASSERT_TRUE(bed.ok());
+    RunConfig config;
+    config.physical_frames = 2304;  // 18 MB.
+    auto run = SimulateRun(*MakeFft(mb), &(*bed)->backend(), config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    if (mb < 18.0) {
+      EXPECT_EQ(run->vm.pageins, 0) << mb;
+      EXPECT_EQ(run->vm.pageouts, 0) << mb;
+    } else {
+      EXPECT_GT(run->vm.pageins, 500) << mb;
+      EXPECT_GT(run->vm.pageouts, 500) << mb;
+    }
+  }
+}
+
+// MVEC's published signature: "many pageouts and almost no pageins".
+TEST(WorkloadsTest, MvecIsPageoutDominated) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  params.server_capacity_pages = 8192;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = 2304;
+  auto run = SimulateRun(*MakeMvec(), &(*bed)->backend(), config);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->vm.pageouts, 1000);
+  EXPECT_LT(run->vm.pageins, run->vm.pageouts / 20);
+}
+
+// Every workload's virtual accesses stay inside its declared footprint.
+class WorkloadBoundsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadBoundsTest, AccessesWithinAddressSpace) {
+  auto workload = MakeWorkloadByName(GetParam());
+  ASSERT_TRUE(workload.ok());
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  params.server_capacity_pages = 8192;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  RunConfig config;
+  config.physical_frames = 2304;
+  // SimulateRun sizes the VM from info().data_bytes (+small headroom); any
+  // out-of-range touch would fail the run.
+  auto run = SimulateRun(**workload, &(*bed)->backend(), config);
+  EXPECT_TRUE(run.ok()) << GetParam() << ": " << run.status().ToString();
+  EXPECT_EQ(run->vm.accesses, (*workload)->access_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadBoundsTest,
+                         ::testing::Values("MVEC", "GAUSS", "QSORT", "FFT", "FILTER", "CC"));
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,128 @@
+#include "src/core/write_through.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/net/ethernet_model.h"
+
+namespace rmp {
+namespace {
+
+std::unique_ptr<Testbed> MakeBed(int servers, std::shared_ptr<const NetworkModel> network = {}) {
+  TestbedParams params;
+  params.policy = Policy::kWriteThrough;
+  params.data_servers = servers;
+  params.server_capacity_pages = 512;
+  params.pager.alloc_extent_pages = 8;
+  params.network = std::move(network);
+  auto testbed = Testbed::Create(params);
+  EXPECT_TRUE(testbed.ok()) << testbed.status().ToString();
+  return std::move(*testbed);
+}
+
+PageBuffer Patterned(uint64_t seed) {
+  PageBuffer page;
+  FillPattern(page.span(), seed);
+  return page;
+}
+
+TEST(WriteThroughTest, BothCopiesWritten) {
+  auto bed = MakeBed(2);
+  for (uint64_t p = 0; p < 20; ++p) {
+    ASSERT_TRUE(bed->backend().PageOut(0, p, Patterned(p).span()).ok());
+  }
+  EXPECT_EQ(bed->backend().stats().page_transfers, 20);  // Remote copies.
+  EXPECT_EQ(bed->backend().stats().disk_transfers, 20);  // Disk copies.
+  EXPECT_EQ(bed->server(0).live_pages() + bed->server(1).live_pages(), 20u);
+}
+
+TEST(WriteThroughTest, ReadsComeFromRemoteMemory) {
+  auto bed = MakeBed(2);
+  ASSERT_TRUE(bed->backend().PageOut(0, 1, Patterned(9).span()).ok());
+  const auto before = bed->backend().stats().disk_transfers;
+  PageBuffer in;
+  ASSERT_TRUE(bed->backend().PageIn(0, 1, in.span()).ok());
+  EXPECT_TRUE(CheckPattern(in.span(), 9));
+  EXPECT_EQ(bed->backend().stats().disk_transfers, before);  // No disk read.
+}
+
+TEST(WriteThroughTest, SurvivesAnyServerCrashViaDisk) {
+  auto bed = MakeBed(2);
+  for (uint64_t p = 0; p < 20; ++p) {
+    ASSERT_TRUE(bed->backend().PageOut(0, p, Patterned(p).span()).ok());
+  }
+  // Write-through survives even BOTH servers dying — the disk has it all.
+  bed->CrashServer(0);
+  bed->CrashServer(1);
+  PageBuffer in;
+  for (uint64_t p = 0; p < 20; ++p) {
+    ASSERT_TRUE(bed->backend().PageIn(0, p, in.span()).ok()) << p;
+    EXPECT_TRUE(CheckPattern(in.span(), p));
+  }
+}
+
+TEST(WriteThroughTest, RecoverReUploadsToSurvivors) {
+  auto bed = MakeBed(2);
+  WriteThroughBackend* backend = bed->write_through();
+  for (uint64_t p = 0; p < 20; ++p) {
+    ASSERT_TRUE(backend->PageOut(0, p, Patterned(p).span()).ok());
+  }
+  bed->CrashServer(0);
+  TimeNs now = 0;
+  ASSERT_TRUE(backend->Recover(0, &now).ok());
+  // All pages now live on server 1; reads stop touching the disk.
+  const auto disk_before = backend->stats().disk_transfers;
+  PageBuffer in;
+  for (uint64_t p = 0; p < 20; ++p) {
+    ASSERT_TRUE(backend->PageIn(0, p, in.span()).ok());
+    EXPECT_TRUE(CheckPattern(in.span(), p));
+  }
+  EXPECT_EQ(backend->stats().disk_transfers, disk_before);
+}
+
+TEST(WriteThroughTest, OverwriteKeepsBothCopiesCurrent) {
+  auto bed = MakeBed(2);
+  ASSERT_TRUE(bed->backend().PageOut(0, 4, Patterned(1).span()).ok());
+  ASSERT_TRUE(bed->backend().PageOut(0, 4, Patterned(2).span()).ok());
+  bed->CrashServer(0);
+  bed->CrashServer(1);
+  PageBuffer in;
+  ASSERT_TRUE(bed->backend().PageIn(0, 4, in.span()).ok());
+  EXPECT_TRUE(CheckPattern(in.span(), 2));
+}
+
+TEST(WriteThroughTest, PageoutCompletesAtSlowerDevice) {
+  // With a very fast network, the completion is disk-bound and vice versa.
+  auto fast_net = std::make_shared<ScaledBandwidthModel>(std::make_shared<EthernetModel>(), 100.0);
+  auto bed = MakeBed(2, fast_net);
+  TimeNs done_sum = 0;
+  for (uint64_t p = 0; p < 50; ++p) {
+    auto done = bed->backend().PageOut(done_sum, p, Patterned(p).span());
+    ASSERT_TRUE(done.ok());
+    done_sum = *done;
+  }
+  // The disk (15 ms/page writes behind a 35 ms lag window) dominates; the
+  // 100x network alone would have finished in well under a second.
+  EXPECT_GT(done_sum, Millis(300));
+}
+
+TEST(WriteThroughTest, FullClusterStillDurableOnDisk) {
+  TestbedParams params;
+  params.policy = Policy::kWriteThrough;
+  params.data_servers = 1;
+  params.server_capacity_pages = 8;  // Tiny remote memory.
+  params.pager.alloc_extent_pages = 4;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  for (uint64_t p = 0; p < 30; ++p) {
+    ASSERT_TRUE((*bed)->backend().PageOut(0, p, Patterned(p).span()).ok()) << p;
+  }
+  PageBuffer in;
+  for (uint64_t p = 0; p < 30; ++p) {
+    ASSERT_TRUE((*bed)->backend().PageIn(0, p, in.span()).ok()) << p;
+    EXPECT_TRUE(CheckPattern(in.span(), p));
+  }
+}
+
+}  // namespace
+}  // namespace rmp
