@@ -62,8 +62,12 @@ Status ServerPeer::AllocExtent(uint64_t pages) {
   return OkStatus();
 }
 
-Result<bool> ServerPeer::PageOutTo(uint64_t slot, std::span<const uint8_t> page) {
-  auto reply = transport_->Call(MakePageOut(NextRequestId(), slot, page));
+RpcFuture ServerPeer::StartPageOut(uint64_t slot, std::span<const uint8_t> page) {
+  return transport_->CallAsync(MakePageOut(NextRequestId(), slot, page));
+}
+
+Result<bool> ServerPeer::JoinPageOut(RpcFuture future) {
+  auto reply = future.Wait();
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -81,11 +85,19 @@ Result<bool> ServerPeer::PageOutTo(uint64_t slot, std::span<const uint8_t> page)
   return reply->advise_stop();
 }
 
-Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
+Result<bool> ServerPeer::PageOutTo(uint64_t slot, std::span<const uint8_t> page) {
+  return JoinPageOut(StartPageOut(slot, page));
+}
+
+RpcFuture ServerPeer::StartPageIn(uint64_t slot) {
+  return transport_->CallAsync(MakePageIn(NextRequestId(), slot));
+}
+
+Status ServerPeer::JoinPageIn(RpcFuture future, std::span<uint8_t> out) {
   if (out.size() != kPageSize) {
     return InvalidArgumentError("pagein target must be kPageSize");
   }
-  auto reply = transport_->Call(MakePageIn(NextRequestId(), slot));
+  auto reply = future.Wait();
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -105,6 +117,10 @@ Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
   std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
   ++pages_fetched_;
   return OkStatus();
+}
+
+Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
+  return JoinPageIn(StartPageIn(slot), out);
 }
 
 Status ServerPeer::FreeOn(uint64_t first_slot, uint64_t count) {

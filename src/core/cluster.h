@@ -75,6 +75,17 @@ class ServerPeer {
 
   Status PageInFrom(uint64_t slot, std::span<uint8_t> out);
 
+  // --- Pipelined RPCs ------------------------------------------------------
+  // Start issues the request without waiting on the reply; Join blocks on it
+  // and applies the same reply-parsing and liveness bookkeeping as the
+  // blocking form. Between Start and Join the caller can issue RPCs to
+  // *other* peers — that is how mirroring writes both replicas in parallel
+  // and parity logging overlaps its parity flush with the next stripe.
+  RpcFuture StartPageOut(uint64_t slot, std::span<const uint8_t> page);
+  Result<bool> JoinPageOut(RpcFuture future);
+  RpcFuture StartPageIn(uint64_t slot);
+  Status JoinPageIn(RpcFuture future, std::span<uint8_t> out);
+
   Status FreeOn(uint64_t first_slot, uint64_t count);
 
   // Basic-parity RPCs: store-and-return-delta, and parity fold-in.

@@ -1,13 +1,14 @@
 #include "src/core/mirroring.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/util/logging.h"
 
 namespace rmp {
 
-Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
-    TimeNs* now, std::span<const uint8_t> data, size_t avoid) {
+Result<MirroringBackend::Replica> MirroringBackend::AcquireReplicaSlot(TimeNs* now,
+                                                                       size_t avoid) {
   for (size_t attempts = 0; attempts < cluster_.size() + 1; ++attempts) {
     auto pick = cluster_.NextUsable(&rr_cursor_);
     if (!pick.ok()) {
@@ -37,20 +38,74 @@ Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
       }
       return slot.status();
     }
-    auto advise = peer.PageOutTo(*slot, data);
+    return Replica{peer_index, *slot};
+  }
+  return NoSpaceError("no usable server for mirror replica");
+}
+
+Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
+    TimeNs* now, std::span<const uint8_t> data, size_t avoid) {
+  for (size_t attempts = 0; attempts < cluster_.size() + 1; ++attempts) {
+    auto replica = AcquireReplicaSlot(now, avoid);
+    if (!replica.ok()) {
+      return replica.status();
+    }
+    ServerPeer& peer = cluster_.peer(replica->peer);
+    auto advise = peer.JoinPageOut(peer.StartPageOut(replica->slot, data));
     if (!advise.ok()) {
+      // The slot dies with the server; retry elsewhere.
       if (advise.status().code() == ErrorCode::kUnavailable) {
         continue;
       }
       return advise.status();
     }
-    *now = ChargePageTransferAsync(*now, peer_index);
+    *now = ChargePageTransferAsync(*now, replica->peer);
     if (*advise) {
       peer.set_no_new_extents(true);
     }
-    return Replica{peer_index, *slot};
+    return *replica;
   }
   return NoSpaceError("no usable server for mirror replica");
+}
+
+Status MirroringBackend::JoinReplicaWrites(TimeNs* now, std::span<const uint8_t> data,
+                                           MirrorEntry* entry, RpcFuture futures[2],
+                                           const bool issued[2]) {
+  // Both writes are already on the wire; charge the two transfers from the
+  // same instant so their protocol processing overlaps, and finish at the
+  // later completion. This is what makes a mirrored pageout cost less than
+  // two serialized single-copy pageouts.
+  const TimeNs start = *now;
+  TimeNs done = *now;
+  for (int c = 0; c < 2; ++c) {
+    bool ok = false;
+    if (issued[c]) {
+      ServerPeer& peer = cluster_.peer(entry->copies[c].peer);
+      auto advise = peer.JoinPageOut(std::move(futures[c]));
+      if (advise.ok()) {
+        done = std::max(done, ChargePageTransferAsync(start, entry->copies[c].peer));
+        if (*advise) {
+          peer.set_no_new_extents(true);
+        }
+        ok = true;
+      } else if (advise.status().code() != ErrorCode::kUnavailable) {
+        return advise.status();
+      }
+    }
+    if (!ok) {
+      // Repair serially: the replacement write cannot start before the
+      // failure of the original is known.
+      TimeNs repair = start;
+      auto replica = WriteNewReplica(&repair, data, entry->copies[1 - c].peer);
+      if (!replica.ok()) {
+        return replica.status();
+      }
+      entry->copies[c] = *replica;
+      done = std::max(done, repair);
+    }
+  }
+  *now = done;
+  return OkStatus();
 }
 
 Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
@@ -62,47 +117,42 @@ Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
   const TimeNs start = now;
   auto it = table_.find(page_id);
   if (it != table_.end()) {
-    // Overwrite both replicas in place; replace any that died.
+    // Overwrite both replicas in place, issuing both writes before waiting
+    // on either; replace any copy whose server died.
     MirrorEntry& entry = it->second;
+    RpcFuture futures[2];
+    bool issued[2] = {false, false};
     for (int c = 0; c < 2; ++c) {
       ServerPeer& peer = cluster_.peer(entry.copies[c].peer);
-      bool ok = false;
       if (peer.alive()) {
-        auto advise = peer.PageOutTo(entry.copies[c].slot, data);
-        if (advise.ok()) {
-          now = ChargePageTransferAsync(now, entry.copies[c].peer);
-          if (*advise) {
-            peer.set_no_new_extents(true);
-          }
-          ok = true;
-        } else if (advise.status().code() != ErrorCode::kUnavailable) {
-          return advise.status();
-        }
-      }
-      if (!ok) {
-        const size_t other = entry.copies[1 - c].peer;
-        auto replica = WriteNewReplica(&now, data, other);
-        if (!replica.ok()) {
-          return replica.status();
-        }
-        entry.copies[c] = *replica;
+        futures[c] = peer.StartPageOut(entry.copies[c].slot, data);
+        issued[c] = true;
       }
     }
+    RMP_RETURN_IF_ERROR(JoinReplicaWrites(&now, data, &entry, futures, issued));
     stats_.paging_time += now - start;
     return now;
   }
 
+  // Fresh page: reserve slots on two distinct servers up front, then write
+  // both replicas in parallel.
   MirrorEntry entry;
-  auto first = WriteNewReplica(&now, data, cluster_.size());
+  auto first = AcquireReplicaSlot(&now, cluster_.size());
   if (!first.ok()) {
     return first.status();
   }
   entry.copies[0] = *first;
-  auto second = WriteNewReplica(&now, data, first->peer);
+  auto second = AcquireReplicaSlot(&now, first->peer);
   if (!second.ok()) {
     return second.status();
   }
   entry.copies[1] = *second;
+  RpcFuture futures[2];
+  const bool issued[2] = {true, true};
+  for (int c = 0; c < 2; ++c) {
+    futures[c] = cluster_.peer(entry.copies[c].peer).StartPageOut(entry.copies[c].slot, data);
+  }
+  RMP_RETURN_IF_ERROR(JoinReplicaWrites(&now, data, &entry, futures, issued));
   table_.emplace(page_id, entry);
   stats_.paging_time += now - start;
   return now;

@@ -43,12 +43,20 @@ class MirroringBackend final : public RemotePagerBase {
     Replica copies[2];
   };
 
-  // Picks two distinct usable peers.
-  Result<std::pair<size_t, size_t>> PickPair(TimeNs* now);
+  // Reserves a fresh slot on some usable peer other than `avoid` (pass
+  // cluster_.size() to allow any). Does not touch the page data.
+  Result<Replica> AcquireReplicaSlot(TimeNs* now, size_t avoid);
 
   // Writes `data` to a fresh slot on some usable peer other than `avoid`
   // (pass cluster_.size() to allow any). Returns the written replica.
   Result<Replica> WriteNewReplica(TimeNs* now, std::span<const uint8_t> data, size_t avoid);
+
+  // Joins two replica writes previously issued with StartPageOut (slots
+  // `issued[c]`), charging both transfers from the same instant *now and
+  // advancing *now to the later completion. A copy whose server went away
+  // mid-write is repaired onto a different peer via WriteNewReplica.
+  Status JoinReplicaWrites(TimeNs* now, std::span<const uint8_t> data, MirrorEntry* entry,
+                           RpcFuture futures[2], const bool issued[2]);
 
   std::unordered_map<uint64_t, MirrorEntry> table_;
 };

@@ -98,6 +98,12 @@ void ParityLoggingBackend::RetireOldVersion(uint64_t page_id, TimeNs* now) {
 }
 
 void ParityLoggingBackend::ReclaimGroup(uint64_t group_id, TimeNs* now) {
+  if (pending_parity_.valid() && group_id == pending_parity_group_) {
+    // This group's parity write may still be in flight; settle it before
+    // freeing the slot it targets. A failed write is moot — the slots are
+    // being freed anyway.
+    (void)JoinParityFlush(now);
+  }
   auto git = groups_.find(group_id);
   if (git == groups_.end()) {
     return;
@@ -120,7 +126,32 @@ void ParityLoggingBackend::ReclaimGroup(uint64_t group_id, TimeNs* now) {
   ++groups_reclaimed_;
 }
 
+Status ParityLoggingBackend::JoinParityFlush(TimeNs* now) {
+  if (pending_parity_completion_ != 0) {
+    // The next stripe's pageouts were charged concurrently with the parity
+    // transfer; only now does anyone have to wait for its completion.
+    *now = std::max(*now, pending_parity_completion_);
+    pending_parity_completion_ = 0;
+  }
+  if (!pending_parity_.valid()) {
+    return OkStatus();
+  }
+  RpcFuture flush = std::move(pending_parity_);
+  ServerPeer& parity = cluster_.peer(parity_peer_);
+  auto advise = parity.JoinPageOut(std::move(flush));
+  if (!advise.ok()) {
+    return advise.status();
+  }
+  // ADVISE_STOP from the parity server is deliberately ignored: parity slots
+  // are granted through AllocExtent, which applies its own backpressure, and
+  // stopping flushes would leave sealed groups without redundancy.
+  return OkStatus();
+}
+
 Status ParityLoggingBackend::FlushParity(TimeNs* now) {
+  // At most one parity write rides the wire at a time: settle the previous
+  // stripe's flush before issuing this one.
+  RMP_RETURN_IF_ERROR(JoinParityFlush(now));
   if (groups_.at(open_group_id_).entries.empty()) {
     return OkStatus();
   }
@@ -144,11 +175,22 @@ Status ParityLoggingBackend::FlushParity(TimeNs* now) {
   }
   // Re-acquire after every potentially reentrant call above.
   ParityGroup& open = groups_.at(open_group_id_);
-  auto advise = parity.PageOutTo(*slot, accumulator_.span());
-  if (!advise.ok()) {
-    return advise.status();
+  RpcFuture flush = parity.StartPageOut(*slot, accumulator_.span());
+  const TimeNs completion = ChargePageTransferAsync(*now, parity_peer_);
+  if (flush.ready()) {
+    // In-process transports complete inline; settle now so a failed write
+    // surfaces before the group is sealed. The completion time still joins
+    // lazily — the next stripe's pageouts overlap the parity transfer.
+    // ADVISE_STOP is ignored, as in JoinParityFlush.
+    auto advise = parity.JoinPageOut(std::move(flush));
+    if (!advise.ok()) {
+      return advise.status();
+    }
+  } else {
+    pending_parity_ = std::move(flush);
+    pending_parity_group_ = open_group_id_;
   }
-  *now = ChargePageTransferAsync(*now, parity_peer_);
+  pending_parity_completion_ = completion;
   ++parity_flushes_;
   open.parity_slot = *slot;
   open.sealed = true;
@@ -316,20 +358,29 @@ Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
     // during a normal pageout, the client copy IS the redundancy until the
     // page lands in a new group.
     std::vector<std::pair<uint64_t, PageBuffer>> stash;
-    for (const GroupEntry& entry : group.entries) {
+    std::vector<RpcFuture> reads(group.entries.size());
+    for (size_t e = 0; e < group.entries.size(); ++e) {
+      if (group.entries[e].active) {
+        reads[e] = cluster_.peer(group.entries[e].peer).StartPageIn(group.entries[e].slot);
+      }
+    }
+    const TimeNs fan_start = *now;
+    TimeNs fan_done = *now;
+    for (size_t e = 0; e < group.entries.size(); ++e) {
+      const GroupEntry& entry = group.entries[e];
       if (!entry.active) {
         continue;
       }
-      ServerPeer& peer = cluster_.peer(entry.peer);
       PageBuffer page;
-      const Status read = peer.PageInFrom(entry.slot, page.span());
+      const Status read = cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span());
       if (!read.ok()) {
         result = read;
         break;
       }
-      *now = ChargePageTransfer(*now, entry.peer);
+      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
       stash.emplace_back(entry.page_id, std::move(page));
     }
+    *now = fan_done;
     if (!result.ok()) {
       break;
     }
@@ -367,21 +418,34 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
   ServerPeer& failed = cluster_.peer(peer_index);
 
   if (peer_index == parity_peer_) {
-    // Data pages are intact; only redundancy was lost. Rebuild every sealed
-    // group's parity onto the (restarted) parity server.
+    // Data pages are intact; only redundancy was lost. A parity write caught
+    // in flight by the crash is moot — every sealed group's parity is about
+    // to be rebuilt onto the (restarted) parity server.
+    (void)JoinParityFlush(now);
     failed.DropPool();
     failed.mark_alive();
     for (auto& [group_id, group] : groups_) {
       if (!group.sealed) {
         continue;  // The open group's parity is the client-side accumulator.
       }
+      // Group members live on distinct servers, so all reads proceed in
+      // parallel; the rebuild waits for the slowest.
+      std::vector<RpcFuture> reads(group.entries.size());
+      for (size_t e = 0; e < group.entries.size(); ++e) {
+        reads[e] = cluster_.peer(group.entries[e].peer).StartPageIn(group.entries[e].slot);
+      }
+      const TimeNs fan_start = *now;
+      TimeNs fan_done = *now;
       PageBuffer parity;
       PageBuffer page;
-      for (const GroupEntry& entry : group.entries) {
-        RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).PageInFrom(entry.slot, page.span()));
-        *now = ChargePageTransfer(*now, entry.peer);
+      for (size_t e = 0; e < group.entries.size(); ++e) {
+        const GroupEntry& entry = group.entries[e];
+        RMP_RETURN_IF_ERROR(
+            cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span()));
+        fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
         parity.XorWith(page.span());
       }
+      *now = fan_done;
       auto slot = TakeSlotOn(parity_peer_, now);
       if (!slot.ok()) {
         return slot.status();
@@ -400,6 +464,11 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
   failed.mark_dead();
   failed.DropPool();
 
+  // A pending parity write must land before reconstruction reads sealed
+  // parity back; a failure here means the pending group lost its redundancy
+  // to a double fault, which is beyond the single-crash guarantee.
+  RMP_RETURN_IF_ERROR(JoinParityFlush(now));
+
   // Collect affected groups (any entry on the dead server), including open.
   std::vector<uint64_t> affected;
   for (const auto& [group_id, group] : groups_) {
@@ -415,19 +484,13 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
   bool open_dissolved = false;
   for (const uint64_t group_id : affected) {
     ParityGroup& group = groups_.at(group_id);
-    // Reconstruction seed: sealed groups fetch the stored parity; the open
-    // group's parity is the in-memory accumulator.
-    PageBuffer xor_buf;
-    if (group.sealed) {
-      RMP_RETURN_IF_ERROR(
-          cluster_.peer(parity_peer_).PageInFrom(group.parity_slot, xor_buf.span()));
-      *now = ChargePageTransfer(*now, parity_peer_);
-    } else {
-      xor_buf = accumulator_;
-    }
+    // Start every read at once — the survivors and the stored parity all
+    // live on distinct servers — then join and XOR. Reconstruction of a
+    // group costs one round trip to the slowest member, not the sum.
     const GroupEntry* lost = nullptr;
-    PageBuffer page;
-    for (const GroupEntry& entry : group.entries) {
+    std::vector<RpcFuture> reads(group.entries.size());
+    for (size_t e = 0; e < group.entries.size(); ++e) {
+      const GroupEntry& entry = group.entries[e];
       if (entry.peer == peer_index) {
         if (lost != nullptr) {
           return InternalError("two entries of one parity group on one server");
@@ -435,14 +498,39 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
         lost = &entry;
         continue;
       }
-      RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).PageInFrom(entry.slot, page.span()));
-      *now = ChargePageTransfer(*now, entry.peer);
+      reads[e] = cluster_.peer(entry.peer).StartPageIn(entry.slot);
+    }
+    // Reconstruction seed: sealed groups fetch the stored parity; the open
+    // group's parity is the in-memory accumulator.
+    PageBuffer xor_buf;
+    RpcFuture parity_read;
+    if (group.sealed) {
+      parity_read = cluster_.peer(parity_peer_).StartPageIn(group.parity_slot);
+    } else {
+      xor_buf = accumulator_;
+    }
+    const TimeNs fan_start = *now;
+    TimeNs fan_done = *now;
+    if (group.sealed) {
+      RMP_RETURN_IF_ERROR(
+          cluster_.peer(parity_peer_).JoinPageIn(std::move(parity_read), xor_buf.span()));
+      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, parity_peer_));
+    }
+    PageBuffer page;
+    for (size_t e = 0; e < group.entries.size(); ++e) {
+      const GroupEntry& entry = group.entries[e];
+      if (entry.peer == peer_index) {
+        continue;
+      }
+      RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span()));
+      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
       xor_buf.XorWith(page.span());
       if (entry.active) {
         // Dissolving the group surrenders this page's redundancy; re-home it.
         stash.emplace_back(entry.page_id, PageBuffer(page.span()));
       }
     }
+    *now = fan_done;
     if (lost != nullptr && lost->active) {
       stash.emplace_back(lost->page_id, xor_buf);  // The reconstructed page.
     }

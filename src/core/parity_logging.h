@@ -118,7 +118,15 @@ class ParityLoggingBackend final : public RemotePagerBase {
   Status PlacePage(uint64_t page_id, std::span<const uint8_t> data, TimeNs* now);
 
   // Ships the accumulator to the parity server and seals the open group.
+  // The write is issued pipelined: over a real transport it stays in flight
+  // while the next stripe's pageouts proceed, and is settled by
+  // JoinParityFlush at the next point that needs it.
   Status FlushParity(TimeNs* now);
+
+  // Settles the outstanding parity write (if any) and folds its modeled
+  // completion time into *now. Must run before anything reads or frees the
+  // pending group's parity slot.
+  Status JoinParityFlush(TimeNs* now);
 
   // Frees every server slot of a dead group (all entries inactive).
   void ReclaimGroup(uint64_t group_id, TimeNs* now);
@@ -143,6 +151,13 @@ class ParityLoggingBackend final : public RemotePagerBase {
   int64_t gc_passes_ = 0;
   int64_t parity_flushes_ = 0;
   bool in_gc_ = false;
+
+  // Outstanding parity write. Over an in-process transport the future
+  // completes inline and only the completion time stays pending; over TCP
+  // the write itself overlaps the next stripe's pageouts.
+  RpcFuture pending_parity_;
+  uint64_t pending_parity_group_ = 0;
+  TimeNs pending_parity_completion_ = 0;
 };
 
 }  // namespace rmp

@@ -7,20 +7,20 @@
 namespace rmp {
 namespace {
 
-void PutU16(std::vector<uint8_t>* out, uint16_t v) {
-  out->push_back(static_cast<uint8_t>(v));
-  out->push_back(static_cast<uint8_t>(v >> 8));
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
 }
 
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+void StoreU32(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
   }
 }
 
-void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+void StoreU64(uint8_t* p, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
   }
 }
 
@@ -97,36 +97,30 @@ bool Message::operator==(const Message& other) const {
          status == other.status && payload == other.payload;
 }
 
-void EncodeTo(const Message& message, std::vector<uint8_t>* out) {
-  out->reserve(out->size() + kWireHeaderSize + message.payload.size());
-  PutU32(out, kWireMagic);
-  out->push_back(static_cast<uint8_t>(message.type));
-  out->push_back(message.flags);
-  PutU16(out, 0);  // reserved
-  PutU64(out, message.request_id);
-  PutU64(out, message.slot);
-  PutU64(out, message.count);
-  PutU64(out, message.aux);
-  PutU32(out, message.status);
-  const uint32_t crc = message.payload.empty()
-                           ? 0
-                           : Crc32(std::span<const uint8_t>(message.payload));
-  PutU32(out, crc);
-  PutU32(out, static_cast<uint32_t>(message.payload.size()));
-  out->insert(out->end(), message.payload.begin(), message.payload.end());
+uint32_t PayloadCrc(std::span<const uint8_t> payload) {
+  return payload.empty() ? 0 : Crc32(payload);
 }
 
-std::vector<uint8_t> Encode(const Message& message) {
-  std::vector<uint8_t> out;
-  EncodeTo(message, &out);
-  return out;
+void EncodeHeader(const Message& message, uint32_t payload_crc, uint8_t* out) {
+  static_assert(kWireHeaderSize == 48, "layout audit");
+  StoreU32(out, kWireMagic);
+  out[4] = static_cast<uint8_t>(message.type);
+  out[5] = message.flags;
+  StoreU16(out + 6, 0);  // reserved
+  StoreU64(out + 8, message.request_id);
+  StoreU64(out + 16, message.slot);
+  StoreU64(out + 24, message.count);
+  StoreU64(out + 32, message.aux);
+  StoreU32(out + 40, message.status);
+  StoreU32(out + 44, payload_crc);
+  StoreU32(out + 48, static_cast<uint32_t>(message.payload.size()));
 }
 
-Result<Message> Decode(std::span<const uint8_t> bytes) {
-  if (bytes.size() < kWireHeaderSize) {
+Result<WireHeader> DecodeHeader(std::span<const uint8_t> prefix) {
+  if (prefix.size() < kWirePrefixSize) {
     return ProtocolError("message shorter than header");
   }
-  const uint8_t* p = bytes.data();
+  const uint8_t* p = prefix.data();
   if (GetU32(p) != kWireMagic) {
     return ProtocolError("bad magic");
   }
@@ -137,29 +131,61 @@ Result<Message> Decode(std::span<const uint8_t> bytes) {
   if (GetU16(p + 6) != 0) {
     return ProtocolError("nonzero reserved field");
   }
-  Message m;
-  m.type = static_cast<MessageType>(raw_type);
-  m.flags = p[5];
-  m.request_id = GetU64(p + 8);
-  m.slot = GetU64(p + 16);
-  m.count = GetU64(p + 24);
-  m.aux = GetU64(p + 32);
-  m.status = GetU32(p + 40);
-  const uint32_t crc = GetU32(p + 44);
-  // payload_len sits at offset 48... header is 52 bytes with the length
-  // field; keep kWireHeaderSize meaning "bytes before payload".
-  static_assert(kWireHeaderSize == 48, "layout audit");
-  if (bytes.size() < kWireHeaderSize + 4) {
-    return ProtocolError("message shorter than header");
+  WireHeader h;
+  h.type = static_cast<MessageType>(raw_type);
+  h.flags = p[5];
+  h.request_id = GetU64(p + 8);
+  h.slot = GetU64(p + 16);
+  h.count = GetU64(p + 24);
+  h.aux = GetU64(p + 32);
+  h.status = GetU32(p + 40);
+  h.payload_crc = GetU32(p + 44);
+  h.payload_len = GetU32(p + 48);
+  if (h.payload_len > kMaxWirePayload) {
+    return ProtocolError("payload length " + std::to_string(h.payload_len) +
+                         " exceeds wire maximum");
   }
-  const uint32_t payload_len = GetU32(p + 48);
-  if (bytes.size() != kWireHeaderSize + 4 + payload_len) {
+  return h;
+}
+
+Message MessageFromHeader(const WireHeader& header) {
+  Message m;
+  m.type = header.type;
+  m.flags = header.flags;
+  m.request_id = header.request_id;
+  m.slot = header.slot;
+  m.count = header.count;
+  m.aux = header.aux;
+  m.status = header.status;
+  return m;
+}
+
+void EncodeTo(const Message& message, std::vector<uint8_t>* out) {
+  const size_t base = out->size();
+  out->resize(base + kWirePrefixSize);
+  EncodeHeader(message, PayloadCrc(std::span<const uint8_t>(message.payload)),
+               out->data() + base);
+  out->insert(out->end(), message.payload.begin(), message.payload.end());
+}
+
+std::vector<uint8_t> Encode(const Message& message) {
+  std::vector<uint8_t> out;
+  out.reserve(kWirePrefixSize + message.payload.size());
+  EncodeTo(message, &out);
+  return out;
+}
+
+Result<Message> Decode(std::span<const uint8_t> bytes) {
+  auto header = DecodeHeader(bytes);
+  if (!header.ok()) {
+    return header.status();
+  }
+  if (bytes.size() != kWirePrefixSize + header->payload_len) {
     return ProtocolError("payload length mismatch");
   }
-  m.payload.assign(p + kWireHeaderSize + 4, p + kWireHeaderSize + 4 + payload_len);
-  const uint32_t actual_crc =
-      m.payload.empty() ? 0 : Crc32(std::span<const uint8_t>(m.payload));
-  if (actual_crc != crc) {
+  Message m = MessageFromHeader(*header);
+  m.payload.assign(bytes.begin() + kWirePrefixSize, bytes.end());
+  if (PayloadCrc(std::span<const uint8_t>(m.payload)) != header->payload_crc) {
     return CorruptionError("payload CRC mismatch");
   }
   return m;
@@ -170,15 +196,14 @@ void FrameReader::Feed(std::span<const uint8_t> bytes) {
 }
 
 Result<Message> FrameReader::Next() {
-  constexpr size_t kPrefix = kWireHeaderSize + 4;  // header + payload_len.
-  if (buffer_.size() < kPrefix) {
+  if (buffer_.size() < kWirePrefixSize) {
     return NotFoundError("incomplete header");
   }
   if (GetU32(buffer_.data()) != kWireMagic) {
     return ProtocolError("stream desynchronized: bad magic");
   }
   const uint32_t payload_len = GetU32(buffer_.data() + kWireHeaderSize);
-  const size_t total = kPrefix + payload_len;
+  const size_t total = kWirePrefixSize + payload_len;
   if (buffer_.size() < total) {
     return NotFoundError("incomplete payload");
   }

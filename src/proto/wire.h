@@ -82,7 +82,43 @@ struct Message {
 
 // Size of the fixed header in bytes.
 inline constexpr size_t kWireHeaderSize = 48;
+// The full fixed-size frame prefix: header plus the payload_len field. A
+// receiver that reads exactly this many bytes knows the exact payload size
+// and can recv the payload directly into its destination buffer.
+inline constexpr size_t kWirePrefixSize = kWireHeaderSize + 4;
 inline constexpr uint32_t kWireMagic = 0x31504d52;  // "RMP1".
+// Upper bound on payload_len accepted from the wire; a corrupt length field
+// must not drive an unbounded allocation. Pages are 8 KB; 1 MB is generous.
+inline constexpr uint32_t kMaxWirePayload = 1u << 20;
+
+// The decoded fixed-size frame prefix. Splitting the prefix from the payload
+// lets the transport frame messages without coalescing header and payload
+// into one temporary buffer (writev on send, two exact reads on receive).
+struct WireHeader {
+  MessageType type = MessageType::kErrorReply;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  uint64_t slot = 0;
+  uint64_t count = 0;
+  uint64_t aux = 0;
+  uint32_t status = 0;
+  uint32_t payload_crc = 0;
+  uint32_t payload_len = 0;
+};
+
+// Writes the frame prefix for `message` (whose payload CRC is `payload_crc`)
+// into `out`, which must hold kWirePrefixSize bytes.
+void EncodeHeader(const Message& message, uint32_t payload_crc, uint8_t* out);
+
+// Parses and validates a frame prefix (magic, type, reserved field, payload
+// bound). `prefix` must hold at least kWirePrefixSize bytes.
+Result<WireHeader> DecodeHeader(std::span<const uint8_t> prefix);
+
+// Expands header fields into a Message with an empty payload.
+Message MessageFromHeader(const WireHeader& header);
+
+// The CRC as computed for the wire: CRC32 of the payload, 0 when empty.
+uint32_t PayloadCrc(std::span<const uint8_t> payload);
 
 // Serializes `message`, computing the payload CRC.
 std::vector<uint8_t> Encode(const Message& message);

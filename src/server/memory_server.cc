@@ -1,7 +1,9 @@
 #include "src/server/memory_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "src/util/logging.h"
 #include "src/util/units.h"
@@ -187,6 +189,15 @@ void MemoryServer::SetNativeLoad(double fraction) {
   native_load_ = std::clamp(fraction, 0.0, 1.0);
 }
 
+void MemoryServer::SetSlotDelayForTest(uint64_t slot, int64_t micros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (micros <= 0) {
+    slot_delays_micros_.erase(slot);
+  } else {
+    slot_delays_micros_[slot] = micros;
+  }
+}
+
 uint64_t MemoryServer::capacity_pages() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return EffectiveCapacityLocked();
@@ -208,6 +219,18 @@ bool MemoryServer::ShouldAdviseStop() const {
 }
 
 Message MemoryServer::Handle(const Message& request) {
+  int64_t delay_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slot_delays_micros_.find(request.slot);
+    if (it != slot_delays_micros_.end()) {
+      delay_micros = it->second;
+    }
+  }
+  if (delay_micros > 0) {
+    // Sleep outside the mutex: a stalled slot must not stall the others.
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
   switch (request.type) {
     case MessageType::kAllocRequest: {
       auto slot = Allocate(request.count);

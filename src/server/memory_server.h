@@ -82,6 +82,11 @@ class MemoryServer : public MessageHandler {
   // server workstation. Raising it can push the server into ADVISE_STOP.
   void SetNativeLoad(double fraction);
 
+  // Test hook: requests touching `slot` sleep for `micros` before being
+  // served (outside the server mutex, so other slots proceed). Lets tests
+  // force out-of-order replies from a multi-worker TcpServer session.
+  void SetSlotDelayForTest(uint64_t slot, int64_t micros);
+
   uint64_t capacity_pages() const;
   uint64_t free_pages() const;
   uint64_t live_pages() const;
@@ -103,6 +108,7 @@ class MemoryServer : public MessageHandler {
   std::vector<std::pair<uint64_t, uint64_t>> free_runs_;
   double native_load_ = 0.0;
   bool crashed_ = false;
+  std::unordered_map<uint64_t, int64_t> slot_delays_micros_;
   // Mutable: serving a pagein is logically const on the page store but must
   // still count toward the served-request statistics.
   mutable MemoryServerStats stats_;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -18,6 +19,104 @@ namespace {
 Status ErrnoError(const char* what) {
   return IoError(std::string(what) + ": " + std::strerror(errno));
 }
+
+// Reads exactly `len` bytes. UnavailableError on clean EOF, IoError otherwise.
+Status RecvExact(int fd, uint8_t* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n == 0) {
+      return UnavailableError("peer closed connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("recv");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+// Per-session request pipeline on the server: `workers` threads pull decoded
+// requests and send replies as they finish, serialized per frame by
+// `send_mutex`. Requests are keyed to a worker by slot, so two requests for
+// the same slot are handled in arrival order while different slots overlap —
+// the ordering contract DESIGN.md documents for the pipelined wire model.
+class SessionWorkerPool {
+ public:
+  SessionWorkerPool(int workers, MessageHandler* handler, int fd, std::mutex* send_mutex)
+      : handler_(handler), fd_(fd), send_mutex_(send_mutex) {
+    queues_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      queues_.push_back(std::make_unique<Queue>());
+    }
+    threads_.reserve(queues_.size());
+    for (auto& queue : queues_) {
+      threads_.emplace_back([this, q = queue.get()] { WorkerLoop(q); });
+    }
+  }
+
+  ~SessionWorkerPool() {
+    for (auto& queue : queues_) {
+      {
+        std::lock_guard<std::mutex> lock(queue->mutex);
+        queue->stopping = true;
+      }
+      queue->cv.notify_all();
+    }
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+
+  void Dispatch(Message request) {
+    Queue& queue = *queues_[request.slot % queues_.size()];
+    {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      queue.items.push_back(std::move(request));
+    }
+    queue.cv.notify_one();
+  }
+
+  bool send_failed() const { return send_failed_.load(); }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> items;
+    bool stopping = false;
+  };
+
+  void WorkerLoop(Queue* queue) {
+    for (;;) {
+      Message request;
+      {
+        std::unique_lock<std::mutex> lock(queue->mutex);
+        queue->cv.wait(lock, [queue] { return queue->stopping || !queue->items.empty(); });
+        if (queue->items.empty()) {
+          return;  // Stopping and drained.
+        }
+        request = std::move(queue->items.front());
+        queue->items.pop_front();
+      }
+      const Message reply = handler_->Handle(request);
+      std::lock_guard<std::mutex> lock(*send_mutex_);
+      if (!SendFrame(fd_, reply).ok()) {
+        send_failed_.store(true);
+      }
+    }
+  }
+
+  MessageHandler* handler_;
+  int fd_;
+  std::mutex* send_mutex_;
+  std::atomic<bool> send_failed_{false};
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace
 
@@ -56,6 +155,69 @@ Status SendAll(int fd, std::span<const uint8_t> bytes) {
   return OkStatus();
 }
 
+Status SendFrame(int fd, const Message& message) {
+  uint8_t prefix[kWirePrefixSize];
+  EncodeHeader(message, PayloadCrc(std::span<const uint8_t>(message.payload)), prefix);
+  iovec iov[2];
+  iov[0].iov_base = prefix;
+  iov[0].iov_len = kWirePrefixSize;
+  iov[1].iov_base = const_cast<uint8_t*>(message.payload.data());
+  iov[1].iov_len = message.payload.size();
+  size_t first = 0;  // Index of the first iovec with bytes left.
+  const int iovcnt = message.payload.empty() ? 1 : 2;
+  while (first < static_cast<size_t>(iovcnt)) {
+    msghdr msg{};
+    msg.msg_iov = &iov[first];
+    msg.msg_iovlen = static_cast<size_t>(iovcnt) - first;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("sendmsg");
+    }
+    size_t remaining = static_cast<size_t>(n);
+    while (first < static_cast<size_t>(iovcnt) && remaining >= iov[first].iov_len) {
+      remaining -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < static_cast<size_t>(iovcnt)) {
+      iov[first].iov_base = static_cast<uint8_t*>(iov[first].iov_base) + remaining;
+      iov[first].iov_len -= remaining;
+    }
+  }
+  return OkStatus();
+}
+
+Result<Message> ReadFrame(int fd) {
+  uint8_t prefix[kWirePrefixSize];
+  Status status = RecvExact(fd, prefix, kWirePrefixSize);
+  if (!status.ok()) {
+    return status;
+  }
+  auto header = DecodeHeader(std::span<const uint8_t>(prefix, kWirePrefixSize));
+  if (!header.ok()) {
+    return header.status();
+  }
+  Message message = MessageFromHeader(*header);
+  if (header->payload_len > 0) {
+    message.payload.resize(header->payload_len);
+    status = RecvExact(fd, message.payload.data(), message.payload.size());
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  if (PayloadCrc(std::span<const uint8_t>(message.payload)) != header->payload_crc) {
+    return CorruptionError("payload CRC mismatch");
+  }
+  return message;
+}
+
+TcpTransport::TcpTransport(UniqueFd fd) : fd_(std::move(fd)) {
+  sender_ = std::thread([this] { SenderLoop(); });
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host,
                                                             uint16_t port,
                                                             const std::string& auth_token) {
@@ -89,61 +251,146 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& h
   return transport;
 }
 
-void TcpTransport::Close() { fd_.Reset(); }
+void TcpTransport::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already closing/closed; fall through to join in case the first
+      // closer was FailConnection (which cannot join the I/O threads).
+    }
+    stopping_ = true;
+    connected_.store(false);
+  }
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+  send_cv_.notify_all();
+  space_cv_.notify_all();
+  if (sender_.joinable()) {
+    sender_.join();
+  }
+  if (receiver_.joinable()) {
+    receiver_.join();
+  }
+  FailConnection("transport closed");
+  fd_.Reset();
+}
 
-Result<Message> TcpTransport::ReadReply() {
-  uint8_t chunk[16 * 1024];
-  for (;;) {
-    auto next = reader_.Next();
-    if (next.ok()) {
-      return next;
-    }
-    if (next.status().code() != ErrorCode::kNotFound) {
-      return next.status();  // Protocol/corruption: connection is unusable.
-    }
-    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
-    if (n == 0) {
-      return UnavailableError("peer closed connection");
-    }
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return ErrnoError("recv");
-    }
-    reader_.Feed(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
+void TcpTransport::FailConnection(const std::string& reason) {
+  std::deque<SendItem> dropped;
+  std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    connected_.store(false);
+    dropped.swap(queue_);
+    orphaned.swap(pending_);
+  }
+  if (fd_.valid()) {
+    ::shutdown(fd_.get(), SHUT_RDWR);
+  }
+  send_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& [id, state] : orphaned) {
+    RpcFuture::Complete(state, UnavailableError(reason));
   }
 }
 
-Result<Message> TcpTransport::Call(const Message& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!fd_.valid()) {
-    return UnavailableError("transport closed");
+RpcFuture TcpTransport::CallAsync(Message request) {
+  auto state = RpcFuture::NewState();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return RpcFuture::MakeReady(UnavailableError("transport closed"));
+    }
+    if (pending_.count(request.request_id) > 0) {
+      return RpcFuture::MakeReady(InvalidArgumentError(
+          "request_id " + std::to_string(request.request_id) + " already in flight"));
+    }
+    space_cv_.wait(lock, [this] { return stopping_ || queue_.size() < kMaxQueuedSends; });
+    if (stopping_) {
+      return RpcFuture::MakeReady(UnavailableError("transport closed"));
+    }
+    pending_.emplace(request.request_id, state);
+    queue_.push_back(SendItem{std::move(request)});
   }
-  const std::vector<uint8_t> encoded = Encode(request);
-  Status sent = SendAll(fd_.get(), std::span<const uint8_t>(encoded));
-  if (!sent.ok()) {
-    Close();
-    return UnavailableError("send failed: " + sent.message());
-  }
-  auto reply = ReadReply();
-  if (!reply.ok() && reply.status().code() == ErrorCode::kUnavailable) {
-    Close();
-  }
-  return reply;
+  send_cv_.notify_one();
+  return RpcFuture(std::move(state));
 }
+
+Result<Message> TcpTransport::Call(const Message& request) { return CallAsync(request).Wait(); }
 
 Status TcpTransport::SendOneWay(const Message& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!fd_.valid()) {
-    return UnavailableError("transport closed");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return UnavailableError("transport closed");
+    }
+    space_cv_.wait(lock, [this] { return stopping_ || queue_.size() < kMaxQueuedSends; });
+    if (stopping_) {
+      return UnavailableError("transport closed");
+    }
+    queue_.push_back(SendItem{request});
   }
-  const std::vector<uint8_t> encoded = Encode(request);
-  return SendAll(fd_.get(), std::span<const uint8_t>(encoded));
+  send_cv_.notify_one();
+  return OkStatus();
+}
+
+size_t TcpTransport::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void TcpTransport::SenderLoop() {
+  for (;;) {
+    SendItem item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      send_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;  // Queued items are failed by FailConnection/Close.
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+    const Status sent = SendFrame(fd_.get(), item.message);
+    if (!sent.ok()) {
+      FailConnection("send failed: " + sent.message());
+      return;
+    }
+  }
+}
+
+void TcpTransport::ReceiverLoop() {
+  for (;;) {
+    auto reply = ReadFrame(fd_.get());
+    if (!reply.ok()) {
+      FailConnection(reply.status().code() == ErrorCode::kUnavailable
+                         ? "peer closed connection"
+                         : "receive failed: " + reply.status().message());
+      return;
+    }
+    std::shared_ptr<RpcFuture::State> state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(reply->request_id);
+      if (it != pending_.end()) {
+        state = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (state != nullptr) {
+      RpcFuture::Complete(state, std::move(*reply));
+    } else {
+      RMP_LOG(kWarning) << "dropping unmatched reply for request_id " << reply->request_id;
+    }
+  }
 }
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactory factory,
-                                                    std::string required_token) {
+                                                    std::string required_token,
+                                                    int session_workers) {
   UniqueFd listen_fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!listen_fd.valid()) {
     return ErrnoError("socket");
@@ -166,15 +413,17 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactor
   }
   const uint16_t bound_port = ntohs(addr.sin_port);
   return std::unique_ptr<TcpServer>(new TcpServer(std::move(listen_fd), bound_port,
-                                                  std::move(factory), std::move(required_token)));
+                                                  std::move(factory), std::move(required_token),
+                                                  session_workers));
 }
 
 TcpServer::TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
-                     std::string required_token)
+                     std::string required_token, int session_workers)
     : listen_fd_(std::move(listen_fd)),
       port_(port),
       factory_(std::move(factory)),
-      required_token_(std::move(required_token)) {
+      required_token_(std::move(required_token)),
+      session_workers_(session_workers) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -184,12 +433,14 @@ void TcpServer::Shutdown() {
   if (stopping_.exchange(true)) {
     return;
   }
-  // Closing the listen socket unblocks accept().
+  // shutdown() (not close) unblocks accept() while leaving the descriptor
+  // valid for the accept thread to keep reading; it is released only after
+  // the join, so the thread can never race the Reset or hit a recycled fd.
   ::shutdown(listen_fd_.get(), SHUT_RDWR);
-  listen_fd_.Reset();
   if (accept_thread_.joinable()) {
     accept_thread_.join();
   }
+  listen_fd_.Reset();
   std::vector<std::thread> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mutex_);
@@ -237,50 +488,60 @@ void TcpServer::Session(UniqueFd fd) {
 
 void TcpServer::SessionLoop(UniqueFd& fd) {
   std::unique_ptr<MessageHandler> handler = factory_();
-  FrameReader reader;
-  uint8_t chunk[16 * 1024];
+  // Serializes frames onto the socket: the inline path below and, when
+  // pipelining is on, the worker threads. Declared before the pool so the
+  // pool (whose workers lock it) is destroyed first.
+  std::mutex send_mutex;
+  std::unique_ptr<SessionWorkerPool> pool;
+  if (session_workers_ > 0) {
+    pool = std::make_unique<SessionWorkerPool>(session_workers_, handler.get(), fd.get(),
+                                               &send_mutex);
+  }
   bool authenticated = required_token_.empty();
   for (;;) {
-    auto next = reader.Next();
-    if (next.ok()) {
-      if (next->type == MessageType::kShutdown) {
-        return;
+    auto next = ReadFrame(fd.get());
+    if (!next.ok()) {
+      if (next.status().code() != ErrorCode::kUnavailable) {
+        RMP_LOG(kWarning) << "dropping connection: " << next.status().ToString();
       }
-      if (next->type == MessageType::kAuth) {
-        const std::string presented(next->payload.begin(), next->payload.end());
-        const bool good = required_token_.empty() || presented == required_token_;
-        authenticated = authenticated || good;
-        const Message reply =
-            MakeAuthReply(next->request_id, good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition);
-        if (!SendAll(fd.get(), std::span<const uint8_t>(Encode(reply))).ok() || !good) {
-          return;  // Bad token: reply then drop the connection.
-        }
-        continue;
+      return;
+    }
+    if (pool != nullptr && pool->send_failed()) {
+      return;
+    }
+    if (next->type == MessageType::kShutdown) {
+      return;
+    }
+    if (next->type == MessageType::kAuth) {
+      const std::string presented(next->payload.begin(), next->payload.end());
+      const bool good = required_token_.empty() || presented == required_token_;
+      authenticated = authenticated || good;
+      const Message reply =
+          MakeAuthReply(next->request_id, good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition);
+      std::lock_guard<std::mutex> lock(send_mutex);
+      if (!SendFrame(fd.get(), reply).ok() || !good) {
+        return;  // Bad token: reply then drop the connection.
       }
-      if (!authenticated) {
-        // Nothing but AUTH is served before the handshake.
-        const Message reply = MakeErrorReply(next->request_id, ErrorCode::kFailedPrecondition);
-        if (!SendAll(fd.get(), std::span<const uint8_t>(Encode(reply))).ok()) {
-          return;
-        }
-        continue;
-      }
-      const Message reply = handler->Handle(*next);
-      const std::vector<uint8_t> encoded = Encode(reply);
-      if (!SendAll(fd.get(), std::span<const uint8_t>(encoded)).ok()) {
+      continue;
+    }
+    if (!authenticated) {
+      // Nothing but AUTH is served before the handshake.
+      const Message reply = MakeErrorReply(next->request_id, ErrorCode::kFailedPrecondition);
+      std::lock_guard<std::mutex> lock(send_mutex);
+      if (!SendFrame(fd.get(), reply).ok()) {
         return;
       }
       continue;
     }
-    if (next.status().code() != ErrorCode::kNotFound) {
-      RMP_LOG(kWarning) << "dropping connection: " << next.status().ToString();
+    if (pool != nullptr) {
+      pool->Dispatch(std::move(*next));
+      continue;
+    }
+    const Message reply = handler->Handle(*next);
+    std::lock_guard<std::mutex> lock(send_mutex);
+    if (!SendFrame(fd.get(), reply).ok()) {
       return;
     }
-    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
-    if (n <= 0) {
-      return;  // Peer closed or error.
-    }
-    reader.Feed(std::span<const uint8_t>(chunk, static_cast<size_t>(n)));
   }
 }
 

@@ -3,21 +3,33 @@
 // TcpServer accepts connections on a loopback or LAN port and — like the
 // paper's user-level memory server, which forks "a new instance of the
 // server" per client (§3.2) — serves each connection on its own thread with
-// its own MessageHandler created by a factory.
+// its own MessageHandler created by a factory. With `session_workers > 0` a
+// session additionally dispatches decoded requests to a small worker pool
+// (keyed by slot, so same-slot requests stay ordered) and replies may leave
+// the socket out of order — the pipelined client demultiplexes them by
+// request_id.
 //
-// TcpTransport is the client half: a blocking Call() that writes one encoded
-// request and reads frames until the reply arrives.
+// TcpTransport is the client half. Unlike the paper's single blocking
+// daemon, it keeps many requests outstanding on one connection: CallAsync
+// places the request on a bounded submission queue drained by a sender
+// thread (scatter-gather framing, no header+payload coalescing) while a
+// receiver thread reads exactly one header, then the payload directly into
+// Message::payload, and completes the matching future. Call() is
+// CallAsync().Wait().
 
 #ifndef SRC_TRANSPORT_TCP_H_
 #define SRC_TRANSPORT_TCP_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/transport/transport.h"
@@ -49,8 +61,20 @@ class UniqueFd {
 // failure (EPIPE after a peer crash surfaces here).
 Status SendAll(int fd, std::span<const uint8_t> bytes);
 
+// Frames `message` onto `fd` with one sendmsg: a stack-allocated header iovec
+// plus the payload iovec straight out of Message::payload (zero-copy).
+Status SendFrame(int fd, const Message& message);
+
+// Reads exactly one frame: the fixed-size prefix first, then the payload
+// directly into Message::payload. UnavailableError on EOF.
+Result<Message> ReadFrame(int fd);
+
 class TcpTransport final : public Transport {
  public:
+  // Requests the submission queue will buffer before CallAsync blocks for
+  // space (backpressure toward the paging policies).
+  static constexpr size_t kMaxQueuedSends = 64;
+
   // Connects to host:port (host is an IPv4 dotted quad or "localhost").
   // When `auth_token` is non-empty, an AUTH handshake is performed before
   // the connection is handed back; a server that requires a different token
@@ -61,19 +85,43 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override { Close(); }
 
   Result<Message> Call(const Message& request) override;
+  RpcFuture CallAsync(Message request) override;
   Status SendOneWay(const Message& request) override;
-  bool connected() const override { return fd_.valid(); }
+  bool connected() const override { return connected_.load(); }
+
+  // Closes the connection. Every outstanding future completes with
+  // UnavailableError. Idempotent.
   void Close() override;
 
- private:
-  explicit TcpTransport(UniqueFd fd) : fd_(std::move(fd)) {}
+  // Number of requests currently awaiting a reply (test/debug probe).
+  size_t inflight() const;
 
-  // Reads until one full frame is decodable.
-  Result<Message> ReadReply();
+ private:
+  struct SendItem {
+    Message message;
+  };
+
+  explicit TcpTransport(UniqueFd fd);
+
+  void SenderLoop();
+  void ReceiverLoop();
+
+  // Marks the connection dead and fails every queued and in-flight request.
+  // Safe to call from any thread, including the I/O threads; idempotent.
+  void FailConnection(const std::string& reason);
 
   UniqueFd fd_;
-  FrameReader reader_;
-  std::mutex mutex_;  // Serializes concurrent Call()s on one connection.
+  std::atomic<bool> connected_{true};
+
+  mutable std::mutex mutex_;
+  std::condition_variable send_cv_;   // Sender waits for work / stop.
+  std::condition_variable space_cv_;  // Submitters wait for queue space.
+  std::deque<SendItem> queue_;
+  std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> pending_;
+  bool stopping_ = false;
+
+  std::thread sender_;
+  std::thread receiver_;
 };
 
 // Accept loop + per-connection session threads.
@@ -85,9 +133,13 @@ class TcpServer {
   // accept thread. `factory` is invoked once per accepted connection. When
   // `required_token` is non-empty, every session must open with a matching
   // AUTH message before any other request is served (the paper's
-  // privileged-port restriction, modernized).
+  // privileged-port restriction, modernized). `session_workers > 0` enables
+  // pipelined request handling within a session: that many worker threads
+  // handle requests concurrently (same-slot requests stay on one worker and
+  // thus in order) and replies may be sent out of order.
   static Result<std::unique_ptr<TcpServer>> Start(uint16_t port, HandlerFactory factory,
-                                                  std::string required_token = "");
+                                                  std::string required_token = "",
+                                                  int session_workers = 0);
 
   ~TcpServer();
 
@@ -99,7 +151,7 @@ class TcpServer {
 
  private:
   TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
-            std::string required_token);
+            std::string required_token, int session_workers);
 
   void AcceptLoop();
   void Session(UniqueFd fd);
@@ -109,6 +161,7 @@ class TcpServer {
   uint16_t port_;
   HandlerFactory factory_;
   std::string required_token_;
+  int session_workers_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> connections_served_{0};
   std::thread accept_thread_;

@@ -1,0 +1,41 @@
+#include "src/transport/transport.h"
+
+namespace rmp {
+
+RpcFuture RpcFuture::MakeReady(Result<Message> result) {
+  auto state = NewState();
+  state->result.emplace(std::move(result));
+  return RpcFuture(std::move(state));
+}
+
+bool RpcFuture::ready() const {
+  if (state_ == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->result.has_value();
+}
+
+Result<Message> RpcFuture::Wait() {
+  if (state_ == nullptr) {
+    return InternalError("Wait() on an invalid RpcFuture");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+void RpcFuture::Complete(const std::shared_ptr<State>& state, Result<Message> result) {
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->result.has_value()) {
+      return;  // First completion wins (reply vs. teardown race).
+    }
+    state->result.emplace(std::move(result));
+  }
+  state->cv.notify_all();
+}
+
+RpcFuture Transport::CallAsync(Message request) { return RpcFuture::MakeReady(Call(request)); }
+
+}  // namespace rmp

@@ -2,14 +2,24 @@
 //
 // The paper's client runs "one dedicated paging daemon" that issues blocking
 // request/reply exchanges over a TCP socket per server (§3.1). Transport
-// captures that call pattern; two implementations exist:
+// keeps that blocking Call() but extends it with a pipelined CallAsync():
+// many requests can be outstanding on one connection, with replies
+// demultiplexed by request_id. Two implementations exist:
 //   - InProcTransport: direct dispatch to a MessageHandler in the same
-//     process. Deterministic; used by tests, benches and the simulator.
+//     process. Deterministic (CallAsync completes immediately); used by
+//     tests, benches and the simulator.
 //   - TcpTransport: a real socket to a ServerRunner, possibly in another
-//     process (tools/rmp_server). Exercises the full encode/frame/decode path.
+//     process (tools/rmp_server). A sender thread drains a bounded
+//     submission queue and a receiver thread completes futures, so the
+//     connection carries many requests concurrently.
 
 #ifndef SRC_TRANSPORT_TRANSPORT_H_
 #define SRC_TRANSPORT_TRANSPORT_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
 
 #include "src/proto/wire.h"
 #include "src/util/status.h"
@@ -23,8 +33,45 @@ class MessageHandler {
 
   // Processes one request and produces the reply. Transport-level failures
   // are not representable here; a handler that cannot satisfy a request
-  // returns a reply message with a non-OK status field.
+  // returns a reply message with a non-OK status field. May be invoked
+  // concurrently when the server pipelines a session's requests.
   virtual Message Handle(const Message& request) = 0;
+};
+
+// Completion handle for one in-flight CallAsync. Copyable; all copies share
+// the same completion state. Wait() may be called from any thread and is
+// idempotent.
+class RpcFuture {
+ public:
+  RpcFuture() = default;  // Invalid until assigned from a CallAsync.
+
+  // A future that is already complete (used by synchronous transports and
+  // for immediately-failed submissions).
+  static RpcFuture MakeReady(Result<Message> result);
+
+  bool valid() const { return state_ != nullptr; }
+
+  // Non-blocking completion poll.
+  bool ready() const;
+
+  // Blocks until the reply (or transport failure) arrives.
+  Result<Message> Wait();
+
+ private:
+  friend class TcpTransport;
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Result<Message>> result;
+  };
+
+  static std::shared_ptr<State> NewState() { return std::make_shared<State>(); }
+  static void Complete(const std::shared_ptr<State>& state, Result<Message> result);
+
+  explicit RpcFuture(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
 };
 
 class Transport {
@@ -34,6 +81,14 @@ class Transport {
   // Blocking RPC: sends `request`, waits for the matching reply.
   // Returns UnavailableError if the peer is gone (crash / closed socket).
   virtual Result<Message> Call(const Message& request) = 0;
+
+  // Pipelined RPC: submits `request` and returns immediately; the future
+  // completes when the matching reply (by request_id) arrives. request_ids
+  // must be unique among in-flight calls — a duplicate fails the future
+  // with InvalidArgument. The base implementation degrades to a blocking
+  // Call with an already-complete future, which is also the deterministic
+  // behavior InProcTransport wants.
+  virtual RpcFuture CallAsync(Message request);
 
   // Fire-and-forget send (e.g. SHUTDOWN). Best effort.
   virtual Status SendOneWay(const Message& request) = 0;

@@ -1,43 +1,132 @@
 #include "src/util/checksum.h"
 
 #include <array>
+#include <cstring>
 
 namespace rmp {
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Eight shifted lookup tables for one reflected polynomial: t[0] is the
+// classic byte-at-a-time table, t[k] advances a byte through k+1 zero bytes.
+struct SliceTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+};
+
+SliceTables BuildTables(uint32_t reflected_poly) {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      c = (c & 1) ? (reflected_poly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables.t[0][i];
+    for (int s = 1; s < 8; ++s) {
+      c = tables.t[0][c & 0xffu] ^ (c >> 8);
+      tables.t[s][i] = c;
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
+const SliceTables& IeeeTables() {
+  static const SliceTables tables = BuildTables(0xedb88320u);
+  return tables;
 }
+
+const SliceTables& CastagnoliTables() {
+  static const SliceTables tables = BuildTables(0x82f63b78u);
+  return tables;
+}
+
+uint32_t SliceBy8(const SliceTables& tables, uint32_t crc, const uint8_t* p, size_t n) {
+  const auto& t = tables.t;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^ t[5][(lo >> 16) & 0xffu] ^
+          t[4][lo >> 24] ^ t[3][hi & 0xffu] ^ t[2][(hi >> 8) & 0xffu] ^
+          t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RMP_HAVE_X86_CRC32C 1
+
+inline uint64_t HwCrc32q(uint64_t crc, uint64_t val) {
+  asm("crc32q %1, %0" : "+r"(crc) : "rm"(val));
+  return crc;
+}
+
+inline uint32_t HwCrc32b(uint32_t crc, uint8_t val) {
+  asm("crc32b %1, %0" : "+r"(crc) : "rm"(val));
+  return crc;
+}
+
+uint32_t Crc32cHardware(uint32_t crc, const uint8_t* p, size_t n) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = HwCrc32q(c, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = HwCrc32b(c32, *p++);
+  }
+  return c32;
+}
+
+bool DetectSse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+#else
+#define RMP_HAVE_X86_CRC32C 0
+#endif
 
 }  // namespace
 
 uint32_t Crc32Init() { return 0xffffffffu; }
 
 uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data) {
-  const auto& table = Table();
-  for (uint8_t byte : data) {
-    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
-  }
-  return crc;
+  return SliceBy8(IeeeTables(), crc, data.data(), data.size());
 }
 
 uint32_t Crc32Finalize(uint32_t crc) { return crc ^ 0xffffffffu; }
 
 uint32_t Crc32(std::span<const uint8_t> data) {
   return Crc32Finalize(Crc32Update(Crc32Init(), data));
+}
+
+bool Crc32cHardwareAvailable() {
+#if RMP_HAVE_X86_CRC32C
+  static const bool available = DetectSse42();
+  return available;
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32c(std::span<const uint8_t> data) {
+#if RMP_HAVE_X86_CRC32C
+  if (Crc32cHardwareAvailable()) {
+    return Crc32cHardware(0xffffffffu, data.data(), data.size()) ^ 0xffffffffu;
+  }
+#endif
+  return SliceBy8(CastagnoliTables(), 0xffffffffu, data.data(), data.size()) ^ 0xffffffffu;
 }
 
 }  // namespace rmp

@@ -1,5 +1,16 @@
 // CRC32 (IEEE 802.3 polynomial) used to guard page payloads on the wire and
 // to verify reconstructed pages after recovery.
+//
+// Crc32 runs on every 8 KB page payload the transport sends or receives, so
+// it is hot-path code: the implementation is slice-by-8 (eight table lookups
+// per 8 input bytes) rather than the classic byte-at-a-time loop.
+//
+// Crc32c is the Castagnoli variant backed by the SSE4.2 `crc32q` instruction
+// when the CPU has it (runtime-dispatched, software slice-by-8 otherwise).
+// The two polynomials are NOT interchangeable: the wire format is pinned to
+// IEEE 802.3, which `crc32q` cannot compute, so Crc32c is offered for new
+// in-memory integrity checks where hardware speed matters more than wire
+// compatibility.
 
 #ifndef SRC_UTIL_CHECKSUM_H_
 #define SRC_UTIL_CHECKSUM_H_
@@ -16,6 +27,13 @@ uint32_t Crc32(std::span<const uint8_t> data);
 uint32_t Crc32Init();
 uint32_t Crc32Update(uint32_t crc, std::span<const uint8_t> data);
 uint32_t Crc32Finalize(uint32_t crc);
+
+// One-shot CRC-32C (Castagnoli polynomial 0x1EDC6F41). Uses the SSE4.2
+// crc32 instructions when available.
+uint32_t Crc32c(std::span<const uint8_t> data);
+
+// True when Crc32c dispatches to the hardware instruction on this machine.
+bool Crc32cHardwareAvailable();
 
 }  // namespace rmp
 

@@ -47,5 +47,62 @@ TEST(Crc32Test, DetectsTransposition) {
   EXPECT_NE(Crc32(std::span<const uint8_t>(a)), Crc32(std::span<const uint8_t>(b)));
 }
 
+// Bit-at-a-time reference implementation; the slice-by-8 tables must agree
+// with it on every input.
+uint32_t ReferenceCrc(uint32_t poly, std::span<const uint8_t> data) {
+  uint32_t crc = 0xffffffffu;
+  for (uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? poly : 0u);
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<uint8_t> PseudoRandomBuffer(size_t size, uint64_t seed) {
+  std::vector<uint8_t> data(size);
+  uint64_t x = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (auto& byte : data) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    byte = static_cast<uint8_t>(x);
+  }
+  return data;
+}
+
+TEST(Crc32Test, SliceBy8MatchesBitwiseReference) {
+  // Odd lengths exercise the byte tail around the 8-byte inner loop.
+  for (size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u, 8192u}) {
+    const auto data = PseudoRandomBuffer(size, size + 1);
+    const std::span<const uint8_t> span(data);
+    EXPECT_EQ(Crc32(span), ReferenceCrc(0xedb88320u, span)) << "size " << size;
+  }
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // The canonical CRC-32C (Castagnoli) check value.
+  EXPECT_EQ(Crc32c(AsBytes("123456789")), 0xe3069283u);
+}
+
+TEST(Crc32cTest, EmptyInput) { EXPECT_EQ(Crc32c({}), 0u); }
+
+TEST(Crc32cTest, MatchesBitwiseReference) {
+  // Runs the hardware crc32q path when SSE4.2 is present and the software
+  // slice-by-8 fallback otherwise; both must match the bitwise reference.
+  for (size_t size : {1u, 7u, 8u, 9u, 100u, 8192u}) {
+    const auto data = PseudoRandomBuffer(size, size * 31 + 5);
+    const std::span<const uint8_t> span(data);
+    EXPECT_EQ(Crc32c(span), ReferenceCrc(0x82f63b78u, span))
+        << "size " << size << " hw=" << Crc32cHardwareAvailable();
+  }
+}
+
+TEST(Crc32cTest, DiffersFromIeeeCrc32) {
+  // The wire format pins IEEE; Crc32c is a different polynomial on purpose.
+  EXPECT_NE(Crc32c(AsBytes("123456789")), Crc32(AsBytes("123456789")));
+}
+
 }  // namespace
 }  // namespace rmp

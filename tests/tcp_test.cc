@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/server/memory_server.h"
 #include "src/util/bytes.h"
@@ -198,6 +199,134 @@ TEST_F(TcpTest, LocalhostAliasResolves) {
   auto client = TcpTransport::Connect("localhost", tcp_server_->port());
   ASSERT_TRUE(client.ok());
   EXPECT_TRUE((*client)->Call(MakeLoadQuery(1)).ok());
+}
+
+// --- Pipelining: many requests outstanding on one connection ----------------
+
+TEST_F(TcpTest, PipelinedBatchRoundTrip) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 32));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer page;
+  std::vector<RpcFuture> outs;
+  for (uint64_t i = 0; i < 32; ++i) {
+    FillPattern(page.span(), 900 + i);
+    outs.push_back((*client)->CallAsync(MakePageOut(10 + i, alloc->slot + i, page.span())));
+  }
+  for (uint64_t i = 0; i < 32; ++i) {
+    auto ack = outs[i].Wait();
+    ASSERT_TRUE(ack.ok()) << i << ": " << ack.status().ToString();
+    EXPECT_EQ(ack->status_code(), ErrorCode::kOk) << i;
+  }
+  std::vector<RpcFuture> ins;
+  for (uint64_t i = 0; i < 32; ++i) {
+    ins.push_back((*client)->CallAsync(MakePageIn(50 + i, alloc->slot + i)));
+  }
+  for (uint64_t i = 0; i < 32; ++i) {
+    auto reply = ins[i].Wait();
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().ToString();
+    EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(reply->payload), 900 + i)) << i;
+  }
+  EXPECT_EQ((*client)->inflight(), 0u);
+}
+
+TEST_F(TcpTest, OutOfOrderRepliesAreDemultiplexed) {
+  // A multi-worker session may emit replies out of request order; the client
+  // must route each reply to its own future by request_id.
+  auto started = TcpServer::Start(
+      0,
+      [this] { return std::unique_ptr<MessageHandler>(new ForwardingHandler(server_)); },
+      /*required_token=*/"", /*session_workers=*/4);
+  ASSERT_TRUE(started.ok());
+  auto client = TcpTransport::Connect("127.0.0.1", (*started)->port());
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 2));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer slow_page;
+  PageBuffer fast_page;
+  FillPattern(slow_page.span(), 7);
+  FillPattern(fast_page.span(), 8);
+  ASSERT_TRUE((*client)->Call(MakePageOut(2, alloc->slot, slow_page.span())).ok());
+  ASSERT_TRUE((*client)->Call(MakePageOut(3, alloc->slot + 1, fast_page.span())).ok());
+
+  server_->SetSlotDelayForTest(alloc->slot, 250'000);  // 250 ms.
+  RpcFuture slow = (*client)->CallAsync(MakePageIn(4, alloc->slot));
+  RpcFuture fast = (*client)->CallAsync(MakePageIn(5, alloc->slot + 1));
+  auto fast_reply = fast.Wait();  // Overtakes the stalled request.
+  ASSERT_TRUE(fast_reply.ok()) << fast_reply.status().ToString();
+  EXPECT_EQ(fast_reply->request_id, 5u);
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(fast_reply->payload), 8));
+  // The slow request is still held by its worker's injected delay: the fast
+  // reply genuinely arrived first, out of issue order.
+  EXPECT_FALSE(slow.ready());
+  auto slow_reply = slow.Wait();
+  ASSERT_TRUE(slow_reply.ok()) << slow_reply.status().ToString();
+  EXPECT_EQ(slow_reply->request_id, 4u);
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(slow_reply->payload), 7));
+  server_->SetSlotDelayForTest(alloc->slot, 0);
+}
+
+TEST_F(TcpTest, ServerShutdownFailsAllInFlight) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 1));
+  ASSERT_TRUE(alloc.ok());
+  // Stall the server on this slot so none of the in-flight requests can be
+  // answered before the shutdown lands.
+  server_->SetSlotDelayForTest(alloc->slot, 200'000);  // 200 ms.
+  std::vector<RpcFuture> futures;
+  for (uint64_t i = 0; i < 8; ++i) {
+    futures.push_back((*client)->CallAsync(MakePageIn(10 + i, alloc->slot)));
+  }
+  tcp_server_->Shutdown();
+  for (auto& future : futures) {
+    auto reply = future.Wait();
+    EXPECT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_FALSE((*client)->connected());
+  EXPECT_EQ((*client)->inflight(), 0u);
+  server_->SetSlotDelayForTest(alloc->slot, 0);
+}
+
+TEST_F(TcpTest, CloseWithOutstandingCallsFailsFutures) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 1));
+  ASSERT_TRUE(alloc.ok());
+  server_->SetSlotDelayForTest(alloc->slot, 200'000);  // 200 ms.
+  std::vector<RpcFuture> futures;
+  for (uint64_t i = 0; i < 4; ++i) {
+    futures.push_back((*client)->CallAsync(MakePageIn(10 + i, alloc->slot)));
+  }
+  (*client)->Close();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.Wait().status().code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_FALSE((*client)->connected());
+  server_->SetSlotDelayForTest(alloc->slot, 0);
+}
+
+TEST_F(TcpTest, DuplicateRequestIdIsRejected) {
+  auto client = Connect();
+  ASSERT_TRUE(client.ok());
+  auto alloc = (*client)->Call(MakeAllocRequest(1, 1));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer page;
+  FillPattern(page.span(), 3);
+  ASSERT_TRUE((*client)->Call(MakePageOut(2, alloc->slot, page.span())).ok());
+  server_->SetSlotDelayForTest(alloc->slot, 100'000);  // Keep #7 in flight.
+  RpcFuture first = (*client)->CallAsync(MakePageIn(7, alloc->slot));
+  RpcFuture dup = (*client)->CallAsync(MakePageIn(7, alloc->slot));
+  // The duplicate is refused locally — a second in-flight use of the id would
+  // make the reply demux ambiguous — and the original is unaffected.
+  ASSERT_TRUE(dup.ready());
+  EXPECT_EQ(dup.Wait().status().code(), ErrorCode::kInvalidArgument);
+  auto reply = first.Wait();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(reply->payload), 3));
+  server_->SetSlotDelayForTest(alloc->slot, 0);
 }
 
 }  // namespace

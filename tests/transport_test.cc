@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/server/memory_server.h"
 #include "src/util/bytes.h"
 
@@ -74,6 +76,72 @@ TEST_F(InProcTransportTest, SendOneWayDelivers) {
   ASSERT_TRUE(transport_.SendOneWay(MakeShutdown(1)).ok());
   transport_.Disconnect();
   EXPECT_EQ(transport_.SendOneWay(MakeShutdown(2)).code(), ErrorCode::kUnavailable);
+}
+
+// --- CallAsync over the in-process transport --------------------------------
+//
+// InProcTransport inherits the default CallAsync, which completes the future
+// before returning. Policies written against Start/Join pairs therefore keep
+// the seed's deterministic, synchronous semantics in every simulation test.
+
+TEST_F(InProcTransportTest, CallAsyncIsReadyImmediately) {
+  RpcFuture future = transport_.CallAsync(MakeAllocRequest(1, 4));
+  ASSERT_TRUE(future.valid());
+  EXPECT_TRUE(future.ready());
+  auto reply = future.Wait();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MessageType::kAllocReply);
+  EXPECT_EQ(reply->count, 4u);
+}
+
+TEST_F(InProcTransportTest, WaitIsIdempotent) {
+  RpcFuture future = transport_.CallAsync(MakeLoadQuery(1));
+  auto first = future.Wait();
+  auto second = future.Wait();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->type, second->type);
+  EXPECT_EQ(first->request_id, second->request_id);
+}
+
+TEST_F(InProcTransportTest, CallAsyncAfterDisconnectIsReadyUnavailable) {
+  transport_.Disconnect();
+  RpcFuture future = transport_.CallAsync(MakeLoadQuery(1));
+  ASSERT_TRUE(future.valid());
+  // Even the failure is delivered synchronously: no test ever blocks.
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.Wait().status().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(InProcTransportTest, DefaultWaitOnInvalidFutureIsInternalError) {
+  RpcFuture future;
+  EXPECT_FALSE(future.valid());
+  EXPECT_EQ(future.Wait().status().code(), ErrorCode::kInternal);
+}
+
+TEST_F(InProcTransportTest, ManyOutstandingFuturesAllResolve) {
+  auto alloc = transport_.Call(MakeAllocRequest(1, 16));
+  ASSERT_TRUE(alloc.ok());
+  PageBuffer page;
+  std::vector<RpcFuture> outs;
+  for (uint64_t i = 0; i < 16; ++i) {
+    FillPattern(page.span(), i);
+    outs.push_back(transport_.CallAsync(MakePageOut(10 + i, alloc->slot + i, page.span())));
+  }
+  for (auto& future : outs) {
+    auto ack = future.Wait();
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->status_code(), ErrorCode::kOk);
+  }
+  std::vector<RpcFuture> ins;
+  for (uint64_t i = 0; i < 16; ++i) {
+    ins.push_back(transport_.CallAsync(MakePageIn(30 + i, alloc->slot + i)));
+  }
+  for (uint64_t i = 0; i < 16; ++i) {
+    auto reply = ins[i].Wait();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(CheckPattern(std::span<const uint8_t>(reply->payload), i)) << i;
+  }
 }
 
 }  // namespace
