@@ -60,6 +60,27 @@ inline Result<RunResult> RunWorkloadUnderPolicy(const Workload& workload,
   return SimulateRun(workload, &(*testbed)->backend(), run_config);
 }
 
+// Machine-readable bench output. Each call prints one line
+//   BENCH_<bench>.json: {"bench":...,"config":...,"metric":...,"value":...,"unit":...}
+// and appends the same JSON object to BENCH_<bench>.json in the working
+// directory, so result harvesting can scrape either stdout or the file.
+// `config` identifies the measured variant ("tcp/pipelined/depth16",
+// "xor/avx2"); `metric` names the quantity ("pages_per_sec").
+inline void EmitBenchResult(const std::string& bench, const std::string& config,
+                            const std::string& metric, double value, const std::string& unit) {
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"%s\",\"config\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+                "\"unit\":\"%s\"}",
+                bench.c_str(), config.c_str(), metric.c_str(), value, unit.c_str());
+  std::printf("BENCH_%s.json: %s\n", bench.c_str(), json);
+  const std::string path = "BENCH_" + bench + ".json";
+  if (std::FILE* file = std::fopen(path.c_str(), "a")) {
+    std::fprintf(file, "%s\n", json);
+    std::fclose(file);
+  }
+}
+
 // Prints "name  measured  paper  ratio" rows.
 inline void PrintRow(const std::string& workload, const std::string& policy, double measured_s,
                      double paper_s) {

@@ -13,9 +13,11 @@
 #include <cstdlib>
 #include <deque>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/server/memory_server.h"
 #include "src/transport/inproc_transport.h"
 #include "src/transport/tcp.h"
@@ -104,10 +106,11 @@ void Report(const char* transport, int depth, const BenchRow& row) {
   const char* mode = depth == 0 ? "blocking" : "pipelined";
   std::printf("%-7s %-9s depth %2d   %9.0f pages/s   p50 %7.1f us   p99 %7.1f us\n", transport,
               mode, depth == 0 ? 1 : depth, row.pages_per_sec, row.p50_us, row.p99_us);
-  std::printf(
-      "BENCH_transport.json: {\"transport\":\"%s\",\"mode\":\"%s\",\"depth\":%d,"
-      "\"pages_per_sec\":%.0f,\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
-      transport, mode, depth == 0 ? 1 : depth, row.pages_per_sec, row.p50_us, row.p99_us);
+  const std::string config = std::string(transport) + "/" + mode + "/depth" +
+                             std::to_string(depth == 0 ? 1 : depth);
+  EmitBenchResult("transport", config, "pages_per_sec", row.pages_per_sec, "pages/s");
+  EmitBenchResult("transport", config, "p50_latency", row.p50_us, "us");
+  EmitBenchResult("transport", config, "p99_latency", row.p99_us, "us");
 }
 
 uint64_t AllocSlots(Transport* transport) {

@@ -123,6 +123,75 @@ Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
   return JoinPageIn(StartPageIn(slot), out);
 }
 
+RpcFuture ServerPeer::StartPageOutBatch(std::span<const uint64_t> slots,
+                                        std::span<const uint8_t> pages) {
+  return transport_->CallAsync(MakePageOutBatch(NextRequestId(), slots, pages));
+}
+
+Result<bool> ServerPeer::JoinPageOutBatch(RpcFuture future, uint64_t expected) {
+  auto reply = future.Wait();
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kPageOutBatchAck) {
+    return ProtocolError("unexpected reply to PAGEOUT_BATCH on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(),
+                  "batch pageout rejected by " + name_ + " at entry " +
+                      std::to_string(reply->aux));
+  }
+  if (reply->count != expected) {
+    return ProtocolError("partial batch ack from " + name_);
+  }
+  pages_sent_ += static_cast<int64_t>(expected);
+  return reply->advise_stop();
+}
+
+Result<bool> ServerPeer::PageOutBatchTo(std::span<const uint64_t> slots,
+                                        std::span<const uint8_t> pages) {
+  return JoinPageOutBatch(StartPageOutBatch(slots, pages), slots.size());
+}
+
+RpcFuture ServerPeer::StartPageInBatch(std::span<const uint64_t> slots) {
+  return transport_->CallAsync(MakePageInBatch(NextRequestId(), slots));
+}
+
+Status ServerPeer::JoinPageInBatch(RpcFuture future, uint64_t expected, std::span<uint8_t> out) {
+  if (out.size() != expected * kPageSize) {
+    return InvalidArgumentError("batch pagein target must be expected * kPageSize");
+  }
+  auto reply = future.Wait();
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kPageInBatchReply) {
+    return ProtocolError("unexpected reply to PAGEIN_BATCH on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(),
+                  "batch pagein failed on " + name_ + " at entry " + std::to_string(reply->aux));
+  }
+  if (reply->count != expected || reply->payload.size() != expected * kPageSize) {
+    return ProtocolError("short batch pagein payload from " + name_);
+  }
+  std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
+  pages_fetched_ += static_cast<int64_t>(expected);
+  return OkStatus();
+}
+
+Status ServerPeer::PageInBatchFrom(std::span<const uint64_t> slots, std::span<uint8_t> out) {
+  return JoinPageInBatch(StartPageInBatch(slots), slots.size(), out);
+}
+
 Status ServerPeer::FreeOn(uint64_t first_slot, uint64_t count) {
   auto reply = transport_->Call(MakeFreeRequest(NextRequestId(), first_slot, count));
   if (!reply.ok()) {

@@ -86,6 +86,21 @@ class ServerPeer {
   RpcFuture StartPageIn(uint64_t slot);
   Status JoinPageIn(RpcFuture future, std::span<uint8_t> out);
 
+  // --- Batched RPCs --------------------------------------------------------
+  // One frame carries slots.size() (slot, page) pairs (`pages` is their
+  // concatenation), amortizing header, CRC, and round trip across the batch.
+  // The server applies entries in order and fails the whole message on the
+  // first bad entry, so on error the caller should retry per-page or treat
+  // the batch as failed. Join validates the reply against `expected`, the
+  // entry count of the request.
+  RpcFuture StartPageOutBatch(std::span<const uint64_t> slots, std::span<const uint8_t> pages);
+  Result<bool> JoinPageOutBatch(RpcFuture future, uint64_t expected);
+  Result<bool> PageOutBatchTo(std::span<const uint64_t> slots, std::span<const uint8_t> pages);
+
+  RpcFuture StartPageInBatch(std::span<const uint64_t> slots);
+  Status JoinPageInBatch(RpcFuture future, uint64_t expected, std::span<uint8_t> out);
+  Status PageInBatchFrom(std::span<const uint64_t> slots, std::span<uint8_t> out);
+
   Status FreeOn(uint64_t first_slot, uint64_t count);
 
   // Basic-parity RPCs: store-and-return-delta, and parity fold-in.

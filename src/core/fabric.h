@@ -123,6 +123,13 @@ class NetworkFabric {
 inline constexpr uint64_t kPageWireBytes = kPageSize + 52;
 // Bytes of a small control message (alloc/free/load/pagein request).
 inline constexpr uint64_t kControlWireBytes = 52;
+// Bytes a batched transfer of `pages` pages occupies: one message header
+// amortized over the batch, plus an 8-byte slot and a page per entry. The
+// savings over `pages` separate messages is the whole point of batching —
+// one header and one protocol crossing instead of `pages` of each.
+inline constexpr uint64_t BatchWireBytes(uint64_t pages) {
+  return kControlWireBytes + pages * (kPageSize + 8);
+}
 
 }  // namespace rmp
 

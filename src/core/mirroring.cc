@@ -1,6 +1,7 @@
 #include "src/core/mirroring.h"
 
 #include <algorithm>
+#include <map>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -190,19 +191,67 @@ Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
       orphaned.push_back(page_id);
     }
   }
-  PageBuffer buffer;
-  for (const uint64_t page_id : orphaned) {
-    MirrorEntry& entry = table_[page_id];
-    const int dead = entry.copies[0].peer == peer_index ? 0 : 1;
-    const int live = 1 - dead;
-    ServerPeer& survivor = cluster_.peer(entry.copies[live].peer);
-    RMP_RETURN_IF_ERROR(survivor.PageInFrom(entry.copies[live].slot, buffer.span()));
-    *now = ChargePageTransfer(*now, entry.copies[live].peer);
-    auto replica = WriteNewReplica(now, buffer.span(), entry.copies[live].peer);
+  // Resilver in bulk: orphans cluster on the few surviving servers, so the
+  // reads batch per survivor; the replacement writes then batch per
+  // destination once each orphan has a reserved slot.
+  std::vector<PageWant> wants;
+  wants.reserve(orphaned.size());
+  std::vector<int> dead_copy(orphaned.size());
+  for (size_t i = 0; i < orphaned.size(); ++i) {
+    const MirrorEntry& entry = table_.at(orphaned[i]);
+    dead_copy[i] = entry.copies[0].peer == peer_index ? 0 : 1;
+    const Replica& live = entry.copies[1 - dead_copy[i]];
+    wants.push_back(PageWant{live.peer, live.slot});
+  }
+  std::vector<PageBuffer> pages;
+  RMP_RETURN_IF_ERROR(BatchFetch(wants, &pages, now));
+
+  std::map<size_t, std::vector<size_t>> by_dest;  // Destination peer -> orphan indices.
+  std::vector<Replica> placed(orphaned.size());
+  for (size_t i = 0; i < orphaned.size(); ++i) {
+    auto replica = AcquireReplicaSlot(now, wants[i].peer);
     if (!replica.ok()) {
       return replica.status();
     }
-    entry.copies[dead] = *replica;
+    placed[i] = *replica;
+    by_dest[replica->peer].push_back(i);
+  }
+  for (auto& [dest, indices] : by_dest) {
+    for (size_t pos = 0; pos < indices.size(); pos += kMaxBatchPages) {
+      const size_t n = std::min<size_t>(kMaxBatchPages, indices.size() - pos);
+      std::vector<uint64_t> slots(n);
+      std::vector<uint8_t> data(n * kPageSize);
+      for (size_t j = 0; j < n; ++j) {
+        const size_t i = indices[pos + j];
+        slots[j] = placed[i].slot;
+        std::copy(pages[i].span().begin(), pages[i].span().end(), data.begin() + j * kPageSize);
+      }
+      ServerPeer& peer = cluster_.peer(dest);
+      auto advise = peer.PageOutBatchTo(slots, data);
+      if (advise.ok()) {
+        *now = ChargePageBatchTransferAsync(*now, n, dest);
+        if (*advise) {
+          peer.set_no_new_extents(true);
+        }
+        for (size_t j = 0; j < n; ++j) {
+          const size_t i = indices[pos + j];
+          table_.at(orphaned[i]).copies[dead_copy[i]] = placed[i];
+        }
+        continue;
+      }
+      if (advise.status().code() != ErrorCode::kUnavailable) {
+        return advise.status();
+      }
+      // The destination died mid-resilver; repair this chunk page by page.
+      for (size_t j = 0; j < n; ++j) {
+        const size_t i = indices[pos + j];
+        auto replica = WriteNewReplica(now, pages[i].span(), wants[i].peer);
+        if (!replica.ok()) {
+          return replica.status();
+        }
+        table_.at(orphaned[i]).copies[dead_copy[i]] = *replica;
+      }
+    }
   }
   RMP_LOG(kInfo) << "mirroring: re-replicated " << orphaned.size() << " pages after crash of peer "
                  << peer_index;

@@ -118,6 +118,103 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
   return done;
 }
 
+Result<TimeNs> NoReliabilityBackend::PlaceBatch(TimeNs now, std::span<const uint64_t> page_ids,
+                                                std::span<const uint8_t> data) {
+  const TimeNs start = now;
+  size_t placed = 0;
+  while (placed < page_ids.size() && cluster_.AnyUsable()) {
+    auto pick = PickPeer(&now);
+    if (!pick.ok()) {
+      break;
+    }
+    const size_t peer_index = *pick;
+    ServerPeer& peer = cluster_.peer(peer_index);
+    // Take as many slots as the peer will grant for the rest of the run.
+    std::vector<uint64_t> slots;
+    Status slot_status = OkStatus();
+    while (placed + slots.size() < page_ids.size() && slots.size() < kMaxBatchPages) {
+      auto slot = TakeSlotOn(peer_index, &now);
+      if (!slot.ok()) {
+        slot_status = slot.status();
+        break;
+      }
+      slots.push_back(*slot);
+    }
+    if (!slot_status.ok() && slot_status.code() != ErrorCode::kNoSpace &&
+        slot_status.code() != ErrorCode::kUnavailable) {
+      return slot_status;
+    }
+    if (slot_status.code() == ErrorCode::kNoSpace) {
+      peer.set_stopped(true);
+    }
+    if (slots.empty()) {
+      continue;
+    }
+    auto advise =
+        peer.PageOutBatchTo(slots, data.subspan(placed * kPageSize, slots.size() * kPageSize));
+    if (!advise.ok()) {
+      if (advise.status().code() == ErrorCode::kUnavailable) {
+        continue;  // Peer died mid-batch; its slots die with it. Retry elsewhere.
+      }
+      return advise.status();
+    }
+    now = ChargePageBatchTransferAsync(now, slots.size(), peer_index);
+    if (*advise) {
+      peer.set_no_new_extents(true);
+    }
+    for (size_t j = 0; j < slots.size(); ++j) {
+      Location& loc = table_[page_ids[placed + j]];
+      loc.on_disk = false;
+      loc.peer = peer_index;
+      loc.slot = slots[j];
+    }
+    stats_.pageouts += static_cast<int64_t>(slots.size());
+    placed += slots.size();
+  }
+  stats_.paging_time += now - start;
+  for (; placed < page_ids.size(); ++placed) {
+    auto done = PageOut(now, page_ids[placed], data.subspan(placed * kPageSize, kPageSize));
+    if (!done.ok()) {
+      return done;
+    }
+    now = *done;
+  }
+  return now;
+}
+
+Result<TimeNs> NoReliabilityBackend::PageOutBatch(TimeNs now, std::span<const uint64_t> page_ids,
+                                                  std::span<const uint8_t> data) {
+  if (data.size() != page_ids.size() * kPageSize) {
+    return InvalidArgumentError("batch data must be page_ids.size() * kPageSize bytes");
+  }
+  size_t i = 0;
+  while (i < page_ids.size()) {
+    // Known pages overwrite in place and disk-parked pages re-route, both
+    // through the single-page path; only runs of fresh pages vector.
+    if (table_.count(page_ids[i]) > 0 || !cluster_.AnyUsable()) {
+      auto done = PageOut(now, page_ids[i], data.subspan(i * kPageSize, kPageSize));
+      if (!done.ok()) {
+        return done;
+      }
+      now = *done;
+      ++i;
+      continue;
+    }
+    size_t run = i + 1;
+    while (run < page_ids.size() && run - i < kMaxBatchPages && table_.count(page_ids[run]) == 0) {
+      ++run;
+    }
+    auto done = PlaceBatch(now, page_ids.subspan(i, run - i),
+                           data.subspan(i * kPageSize, (run - i) * kPageSize));
+    if (!done.ok()) {
+      return done;
+    }
+    now = *done;
+    i = run;
+  }
+  return now;
+}
+
 Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
                                             std::span<uint8_t> out) {
   auto it = table_.find(page_id);

@@ -35,6 +35,12 @@ class NoReliabilityBackend final : public RemotePagerBase {
   Result<TimeNs> PageOut(TimeNs now, uint64_t page_id, std::span<const uint8_t> data) override;
   Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) override;
 
+  // Vectored pageout: runs of fresh pages ride PAGEOUT_BATCH frames (one
+  // header and one round trip per batch); known or disk-bound pages fall
+  // back to the single-page path.
+  Result<TimeNs> PageOutBatch(TimeNs now, std::span<const uint64_t> page_ids,
+                              std::span<const uint8_t> data) override;
+
   std::string Name() const override { return "NO_RELIABILITY"; }
 
   // Moves every page held by `peer_index` to other servers (or disk).
@@ -58,6 +64,12 @@ class NoReliabilityBackend final : public RemotePagerBase {
   // Places a fresh or relocating page on some usable server, allocating a
   // slot; falls back to disk. Performs the actual transfer.
   Result<TimeNs> PlaceAndSend(TimeNs now, uint64_t page_id, std::span<const uint8_t> data);
+
+  // Places a run of fresh pages with batched writes: takes as many slots as
+  // each picked peer will grant and ships them in one PAGEOUT_BATCH frame;
+  // pages no server takes ride the single-page path (and its disk fallback).
+  Result<TimeNs> PlaceBatch(TimeNs now, std::span<const uint64_t> page_ids,
+                            std::span<const uint8_t> data);
 
   Result<TimeNs> SendToDisk(TimeNs now, uint64_t page_id, std::span<const uint8_t> data);
 

@@ -47,6 +47,25 @@ class PagingBackend {
   // Reads one page previously written. `out` must be exactly kPageSize bytes.
   virtual Result<TimeNs> PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) = 0;
 
+  // Writes `page_ids.size()` pages in one call; `data` is their concatenation
+  // (page_ids.size() * kPageSize bytes). Backends that can vector the wire
+  // traffic override this; the default is a plain loop over PageOut, so every
+  // backend accepts the bulk-load interface (Testbed::Preload, the benches).
+  virtual Result<TimeNs> PageOutBatch(TimeNs now, std::span<const uint64_t> page_ids,
+                                      std::span<const uint8_t> data) {
+    if (data.size() != page_ids.size() * kPageSize) {
+      return InvalidArgumentError("batch data must be page_ids.size() * kPageSize bytes");
+    }
+    for (size_t i = 0; i < page_ids.size(); ++i) {
+      auto done = PageOut(now, page_ids[i], data.subspan(i * kPageSize, kPageSize));
+      if (!done.ok()) {
+        return done;
+      }
+      now = *done;
+    }
+    return now;
+  }
+
   virtual const BackendStats& stats() const = 0;
   virtual std::string Name() const = 0;
 };

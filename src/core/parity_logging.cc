@@ -313,13 +313,13 @@ Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
   ++gc_passes_;
   // Victims: sealed groups with the fewest active pages reclaim the most
   // server memory per transferred page.
-  std::vector<std::pair<int, uint64_t>> victims;
+  std::vector<std::pair<int, uint64_t>> candidates;
   for (const auto& [group_id, group] : groups_) {
     if (group.sealed) {
-      victims.emplace_back(group.active_count, group_id);
+      candidates.emplace_back(group.active_count, group_id);
     }
   }
-  std::sort(victims.begin(), victims.end());
+  std::sort(candidates.begin(), candidates.end());
 
   auto reopen_servers = [&] {
     // A denial marked servers stopped; reclamation frees their memory, so
@@ -341,51 +341,51 @@ Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
   };
   reopen_servers();
 
+  // Select the victim set up front: enough of the emptiest groups to meet the
+  // reclaim target. Choosing before reading lets the reads batch per server
+  // *across* victims — a single group puts at most one entry on any server,
+  // so PAGEIN_BATCH only pays off once several groups compact together.
+  std::vector<uint64_t> victims;
   int freed = 0;
-  Status result = OkStatus();
-  for (const auto& [active_count, group_id] : victims) {
+  for (const auto& [active_count, group_id] : candidates) {
     if (freed >= pl_params_.gc_reclaim_target) {
       break;
     }
+    victims.push_back(group_id);
+    freed += static_cast<int>(groups_.at(group_id).entries.size()) + 1;
+  }
+
+  // Stash every victim's active pages in client memory (nothing has been
+  // reclaimed yet, so every slot is still valid). Holding them client-side
+  // keeps single-crash recoverability: exactly like a page in flight during
+  // a normal pageout, the client copy IS the redundancy until the page lands
+  // in a new group.
+  std::vector<PageWant> wants;
+  std::vector<uint64_t> stash_ids;
+  for (const uint64_t group_id : victims) {
+    for (const GroupEntry& entry : groups_.at(group_id).entries) {
+      if (entry.active) {
+        wants.push_back(PageWant{entry.peer, entry.slot});
+        stash_ids.push_back(entry.page_id);
+      }
+    }
+  }
+  std::vector<PageBuffer> stash;
+  const Status fetched = BatchFetch(wants, &stash, now);
+  if (!fetched.ok()) {
+    in_gc_ = false;
+    return fetched;
+  }
+
+  // Reclaim every victim *before* re-placing, so their slots provide the
+  // very space the re-placement needs (the way out of the full-cluster
+  // bind).
+  for (const uint64_t group_id : victims) {
     auto git = groups_.find(group_id);
     if (git == groups_.end()) {
-      continue;  // Already reclaimed as a side effect of re-placement.
+      continue;
     }
     ParityGroup& group = git->second;
-    const int group_pages = static_cast<int>(group.entries.size()) + 1;
-    // Stash the active pages in client memory. Holding them client-side
-    // keeps single-crash recoverability: exactly like a page in flight
-    // during a normal pageout, the client copy IS the redundancy until the
-    // page lands in a new group.
-    std::vector<std::pair<uint64_t, PageBuffer>> stash;
-    std::vector<RpcFuture> reads(group.entries.size());
-    for (size_t e = 0; e < group.entries.size(); ++e) {
-      if (group.entries[e].active) {
-        reads[e] = cluster_.peer(group.entries[e].peer).StartPageIn(group.entries[e].slot);
-      }
-    }
-    const TimeNs fan_start = *now;
-    TimeNs fan_done = *now;
-    for (size_t e = 0; e < group.entries.size(); ++e) {
-      const GroupEntry& entry = group.entries[e];
-      if (!entry.active) {
-        continue;
-      }
-      PageBuffer page;
-      const Status read = cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span());
-      if (!read.ok()) {
-        result = read;
-        break;
-      }
-      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
-      stash.emplace_back(entry.page_id, std::move(page));
-    }
-    *now = fan_done;
-    if (!result.ok()) {
-      break;
-    }
-    // Reclaim the victim *before* re-placing, so its slots provide the very
-    // space the re-placement needs (the way out of the full-cluster bind).
     for (GroupEntry& entry : group.entries) {
       if (entry.active) {
         table_.erase(entry.page_id);
@@ -394,16 +394,14 @@ Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
     }
     group.active_count = 0;
     ReclaimGroup(group_id, now);
-    reopen_servers();
-    freed += group_pages;
-    for (auto& [page_id, page] : stash) {
-      const Status placed = PlacePage(page_id, page.span(), now);
-      if (!placed.ok()) {
-        result = placed;
-        break;
-      }
-    }
-    if (!result.ok()) {
+  }
+  reopen_servers();
+
+  Status result = OkStatus();
+  for (size_t i = 0; i < stash_ids.size(); ++i) {
+    const Status placed = PlacePage(stash_ids[i], stash[i].span(), now);
+    if (!placed.ok()) {
+      result = placed;
       break;
     }
   }
@@ -424,40 +422,54 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
     (void)JoinParityFlush(now);
     failed.DropPool();
     failed.mark_alive();
-    for (auto& [group_id, group] : groups_) {
+    // One batched read sweep stages every sealed entry client-side (the
+    // reads batch per data server across groups), then the rebuilt parity
+    // pages go back out as batched writes — instead of one message per page
+    // and per group.
+    std::vector<uint64_t> sealed_ids;
+    std::vector<PageWant> wants;
+    for (const auto& [group_id, group] : groups_) {
       if (!group.sealed) {
         continue;  // The open group's parity is the client-side accumulator.
       }
-      // Group members live on distinct servers, so all reads proceed in
-      // parallel; the rebuild waits for the slowest.
-      std::vector<RpcFuture> reads(group.entries.size());
-      for (size_t e = 0; e < group.entries.size(); ++e) {
-        reads[e] = cluster_.peer(group.entries[e].peer).StartPageIn(group.entries[e].slot);
+      sealed_ids.push_back(group_id);
+      for (const GroupEntry& entry : group.entries) {
+        wants.push_back(PageWant{entry.peer, entry.slot});
       }
-      const TimeNs fan_start = *now;
-      TimeNs fan_done = *now;
+    }
+    std::vector<PageBuffer> pages;
+    RMP_RETURN_IF_ERROR(BatchFetch(wants, &pages, now));
+    std::vector<uint64_t> parity_slots;
+    std::vector<uint8_t> parity_pages;
+    parity_slots.reserve(sealed_ids.size());
+    parity_pages.reserve(sealed_ids.size() * kPageSize);
+    size_t next_page = 0;
+    for (const uint64_t group_id : sealed_ids) {
+      ParityGroup& group = groups_.at(group_id);
       PageBuffer parity;
-      PageBuffer page;
       for (size_t e = 0; e < group.entries.size(); ++e) {
-        const GroupEntry& entry = group.entries[e];
-        RMP_RETURN_IF_ERROR(
-            cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span()));
-        fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
-        parity.XorWith(page.span());
+        parity.XorWith(pages[next_page++].span());
       }
-      *now = fan_done;
       auto slot = TakeSlotOn(parity_peer_, now);
       if (!slot.ok()) {
         return slot.status();
       }
-      auto advise = failed.PageOutTo(*slot, parity.span());
+      group.parity_slot = *slot;
+      parity_slots.push_back(*slot);
+      parity_pages.insert(parity_pages.end(), parity.span().begin(), parity.span().end());
+    }
+    for (size_t pos = 0; pos < parity_slots.size(); pos += kMaxBatchPages) {
+      const size_t n = std::min<size_t>(kMaxBatchPages, parity_slots.size() - pos);
+      // ADVISE_STOP from the parity server is ignored, as in FlushParity.
+      auto advise = failed.PageOutBatchTo(
+          std::span<const uint64_t>(parity_slots).subspan(pos, n),
+          std::span<const uint8_t>(parity_pages).subspan(pos * kPageSize, n * kPageSize));
       if (!advise.ok()) {
         return advise.status();
       }
-      *now = ChargePageTransfer(*now, parity_peer_);
-      group.parity_slot = *slot;
+      *now = ChargePageBatchTransfer(*now, n, parity_peer_);
     }
-    RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << groups_.size() - 1 << " groups";
+    RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << sealed_ids.size() << " groups";
     return OkStatus();
   }
 
@@ -480,15 +492,39 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
     }
   }
 
+  // Stage every read the reconstruction needs — each group's survivors plus
+  // its stored parity — in one batched sweep. Survivors of different groups
+  // share servers, so the per-peer batches grow with the number of affected
+  // groups; within a group the members still land on distinct servers, so
+  // nothing serializes that used to overlap.
+  std::vector<PageWant> wants;
+  for (const uint64_t group_id : affected) {
+    const ParityGroup& group = groups_.at(group_id);
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.peer != peer_index) {
+        wants.push_back(PageWant{entry.peer, entry.slot});
+      }
+    }
+    if (group.sealed) {
+      wants.push_back(PageWant{parity_peer_, group.parity_slot});
+    }
+  }
+  std::vector<PageBuffer> fetched;
+  RMP_RETURN_IF_ERROR(BatchFetch(wants, &fetched, now));
+
   std::vector<std::pair<uint64_t, PageBuffer>> stash;  // Active pages to re-home.
   bool open_dissolved = false;
+  size_t next_fetch = 0;
   for (const uint64_t group_id : affected) {
     ParityGroup& group = groups_.at(group_id);
-    // Start every read at once — the survivors and the stored parity all
-    // live on distinct servers — then join and XOR. Reconstruction of a
-    // group costs one round trip to the slowest member, not the sum.
     const GroupEntry* lost = nullptr;
-    std::vector<RpcFuture> reads(group.entries.size());
+    // Reconstruction seed: sealed groups use the stored parity (fetched
+    // after the group's survivors below); the open group's parity is the
+    // in-memory accumulator.
+    PageBuffer xor_buf;
+    if (!group.sealed) {
+      xor_buf = accumulator_;
+    }
     for (size_t e = 0; e < group.entries.size(); ++e) {
       const GroupEntry& entry = group.entries[e];
       if (entry.peer == peer_index) {
@@ -498,39 +534,16 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
         lost = &entry;
         continue;
       }
-      reads[e] = cluster_.peer(entry.peer).StartPageIn(entry.slot);
-    }
-    // Reconstruction seed: sealed groups fetch the stored parity; the open
-    // group's parity is the in-memory accumulator.
-    PageBuffer xor_buf;
-    RpcFuture parity_read;
-    if (group.sealed) {
-      parity_read = cluster_.peer(parity_peer_).StartPageIn(group.parity_slot);
-    } else {
-      xor_buf = accumulator_;
-    }
-    const TimeNs fan_start = *now;
-    TimeNs fan_done = *now;
-    if (group.sealed) {
-      RMP_RETURN_IF_ERROR(
-          cluster_.peer(parity_peer_).JoinPageIn(std::move(parity_read), xor_buf.span()));
-      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, parity_peer_));
-    }
-    PageBuffer page;
-    for (size_t e = 0; e < group.entries.size(); ++e) {
-      const GroupEntry& entry = group.entries[e];
-      if (entry.peer == peer_index) {
-        continue;
-      }
-      RMP_RETURN_IF_ERROR(cluster_.peer(entry.peer).JoinPageIn(std::move(reads[e]), page.span()));
-      fan_done = std::max(fan_done, ChargePageTransfer(fan_start, entry.peer));
+      const PageBuffer& page = fetched[next_fetch++];
       xor_buf.XorWith(page.span());
       if (entry.active) {
         // Dissolving the group surrenders this page's redundancy; re-home it.
-        stash.emplace_back(entry.page_id, PageBuffer(page.span()));
+        stash.emplace_back(entry.page_id, page);
       }
     }
-    *now = fan_done;
+    if (group.sealed) {
+      xor_buf.XorWith(fetched[next_fetch++].span());
+    }
     if (lost != nullptr && lost->active) {
       stash.emplace_back(lost->page_id, xor_buf);  // The reconstructed page.
     }

@@ -1,5 +1,8 @@
 #include "src/core/remote_pager.h"
 
+#include <algorithm>
+#include <map>
+
 namespace rmp {
 
 TimeNs RemotePagerBase::ChargePageTransfer(TimeNs now, size_t peer) {
@@ -13,6 +16,23 @@ TimeNs RemotePagerBase::ChargePageTransfer(TimeNs now, size_t peer) {
 TimeNs RemotePagerBase::ChargePageTransferAsync(TimeNs now, size_t peer) {
   const NetworkFabric::TransferCost cost = fabric_->TransferAsync(now, kPageWireBytes, peer);
   ++stats_.page_transfers;
+  stats_.protocol_time += cost.protocol;
+  stats_.wire_time += cost.wire;
+  return cost.completion;
+}
+
+TimeNs RemotePagerBase::ChargePageBatchTransfer(TimeNs now, uint64_t pages, size_t peer) {
+  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, BatchWireBytes(pages), peer);
+  stats_.page_transfers += static_cast<int64_t>(pages);
+  stats_.protocol_time += cost.protocol;
+  stats_.wire_time += cost.wire;
+  return cost.completion;
+}
+
+TimeNs RemotePagerBase::ChargePageBatchTransferAsync(TimeNs now, uint64_t pages, size_t peer) {
+  const NetworkFabric::TransferCost cost =
+      fabric_->TransferAsync(now, BatchWireBytes(pages), peer);
+  stats_.page_transfers += static_cast<int64_t>(pages);
   stats_.protocol_time += cost.protocol;
   stats_.wire_time += cost.wire;
   return cost.completion;
@@ -44,6 +64,71 @@ Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
   RMP_RETURN_IF_ERROR(granted);
   *now = ChargeControl(*now);
   return peer.TakeSlot();
+}
+
+Status RemotePagerBase::BatchFetch(std::span<const PageWant> wants, std::vector<PageBuffer>* out,
+                                   TimeNs* now) {
+  out->assign(wants.size(), PageBuffer());
+  if (wants.empty()) {
+    return OkStatus();
+  }
+  // Group want indices by peer (ordered, for determinism), then chunk each
+  // peer's run at the wire limit.
+  std::map<size_t, std::vector<size_t>> by_peer;
+  for (size_t i = 0; i < wants.size(); ++i) {
+    by_peer[wants[i].peer].push_back(i);
+  }
+  struct Chunk {
+    size_t peer = 0;
+    std::vector<size_t> indices;
+    std::vector<uint64_t> slots;
+    RpcFuture future;
+  };
+  std::vector<Chunk> chunks;
+  for (auto& [peer, indices] : by_peer) {
+    for (size_t pos = 0; pos < indices.size(); pos += kMaxBatchPages) {
+      Chunk chunk;
+      chunk.peer = peer;
+      const size_t n = std::min<size_t>(kMaxBatchPages, indices.size() - pos);
+      chunk.indices.assign(indices.begin() + pos, indices.begin() + pos + n);
+      chunk.slots.reserve(n);
+      for (const size_t i : chunk.indices) {
+        chunk.slots.push_back(wants[i].slot);
+      }
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  // Fan out: every chunk's request is on the wire before any reply is
+  // awaited, so reads to different peers overlap and the modeled fabric
+  // charges them from a common start.
+  for (Chunk& chunk : chunks) {
+    chunk.future = cluster_.peer(chunk.peer).StartPageInBatch(chunk.slots);
+  }
+  const TimeNs fan_start = *now;
+  TimeNs fan_done = *now;
+  Status first_error = OkStatus();
+  std::vector<uint8_t> staging;
+  for (Chunk& chunk : chunks) {
+    staging.resize(chunk.slots.size() * kPageSize);
+    const Status joined = cluster_.peer(chunk.peer)
+                              .JoinPageInBatch(std::move(chunk.future), chunk.slots.size(),
+                                               std::span<uint8_t>(staging));
+    if (!joined.ok()) {
+      // Keep draining the remaining futures so the transport settles.
+      if (first_error.ok()) {
+        first_error = joined;
+      }
+      continue;
+    }
+    fan_done = std::max(fan_done, ChargePageBatchTransfer(fan_start, chunk.slots.size(),
+                                                          chunk.peer));
+    for (size_t j = 0; j < chunk.indices.size(); ++j) {
+      (*out)[chunk.indices[j]] =
+          PageBuffer(std::span<const uint8_t>(staging.data() + j * kPageSize, kPageSize));
+    }
+  }
+  *now = fan_done;
+  return first_error;
 }
 
 Result<size_t> RemotePagerBase::PickPeer(TimeNs* now) {

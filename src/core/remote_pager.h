@@ -6,6 +6,7 @@
 #define SRC_CORE_REMOTE_PAGER_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/cluster.h"
 #include "src/core/fabric.h"
@@ -43,12 +44,35 @@ class RemotePagerBase : public PagingBackend {
   TimeNs ChargePageTransfer(TimeNs now, size_t peer = kSharedSegment);
   TimeNs ChargePageTransferAsync(TimeNs now, size_t peer = kSharedSegment);
 
+  // Batched variants: `pages` pages move in one message, so the fabric sees
+  // a single protocol crossing and one combined wire occupancy
+  // (BatchWireBytes) instead of `pages` full message overheads. Each page
+  // still counts toward page_transfers.
+  TimeNs ChargePageBatchTransfer(TimeNs now, uint64_t pages, size_t peer = kSharedSegment);
+  TimeNs ChargePageBatchTransferAsync(TimeNs now, uint64_t pages, size_t peer = kSharedSegment);
+
   // Charges one small control-message exchange.
   TimeNs ChargeControl(TimeNs now, size_t peer = kSharedSegment);
 
   // Takes a slot from peer `i`, issuing an ALLOC_REQUEST (and charging a
   // control exchange against *now) when the local pool is dry.
   Result<uint64_t> TakeSlotOn(size_t i, TimeNs* now);
+
+  // One page to read: its holding peer and the slot it occupies there.
+  struct PageWant {
+    size_t peer = 0;
+    uint64_t slot = 0;
+  };
+
+  // Fetches many stored pages with batched PAGEIN_BATCH RPCs: wants are
+  // grouped by peer, chunked at kMaxBatchPages, and every chunk is started
+  // before any is joined, so reads fan out across the cluster and each chunk
+  // is charged as one batched transfer from the common start time. On
+  // success (*out)[i] holds the page for wants[i] and *now advances to the
+  // slowest chunk's completion. On error the first failure is returned
+  // (remaining chunks are still drained) and *now reflects the chunks that
+  // did complete. Shared by GC compaction, crash recovery, and resilvering.
+  Status BatchFetch(std::span<const PageWant> wants, std::vector<PageBuffer>* out, TimeNs* now);
 
   // Picks a peer for a fresh page according to params_.selection.
   Result<size_t> PickPeer(TimeNs* now);

@@ -1,5 +1,7 @@
 #include "src/core/testbed.h"
 
+#include <algorithm>
+
 namespace rmp {
 
 std::string_view PolicyName(Policy policy) {
@@ -105,6 +107,28 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
       return InternalError("unreachable");
   }
   return testbed;
+}
+
+Result<TimeNs> Testbed::Preload(uint64_t pages, uint64_t seed, TimeNs now) {
+  std::vector<uint64_t> ids(kMaxBatchPages);
+  std::vector<uint8_t> data(static_cast<size_t>(kMaxBatchPages) * kPageSize);
+  uint64_t next_id = 0;
+  while (next_id < pages) {
+    const size_t n = static_cast<size_t>(std::min<uint64_t>(kMaxBatchPages, pages - next_id));
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = next_id + i;
+      FillPattern(std::span<uint8_t>(data).subspan(i * kPageSize, kPageSize),
+                  PreloadSeed(seed, ids[i]));
+    }
+    auto done = backend_->PageOutBatch(now, std::span<const uint64_t>(ids).first(n),
+                                       std::span<const uint8_t>(data).first(n * kPageSize));
+    if (!done.ok()) {
+      return done;
+    }
+    now = *done;
+    next_id += n;
+  }
+  return now;
 }
 
 void Testbed::CrashServer(size_t i) {

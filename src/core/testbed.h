@@ -59,6 +59,18 @@ class Testbed {
 
   PagingBackend& backend() { return *backend_; }
 
+  // Bulk-loads pages 0..pages-1 through the backend's vectored pageout path
+  // (PageOutBatch), each filled with FillPattern(PreloadSeed(seed, id)).
+  // Returns the completion time. Used by tests and benches to stand up a
+  // populated cluster without paying one round trip per page.
+  Result<TimeNs> Preload(uint64_t pages, uint64_t seed = 1, TimeNs now = 0);
+
+  // The per-page pattern seed Preload uses; tests verify read-back with
+  // CheckPattern(page, PreloadSeed(seed, id)).
+  static uint64_t PreloadSeed(uint64_t seed, uint64_t page_id) {
+    return seed ^ (page_id * 0x9e3779b97f4a7c15ULL + 1);
+  }
+
   size_t server_count() const { return servers_.size(); }
   MemoryServer& server(size_t i) { return *servers_[i]; }
   InProcTransport& transport(size_t i) { return *transports_[i]; }

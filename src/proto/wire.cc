@@ -1,8 +1,10 @@
 #include "src/proto/wire.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "src/util/checksum.h"
+#include "src/util/units.h"
 
 namespace rmp {
 namespace {
@@ -46,7 +48,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
-         t <= static_cast<uint8_t>(MessageType::kAuthReply);
+         t <= static_cast<uint8_t>(MessageType::kPageInBatchReply);
 }
 
 }  // namespace
@@ -87,6 +89,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "AUTH";
     case MessageType::kAuthReply:
       return "AUTH_REPLY";
+    case MessageType::kPageOutBatch:
+      return "PAGEOUT_BATCH";
+    case MessageType::kPageOutBatchAck:
+      return "PAGEOUT_BATCH_ACK";
+    case MessageType::kPageInBatch:
+      return "PAGEIN_BATCH";
+    case MessageType::kPageInBatchReply:
+      return "PAGEIN_BATCH_REPLY";
   }
   return "UNKNOWN";
 }
@@ -329,6 +339,120 @@ Message MakeAuthReply(uint64_t request_id, ErrorCode status) {
   m.request_id = request_id;
   m.status = static_cast<uint32_t>(status);
   return m;
+}
+
+Message MakePageOutBatch(uint64_t request_id, std::span<const uint64_t> slots,
+                         std::span<const uint8_t> pages) {
+  assert(!slots.empty() && slots.size() <= kMaxBatchPages);
+  assert(pages.size() == slots.size() * kPageSize);
+  Message m;
+  m.type = MessageType::kPageOutBatch;
+  m.request_id = request_id;
+  m.slot = slots[0];  // Worker dispatch affinity.
+  m.count = slots.size();
+  m.payload.resize(slots.size() * 8 + pages.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    StoreU64(m.payload.data() + i * 8, slots[i]);
+  }
+  std::memcpy(m.payload.data() + slots.size() * 8, pages.data(), pages.size());
+  return m;
+}
+
+Message MakePageOutBatchAck(uint64_t request_id, uint64_t stored, ErrorCode status,
+                            bool advise_stop) {
+  Message m;
+  m.type = MessageType::kPageOutBatchAck;
+  m.request_id = request_id;
+  m.count = stored;
+  m.status = static_cast<uint32_t>(status);
+  if (advise_stop) {
+    m.flags |= kFlagAdviseStop;
+  }
+  return m;
+}
+
+Message MakePageInBatch(uint64_t request_id, std::span<const uint64_t> slots) {
+  assert(!slots.empty() && slots.size() <= kMaxBatchPages);
+  Message m;
+  m.type = MessageType::kPageInBatch;
+  m.request_id = request_id;
+  m.slot = slots[0];  // Worker dispatch affinity.
+  m.count = slots.size();
+  m.payload.resize(slots.size() * 8);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    StoreU64(m.payload.data() + i * 8, slots[i]);
+  }
+  return m;
+}
+
+Message MakePageInBatchReply(uint64_t request_id, std::span<const uint8_t> pages,
+                             ErrorCode status) {
+  assert(pages.size() % kPageSize == 0);
+  Message m;
+  m.type = MessageType::kPageInBatchReply;
+  m.request_id = request_id;
+  m.count = pages.size() / kPageSize;
+  m.status = static_cast<uint32_t>(status);
+  m.payload.assign(pages.begin(), pages.end());
+  return m;
+}
+
+Result<size_t> ValidateBatch(const Message& message) {
+  const size_t count = message.count;
+  switch (message.type) {
+    case MessageType::kPageOutBatch:
+      if (count == 0 || count > kMaxBatchPages) {
+        return ProtocolError("batch count out of range");
+      }
+      if (message.payload.size() != count * (8 + kPageSize)) {
+        return ProtocolError("pageout batch payload size mismatch");
+      }
+      return count;
+    case MessageType::kPageInBatch:
+      if (count == 0 || count > kMaxBatchPages) {
+        return ProtocolError("batch count out of range");
+      }
+      if (message.payload.size() != count * 8) {
+        return ProtocolError("pagein batch payload size mismatch");
+      }
+      return count;
+    case MessageType::kPageInBatchReply:
+      if (message.status_code() != ErrorCode::kOk) {
+        if (!message.payload.empty()) {
+          return ProtocolError("failed batch reply carries payload");
+        }
+        return count;
+      }
+      if (count == 0 || count > kMaxBatchPages) {
+        return ProtocolError("batch count out of range");
+      }
+      if (message.payload.size() != count * kPageSize) {
+        return ProtocolError("pagein batch reply payload size mismatch");
+      }
+      return count;
+    case MessageType::kPageOutBatchAck:
+      if (!message.payload.empty()) {
+        return ProtocolError("batch ack carries payload");
+      }
+      return count;
+    default:
+      return ProtocolError("not a batch message");
+  }
+}
+
+uint64_t BatchSlot(const Message& message, size_t i) {
+  assert(message.type == MessageType::kPageOutBatch || message.type == MessageType::kPageInBatch);
+  assert(i < message.count);
+  return GetU64(message.payload.data() + i * 8);
+}
+
+std::span<const uint8_t> BatchPage(const Message& message, size_t i) {
+  assert(message.type == MessageType::kPageOutBatch ||
+         message.type == MessageType::kPageInBatchReply);
+  assert(i < message.count);
+  const size_t base =
+      message.type == MessageType::kPageOutBatch ? static_cast<size_t>(message.count) * 8 : 0;
+  return std::span<const uint8_t>(message.payload.data() + base + i * kPageSize, kPageSize);
 }
 
 }  // namespace rmp

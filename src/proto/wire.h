@@ -57,6 +57,22 @@ enum class MessageType : uint8_t {
   // presented as the first message of a session. Payload = token bytes.
   kAuth = 16,
   kAuthReply = 17,
+  // Vectored data-plane operations: one frame moves up to kMaxBatchPages
+  // (slot, page) pairs, amortizing the fixed per-message overhead (header,
+  // CRC, syscall, round trip) that the paper's one-page-per-message protocol
+  // pays in full. Batch payload layout (all little-endian):
+  //   kPageOutBatch:     count u64 slots, then count pages of kPageSize.
+  //   kPageOutBatchAck:  count = pages stored; on error status != OK and
+  //                      aux = index of the first failing entry.
+  //   kPageInBatch:      count u64 slots.
+  //   kPageInBatchReply: count pages in request order; on error status != OK,
+  //                      aux = failing index, and the payload is empty.
+  // The header `slot` field of a batch carries the first slot (used for
+  // worker dispatch affinity only); `count` carries the entry count.
+  kPageOutBatch = 18,
+  kPageOutBatchAck = 19,
+  kPageInBatch = 20,
+  kPageInBatchReply = 21,
 };
 
 std::string_view MessageTypeName(MessageType type);
@@ -87,9 +103,13 @@ inline constexpr size_t kWireHeaderSize = 48;
 // and can recv the payload directly into its destination buffer.
 inline constexpr size_t kWirePrefixSize = kWireHeaderSize + 4;
 inline constexpr uint32_t kWireMagic = 0x31504d52;  // "RMP1".
+// Most (slot, page) pairs one batch frame may carry — one alloc extent's
+// worth of 8 KB pages (see RemotePagerParams::alloc_extent_pages).
+inline constexpr uint32_t kMaxBatchPages = 256;
 // Upper bound on payload_len accepted from the wire; a corrupt length field
-// must not drive an unbounded allocation. Pages are 8 KB; 1 MB is generous.
-inline constexpr uint32_t kMaxWirePayload = 1u << 20;
+// must not drive an unbounded allocation. Sized for a full batch frame
+// (kMaxBatchPages x (8-byte slot + 8 KB page) is just over 2 MB).
+inline constexpr uint32_t kMaxWirePayload = 4u << 20;
 
 // The decoded fixed-size frame prefix. Splitting the prefix from the payload
 // lets the transport frame messages without coalescing header and payload
@@ -166,6 +186,27 @@ Message MakeShutdown(uint64_t request_id);
 Message MakeErrorReply(uint64_t request_id, ErrorCode status);
 Message MakeAuth(uint64_t request_id, std::string_view token);
 Message MakeAuthReply(uint64_t request_id, ErrorCode status);
+
+// Batched data-plane messages. `pages` is the concatenation of
+// slots.size() pages of exactly kPageSize bytes each.
+Message MakePageOutBatch(uint64_t request_id, std::span<const uint64_t> slots,
+                         std::span<const uint8_t> pages);
+Message MakePageOutBatchAck(uint64_t request_id, uint64_t stored, ErrorCode status,
+                            bool advise_stop);
+Message MakePageInBatch(uint64_t request_id, std::span<const uint64_t> slots);
+Message MakePageInBatchReply(uint64_t request_id, std::span<const uint8_t> pages,
+                             ErrorCode status);
+
+// Validates a batch message's count/payload-size consistency (count within
+// [1, kMaxBatchPages], payload exactly the declared layout) and returns the
+// entry count. ProtocolError on malformed frames.
+Result<size_t> ValidateBatch(const Message& message);
+
+// Slot i of a validated kPageOutBatch / kPageInBatch payload.
+uint64_t BatchSlot(const Message& message, size_t i);
+
+// Page i of a validated kPageOutBatch or kPageInBatchReply payload.
+std::span<const uint8_t> BatchPage(const Message& message, size_t i);
 
 }  // namespace rmp
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
 #include "src/util/logging.h"
@@ -10,7 +11,42 @@
 
 namespace rmp {
 
-MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {}
+MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {
+  const uint32_t wanted = std::max<uint32_t>(1, params_.store_shards);
+  shard_bits_ = 0;
+  while ((1u << shard_bits_) < wanted) {
+    ++shard_bits_;
+  }
+  shard_count_ = 1u << shard_bits_;
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+}
+
+MemoryServer::Shard& MemoryServer::ShardFor(uint64_t slot) const {
+  // Fibonacci hash: consecutive slots of an extent land on distinct shards,
+  // and strided slot patterns do not alias onto one stripe.
+  const uint64_t h = slot * 0x9e3779b97f4a7c15ULL;
+  const uint32_t index = shard_bits_ == 0 ? 0 : static_cast<uint32_t>(h >> (64 - shard_bits_));
+  return shards_[index];
+}
+
+uint8_t* MemoryServer::FramePtr(const Shard& shard, uint32_t frame) {
+  return shard.slabs[frame / kSlabPages].get() +
+         static_cast<size_t>(frame % kSlabPages) * kPageSize;
+}
+
+uint32_t MemoryServer::TakeFrameLocked(Shard* shard) {
+  if (shard->free_frames.empty()) {
+    const uint32_t base = static_cast<uint32_t>(shard->slabs.size()) * kSlabPages;
+    shard->slabs.push_back(std::make_unique<uint8_t[]>(size_t{kSlabPages} * kPageSize));
+    // Push in reverse so frames are handed out in ascending address order.
+    for (uint32_t i = kSlabPages; i > 0; --i) {
+      shard->free_frames.push_back(base + i - 1);
+    }
+  }
+  const uint32_t frame = shard->free_frames.back();
+  shard->free_frames.pop_back();
+  return frame;
+}
 
 uint64_t MemoryServer::EffectiveCapacityLocked() const {
   const double available = static_cast<double>(params_.capacity_pages) * (1.0 - native_load_);
@@ -32,19 +68,19 @@ bool MemoryServer::AdviseStopLocked() const {
 }
 
 Result<uint64_t> MemoryServer::Allocate(uint64_t pages) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
   if (pages == 0) {
     return InvalidArgumentError("cannot allocate zero pages");
   }
   if (FreePagesLocked() < pages) {
-    ++stats_.denials;
+    stats_.denials.fetch_add(1, std::memory_order_relaxed);
     return NoSpaceError(params_.name + " denies allocation of " + std::to_string(pages) +
                         " pages (free " + std::to_string(FreePagesLocked()) + ")");
   }
-  ++stats_.allocations;
+  stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   reserved_slots_ += pages;
   // Reuse freed slot runs first so long-lived servers do not leak slot space.
   for (auto it = free_runs_.begin(); it != free_runs_.end(); ++it) {
@@ -58,21 +94,27 @@ Result<uint64_t> MemoryServer::Allocate(uint64_t pages) {
       return start;
     }
   }
-  const uint64_t start = next_slot_;
-  next_slot_ += pages;
+  const uint64_t start = next_slot_.load(std::memory_order_relaxed);
+  next_slot_.store(start + pages, std::memory_order_release);
   return start;
 }
 
 Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  if (pages == 0 || first_slot + pages > next_slot_) {
+  if (pages == 0 || first_slot + pages > next_slot_.load(std::memory_order_relaxed)) {
     return InvalidArgumentError("bad free range");
   }
   for (uint64_t s = first_slot; s < first_slot + pages; ++s) {
-    pages_.erase(s);
+    Shard& shard = ShardFor(s);
+    std::lock_guard<std::mutex> shard_lock(shard.mutex);
+    auto it = shard.frames.find(s);
+    if (it != shard.frames.end()) {
+      shard.free_frames.push_back(it->second);
+      shard.frames.erase(it);
+    }
   }
   reserved_slots_ -= std::min(reserved_slots_, pages);
   free_runs_.emplace_back(first_slot, pages);
@@ -81,155 +123,243 @@ Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
 }
 
 Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  if (slot >= next_slot_) {
+  if (slot >= next_slot_.load(std::memory_order_acquire)) {
     return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
   }
   if (page.size() != kPageSize) {
     return InvalidArgumentError("page must be exactly kPageSize bytes");
   }
-  pages_[slot].Assign(page);
-  ++stats_.pageouts_served;
-  stats_.bytes_stored += page.size();
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Recheck under the shard lock: Crash() raises the flag before sweeping the
+  // shards, so a store that loses the race cannot resurrect a dropped page.
+  if (crashed()) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
+  if (inserted) {
+    it->second = TakeFrameLocked(&shard);
+  }
+  std::memcpy(FramePtr(shard, it->second), page.data(), kPageSize);
+  if (params_.store_service_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(params_.store_service_micros));
+  }
+  stats_.pageouts_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_add(page.size(), std::memory_order_relaxed);
   return OkStatus();
 }
 
 Result<PageBuffer> MemoryServer::Load(uint64_t slot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  auto it = pages_.find(slot);
-  if (it == pages_.end()) {
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (crashed()) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  auto it = shard.frames.find(slot);
+  if (it == shard.frames.end()) {
     return NotFoundError("slot " + std::to_string(slot) + " holds no page");
   }
-  ++stats_.pageins_served;
-  stats_.bytes_returned += kPageSize;
-  return it->second;
+  if (params_.store_service_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(params_.store_service_micros));
+  }
+  stats_.pageins_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_returned.fetch_add(kPageSize, std::memory_order_relaxed);
+  return PageBuffer(std::span<const uint8_t>(FramePtr(shard, it->second), kPageSize));
+}
+
+Status MemoryServer::StoreBatch(std::span<const uint64_t> slots, std::span<const uint8_t> pages,
+                                uint64_t* stored_out) {
+  if (pages.size() != slots.size() * kPageSize) {
+    if (stored_out != nullptr) {
+      *stored_out = 0;
+    }
+    return InvalidArgumentError("batch pages must be slots.size() * kPageSize bytes");
+  }
+  uint64_t stored = 0;
+  Status status = OkStatus();
+  for (size_t i = 0; i < slots.size(); ++i) {
+    status = Store(slots[i], pages.subspan(i * kPageSize, kPageSize));
+    if (!status.ok()) {
+      break;
+    }
+    ++stored;
+  }
+  if (stored_out != nullptr) {
+    *stored_out = stored;
+  }
+  return status;
+}
+
+Status MemoryServer::LoadBatch(std::span<const uint64_t> slots, std::vector<uint8_t>* out) const {
+  out->reserve(out->size() + slots.size() * kPageSize);
+  for (const uint64_t slot : slots) {
+    auto page = Load(slot);
+    if (!page.ok()) {
+      return page.status();
+    }
+    out->insert(out->end(), page->span().begin(), page->span().end());
+  }
+  return OkStatus();
 }
 
 Result<PageBuffer> MemoryServer::DeltaStore(uint64_t slot, std::span<const uint8_t> page) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  if (slot >= next_slot_) {
+  if (slot >= next_slot_.load(std::memory_order_acquire)) {
     return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
   }
   if (page.size() != kPageSize) {
     return InvalidArgumentError("page must be exactly kPageSize bytes");
   }
-  PageBuffer& stored = pages_[slot];  // Absent slot zero-initializes.
-  PageBuffer delta(stored.span());
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (crashed()) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
+  if (inserted) {
+    it->second = TakeFrameLocked(&shard);
+    // Recycled frames carry stale bytes; an absent slot must read as zeroes.
+    std::memset(FramePtr(shard, it->second), 0, kPageSize);
+  }
+  uint8_t* stored = FramePtr(shard, it->second);
+  PageBuffer delta(std::span<const uint8_t>(stored, kPageSize));
   delta.XorWith(page);
-  stored.Assign(page);
-  ++stats_.pageouts_served;
-  stats_.bytes_stored += page.size();
+  std::memcpy(stored, page.data(), kPageSize);
+  stats_.pageouts_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_add(page.size(), std::memory_order_relaxed);
   return delta;
 }
 
 Status MemoryServer::XorMerge(uint64_t slot, std::span<const uint8_t> delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (crashed_) {
+  if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  if (slot >= next_slot_) {
+  if (slot >= next_slot_.load(std::memory_order_acquire)) {
     return InvalidArgumentError("slot " + std::to_string(slot) + " was never allocated");
   }
   if (delta.size() != kPageSize) {
     return InvalidArgumentError("delta must be exactly kPageSize bytes");
   }
-  pages_[slot].XorWith(delta);
-  ++stats_.pageouts_served;
-  stats_.bytes_stored += delta.size();
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (crashed()) {
+    return UnavailableError(params_.name + " crashed");
+  }
+  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
+  if (inserted) {
+    it->second = TakeFrameLocked(&shard);
+    std::memset(FramePtr(shard, it->second), 0, kPageSize);
+  }
+  XorBytes(FramePtr(shard, it->second), delta.data(), kPageSize);
+  stats_.pageouts_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_stored.fetch_add(delta.size(), std::memory_order_relaxed);
   return OkStatus();
 }
 
 bool MemoryServer::Holds(uint64_t slot) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return !crashed_ && pages_.count(slot) > 0;
+  if (crashed()) {
+    return false;
+  }
+  Shard& shard = ShardFor(slot);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.frames.count(slot) > 0;
 }
 
 std::vector<uint64_t> MemoryServer::LiveSlots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<uint64_t> slots;
-  slots.reserve(pages_.size());
-  for (const auto& [slot, page] : pages_) {
-    slots.push_back(slot);
+  for (uint32_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    for (const auto& [slot, frame] : shards_[i].frames) {
+      slots.push_back(slot);
+    }
   }
   std::sort(slots.begin(), slots.end());
   return slots;
 }
 
 void MemoryServer::Crash() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  crashed_ = true;
-  pages_.clear();
-  free_runs_.clear();
-  reserved_slots_ = 0;
-  next_slot_ = 0;
+  // Raise the flag first: data ops recheck it under their shard lock, so any
+  // store racing the sweep either completes before the shard is cleared or
+  // observes the crash and fails.
+  crashed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    free_runs_.clear();
+    reserved_slots_ = 0;
+    next_slot_.store(0, std::memory_order_release);
+  }
+  for (uint32_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    shards_[i].frames.clear();
+    shards_[i].free_frames.clear();
+    shards_[i].slabs.clear();
+  }
   RMP_LOG(kInfo) << params_.name << " crashed, all pages lost";
 }
 
-bool MemoryServer::crashed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return crashed_;
-}
-
-void MemoryServer::Restart() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  crashed_ = false;
-}
+void MemoryServer::Restart() { crashed_.store(false, std::memory_order_release); }
 
 void MemoryServer::SetNativeLoad(double fraction) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(control_mutex_);
   native_load_ = std::clamp(fraction, 0.0, 1.0);
 }
 
 void MemoryServer::SetSlotDelayForTest(uint64_t slot, int64_t micros) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(control_mutex_);
   if (micros <= 0) {
     slot_delays_micros_.erase(slot);
   } else {
     slot_delays_micros_[slot] = micros;
   }
+  has_slot_delays_.store(!slot_delays_micros_.empty(), std::memory_order_release);
 }
 
 uint64_t MemoryServer::capacity_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(control_mutex_);
   return EffectiveCapacityLocked();
 }
 
 uint64_t MemoryServer::free_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(control_mutex_);
   return FreePagesLocked();
 }
 
 uint64_t MemoryServer::live_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return pages_.size();
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mutex);
+    total += shards_[i].frames.size();
+  }
+  return total;
 }
 
 bool MemoryServer::ShouldAdviseStop() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(control_mutex_);
   return AdviseStopLocked();
 }
 
 Message MemoryServer::Handle(const Message& request) {
-  int64_t delay_micros = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = slot_delays_micros_.find(request.slot);
-    if (it != slot_delays_micros_.end()) {
-      delay_micros = it->second;
+  if (has_slot_delays_.load(std::memory_order_acquire)) {
+    int64_t delay_micros = 0;
+    {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      auto it = slot_delays_micros_.find(request.slot);
+      if (it != slot_delays_micros_.end()) {
+        delay_micros = it->second;
+      }
     }
-  }
-  if (delay_micros > 0) {
-    // Sleep outside the mutex: a stalled slot must not stall the others.
-    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+    if (delay_micros > 0) {
+      // Sleep outside any lock: a stalled slot must not stall the others.
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+    }
   }
   switch (request.type) {
     case MessageType::kAllocRequest: {
@@ -263,8 +393,49 @@ Message MemoryServer::Handle(const Message& request) {
       }
       return MakePageInReply(request.request_id, request.slot, page->span(), ErrorCode::kOk);
     }
+    case MessageType::kPageOutBatch: {
+      auto count = ValidateBatch(request);
+      if (!count.ok()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kProtocol);
+      }
+      stats_.batch_requests.fetch_add(1, std::memory_order_relaxed);
+      uint64_t stored = 0;
+      Status status = OkStatus();
+      for (size_t i = 0; i < *count; ++i) {
+        status = Store(BatchSlot(request, i), BatchPage(request, i));
+        if (!status.ok()) {
+          break;
+        }
+        ++stored;
+      }
+      Message ack = MakePageOutBatchAck(request.request_id, stored, status.code(),
+                                        status.ok() && ShouldAdviseStop());
+      if (!status.ok()) {
+        ack.aux = stored;  // Index of the first failing entry.
+      }
+      return ack;
+    }
+    case MessageType::kPageInBatch: {
+      auto count = ValidateBatch(request);
+      if (!count.ok()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kProtocol);
+      }
+      stats_.batch_requests.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> pages;
+      pages.reserve(*count * kPageSize);
+      for (size_t i = 0; i < *count; ++i) {
+        auto page = Load(BatchSlot(request, i));
+        if (!page.ok()) {
+          Message reply = MakePageInBatchReply(request.request_id, {}, page.status().code());
+          reply.aux = i;  // Index of the failing entry.
+          return reply;
+        }
+        pages.insert(pages.end(), page->span().begin(), page->span().end());
+      }
+      return MakePageInBatchReply(request.request_id, pages, ErrorCode::kOk);
+    }
     case MessageType::kLoadQuery: {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(control_mutex_);
       return MakeLoadReport(request.request_id, FreePagesLocked(), EffectiveCapacityLocked(),
                             AdviseStopLocked());
     }

@@ -11,6 +11,14 @@
 // pageouts... without knowing whether it stores memory pages or parity
 // pages" — so there is deliberately no parity-specific code here.
 //
+// Storage layout: the page store is lock-striped into N shards keyed by a
+// multiplicative slot hash, so concurrent sessions (and the TcpServer worker
+// pool) contend only when they touch the same shard. Each shard stores pages
+// in slab-allocated frames (kSlabPages per slab) recycled through a free
+// list, instead of one heap PageBuffer per page. Allocation bookkeeping
+// (slot runs, capacity, native load) lives under a separate control mutex;
+// lock order is control → shard. DESIGN.md §9 discusses the choices.
+//
 // Fault and load injection used by the experiments:
 //   Crash()          — drops every stored page (workstation crash, §2.2).
 //   SetNativeLoad()  — native processes claim memory; the server shrinks its
@@ -20,7 +28,9 @@
 #ifndef SRC_SERVER_MEMORY_SERVER_H_
 #define SRC_SERVER_MEMORY_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -38,15 +48,27 @@ struct MemoryServerParams {
   // When the live page count exceeds this fraction of the (current)
   // capacity, acks start carrying ADVISE_STOP.
   double advise_stop_fraction = 0.95;
+  // Lock stripes in the page store. 1 reproduces the old single-mutex server
+  // (the bench baseline); values are rounded up to a power of two.
+  uint32_t store_shards = 16;
+  // Modeled per-page service time (µs) spent while holding the slot's shard
+  // lock; 0 disables it. Benches use this to expose lock-granularity
+  // serialization on hosts with fewer cores than worker threads: a sleeping
+  // thread yields the CPU, so striped shards overlap service the way
+  // multi-core memcpys would, while a single mutex serializes it.
+  int64_t store_service_micros = 0;
 };
 
+// Counters are atomic so shard-parallel request threads can bump them
+// without sharing a lock; read them with the implicit load.
 struct MemoryServerStats {
-  int64_t pageouts_served = 0;
-  int64_t pageins_served = 0;
-  int64_t allocations = 0;
-  int64_t denials = 0;
-  uint64_t bytes_stored = 0;
-  uint64_t bytes_returned = 0;
+  std::atomic<int64_t> pageouts_served{0};
+  std::atomic<int64_t> pageins_served{0};
+  std::atomic<int64_t> batch_requests{0};  // PAGEOUT_BATCH / PAGEIN_BATCH messages.
+  std::atomic<int64_t> allocations{0};
+  std::atomic<int64_t> denials{0};
+  std::atomic<uint64_t> bytes_stored{0};
+  std::atomic<uint64_t> bytes_returned{0};
 };
 
 class MemoryServer : public MessageHandler {
@@ -63,6 +85,15 @@ class MemoryServer : public MessageHandler {
   Status Store(uint64_t slot, std::span<const uint8_t> page);
   Result<PageBuffer> Load(uint64_t slot) const;
 
+  // Vectored forms. StoreBatch writes slots.size() pages (`pages` is their
+  // concatenation), stopping at the first failure; *stored_out is the count
+  // stored, which on error is also the failing index. LoadBatch appends
+  // kPageSize bytes per slot to *out in request order, stopping at the first
+  // failure (pages already appended stay in *out).
+  Status StoreBatch(std::span<const uint64_t> slots, std::span<const uint8_t> pages,
+                    uint64_t* stored_out);
+  Status LoadBatch(std::span<const uint64_t> slots, std::vector<uint8_t>* out) const;
+
   // Basic-parity primitives (§2.2 "Parity"): the data server computes
   // old XOR new while storing, the parity server folds a delta into the
   // stored page. An absent slot reads as all-zeroes for both.
@@ -76,14 +107,14 @@ class MemoryServer : public MessageHandler {
 
   // Fault / load injection.
   void Crash();
-  bool crashed() const;
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   void Restart();  // Clears the crashed flag; storage stays empty.
   // `fraction` of the donated memory reclaimed by native processes on the
   // server workstation. Raising it can push the server into ADVISE_STOP.
   void SetNativeLoad(double fraction);
 
   // Test hook: requests touching `slot` sleep for `micros` before being
-  // served (outside the server mutex, so other slots proceed). Lets tests
+  // served (outside any server lock, so other slots proceed). Lets tests
   // force out-of-order replies from a multi-worker TcpServer session.
   void SetSlotDelayForTest(uint64_t slot, int64_t micros);
 
@@ -92,25 +123,49 @@ class MemoryServer : public MessageHandler {
   uint64_t live_pages() const;
   bool ShouldAdviseStop() const;
 
+  uint32_t shard_count() const { return shard_count_; }
   const MemoryServerStats& stats() const { return stats_; }
   const std::string& name() const { return params_.name; }
 
  private:
+  // Frames per slab: 64 × 8 KB = 512 KB slabs, large enough to amortize the
+  // allocation, small enough that a lightly used shard stays cheap.
+  static constexpr uint32_t kSlabPages = 64;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    // slot → frame index (slab = frame / kSlabPages, offset = frame % it).
+    std::unordered_map<uint64_t, uint32_t> frames;
+    std::vector<std::unique_ptr<uint8_t[]>> slabs;
+    std::vector<uint32_t> free_frames;
+  };
+
+  Shard& ShardFor(uint64_t slot) const;
+  static uint8_t* FramePtr(const Shard& shard, uint32_t frame);
+  // Pops a free frame, growing the slab list if needed. Shard mutex held.
+  static uint32_t TakeFrameLocked(Shard* shard);
+
   uint64_t EffectiveCapacityLocked() const;
   uint64_t FreePagesLocked() const;
   bool AdviseStopLocked() const;
 
   MemoryServerParams params_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, PageBuffer> pages_;
+  uint32_t shard_count_ = 1;
+  uint32_t shard_bits_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+
+  // Allocation bookkeeping; taken before any shard mutex, never after.
+  mutable std::mutex control_mutex_;
   uint64_t reserved_slots_ = 0;  // Allocated (granted) but possibly unwritten.
-  uint64_t next_slot_ = 0;
   std::vector<std::pair<uint64_t, uint64_t>> free_runs_;
   double native_load_ = 0.0;
-  bool crashed_ = false;
   std::unordered_map<uint64_t, int64_t> slot_delays_micros_;
-  // Mutable: serving a pagein is logically const on the page store but must
-  // still count toward the served-request statistics.
+
+  // Read lock-free on the data path; written under control_mutex_.
+  std::atomic<uint64_t> next_slot_{0};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> has_slot_delays_{false};
+
   mutable MemoryServerStats stats_;
 };
 

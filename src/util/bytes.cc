@@ -4,6 +4,13 @@
 #include <cassert>
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RMP_HAVE_X86_SIMD 1
+#include <immintrin.h>
+#else
+#define RMP_HAVE_X86_SIMD 0
+#endif
+
 namespace rmp {
 namespace {
 
@@ -13,6 +20,98 @@ uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+// GCC's auto-vectorizer rewrites the word loop below with SSE/AVX at -O2,
+// which would make the "scalar" reference silently SIMD: differential tests
+// would compare two vector paths and the bench baseline would not measure
+// what a portable word loop costs. Pin it to scalar codegen.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#endif
+void XorBytesScalarImpl(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  // Word-at-a-time main loop; memcpy keeps it legal for unaligned buffers.
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, sizeof(a));
+    std::memcpy(&b, src + i, sizeof(b));
+    a ^= b;
+    std::memcpy(dst + i, &a, sizeof(a));
+  }
+  for (; i < n; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+#if RMP_HAVE_X86_SIMD
+
+// The target attribute lets these bodies use wide intrinsics without
+// compiling the whole translation unit with -mavx2; the dispatcher only
+// calls them after the CPUID probe says the unit exists.
+__attribute__((target("avx2"))) void XorBytesAvx2(uint8_t* dst, const uint8_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), _mm256_xor_si256(a1, b1));
+  }
+  if (i + 32 <= n) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(a, b));
+    i += 32;
+  }
+  XorBytesScalarImpl(dst + i, src + i, n - i);
+}
+
+void XorBytesSse2(uint8_t* dst, const uint8_t* src, size_t n) {
+  // SSE2 is baseline on x86-64; no target attribute needed.
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i a1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a0, b0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), _mm_xor_si128(a1, b1));
+  }
+  if (i + 16 <= n) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a, b));
+    i += 16;
+  }
+  XorBytesScalarImpl(dst + i, src + i, n - i);
+}
+
+#endif  // RMP_HAVE_X86_SIMD
+
+using XorFn = void (*)(uint8_t*, const uint8_t*, size_t);
+
+struct XorImpl {
+  XorFn fn;
+  std::string_view name;
+};
+
+XorImpl PickXorImpl() {
+#if RMP_HAVE_X86_SIMD
+  if (__builtin_cpu_supports("avx2")) {
+    return {XorBytesAvx2, "avx2"};
+  }
+  return {XorBytesSse2, "sse2"};
+#else
+  return {XorBytesScalarImpl, "scalar"};
+#endif
+}
+
+const XorImpl& DispatchedXor() {
+  static const XorImpl impl = PickXorImpl();
+  return impl;
 }
 
 }  // namespace
@@ -32,29 +131,44 @@ void PageBuffer::XorWith(std::span<const uint8_t> other) {
 
 void PageBuffer::Clear() { std::memset(data_.data(), 0, data_.size()); }
 
-bool PageBuffer::IsZero() const {
-  for (uint8_t b : data_) {
-    if (b != 0) {
+bool PageBuffer::IsZero() const { return IsZeroBytes(data_.data(), data_.size()); }
+
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n) { DispatchedXor().fn(dst, src, n); }
+
+void XorBytesScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  XorBytesScalarImpl(dst, src, n);
+}
+
+std::string_view XorBytesImplName() { return DispatchedXor().name; }
+
+bool IsZeroBytes(const uint8_t* p, size_t n) {
+  size_t i = 0;
+  // OR-accumulate a cache line at a time, checking between lines so a dirty
+  // page (the common reclaim-probe answer) exits after its first line.
+  for (; i + 64 <= n; i += 64) {
+    uint64_t acc = 0;
+    for (size_t w = 0; w < 64; w += sizeof(uint64_t)) {
+      uint64_t v;
+      std::memcpy(&v, p + i + w, sizeof(v));
+      acc |= v;
+    }
+    if (acc != 0) {
+      return false;
+    }
+  }
+  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
+    uint64_t v;
+    std::memcpy(&v, p + i, sizeof(v));
+    if (v != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if (p[i] != 0) {
       return false;
     }
   }
   return true;
-}
-
-void XorBytes(uint8_t* dst, const uint8_t* src, size_t n) {
-  size_t i = 0;
-  // Word-at-a-time main loop; memcpy keeps it legal for unaligned buffers.
-  for (; i + sizeof(uint64_t) <= n; i += sizeof(uint64_t)) {
-    uint64_t a;
-    uint64_t b;
-    std::memcpy(&a, dst + i, sizeof(a));
-    std::memcpy(&b, src + i, sizeof(b));
-    a ^= b;
-    std::memcpy(dst + i, &a, sizeof(a));
-  }
-  for (; i < n; ++i) {
-    dst[i] ^= src[i];
-  }
 }
 
 void FillPattern(std::span<uint8_t> page, uint64_t seed) {

@@ -1,4 +1,11 @@
 // Page-sized byte buffers and the XOR kernels that parity policies build on.
+//
+// XorBytes is the single hottest CPU loop in the system: every pageout under
+// a parity policy folds 8 KB into the client-side accumulator, and recovery
+// XORs entire parity groups back together. The kernel is therefore
+// runtime-dispatched (AVX2 -> SSE2 -> portable scalar), mirroring the
+// SSE4.2 CRC-32C dispatch in checksum.cc: one CPUID probe at first use, no
+// special compile flags required.
 
 #ifndef SRC_UTIL_BYTES_H_
 #define SRC_UTIL_BYTES_H_
@@ -6,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/util/units.h"
@@ -46,8 +54,22 @@ class PageBuffer {
   std::vector<uint8_t> data_;
 };
 
-// dst ^= src over `n` bytes. Word-at-a-time; tolerates any alignment.
+// dst ^= src over `n` bytes. Runtime-dispatched to the widest vector unit the
+// CPU has (AVX2, then SSE2, then the scalar loop); tolerates any alignment.
+// `dst` and `src` must not overlap.
 void XorBytes(uint8_t* dst, const uint8_t* src, size_t n);
+
+// The portable word-at-a-time reference the SIMD paths are cross-checked
+// against (tests, and the dispatch fallback on non-x86 builds).
+void XorBytesScalar(uint8_t* dst, const uint8_t* src, size_t n);
+
+// Name of the XorBytes implementation the dispatcher picked on this CPU:
+// "avx2", "sse2" or "scalar". Benches report it alongside throughput.
+std::string_view XorBytesImplName();
+
+// True iff all `n` bytes are zero. Word-at-a-time with early exit; used by
+// parity-group reclaim checks on whole pages.
+bool IsZeroBytes(const uint8_t* p, size_t n);
 
 // Fills a page with a deterministic pattern derived from `seed`, so tests and
 // workloads can later verify a page's identity after round-tripping through

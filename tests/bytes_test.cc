@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/util/rng.h"
 
 namespace rmp {
@@ -89,6 +91,61 @@ TEST(XorBytesTest, HandlesUnalignedTails) {
     XorBytes(dst.data(), src.data(), n);
     EXPECT_EQ(dst, expected) << "n=" << n;
   }
+}
+
+// Randomized differential check of the dispatched (possibly SIMD) XorBytes
+// against the scalar reference, across sizes spanning the vector widths,
+// misaligned bases, and overlap-free offsets into one backing allocation.
+TEST(XorBytesTest, DispatchMatchesScalarAcrossSizesAndAlignments) {
+  Rng rng(2024);
+  const size_t sizes[] = {0,  1,  15,  16,  17,  31,  32,  33,  63,       64,
+                          65, 96, 127, 128, 255, 257, 1000, 4096, kPageSize};
+  for (const size_t n : sizes) {
+    for (const size_t dst_align : {0u, 1u, 3u, 8u, 17u}) {
+      for (const size_t src_align : {0u, 2u, 9u}) {
+        std::vector<uint8_t> backing(2 * (n + 32) + 64);
+        for (auto& b : backing) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        // Carve two overlap-free regions out of one allocation so relative
+        // offsets (not just absolute alignment) vary too.
+        uint8_t* dst = backing.data() + dst_align;
+        uint8_t* src = backing.data() + (n + 32) + src_align;
+        std::vector<uint8_t> expected_dst(dst, dst + n);
+        XorBytesScalar(expected_dst.data(), src, n);
+        XorBytes(dst, src, n);
+        EXPECT_TRUE(std::equal(dst, dst + n, expected_dst.begin()))
+            << "n=" << n << " dst_align=" << dst_align << " src_align=" << src_align
+            << " impl=" << XorBytesImplName();
+      }
+    }
+  }
+}
+
+TEST(XorBytesTest, DispatchNameIsKnown) {
+  const std::string_view name = XorBytesImplName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+}
+
+TEST(IsZeroBytesTest, DetectsSingleNonzeroByteAnywhere) {
+  for (const size_t n : {1u, 7u, 8u, 63u, 64u, 65u, 200u}) {
+    std::vector<uint8_t> buf(n, 0);
+    EXPECT_TRUE(IsZeroBytes(buf.data(), n)) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      buf[i] = 0x80;
+      EXPECT_FALSE(IsZeroBytes(buf.data(), n)) << "n=" << n << " i=" << i;
+      buf[i] = 0;
+    }
+  }
+  EXPECT_TRUE(IsZeroBytes(nullptr, 0));
+}
+
+TEST(IsZeroBytesTest, AgreesWithPageBufferIsZero) {
+  PageBuffer page;
+  EXPECT_TRUE(page.IsZero());
+  page[kPageSize - 1] = 1;
+  EXPECT_FALSE(page.IsZero());
+  EXPECT_FALSE(IsZeroBytes(page.data(), page.size()));
 }
 
 TEST(PatternTest, FillAndCheckAgree) {

@@ -160,6 +160,75 @@ TEST(MemoryServerTest, XorMergeFoldsIntoStored) {
   EXPECT_EQ(*server.Load(*slot), expected);
 }
 
+TEST(MemoryServerTest, StoreBatchAndLoadBatchRoundTrip) {
+  MemoryServer server(SmallServer());
+  auto base = server.Allocate(4);
+  ASSERT_TRUE(base.ok());
+  std::vector<uint64_t> slots;
+  std::vector<uint8_t> pages;
+  for (uint64_t i = 0; i < 4; ++i) {
+    slots.push_back(*base + i);
+    PageBuffer page;
+    FillPattern(page.span(), 70 + i);
+    pages.insert(pages.end(), page.span().begin(), page.span().end());
+  }
+  uint64_t stored = 0;
+  ASSERT_TRUE(server.StoreBatch(slots, pages, &stored).ok());
+  EXPECT_EQ(stored, 4u);
+  EXPECT_EQ(server.stats().pageouts_served, 4);
+
+  std::vector<uint8_t> loaded;
+  ASSERT_TRUE(server.LoadBatch(slots, &loaded).ok());
+  EXPECT_EQ(loaded, pages);
+}
+
+TEST(MemoryServerTest, StoreBatchStopsAtFirstBadSlot) {
+  MemoryServer server(SmallServer());
+  auto base = server.Allocate(2);
+  ASSERT_TRUE(base.ok());
+  const std::vector<uint64_t> slots = {*base, 1000, *base + 1};
+  std::vector<uint8_t> pages(3 * kPageSize, 0xcd);
+  uint64_t stored = 0;
+  const Status status = server.StoreBatch(slots, pages, &stored);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(stored, 1u);  // Also the failing index.
+  EXPECT_TRUE(server.Holds(*base));
+  EXPECT_FALSE(server.Holds(*base + 1));
+}
+
+TEST(MemoryServerTest, SingleShardConfigKeepsSemantics) {
+  MemoryServerParams params = SmallServer();
+  params.store_shards = 1;
+  MemoryServer server(params);
+  EXPECT_EQ(server.shard_count(), 1u);
+  auto slot = server.Allocate(2);
+  PageBuffer page;
+  FillPattern(page.span(), 9);
+  ASSERT_TRUE(server.Store(*slot, page.span()).ok());
+  EXPECT_EQ(*server.Load(*slot), page);
+  ASSERT_TRUE(server.Free(*slot, 2).ok());
+  EXPECT_FALSE(server.Holds(*slot));
+}
+
+TEST(MemoryServerTest, FramesRecycledAcrossFreeAndRealloc) {
+  MemoryServer server(SmallServer());
+  auto slot = server.Allocate(8);
+  PageBuffer page;
+  for (uint64_t i = 0; i < 8; ++i) {
+    FillPattern(page.span(), i);
+    ASSERT_TRUE(server.Store(*slot + i, page.span()).ok());
+  }
+  ASSERT_TRUE(server.Free(*slot, 8).ok());
+  // The recycled frames must not leak their old bytes through the
+  // absent-slot-reads-as-zero parity primitives.
+  auto again = server.Allocate(8);
+  ASSERT_TRUE(again.ok());
+  PageBuffer delta;
+  FillPattern(delta.span(), 99);
+  ASSERT_TRUE(server.XorMerge(*again, delta.span()).ok());
+  EXPECT_EQ(*server.Load(*again), delta);  // zero ^ delta, not stale ^ delta.
+}
+
 TEST(MemoryServerTest, LiveSlotsSorted) {
   MemoryServer server(SmallServer());
   auto slot = server.Allocate(5);
@@ -224,6 +293,67 @@ TEST(MemoryServerHandleTest, UnknownRequestYieldsErrorReply) {
   EXPECT_EQ(reply.type, MessageType::kErrorReply);
   EXPECT_EQ(reply.status_code(), ErrorCode::kProtocol);
   EXPECT_EQ(reply.request_id, 9u);
+}
+
+TEST(MemoryServerHandleTest, PageOutBatchRoundTrip) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 3));
+  std::vector<uint64_t> slots;
+  std::vector<uint8_t> pages;
+  for (uint64_t i = 0; i < 3; ++i) {
+    slots.push_back(alloc.slot + i);
+    PageBuffer page;
+    FillPattern(page.span(), 50 + i);
+    pages.insert(pages.end(), page.span().begin(), page.span().end());
+  }
+  const Message ack = server.Handle(MakePageOutBatch(2, slots, pages));
+  EXPECT_EQ(ack.type, MessageType::kPageOutBatchAck);
+  EXPECT_EQ(ack.status_code(), ErrorCode::kOk);
+  EXPECT_EQ(ack.count, 3u);
+
+  const Message reply = server.Handle(MakePageInBatch(3, slots));
+  EXPECT_EQ(reply.type, MessageType::kPageInBatchReply);
+  ASSERT_EQ(reply.status_code(), ErrorCode::kOk);
+  ASSERT_TRUE(ValidateBatch(reply).ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(CheckPattern(BatchPage(reply, i), 50 + i)) << i;
+  }
+}
+
+TEST(MemoryServerHandleTest, PageOutBatchReportsFailingIndex) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 1));
+  const std::vector<uint64_t> slots = {alloc.slot, 5000};
+  std::vector<uint8_t> pages(2 * kPageSize, 0xee);
+  const Message ack = server.Handle(MakePageOutBatch(2, slots, pages));
+  EXPECT_EQ(ack.type, MessageType::kPageOutBatchAck);
+  EXPECT_EQ(ack.status_code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ack.count, 1u);  // One page made it in.
+  EXPECT_EQ(ack.aux, 1u);    // Entry 1 failed.
+}
+
+TEST(MemoryServerHandleTest, PageInBatchMissReportsFailingIndex) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 2));
+  PageBuffer page;
+  server.Handle(MakePageOut(2, alloc.slot, page.span()));
+  const std::vector<uint64_t> slots = {alloc.slot, alloc.slot + 1};  // +1 never stored.
+  const Message reply = server.Handle(MakePageInBatch(3, slots));
+  EXPECT_EQ(reply.type, MessageType::kPageInBatchReply);
+  EXPECT_EQ(reply.status_code(), ErrorCode::kNotFound);
+  EXPECT_EQ(reply.aux, 1u);
+  EXPECT_TRUE(reply.payload.empty());
+}
+
+TEST(MemoryServerHandleTest, MalformedBatchRejected) {
+  MemoryServer server(SmallServer());
+  const Message alloc = server.Handle(MakeAllocRequest(1, 1));
+  const std::vector<uint64_t> slots = {alloc.slot};
+  Message bad = MakePageOutBatch(2, slots, std::vector<uint8_t>(kPageSize, 0));
+  bad.count = 2;  // Lies about the entry count.
+  const Message reply = server.Handle(bad);
+  EXPECT_EQ(reply.type, MessageType::kErrorReply);
+  EXPECT_EQ(reply.status_code(), ErrorCode::kProtocol);
 }
 
 TEST(MemoryServerHandleTest, StatsCount) {

@@ -88,6 +88,142 @@ TEST(ServerConcurrencyTest, AllocationsNeverOverlapUnderContention) {
   }
 }
 
+// Satellite coverage: XorMerge / DeltaStore / Free racing on the same slots
+// (one shard, via store_shards=1) and on disjoint slot ranges spread across
+// the default shard set. XOR is commutative, so the merged result must equal
+// the XOR of everything each thread folded in, regardless of interleaving.
+class ShardedParityRaceTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShardedParityRaceTest, ConcurrentXorMergesCommute) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  params.store_shards = GetParam();
+  MemoryServer server(params);
+  auto base = server.Allocate(4);
+  ASSERT_TRUE(base.ok());
+  constexpr int kThreads = 8;
+  constexpr int kMergesPerThread = 32;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &base, t] {
+      PageBuffer delta;
+      for (int i = 0; i < kMergesPerThread; ++i) {
+        const uint64_t seed = static_cast<uint64_t>(t) * 100 + static_cast<uint64_t>(i);
+        FillPattern(delta.span(), seed);
+        // All threads hammer every slot: same-shard and cross-shard races.
+        for (uint64_t s = 0; s < 4; ++s) {
+          ASSERT_TRUE(server.XorMerge(*base + s, delta.span()).ok());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  PageBuffer expected;
+  PageBuffer delta;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kMergesPerThread; ++i) {
+      FillPattern(delta.span(), static_cast<uint64_t>(t) * 100 + static_cast<uint64_t>(i));
+      expected.XorWith(delta.span());
+    }
+  }
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto merged = server.Load(*base + s);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(*merged, expected) << "slot offset " << s;
+  }
+}
+
+TEST_P(ShardedParityRaceTest, DeltaStoreSeriesChainsUnderContention) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  params.store_shards = GetParam();
+  MemoryServer server(params);
+  constexpr int kThreads = 8;
+  constexpr int kStores = 24;
+  // Each thread owns one slot but they all run together, so the per-slot
+  // delta chain must stay consistent while shards (or the single shard)
+  // churn. Valid chain: XOR of all returned deltas equals the final page.
+  auto base = server.Allocate(kThreads);
+  ASSERT_TRUE(base.ok());
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &base, &failures, t] {
+      const uint64_t slot = *base + static_cast<uint64_t>(t);
+      PageBuffer accumulated;  // XOR of deltas returned so far.
+      PageBuffer version;
+      for (int i = 0; i < kStores; ++i) {
+        FillPattern(version.span(), static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i));
+        auto delta = server.DeltaStore(slot, version.span());
+        if (!delta.ok()) {
+          ++failures;
+          return;
+        }
+        accumulated.XorWith(delta->span());
+      }
+      // old0 ^ v0 ^ v0 ^ v1 ^ ... telescopes to the latest version.
+      if (!(accumulated == version)) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(ShardedParityRaceTest, FreeRacesStoresWithoutCorruption) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  params.store_shards = GetParam();
+  MemoryServer server(params);
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 40;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&server, &failures, t] {
+      PageBuffer page;
+      for (int i = 0; i < kRounds; ++i) {
+        auto base = server.Allocate(8);
+        if (!base.ok()) {
+          continue;  // Transient contention on capacity is fine.
+        }
+        const uint64_t seed = static_cast<uint64_t>(t) * 10000 + static_cast<uint64_t>(i);
+        for (uint64_t s = 0; s < 8; ++s) {
+          FillPattern(page.span(), seed + s);
+          if (!server.Store(*base + s, page.span()).ok()) {
+            ++failures;
+            return;
+          }
+        }
+        for (uint64_t s = 0; s < 8; ++s) {
+          auto loaded = server.Load(*base + s);
+          if (!loaded.ok() || !CheckPattern(loaded->span(), seed + s)) {
+            ++failures;  // A racing Free on another run must never hit ours.
+            return;
+          }
+        }
+        if (!server.Free(*base, 8).ok()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.live_pages(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GlobalMutexAndSharded, ShardedParityRaceTest,
+                         ::testing::Values(1u, 16u));
+
 TEST(ServerConcurrencyTest, CrashDuringTrafficIsClean) {
   MemoryServerParams params;
   params.capacity_pages = 4096;

@@ -72,6 +72,51 @@ TEST(TestbedTest, ZeroServersRejectedForRemotePolicies) {
   EXPECT_FALSE(Testbed::Create(params).ok());
 }
 
+TEST(TestbedTest, PreloadRoundTripsEveryPolicy) {
+  // NO_RELIABILITY takes the vectored PAGEOUT_BATCH path; the others run the
+  // default per-page loop behind the same interface.
+  for (Policy policy : {Policy::kNoReliability, Policy::kMirroring, Policy::kBasicParity,
+                        Policy::kParityLogging, Policy::kWriteThrough, Policy::kDisk}) {
+    TestbedParams params;
+    params.policy = policy;
+    params.data_servers = 3;
+    auto bed = Testbed::Create(params);
+    ASSERT_TRUE(bed.ok()) << PolicyName(policy);
+    constexpr uint64_t kPages = 300;  // Exceeds one kMaxBatchPages chunk.
+    constexpr uint64_t kSeed = 17;
+    auto done = (*bed)->Preload(kPages, kSeed);
+    ASSERT_TRUE(done.ok()) << PolicyName(policy) << ": " << done.status().ToString();
+    EXPECT_EQ((*bed)->backend().stats().pageouts, static_cast<int64_t>(kPages));
+    PageBuffer page;
+    for (const uint64_t id : {uint64_t{0}, uint64_t{17}, kPages - 1}) {
+      ASSERT_TRUE((*bed)->backend().PageIn(0, id, page.span()).ok()) << PolicyName(policy);
+      EXPECT_TRUE(CheckPattern(page.span(), Testbed::PreloadSeed(kSeed, id)))
+          << PolicyName(policy) << " page " << id;
+    }
+  }
+}
+
+TEST(TestbedTest, PreloadBatchesTheWireForNoReliability) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok());
+  ASSERT_TRUE((*bed)->Preload(512, 3).ok());
+  // 512 fresh pages must not cost 512 PAGEOUT messages: batches of up to
+  // kMaxBatchPages keep the per-server message count tiny.
+  int64_t pages_stored = 0;
+  int64_t batch_messages = 0;
+  for (size_t s = 0; s < (*bed)->server_count(); ++s) {
+    pages_stored += (*bed)->server(s).stats().pageouts_served;
+    batch_messages += (*bed)->server(s).stats().batch_requests;
+  }
+  EXPECT_EQ(pages_stored, 512);
+  EXPECT_GE(batch_messages, 2);
+  EXPECT_LE(batch_messages, 8);
+  EXPECT_EQ((*bed)->backend().stats().pageouts, 512);
+}
+
 TEST(TestbedTest, PolicyNamesComplete) {
   EXPECT_EQ(PolicyName(Policy::kNoReliability), "NO_RELIABILITY");
   EXPECT_EQ(PolicyName(Policy::kMirroring), "MIRRORING");

@@ -69,6 +69,18 @@ std::vector<Message> AllMessageKinds() {
   all.push_back(MakeAuth(12, "secret-token"));
   all.push_back(MakeAuthReply(12, ErrorCode::kOk));
   all.push_back(MakeAuthReply(13, ErrorCode::kFailedPrecondition));
+  const uint64_t slots[] = {40, 41, 99};
+  std::vector<uint8_t> pages;
+  for (uint64_t s : slots) {
+    PageBuffer p;
+    FillPattern(p.span(), s);
+    pages.insert(pages.end(), p.span().begin(), p.span().end());
+  }
+  all.push_back(MakePageOutBatch(14, slots, pages));
+  all.push_back(MakePageOutBatchAck(14, 3, ErrorCode::kOk, /*advise_stop=*/true));
+  all.push_back(MakePageInBatch(15, slots));
+  all.push_back(MakePageInBatchReply(15, pages, ErrorCode::kOk));
+  all.push_back(MakePageInBatchReply(16, {}, ErrorCode::kNotFound));
   return all;
 }
 
@@ -176,6 +188,90 @@ TEST(WireTest, MessageTypeNamesAreStable) {
   EXPECT_EQ(MessageTypeName(MessageType::kPageOut), "PAGEOUT");
   EXPECT_EQ(MessageTypeName(MessageType::kLoadReport), "LOAD_REPORT");
   EXPECT_EQ(MessageTypeName(MessageType::kXorMerge), "XOR_MERGE");
+  EXPECT_EQ(MessageTypeName(MessageType::kPageOutBatch), "PAGEOUT_BATCH");
+  EXPECT_EQ(MessageTypeName(MessageType::kPageInBatchReply), "PAGEIN_BATCH_REPLY");
+}
+
+std::vector<uint8_t> BatchPages(std::span<const uint64_t> seeds) {
+  std::vector<uint8_t> pages;
+  for (uint64_t s : seeds) {
+    PageBuffer p;
+    FillPattern(p.span(), s);
+    pages.insert(pages.end(), p.span().begin(), p.span().end());
+  }
+  return pages;
+}
+
+TEST(WireBatchTest, PageOutBatchLayout) {
+  const uint64_t slots[] = {7, 3, 1000};
+  const std::vector<uint8_t> pages = BatchPages(slots);
+  const Message m = MakePageOutBatch(42, slots, pages);
+  EXPECT_EQ(m.slot, 7u);  // First slot drives worker dispatch affinity.
+  EXPECT_EQ(m.count, 3u);
+  auto count = ValidateBatch(m);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(BatchSlot(m, i), slots[i]);
+    EXPECT_TRUE(CheckPattern(BatchPage(m, i), slots[i])) << i;
+  }
+}
+
+TEST(WireBatchTest, PageInBatchAndReply) {
+  const uint64_t slots[] = {5, 6};
+  const Message request = MakePageInBatch(1, slots);
+  ASSERT_TRUE(ValidateBatch(request).ok());
+  EXPECT_EQ(BatchSlot(request, 1), 6u);
+
+  const std::vector<uint8_t> pages = BatchPages(slots);
+  const Message reply = MakePageInBatchReply(1, pages, ErrorCode::kOk);
+  auto count = ValidateBatch(reply);
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(*count, 2u);
+  EXPECT_TRUE(CheckPattern(BatchPage(reply, 0), 5));
+  EXPECT_TRUE(CheckPattern(BatchPage(reply, 1), 6));
+}
+
+TEST(WireBatchTest, BatchRoundTripsThroughFrameReader) {
+  const uint64_t slots[] = {10, 11, 12, 13};
+  const Message m = MakePageOutBatch(9, slots, BatchPages(slots));
+  FrameReader reader;
+  reader.Feed(std::span<const uint8_t>(Encode(m)));
+  auto decoded = reader.Next();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, m);
+}
+
+TEST(WireBatchTest, MalformedBatchesRejected) {
+  const uint64_t slots[] = {1, 2};
+  Message m = MakePageOutBatch(1, slots, BatchPages(slots));
+
+  Message zero_count = m;
+  zero_count.count = 0;
+  EXPECT_FALSE(ValidateBatch(zero_count).ok());
+
+  Message huge_count = m;
+  huge_count.count = kMaxBatchPages + 1;
+  EXPECT_FALSE(ValidateBatch(huge_count).ok());
+
+  Message short_payload = m;
+  short_payload.payload.pop_back();
+  EXPECT_FALSE(ValidateBatch(short_payload).ok());
+
+  Message count_mismatch = m;
+  count_mismatch.count = 1;  // Payload still sized for two entries.
+  EXPECT_FALSE(ValidateBatch(count_mismatch).ok());
+
+  Message not_batch = MakePageIn(1, 5);
+  EXPECT_FALSE(ValidateBatch(not_batch).ok());
+
+  Message failed_reply_with_payload = MakePageInBatchReply(1, BatchPages(slots), ErrorCode::kOk);
+  failed_reply_with_payload.status = static_cast<uint32_t>(ErrorCode::kNotFound);
+  EXPECT_FALSE(ValidateBatch(failed_reply_with_payload).ok());
+}
+
+TEST(WireBatchTest, MaxBatchFitsWirePayloadBound) {
+  EXPECT_LE(kMaxBatchPages * (8 + kPageSize), kMaxWirePayload);
 }
 
 }  // namespace
