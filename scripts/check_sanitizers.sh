@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the fault-injection conformance suites.
+#
+# Builds the tree under ASan+UBSan (RMP_SANITIZE=address enables both, see the
+# top-level CMakeLists.txt) and runs the `faults_smoke` ctest label — the
+# fault-injection, crash-recovery, and wire-fuzz suites — so every injected
+# interleaving is also exercised for memory and UB errors, not just for
+# byte-identical recovery. This complements the existing RMP_SANITIZE=thread
+# configuration that gates the pipelined transport's sender/receiver threads.
+#
+# Usage:
+#   scripts/check_sanitizers.sh [sanitizer ...]
+#
+# With no arguments runs the default `address` job (ASan+UBSan). Pass
+# `thread` as well to run the TSan job over the same label, e.g.:
+#   scripts/check_sanitizers.sh address thread
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+sanitizers=("${@:-address}")
+label="${RMP_SMOKE_LABEL:-faults_smoke}"
+
+for sanitizer in "${sanitizers[@]}"; do
+  build_dir="${repo_root}/build-${sanitizer}san"
+  echo "==> [${sanitizer}] configuring ${build_dir}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRMP_SANITIZE="${sanitizer}"
+  echo "==> [${sanitizer}] building"
+  cmake --build "${build_dir}" -j
+  echo "==> [${sanitizer}] running ctest -L ${label}"
+  # halt_on_error makes ASan/UBSan findings fail the test instead of just
+  # printing; detect_leaks catches anything the fault paths drop on the floor.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir "${build_dir}" -L "${label}" --output-on-failure -j
+  echo "==> [${sanitizer}] OK"
+done

@@ -60,18 +60,73 @@ Result<TimeNs> BasicParityBackend::PageOut(TimeNs now, uint64_t page_id,
     row_cells[pos.column] = page_id;
   }
   // Step 1: data server stores the page and returns old XOR new.
-  auto delta = cluster_.peer(columns_[pos.column]).DeltaPageOutTo(pos.row, data);
+  const size_t holder = columns_[pos.column];
+  auto delta = cluster_.peer(holder).DeltaPageOutTo(pos.row, data);
   if (!delta.ok()) {
-    return delta.status();
+    if (!ShouldRetry(holder, delta.status())) {
+      return delta.status();
+    }
+    // A message was lost around the delta store. The ambiguity matters
+    // here: if the store applied but its reply was dropped, re-running
+    // DeltaPageOut returns old XOR new = 0 and the parity would silently
+    // go stale. Recover with idempotent operations instead: plain-store
+    // the page, then recompute the whole row's parity from its cells.
+    cluster_.peer(holder).mark_alive();
+    ChargeBackoff(1, &now);
+    auto advise = ReliablePageOut(holder, pos.row, data, &now);
+    if (!advise.ok()) {
+      return advise.status();
+    }
+    now = ChargePageTransfer(now, holder);
+    RMP_RETURN_IF_ERROR(RefreshParityRow(pos.row, &now));
+    stats_.paging_time += now - start;
+    return now;
   }
-  now = ChargePageTransfer(now, columns_[pos.column]);
+  now = ChargePageTransfer(now, holder);
   // Step 2: the delta updates the parity server in place. On the paper's
   // shared Ethernet this second transfer serializes behind the first; the
   // client must also wait for it before discarding the page (§2.2).
-  RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).XorMergeOn(pos.row, delta->span()));
+  const Status merged = cluster_.peer(parity_peer_).XorMergeOn(pos.row, delta->span());
+  if (!merged.ok()) {
+    if (!ShouldRetry(parity_peer_, merged)) {
+      return merged;
+    }
+    // Same ambiguity as the delta store: the merge may or may not have
+    // folded in. XOR-merging twice would corrupt the parity, so rebuild
+    // the row's parity from scratch.
+    cluster_.peer(parity_peer_).mark_alive();
+    ChargeBackoff(1, &now);
+    RMP_RETURN_IF_ERROR(RefreshParityRow(pos.row, &now));
+    stats_.paging_time += now - start;
+    return now;
+  }
   now = ChargePageTransfer(now, parity_peer_);
   stats_.paging_time += now - start;
   return now;
+}
+
+Status BasicParityBackend::RefreshParityRow(uint64_t row, TimeNs* now) {
+  auto cells_it = row_pages_.find(row);
+  if (cells_it == row_pages_.end()) {
+    return InternalError("parity refresh of an unwritten row");
+  }
+  const std::vector<uint64_t>& cells = cells_it->second;
+  PageBuffer xor_buf;
+  PageBuffer page;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c >= cells.size() || cells[c] == kEmptyCell) {
+      continue;  // Cell never written; it contributes zeroes to the parity.
+    }
+    RMP_RETURN_IF_ERROR(ReliablePageIn(columns_[c], row, page.span(), now));
+    *now = ChargePageTransfer(*now, columns_[c]);
+    xor_buf.XorWith(page.span());
+  }
+  auto advise = ReliablePageOut(parity_peer_, row, xor_buf.span(), now);
+  if (!advise.ok()) {
+    return advise.status();
+  }
+  *now = ChargePageTransfer(*now, parity_peer_);
+  return OkStatus();
 }
 
 Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
@@ -83,20 +138,21 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
   const TimeNs start = now;
   const Position pos = it->second;
   ServerPeer& holder = cluster_.peer(columns_[pos.column]);
-  if (holder.alive()) {
-    const Status status = holder.PageInFrom(pos.row, out);
+  if (holder.alive() || holder.transport().connected()) {
+    const Status status = ReliablePageIn(columns_[pos.column], pos.row, out, &now);
     if (status.ok()) {
       now = ChargePageTransfer(now, columns_[pos.column]);
       stats_.paging_time += now - start;
       return now;
     }
-    if (status.code() != ErrorCode::kUnavailable) {
+    if (!IsRetryableError(status)) {
       return status;
     }
   }
   // Degraded read: parity row XOR surviving columns of the stripe.
+  ++stats_.degraded_reads;
   PageBuffer xor_buf;
-  RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).PageInFrom(pos.row, xor_buf.span()));
+  RMP_RETURN_IF_ERROR(ReliablePageIn(parity_peer_, pos.row, xor_buf.span(), &now));
   now = ChargePageTransfer(now, parity_peer_);
   PageBuffer page;
   for (size_t c = 0; c < columns_.size(); ++c) {
@@ -107,7 +163,7 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
     if (row_cells.empty() || row_cells[c] == kEmptyCell) {
       continue;  // Cell never written; it contributes zeroes to the parity.
     }
-    RMP_RETURN_IF_ERROR(cluster_.peer(columns_[c]).PageInFrom(pos.row, page.span()));
+    RMP_RETURN_IF_ERROR(ReliablePageIn(columns_[c], pos.row, page.span(), &now));
     now = ChargePageTransfer(now, columns_[c]);
     xor_buf.XorWith(page.span());
   }
@@ -147,22 +203,23 @@ Status BasicParityBackend::Recover(size_t peer_index, TimeNs* now) {
       continue;  // Nothing of the dead column in this stripe row.
     }
     xor_buf.Clear();
-    RMP_RETURN_IF_ERROR(cluster_.peer(parity_peer_).PageInFrom(row, xor_buf.span()));
+    RMP_RETURN_IF_ERROR(ReliablePageIn(parity_peer_, row, xor_buf.span(), now));
     *now = ChargePageTransfer(*now, parity_peer_);
     for (size_t c = 0; c < columns_.size(); ++c) {
       if (c == dead_column || cells[c] == kEmptyCell) {
         continue;
       }
-      RMP_RETURN_IF_ERROR(cluster_.peer(columns_[c]).PageInFrom(row, page.span()));
+      RMP_RETURN_IF_ERROR(ReliablePageIn(columns_[c], row, page.span(), now));
       *now = ChargePageTransfer(*now, columns_[c]);
       xor_buf.XorWith(page.span());
     }
-    auto advise = spare_server.PageOutTo(row, xor_buf.span());
+    auto advise = ReliablePageOut(spare, row, xor_buf.span(), now);
     if (!advise.ok()) {
       return advise.status();
     }
     *now = ChargePageTransfer(*now, spare);
     ++rebuilt;
+    ++stats_.reconstructions;
   }
   columns_[dead_column] = spare;
   spare_peer_.reset();

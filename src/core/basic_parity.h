@@ -59,6 +59,14 @@ class BasicParityBackend final : public RemotePagerBase {
   // Ensures slot `row` exists on every column and the parity server.
   Status EnsureRow(uint64_t row, TimeNs* now);
 
+  // Recomputes row `row`'s parity from its live data cells and stores it
+  // with a plain, idempotent pageout. The delta protocol
+  // (DeltaPageOut + XorMerge) is NOT idempotent: once a store applied but
+  // its reply was lost, re-running it yields a zero delta and the parity
+  // never learns about the new data. Any pageout that loses a message
+  // mid-stripe therefore falls back to plain stores plus this refresh.
+  Status RefreshParityRow(uint64_t row, TimeNs* now);
+
   size_t parity_peer_;
   std::vector<size_t> columns_;          // Data server peer indices.
   std::optional<size_t> spare_peer_;

@@ -34,8 +34,8 @@ Result<MirroringBackend::Replica> MirroringBackend::AcquireReplicaSlot(TimeNs* n
         peer.set_stopped(true);
         continue;
       }
-      if (slot.status().code() == ErrorCode::kUnavailable) {
-        continue;
+      if (IsRetryableError(slot.status())) {
+        continue;  // Try the next peer; the pool loop is the failover.
       }
       return slot.status();
     }
@@ -52,10 +52,10 @@ Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
       return replica.status();
     }
     ServerPeer& peer = cluster_.peer(replica->peer);
-    auto advise = peer.JoinPageOut(peer.StartPageOut(replica->slot, data));
+    auto advise = ReliablePageOut(replica->peer, replica->slot, data, now);
     if (!advise.ok()) {
       // The slot dies with the server; retry elsewhere.
-      if (advise.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(advise.status())) {
         continue;
       }
       return advise.status();
@@ -81,15 +81,26 @@ Status MirroringBackend::JoinReplicaWrites(TimeNs* now, std::span<const uint8_t>
   for (int c = 0; c < 2; ++c) {
     bool ok = false;
     if (issued[c]) {
-      ServerPeer& peer = cluster_.peer(entry->copies[c].peer);
+      const size_t copy_peer = entry->copies[c].peer;
+      ServerPeer& peer = cluster_.peer(copy_peer);
       auto advise = peer.JoinPageOut(std::move(futures[c]));
+      if (!advise.ok() && ShouldRetry(copy_peer, advise.status())) {
+        // Transient loss (dropped request or ack) on a live connection:
+        // rewrite the same slot before abandoning it. The pageout is
+        // idempotent, so a drop-reply that did apply is harmless.
+        peer.mark_alive();
+        TimeNs retry_now = start;
+        ChargeBackoff(1, &retry_now);
+        advise = ReliablePageOut(copy_peer, entry->copies[c].slot, data, &retry_now);
+        done = std::max(done, retry_now);
+      }
       if (advise.ok()) {
-        done = std::max(done, ChargePageTransferAsync(start, entry->copies[c].peer));
+        done = std::max(done, ChargePageTransferAsync(start, copy_peer));
         if (*advise) {
           peer.set_no_new_extents(true);
         }
         ok = true;
-      } else if (advise.status().code() != ErrorCode::kUnavailable) {
+      } else if (!IsRetryableError(advise.status())) {
         return advise.status();
       }
     }
@@ -167,21 +178,28 @@ Result<TimeNs> MirroringBackend::PageIn(TimeNs now, uint64_t page_id, std::span<
   ++stats_.pageins;
   const TimeNs start = now;
   for (int c = 0; c < 2; ++c) {
-    ServerPeer& peer = cluster_.peer(it->second.copies[c].peer);
-    if (!peer.alive()) {
-      continue;
+    const size_t copy_peer = it->second.copies[c].peer;
+    ServerPeer& peer = cluster_.peer(copy_peer);
+    if (!peer.alive() && !peer.transport().connected()) {
+      continue;  // Known-dead server; go straight to the surviving copy.
     }
-    const Status status = peer.PageInFrom(it->second.copies[c].slot, out);
+    const Status status = ReliablePageIn(copy_peer, it->second.copies[c].slot, out, &now);
     if (status.ok()) {
-      now = ChargePageTransfer(now, it->second.copies[c].peer);
+      if (c == 1) {
+        // The primary was unreachable; the read was served by the mirror.
+        ++stats_.failovers;
+      }
+      now = ChargePageTransfer(now, copy_peer);
       stats_.paging_time += now - start;
       return now;
     }
-    if (status.code() != ErrorCode::kUnavailable) {
+    if (!IsRetryableError(status)) {
       return status;
     }
   }
-  return UnavailableError("both replicas of page " + std::to_string(page_id) + " unreachable");
+  // Both replicas are gone: the double failure exceeds what mirroring
+  // tolerates, and no retry can bring the bytes back.
+  return DataLossError("both replicas of page " + std::to_string(page_id) + " unreachable");
 }
 
 Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
@@ -239,7 +257,7 @@ Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
         }
         continue;
       }
-      if (advise.status().code() != ErrorCode::kUnavailable) {
+      if (!IsRetryableError(advise.status())) {
         return advise.status();
       }
       // The destination died mid-resilver; repair this chunk page by page.
@@ -253,6 +271,7 @@ Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
       }
     }
   }
+  stats_.reconstructions += static_cast<int64_t>(orphaned.size());
   RMP_LOG(kInfo) << "mirroring: re-replicated " << orphaned.size() << " pages after crash of peer "
                  << peer_index;
   return OkStatus();

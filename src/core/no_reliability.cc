@@ -42,14 +42,14 @@ Result<TimeNs> NoReliabilityBackend::PlaceAndSend(TimeNs now, uint64_t page_id,
         peer.set_stopped(true);
         continue;
       }
-      if (slot.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(slot.status())) {
         continue;  // Peer died; marked dead by the RPC layer.
       }
       return slot.status();
     }
-    auto advise = peer.PageOutTo(*slot, data);
+    auto advise = ReliablePageOut(peer_index, *slot, data, &now);
     if (!advise.ok()) {
-      if (advise.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(advise.status())) {
         continue;
       }
       return advise.status();
@@ -81,8 +81,8 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
   if (it != table_.end() && !it->second.on_disk) {
     // Overwrite in place on the same server.
     ServerPeer& peer = cluster_.peer(it->second.peer);
-    if (peer.alive()) {
-      auto advise = peer.PageOutTo(it->second.slot, data);
+    if (peer.alive() || peer.transport().connected()) {
+      auto advise = ReliablePageOut(it->second.peer, it->second.slot, data, &now);
       if (advise.ok()) {
         now = ChargePageTransferAsync(now, it->second.peer);
         if (*advise) {
@@ -91,7 +91,7 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
         stats_.paging_time += now - start;
         return now;
       }
-      if (advise.status().code() != ErrorCode::kUnavailable) {
+      if (!IsRetryableError(advise.status())) {
         return advise.status();
       }
       // Server died under us; we still hold the data, so relocate.
@@ -234,10 +234,13 @@ Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
     return *done;
   }
   ServerPeer& peer = cluster_.peer(it->second.peer);
-  const Status status = peer.PageInFrom(it->second.slot, out);
+  const Status status = ReliablePageIn(it->second.peer, it->second.slot, out, &now);
   if (!status.ok()) {
-    // Without redundancy a crashed server means the page is gone — the
-    // situation §2.2 calls unacceptable and the reliable policies fix.
+    if (IsRetryableError(status) && !peer.transport().connected()) {
+      // Without redundancy a crashed server means the page is gone — the
+      // situation §2.2 calls unacceptable and the reliable policies fix.
+      return DataLossError("page " + std::to_string(page_id) + " lost with " + peer.name());
+    }
     return status;
   }
   now = ChargePageTransfer(now, it->second.peer);

@@ -35,6 +35,16 @@ struct BackendStats {
   DurationNs wire_time = 0;      // Network blocking time.
   DurationNs disk_time = 0;      // Disk blocking time.
   DurationNs paging_time = 0;    // Total time the client was blocked on paging.
+
+  // Failure-detector counters: how often the client had to work around a
+  // fault rather than take the happy path.
+  int64_t retries = 0;          // RPC attempts beyond the first.
+  int64_t failovers = 0;        // Reads served by a non-primary source.
+  int64_t degraded_reads = 0;   // Reads served by reconstruction or disk
+                                // fallback instead of the stored remote copy.
+  int64_t reconstructions = 0;  // Pages rebuilt (parity XOR or re-upload)
+                                // after a crash.
+  DurationNs backoff_time = 0;  // Time spent sleeping between retry attempts.
 };
 
 class PagingBackend {

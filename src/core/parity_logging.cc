@@ -183,6 +183,14 @@ Status ParityLoggingBackend::FlushParity(TimeNs* now) {
     // lazily — the next stripe's pageouts overlap the parity transfer.
     // ADVISE_STOP is ignored, as in JoinParityFlush.
     auto advise = parity.JoinPageOut(std::move(flush));
+    if (!advise.ok() && ShouldRetry(parity_peer_, advise.status())) {
+      // The parity write was lost in flight but the server survived;
+      // rewriting the same slot is idempotent, so retry before declaring
+      // the group unsealable.
+      parity.mark_alive();
+      ChargeBackoff(1, now);
+      advise = ReliablePageOut(parity_peer_, *slot, accumulator_.span(), now);
+    }
     if (!advise.ok()) {
       return advise.status();
     }
@@ -225,15 +233,15 @@ Status ParityLoggingBackend::PlacePage(uint64_t page_id, std::span<const uint8_t
         peer.set_stopped(true);
         continue;
       }
-      if (slot.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(slot.status())) {
         continue;
       }
       return slot.status();
     }
-    auto advise = peer.PageOutTo(*slot, data);
+    auto advise = ReliablePageOut(peer_index, *slot, data, now);
     if (!advise.ok()) {
-      if (advise.status().code() == ErrorCode::kUnavailable) {
-        continue;
+      if (IsRetryableError(advise.status())) {
+        continue;  // The placement loop moves on to another server.
       }
       return advise.status();
     }
@@ -279,19 +287,21 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
   const ParityGroup& group = groups_.at(loc.group_id);
   const GroupEntry& entry = group.entries[loc.entry_index];
   ServerPeer& peer = cluster_.peer(entry.peer);
-  if (peer.alive()) {
-    const Status status = peer.PageInFrom(entry.slot, out);
+  if (peer.alive() || peer.transport().connected()) {
+    const Status status = ReliablePageIn(entry.peer, entry.slot, out, &now);
     if (status.ok()) {
       now = ChargePageTransfer(now, entry.peer);
       stats_.paging_time += now - start;
       return now;
     }
-    if (status.code() != ErrorCode::kUnavailable) {
+    if (!IsRetryableError(status)) {
       return status;
     }
   }
   // The holding server crashed: reconstruct everything it held, then the
-  // page is live again on a healthy server.
+  // page is live again on a healthy server. The read is degraded — it is
+  // served by XOR over the group's survivors, not by the stored copy.
+  ++stats_.degraded_reads;
   RMP_RETURN_IF_ERROR(Recover(entry.peer, &now));
   auto retry = table_.find(page_id);
   if (retry == table_.end()) {
@@ -299,7 +309,7 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
   }
   const ParityGroup& new_group = groups_.at(retry->second.group_id);
   const GroupEntry& new_entry = new_group.entries[retry->second.entry_index];
-  RMP_RETURN_IF_ERROR(cluster_.peer(new_entry.peer).PageInFrom(new_entry.slot, out));
+  RMP_RETURN_IF_ERROR(ReliablePageIn(new_entry.peer, new_entry.slot, out, &now));
   now = ChargePageTransfer(now, new_entry.peer);
   stats_.paging_time += now - start;
   return now;
@@ -469,6 +479,7 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
       }
       *now = ChargePageBatchTransfer(*now, n, parity_peer_);
     }
+    stats_.reconstructions += static_cast<int64_t>(sealed_ids.size());
     RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << sealed_ids.size() << " groups";
     return OkStatus();
   }
@@ -546,6 +557,7 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
     }
     if (lost != nullptr && lost->active) {
       stash.emplace_back(lost->page_id, xor_buf);  // The reconstructed page.
+      ++stats_.reconstructions;
     }
     // Dissolve: free surviving slots and the parity slot, drop the group.
     for (const GroupEntry& entry : group.entries) {

@@ -66,6 +66,68 @@ Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
   return peer.TakeSlot();
 }
 
+bool RemotePagerBase::IsRetryableError(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kIoError:
+    case ErrorCode::kCorruption:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RemotePagerBase::ShouldRetry(size_t peer_index, const Status& status) {
+  return IsRetryableError(status) && cluster_.peer(peer_index).transport().connected();
+}
+
+void RemotePagerBase::ChargeBackoff(int attempt, TimeNs* now) {
+  const RetryParams& retry = params_.retry;
+  DurationNs delay = retry.backoff_base;
+  for (int i = 1; i < attempt && delay < retry.backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, retry.backoff_max);
+  if (retry.jitter > 0.0) {
+    const double scale = 1.0 + retry.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
+    delay = static_cast<DurationNs>(static_cast<double>(delay) * scale);
+  }
+  *now += delay;
+  stats_.backoff_time += delay;
+  ++stats_.retries;
+}
+
+Status RemotePagerBase::ReliablePageIn(size_t peer_index, uint64_t slot, std::span<uint8_t> out,
+                                       TimeNs* now) {
+  ServerPeer& peer = cluster_.peer(peer_index);
+  Status status = OkStatus();
+  for (int attempt = 1;; ++attempt) {
+    status = peer.PageInFrom(slot, out);
+    if (status.ok() || attempt >= params_.retry.max_attempts ||
+        !ShouldRetry(peer_index, status)) {
+      return status;
+    }
+    // The RPC helper marked the peer dead, but its connection is up: only a
+    // message was lost. Restore liveness and try again after backing off.
+    peer.mark_alive();
+    ChargeBackoff(attempt, now);
+  }
+}
+
+Result<bool> RemotePagerBase::ReliablePageOut(size_t peer_index, uint64_t slot,
+                                              std::span<const uint8_t> data, TimeNs* now) {
+  ServerPeer& peer = cluster_.peer(peer_index);
+  for (int attempt = 1;; ++attempt) {
+    auto advise = peer.PageOutTo(slot, data);
+    if (advise.ok() || attempt >= params_.retry.max_attempts ||
+        !ShouldRetry(peer_index, advise.status())) {
+      return advise;
+    }
+    peer.mark_alive();
+    ChargeBackoff(attempt, now);
+  }
+}
+
 Status RemotePagerBase::BatchFetch(std::span<const PageWant> wants, std::vector<PageBuffer>* out,
                                    TimeNs* now) {
   out->assign(wants.size(), PageBuffer());
@@ -110,9 +172,24 @@ Status RemotePagerBase::BatchFetch(std::span<const PageWant> wants, std::vector<
   std::vector<uint8_t> staging;
   for (Chunk& chunk : chunks) {
     staging.resize(chunk.slots.size() * kPageSize);
-    const Status joined = cluster_.peer(chunk.peer)
-                              .JoinPageInBatch(std::move(chunk.future), chunk.slots.size(),
-                                               std::span<uint8_t>(staging));
+    ServerPeer& peer = cluster_.peer(chunk.peer);
+    Status joined =
+        peer.JoinPageInBatch(std::move(chunk.future), chunk.slots.size(),
+                             std::span<uint8_t>(staging));
+    // Transient failure against a live connection: retry *this chunk only*.
+    // Chunks that already joined keep their pages and their single charge —
+    // re-fetching them would double-apply the batch on the wire and in the
+    // stats (the BatchFetch partial-failure bug).
+    for (int attempt = 1; !joined.ok() && attempt < params_.retry.max_attempts &&
+                          ShouldRetry(chunk.peer, joined);
+         ++attempt) {
+      peer.mark_alive();
+      TimeNs backoff_now = fan_start;
+      ChargeBackoff(attempt, &backoff_now);
+      fan_done = std::max(fan_done, backoff_now);
+      joined = peer.JoinPageInBatch(peer.StartPageInBatch(chunk.slots), chunk.slots.size(),
+                                    std::span<uint8_t>(staging));
+    }
     if (!joined.ok()) {
       // Keep draining the remaining futures so the transport settles.
       if (first_error.ok()) {

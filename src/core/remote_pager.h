@@ -11,6 +11,7 @@
 #include "src/core/cluster.h"
 #include "src/core/fabric.h"
 #include "src/core/paging_backend.h"
+#include "src/util/rng.h"
 
 namespace rmp {
 
@@ -18,10 +19,30 @@ namespace rmp {
 // parity logging requires round robin by construction).
 enum class ServerSelection { kMostFree, kRoundRobin };
 
+// Failure-detector tuning. A fault can be *transient* (a dropped request or
+// ack, a corrupted frame the CRC rejected, a late reply) or *permanent* (the
+// server workstation crashed, §2.2). The client cannot tell which from a
+// single failed RPC, so it retries with exponential backoff while the
+// connection still looks healthy and only then lets the policy lay in its
+// degraded path (failover read, parity reconstruction, disk fallback).
+struct RetryParams {
+  // Total tries per RPC including the first; <=1 disables retries.
+  int max_attempts = 3;
+  // Backoff before attempt k is base << (k-1), capped at `backoff_max`,
+  // then jittered by +/- `jitter` of itself so synchronized retry storms
+  // decorrelate. Charged to simulated time and stats_.backoff_time.
+  DurationNs backoff_base = Micros(500);
+  DurationNs backoff_max = Millis(8);
+  double jitter = 0.2;
+  // Seed of the private jitter RNG; runs stay bit-reproducible.
+  uint64_t jitter_seed = 0x7e57ab1e;
+};
+
 struct RemotePagerParams {
   // Swap slots requested per ALLOC_REQUEST; amortizes control traffic.
   uint64_t alloc_extent_pages = 256;
   ServerSelection selection = ServerSelection::kMostFree;
+  RetryParams retry;
 };
 
 class RemotePagerBase : public PagingBackend {
@@ -34,7 +55,38 @@ class RemotePagerBase : public PagingBackend {
  protected:
   RemotePagerBase(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
                   const RemotePagerParams& params)
-      : cluster_(std::move(cluster)), fabric_(std::move(fabric)), params_(params) {}
+      : cluster_(std::move(cluster)),
+        fabric_(std::move(fabric)),
+        params_(params),
+        retry_rng_(params.retry.jitter_seed) {}
+
+  // --- Failure detector ----------------------------------------------------
+
+  // Whether an RPC failure may be transient (worth retrying): a dropped or
+  // late message (kUnavailable), a socket hiccup (kIoError), or a frame the
+  // CRC rejected (kCorruption). Resource and logic errors are not.
+  static bool IsRetryableError(const Status& status);
+
+  // Whether the failure detector should try `peer` again after `status`:
+  // the error is retryable and the transport still reports a live
+  // connection, i.e. the server process did not go away — only a message
+  // did. The RPC helpers pessimistically mark the peer dead on any failure;
+  // the caller un-marks it (mark_alive) before retrying.
+  bool ShouldRetry(size_t peer_index, const Status& status);
+
+  // Charges one backoff interval before retry attempt `attempt` (1-based
+  // count of failures so far) to *now, stats_.backoff_time and
+  // stats_.retries. Exponential with cap and seeded jitter.
+  void ChargeBackoff(int attempt, TimeNs* now);
+
+  // PageInFrom / PageOutTo with bounded retries: transient failures against
+  // a still-connected peer are retried (after backoff); a dead connection
+  // or a non-retryable error returns immediately so the policy can take its
+  // degraded path. Transfer-time charging on success stays with the caller,
+  // matching the unreliable primitives.
+  Status ReliablePageIn(size_t peer_index, uint64_t slot, std::span<uint8_t> out, TimeNs* now);
+  Result<bool> ReliablePageOut(size_t peer_index, uint64_t slot, std::span<const uint8_t> data,
+                               TimeNs* now);
 
   // Charges one page-sized transfer starting at `now` to `peer`; bumps
   // transfer stats. The blocking (pagein) form waits for wire completion;
@@ -82,6 +134,7 @@ class RemotePagerBase : public PagingBackend {
   RemotePagerParams params_;
   BackendStats stats_;
   size_t rr_cursor_ = 0;
+  Rng retry_rng_;
 
  private:
   // Refresh load info at most every this many pageouts (most-free mode).

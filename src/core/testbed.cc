@@ -43,6 +43,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
       params.data_servers + (has_parity ? 1 : 0) + (params.with_spare ? 1 : 0);
 
   Cluster cluster;
+  Testbed* bed = testbed.get();  // Stable: Create returns the unique_ptr.
   for (int i = 0; i < total_servers; ++i) {
     MemoryServerParams server_params;
     server_params.name = "server-" + std::to_string(i);
@@ -50,7 +51,10 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
     testbed->servers_.push_back(std::make_unique<MemoryServer>(server_params));
     auto transport = std::make_unique<InProcTransport>(testbed->servers_.back().get());
     testbed->transports_.push_back(transport.get());
-    cluster.AddPeer(server_params.name, std::move(transport));
+    auto fault = std::make_unique<FaultInjectingTransport>(std::move(transport));
+    fault->SetCrashHook([bed, i] { bed->CrashServer(static_cast<size_t>(i)); });
+    testbed->faults_.push_back(fault.get());
+    cluster.AddPeer(server_params.name, std::move(fault));
   }
   // A spare must not be selected by normal placement until recovery uses it.
   if (params.with_spare) {
@@ -134,11 +138,16 @@ Result<TimeNs> Testbed::Preload(uint64_t pages, uint64_t seed, TimeNs now) {
 void Testbed::CrashServer(size_t i) {
   servers_[i]->Crash();
   transports_[i]->Disconnect();
+  faults_[i]->Disconnect();
 }
 
 void Testbed::RestartServer(size_t i) {
   servers_[i]->Restart();
+  // A restarted workstation's counters start from zero; stale pre-crash
+  // totals would poison post-recovery assertions.
+  servers_[i]->ResetStats();
   transports_[i]->Reconnect();
+  faults_[i]->Reconnect();
 }
 
 }  // namespace rmp

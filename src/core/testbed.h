@@ -16,6 +16,7 @@
 #include "src/core/parity_logging.h"
 #include "src/core/write_through.h"
 #include "src/server/memory_server.h"
+#include "src/transport/fault_injection.h"
 #include "src/transport/inproc_transport.h"
 
 namespace rmp {
@@ -75,10 +76,20 @@ class Testbed {
   MemoryServer& server(size_t i) { return *servers_[i]; }
   InProcTransport& transport(size_t i) { return *transports_[i]; }
 
+  // The fault-injection wrapper in front of server `i`'s transport. Every
+  // client RPC flows through it; install a FaultPlan to perturb delivery.
+  // Crash faults fired by a plan invoke CrashServer(i) via the wrapper's
+  // crash hook, so a mid-RPC crash behaves exactly like an explicit one.
+  FaultInjectingTransport& fault(size_t i) { return *faults_[i]; }
+  void InstallFaultPlan(size_t i, std::shared_ptr<FaultPlan> plan) {
+    faults_[i]->InstallPlan(std::move(plan));
+  }
+
   // Crashes server `i`: its stored pages vanish and its transport drops.
   void CrashServer(size_t i);
 
-  // Brings a crashed server back, empty, and reconnects its transport.
+  // Brings a crashed server back, empty, with fresh per-server stats, and
+  // reconnects its transport (fault wrapper included).
   void RestartServer(size_t i);
 
   // The policy-typed views (null when the policy does not match).
@@ -114,7 +125,10 @@ class Testbed {
 
   TestbedParams params_;
   std::vector<std::unique_ptr<MemoryServer>> servers_;
-  std::vector<InProcTransport*> transports_;  // Owned by the Cluster inside backend_.
+  // Both owned by the Cluster inside backend_: each peer's transport is a
+  // FaultInjectingTransport wrapping the InProcTransport to its server.
+  std::vector<InProcTransport*> transports_;
+  std::vector<FaultInjectingTransport*> faults_;
   std::unique_ptr<PagingBackend> backend_;
 };
 

@@ -11,8 +11,8 @@ Result<TimeNs> WriteThroughBackend::SendRemote(TimeNs now, uint64_t page_id,
   Location& loc = table_[page_id];
   if (loc.remote_valid) {
     ServerPeer& peer = cluster_.peer(loc.peer);
-    if (peer.alive()) {
-      auto advise = peer.PageOutTo(loc.slot, data);
+    if (peer.alive() || peer.transport().connected()) {
+      auto advise = ReliablePageOut(loc.peer, loc.slot, data, &now);
       if (advise.ok()) {
         now = ChargePageTransferAsync(now, loc.peer);
         if (*advise) {
@@ -20,7 +20,7 @@ Result<TimeNs> WriteThroughBackend::SendRemote(TimeNs now, uint64_t page_id,
         }
         return now;
       }
-      if (advise.status().code() != ErrorCode::kUnavailable) {
+      if (!IsRetryableError(advise.status())) {
         return advise.status();
       }
     }
@@ -39,14 +39,14 @@ Result<TimeNs> WriteThroughBackend::SendRemote(TimeNs now, uint64_t page_id,
         peer.set_stopped(true);
         continue;
       }
-      if (slot.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(slot.status())) {
         continue;
       }
       return slot.status();
     }
-    auto advise = peer.PageOutTo(*slot, data);
+    auto advise = ReliablePageOut(peer_index, *slot, data, &now);
     if (!advise.ok()) {
-      if (advise.status().code() == ErrorCode::kUnavailable) {
+      if (IsRetryableError(advise.status())) {
         continue;
       }
       return advise.status();
@@ -98,20 +98,21 @@ Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::sp
   const TimeNs start = now;
   if (it->second.remote_valid) {
     ServerPeer& peer = cluster_.peer(it->second.peer);
-    if (peer.alive()) {
-      const Status status = peer.PageInFrom(it->second.slot, out);
+    if (peer.alive() || peer.transport().connected()) {
+      const Status status = ReliablePageIn(it->second.peer, it->second.slot, out, &now);
       if (status.ok()) {
         now = ChargePageTransfer(now, it->second.peer);
         stats_.paging_time += now - start;
         return now;
       }
-      if (status.code() != ErrorCode::kUnavailable) {
+      if (!IsRetryableError(status)) {
         return status;
       }
     }
     it->second.remote_valid = false;
   }
   // Degraded path: the write-through disk copy is always current.
+  ++stats_.degraded_reads;
   auto done = disk_->PageIn(now, page_id, out);
   if (!done.ok()) {
     return done.status();
@@ -142,6 +143,7 @@ Status WriteThroughBackend::Recover(size_t peer_index, TimeNs* now) {
       return sent.status();
     }
     *now = *sent;
+    ++stats_.reconstructions;
   }
   RMP_LOG(kInfo) << "write-through: re-uploaded " << lost.size() << " pages after crash of peer "
                  << peer_index;

@@ -213,6 +213,13 @@ Result<Message> FrameReader::Next() {
     return ProtocolError("stream desynchronized: bad magic");
   }
   const uint32_t payload_len = GetU32(buffer_.data() + kWireHeaderSize);
+  if (payload_len > kMaxWirePayload) {
+    // Reject the hostile length as soon as the prefix is in: waiting for
+    // payload_len more bytes would let a corrupt frame demand gigabytes of
+    // buffering before DecodeHeader ever saw it.
+    return ProtocolError("payload length " + std::to_string(payload_len) +
+                         " exceeds wire limit");
+  }
   const size_t total = kWirePrefixSize + payload_len;
   if (buffer_.size() < total) {
     return NotFoundError("incomplete payload");

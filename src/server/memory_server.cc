@@ -307,6 +307,16 @@ void MemoryServer::Crash() {
 
 void MemoryServer::Restart() { crashed_.store(false, std::memory_order_release); }
 
+void MemoryServer::ResetStats() {
+  stats_.pageouts_served.store(0);
+  stats_.pageins_served.store(0);
+  stats_.batch_requests.store(0);
+  stats_.allocations.store(0);
+  stats_.denials.store(0);
+  stats_.bytes_stored.store(0);
+  stats_.bytes_returned.store(0);
+}
+
 void MemoryServer::SetNativeLoad(double fraction) {
   std::lock_guard<std::mutex> lock(control_mutex_);
   native_load_ = std::clamp(fraction, 0.0, 1.0);

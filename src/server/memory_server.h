@@ -109,6 +109,10 @@ class MemoryServer : public MessageHandler {
   void Crash();
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   void Restart();  // Clears the crashed flag; storage stays empty.
+  // Zeroes every counter in stats(). A restarted workstation starts from a
+  // clean slate, so post-recovery assertions (pageouts_served, denials, ...)
+  // must not see the pre-crash totals; Testbed::RestartServer calls this.
+  void ResetStats();
   // `fraction` of the donated memory reclaimed by native processes on the
   // server workstation. Raising it can push the server into ADVISE_STOP.
   void SetNativeLoad(double fraction);

@@ -1,5 +1,7 @@
 #include "src/transport/transport.h"
 
+#include <chrono>
+
 namespace rmp {
 
 RpcFuture RpcFuture::MakeReady(Result<Message> result) {
@@ -22,6 +24,19 @@ Result<Message> RpcFuture::Wait() {
   }
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->cv.wait(lock, [this] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+Result<Message> RpcFuture::WaitFor(DurationNs timeout) {
+  if (state_ == nullptr) {
+    return InternalError("WaitFor() on an invalid RpcFuture");
+  }
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  const bool completed = state_->cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                                             [this] { return state_->result.has_value(); });
+  if (!completed) {
+    return UnavailableError("rpc deadline exceeded");
+  }
   return *state_->result;
 }
 

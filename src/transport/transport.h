@@ -23,6 +23,7 @@
 
 #include "src/proto/wire.h"
 #include "src/util/status.h"
+#include "src/util/units.h"
 
 namespace rmp {
 
@@ -56,6 +57,14 @@ class RpcFuture {
 
   // Blocks until the reply (or transport failure) arrives.
   Result<Message> Wait();
+
+  // Wait() with a deadline: if no reply arrives within `timeout`, returns
+  // UnavailableError without consuming the future — the reply (should it
+  // still arrive) completes the shared state and a later Wait() observes it.
+  // This is the client-side failure detector's primitive: a server that
+  // stops answering is indistinguishable from a crashed one (§2.2), so
+  // after the deadline the caller treats the peer as UNAVAILABLE.
+  Result<Message> WaitFor(DurationNs timeout);
 
  private:
   friend class TcpTransport;

@@ -26,6 +26,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "FAILED_PRECONDITION";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -67,6 +69,9 @@ Status FailedPreconditionError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(ErrorCode::kInternal, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(ErrorCode::kDataLoss, std::move(message));
 }
 
 }  // namespace rmp

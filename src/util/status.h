@@ -30,6 +30,10 @@ enum class ErrorCode {
   kIoError,       // Local disk / socket syscall failure.
   kFailedPrecondition,
   kInternal,
+  kDataLoss,      // Page content is gone from every source: the failure
+                  // exceeded the policy's tolerance (e.g. both mirror
+                  // replicas dead). Unlike kUnavailable this is permanent —
+                  // retrying cannot help, and the pager must surface it.
 };
 
 // Returns a stable human-readable name, e.g. "NO_SPACE".
@@ -74,6 +78,7 @@ Status CorruptionError(std::string message);
 Status IoError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
+Status DataLossError(std::string message);
 
 // Result<T>: a T or an error Status. Minimal std::expected stand-in (C++20).
 template <typename T>

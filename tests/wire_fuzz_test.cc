@@ -1,0 +1,235 @@
+// Negative and fuzz tests of the wire protocol boundary.
+//
+// The client trusts nothing it reads off a socket: a truncated frame, a
+// batch count past the limit, a payload length that would drive an unbounded
+// allocation, or a flipped bit must all surface as clean Status errors — no
+// aborts, no giant allocations, no partially-applied batches. The seeded
+// byte-flip sweeps are deterministic, so any frame that ever breaks the
+// decoder is reproducible from the iteration number.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/proto/wire.h"
+#include "src/server/memory_server.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace rmp {
+namespace {
+
+Message SamplePageOut() {
+  PageBuffer page;
+  FillPattern(page.span(), 42);
+  return MakePageOut(7, 3, page.span());
+}
+
+std::vector<Message> SampleMessages() {
+  std::vector<Message> samples;
+  samples.push_back(MakeAllocRequest(1, 16));
+  samples.push_back(MakeLoadQuery(2));
+  samples.push_back(SamplePageOut());
+  samples.push_back(MakePageIn(3, 5));
+  PageBuffer page;
+  FillPattern(page.span(), 9);
+  const uint64_t slots[2] = {4, 9};
+  std::vector<uint8_t> pages(2 * kPageSize);
+  FillPattern(std::span<uint8_t>(pages).first(kPageSize), 10);
+  FillPattern(std::span<uint8_t>(pages).subspan(kPageSize), 11);
+  samples.push_back(MakePageOutBatch(4, slots, pages));
+  samples.push_back(MakePageInBatch(5, slots));
+  return samples;
+}
+
+// --- Truncation -------------------------------------------------------------
+
+TEST(WireFuzzTest, EveryTruncationOfAFrameIsACleanError) {
+  const std::vector<uint8_t> bytes = Encode(SamplePageOut());
+  // Every strict prefix must decode to an error, never crash or succeed.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = Decode(std::span<const uint8_t>(bytes.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  auto whole = Decode(bytes);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, SamplePageOut());
+}
+
+TEST(WireFuzzTest, FrameReaderSurvivesBytewiseFeeding) {
+  const Message original = SamplePageOut();
+  const std::vector<uint8_t> bytes = Encode(original);
+  FrameReader reader;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // Until the last byte lands the reader must keep asking for more.
+    auto premature = reader.Next();
+    ASSERT_FALSE(premature.ok());
+    ASSERT_EQ(premature.status().code(), ErrorCode::kNotFound) << "at byte " << i;
+    reader.Feed(std::span<const uint8_t>(bytes.data() + i, 1));
+  }
+  auto complete = reader.Next();
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_EQ(*complete, original);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(WireFuzzTest, FrameReaderSplitsCoalescedMessages) {
+  std::vector<uint8_t> stream = Encode(MakeLoadQuery(1));
+  EncodeTo(SamplePageOut(), &stream);
+  EncodeTo(MakeAllocRequest(2, 8), &stream);
+  FrameReader reader;
+  reader.Feed(stream);
+  ASSERT_TRUE(reader.Next().ok());
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, SamplePageOut());
+  ASSERT_TRUE(reader.Next().ok());
+  EXPECT_FALSE(reader.Next().ok());  // Stream drained.
+}
+
+TEST(WireFuzzTest, FrameReaderRejectsDesynchronizedStream) {
+  std::vector<uint8_t> stream = Encode(MakeLoadQuery(1));
+  stream[0] ^= 0xff;  // Garbage where the magic should be.
+  FrameReader reader;
+  reader.Feed(stream);
+  auto result = reader.Next();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kProtocol);
+}
+
+// --- Hostile header fields --------------------------------------------------
+
+TEST(WireFuzzTest, OversizedPayloadLengthIsRejectedBeforeAllocation) {
+  std::vector<uint8_t> bytes = Encode(MakeLoadQuery(1));
+  // Patch payload_len (the 4 bytes after the 48-byte header) to a value that
+  // would demand a multi-gigabyte allocation if trusted.
+  const uint32_t huge = kMaxWirePayload + 1;
+  std::memcpy(bytes.data() + kWireHeaderSize, &huge, sizeof(huge));
+  auto decoded = Decode(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+  // The incremental reader must reject it too, not buffer forever.
+  FrameReader reader;
+  reader.Feed(bytes);
+  auto streamed = reader.Next();
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireFuzzTest, CorruptPayloadFailsTheCrc) {
+  std::vector<uint8_t> bytes = Encode(SamplePageOut());
+  bytes[bytes.size() - 1] ^= 0x01;  // One flipped payload bit.
+  auto decoded = Decode(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kCorruption);
+}
+
+TEST(WireFuzzTest, UnknownMessageTypeIsAProtocolError) {
+  std::vector<uint8_t> bytes = Encode(MakeLoadQuery(1));
+  bytes[4] = 0xee;  // The type byte follows the 4-byte magic.
+  auto decoded = Decode(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+}
+
+// --- Batch validation -------------------------------------------------------
+
+Message RawBatch(MessageType type, uint64_t count, size_t payload_bytes) {
+  Message message;
+  message.type = type;
+  message.request_id = 1;
+  message.count = count;
+  message.payload.assign(payload_bytes, 0);
+  return message;
+}
+
+TEST(WireFuzzTest, BatchCountPastTheLimitIsRejected) {
+  // A pagein batch claiming kMaxBatchPages + 1 slots, payload sized to match:
+  // the count bound must trip before anything trusts the layout.
+  const uint64_t count = kMaxBatchPages + 1;
+  auto verdict = ValidateBatch(RawBatch(MessageType::kPageInBatch, count, count * 8));
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireFuzzTest, BatchCountZeroIsRejected) {
+  auto verdict = ValidateBatch(RawBatch(MessageType::kPageInBatch, 0, 0));
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireFuzzTest, BatchPayloadSizeMismatchIsRejected) {
+  // Claims 3 slots but carries only 2 slots' worth of bytes.
+  auto verdict = ValidateBatch(RawBatch(MessageType::kPageInBatch, 3, 2 * 8));
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), ErrorCode::kProtocol);
+  // Pageout batch whose payload is one byte short of count * (slot + page).
+  auto truncated =
+      ValidateBatch(RawBatch(MessageType::kPageOutBatch, 2, 2 * (8 + kPageSize) - 1));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), ErrorCode::kProtocol);
+}
+
+TEST(WireFuzzTest, ServerAnswersMalformedBatchWithCleanError) {
+  MemoryServer server;
+  // Hostile counts and layouts must produce an error reply, never abort or
+  // partially apply.
+  for (const auto& hostile :
+       {RawBatch(MessageType::kPageInBatch, kMaxBatchPages + 1, (kMaxBatchPages + 1) * 8),
+        RawBatch(MessageType::kPageInBatch, 0, 0),
+        RawBatch(MessageType::kPageInBatch, 4, 8),
+        RawBatch(MessageType::kPageOutBatch, 2, 8 + kPageSize)}) {
+    const Message reply = server.Handle(hostile);
+    EXPECT_EQ(reply.type, MessageType::kErrorReply);
+    EXPECT_NE(reply.status_code(), ErrorCode::kOk);
+  }
+  EXPECT_EQ(server.live_pages(), 0u);
+  EXPECT_EQ(server.stats().bytes_stored.load(), 0u);
+}
+
+// --- Seeded random corruption sweeps ---------------------------------------
+
+TEST(WireFuzzTest, RandomByteFlipsNeverBreakTheDecoder) {
+  const std::vector<Message> samples = SampleMessages();
+  Rng rng(0xf02dULL);
+  MemoryServer server;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> bytes = Encode(samples[static_cast<size_t>(iter) % samples.size()]);
+    const int flips = 1 + static_cast<int>(rng.Below(3));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.Below(bytes.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    // The decoder must return — ok (the flip hit a don't-care field and the
+    // CRC still holds) or a clean error — and a message it does accept must
+    // then pass harmlessly through the server's dispatcher.
+    auto decoded = Decode(bytes);
+    if (decoded.ok()) {
+      const Message reply = server.Handle(*decoded);
+      EXPECT_NE(reply.type, MessageType::kPageOut) << "iteration " << iter;
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomTruncationsNeverBreakTheFrameReader) {
+  const std::vector<Message> samples = SampleMessages();
+  Rng rng(0xfeedULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::vector<uint8_t> bytes =
+        Encode(samples[static_cast<size_t>(iter) % samples.size()]);
+    FrameReader reader;
+    // Feed a random-length prefix, then the rest; possibly flip one byte.
+    const size_t cut = rng.Below(bytes.size());
+    std::vector<uint8_t> mutated = bytes;
+    if (rng.Bernoulli(0.5)) {
+      mutated[rng.Below(mutated.size())] ^= 0x10;
+    }
+    reader.Feed(std::span<const uint8_t>(mutated.data(), cut));
+    (void)reader.Next();  // May be NotFound or a hard error; must not abort.
+    reader.Feed(std::span<const uint8_t>(mutated.data() + cut, mutated.size() - cut));
+    (void)reader.Next();
+  }
+}
+
+}  // namespace
+}  // namespace rmp
