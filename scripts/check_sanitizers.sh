@@ -2,10 +2,11 @@
 # Sanitizer gate for the fault-injection conformance suites.
 #
 # Builds the tree under ASan+UBSan (RMP_SANITIZE=address enables both, see the
-# top-level CMakeLists.txt) and runs the `faults_smoke` ctest label — the
-# fault-injection, crash-recovery, and wire-fuzz suites — so every injected
-# interleaving is also exercised for memory and UB errors, not just for
-# byte-identical recovery. This complements the existing RMP_SANITIZE=thread
+# top-level CMakeLists.txt) and runs the `faults_smoke` and `repair_smoke`
+# ctest labels — the fault-injection, crash-recovery, wire-fuzz, and
+# self-healing (health/repair) suites — so every injected interleaving is
+# also exercised for memory and UB errors, not just for byte-identical
+# recovery. This complements the existing RMP_SANITIZE=thread
 # configuration that gates the pipelined transport's sender/receiver threads.
 #
 # Usage:
@@ -18,7 +19,10 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 sanitizers=("${@:-address}")
-label="${RMP_SMOKE_LABEL:-faults_smoke}"
+# The self-healing suites (health monitor heartbeat thread, repair
+# coordinator) carry the repair_smoke label; run them under the same
+# sanitizers so the background pump thread is raced under TSan too.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

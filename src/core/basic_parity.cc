@@ -1,5 +1,6 @@
 #include "src/core/basic_parity.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/util/logging.h"
@@ -226,6 +227,25 @@ Status BasicParityBackend::Recover(size_t peer_index, TimeNs* now) {
   RMP_LOG(kInfo) << "basic parity: rebuilt " << rebuilt << " rows onto "
                  << spare_server.name();
   return OkStatus();
+}
+
+Result<uint64_t> BasicParityBackend::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  (void)max_pages;
+  bool is_column = false;
+  for (const size_t column : columns_) {
+    if (column == peer) {
+      is_column = true;
+      break;
+    }
+  }
+  if (!is_column) {
+    return 0;  // Already swapped to the spare, or not a data column.
+  }
+  const int64_t before = stats_.reconstructions;
+  RMP_RETURN_IF_ERROR(Recover(peer, now));
+  // Even an empty column rebuild counts as one quantum of progress so the
+  // job completes on the next call, when the column swap makes this a no-op.
+  return static_cast<uint64_t>(std::max<int64_t>(1, stats_.reconstructions - before));
 }
 
 }  // namespace rmp

@@ -45,6 +45,14 @@ class BasicParityBackend final : public RemotePagerBase {
   // recovery, by XORing the parity row with the surviving columns.
   Status Recover(size_t peer_index, TimeNs* now);
 
+  // RepairCoordinator hook. The in-place scheme's stripe geometry is fixed,
+  // so the rebuild onto the spare is one-shot (the whole column in a single
+  // call, ignoring `max_pages`); after the column swap a second call sees no
+  // trace of the dead peer and reports completion. A crash of the parity
+  // peer or a non-column peer is reported complete immediately — rebuilding
+  // the parity column is out of scope for this rejected baseline.
+  Result<uint64_t> RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
+
   // Registers an unused peer as the hot spare recovery rebuilds onto.
   void SetSpare(size_t peer_index) { spare_peer_ = peer_index; }
 

@@ -40,6 +40,14 @@ void ServerPeer::DropPool() {
   returned_.clear();
 }
 
+void ServerPeer::Reset() {
+  DropPool();
+  stopped_ = false;
+  no_new_extents_ = false;
+  known_free_pages_ = 0;
+  alive_ = true;
+}
+
 Status ServerPeer::AllocExtent(uint64_t pages) {
   auto reply = transport_->Call(MakeAllocRequest(NextRequestId(), pages));
   if (!reply.ok()) {
@@ -261,6 +269,54 @@ Result<ServerPeer::LoadInfo> ServerPeer::QueryLoad() {
   info.advise_stop = reply->advise_stop();
   known_free_pages_ = info.free_pages;
   return info;
+}
+
+Result<ServerPeer::HeartbeatInfo> ServerPeer::Heartbeat() {
+  auto reply = transport_->Call(MakeHeartbeat(NextRequestId()));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kHeartbeatAck) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "heartbeat refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to HEARTBEAT on " + name_);
+  }
+  HeartbeatInfo info;
+  info.incarnation = reply->slot;
+  info.free_pages = reply->count;
+  info.total_pages = reply->aux;
+  info.advise_stop = reply->advise_stop();
+  known_free_pages_ = info.free_pages;
+  return info;
+}
+
+Status ServerPeer::MigrateRead(uint64_t slot, std::span<uint8_t> out) {
+  if (out.size() != kPageSize) {
+    return InvalidArgumentError("migrate target must be kPageSize");
+  }
+  auto reply = transport_->Call(MakeMigrate(NextRequestId(), slot));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kMigrateReply) {
+    return ProtocolError("unexpected reply to MIGRATE on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+    }
+    return Status(reply->status_code(), "migrate failed on " + name_);
+  }
+  if (reply->payload.size() != kPageSize) {
+    return ProtocolError("short migrate payload from " + name_);
+  }
+  std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
+  ++pages_fetched_;
+  return OkStatus();
 }
 
 Result<size_t> Cluster::MostPromising(bool refresh) {

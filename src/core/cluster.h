@@ -50,7 +50,20 @@ class ServerPeer {
 
   bool alive() const { return alive_; }
   void mark_dead() { alive_ = false; }
+  // Pure liveness flip, used on the hot retry path when a peer was only
+  // *pessimistically* marked dead by a failed RPC: the pool and ADVISE_STOP
+  // state are still accurate, so they must survive. A peer that genuinely
+  // went away and came back must go through Reset() instead — flipping
+  // alive_ alone would revive it with a poisoned slot pool (stale extents
+  // the restarted server no longer accounts for) and a latched
+  // no_new_extents_ from its previous life.
   void mark_alive() { alive_ = true; }
+
+  // The single full-revival path: drops the (now meaningless) slot pool,
+  // clears ADVISE_STOP and stop state, forgets stale load info, and marks
+  // the peer alive. Called when a restarted or re-admitted server rejoins
+  // the cluster (RepairCoordinator, policy recovery).
+  void Reset();
 
   uint64_t known_free_pages() const { return known_free_pages_; }
   void set_known_free_pages(uint64_t pages) { known_free_pages_ = pages; }
@@ -113,6 +126,22 @@ class ServerPeer {
     bool advise_stop = false;
   };
   Result<LoadInfo> QueryLoad();
+
+  // Lightweight liveness probe (HEARTBEAT). Success does NOT flip alive_ —
+  // state transitions belong to the HealthMonitor, which also needs to see
+  // a dead peer answering (that is the REJOINING signal). Failure marks the
+  // peer dead like every other RPC.
+  struct HeartbeatInfo {
+    uint64_t incarnation = 0;
+    uint64_t free_pages = 0;
+    uint64_t total_pages = 0;
+    bool advise_stop = false;
+  };
+  Result<HeartbeatInfo> Heartbeat();
+
+  // MIGRATE: reads the page at `slot` into `out` and frees the slot on the
+  // server in one round trip (the §2.1 drain path's read side).
+  Status MigrateRead(uint64_t slot, std::span<uint8_t> out);
 
   // Counters.
   int64_t pages_sent() const { return pages_sent_; }

@@ -1,0 +1,239 @@
+#include "src/core/health.h"
+
+#include <chrono>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+std::string_view PeerHealthName(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kAlive:
+      return "ALIVE";
+    case PeerHealth::kSuspect:
+      return "SUSPECT";
+    case PeerHealth::kDead:
+      return "DEAD";
+    case PeerHealth::kRejoining:
+      return "REJOINING";
+  }
+  return "UNKNOWN";
+}
+
+HealthMonitor::HealthMonitor(Cluster* cluster, const HealthParams& params)
+    : cluster_(cluster), params_(params), peers_(cluster->size()) {}
+
+HealthMonitor::~HealthMonitor() { StopBackgroundPump(); }
+
+void HealthMonitor::TransitionLocked(size_t peer, PeerHealth to, bool rebooted,
+                                     std::vector<HealthEvent>* events) {
+  PeerState& state = peers_[peer];
+  if (state.health == to) {
+    return;
+  }
+  ServerPeer& p = cluster_->peer(peer);
+  // Leaving SUSPECT releases the stop we placed; entering it places one.
+  if (state.health == PeerHealth::kSuspect && state.stopped_by_monitor) {
+    p.set_stopped(false);
+    state.stopped_by_monitor = false;
+  }
+  switch (to) {
+    case PeerHealth::kSuspect:
+      // Quarantine: no new placements, but reads still try the peer — the
+      // crash is not yet confirmed and the pool is presumed intact.
+      if (!p.stopped()) {
+        p.set_stopped(true);
+        state.stopped_by_monitor = true;
+      }
+      p.mark_alive();
+      break;
+    case PeerHealth::kDead:
+      // Confirmed: every policy should lay in its degraded path now rather
+      // than discover the crash one failed RPC at a time.
+      p.mark_dead();
+      break;
+    case PeerHealth::kAlive:
+      p.mark_alive();
+      break;
+    case PeerHealth::kRejoining:
+      // The server answers again but is not re-admitted yet: a rebooted
+      // server holds none of the pages our tables map to it, so it stays
+      // dead (degraded paths keep working) until the RepairCoordinator has
+      // restored redundancy and Reset() the peer.
+      p.mark_dead();
+      break;
+  }
+  HealthEvent event;
+  event.peer = peer;
+  event.from = state.health;
+  event.to = to;
+  event.rebooted = rebooted;
+  state.health = to;
+  ++stats_.transitions;
+  if (events != nullptr) {
+    events->push_back(event);
+  }
+  RMP_LOG(kInfo) << "health: " << p.name() << " " << PeerHealthName(event.from) << " -> "
+                 << PeerHealthName(to) << (rebooted ? " (rebooted)" : "");
+}
+
+void HealthMonitor::MissLocked(size_t peer, bool connection_down,
+                               std::vector<HealthEvent>* events) {
+  PeerState& state = peers_[peer];
+  ++stats_.heartbeats_missed;
+  ++state.missed;
+  if (state.health == PeerHealth::kDead) {
+    return;  // Already counted out.
+  }
+  if (state.health == PeerHealth::kRejoining) {
+    // It answered once and vanished again.
+    TransitionLocked(peer, PeerHealth::kDead, false, events);
+    return;
+  }
+  if (connection_down || state.missed >= params_.dead_after) {
+    TransitionLocked(peer, PeerHealth::kDead, false, events);
+    return;
+  }
+  if (state.missed >= params_.suspect_after) {
+    TransitionLocked(peer, PeerHealth::kSuspect, false, events);
+    return;
+  }
+  // Below the suspicion threshold: the probe pessimistically marked the
+  // peer dead (like every failed RPC); restore it — one lost message on a
+  // live connection is transient by definition.
+  if (cluster_->peer(peer).transport().connected()) {
+    cluster_->peer(peer).mark_alive();
+  }
+}
+
+void HealthMonitor::ProbeLocked(size_t peer, std::vector<HealthEvent>* events) {
+  ServerPeer& p = cluster_->peer(peer);
+  ++stats_.heartbeats_sent;
+  auto info = p.Heartbeat();
+  if (!info.ok()) {
+    MissLocked(peer, !p.transport().connected(), events);
+    return;
+  }
+  PeerState& state = peers_[peer];
+  state.missed = 0;
+  const bool rebooted = state.incarnation != 0 && info->incarnation != state.incarnation;
+  state.incarnation = info->incarnation;
+  switch (state.health) {
+    case PeerHealth::kAlive:
+    case PeerHealth::kSuspect:
+      if (rebooted) {
+        // Crash + restart faster than detection: the ack proves the server
+        // is up, and the incarnation proves our pages did not survive it.
+        TransitionLocked(peer, PeerHealth::kRejoining, true, events);
+        return;
+      }
+      if (state.health == PeerHealth::kSuspect) {
+        TransitionLocked(peer, PeerHealth::kAlive, false, events);
+      } else {
+        // A data-path RPC may have pessimistically marked the peer dead and
+        // given up; a fresh ack with an unchanged incarnation is proof the
+        // process never went away, so the pool is still accounted for.
+        p.mark_alive();
+      }
+      if (info->advise_stop != state.overload_advised) {
+        state.overload_advised = info->advise_stop;
+        p.set_no_new_extents(info->advise_stop);
+        HealthEvent event;
+        event.peer = peer;
+        event.from = PeerHealth::kAlive;
+        event.to = PeerHealth::kAlive;
+        event.overloaded = info->advise_stop;
+        if (events != nullptr) {
+          events->push_back(event);
+        }
+      }
+      return;
+    case PeerHealth::kDead:
+      TransitionLocked(peer, PeerHealth::kRejoining, rebooted, events);
+      return;
+    case PeerHealth::kRejoining:
+      return;  // Waiting for the RepairCoordinator to re-admit.
+  }
+}
+
+void HealthMonitor::Tick(TimeNs now, std::vector<HealthEvent>* events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    PeerState& state = peers_[i];
+    if (state.next_heartbeat > now) {
+      continue;
+    }
+    state.next_heartbeat = now + params_.heartbeat_interval;
+    ProbeLocked(i, events);
+  }
+}
+
+void HealthMonitor::ReportUnavailable(size_t peer, std::vector<HealthEvent>* events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MissLocked(peer, !cluster_->peer(peer).transport().connected(), events);
+}
+
+void HealthMonitor::MarkReadmitted(size_t peer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PeerState& state = peers_[peer];
+  if (state.health != PeerHealth::kRejoining) {
+    return;
+  }
+  state.missed = 0;
+  state.overload_advised = false;
+  TransitionLocked(peer, PeerHealth::kAlive, false, nullptr);
+}
+
+PeerHealth HealthMonitor::health(size_t peer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_[peer].health;
+}
+
+HealthStats HealthMonitor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void HealthMonitor::StartBackgroundPump(DurationNs wall_period,
+                                        std::function<void(const HealthEvent&)> on_event) {
+  StopBackgroundPump();
+  {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    pump_stop_ = false;
+  }
+  pump_ = std::thread([this, wall_period, on_event = std::move(on_event)] {
+    std::unique_lock<std::mutex> lock(pump_mutex_);
+    while (!pump_stop_) {
+      pump_cv_.wait_for(lock, std::chrono::nanoseconds(wall_period), [this] { return pump_stop_; });
+      if (pump_stop_) {
+        return;
+      }
+      // One simulated heartbeat interval elapses per wall tick, so every
+      // peer is probed each round regardless of the wall period chosen.
+      pump_clock_ += params_.heartbeat_interval;
+      const TimeNs tick_now = pump_clock_;
+      lock.unlock();
+      std::vector<HealthEvent> events;
+      Tick(tick_now, &events);
+      if (on_event != nullptr) {
+        for (const HealthEvent& event : events) {
+          on_event(event);
+        }
+      }
+      lock.lock();
+    }
+  });
+}
+
+void HealthMonitor::StopBackgroundPump() {
+  {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    pump_stop_ = true;
+  }
+  pump_cv_.notify_all();
+  if (pump_.joinable()) {
+    pump_.join();
+  }
+}
+
+}  // namespace rmp

@@ -1,0 +1,148 @@
+// Cluster health monitor: the membership half of the self-healing layer
+// (DESIGN.md §11).
+//
+// The paper's client notices a dead server only when an RPC against it fails
+// (§2.2); until then a crashed peer silently holds pages that no longer
+// exist. The HealthMonitor closes that gap with periodic lightweight
+// HEARTBEAT probes and a per-peer state machine:
+//
+//   ALIVE --(missed >= suspect_after)--> SUSPECT
+//   SUSPECT --(missed >= dead_after, or connection down)--> DEAD
+//   DEAD --(heartbeat answered)--> REJOINING
+//   REJOINING --(RepairCoordinator re-admits)--> ALIVE
+//   SUSPECT --(heartbeat answered)--> ALIVE
+//
+// A SUSPECT peer is stopped (no new placements) but still serves reads; a
+// DEAD peer is marked dead so every policy lays in its degraded path at once
+// instead of discovering the crash one failed RPC at a time. The heartbeat
+// ack carries the server's *incarnation*, so REJOINING distinguishes a
+// rebooted-empty server (incarnation changed: its pages are gone and the
+// RepairCoordinator must finish rebuilding before re-admission) from a
+// healed network partition (incarnation unchanged: pages intact).
+//
+// Timing is driven entirely by the caller's simulated clock via Tick(), so
+// conformance tests replay deterministically from a seed. For live (TCP)
+// deployments StartBackgroundPump() runs the same Tick loop on a wall-clock
+// thread; the sanitizer suites exercise that mode.
+
+#ifndef SRC_CORE_HEALTH_H_
+#define SRC_CORE_HEALTH_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+enum class PeerHealth { kAlive, kSuspect, kDead, kRejoining };
+
+std::string_view PeerHealthName(PeerHealth health);
+
+struct HealthParams {
+  // Period between HEARTBEAT probes to each peer (simulated time).
+  DurationNs heartbeat_interval = Millis(50);
+  // Consecutive missed heartbeats before ALIVE degrades to SUSPECT.
+  int suspect_after = 1;
+  // Consecutive missed heartbeats before the peer is declared DEAD. A
+  // heartbeat that fails with the connection down skips straight here —
+  // the process is gone, not just a message.
+  int dead_after = 3;
+};
+
+// One observation the monitor wants the RepairCoordinator (or a test) to
+// react to. State transitions carry from != to; an overload observation
+// (ADVISE_STOP appearing or clearing on a healthy peer's ack) carries
+// from == to == kAlive with `overloaded` holding the new advice.
+struct HealthEvent {
+  size_t peer = 0;
+  PeerHealth from = PeerHealth::kAlive;
+  PeerHealth to = PeerHealth::kAlive;
+  // Set on transitions into kRejoining: the incarnation changed while the
+  // peer was away, so its memory is empty (reboot), as opposed to a healed
+  // partition with pages intact.
+  bool rebooted = false;
+  // Meaningful on from == to == kAlive events: the peer's latest ADVISE_STOP
+  // advice. true asks the coordinator to drain it (§2.1).
+  bool overloaded = false;
+};
+
+struct HealthStats {
+  int64_t heartbeats_sent = 0;
+  int64_t heartbeats_missed = 0;
+  int64_t transitions = 0;
+};
+
+class HealthMonitor {
+ public:
+  // `cluster` must outlive the monitor. Peer count is fixed at construction.
+  explicit HealthMonitor(Cluster* cluster, const HealthParams& params = HealthParams());
+  ~HealthMonitor();  // Stops the background pump if running.
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  // Deterministic pump: sends every heartbeat due at simulated time `now`,
+  // applies the state machine, and appends resulting events to *events
+  // (which is not cleared). Also flips the peers' coarse flags: a SUSPECT
+  // peer is stopped, a DEAD peer is marked dead. Thread-safe.
+  void Tick(TimeNs now, std::vector<HealthEvent>* events);
+
+  // The PR-3 failure-detector signal: an RPC against `peer` just failed
+  // after retries. A dead connection is hard evidence (straight to DEAD);
+  // otherwise it counts like one missed heartbeat.
+  void ReportUnavailable(size_t peer, std::vector<HealthEvent>* events);
+
+  // REJOINING -> ALIVE once the RepairCoordinator has re-admitted the peer
+  // (ServerPeer::Reset() done, swap space re-grantable).
+  void MarkReadmitted(size_t peer);
+
+  PeerHealth health(size_t peer) const;
+  HealthStats stats() const;
+
+  // Wall-clock mode for live deployments: a thread calls Tick() every
+  // `wall_period`, advancing the internal simulated clock by one heartbeat
+  // interval per tick. Events are delivered to `on_event` (may be null)
+  // outside the monitor lock. The deterministic Tick() API must not be
+  // mixed with a running pump.
+  void StartBackgroundPump(DurationNs wall_period,
+                           std::function<void(const HealthEvent&)> on_event = nullptr);
+  void StopBackgroundPump();
+
+ private:
+  struct PeerState {
+    PeerHealth health = PeerHealth::kAlive;
+    TimeNs next_heartbeat = 0;  // 0 = due at the first tick.
+    int missed = 0;
+    uint64_t incarnation = 0;  // Last seen; 0 = never heard from.
+    bool overload_advised = false;
+    bool stopped_by_monitor = false;  // We stopped it; only we un-stop it.
+  };
+
+  // All Locked helpers require mutex_ held.
+  void ProbeLocked(size_t peer, std::vector<HealthEvent>* events);
+  void MissLocked(size_t peer, bool connection_down, std::vector<HealthEvent>* events);
+  void TransitionLocked(size_t peer, PeerHealth to, bool rebooted,
+                        std::vector<HealthEvent>* events);
+
+  Cluster* cluster_;
+  HealthParams params_;
+
+  mutable std::mutex mutex_;
+  std::vector<PeerState> peers_;
+  HealthStats stats_;
+
+  std::thread pump_;
+  std::condition_variable pump_cv_;
+  std::mutex pump_mutex_;
+  bool pump_stop_ = false;
+  TimeNs pump_clock_ = 0;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_HEALTH_H_

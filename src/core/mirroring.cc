@@ -202,12 +202,22 @@ Result<TimeNs> MirroringBackend::PageIn(TimeNs now, uint64_t page_id, std::span<
   return DataLossError("both replicas of page " + std::to_string(page_id) + " unreachable");
 }
 
-Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
+Result<uint64_t> MirroringBackend::ResilverChunk(size_t peer_index, uint64_t max_pages,
+                                                 TimeNs* now) {
+  if (max_pages == 0) {
+    return InvalidArgumentError("resilver chunk must be at least one page");
+  }
   std::vector<uint64_t> orphaned;
   for (const auto& [page_id, entry] : table_) {
     if (entry.copies[0].peer == peer_index || entry.copies[1].peer == peer_index) {
       orphaned.push_back(page_id);
+      if (orphaned.size() >= max_pages) {
+        break;
+      }
     }
+  }
+  if (orphaned.empty()) {
+    return 0;  // Every page is fully replicated again.
   }
   // Resilver in bulk: orphans cluster on the few surviving servers, so the
   // reads batch per survivor; the replacement writes then batch per
@@ -274,7 +284,75 @@ Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
   stats_.reconstructions += static_cast<int64_t>(orphaned.size());
   RMP_LOG(kInfo) << "mirroring: re-replicated " << orphaned.size() << " pages after crash of peer "
                  << peer_index;
-  return OkStatus();
+  return orphaned.size();
+}
+
+Status MirroringBackend::Recover(size_t peer_index, TimeNs* now) {
+  while (true) {
+    auto done = ResilverChunk(peer_index, kMaxBatchPages, now);
+    if (!done.ok()) {
+      return done.status();
+    }
+    if (*done == 0) {
+      return OkStatus();
+    }
+  }
+}
+
+Result<uint64_t> MirroringBackend::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  return ResilverChunk(peer, max_pages, now);
+}
+
+Result<uint64_t> MirroringBackend::MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  ServerPeer& source = cluster_.peer(peer);
+  if (!source.alive()) {
+    return UnavailableError("cannot migrate replicas off a crashed server");
+  }
+  // Stop placements first so the drain converges (and so WriteNewReplica
+  // below never re-targets the server being drained).
+  if (!source.stopped()) {
+    source.set_stopped(true);
+  }
+  std::vector<uint64_t> victims;
+  for (const auto& [page_id, entry] : table_) {
+    if (entry.copies[0].peer == peer || entry.copies[1].peer == peer) {
+      victims.push_back(page_id);
+      if (victims.size() >= max_pages) {
+        break;
+      }
+    }
+  }
+  if (victims.empty()) {
+    return 0;  // Drained: no replica lives on the peer any more.
+  }
+  PageBuffer buffer;
+  for (const uint64_t page_id : victims) {
+    MirrorEntry& entry = table_.at(page_id);
+    const int c = entry.copies[0].peer == peer ? 0 : 1;
+    const Replica old = entry.copies[c];
+    // MIGRATE reads the replica and frees its slot in one round trip.
+    Status read = source.MigrateRead(old.slot, buffer.span());
+    if (read.ok()) {
+      *now = ChargePageTransfer(*now, peer);
+    } else {
+      if (!IsRetryableError(read)) {
+        return read;
+      }
+      // The overloaded server dropped the request; the mirror still has the
+      // bytes, so migrate via the surviving copy and free best-effort.
+      source.mark_alive();
+      const Replica& live = entry.copies[1 - c];
+      RMP_RETURN_IF_ERROR(ReliablePageIn(live.peer, live.slot, buffer.span(), now));
+      *now = ChargePageTransfer(*now, live.peer);
+      (void)source.FreeOn(old.slot, 1);
+    }
+    auto replica = WriteNewReplica(now, buffer.span(), entry.copies[1 - c].peer);
+    if (!replica.ok()) {
+      return replica.status();  // e.g. kNoSpace: nowhere left to drain to.
+    }
+    entry.copies[c] = *replica;
+  }
+  return victims.size();
 }
 
 int64_t MirroringBackend::fully_replicated_pages() const {

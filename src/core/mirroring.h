@@ -28,8 +28,19 @@ class MirroringBackend final : public RemotePagerBase {
 
   // Re-establishes two live replicas for every page that lost one to the
   // crash of `peer_index`. Charged against *now; also invoked lazily by
-  // PageIn when it trips over a dead primary.
+  // PageIn when it trips over a dead primary. Implemented as a loop over
+  // ResilverChunk, so it shares every code path with the incremental
+  // RepairStep the RepairCoordinator drives.
   Status Recover(size_t peer_index, TimeNs* now);
+
+  // Incremental resilver: re-replicates up to `max_pages` orphaned copies
+  // per call; 0 = every page is fully replicated again.
+  Result<uint64_t> RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
+
+  // Overload drain (§2.1): moves up to `max_pages` replicas off the live
+  // peer onto other servers with MIGRATE (read + free in one round trip),
+  // keeping both copies of every page on distinct servers throughout.
+  Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
   // Number of pages currently holding two live replicas (invariant probe).
   int64_t fully_replicated_pages() const;
@@ -57,6 +68,9 @@ class MirroringBackend final : public RemotePagerBase {
   // mid-write is repaired onto a different peer via WriteNewReplica.
   Status JoinReplicaWrites(TimeNs* now, std::span<const uint8_t> data, MirrorEntry* entry,
                            RpcFuture futures[2], const bool issued[2]);
+
+  // One bounded resilver pass (the body RepairStep and Recover share).
+  Result<uint64_t> ResilverChunk(size_t peer_index, uint64_t max_pages, TimeNs* now);
 
   std::unordered_map<uint64_t, MirrorEntry> table_;
 };

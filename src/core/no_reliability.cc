@@ -248,33 +248,52 @@ Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
   return now;
 }
 
-Status NoReliabilityBackend::MigrateFrom(size_t peer_index, TimeNs* now) {
+Result<uint64_t> NoReliabilityBackend::MigrateStep(size_t peer_index, uint64_t max_pages,
+                                                   TimeNs* now) {
   ServerPeer& source = cluster_.peer(peer_index);
   if (!source.alive()) {
     return UnavailableError("cannot migrate from a crashed server");
   }
-  source.set_stopped(true);
+  if (!source.stopped()) {
+    source.set_stopped(true);
+  }
   std::vector<uint64_t> victims;
   for (const auto& [page_id, loc] : table_) {
     if (!loc.on_disk && loc.peer == peer_index) {
       victims.push_back(page_id);
+      if (victims.size() >= max_pages) {
+        break;
+      }
     }
   }
   PageBuffer buffer;
   for (const uint64_t page_id : victims) {
     const Location loc = table_[page_id];
-    RMP_RETURN_IF_ERROR(source.PageInFrom(loc.slot, buffer.span()));
+    // MIGRATE reads the page and frees its slot in one round trip.
+    RMP_RETURN_IF_ERROR(source.MigrateRead(loc.slot, buffer.span()));
     *now = ChargePageTransfer(*now, peer_index);
     auto done = PlaceAndSend(*now, page_id, buffer.span());
     if (!done.ok()) {
       return done.status();
     }
     *now = *done;
-    // Release the old slot (best effort; the server may be reclaiming).
-    (void)source.FreeOn(loc.slot, 1);
-    source.ReturnSlot(loc.slot);
   }
-  RMP_LOG(kInfo) << "migrated " << victims.size() << " pages off " << source.name();
+  return victims.size();
+}
+
+Status NoReliabilityBackend::MigrateFrom(size_t peer_index, TimeNs* now) {
+  uint64_t total = 0;
+  while (true) {
+    auto moved = MigrateStep(peer_index, kMaxBatchPages, now);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    if (*moved == 0) {
+      break;
+    }
+    total += *moved;
+  }
+  RMP_LOG(kInfo) << "migrated " << total << " pages off " << cluster_.peer(peer_index).name();
   return OkStatus();
 }
 

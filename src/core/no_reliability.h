@@ -45,7 +45,13 @@ class NoReliabilityBackend final : public RemotePagerBase {
 
   // Moves every page held by `peer_index` to other servers (or disk).
   // Invoked automatically on ADVISE_STOP; public for tests and tools.
+  // Implemented as a loop over MigrateStep.
   Status MigrateFrom(size_t peer_index, TimeNs* now);
+
+  // Overload drain quantum for the RepairCoordinator: moves up to
+  // `max_pages` pages off the (live) peer using MIGRATE round trips;
+  // 0 = the peer no longer holds any page.
+  Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
   // Replicates disk-parked pages back to servers with free memory (§2.1:
   // "the client periodically checks the memory load of all possible remote

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "src/util/logging.h"
 
@@ -423,42 +424,92 @@ Status ParityLoggingBackend::GarbageCollect(TimeNs* now) {
 }
 
 Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
-  ServerPeer& failed = cluster_.peer(peer_index);
+  // Unbounded budget: one chunk dissolves every affected group before any
+  // re-homing, which (unlike incremental chunks) frees all survivor slots
+  // up front — the legacy behavior tight-capacity callers rely on.
+  while (true) {
+    auto done = RepairStep(peer_index, std::numeric_limits<uint64_t>::max(), now);
+    if (!done.ok()) {
+      return done.status();
+    }
+    if (*done == 0) {
+      return OkStatus();
+    }
+  }
+}
 
-  if (peer_index == parity_peer_) {
+Result<uint64_t> ParityLoggingBackend::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  if (max_pages == 0) {
+    return InvalidArgumentError("repair chunk must be at least one page");
+  }
+  if (peer == parity_peer_) {
+    return RebuildParityChunk(max_pages, now);
+  }
+  return RecoverDataChunk(peer, max_pages, now);
+}
+
+Result<uint64_t> ParityLoggingBackend::RebuildParityChunk(uint64_t max_pages, TimeNs* now) {
+  ServerPeer& parity = cluster_.peer(parity_peer_);
+  if (!parity_rebuild_active_) {
     // Data pages are intact; only redundancy was lost. A parity write caught
     // in flight by the crash is moot — every sealed group's parity is about
-    // to be rebuilt onto the (restarted) parity server.
+    // to be rebuilt onto the (restarted) parity server. Reset() is the
+    // single revival path: the stale slot pool and any leftover stop /
+    // extent-denial flags die with the server's previous life.
     (void)JoinParityFlush(now);
-    failed.DropPool();
-    failed.mark_alive();
-    // One batched read sweep stages every sealed entry client-side (the
-    // reads batch per data server across groups), then the rebuilt parity
-    // pages go back out as batched writes — instead of one message per page
-    // and per group.
-    std::vector<uint64_t> sealed_ids;
-    std::vector<PageWant> wants;
+    parity.Reset();
+    parity_rebuild_queue_.clear();
     for (const auto& [group_id, group] : groups_) {
-      if (!group.sealed) {
-        continue;  // The open group's parity is the client-side accumulator.
-      }
-      sealed_ids.push_back(group_id);
-      for (const GroupEntry& entry : group.entries) {
-        wants.push_back(PageWant{entry.peer, entry.slot});
+      if (group.sealed) {
+        parity_rebuild_queue_.push_back(group_id);
       }
     }
+    parity_rebuild_active_ = true;
+  }
+  // Pop a page budget's worth of groups off the queue (member reads plus one
+  // parity write per group). Groups reclaimed or dissolved since enqueue are
+  // skipped. The reads batch per data server across groups, and the rebuilt
+  // parity pages go back out as batched writes.
+  std::vector<uint64_t> chunk_ids;
+  std::vector<PageWant> wants;
+  uint64_t processed = 0;
+  size_t popped = 0;
+  while (popped < parity_rebuild_queue_.size()) {
+    const uint64_t group_id = parity_rebuild_queue_[popped];
+    auto git = groups_.find(group_id);
+    if (git == groups_.end() || !git->second.sealed) {
+      ++popped;
+      continue;
+    }
+    const uint64_t cost = git->second.entries.size() + 1;
+    if (!chunk_ids.empty() && processed + cost > max_pages) {
+      break;
+    }
+    for (const GroupEntry& entry : git->second.entries) {
+      wants.push_back(PageWant{entry.peer, entry.slot});
+    }
+    chunk_ids.push_back(group_id);
+    processed += cost;
+    ++popped;
+  }
+  if (chunk_ids.empty()) {
+    parity_rebuild_queue_.clear();
+    parity_rebuild_active_ = false;
+    return 0;  // Every sealed group has live parity again.
+  }
+  auto status = [&]() -> Status {
     std::vector<PageBuffer> pages;
     RMP_RETURN_IF_ERROR(BatchFetch(wants, &pages, now));
     std::vector<uint64_t> parity_slots;
     std::vector<uint8_t> parity_pages;
-    parity_slots.reserve(sealed_ids.size());
-    parity_pages.reserve(sealed_ids.size() * kPageSize);
+    parity_slots.reserve(chunk_ids.size());
+    parity_pages.reserve(chunk_ids.size() * kPageSize);
     size_t next_page = 0;
-    for (const uint64_t group_id : sealed_ids) {
+    for (const uint64_t group_id : chunk_ids) {
       ParityGroup& group = groups_.at(group_id);
-      PageBuffer parity;
+      PageBuffer rebuilt;
       for (size_t e = 0; e < group.entries.size(); ++e) {
-        parity.XorWith(pages[next_page++].span());
+        rebuilt.XorWith(pages[next_page++].span());
       }
       auto slot = TakeSlotOn(parity_peer_, now);
       if (!slot.ok()) {
@@ -466,12 +517,12 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
       }
       group.parity_slot = *slot;
       parity_slots.push_back(*slot);
-      parity_pages.insert(parity_pages.end(), parity.span().begin(), parity.span().end());
+      parity_pages.insert(parity_pages.end(), rebuilt.span().begin(), rebuilt.span().end());
     }
     for (size_t pos = 0; pos < parity_slots.size(); pos += kMaxBatchPages) {
       const size_t n = std::min<size_t>(kMaxBatchPages, parity_slots.size() - pos);
       // ADVISE_STOP from the parity server is ignored, as in FlushParity.
-      auto advise = failed.PageOutBatchTo(
+      auto advise = parity.PageOutBatchTo(
           std::span<const uint64_t>(parity_slots).subspan(pos, n),
           std::span<const uint8_t>(parity_pages).subspan(pos * kPageSize, n * kPageSize));
       if (!advise.ok()) {
@@ -479,11 +530,26 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
       }
       *now = ChargePageBatchTransfer(*now, n, parity_peer_);
     }
-    stats_.reconstructions += static_cast<int64_t>(sealed_ids.size());
-    RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << sealed_ids.size() << " groups";
+    stats_.reconstructions += static_cast<int64_t>(chunk_ids.size());
+    RMP_LOG(kInfo) << "parity logging: rebuilt parity for " << chunk_ids.size() << " groups";
     return OkStatus();
+  }();
+  if (!status.ok()) {
+    // E.g. the parity server is not back yet. The retry re-enumerates from
+    // scratch; parity slots already written get re-provisioned rather than
+    // reused — a benign leak on a server that restarted empty.
+    parity_rebuild_queue_.clear();
+    parity_rebuild_active_ = false;
+    return status;
   }
+  parity_rebuild_queue_.erase(parity_rebuild_queue_.begin(),
+                              parity_rebuild_queue_.begin() + popped);
+  return processed;
+}
 
+Result<uint64_t> ParityLoggingBackend::RecoverDataChunk(size_t peer_index, uint64_t max_pages,
+                                                        TimeNs* now) {
+  ServerPeer& failed = cluster_.peer(peer_index);
   failed.mark_dead();
   failed.DropPool();
 
@@ -492,15 +558,32 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
   // to a double fault, which is beyond the single-crash guarantee.
   RMP_RETURN_IF_ERROR(JoinParityFlush(now));
 
-  // Collect affected groups (any entry on the dead server), including open.
+  // Collect affected groups (any entry on the dead server), including open,
+  // up to the page budget (survivor reads plus a parity read per sealed
+  // group). The scan is stateless: groups dissolved by earlier chunks no
+  // longer reference the peer, so repeated calls converge to 0.
   std::vector<uint64_t> affected;
+  uint64_t budget_used = 0;
   for (const auto& [group_id, group] : groups_) {
+    bool hit = false;
     for (const GroupEntry& entry : group.entries) {
       if (entry.peer == peer_index) {
-        affected.push_back(group_id);
+        hit = true;
         break;
       }
     }
+    if (!hit) {
+      continue;
+    }
+    const uint64_t cost = group.entries.size() + (group.sealed ? 1 : 0);
+    if (!affected.empty() && budget_used + cost > max_pages) {
+      break;
+    }
+    affected.push_back(group_id);
+    budget_used += cost;
+  }
+  if (affected.empty()) {
+    return 0;  // No group references the dead peer any more.
   }
 
   // Stage every read the reconstruction needs — each group's survivors plus
@@ -594,7 +677,49 @@ Status ParityLoggingBackend::Recover(size_t peer_index, TimeNs* now) {
   }
   RMP_LOG(kInfo) << "parity logging: recovered from crash of peer " << peer_index << ", re-homed "
                  << stash.size() << " pages across " << affected.size() << " groups";
-  return OkStatus();
+  return budget_used;
+}
+
+Result<uint64_t> ParityLoggingBackend::MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  if (peer == parity_peer_) {
+    return 0;  // The parity server's role is fixed; its ADVISE_STOP is ignored.
+  }
+  ServerPeer& source = cluster_.peer(peer);
+  if (!source.alive()) {
+    return UnavailableError("cannot migrate from a crashed server");
+  }
+  if (!source.stopped()) {
+    source.set_stopped(true);
+  }
+  std::vector<uint64_t> victims;
+  for (const auto& [group_id, group] : groups_) {
+    for (const GroupEntry& entry : group.entries) {
+      if (entry.active && entry.peer == peer) {
+        victims.push_back(entry.page_id);
+        if (victims.size() >= max_pages) {
+          break;
+        }
+      }
+    }
+    if (victims.size() >= max_pages) {
+      break;
+    }
+  }
+  if (victims.empty()) {
+    return 0;  // Only retired versions remain; their groups reclaim them.
+  }
+  PageBuffer buffer;
+  for (const uint64_t page_id : victims) {
+    const PageLocation loc = table_.at(page_id);
+    // A plain read, not MIGRATE: the old slot must survive until its group
+    // reclaims, because the group's parity covers those bytes (footnote 3).
+    const uint64_t slot = groups_.at(loc.group_id).entries[loc.entry_index].slot;
+    RMP_RETURN_IF_ERROR(ReliablePageIn(peer, slot, buffer.span(), now));
+    *now = ChargePageTransfer(*now, peer);
+    RetireOldVersion(page_id, now);
+    RMP_RETURN_IF_ERROR(PlacePage(page_id, buffer.span(), now));
+  }
+  return victims.size();
 }
 
 std::vector<ParityLoggingBackend::GroupSnapshot> ParityLoggingBackend::Snapshot() const {

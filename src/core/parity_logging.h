@@ -57,7 +57,24 @@ class ParityLoggingBackend final : public RemotePagerBase {
   // Reconstructs every page lost to the crash of `peer_index` (data or
   // parity server) and re-establishes redundancy. Affected groups are
   // dissolved: their active pages are re-paged-out into fresh groups.
+  // Implemented as a loop over RepairStep, so the one-shot and the
+  // coordinator-driven incremental paths share every line.
   Status Recover(size_t peer_index, TimeNs* now);
+
+  // Incremental repair quantum. For the parity server, rebuilds sealed
+  // groups' parity in queue-driven chunks; for a data server, dissolves a
+  // page budget's worth of affected groups per call (degraded XOR
+  // reconstruction of the lost member, survivors re-homed into fresh
+  // groups). 0 = redundancy fully restored.
+  Result<uint64_t> RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
+
+  // Overload drain (§2.1): re-pages-out up to `max_pages` *active* pages
+  // living on `peer` into fresh groups elsewhere. The retired slots stay on
+  // the server until their groups reclaim — deleting them would force a
+  // parity update (footnote 3) — so a drain bounds active pages, not total
+  // occupancy. The parity server cannot be drained (its role is fixed);
+  // asking reports completion immediately.
+  Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
   // Forces a garbage-collection pass (also triggered automatically when
   // every data server denies allocation).
@@ -131,6 +148,10 @@ class ParityLoggingBackend final : public RemotePagerBase {
   // Frees every server slot of a dead group (all entries inactive).
   void ReclaimGroup(uint64_t group_id, TimeNs* now);
 
+  // Chunked halves of RepairStep.
+  Result<uint64_t> RebuildParityChunk(uint64_t max_pages, TimeNs* now);
+  Result<uint64_t> RecoverDataChunk(size_t peer_index, uint64_t max_pages, TimeNs* now);
+
   // True if the open group already holds an entry on `peer`.
   bool OpenGroupUses(size_t peer) const;
 
@@ -151,6 +172,12 @@ class ParityLoggingBackend final : public RemotePagerBase {
   int64_t gc_passes_ = 0;
   int64_t parity_flushes_ = 0;
   bool in_gc_ = false;
+
+  // In-progress parity-server rebuild: sealed groups still awaiting a new
+  // parity page. Populated by the first RebuildParityChunk of a repair,
+  // drained chunk by chunk; cleared on error so a retry re-enumerates.
+  std::vector<uint64_t> parity_rebuild_queue_;
+  bool parity_rebuild_active_ = false;
 
   // Outstanding parity write. Over an in-process transport the future
   // completes inline and only the completion time stays pending; over TCP

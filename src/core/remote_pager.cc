@@ -220,4 +220,20 @@ Result<size_t> RemotePagerBase::PickPeer(TimeNs* now) {
   return cluster_.MostPromising(refresh);
 }
 
+Result<uint64_t> RemotePagerBase::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  // A policy without redundancy has nothing to restore: the coordinator's
+  // job completes immediately and reads surface DATA_LOSS as before.
+  (void)peer;
+  (void)max_pages;
+  (void)now;
+  return 0;
+}
+
+Result<uint64_t> RemotePagerBase::MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) {
+  (void)peer;
+  (void)max_pages;
+  (void)now;
+  return 0;
+}
+
 }  // namespace rmp

@@ -52,6 +52,26 @@ class RemotePagerBase : public PagingBackend {
   Cluster& cluster() { return cluster_; }
   NetworkFabric& fabric() { return *fabric_; }
 
+  // --- Self-healing hooks (DESIGN.md §11) ----------------------------------
+  // Incremental, idempotent work quanta the RepairCoordinator drives under
+  // its token bucket. Both return the number of pages processed this call;
+  // 0 means "nothing left to do" and completes the job. Progress is tracked
+  // in the policy's own tables (an orphaned replica resilvered updates the
+  // mirror table; an affected parity group dissolved leaves the affected
+  // set), so a step never repeats finished work and the pair of calls
+  // (step, step, ...) converges without coordinator-side cursors.
+
+  // Restores redundancy lost to the crash of `peer`: re-replicates orphaned
+  // mirror copies, rebuilds parity-group members by degraded reconstruction,
+  // re-uploads write-through pages from disk. At most `max_pages` pages of
+  // repair traffic are moved. Default: nothing to repair.
+  virtual Result<uint64_t> RepairStep(size_t peer, uint64_t max_pages, TimeNs* now);
+
+  // Moves up to `max_pages` pages off the (live but overloaded) `peer` to
+  // other servers or local disk — the §2.1 migration story, triggered by
+  // ADVISE_STOP. Default: nothing to drain.
+  virtual Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now);
+
  protected:
   RemotePagerBase(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
                   const RemotePagerParams& params)

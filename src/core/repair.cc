@@ -1,0 +1,245 @@
+#include "src/core/repair.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+namespace {
+// One token = one page; fractional accrual is tracked in billionths so the
+// pacing math is exact (rate is pages/sec, time is integer nanoseconds).
+constexpr uint64_t kTokenScale = 1'000'000'000ull;
+}  // namespace
+
+TokenBucket::TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages)
+    : rate_(rate_pages_per_sec),
+      burst_(std::max<uint64_t>(1, burst_pages)),
+      tokens_(burst_) {}  // Starts full: the first burst is free.
+
+void TokenBucket::Refill(TimeNs now) {
+  if (now <= last_) {
+    return;
+  }
+  const uint64_t delta = static_cast<uint64_t>(now - last_);
+  last_ = now;
+  const unsigned __int128 acc = static_cast<unsigned __int128>(rate_) * delta + frac_;
+  const uint64_t gained = static_cast<uint64_t>(acc / kTokenScale);
+  frac_ = static_cast<uint64_t>(acc % kTokenScale);
+  if (gained >= burst_ - tokens_) {
+    tokens_ = burst_;
+    frac_ = 0;  // A full bucket does not bank further accrual.
+  } else {
+    tokens_ += gained;
+  }
+}
+
+uint64_t TokenBucket::TakeUpTo(uint64_t want, TimeNs now) {
+  if (rate_ == 0) {
+    return want;
+  }
+  Refill(now);
+  const uint64_t take = std::min(want, tokens_);
+  tokens_ -= take;
+  return take;
+}
+
+void TokenBucket::Refund(uint64_t tokens) {
+  if (rate_ == 0) {
+    return;
+  }
+  tokens_ = std::min(burst_, tokens_ + tokens);
+}
+
+TimeNs TokenBucket::NextAvailable(TimeNs now) {
+  if (rate_ == 0) {
+    return now;
+  }
+  Refill(now);
+  if (tokens_ >= 1) {
+    return now;
+  }
+  const uint64_t needed = kTokenScale - frac_;
+  const uint64_t wait_ns = (needed + rate_ - 1) / rate_;
+  return now + static_cast<TimeNs>(wait_ns);
+}
+
+RepairCoordinator::RepairCoordinator(RemotePagerBase* pager, HealthMonitor* monitor,
+                                     const RepairParams& params)
+    : pager_(pager),
+      monitor_(monitor),
+      params_(params),
+      bucket_(params.repair_pages_per_sec, params.repair_burst_pages),
+      repair_pending_(pager->cluster().size(), 0),
+      drain_pending_(pager->cluster().size(), 0),
+      rejoin_deferred_(pager->cluster().size(), 0),
+      drained_(pager->cluster().size(), 0) {}
+
+void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
+  for (const HealthEvent& event : events) {
+    const size_t peer = event.peer;
+    if (event.from == event.to) {
+      // Overload advice on a healthy peer (§2.1).
+      if (event.overloaded) {
+        if (!drain_pending_[peer]) {
+          drain_pending_[peer] = 1;
+          ++stats_.drains_started;
+        }
+      } else if (drained_[peer] && !drain_pending_[peer]) {
+        // Load dropped after a completed drain: lift the stop the drain
+        // placed so the server can take pages again.
+        pager_->cluster().peer(peer).set_stopped(false);
+        drained_[peer] = 0;
+      }
+      continue;
+    }
+    if (event.to == PeerHealth::kDead) {
+      drain_pending_[peer] = 0;  // Draining a dead server is moot.
+      rejoin_deferred_[peer] = 0;
+      if (!repair_pending_[peer]) {
+        repair_pending_[peer] = 1;
+        ++stats_.repairs_started;
+      }
+      continue;
+    }
+    if (event.to == PeerHealth::kRejoining) {
+      if (event.rebooted) {
+        // The store came back empty: redundancy must be whole again before
+        // placements can land there, so the rejoin waits on the repair.
+        if (!repair_pending_[peer]) {
+          repair_pending_[peer] = 1;
+          ++stats_.repairs_started;
+        }
+        rejoin_deferred_[peer] = 1;
+      } else {
+        // Healed partition: the pages survived, so re-admission also moots
+        // whatever part of the crash repair has not run yet — the entries
+        // still mapped to this peer are valid again.
+        if (repair_pending_[peer]) {
+          repair_pending_[peer] = 0;
+          ++stats_.repairs_completed;
+        }
+        Readmit(peer);
+      }
+      continue;
+    }
+  }
+}
+
+void RepairCoordinator::Readmit(size_t peer) {
+  // Reset is the single full-revival path: the old slot pool died with the
+  // server's previous life (or was dropped by the repair), ADVISE_STOP state
+  // is stale, and fresh extents are granted on demand.
+  pager_->cluster().peer(peer).Reset();
+  drained_[peer] = 0;
+  monitor_->MarkReadmitted(peer);
+  ++stats_.rejoins;
+  RMP_LOG(kInfo) << "repair: re-admitted peer " << peer;
+}
+
+Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed) {
+  const uint64_t grant = bucket_.TakeUpTo(params_.repair_burst_pages, *now);
+  if (grant == 0) {
+    return OkStatus();  // Bucket dry; RunToQuiescence advances the clock.
+  }
+  auto done = pager_->RepairStep(peer, grant, now);
+  if (!done.ok()) {
+    bucket_.Refund(grant);
+    return done.status();
+  }
+  if (*done < grant) {
+    bucket_.Refund(grant - *done);
+  }
+  if (*done == 0) {
+    repair_pending_[peer] = 0;
+    ++stats_.repairs_completed;
+    *progressed = true;
+    if (rejoin_deferred_[peer]) {
+      rejoin_deferred_[peer] = 0;
+      Readmit(peer);
+    }
+    return OkStatus();
+  }
+  stats_.pages_resilvered += static_cast<int64_t>(*done);
+  *progressed = true;
+  return OkStatus();
+}
+
+Status RepairCoordinator::StepDrain(size_t peer, TimeNs* now, bool* progressed) {
+  const uint64_t grant = bucket_.TakeUpTo(params_.repair_burst_pages, *now);
+  if (grant == 0) {
+    return OkStatus();
+  }
+  auto done = pager_->MigrateStep(peer, grant, now);
+  if (!done.ok()) {
+    bucket_.Refund(grant);
+    return done.status();
+  }
+  if (*done < grant) {
+    bucket_.Refund(grant - *done);
+  }
+  if (*done == 0) {
+    drain_pending_[peer] = 0;
+    ++stats_.drains_completed;
+    *progressed = true;
+    return OkStatus();
+  }
+  drained_[peer] = 1;
+  stats_.pages_migrated += static_cast<int64_t>(*done);
+  *progressed = true;
+  return OkStatus();
+}
+
+Result<TimeNs> RepairCoordinator::Pump(TimeNs now) {
+  std::vector<HealthEvent> events;
+  monitor_->Tick(now, &events);
+  Absorb(events);
+  bool progressed = false;
+  for (size_t peer = 0; peer < repair_pending_.size(); ++peer) {
+    if (repair_pending_[peer]) {
+      RMP_RETURN_IF_ERROR(StepRepair(peer, &now, &progressed));
+    }
+  }
+  for (size_t peer = 0; peer < drain_pending_.size(); ++peer) {
+    if (drain_pending_[peer]) {
+      RMP_RETURN_IF_ERROR(StepDrain(peer, &now, &progressed));
+    }
+  }
+  return now;
+}
+
+Result<TimeNs> RepairCoordinator::RunToQuiescence(TimeNs now) {
+  while (!idle()) {
+    const RepairStats before = stats_;
+    auto after = Pump(now);
+    if (!after.ok()) {
+      return after.status();
+    }
+    now = *after;
+    const bool progressed = stats_.repairs_completed != before.repairs_completed ||
+                            stats_.drains_completed != before.drains_completed ||
+                            stats_.pages_resilvered != before.pages_resilvered ||
+                            stats_.pages_migrated != before.pages_migrated ||
+                            stats_.rejoins != before.rejoins;
+    if (!progressed && !idle()) {
+      const TimeNs next = bucket_.NextAvailable(now);
+      if (next <= now) {
+        return InternalError("repair made no progress with tokens available");
+      }
+      stats_.throttle_time += next - now;
+      now = next;
+    }
+  }
+  return now;
+}
+
+bool RepairCoordinator::idle() const {
+  for (size_t peer = 0; peer < repair_pending_.size(); ++peer) {
+    if (repair_pending_[peer] || drain_pending_[peer]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rmp

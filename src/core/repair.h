@@ -1,0 +1,123 @@
+// RepairCoordinator: the reaction half of the self-healing layer
+// (DESIGN.md §11).
+//
+// The HealthMonitor observes; this coordinator acts. On DEAD it drives the
+// policy's RepairStep() until redundancy is fully restored (mirror resilver,
+// parity-group reconstruction, write-through re-upload); on ADVISE_STOP it
+// drives MigrateStep() until the overloaded server is drained (§2.1: pages
+// move to other servers or the local disk); on REJOINING it re-admits the
+// peer through ServerPeer::Reset() — immediately when a healed partition
+// brought the pages back, or after the rebuild finishes when the server
+// rebooted empty (re-admitting earlier would route reads at an empty store).
+//
+// All background traffic is paced by a deterministic token bucket measured
+// in pages, so a resilver never starves foreground paging: each Pump() moves
+// at most one bucket-burst of repair pages, and when the bucket runs dry
+// RunToQuiescence() advances simulated time instead of hammering the wire.
+// Integer arithmetic throughout keeps runs bit-reproducible.
+
+#ifndef SRC_CORE_REPAIR_H_
+#define SRC_CORE_REPAIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/health.h"
+#include "src/core/remote_pager.h"
+
+namespace rmp {
+
+// Deterministic token bucket in whole pages. Fractional accrual is tracked
+// in token-billionths (rate * elapsed-ns), so pacing is exact integer math.
+class TokenBucket {
+ public:
+  // rate_pages_per_sec == 0 disables pacing: every grant is unlimited.
+  TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages);
+
+  // Grants up to `want` tokens available at `now` (0 when the bucket is dry).
+  uint64_t TakeUpTo(uint64_t want, TimeNs now);
+
+  // Returns unused grant.
+  void Refund(uint64_t tokens);
+
+  // Earliest time at or after `now` when at least one token is available.
+  TimeNs NextAvailable(TimeNs now);
+
+  uint64_t rate() const { return rate_; }
+
+ private:
+  void Refill(TimeNs now);
+
+  uint64_t rate_;
+  uint64_t burst_;
+  uint64_t tokens_;
+  uint64_t frac_ = 0;  // Accrued token-billionths, < kSecond.
+  TimeNs last_ = 0;
+};
+
+struct RepairParams {
+  // Token-bucket rate for repair + migration traffic, in pages per second
+  // of simulated time. 0 = unpaced (tests that only care about the end
+  // state; production-shaped configs should always pace).
+  uint64_t repair_pages_per_sec = 0;
+  // Bucket depth; also the largest chunk a single Pump() hands a policy.
+  uint64_t repair_burst_pages = 64;
+};
+
+struct RepairStats {
+  int64_t repairs_started = 0;
+  int64_t repairs_completed = 0;
+  int64_t pages_resilvered = 0;  // Repair traffic (RepairStep pages).
+  int64_t drains_started = 0;
+  int64_t drains_completed = 0;
+  int64_t pages_migrated = 0;  // Drain traffic (MigrateStep pages).
+  int64_t rejoins = 0;         // Peers re-admitted via Reset().
+  DurationNs throttle_time = 0;  // Simulated time repair waited for tokens.
+};
+
+class RepairCoordinator {
+ public:
+  // `pager` and `monitor` must outlive the coordinator and share the same
+  // cluster. Not thread-safe: drive it from the simulation loop.
+  RepairCoordinator(RemotePagerBase* pager, HealthMonitor* monitor,
+                    const RepairParams& params = RepairParams());
+
+  // One self-healing round at simulated time `now`: ticks the health
+  // monitor, absorbs its events into pending jobs, then advances every
+  // pending repair and drain job by at most one token-bucket grant.
+  // Returns the advanced clock. Errors from a policy step propagate; the
+  // job stays pending so a later Pump can retry.
+  Result<TimeNs> Pump(TimeNs now);
+
+  // Pumps until no repair or drain work remains, advancing `now` across
+  // token-bucket refill waits (counted in stats().throttle_time).
+  Result<TimeNs> RunToQuiescence(TimeNs now);
+
+  bool idle() const;
+  bool repair_pending(size_t peer) const { return repair_pending_[peer]; }
+  bool drain_pending(size_t peer) const { return drain_pending_[peer]; }
+  const RepairStats& stats() const { return stats_; }
+
+ private:
+  void Absorb(const std::vector<HealthEvent>& events);
+  void Readmit(size_t peer);
+  // Runs one granted chunk of the job; sets *progressed when pages moved or
+  // a job completed.
+  Status StepRepair(size_t peer, TimeNs* now, bool* progressed);
+  Status StepDrain(size_t peer, TimeNs* now, bool* progressed);
+
+  RemotePagerBase* pager_;
+  HealthMonitor* monitor_;
+  RepairParams params_;
+  TokenBucket bucket_;
+
+  std::vector<uint8_t> repair_pending_;
+  std::vector<uint8_t> drain_pending_;
+  std::vector<uint8_t> rejoin_deferred_;  // Reboot rejoin awaiting repair end.
+  std::vector<uint8_t> drained_;          // We stopped it for a drain.
+  RepairStats stats_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_CORE_REPAIR_H_

@@ -141,13 +141,31 @@ void Testbed::CrashServer(size_t i) {
   faults_[i]->Disconnect();
 }
 
-void Testbed::RestartServer(size_t i) {
-  servers_[i]->Restart();
-  // A restarted workstation's counters start from zero; stale pre-crash
-  // totals would poison post-recovery assertions.
-  servers_[i]->ResetStats();
+void Testbed::RestartServer(size_t i, RestartOptions opts) {
+  if (!opts.preserve_memory) {
+    servers_[i]->Restart();
+    // A restarted workstation's counters start from zero; stale pre-crash
+    // totals would poison post-recovery assertions.
+    servers_[i]->ResetStats();
+  }
   transports_[i]->Reconnect();
   faults_[i]->Reconnect();
+}
+
+void Testbed::PartitionServer(size_t i) {
+  transports_[i]->Disconnect();
+  faults_[i]->Disconnect();
+}
+
+Status Testbed::EnableSelfHealing(const HealthParams& health_params,
+                                  const RepairParams& repair_params) {
+  auto* pager = dynamic_cast<RemotePagerBase*>(backend_.get());
+  if (pager == nullptr) {
+    return FailedPreconditionError("self-healing needs a remote-memory policy");
+  }
+  monitor_ = std::make_unique<HealthMonitor>(&pager->cluster(), health_params);
+  repair_ = std::make_unique<RepairCoordinator>(pager, monitor_.get(), repair_params);
+  return OkStatus();
 }
 
 }  // namespace rmp

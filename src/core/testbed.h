@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "src/core/basic_parity.h"
+#include "src/core/health.h"
 #include "src/core/mirroring.h"
 #include "src/core/no_reliability.h"
 #include "src/core/parity_logging.h"
+#include "src/core/repair.h"
 #include "src/core/write_through.h"
 #include "src/server/memory_server.h"
 #include "src/transport/fault_injection.h"
@@ -88,9 +90,32 @@ class Testbed {
   // Crashes server `i`: its stored pages vanish and its transport drops.
   void CrashServer(size_t i);
 
-  // Brings a crashed server back, empty, with fresh per-server stats, and
-  // reconnects its transport (fault wrapper included).
-  void RestartServer(size_t i);
+  struct RestartOptions {
+    // false (default): the server process restarts — memory empty, stats
+    // zeroed, incarnation bumped, so a health monitor sees a *reboot* and
+    // repairs before re-admission. true: the store is left untouched and
+    // only the transports reconnect, modeling a healed network partition —
+    // the incarnation is unchanged and the pages are still there.
+    bool preserve_memory = false;
+  };
+
+  // Brings server `i` back and reconnects its transport (fault wrapper
+  // included); see RestartOptions for the reboot/partition distinction.
+  void RestartServer(size_t i, RestartOptions opts);
+  void RestartServer(size_t i) { RestartServer(i, RestartOptions()); }
+
+  // Severs server `i`'s transports without crashing it: RPCs fail with the
+  // connection down but the stored pages survive. Undo with
+  // RestartServer(i, {.preserve_memory = true}).
+  void PartitionServer(size_t i);
+
+  // Attaches the self-healing layer (HealthMonitor + RepairCoordinator) to
+  // the backend. Call once, after Create; fails for kDisk (no cluster).
+  // Drive it with repair().Pump()/RunToQuiescence() on the simulated clock.
+  Status EnableSelfHealing(const HealthParams& health_params = HealthParams(),
+                           const RepairParams& repair_params = RepairParams());
+  HealthMonitor* health() { return monitor_.get(); }
+  RepairCoordinator* repair() { return repair_.get(); }
 
   // The policy-typed views (null when the policy does not match).
   ParityLoggingBackend* parity_logging() {
@@ -130,6 +155,9 @@ class Testbed {
   std::vector<InProcTransport*> transports_;
   std::vector<FaultInjectingTransport*> faults_;
   std::unique_ptr<PagingBackend> backend_;
+  // Declared after backend_ (destroyed first): both reference its cluster.
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<RepairCoordinator> repair_;
 };
 
 }  // namespace rmp

@@ -123,16 +123,22 @@ Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::sp
   return *done;
 }
 
-Status WriteThroughBackend::Recover(size_t peer_index, TimeNs* now) {
+Result<uint64_t> WriteThroughBackend::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {
   std::vector<uint64_t> lost;
-  for (auto& [page_id, loc] : table_) {
-    if (loc.remote_valid && loc.peer == peer_index) {
-      loc.remote_valid = false;
+  for (const auto& [page_id, loc] : table_) {
+    if (loc.remote_valid && loc.peer == peer) {
       lost.push_back(page_id);
+      if (lost.size() >= max_pages) {
+        break;
+      }
     }
   }
   PageBuffer buffer;
   for (const uint64_t page_id : lost) {
+    // Invalidate first: SendRemote re-places instead of rewriting the dead
+    // slot, and a page that finds no server stays disk-only (durable) and
+    // is not re-discovered by the scan above.
+    table_[page_id].remote_valid = false;
     auto read = disk_->PageIn(*now, page_id, buffer.span());
     if (!read.ok()) {
       return read.status();
@@ -145,7 +151,22 @@ Status WriteThroughBackend::Recover(size_t peer_index, TimeNs* now) {
     *now = *sent;
     ++stats_.reconstructions;
   }
-  RMP_LOG(kInfo) << "write-through: re-uploaded " << lost.size() << " pages after crash of peer "
+  return lost.size();
+}
+
+Status WriteThroughBackend::Recover(size_t peer_index, TimeNs* now) {
+  uint64_t total = 0;
+  while (true) {
+    auto done = RepairStep(peer_index, kMaxBatchPages, now);
+    if (!done.ok()) {
+      return done.status();
+    }
+    if (*done == 0) {
+      break;
+    }
+    total += *done;
+  }
+  RMP_LOG(kInfo) << "write-through: re-uploaded " << total << " pages after crash of peer "
                  << peer_index;
   return OkStatus();
 }

@@ -35,7 +35,13 @@ class WriteThroughBackend final : public RemotePagerBase {
 
   // After a server crash the disk still has everything; this re-uploads the
   // lost pages to the surviving servers so reads stay at memory speed.
+  // Implemented as a loop over RepairStep.
   Status Recover(size_t peer_index, TimeNs* now);
+
+  // Incremental re-upload: restores up to `max_pages` lost remote copies
+  // from the write-through disk per call; 0 = nothing left referencing
+  // the dead peer.
+  Result<uint64_t> RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
  private:
   struct Location {

@@ -48,7 +48,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
-         t <= static_cast<uint8_t>(MessageType::kPageInBatchReply);
+         t <= static_cast<uint8_t>(MessageType::kMigrateReply);
 }
 
 }  // namespace
@@ -97,6 +97,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "PAGEIN_BATCH";
     case MessageType::kPageInBatchReply:
       return "PAGEIN_BATCH_REPLY";
+    case MessageType::kHeartbeat:
+      return "HEARTBEAT";
+    case MessageType::kHeartbeatAck:
+      return "HEARTBEAT_ACK";
+    case MessageType::kMigrate:
+      return "MIGRATE";
+    case MessageType::kMigrateReply:
+      return "MIGRATE_REPLY";
   }
   return "UNKNOWN";
 }
@@ -314,6 +322,46 @@ Message MakeLoadReport(uint64_t request_id, uint64_t free_pages, uint64_t total_
   if (advise_stop) {
     m.flags |= kFlagAdviseStop;
   }
+  return m;
+}
+
+Message MakeHeartbeat(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kHeartbeat;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeHeartbeatAck(uint64_t request_id, uint64_t incarnation, uint64_t free_pages,
+                         uint64_t total_pages, bool advise_stop) {
+  Message m;
+  m.type = MessageType::kHeartbeatAck;
+  m.request_id = request_id;
+  m.slot = incarnation;
+  m.count = free_pages;
+  m.aux = total_pages;
+  if (advise_stop) {
+    m.flags |= kFlagAdviseStop;
+  }
+  return m;
+}
+
+Message MakeMigrate(uint64_t request_id, uint64_t slot) {
+  Message m;
+  m.type = MessageType::kMigrate;
+  m.request_id = request_id;
+  m.slot = slot;
+  return m;
+}
+
+Message MakeMigrateReply(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data,
+                         ErrorCode status) {
+  Message m;
+  m.type = MessageType::kMigrateReply;
+  m.request_id = request_id;
+  m.slot = slot;
+  m.status = static_cast<uint32_t>(status);
+  m.payload.assign(data.begin(), data.end());
   return m;
 }
 

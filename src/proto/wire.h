@@ -73,6 +73,20 @@ enum class MessageType : uint8_t {
   kPageOutBatchAck = 19,
   kPageInBatch = 20,
   kPageInBatchReply = 21,
+  // Self-healing control plane (DESIGN.md §11). HEARTBEAT is a lightweight
+  // liveness probe the HealthMonitor sends on a fixed period; the ack carries
+  // the same load report as kLoadReport (count = free pages, aux low 32 bits
+  // unused) plus the server's *incarnation* in `slot` — a counter bumped on
+  // every restart, so the client can tell a rebooted-empty server (rebuild
+  // its pages) from a healed network partition (re-admit, pages intact).
+  // ADVISE_STOP piggybacks on the ack flags like it does on pageout acks.
+  kHeartbeat = 22,
+  kHeartbeatAck = 23,  // slot = incarnation, count = free pages, aux = total.
+  // MIGRATE reads a page and frees its slot in one round trip: the read half
+  // of the §2.1 drain path costs one protocol crossing instead of a PAGEIN
+  // followed by a FREE_REQUEST.
+  kMigrate = 24,       // slot.
+  kMigrateReply = 25,  // slot + payload; the slot is freed server-side on OK.
 };
 
 std::string_view MessageTypeName(MessageType type);
@@ -186,6 +200,12 @@ Message MakeShutdown(uint64_t request_id);
 Message MakeErrorReply(uint64_t request_id, ErrorCode status);
 Message MakeAuth(uint64_t request_id, std::string_view token);
 Message MakeAuthReply(uint64_t request_id, ErrorCode status);
+Message MakeHeartbeat(uint64_t request_id);
+Message MakeHeartbeatAck(uint64_t request_id, uint64_t incarnation, uint64_t free_pages,
+                         uint64_t total_pages, bool advise_stop);
+Message MakeMigrate(uint64_t request_id, uint64_t slot);
+Message MakeMigrateReply(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data,
+                         ErrorCode status);
 
 // Batched data-plane messages. `pages` is the concatenation of
 // slots.size() pages of exactly kPageSize bytes each.

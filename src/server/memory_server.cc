@@ -152,6 +152,18 @@ Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
   return OkStatus();
 }
 
+Result<PageBuffer> MemoryServer::MigrateOut(uint64_t slot) {
+  auto page = Load(slot);
+  if (!page.ok()) {
+    return page;
+  }
+  // The pagein counter was already bumped by Load; Free reclaims the slot so
+  // the drained server's donated memory is immediately reusable.
+  RMP_RETURN_IF_ERROR(Free(slot, 1));
+  stats_.migrations_served.fetch_add(1, std::memory_order_relaxed);
+  return page;
+}
+
 Result<PageBuffer> MemoryServer::Load(uint64_t slot) const {
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
@@ -305,7 +317,10 @@ void MemoryServer::Crash() {
   RMP_LOG(kInfo) << params_.name << " crashed, all pages lost";
 }
 
-void MemoryServer::Restart() { crashed_.store(false, std::memory_order_release); }
+void MemoryServer::Restart() {
+  incarnation_.fetch_add(1, std::memory_order_acq_rel);
+  crashed_.store(false, std::memory_order_release);
+}
 
 void MemoryServer::ResetStats() {
   stats_.pageouts_served.store(0);
@@ -313,6 +328,8 @@ void MemoryServer::ResetStats() {
   stats_.batch_requests.store(0);
   stats_.allocations.store(0);
   stats_.denials.store(0);
+  stats_.heartbeats_served.store(0);
+  stats_.migrations_served.store(0);
   stats_.bytes_stored.store(0);
   stats_.bytes_returned.store(0);
 }
@@ -465,6 +482,24 @@ Message MemoryServer::Handle(const Message& request) {
       reply.slot = request.slot;
       reply.status = static_cast<uint32_t>(status.code());
       return reply;
+    }
+    case MessageType::kHeartbeat: {
+      if (crashed()) {
+        // A crashed process cannot answer; in the simulated fabric the
+        // transport is disconnected too, but keep the direct API honest.
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      stats_.heartbeats_served.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      return MakeHeartbeatAck(request.request_id, incarnation(), FreePagesLocked(),
+                              EffectiveCapacityLocked(), AdviseStopLocked());
+    }
+    case MessageType::kMigrate: {
+      auto page = MigrateOut(request.slot);
+      if (!page.ok()) {
+        return MakeMigrateReply(request.request_id, request.slot, {}, page.status().code());
+      }
+      return MakeMigrateReply(request.request_id, request.slot, page->span(), ErrorCode::kOk);
     }
     case MessageType::kShutdown: {
       Message reply;

@@ -67,6 +67,8 @@ struct MemoryServerStats {
   std::atomic<int64_t> batch_requests{0};  // PAGEOUT_BATCH / PAGEIN_BATCH messages.
   std::atomic<int64_t> allocations{0};
   std::atomic<int64_t> denials{0};
+  std::atomic<int64_t> heartbeats_served{0};
+  std::atomic<int64_t> migrations_served{0};  // MIGRATE (read-and-free) ops.
   std::atomic<uint64_t> bytes_stored{0};
   std::atomic<uint64_t> bytes_returned{0};
 };
@@ -94,6 +96,10 @@ class MemoryServer : public MessageHandler {
                     uint64_t* stored_out);
   Status LoadBatch(std::span<const uint64_t> slots, std::vector<uint8_t>* out) const;
 
+  // MIGRATE: returns the page at `slot` and frees the slot in one operation
+  // (the read half of the §2.1 drain path, one round trip on the wire).
+  Result<PageBuffer> MigrateOut(uint64_t slot);
+
   // Basic-parity primitives (§2.2 "Parity"): the data server computes
   // old XOR new while storing, the parity server folds a delta into the
   // stored page. An absent slot reads as all-zeroes for both.
@@ -109,6 +115,11 @@ class MemoryServer : public MessageHandler {
   void Crash();
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
   void Restart();  // Clears the crashed flag; storage stays empty.
+  // Bumped on every Restart(). Heartbeat acks carry it so a client can tell
+  // a rebooted-empty server (incarnation changed: its pages are gone, trigger
+  // a rebuild) from a healed network partition (incarnation unchanged: the
+  // pages survived, re-admission is enough). See DESIGN.md §11.
+  uint64_t incarnation() const { return incarnation_.load(std::memory_order_acquire); }
   // Zeroes every counter in stats(). A restarted workstation starts from a
   // clean slate, so post-recovery assertions (pageouts_served, denials, ...)
   // must not see the pre-crash totals; Testbed::RestartServer calls this.
@@ -169,6 +180,7 @@ class MemoryServer : public MessageHandler {
   std::atomic<uint64_t> next_slot_{0};
   std::atomic<bool> crashed_{false};
   std::atomic<bool> has_slot_delays_{false};
+  std::atomic<uint64_t> incarnation_{1};
 
   mutable MemoryServerStats stats_;
 };

@@ -104,6 +104,31 @@ TEST(ServerPeerTest, FreeOnReturnsCapacity) {
   EXPECT_EQ(f.server->free_pages(), 1u);
 }
 
+// The single full-revival path: after a server comes back (restart or healed
+// partition + repair), Reset() must discard every piece of state from the
+// peer's previous life — mark_alive() alone would revive it with a poisoned
+// slot pool and latched ADVISE_STOP.
+TEST(ServerPeerTest, ResetDropsPoolAndStaleAdvice) {
+  PeerFixture f(128);
+  ASSERT_TRUE(f.peer->AllocExtent(8).ok());
+  ASSERT_TRUE(f.peer->TakeSlot().ok());
+  f.peer->set_stopped(true);
+  f.peer->set_no_new_extents(true);
+  f.peer->set_known_free_pages(77);
+  f.peer->mark_dead();
+
+  f.peer->Reset();
+  EXPECT_TRUE(f.peer->alive());
+  EXPECT_FALSE(f.peer->stopped());
+  EXPECT_FALSE(f.peer->no_new_extents());
+  EXPECT_EQ(f.peer->pooled_slots(), 0u);  // Stale extents are gone.
+  EXPECT_EQ(f.peer->known_free_pages(), 0u);
+  EXPECT_TRUE(f.peer->usable());
+  // Fresh extents are granted on demand, exactly like a brand-new peer.
+  ASSERT_TRUE(f.peer->AllocExtent(4).ok());
+  EXPECT_TRUE(f.peer->TakeSlot().ok());
+}
+
 TEST(ServerPeerTest, DeltaAndXorMergeRpcs) {
   PeerFixture f(32);
   ASSERT_TRUE(f.peer->AllocExtent(4).ok());

@@ -400,5 +400,192 @@ TEST(CrashRecoveryDeterminismTest, CrashDuringGcCompactionKeepsInvariants) {
   }
 }
 
+// --- Self-healing conformance (DESIGN.md §11) ------------------------------
+// The coordinator-driven version of the recovery story: the HealthMonitor
+// detects the crash, the RepairCoordinator restores redundancy in the
+// background, a second *different* server crashes, and every page must still
+// read back byte-identical. One conformance walk per redundancy policy, plus
+// a replay check that the whole repair interleaving is deterministic.
+
+namespace selfheal {
+
+constexpr uint64_t kHealSeed = 11;
+
+HealthParams FastHealth() {
+  HealthParams params;
+  params.heartbeat_interval = Millis(50);
+  params.suspect_after = 1;
+  params.dead_after = 3;
+  return params;
+}
+
+// Pump once (detection + first chunk), then run the repair to quiescence.
+TimeNs HealAfter(Testbed* bed, TimeNs now) {
+  auto pumped = bed->repair()->Pump(now + Millis(50));
+  EXPECT_TRUE(pumped.ok()) << pumped.status().message();
+  auto quiesced = bed->repair()->RunToQuiescence(*pumped);
+  EXPECT_TRUE(quiesced.ok()) << quiesced.status().message();
+  return *quiesced;
+}
+
+void CheckPreloadedPages(Testbed* bed, uint64_t pages, TimeNs* now) {
+  PageBuffer in;
+  for (uint64_t page = 0; page < pages; ++page) {
+    auto done = bed->backend().PageIn(*now, page, in.span());
+    ASSERT_TRUE(done.ok()) << "page " << page << ": " << done.status().message();
+    *now = *done;
+    EXPECT_TRUE(CheckPattern(in.span(), Testbed::PreloadSeed(kHealSeed, page)))
+        << "page " << page;
+  }
+}
+
+struct HealSummary {
+  int64_t pages_resilvered = 0;
+  int64_t repairs_completed = 0;
+  int64_t rejoins = 0;
+  DurationNs throttle_time = 0;
+  int64_t heartbeats_sent = 0;
+  int64_t transitions = 0;
+  TimeNs final_now = 0;
+  bool operator==(const HealSummary&) const = default;
+};
+
+// The mirroring double-fault walk; returns its summary so the determinism
+// test can replay it.
+HealSummary MirroringDoubleFault() {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 3;
+  params.server_capacity_pages = 512;
+  auto made = Testbed::Create(params);
+  EXPECT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  RepairParams repair_params;
+  repair_params.repair_pages_per_sec = 2000;  // Paced: the throttle path runs.
+  repair_params.repair_burst_pages = 16;
+  EXPECT_TRUE(bed->EnableSelfHealing(FastHealth(), repair_params).ok());
+
+  constexpr uint64_t kHealPages = 48;
+  TimeNs now = *bed->Preload(kHealPages, kHealSeed);
+  now = *bed->repair()->Pump(now);  // Baseline: incarnations recorded.
+
+  bed->CrashServer(1);
+  now = HealAfter(bed.get(), now);
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(), static_cast<int64_t>(kHealPages));
+
+  bed->RestartServer(1);  // Reboot; the coordinator re-admits it.
+  auto pumped = bed->repair()->Pump(now + Millis(50));
+  EXPECT_TRUE(pumped.ok()) << pumped.status().message();
+  now = *pumped;
+  EXPECT_EQ(bed->health()->health(1), PeerHealth::kAlive);
+
+  bed->CrashServer(2);  // The second, different server.
+  now = HealAfter(bed.get(), now);
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(), static_cast<int64_t>(kHealPages));
+  CheckPreloadedPages(bed.get(), kHealPages, &now);
+
+  const RepairStats& stats = bed->repair()->stats();
+  const HealthStats health = bed->health()->stats();
+  HealSummary summary;
+  summary.pages_resilvered = stats.pages_resilvered;
+  summary.repairs_completed = stats.repairs_completed;
+  summary.rejoins = stats.rejoins;
+  summary.throttle_time = stats.throttle_time;
+  summary.heartbeats_sent = health.heartbeats_sent;
+  summary.transitions = health.transitions;
+  summary.final_now = now;
+  return summary;
+}
+
+TEST(SelfHealingConformanceTest, MirroringDoubleFaultLosesNothing) {
+  const HealSummary summary = MirroringDoubleFault();
+  EXPECT_EQ(summary.repairs_completed, 3);  // Crash, reboot-rejoin, crash.
+  EXPECT_EQ(summary.rejoins, 1);
+  EXPECT_GT(summary.pages_resilvered, 0);
+  EXPECT_GT(summary.throttle_time, 0);
+}
+
+// ISSUE acceptance: "repair is replayable" — the same script produces the
+// same repair interleaving, throttle waits, and final clock.
+TEST(SelfHealingConformanceTest, RepairInterleavingReplaysDeterministically) {
+  EXPECT_EQ(MirroringDoubleFault(), MirroringDoubleFault());
+}
+
+TEST(SelfHealingConformanceTest, ParityLoggingDoubleFaultLosesNothing) {
+  TestbedParams params;
+  params.policy = Policy::kParityLogging;
+  params.data_servers = 4;
+  params.server_capacity_pages = 512;
+  auto made = Testbed::Create(params);
+  ASSERT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  ASSERT_TRUE(bed->EnableSelfHealing(FastHealth()).ok());
+  ParityLoggingBackend* backend = bed->parity_logging();
+
+  constexpr uint64_t kHealPages = 64;
+  TimeNs now = *bed->Preload(kHealPages, kHealSeed);
+  now = *bed->repair()->Pump(now);
+
+  // First crash: a data server. Affected groups dissolve, lost members are
+  // XOR-reconstructed from survivors + parity, actives re-home elsewhere.
+  bed->CrashServer(1);
+  now = HealAfter(bed.get(), now);
+  ASSERT_TRUE(backend->CheckInvariants().ok());
+  EXPECT_GT(bed->backend().stats().reconstructions, 0);
+
+  bed->RestartServer(1);
+  auto pumped = bed->repair()->Pump(now + Millis(50));
+  ASSERT_TRUE(pumped.ok()) << pumped.status().message();
+  now = *pumped;
+  EXPECT_EQ(bed->health()->health(1), PeerHealth::kAlive);
+
+  // Second crash: a different data server.
+  bed->CrashServer(2);
+  now = HealAfter(bed.get(), now);
+  ASSERT_TRUE(backend->CheckInvariants().ok());
+  CheckPreloadedPages(bed.get(), kHealPages, &now);
+  EXPECT_EQ(bed->repair()->stats().repairs_completed,
+            bed->repair()->stats().repairs_started);
+}
+
+// A parity-server crash + restart faster than detection: the incarnation
+// bump routes it through the rebooted-rejoin path, and the repair rebuilds
+// every sealed group's parity page on the fresh store before re-admission.
+TEST(SelfHealingConformanceTest, ParityServerFastRebootRebuildsTheLog) {
+  TestbedParams params;
+  params.policy = Policy::kParityLogging;
+  params.data_servers = 4;
+  params.server_capacity_pages = 512;
+  auto made = Testbed::Create(params);
+  ASSERT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  ASSERT_TRUE(bed->EnableSelfHealing(FastHealth()).ok());
+  ParityLoggingBackend* backend = bed->parity_logging();
+  const size_t parity = backend->parity_peer();
+
+  constexpr uint64_t kHealPages = 32;
+  TimeNs now = *bed->Preload(kHealPages, kHealSeed);
+  now = *bed->repair()->Pump(now);
+
+  bed->CrashServer(parity);
+  bed->RestartServer(parity);  // Back up before the next heartbeat round.
+  now = HealAfter(bed.get(), now);
+
+  EXPECT_EQ(bed->health()->health(parity), PeerHealth::kAlive);
+  EXPECT_EQ(bed->repair()->stats().rejoins, 1);
+  ASSERT_TRUE(backend->CheckInvariants().ok());
+  // Every sealed group holds a fresh parity page on the restarted server.
+  EXPECT_GT(bed->server(parity).live_pages(), 0u);
+  CheckPreloadedPages(bed.get(), kHealPages, &now);
+  // The log is genuinely whole again: a data server can still crash and
+  // every page still reconstructs.
+  bed->CrashServer(3);
+  now = HealAfter(bed.get(), now);
+  ASSERT_TRUE(backend->CheckInvariants().ok());
+  CheckPreloadedPages(bed.get(), kHealPages, &now);
+}
+
+}  // namespace selfheal
+
 }  // namespace
 }  // namespace rmp

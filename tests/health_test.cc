@@ -1,0 +1,319 @@
+// HealthMonitor conformance: the ALIVE/SUSPECT/DEAD/REJOINING state machine
+// (DESIGN.md §11) driven by deterministic heartbeat faults. Heartbeats are
+// starved with a FaultPlan dropping kHeartbeat requests, connections are
+// severed with PartitionServer, and crashes/reboots use the Testbed's crash
+// and restart paths, so every transition fires from the same stimuli a live
+// cluster would produce.
+
+#include "src/core/health.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/core/testbed.h"
+#include "src/proto/wire.h"
+
+namespace rmp {
+namespace {
+
+std::unique_ptr<Testbed> MakeBed(int servers = 3) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = servers;
+  params.server_capacity_pages = 512;
+  auto bed = Testbed::Create(params);
+  EXPECT_TRUE(bed.ok()) << bed.status().message();
+  return std::move(*bed);
+}
+
+HealthParams FastHealth() {
+  HealthParams params;
+  params.heartbeat_interval = Millis(50);
+  params.suspect_after = 1;
+  params.dead_after = 3;
+  return params;
+}
+
+// A plan that swallows heartbeat requests (the server never sees the probe);
+// `times` < 0 drops them forever.
+std::shared_ptr<FaultPlan> DropHeartbeats(int times) {
+  auto plan = std::make_shared<FaultPlan>(0xbeefu);
+  FaultRule rule;
+  rule.kind = FaultKind::kDropRequest;
+  rule.only_type = MessageType::kHeartbeat;
+  rule.probability = 1.0;
+  rule.repeat = times;
+  plan->AddRule(rule);
+  return plan;
+}
+
+TEST(HealthMonitorTest, DroppedHeartbeatsWalkSuspectDeadRejoining) {
+  auto bed = MakeBed();
+  Cluster& cluster = bed->mirroring()->cluster();
+  HealthMonitor monitor(&cluster, FastHealth());
+  std::vector<HealthEvent> events;
+  TimeNs now = 0;
+
+  monitor.Tick(now, &events);  // Baseline round: everyone answers.
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(monitor.stats().heartbeats_sent, 3);
+
+  bed->InstallFaultPlan(1, DropHeartbeats(-1));
+  ServerPeer& peer = cluster.peer(1);
+
+  now += Millis(50);
+  monitor.Tick(now, &events);  // Miss 1: quarantine.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].peer, 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kAlive);
+  EXPECT_EQ(events[0].to, PeerHealth::kSuspect);
+  EXPECT_TRUE(peer.stopped());  // No new placements...
+  EXPECT_TRUE(peer.alive());    // ...but reads still try it.
+
+  events.clear();
+  now += Millis(50);
+  monitor.Tick(now, &events);  // Miss 2: still below the dead threshold.
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(monitor.health(1), PeerHealth::kSuspect);
+
+  now += Millis(50);
+  monitor.Tick(now, &events);  // Miss 3: counted out.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to, PeerHealth::kDead);
+  EXPECT_FALSE(peer.alive());
+  EXPECT_FALSE(peer.stopped());  // The quarantine stop is released on DEAD.
+
+  events.clear();
+  bed->fault(1).ClearPlan();
+  now += Millis(50);
+  monitor.Tick(now, &events);  // It answers again.
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kDead);
+  EXPECT_EQ(events[0].to, PeerHealth::kRejoining);
+  EXPECT_FALSE(events[0].rebooted);  // Incarnation never changed.
+  EXPECT_FALSE(peer.alive());        // Not re-admitted until the repair says so.
+
+  monitor.MarkReadmitted(1);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kAlive);
+  EXPECT_TRUE(peer.alive());
+  EXPECT_EQ(monitor.stats().heartbeats_missed, 3);
+  EXPECT_EQ(monitor.stats().heartbeats_sent, 15);  // 5 rounds x 3 peers.
+}
+
+TEST(HealthMonitorTest, SuspectRecoversOnNextAck) {
+  auto bed = MakeBed();
+  Cluster& cluster = bed->mirroring()->cluster();
+  HealthMonitor monitor(&cluster, FastHealth());
+  std::vector<HealthEvent> events;
+  TimeNs now = 0;
+  monitor.Tick(now, &events);
+
+  bed->InstallFaultPlan(1, DropHeartbeats(1));  // One lost message only.
+  now += Millis(50);
+  monitor.Tick(now, &events);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kSuspect);
+
+  events.clear();
+  now += Millis(50);
+  monitor.Tick(now, &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kSuspect);
+  EXPECT_EQ(events[0].to, PeerHealth::kAlive);
+  EXPECT_FALSE(cluster.peer(1).stopped());
+  EXPECT_TRUE(cluster.peer(1).alive());
+}
+
+TEST(HealthMonitorTest, DeadConnectionSkipsSuspect) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);
+
+  bed->CrashServer(1);
+  monitor.Tick(Millis(50), &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kAlive);
+  EXPECT_EQ(events[0].to, PeerHealth::kDead);  // Hard evidence: no SUSPECT stop.
+}
+
+TEST(HealthMonitorTest, RebootedIncarnationMarksRejoinAsReboot) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);  // Records pre-crash incarnations.
+
+  bed->CrashServer(1);
+  monitor.Tick(Millis(50), &events);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kDead);
+
+  events.clear();
+  bed->RestartServer(1);  // Reboot: store empty, incarnation bumped.
+  monitor.Tick(Millis(100), &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to, PeerHealth::kRejoining);
+  EXPECT_TRUE(events[0].rebooted);
+}
+
+TEST(HealthMonitorTest, HealedPartitionRejoinsWithPagesIntact) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);
+
+  bed->PartitionServer(1);  // Network gone, process (and pages) alive.
+  monitor.Tick(Millis(50), &events);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kDead);
+
+  events.clear();
+  Testbed::RestartOptions heal;
+  heal.preserve_memory = true;
+  bed->RestartServer(1, heal);
+  monitor.Tick(Millis(100), &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to, PeerHealth::kRejoining);
+  EXPECT_FALSE(events[0].rebooted);  // Same incarnation: the pages survived.
+}
+
+TEST(HealthMonitorTest, FastRebootIsCaughtByIncarnation) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);
+
+  // Crash + restart entirely between two probe rounds: the ack looks healthy
+  // but the incarnation proves our pages did not survive.
+  bed->CrashServer(1);
+  bed->RestartServer(1);
+  monitor.Tick(Millis(50), &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kAlive);
+  EXPECT_EQ(events[0].to, PeerHealth::kRejoining);
+  EXPECT_TRUE(events[0].rebooted);
+}
+
+TEST(HealthMonitorTest, ReportUnavailableCountsAsMisses) {
+  auto bed = MakeBed();
+  Cluster& cluster = bed->mirroring()->cluster();
+  HealthParams params = FastHealth();
+  params.suspect_after = 2;
+  HealthMonitor monitor(&cluster, params);
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);
+
+  // One failed data-path RPC on a live connection is transient by definition.
+  monitor.ReportUnavailable(1, &events);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(monitor.health(1), PeerHealth::kAlive);
+  EXPECT_TRUE(cluster.peer(1).alive());
+
+  monitor.ReportUnavailable(1, &events);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kSuspect);
+  monitor.ReportUnavailable(1, &events);
+  EXPECT_EQ(monitor.health(1), PeerHealth::kDead);
+}
+
+TEST(HealthMonitorTest, ReportUnavailableWithDeadConnectionIsFatal) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::vector<HealthEvent> events;
+  monitor.Tick(0, &events);
+
+  bed->CrashServer(2);
+  monitor.ReportUnavailable(2, &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].to, PeerHealth::kDead);
+}
+
+TEST(HealthMonitorTest, OverloadAdviceSurfacesAsAliveEvents) {
+  auto bed = MakeBed();
+  Cluster& cluster = bed->mirroring()->cluster();
+  HealthMonitor monitor(&cluster, FastHealth());
+  std::vector<HealthEvent> events;
+  TimeNs now = 0;
+  monitor.Tick(now, &events);
+  EXPECT_TRUE(events.empty());
+
+  bed->server(1).SetNativeLoad(1.0);  // Native processes want all the memory.
+  now += Millis(50);
+  monitor.Tick(now, &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].peer, 1u);
+  EXPECT_EQ(events[0].from, PeerHealth::kAlive);
+  EXPECT_EQ(events[0].to, PeerHealth::kAlive);
+  EXPECT_TRUE(events[0].overloaded);
+  EXPECT_TRUE(cluster.peer(1).no_new_extents());
+
+  events.clear();
+  now += Millis(50);
+  monitor.Tick(now, &events);  // Advice unchanged: no repeat event.
+  EXPECT_TRUE(events.empty());
+
+  bed->server(1).SetNativeLoad(0.0);
+  now += Millis(50);
+  monitor.Tick(now, &events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].overloaded);
+  EXPECT_FALSE(cluster.peer(1).no_new_extents());
+}
+
+TEST(HealthMonitorTest, ReplayIsDeterministic) {
+  auto run = [] {
+    auto bed = MakeBed();
+    HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+    std::vector<HealthEvent> events;
+    TimeNs now = 0;
+    monitor.Tick(now, &events);
+    bed->InstallFaultPlan(2, DropHeartbeats(-1));
+    for (int i = 0; i < 6; ++i) {
+      now += Millis(50);
+      monitor.Tick(now, &events);
+    }
+    bed->fault(2).ClearPlan();
+    now += Millis(50);
+    monitor.Tick(now, &events);
+    const HealthStats stats = monitor.stats();
+    return std::make_tuple(stats.heartbeats_sent, stats.heartbeats_missed, stats.transitions,
+                           events.size(), monitor.health(2));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Wall-clock mode: the pump thread probes while the main thread crashes a
+// server and polls health() — the interleaving the sanitizer suites chase.
+TEST(HealthMonitorTest, BackgroundPumpDetectsCrash) {
+  auto bed = MakeBed();
+  HealthMonitor monitor(&bed->mirroring()->cluster(), FastHealth());
+  std::mutex mutex;
+  std::vector<HealthEvent> events;
+  monitor.StartBackgroundPump(Micros(200), [&](const HealthEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(event);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // A few clean rounds.
+  bed->CrashServer(0);
+  for (int i = 0; i < 2000 && monitor.health(0) != PeerHealth::kDead; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monitor.StopBackgroundPump();
+
+  EXPECT_EQ(monitor.health(0), PeerHealth::kDead);
+  EXPECT_GT(monitor.stats().heartbeats_sent, 0);
+  bool saw_dead = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const HealthEvent& event : events) {
+      saw_dead |= event.peer == 0 && event.to == PeerHealth::kDead;
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+}
+
+}  // namespace
+}  // namespace rmp
