@@ -22,7 +22,7 @@ sanitizers=("${@:-address}")
 # The self-healing suites (health monitor heartbeat thread, repair
 # coordinator) carry the repair_smoke label; run them under the same
 # sanitizers so the background pump thread is raced under TSan too.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke}"
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

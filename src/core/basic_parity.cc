@@ -46,6 +46,7 @@ Result<TimeNs> BasicParityBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageouts;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageOut, page_id, &now);
   Position pos;
   auto it = table_.find(page_id);
   if (it != table_.end()) {
@@ -79,11 +80,15 @@ Result<TimeNs> BasicParityBackend::PageOut(TimeNs now, uint64_t page_id,
       return advise.status();
     }
     now = ChargePageTransfer(now, holder);
+    const TimeNs parity_start = now;
     RMP_RETURN_IF_ERROR(RefreshParityRow(pos.row, &now));
+    tracer_.Span(TraceStage::kParity, parity_start, now);
     stats_.paging_time += now - start;
+    trace.set_ok();
     return now;
   }
   now = ChargePageTransfer(now, holder);
+  const TimeNs parity_start = now;
   // Step 2: the delta updates the parity server in place. On the paper's
   // shared Ethernet this second transfer serializes behind the first; the
   // client must also wait for it before discarding the page (§2.2).
@@ -98,11 +103,15 @@ Result<TimeNs> BasicParityBackend::PageOut(TimeNs now, uint64_t page_id,
     cluster_.peer(parity_peer_).mark_alive();
     ChargeBackoff(1, &now);
     RMP_RETURN_IF_ERROR(RefreshParityRow(pos.row, &now));
+    tracer_.Span(TraceStage::kParity, parity_start, now);
     stats_.paging_time += now - start;
+    trace.set_ok();
     return now;
   }
   now = ChargePageTransfer(now, parity_peer_);
+  tracer_.Span(TraceStage::kParity, parity_start, now);
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 
@@ -137,6 +146,7 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
   }
   ++stats_.pageins;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageIn, page_id, &now);
   const Position pos = it->second;
   ServerPeer& holder = cluster_.peer(columns_[pos.column]);
   if (holder.alive() || holder.transport().connected()) {
@@ -144,6 +154,7 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
     if (status.ok()) {
       now = ChargePageTransfer(now, columns_[pos.column]);
       stats_.paging_time += now - start;
+      trace.set_ok();
       return now;
     }
     if (!IsRetryableError(status)) {
@@ -152,6 +163,7 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
   }
   // Degraded read: parity row XOR surviving columns of the stripe.
   ++stats_.degraded_reads;
+  const TimeNs parity_start = now;
   PageBuffer xor_buf;
   RMP_RETURN_IF_ERROR(ReliablePageIn(parity_peer_, pos.row, xor_buf.span(), &now));
   now = ChargePageTransfer(now, parity_peer_);
@@ -169,7 +181,9 @@ Result<TimeNs> BasicParityBackend::PageIn(TimeNs now, uint64_t page_id, std::spa
     xor_buf.XorWith(page.span());
   }
   std::copy(xor_buf.span().begin(), xor_buf.span().end(), out.begin());
+  tracer_.Span(TraceStage::kParity, parity_start, now);
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 

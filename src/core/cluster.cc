@@ -40,12 +40,34 @@ void ServerPeer::DropPool() {
   returned_.clear();
 }
 
+void ServerPeer::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  metric_prefix_ = "peer." + name_ + ".";
+  sent_counter_ = registry->GetCounter(metric_prefix_ + "pages_sent");
+  fetched_counter_ = registry->GetCounter(metric_prefix_ + "pages_fetched");
+  dead_marks_ = registry->GetCounter(metric_prefix_ + "dead_marks");
+  reset_count_ = registry->GetCounter(metric_prefix_ + "resets");
+  // Seed the registered counters with whatever accounting preceded the
+  // attach, so the registry and the plain accessors agree.
+  sent_counter_->Increment(pages_sent_);
+  fetched_counter_->Increment(pages_fetched_);
+}
+
 void ServerPeer::Reset() {
   DropPool();
   stopped_ = false;
   no_new_extents_ = false;
   known_free_pages_ = 0;
   alive_ = true;
+  pages_sent_ = 0;
+  pages_fetched_ = 0;
+  // A reset means a new server incarnation: zero the registered metrics so
+  // the old life's traffic never mixes into the new one, then record that a
+  // reset happened (the one counter that survives as a tally of lives).
+  if (metrics_ != nullptr) {
+    metrics_->ResetPrefix(metric_prefix_);
+    reset_count_->Increment();
+  }
 }
 
 Status ServerPeer::AllocExtent(uint64_t pages) {
@@ -89,7 +111,7 @@ Result<bool> ServerPeer::JoinPageOut(RpcFuture future) {
     }
     return Status(reply->status_code(), "pageout rejected by " + name_);
   }
-  ++pages_sent_;
+  NoteSent(1);
   return reply->advise_stop();
 }
 
@@ -123,7 +145,7 @@ Status ServerPeer::JoinPageIn(RpcFuture future, std::span<uint8_t> out) {
     return ProtocolError("short pagein payload from " + name_);
   }
   std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
-  ++pages_fetched_;
+  NoteFetched(1);
   return OkStatus();
 }
 
@@ -156,7 +178,7 @@ Result<bool> ServerPeer::JoinPageOutBatch(RpcFuture future, uint64_t expected) {
   if (reply->count != expected) {
     return ProtocolError("partial batch ack from " + name_);
   }
-  pages_sent_ += static_cast<int64_t>(expected);
+  NoteSent(static_cast<int64_t>(expected));
   return reply->advise_stop();
 }
 
@@ -192,7 +214,7 @@ Status ServerPeer::JoinPageInBatch(RpcFuture future, uint64_t expected, std::spa
     return ProtocolError("short batch pagein payload from " + name_);
   }
   std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
-  pages_fetched_ += static_cast<int64_t>(expected);
+  NoteFetched(static_cast<int64_t>(expected));
   return OkStatus();
 }
 
@@ -232,7 +254,7 @@ Result<PageBuffer> ServerPeer::DeltaPageOutTo(uint64_t slot, std::span<const uin
   if (reply->payload.size() != kPageSize) {
     return ProtocolError("short delta payload from " + name_);
   }
-  ++pages_sent_;
+  NoteSent(1);
   return PageBuffer(std::span<const uint8_t>(reply->payload));
 }
 
@@ -250,7 +272,7 @@ Status ServerPeer::XorMergeOn(uint64_t slot, std::span<const uint8_t> delta) {
     }
     return Status(reply->status_code(), "xor merge rejected by " + name_);
   }
-  ++pages_sent_;
+  NoteSent(1);
   return OkStatus();
 }
 
@@ -315,8 +337,40 @@ Status ServerPeer::MigrateRead(uint64_t slot, std::span<uint8_t> out) {
     return ProtocolError("short migrate payload from " + name_);
   }
   std::copy(reply->payload.begin(), reply->payload.end(), out.begin());
-  ++pages_fetched_;
+  NoteFetched(1);
   return OkStatus();
+}
+
+Result<std::string> ServerPeer::QueryStats() {
+  auto reply = transport_->Call(MakeStatsQuery(NextRequestId()));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kStatsReply) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "stats query refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to STATS_QUERY on " + name_);
+  }
+  return std::string(IntrospectionJson(*reply));
+}
+
+Result<std::string> ServerPeer::DumpRemoteTrace() {
+  auto reply = transport_->Call(MakeTraceDump(NextRequestId()));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kTraceDumpReply) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "trace dump refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to TRACE_DUMP on " + name_);
+  }
+  return std::string(IntrospectionJson(*reply));
 }
 
 Result<size_t> Cluster::MostPromising(bool refresh) {

@@ -16,6 +16,7 @@
 
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
 
 namespace rmp {
@@ -49,7 +50,12 @@ class ServerPeer {
   }
 
   bool alive() const { return alive_; }
-  void mark_dead() { alive_ = false; }
+  void mark_dead() {
+    alive_ = false;
+    if (dead_marks_ != nullptr) {
+      dead_marks_->Increment();
+    }
+  }
   // Pure liveness flip, used on the hot retry path when a peer was only
   // *pessimistically* marked dead by a failed RPC: the pool and ADVISE_STOP
   // state are still accurate, so they must survive. A peer that genuinely
@@ -147,8 +153,32 @@ class ServerPeer {
   int64_t pages_sent() const { return pages_sent_; }
   int64_t pages_fetched() const { return pages_fetched_; }
 
+  // --- Telemetry -----------------------------------------------------------
+
+  // Registers this peer's counters under "peer.<name>." in `registry` and
+  // mirrors RPC accounting into them from then on. Reset() clears the prefix
+  // so a restarted server's new incarnation never mixes with the old one.
+  void AttachMetrics(MetricsRegistry* registry);
+
+  // Live introspection RPCs: fetch the remote server's metrics-registry
+  // snapshot / trace ring as JSON (STATS_QUERY / TRACE_DUMP).
+  Result<std::string> QueryStats();
+  Result<std::string> DumpRemoteTrace();
+
  private:
   uint64_t NextRequestId() { return ++request_id_; }
+  void NoteSent(int64_t n) {
+    pages_sent_ += n;
+    if (sent_counter_ != nullptr) {
+      sent_counter_->Increment(n);
+    }
+  }
+  void NoteFetched(int64_t n) {
+    pages_fetched_ += n;
+    if (fetched_counter_ != nullptr) {
+      fetched_counter_->Increment(n);
+    }
+  }
 
   std::string name_;
   std::unique_ptr<Transport> transport_;
@@ -161,6 +191,12 @@ class ServerPeer {
   std::vector<uint64_t> returned_;
   int64_t pages_sent_ = 0;
   int64_t pages_fetched_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  std::string metric_prefix_;
+  Counter* sent_counter_ = nullptr;
+  Counter* fetched_counter_ = nullptr;
+  Counter* dead_marks_ = nullptr;
+  Counter* reset_count_ = nullptr;
 };
 
 // The registry of peers plus selection helpers.

@@ -44,7 +44,10 @@ class NetworkFabric {
   struct TransferCost {
     TimeNs completion = 0;
     DurationNs protocol = 0;
-    DurationNs wire = 0;  // Includes queueing behind earlier transfers.
+    DurationNs wire = 0;    // Includes queueing behind earlier transfers.
+    DurationNs queued = 0;  // The queueing part of `wire` alone — time spent
+                            // waiting behind earlier transfers before this
+                            // one occupied the wire (the tracer's kQueue).
   };
 
   // Charges one client-blocking transfer of `bytes` issued at `now` to
@@ -59,8 +62,10 @@ class NetworkFabric {
     }
     cost.protocol = model->ProtocolTime();
     const TimeNs enqueue = now + cost.protocol;
-    const TimeNs done = WireFor(peer).Serve(enqueue, model->TransferTime(bytes));
+    const DurationNs service = model->TransferTime(bytes);
+    const TimeNs done = WireFor(peer).Serve(enqueue, service);
     cost.wire = done - enqueue;
+    cost.queued = std::max<DurationNs>(0, cost.wire - service);
     cost.completion = done;
     return cost;
   }
@@ -80,9 +85,13 @@ class NetworkFabric {
     }
     cost.protocol = model->ProtocolTime();
     const TimeNs enqueue = now + cost.protocol;
-    const TimeNs done = WireFor(peer).Serve(enqueue, model->TransferTime(bytes));
+    const DurationNs service = model->TransferTime(bytes);
+    const TimeNs done = WireFor(peer).Serve(enqueue, service);
     const TimeNs unblock = std::max(enqueue, done - async_lag_);
     cost.wire = unblock - enqueue;
+    // The client-visible blocking (if any) is backlog: the wire had fallen
+    // behind, so attribute what the sender did wait to queueing.
+    cost.queued = std::max<DurationNs>(0, cost.wire - service);
     cost.completion = unblock;
     return cost;
   }

@@ -3,8 +3,38 @@
 #include <chrono>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace rmp {
+namespace {
+
+// Membership telemetry in the process-wide registry: there is one monitor
+// per cluster, but its transitions matter alongside transport and repair
+// counters when reading a DumpMetrics() snapshot.
+struct HealthMetrics {
+  Counter& heartbeats_sent;
+  Counter& heartbeats_missed;
+  Counter& transitions;
+  Counter& to_suspect;
+  Counter& to_dead;
+  Counter& to_rejoining;
+  Counter& to_alive;
+};
+
+HealthMetrics& Metrics() {
+  static HealthMetrics* metrics = new HealthMetrics{
+      *MetricsRegistry::Global().GetCounter("health.heartbeats_sent"),
+      *MetricsRegistry::Global().GetCounter("health.heartbeats_missed"),
+      *MetricsRegistry::Global().GetCounter("health.transitions"),
+      *MetricsRegistry::Global().GetCounter("health.transitions.to_suspect"),
+      *MetricsRegistry::Global().GetCounter("health.transitions.to_dead"),
+      *MetricsRegistry::Global().GetCounter("health.transitions.to_rejoining"),
+      *MetricsRegistry::Global().GetCounter("health.transitions.to_alive"),
+  };
+  return *metrics;
+}
+
+}  // namespace
 
 std::string_view PeerHealthName(PeerHealth health) {
   switch (health) {
@@ -70,6 +100,21 @@ void HealthMonitor::TransitionLocked(size_t peer, PeerHealth to, bool rebooted,
   event.rebooted = rebooted;
   state.health = to;
   ++stats_.transitions;
+  Metrics().transitions.Increment();
+  switch (to) {
+    case PeerHealth::kSuspect:
+      Metrics().to_suspect.Increment();
+      break;
+    case PeerHealth::kDead:
+      Metrics().to_dead.Increment();
+      break;
+    case PeerHealth::kRejoining:
+      Metrics().to_rejoining.Increment();
+      break;
+    case PeerHealth::kAlive:
+      Metrics().to_alive.Increment();
+      break;
+  }
   if (events != nullptr) {
     events->push_back(event);
   }
@@ -81,6 +126,7 @@ void HealthMonitor::MissLocked(size_t peer, bool connection_down,
                                std::vector<HealthEvent>* events) {
   PeerState& state = peers_[peer];
   ++stats_.heartbeats_missed;
+  Metrics().heartbeats_missed.Increment();
   ++state.missed;
   if (state.health == PeerHealth::kDead) {
     return;  // Already counted out.
@@ -109,6 +155,7 @@ void HealthMonitor::MissLocked(size_t peer, bool connection_down,
 void HealthMonitor::ProbeLocked(size_t peer, std::vector<HealthEvent>* events) {
   ServerPeer& p = cluster_->peer(peer);
   ++stats_.heartbeats_sent;
+  Metrics().heartbeats_sent.Increment();
   auto info = p.Heartbeat();
   if (!info.ok()) {
     MissLocked(peer, !p.transport().connected(), events);

@@ -127,6 +127,7 @@ Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageouts;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageOut, page_id, &now);
   auto it = table_.find(page_id);
   if (it != table_.end()) {
     // Overwrite both replicas in place, issuing both writes before waiting
@@ -143,6 +144,7 @@ Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
     }
     RMP_RETURN_IF_ERROR(JoinReplicaWrites(&now, data, &entry, futures, issued));
     stats_.paging_time += now - start;
+    trace.set_ok();
     return now;
   }
 
@@ -167,6 +169,7 @@ Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
   RMP_RETURN_IF_ERROR(JoinReplicaWrites(&now, data, &entry, futures, issued));
   table_.emplace(page_id, entry);
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 
@@ -177,6 +180,7 @@ Result<TimeNs> MirroringBackend::PageIn(TimeNs now, uint64_t page_id, std::span<
   }
   ++stats_.pageins;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageIn, page_id, &now);
   for (int c = 0; c < 2; ++c) {
     const size_t copy_peer = it->second.copies[c].peer;
     ServerPeer& peer = cluster_.peer(copy_peer);
@@ -191,6 +195,7 @@ Result<TimeNs> MirroringBackend::PageIn(TimeNs now, uint64_t page_id, std::span<
       }
       now = ChargePageTransfer(now, copy_peer);
       stats_.paging_time += now - start;
+      trace.set_ok();
       return now;
     }
     if (!IsRetryableError(status)) {

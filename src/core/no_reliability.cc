@@ -22,6 +22,7 @@ Result<TimeNs> NoReliabilityBackend::SendToDisk(TimeNs now, uint64_t page_id,
   }
   ++stats_.disk_transfers;
   stats_.disk_time += *done - now;
+  tracer_.Span(TraceStage::kDisk, now, *done);
   return *done;
 }
 
@@ -77,6 +78,7 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageouts;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageOut, page_id, &now);
   auto it = table_.find(page_id);
   if (it != table_.end() && !it->second.on_disk) {
     // Overwrite in place on the same server.
@@ -89,6 +91,7 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
           peer.set_no_new_extents(true);
         }
         stats_.paging_time += now - start;
+        trace.set_ok();
         return now;
       }
       if (!IsRetryableError(advise.status())) {
@@ -106,14 +109,18 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
     } else {
       auto done = SendToDisk(now, page_id, data);
       if (done.ok()) {
-        stats_.paging_time += *done - start;
+        now = *done;  // Keep the trace scope's clock at the true completion.
+        stats_.paging_time += now - start;
+        trace.set_ok();
       }
       return done;
     }
   }
   auto done = PlaceAndSend(now, page_id, data);
   if (done.ok()) {
-    stats_.paging_time += *done - start;
+    now = *done;
+    stats_.paging_time += now - start;
+    trace.set_ok();
   }
   return done;
 }
@@ -223,6 +230,7 @@ Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageins;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageIn, page_id, &now);
   if (it->second.on_disk) {
     auto done = local_disk_->PageIn(now, page_id, out);
     if (!done.ok()) {
@@ -230,8 +238,11 @@ Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
     }
     ++stats_.disk_transfers;
     stats_.disk_time += *done - now;
-    stats_.paging_time += *done - start;
-    return *done;
+    tracer_.Span(TraceStage::kDisk, now, *done);
+    now = *done;
+    stats_.paging_time += now - start;
+    trace.set_ok();
+    return now;
   }
   ServerPeer& peer = cluster_.peer(it->second.peer);
   const Status status = ReliablePageIn(it->second.peer, it->second.slot, out, &now);
@@ -245,6 +256,7 @@ Result<TimeNs> NoReliabilityBackend::PageIn(TimeNs now, uint64_t page_id,
   }
   now = ChargePageTransfer(now, it->second.peer);
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 

@@ -150,6 +150,7 @@ Status ParityLoggingBackend::JoinParityFlush(TimeNs* now) {
 }
 
 Status ParityLoggingBackend::FlushParity(TimeNs* now) {
+  const TimeNs parity_start = *now;
   // At most one parity write rides the wire at a time: settle the previous
   // stripe's flush before issuing this one.
   RMP_RETURN_IF_ERROR(JoinParityFlush(now));
@@ -212,6 +213,7 @@ Status ParityLoggingBackend::FlushParity(TimeNs* now) {
   if (sealed.active_count == 0) {
     ReclaimGroup(sealed_id, now);
   }
+  tracer_.Span(TraceStage::kParity, parity_start, *now);
   return OkStatus();
 }
 
@@ -270,9 +272,11 @@ Result<TimeNs> ParityLoggingBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageouts;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageOut, page_id, &now);
   RetireOldVersion(page_id, &now);
   RMP_RETURN_IF_ERROR(PlacePage(page_id, data, &now));
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 
@@ -284,6 +288,7 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageins;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageIn, page_id, &now);
   const PageLocation loc = it->second;
   const ParityGroup& group = groups_.at(loc.group_id);
   const GroupEntry& entry = group.entries[loc.entry_index];
@@ -293,6 +298,7 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
     if (status.ok()) {
       now = ChargePageTransfer(now, entry.peer);
       stats_.paging_time += now - start;
+      trace.set_ok();
       return now;
     }
     if (!IsRetryableError(status)) {
@@ -303,7 +309,9 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
   // page is live again on a healthy server. The read is degraded — it is
   // served by XOR over the group's survivors, not by the stored copy.
   ++stats_.degraded_reads;
+  const TimeNs parity_start = now;
   RMP_RETURN_IF_ERROR(Recover(entry.peer, &now));
+  tracer_.Span(TraceStage::kParity, parity_start, now);
   auto retry = table_.find(page_id);
   if (retry == table_.end()) {
     return InternalError("page lost during recovery");
@@ -313,6 +321,7 @@ Result<TimeNs> ParityLoggingBackend::PageIn(TimeNs now, uint64_t page_id,
   RMP_RETURN_IF_ERROR(ReliablePageIn(new_entry.peer, new_entry.slot, out, &now));
   now = ChargePageTransfer(now, new_entry.peer);
   stats_.paging_time += now - start;
+  trace.set_ok();
   return now;
 }
 

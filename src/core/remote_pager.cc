@@ -5,44 +5,56 @@
 
 namespace rmp {
 
-TimeNs RemotePagerBase::ChargePageTransfer(TimeNs now, size_t peer) {
-  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, kPageWireBytes, peer);
-  ++stats_.page_transfers;
+TimeNs RemotePagerBase::ChargeTransferCost(TimeNs now, const NetworkFabric::TransferCost& cost) {
   stats_.protocol_time += cost.protocol;
   stats_.wire_time += cost.wire;
+  // Stage decomposition: protocol processing (service), then waiting behind
+  // earlier transfers (queue), then this transfer's own wire occupancy.
+  tracer_.Span(TraceStage::kService, now, now + cost.protocol);
+  const TimeNs enqueue = now + cost.protocol;
+  tracer_.Span(TraceStage::kQueue, enqueue, enqueue + cost.queued);
+  tracer_.Span(TraceStage::kWire, enqueue + cost.queued, enqueue + cost.wire);
   return cost.completion;
+}
+
+TimeNs RemotePagerBase::ChargePageTransfer(TimeNs now, size_t peer) {
+  ++stats_.page_transfers;
+  return ChargeTransferCost(now, fabric_->Transfer(now, kPageWireBytes, peer));
 }
 
 TimeNs RemotePagerBase::ChargePageTransferAsync(TimeNs now, size_t peer) {
-  const NetworkFabric::TransferCost cost = fabric_->TransferAsync(now, kPageWireBytes, peer);
   ++stats_.page_transfers;
-  stats_.protocol_time += cost.protocol;
-  stats_.wire_time += cost.wire;
-  return cost.completion;
+  return ChargeTransferCost(now, fabric_->TransferAsync(now, kPageWireBytes, peer));
 }
 
 TimeNs RemotePagerBase::ChargePageBatchTransfer(TimeNs now, uint64_t pages, size_t peer) {
-  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, BatchWireBytes(pages), peer);
   stats_.page_transfers += static_cast<int64_t>(pages);
-  stats_.protocol_time += cost.protocol;
-  stats_.wire_time += cost.wire;
-  return cost.completion;
+  return ChargeTransferCost(now, fabric_->Transfer(now, BatchWireBytes(pages), peer));
 }
 
 TimeNs RemotePagerBase::ChargePageBatchTransferAsync(TimeNs now, uint64_t pages, size_t peer) {
-  const NetworkFabric::TransferCost cost =
-      fabric_->TransferAsync(now, BatchWireBytes(pages), peer);
   stats_.page_transfers += static_cast<int64_t>(pages);
-  stats_.protocol_time += cost.protocol;
-  stats_.wire_time += cost.wire;
-  return cost.completion;
+  return ChargeTransferCost(now, fabric_->TransferAsync(now, BatchWireBytes(pages), peer));
 }
 
 TimeNs RemotePagerBase::ChargeControl(TimeNs now, size_t peer) {
-  const NetworkFabric::TransferCost cost = fabric_->Transfer(now, kControlWireBytes, peer);
-  stats_.protocol_time += cost.protocol;
-  stats_.wire_time += cost.wire;
-  return cost.completion;
+  return ChargeTransferCost(now, fabric_->Transfer(now, kControlWireBytes, peer));
+}
+
+void RemotePagerBase::SyncStatsToMetrics() {
+  metrics_.GetCounter("backend.pageouts")->store(stats_.pageouts);
+  metrics_.GetCounter("backend.pageins")->store(stats_.pageins);
+  metrics_.GetCounter("backend.page_transfers")->store(stats_.page_transfers);
+  metrics_.GetCounter("backend.disk_transfers")->store(stats_.disk_transfers);
+  metrics_.GetCounter("backend.protocol_time_ns")->store(stats_.protocol_time);
+  metrics_.GetCounter("backend.wire_time_ns")->store(stats_.wire_time);
+  metrics_.GetCounter("backend.disk_time_ns")->store(stats_.disk_time);
+  metrics_.GetCounter("backend.paging_time_ns")->store(stats_.paging_time);
+  metrics_.GetCounter("backend.retries")->store(stats_.retries);
+  metrics_.GetCounter("backend.failovers")->store(stats_.failovers);
+  metrics_.GetCounter("backend.degraded_reads")->store(stats_.degraded_reads);
+  metrics_.GetCounter("backend.reconstructions")->store(stats_.reconstructions);
+  metrics_.GetCounter("backend.backoff_time_ns")->store(stats_.backoff_time);
 }
 
 Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
@@ -92,6 +104,7 @@ void RemotePagerBase::ChargeBackoff(int attempt, TimeNs* now) {
     const double scale = 1.0 + retry.jitter * (2.0 * retry_rng_.NextDouble() - 1.0);
     delay = static_cast<DurationNs>(static_cast<double>(delay) * scale);
   }
+  tracer_.Span(TraceStage::kBackoff, *now, *now + delay);
   *now += delay;
   stats_.backoff_time += delay;
   ++stats_.retries;

@@ -11,7 +11,9 @@
 #include "src/core/cluster.h"
 #include "src/core/fabric.h"
 #include "src/core/paging_backend.h"
+#include "src/util/metrics.h"
 #include "src/util/rng.h"
+#include "src/util/tracing.h"
 
 namespace rmp {
 
@@ -43,6 +45,9 @@ struct RemotePagerParams {
   uint64_t alloc_extent_pages = 256;
   ServerSelection selection = ServerSelection::kMostFree;
   RetryParams retry;
+  // Page-lifecycle tracer tuning (DESIGN.md §12): ring size, slow-op
+  // threshold, span cap.
+  PageTracerOptions trace;
 };
 
 class RemotePagerBase : public PagingBackend {
@@ -51,6 +56,15 @@ class RemotePagerBase : public PagingBackend {
 
   Cluster& cluster() { return cluster_; }
   NetworkFabric& fabric() { return *fabric_; }
+
+  // --- Telemetry (DESIGN.md §12) -------------------------------------------
+  // The backend's registry: trace stage/total histograms land here live;
+  // SyncStatsToMetrics mirrors the BackendStats counters in (keys
+  // `backend.*`) so one snapshot carries both.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  PageTracer& tracer() { return tracer_; }
+  void SyncStatsToMetrics();
 
   // --- Self-healing hooks (DESIGN.md §11) ----------------------------------
   // Incremental, idempotent work quanta the RepairCoordinator drives under
@@ -78,7 +92,12 @@ class RemotePagerBase : public PagingBackend {
       : cluster_(std::move(cluster)),
         fabric_(std::move(fabric)),
         params_(params),
-        retry_rng_(params.retry.jitter_seed) {}
+        retry_rng_(params.retry.jitter_seed),
+        tracer_(&metrics_, params.trace) {
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      cluster_.peer(i).AttachMetrics(&metrics_);
+    }
+  }
 
   // --- Failure detector ----------------------------------------------------
 
@@ -149,12 +168,18 @@ class RemotePagerBase : public PagingBackend {
   // Picks a peer for a fresh page according to params_.selection.
   Result<size_t> PickPeer(TimeNs* now);
 
+  // Stamps the spans of one fabric transfer (service / queue / wire) onto
+  // the tracer and folds its costs into stats_; returns the completion time.
+  TimeNs ChargeTransferCost(TimeNs now, const NetworkFabric::TransferCost& cost);
+
   Cluster cluster_;
   std::shared_ptr<NetworkFabric> fabric_;
   RemotePagerParams params_;
   BackendStats stats_;
   size_t rr_cursor_ = 0;
   Rng retry_rng_;
+  MetricsRegistry metrics_;  // Declared before tracer_: its histograms live here.
+  PageTracer tracer_;
 
  private:
   // Refresh load info at most every this many pageouts (most-free mode).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace rmp {
 
@@ -10,6 +11,34 @@ namespace {
 // One token = one page; fractional accrual is tracked in billionths so the
 // pacing math is exact (rate is pages/sec, time is integer nanoseconds).
 constexpr uint64_t kTokenScale = 1'000'000'000ull;
+
+// Repair/drain progress in the process-wide registry, mirroring RepairStats
+// so a DumpMetrics() snapshot shows redundancy repair next to health and
+// transport counters.
+struct RepairMetrics {
+  Counter& repairs_started;
+  Counter& repairs_completed;
+  Counter& pages_resilvered;
+  Counter& drains_started;
+  Counter& drains_completed;
+  Counter& pages_migrated;
+  Counter& rejoins;
+  Counter& throttle_time_ns;
+};
+
+RepairMetrics& Metrics() {
+  static RepairMetrics* metrics = new RepairMetrics{
+      *MetricsRegistry::Global().GetCounter("repair.repairs_started"),
+      *MetricsRegistry::Global().GetCounter("repair.repairs_completed"),
+      *MetricsRegistry::Global().GetCounter("repair.pages_resilvered"),
+      *MetricsRegistry::Global().GetCounter("repair.drains_started"),
+      *MetricsRegistry::Global().GetCounter("repair.drains_completed"),
+      *MetricsRegistry::Global().GetCounter("repair.pages_migrated"),
+      *MetricsRegistry::Global().GetCounter("repair.rejoins"),
+      *MetricsRegistry::Global().GetCounter("repair.throttle_time_ns"),
+  };
+  return *metrics;
+}
 }  // namespace
 
 TokenBucket::TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages)
@@ -84,6 +113,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
         if (!drain_pending_[peer]) {
           drain_pending_[peer] = 1;
           ++stats_.drains_started;
+          Metrics().drains_started.Increment();
         }
       } else if (drained_[peer] && !drain_pending_[peer]) {
         // Load dropped after a completed drain: lift the stop the drain
@@ -99,6 +129,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
       if (!repair_pending_[peer]) {
         repair_pending_[peer] = 1;
         ++stats_.repairs_started;
+        Metrics().repairs_started.Increment();
       }
       continue;
     }
@@ -109,6 +140,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
         if (!repair_pending_[peer]) {
           repair_pending_[peer] = 1;
           ++stats_.repairs_started;
+          Metrics().repairs_started.Increment();
         }
         rejoin_deferred_[peer] = 1;
       } else {
@@ -118,6 +150,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
         if (repair_pending_[peer]) {
           repair_pending_[peer] = 0;
           ++stats_.repairs_completed;
+          Metrics().repairs_completed.Increment();
         }
         Readmit(peer);
       }
@@ -134,6 +167,7 @@ void RepairCoordinator::Readmit(size_t peer) {
   drained_[peer] = 0;
   monitor_->MarkReadmitted(peer);
   ++stats_.rejoins;
+  Metrics().rejoins.Increment();
   RMP_LOG(kInfo) << "repair: re-admitted peer " << peer;
 }
 
@@ -153,6 +187,7 @@ Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed)
   if (*done == 0) {
     repair_pending_[peer] = 0;
     ++stats_.repairs_completed;
+    Metrics().repairs_completed.Increment();
     *progressed = true;
     if (rejoin_deferred_[peer]) {
       rejoin_deferred_[peer] = 0;
@@ -161,6 +196,7 @@ Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed)
     return OkStatus();
   }
   stats_.pages_resilvered += static_cast<int64_t>(*done);
+  Metrics().pages_resilvered.Increment(static_cast<int64_t>(*done));
   *progressed = true;
   return OkStatus();
 }
@@ -181,11 +217,13 @@ Status RepairCoordinator::StepDrain(size_t peer, TimeNs* now, bool* progressed) 
   if (*done == 0) {
     drain_pending_[peer] = 0;
     ++stats_.drains_completed;
+    Metrics().drains_completed.Increment();
     *progressed = true;
     return OkStatus();
   }
   drained_[peer] = 1;
   stats_.pages_migrated += static_cast<int64_t>(*done);
+  Metrics().pages_migrated.Increment(static_cast<int64_t>(*done));
   *progressed = true;
   return OkStatus();
 }
@@ -227,6 +265,7 @@ Result<TimeNs> RepairCoordinator::RunToQuiescence(TimeNs now) {
         return InternalError("repair made no progress with tokens available");
       }
       stats_.throttle_time += next - now;
+      Metrics().throttle_time_ns.Increment(next - now);
       now = next;
     }
   }

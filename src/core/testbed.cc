@@ -157,6 +157,29 @@ void Testbed::PartitionServer(size_t i) {
   faults_[i]->Disconnect();
 }
 
+std::string Testbed::DumpMetrics() {
+  std::string out;
+  if (auto* pager = dynamic_cast<RemotePagerBase*>(backend_.get())) {
+    pager->SyncStatsToMetrics();
+    out += "# client (" + std::string(PolicyName(params_.policy)) + ")\n";
+    out += pager->metrics().ExportText();
+  }
+  for (auto& server : servers_) {
+    out += "# " + server->name() + "\n";
+    (void)server->StatsJson();  // Refreshes the occupancy gauges.
+    out += server->metrics().ExportText();
+  }
+  out += "# process\n";
+  out += MetricsRegistry::Global().ExportText();
+  return out;
+}
+
+void Testbed::AttachTracerToServer(size_t i) {
+  if (auto* pager = dynamic_cast<RemotePagerBase*>(backend_.get())) {
+    servers_[i]->AttachTracer(&pager->tracer());
+  }
+}
+
 Status Testbed::EnableSelfHealing(const HealthParams& health_params,
                                   const RepairParams& repair_params) {
   auto* pager = dynamic_cast<RemotePagerBase*>(backend_.get());

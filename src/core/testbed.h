@@ -109,6 +109,16 @@ class Testbed {
   // RestartServer(i, {.preserve_memory = true}).
   void PartitionServer(size_t i);
 
+  // One-stop live introspection: the client pager's registry (BackendStats
+  // synced in, trace stage histograms included), each server's registry,
+  // and the process-wide registry, as labeled text sections. Works for
+  // kDisk too (client section omitted).
+  std::string DumpMetrics();
+
+  // Points server `i`'s TRACE_DUMP handler at the client pager's tracer so
+  // a trace ring can be pulled back over the wire. No-op for kDisk.
+  void AttachTracerToServer(size_t i);
+
   // Attaches the self-healing layer (HealthMonitor + RepairCoordinator) to
   // the backend. Call once, after Create; fails for kDisk (no cluster).
   // Drive it with repair().Pump()/RunToQuiescence() on the simulated clock.

@@ -72,6 +72,7 @@ Result<TimeNs> WriteThroughBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.pageouts;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageOut, page_id, &now);
   // Both copies are written "in parallel" (§4.7): the network transfer and
   // the disk write overlap, so the pageout completes at the later of the two.
   auto remote_done = SendRemote(now, page_id, data);
@@ -84,9 +85,11 @@ Result<TimeNs> WriteThroughBackend::PageOut(TimeNs now, uint64_t page_id,
   }
   ++stats_.disk_transfers;
   stats_.disk_time += *disk_done - now;
-  const TimeNs done = std::max(*remote_done, *disk_done);
-  stats_.paging_time += done - start;
-  return done;
+  tracer_.Span(TraceStage::kDisk, now, *disk_done);
+  now = std::max(*remote_done, *disk_done);
+  stats_.paging_time += now - start;
+  trace.set_ok();
+  return now;
 }
 
 Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::span<uint8_t> out) {
@@ -96,6 +99,7 @@ Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::sp
   }
   ++stats_.pageins;
   const TimeNs start = now;
+  TraceScope trace(&tracer_, TraceOp::kPageIn, page_id, &now);
   if (it->second.remote_valid) {
     ServerPeer& peer = cluster_.peer(it->second.peer);
     if (peer.alive() || peer.transport().connected()) {
@@ -103,6 +107,7 @@ Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::sp
       if (status.ok()) {
         now = ChargePageTransfer(now, it->second.peer);
         stats_.paging_time += now - start;
+        trace.set_ok();
         return now;
       }
       if (!IsRetryableError(status)) {
@@ -119,8 +124,11 @@ Result<TimeNs> WriteThroughBackend::PageIn(TimeNs now, uint64_t page_id, std::sp
   }
   ++stats_.disk_transfers;
   stats_.disk_time += *done - now;
-  stats_.paging_time += *done - start;
-  return *done;
+  tracer_.Span(TraceStage::kDisk, now, *done);
+  now = *done;
+  stats_.paging_time += now - start;
+  trace.set_ok();
+  return now;
 }
 
 Result<uint64_t> WriteThroughBackend::RepairStep(size_t peer, uint64_t max_pages, TimeNs* now) {

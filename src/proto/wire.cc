@@ -48,7 +48,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
-         t <= static_cast<uint8_t>(MessageType::kMigrateReply);
+         t <= static_cast<uint8_t>(MessageType::kTraceDumpReply);
 }
 
 }  // namespace
@@ -105,6 +105,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "MIGRATE";
     case MessageType::kMigrateReply:
       return "MIGRATE_REPLY";
+    case MessageType::kStatsQuery:
+      return "STATS_QUERY";
+    case MessageType::kStatsReply:
+      return "STATS_REPLY";
+    case MessageType::kTraceDump:
+      return "TRACE_DUMP";
+    case MessageType::kTraceDumpReply:
+      return "TRACE_DUMP_REPLY";
   }
   return "UNKNOWN";
 }
@@ -363,6 +371,48 @@ Message MakeMigrateReply(uint64_t request_id, uint64_t slot, std::span<const uin
   m.status = static_cast<uint32_t>(status);
   m.payload.assign(data.begin(), data.end());
   return m;
+}
+
+namespace {
+
+Message MakeIntrospectionReply(MessageType type, uint64_t request_id, uint64_t incarnation,
+                               std::string_view json) {
+  Message m;
+  m.type = type;
+  m.request_id = request_id;
+  m.slot = incarnation;
+  m.count = json.size();
+  m.payload.assign(json.begin(), json.end());
+  return m;
+}
+
+}  // namespace
+
+Message MakeStatsQuery(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kStatsQuery;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeStatsReply(uint64_t request_id, uint64_t incarnation, std::string_view json) {
+  return MakeIntrospectionReply(MessageType::kStatsReply, request_id, incarnation, json);
+}
+
+Message MakeTraceDump(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kTraceDump;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json) {
+  return MakeIntrospectionReply(MessageType::kTraceDumpReply, request_id, incarnation, json);
+}
+
+std::string_view IntrospectionJson(const Message& message) {
+  return std::string_view(reinterpret_cast<const char*>(message.payload.data()),
+                         message.payload.size());
 }
 
 Message MakeShutdown(uint64_t request_id) {

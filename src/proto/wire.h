@@ -87,6 +87,15 @@ enum class MessageType : uint8_t {
   // followed by a FREE_REQUEST.
   kMigrate = 24,       // slot.
   kMigrateReply = 25,  // slot + payload; the slot is freed server-side on OK.
+  // Live introspection (DESIGN.md §12): STATS pulls the server's metrics
+  // registry as a JSON snapshot, TRACE_DUMP its trace ring. Both replies
+  // carry the JSON document as the payload; `count` is the document length
+  // and `slot` the server's incarnation, so a client can tell which life of
+  // the server the numbers describe.
+  kStatsQuery = 26,
+  kStatsReply = 27,
+  kTraceDump = 28,
+  kTraceDumpReply = 29,
 };
 
 std::string_view MessageTypeName(MessageType type);
@@ -206,6 +215,13 @@ Message MakeHeartbeatAck(uint64_t request_id, uint64_t incarnation, uint64_t fre
 Message MakeMigrate(uint64_t request_id, uint64_t slot);
 Message MakeMigrateReply(uint64_t request_id, uint64_t slot, std::span<const uint8_t> data,
                          ErrorCode status);
+Message MakeStatsQuery(uint64_t request_id);
+Message MakeStatsReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
+Message MakeTraceDump(uint64_t request_id);
+Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
+
+// The JSON document carried by a kStatsReply / kTraceDumpReply payload.
+std::string_view IntrospectionJson(const Message& message);
 
 // Batched data-plane messages. `pages` is the concatenation of
 // slots.size() pages of exactly kPageSize bytes each.

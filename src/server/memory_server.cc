@@ -323,15 +323,19 @@ void MemoryServer::Restart() {
 }
 
 void MemoryServer::ResetStats() {
-  stats_.pageouts_served.store(0);
-  stats_.pageins_served.store(0);
-  stats_.batch_requests.store(0);
-  stats_.allocations.store(0);
-  stats_.denials.store(0);
-  stats_.heartbeats_served.store(0);
-  stats_.migrations_served.store(0);
-  stats_.bytes_stored.store(0);
-  stats_.bytes_returned.store(0);
+  // Every counter and gauge lives in the registry, so a registry-wide reset
+  // zeroes stats() and the STATS-visible surface in one stroke — a restarted
+  // incarnation must not leak the previous life's totals.
+  registry_.Reset();
+}
+
+std::string MemoryServer::StatsJson() const {
+  registry_.GetGauge("server.capacity_pages")->Set(static_cast<int64_t>(capacity_pages()));
+  registry_.GetGauge("server.free_pages")->Set(static_cast<int64_t>(free_pages()));
+  registry_.GetGauge("server.live_pages")->Set(static_cast<int64_t>(live_pages()));
+  registry_.GetGauge("server.incarnation")->Set(static_cast<int64_t>(incarnation()));
+  registry_.GetGauge("server.advise_stop")->Set(ShouldAdviseStop() ? 1 : 0);
+  return registry_.ExportJson();
 }
 
 void MemoryServer::SetNativeLoad(double fraction) {
@@ -500,6 +504,19 @@ Message MemoryServer::Handle(const Message& request) {
         return MakeMigrateReply(request.request_id, request.slot, {}, page.status().code());
       }
       return MakeMigrateReply(request.request_id, request.slot, page->span(), ErrorCode::kOk);
+    }
+    case MessageType::kStatsQuery: {
+      if (crashed()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      return MakeStatsReply(request.request_id, incarnation(), StatsJson());
+    }
+    case MessageType::kTraceDump: {
+      if (crashed()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      return MakeTraceDumpReply(request.request_id, incarnation(),
+                                tracer_ != nullptr ? tracer_->ToJson() : "[]");
     }
     case MessageType::kShutdown: {
       Message reply;

@@ -38,7 +38,9 @@
 
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
+#include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/tracing.h"
 
 namespace rmp {
 
@@ -59,18 +61,31 @@ struct MemoryServerParams {
   int64_t store_service_micros = 0;
 };
 
-// Counters are atomic so shard-parallel request threads can bump them
-// without sharing a lock; read them with the implicit load.
+// The server's counters, backed by its MetricsRegistry (DESIGN.md §12): each
+// member is a registry Counter, so the same numbers the direct accessors see
+// ship in a STATS reply. Counters stay atomic, so shard-parallel request
+// threads bump them without sharing a lock; read them with the implicit load.
 struct MemoryServerStats {
-  std::atomic<int64_t> pageouts_served{0};
-  std::atomic<int64_t> pageins_served{0};
-  std::atomic<int64_t> batch_requests{0};  // PAGEOUT_BATCH / PAGEIN_BATCH messages.
-  std::atomic<int64_t> allocations{0};
-  std::atomic<int64_t> denials{0};
-  std::atomic<int64_t> heartbeats_served{0};
-  std::atomic<int64_t> migrations_served{0};  // MIGRATE (read-and-free) ops.
-  std::atomic<uint64_t> bytes_stored{0};
-  std::atomic<uint64_t> bytes_returned{0};
+  explicit MemoryServerStats(MetricsRegistry* registry)
+      : pageouts_served(*registry->GetCounter("server.pageouts_served")),
+        pageins_served(*registry->GetCounter("server.pageins_served")),
+        batch_requests(*registry->GetCounter("server.batch_requests")),
+        allocations(*registry->GetCounter("server.allocations")),
+        denials(*registry->GetCounter("server.denials")),
+        heartbeats_served(*registry->GetCounter("server.heartbeats_served")),
+        migrations_served(*registry->GetCounter("server.migrations_served")),
+        bytes_stored(*registry->GetCounter("server.bytes_stored")),
+        bytes_returned(*registry->GetCounter("server.bytes_returned")) {}
+
+  Counter& pageouts_served;
+  Counter& pageins_served;
+  Counter& batch_requests;  // PAGEOUT_BATCH / PAGEIN_BATCH messages.
+  Counter& allocations;
+  Counter& denials;
+  Counter& heartbeats_served;
+  Counter& migrations_served;  // MIGRATE (read-and-free) ops.
+  Counter& bytes_stored;
+  Counter& bytes_returned;
 };
 
 class MemoryServer : public MessageHandler {
@@ -142,6 +157,17 @@ class MemoryServer : public MessageHandler {
   const MemoryServerStats& stats() const { return stats_; }
   const std::string& name() const { return params_.name; }
 
+  // --- Live introspection (DESIGN.md §12) ---------------------------------
+  // The registry behind stats(), plus occupancy gauges refreshed on demand.
+  MetricsRegistry& metrics() const { return registry_; }
+  // Refreshes the occupancy gauges and exports the registry as JSON — the
+  // STATS reply payload.
+  std::string StatsJson() const;
+  // Optional tracer whose ring answers TRACE_DUMP (a server-side process
+  // would trace its own ops; the testbed attaches the client's tracer so the
+  // dump travels the wire). Not owned; pass nullptr to detach.
+  void AttachTracer(PageTracer* tracer) { tracer_ = tracer; }
+
  private:
   // Frames per slab: 64 × 8 KB = 512 KB slabs, large enough to amortize the
   // allocation, small enough that a lightly used shard stays cheap.
@@ -182,7 +208,10 @@ class MemoryServer : public MessageHandler {
   std::atomic<bool> has_slot_delays_{false};
   std::atomic<uint64_t> incarnation_{1};
 
-  mutable MemoryServerStats stats_;
+  // Declared before stats_: the stat counters live in this registry.
+  mutable MetricsRegistry registry_;
+  mutable MemoryServerStats stats_{&registry_};
+  PageTracer* tracer_ = nullptr;
 };
 
 }  // namespace rmp

@@ -12,9 +12,32 @@
 #include <cstring>
 
 #include "src/util/logging.h"
+#include "src/util/metrics.h"
 
 namespace rmp {
 namespace {
+
+// Transport-level telemetry lives in the process-wide registry: transports
+// come and go per connection, but queue depth and in-flight totals are only
+// meaningful summed across all of them.
+struct TransportMetrics {
+  Counter& frames_sent;
+  Counter& frames_received;
+  Counter& connection_failures;
+  Gauge& send_queue_depth;
+  Gauge& inflight_rpcs;
+};
+
+TransportMetrics& TcpMetrics() {
+  static TransportMetrics* metrics = new TransportMetrics{
+      *MetricsRegistry::Global().GetCounter("tcp.frames_sent"),
+      *MetricsRegistry::Global().GetCounter("tcp.frames_received"),
+      *MetricsRegistry::Global().GetCounter("tcp.connection_failures"),
+      *MetricsRegistry::Global().GetGauge("tcp.send_queue_depth"),
+      *MetricsRegistry::Global().GetGauge("tcp.inflight_rpcs"),
+  };
+  return *metrics;
+}
 
 Status ErrnoError(const char* what) {
   return IoError(std::string(what) + ": " + std::strerror(errno));
@@ -279,13 +302,20 @@ void TcpTransport::Close() {
 void TcpTransport::FailConnection(const std::string& reason) {
   std::deque<SendItem> dropped;
   std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> orphaned;
+  bool first_closer = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    first_closer = !stopping_;
     stopping_ = true;
     connected_.store(false);
     dropped.swap(queue_);
     orphaned.swap(pending_);
   }
+  if (first_closer) {
+    TcpMetrics().connection_failures.Increment();
+  }
+  TcpMetrics().send_queue_depth.Add(-static_cast<int64_t>(dropped.size()));
+  TcpMetrics().inflight_rpcs.Add(-static_cast<int64_t>(orphaned.size()));
   if (fd_.valid()) {
     ::shutdown(fd_.get(), SHUT_RDWR);
   }
@@ -313,6 +343,8 @@ RpcFuture TcpTransport::CallAsync(Message request) {
     }
     pending_.emplace(request.request_id, state);
     queue_.push_back(SendItem{std::move(request)});
+    TcpMetrics().inflight_rpcs.Add(1);
+    TcpMetrics().send_queue_depth.Add(1);
   }
   send_cv_.notify_one();
   return RpcFuture(std::move(state));
@@ -331,6 +363,7 @@ Status TcpTransport::SendOneWay(const Message& request) {
       return UnavailableError("transport closed");
     }
     queue_.push_back(SendItem{request});
+    TcpMetrics().send_queue_depth.Add(1);
   }
   send_cv_.notify_one();
   return OkStatus();
@@ -352,6 +385,7 @@ void TcpTransport::SenderLoop() {
       }
       item = std::move(queue_.front());
       queue_.pop_front();
+      TcpMetrics().send_queue_depth.Add(-1);
     }
     space_cv_.notify_one();
     const Status sent = SendFrame(fd_.get(), item.message);
@@ -359,6 +393,7 @@ void TcpTransport::SenderLoop() {
       FailConnection("send failed: " + sent.message());
       return;
     }
+    TcpMetrics().frames_sent.Increment();
   }
 }
 
@@ -371,6 +406,7 @@ void TcpTransport::ReceiverLoop() {
                          : "receive failed: " + reply.status().message());
       return;
     }
+    TcpMetrics().frames_received.Increment();
     std::shared_ptr<RpcFuture::State> state;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -378,6 +414,7 @@ void TcpTransport::ReceiverLoop() {
       if (it != pending_.end()) {
         state = std::move(it->second);
         pending_.erase(it);
+        TcpMetrics().inflight_rpcs.Add(-1);
       }
     }
     if (state != nullptr) {

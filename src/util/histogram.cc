@@ -33,15 +33,36 @@ double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 void RunningStats::Reset() { *this = RunningStats(); }
 
-Histogram::Histogram(double lo, double hi, int buckets)
-    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / buckets), buckets_(buckets, 0) {
+Histogram::Histogram(double lo, double hi, int buckets, bool log_scale)
+    : lo_(lo),
+      hi_(hi),
+      log_scale_(log_scale),
+      bucket_width_((hi - lo) / buckets),
+      buckets_(buckets, 0) {
   assert(hi > lo);
   assert(buckets > 0);
+  if (log_scale_) {
+    assert(lo > 0.0);
+    log_lo_ = std::log(lo);
+    log_width_ = (std::log(hi) - log_lo_) / buckets;
+  }
+}
+
+double Histogram::BucketEdge(size_t i) const {
+  if (log_scale_) {
+    return std::exp(log_lo_ + static_cast<double>(i) * log_width_);
+  }
+  return lo_ + static_cast<double>(i) * bucket_width_;
 }
 
 void Histogram::Add(double x) {
   stats_.Add(x);
-  int idx = static_cast<int>((x - lo_) / bucket_width_);
+  int idx;
+  if (log_scale_) {
+    idx = x <= 0.0 ? 0 : static_cast<int>((std::log(x) - log_lo_) / log_width_);
+  } else {
+    idx = static_cast<int>((x - lo_) / bucket_width_);
+  }
   idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
   ++buckets_[idx];
 }
@@ -52,18 +73,34 @@ double Histogram::Percentile(double p) const {
   if (total == 0) {
     return 0.0;
   }
+  // The extremes are tracked exactly; interpolating a one-sample bucket or
+  // the p=100 edge would only manufacture error.
+  if (p >= 100.0 || total == 1) {
+    return stats_.max();
+  }
+  if (p <= 0.0) {
+    return stats_.min();
+  }
   const double target = p / 100.0 * static_cast<double>(total);
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     const int64_t in_bucket = buckets_[i];
     if (seen + in_bucket >= target && in_bucket > 0) {
-      // Interpolate position within the bucket.
+      // Interpolate position within the bucket (geometrically when the
+      // buckets are log-scale), then clamp: clamped out-of-range samples
+      // sit in edge buckets whose nominal span does not contain them.
       const double frac = (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+      double value;
+      if (log_scale_) {
+        value = std::exp(log_lo_ + (static_cast<double>(i) + frac) * log_width_);
+      } else {
+        value = lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+      }
+      return std::clamp(value, stats_.min(), stats_.max());
     }
     seen += in_bucket;
   }
-  return hi_;
+  return stats_.max();
 }
 
 std::string Histogram::ToString() const {
@@ -79,10 +116,8 @@ std::string Histogram::ToString() const {
     }
     const int bar = static_cast<int>(50.0 * static_cast<double>(buckets_[i]) /
                                      static_cast<double>(peak));
-    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8lld |%.*s\n",
-                  lo_ + static_cast<double>(i) * bucket_width_,
-                  lo_ + static_cast<double>(i + 1) * bucket_width_,
-                  static_cast<long long>(buckets_[i]), bar,
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8lld |%.*s\n", BucketEdge(i),
+                  BucketEdge(i + 1), static_cast<long long>(buckets_[i]), bar,
                   "##################################################");
     out += line;
   }

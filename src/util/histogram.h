@@ -36,11 +36,14 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-// Linear-bucket histogram over [lo, hi); out-of-range samples clamp to the
-// edge buckets. Percentiles are interpolated within a bucket.
+// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+// edge buckets. Buckets are linear by default, or geometric (log-scale) for
+// latencies spanning µs→s where linear buckets blur the fast path.
+// Percentiles are interpolated within a bucket, clamped to the observed
+// [min, max]; p=100 and single-sample histograms return the exact max.
 class Histogram {
  public:
-  Histogram(double lo, double hi, int buckets);
+  Histogram(double lo, double hi, int buckets, bool log_scale = false);
 
   void Add(double x);
   int64_t count() const { return stats_.count(); }
@@ -53,8 +56,14 @@ class Histogram {
   std::string ToString() const;
 
  private:
+  // Nominal lower edge of bucket i (== upper edge of bucket i-1).
+  double BucketEdge(size_t i) const;
+
   double lo_;
   double hi_;
+  bool log_scale_;
+  double log_lo_ = 0.0;      // ln(lo) when log-scale.
+  double log_width_ = 0.0;   // ln(hi/lo)/buckets when log-scale.
   double bucket_width_;
   std::vector<int64_t> buckets_;
   RunningStats stats_;

@@ -1,0 +1,342 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rmp {
+namespace {
+
+// Relaxed atomic add for doubles (no fetch_add for floating point pre-C++20
+// on all our toolchains): CAS loop, contention is reporting-path rare.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double x) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (x < cur && !target->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double x) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (x > cur && !target->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+double HistogramData::Percentile(double p) const {
+  p = std::clamp(p, 0.0, 100.0);
+  if (count == 0) {
+    return 0.0;
+  }
+  // The exact extremes need no interpolation — and a one-sample histogram
+  // has nothing to interpolate between.
+  if (p >= 100.0 || count == 1) {
+    return max;
+  }
+  if (p <= 0.0) {
+    return min;
+  }
+  const double target = p / 100.0 * static_cast<double>(count);
+  int64_t seen = 0;
+  const int n = static_cast<int>(buckets.size());
+  for (int i = 0; i < n; ++i) {
+    const int64_t in_bucket = buckets[i];
+    if (in_bucket > 0 && static_cast<double>(seen + in_bucket) >= target) {
+      const double frac = (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      double value;
+      if (options.log_scale) {
+        const double log_lo = std::log(options.lo);
+        const double log_width = (std::log(options.hi) - log_lo) / n;
+        value = std::exp(log_lo + (static_cast<double>(i) + frac) * log_width);
+      } else {
+        const double width = (options.hi - options.lo) / n;
+        value = options.lo + (static_cast<double>(i) + frac) * width;
+      }
+      // Clamped samples land in edge buckets whose nominal range does not
+      // contain them; the observed extremes are the honest bounds.
+      return std::clamp(value, min, max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+HistogramMetric::HistogramMetric(const HistogramOptions& options)
+    : options_(options), buckets_(static_cast<size_t>(std::max(1, options.buckets))) {
+  assert(options_.hi > options_.lo);
+  options_.buckets = static_cast<int>(buckets_.size());
+  if (options_.log_scale) {
+    assert(options_.lo > 0.0);
+    log_lo_ = std::log(options_.lo);
+    log_width_ = (std::log(options_.hi) - log_lo_) / options_.buckets;
+  } else {
+    bucket_width_ = (options_.hi - options_.lo) / options_.buckets;
+  }
+}
+
+int HistogramMetric::BucketIndex(double x) const {
+  int idx;
+  if (options_.log_scale) {
+    idx = x <= 0.0 ? 0 : static_cast<int>((std::log(x) - log_lo_) / log_width_);
+  } else {
+    idx = static_cast<int>((x - options_.lo) / bucket_width_);
+  }
+  return std::clamp(idx, 0, options_.buckets - 1);
+}
+
+void HistogramMetric::Observe(double x) {
+  buckets_[static_cast<size_t>(BucketIndex(x))].fetch_add(1, std::memory_order_relaxed);
+  // First-sample min/max initialization: claim the slot with count 0 -> 1.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // Racy first observation is fine: the CAS folds below still converge on
+    // the true extremes because every observer also runs AtomicMin/Max.
+    min_.store(x, std::memory_order_relaxed);
+    max_.store(x, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, x);
+  AtomicMax(&max_, x);
+  AtomicAdd(&sum_, x);
+}
+
+HistogramData HistogramMetric::Snapshot() const {
+  HistogramData data;
+  data.options = options_;
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  data.min = data.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  data.max = data.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  data.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    data.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  return data;
+}
+
+void HistogramMetric::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  auto it = values_.find(std::string(name));
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+int64_t MetricsSnapshot::Scalar(std::string_view name) const {
+  const MetricValue* v = Find(name);
+  if (v == nullptr) {
+    return 0;
+  }
+  return v->kind == MetricValue::Kind::kHistogram ? v->histogram.count : v->scalar;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [key, value] : delta.values_) {
+    auto it = earlier.values_.find(key);
+    if (it == earlier.values_.end() || it->second.kind != value.kind) {
+      continue;
+    }
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+        value.scalar -= it->second.scalar;
+        break;
+      case MetricValue::Kind::kGauge:
+        break;  // Levels have no delta; keep the current reading.
+      case MetricValue::Kind::kHistogram: {
+        HistogramData& h = value.histogram;
+        const HistogramData& old = it->second.histogram;
+        if (h.buckets.size() == old.buckets.size()) {
+          h.count -= old.count;
+          h.sum -= old.sum;
+          for (size_t i = 0; i < h.buckets.size(); ++i) {
+            h.buckets[i] -= old.buckets[i];
+          }
+          // Extremes are not invertible; the window's true min/max is
+          // unknown, so report the lifetime bounds (documented caveat).
+        }
+        break;
+      }
+    }
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [key, value] : values_) {
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%-48s counter %lld\n", key.c_str(),
+                      static_cast<long long>(value.scalar));
+        break;
+      case MetricValue::Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%-48s gauge   %lld\n", key.c_str(),
+                      static_cast<long long>(value.scalar));
+        break;
+      case MetricValue::Kind::kHistogram: {
+        const HistogramData& h = value.histogram;
+        std::snprintf(line, sizeof(line),
+                      "%-48s histo   count=%lld mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+                      key.c_str(), static_cast<long long>(h.count),
+                      h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0, h.Percentile(50),
+                      h.Percentile(95), h.Percentile(99), h.max);
+        break;
+      }
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + key + "\":";
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+      case MetricValue::Kind::kGauge:
+        out += value.kind == MetricValue::Kind::kCounter ? "{\"kind\":\"counter\",\"value\":"
+                                                         : "{\"kind\":\"gauge\",\"value\":";
+        out += std::to_string(value.scalar);
+        out += "}";
+        break;
+      case MetricValue::Kind::kHistogram: {
+        const HistogramData& h = value.histogram;
+        out += "{\"kind\":\"histogram\",\"count\":" + std::to_string(h.count) + ",\"sum\":";
+        AppendJsonNumber(&out, h.sum);
+        out += ",\"min\":";
+        AppendJsonNumber(&out, h.min);
+        out += ",\"max\":";
+        AppendJsonNumber(&out, h.max);
+        out += ",\"p50\":";
+        AppendJsonNumber(&out, h.Percentile(50));
+        out += ",\"p95\":";
+        AppendJsonNumber(&out, h.Percentile(95));
+        out += ",\"p99\":";
+        AppendJsonNumber(&out, h.Percentile(99));
+        out += "}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();  // Never destroyed.
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricValue::Kind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricValue::Kind::kCounter ? it->second.counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricValue::Kind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricValue::Kind::kGauge ? it->second.gauge.get() : nullptr;
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(std::string_view name,
+                                               const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricValue::Kind::kHistogram;
+    entry.histogram = std::make_unique<HistogramMetric>(options);
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.kind == MetricValue::Kind::kHistogram ? it->second.histogram.get() : nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    MetricValue value;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricValue::Kind::kCounter:
+        value.scalar = entry.counter->value();
+        break;
+      case MetricValue::Kind::kGauge:
+        value.scalar = entry.gauge->value();
+        break;
+      case MetricValue::Kind::kHistogram:
+        value.histogram = entry.histogram->Snapshot();
+        break;
+    }
+    snapshot.values_.emplace(key, std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() { ResetPrefix(""); }
+
+void MetricsRegistry::ResetPrefix(std::string_view prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    if (key.size() < prefix.size() || std::string_view(key).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
+    switch (entry.kind) {
+      case MetricValue::Kind::kCounter:
+        entry.counter->Reset();
+        break;
+      case MetricValue::Kind::kGauge:
+        entry.gauge->Reset();
+        break;
+      case MetricValue::Kind::kHistogram:
+        entry.histogram->Reset();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace rmp

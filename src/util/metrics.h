@@ -1,0 +1,206 @@
+// Process-wide telemetry: named counters, gauges, and latency histograms
+// behind one MetricsRegistry (DESIGN.md §12).
+//
+// The paper's evaluation (§4) decomposes paging cost stage by stage; our
+// reproduction grew one ad-hoc counter struct per subsystem (BackendStats,
+// MemoryServerStats, HealthStats, RepairStats, ...) with no way to see them
+// together, diff them across a run window, or pull them off a remote server.
+// This module is the common substrate those surfaces migrate onto:
+//
+//   Counter          — monotonic atomic int64 (events, pages, bytes).
+//   Gauge            — atomic int64 level (queue depth, in-flight, occupancy).
+//   HistogramMetric  — thread-safe distribution with linear or log-scale
+//                      buckets (latencies spanning µs to seconds need log).
+//   MetricsRegistry  — owns metrics by hierarchical "subsystem.name" key,
+//                      hands out stable pointers for lock-free hot-path
+//                      updates, and produces snapshots.
+//   MetricsSnapshot  — a point-in-time copy: delta against an earlier
+//                      snapshot, text and JSON export.
+//
+// Hot-path contract: Get* is a one-time (mutex-guarded) lookup; the returned
+// pointer lives as long as the registry and every update on it is a relaxed
+// atomic op. Prefix-scoped Reset (ResetPrefix) supports per-incarnation
+// surfaces: a restarted server or a Reset() peer zeroes only its own metrics.
+
+#ifndef SRC_UTIL_METRICS_H_
+#define SRC_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rmp {
+
+// Monotonic event counter. All updates are relaxed atomics: counters are
+// read for reporting, not for synchronization.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // Atomic-compatible aliases so counter-backed stat structs keep the
+  // std::atomic surface their call sites already use. All orders collapse to
+  // relaxed: counters are reporting data, not synchronization.
+  int64_t load(std::memory_order = std::memory_order_relaxed) const { return value(); }
+  void store(int64_t v, std::memory_order = std::memory_order_relaxed) {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  int64_t fetch_add(int64_t n, std::memory_order = std::memory_order_relaxed) {
+    return value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  operator int64_t() const { return value(); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A level that can move both ways (queue depth, live pages, in-flight RPCs).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+struct HistogramOptions {
+  double lo = 0.0;
+  double hi = 1.0;
+  int buckets = 32;
+  // Geometric bucket widths between lo and hi (lo must be > 0): the right
+  // shape for latencies spanning microseconds to seconds, where linear
+  // buckets either blur the fast path or truncate the tail.
+  bool log_scale = false;
+};
+
+// The numeric state of one histogram at a point in time.
+struct HistogramData {
+  HistogramOptions options;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // Meaningful only when count > 0.
+  double max = 0.0;
+  std::vector<int64_t> buckets;
+
+  // Approximate p-th percentile (p in [0, 100]) from the buckets: exact max
+  // at p=100 and for single-sample data; interpolated (linearly, or
+  // geometrically for log-scale buckets) otherwise, clamped to [min, max].
+  double Percentile(double p) const;
+};
+
+// Thread-safe histogram: atomic buckets and moments, min/max via CAS. One
+// Observe is a handful of relaxed atomic ops — safe on RPC hot paths.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(const HistogramOptions& options);
+
+  void Observe(double x);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double Percentile(double p) const { return Snapshot().Percentile(p); }
+  const HistogramOptions& options() const { return options_; }
+
+  HistogramData Snapshot() const;
+  void Reset();
+
+ private:
+  int BucketIndex(double x) const;
+
+  HistogramOptions options_;
+  double log_lo_ = 0.0;      // ln(lo) when log-scale.
+  double log_width_ = 0.0;   // ln(hi/lo)/buckets when log-scale.
+  double bucket_width_ = 0.0;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// One metric's value inside a snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  int64_t scalar = 0;       // Counter / gauge value.
+  HistogramData histogram;  // Kind::kHistogram only.
+};
+
+// Point-in-time copy of a registry, ordered by key for stable export.
+class MetricsSnapshot {
+ public:
+  const std::map<std::string, MetricValue>& values() const { return values_; }
+  const MetricValue* Find(std::string_view name) const;
+  // Scalar convenience: counter/gauge value, or histogram count; 0 if absent.
+  int64_t Scalar(std::string_view name) const;
+
+  // This snapshot minus `earlier`: counters and histogram counts subtract,
+  // gauges keep their current level (a level has no meaningful delta).
+  // Metrics absent from `earlier` pass through unchanged.
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  // "key kind value" lines, one metric per line, keys sorted.
+  std::string ToText() const;
+  // One JSON object: {"key":{"kind":...,"value":...},...}; histograms carry
+  // count/sum/min/max and percentiles. Stable key order.
+  std::string ToJson() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, MetricValue> values_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry (transport-level metrics with no natural
+  // owner register here). Subsystems with a lifetime (a server, a backend)
+  // own their own instance so restarts can reset in isolation.
+  static MetricsRegistry& Global();
+
+  // Lookup-or-create. The returned pointer is stable for the registry's
+  // lifetime. A name registered once keeps its kind; asking for the same
+  // name as a different kind returns nullptr (programming error surfaced
+  // loudly in tests rather than silently aliasing).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // `options` applies on first registration only.
+  HistogramMetric* GetHistogram(std::string_view name,
+                                const HistogramOptions& options = HistogramOptions());
+
+  MetricsSnapshot Snapshot() const;
+  std::string ExportText() const { return Snapshot().ToText(); }
+  std::string ExportJson() const { return Snapshot().ToJson(); }
+
+  // Zeroes every metric (values only; registrations and pointers survive).
+  void Reset();
+  // Zeroes metrics whose key starts with `prefix` — the per-incarnation
+  // reset a restarted server or a Reset() peer performs.
+  void ResetPrefix(std::string_view prefix);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricValue::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_METRICS_H_

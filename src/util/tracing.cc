@@ -1,0 +1,254 @@
+#include "src/util/tracing.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+namespace {
+
+// Latencies span sub-µs control hops to multi-second degraded recoveries:
+// log-scale buckets from 100 ns to 10 s keep both ends resolvable.
+HistogramOptions StageHistogramOptions() {
+  HistogramOptions options;
+  options.lo = 100.0;
+  options.hi = 10e9;
+  options.buckets = 64;
+  options.log_scale = true;
+  return options;
+}
+
+}  // namespace
+
+const char* TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kPageOut:
+      return "pageout";
+    case TraceOp::kPageIn:
+      return "pagein";
+  }
+  return "unknown";
+}
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kPolicy:
+      return "policy";
+    case TraceStage::kBackoff:
+      return "backoff";
+    case TraceStage::kQueue:
+      return "queue";
+    case TraceStage::kWire:
+      return "wire";
+    case TraceStage::kService:
+      return "service";
+    case TraceStage::kParity:
+      return "parity";
+    case TraceStage::kDisk:
+      return "disk";
+  }
+  return "unknown";
+}
+
+DurationNs TraceRecord::StageTime(TraceStage stage) const {
+  DurationNs total_ns = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.stage == stage) {
+      total_ns += span.duration;
+    }
+  }
+  return total_ns;
+}
+
+PageTracer::PageTracer(MetricsRegistry* registry, const PageTracerOptions& options)
+    : options_(options), registry_(registry), ring_(options.ring_capacity) {
+  if (registry_ != nullptr) {
+    for (int s = 0; s < kNumTraceStages; ++s) {
+      const std::string key =
+          std::string("trace.stage.") + TraceStageName(static_cast<TraceStage>(s)) + "_ns";
+      stage_histograms_[static_cast<size_t>(s)] =
+          registry_->GetHistogram(key, StageHistogramOptions());
+    }
+    for (int o = 0; o < kNumTraceOps; ++o) {
+      const std::string base = std::string("trace.") + TraceOpName(static_cast<TraceOp>(o));
+      total_histograms_[static_cast<size_t>(o)] =
+          registry_->GetHistogram(base + ".total_ns", StageHistogramOptions());
+      op_counters_[static_cast<size_t>(o)] = registry_->GetCounter(base + ".count");
+    }
+    slow_counter_ = registry_->GetCounter("trace.slow_ops");
+    dropped_counter_ = registry_->GetCounter("trace.dropped");
+  }
+}
+
+uint64_t PageTracer::Begin(TraceOp op, uint64_t page_id, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_ || options_.ring_capacity == 0) {
+    return 0;
+  }
+  active_ = true;
+  current_ = TraceRecord();
+  current_.id = next_id_++;
+  current_.op = op;
+  current_.page_id = page_id;
+  current_.start = now;
+  current_extra_spans_ = 0;
+  return current_.id;
+}
+
+void PageTracer::Span(TraceStage stage, TimeNs start, TimeNs end) {
+  if (end <= start) {
+    return;
+  }
+  HistogramMetric* histogram = stage_histograms_[static_cast<size_t>(stage)];
+  if (histogram != nullptr) {
+    histogram->Observe(static_cast<double>(end - start));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_) {
+    return;
+  }
+  if (current_.spans.size() >= options_.max_spans) {
+    ++current_extra_spans_;
+    return;
+  }
+  current_.spans.push_back(TraceSpan{stage, start, end - start});
+}
+
+void PageTracer::End(uint64_t id, TimeNs now, bool ok) {
+  if (id == 0) {
+    return;
+  }
+  TraceRecord finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!active_ || current_.id != id) {
+      return;
+    }
+    active_ = false;
+    current_.total = now - current_.start;
+    current_.ok = ok;
+    if (current_extra_spans_ > 0) {
+      RMP_LOG(kDebug) << "trace " << id << " overflowed span cap; " << current_extra_spans_
+                      << " spans uncounted in record";
+    }
+    finished = std::move(current_);
+    ++total_traces_;
+    PushLocked(TraceRecord(finished));
+    if (options_.slow_op_ns > 0 && finished.total >= options_.slow_op_ns) {
+      ++slow_ops_;
+    }
+  }
+  const size_t op_index = static_cast<size_t>(finished.op);
+  if (total_histograms_[op_index] != nullptr) {
+    total_histograms_[op_index]->Observe(static_cast<double>(finished.total));
+  }
+  if (op_counters_[op_index] != nullptr) {
+    op_counters_[op_index]->Increment();
+  }
+  if (options_.slow_op_ns > 0 && finished.total >= options_.slow_op_ns) {
+    if (slow_counter_ != nullptr) {
+      slow_counter_->Increment();
+    }
+    RMP_LOG(kWarning) << "slow " << TraceOpName(finished.op) << " page=" << finished.page_id
+                      << " trace=" << finished.id << " took " << finished.total
+                      << " ns (threshold " << options_.slow_op_ns << " ns), "
+                      << finished.spans.size() << " spans, ok=" << (finished.ok ? 1 : 0);
+  }
+}
+
+void PageTracer::PushLocked(TraceRecord&& record) {
+  if (ring_.empty()) {
+    return;
+  }
+  if (ring_size_ == ring_.size()) {
+    ++dropped_;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Increment();
+    }
+  } else {
+    ++ring_size_;
+  }
+  ring_[ring_next_] = std::move(record);
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+}
+
+bool PageTracer::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+size_t PageTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_size_;
+}
+
+int64_t PageTracer::total_traces() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_traces_;
+}
+
+int64_t PageTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+int64_t PageTracer::slow_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slow_ops_;
+}
+
+std::vector<TraceRecord> PageTracer::Records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_size_);
+  // Oldest record sits at ring_next_ when the ring is full, else at 0.
+  const size_t begin = ring_size_ == ring_.size() ? ring_next_ : 0;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string PageTracer::ToJson() const {
+  const std::vector<TraceRecord> records = Records();
+  std::string out = "[";
+  for (size_t r = 0; r < records.size(); ++r) {
+    const TraceRecord& record = records[r];
+    if (r > 0) {
+      out += ",";
+    }
+    out += "{\"id\":" + std::to_string(record.id);
+    out += ",\"op\":\"" + std::string(TraceOpName(record.op)) + "\"";
+    out += ",\"page\":" + std::to_string(record.page_id);
+    out += ",\"start\":" + std::to_string(record.start);
+    out += ",\"total\":" + std::to_string(record.total);
+    out += ",\"ok\":" + std::string(record.ok ? "true" : "false");
+    out += ",\"spans\":[";
+    for (size_t s = 0; s < record.spans.size(); ++s) {
+      const TraceSpan& span = record.spans[s];
+      if (s > 0) {
+        out += ",";
+      }
+      out += "{\"stage\":\"" + std::string(TraceStageName(span.stage)) + "\"";
+      out += ",\"start\":" + std::to_string(span.start);
+      out += ",\"dur\":" + std::to_string(span.duration) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+void PageTracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ = false;
+  current_ = TraceRecord();
+  ring_.assign(ring_.size(), TraceRecord());
+  ring_next_ = 0;
+  ring_size_ = 0;
+  total_traces_ = 0;
+  dropped_ = 0;
+  slow_ops_ = 0;
+}
+
+}  // namespace rmp

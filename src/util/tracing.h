@@ -1,0 +1,180 @@
+// Page-lifecycle tracing (DESIGN.md §12).
+//
+// The paper's evaluation decomposes pageout/pagein cost stage by stage
+// (queueing, wire transfer, server service, parity work); this module is the
+// instrument that produces that decomposition from live runs. Each paging
+// operation gets a trace id at the policy entry point; as the operation
+// crosses retry/backoff, the fabric queue, the wire, protocol service, and
+// parity or disk work, the charge helpers stamp spans onto it. Completed
+// traces land in a bounded ring buffer (for TRACE_DUMP introspection),
+// per-stage latency histograms in a MetricsRegistry (for percentiles), and —
+// when an operation exceeds the slow-op threshold — a warning log line.
+//
+// All times are simulated TimeNs, so traces are bit-reproducible. TraceScope
+// holds a pointer to the caller's running `now` variable and finalizes the
+// trace with whatever value it has when the scope unwinds; a scope opened
+// while another trace is active is inert (batch paths and recovery reuse the
+// same primitives without double-tracing).
+
+#ifndef SRC_UTIL_TRACING_H_
+#define SRC_UTIL_TRACING_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/metrics.h"
+#include "src/util/units.h"
+
+namespace rmp {
+
+enum class TraceOp { kPageOut = 0, kPageIn = 1 };
+inline constexpr int kNumTraceOps = 2;
+
+// Where an operation spent its time. kService is protocol processing (the
+// per-message CPU cost the paper attributes to the server and stack), kQueue
+// is waiting behind earlier transfers for the shared wire, kWire the
+// transfer occupancy itself.
+enum class TraceStage {
+  kPolicy = 0,   // Policy bookkeeping not attributed to a finer stage.
+  kBackoff = 1,  // Sleeping between retry attempts.
+  kQueue = 2,    // Queued behind earlier transfers on the wire Resource.
+  kWire = 3,     // Wire occupancy of this transfer.
+  kService = 4,  // Protocol / server service time.
+  kParity = 5,   // Parity compute + parity-log traffic.
+  kDisk = 6,     // Local-disk reads/writes (overflow, write-through).
+};
+inline constexpr int kNumTraceStages = 7;
+
+const char* TraceOpName(TraceOp op);
+const char* TraceStageName(TraceStage stage);
+
+struct TraceSpan {
+  TraceStage stage = TraceStage::kPolicy;
+  TimeNs start = 0;
+  DurationNs duration = 0;
+};
+
+// One completed paging operation.
+struct TraceRecord {
+  uint64_t id = 0;
+  TraceOp op = TraceOp::kPageOut;
+  uint64_t page_id = 0;
+  TimeNs start = 0;
+  DurationNs total = 0;
+  bool ok = false;
+  std::vector<TraceSpan> spans;  // In recording order.
+
+  // Sum of span durations attributed to `stage`.
+  DurationNs StageTime(TraceStage stage) const;
+};
+
+struct PageTracerOptions {
+  size_t ring_capacity = 1024;
+  // Operations completing in >= this much simulated time get a warning log
+  // line and bump the slow-op counter; 0 disables the check.
+  DurationNs slow_op_ns = 0;
+  // Spans beyond this per trace are counted but not stored (a pathological
+  // retry storm should not balloon a ring entry).
+  size_t max_spans = 64;
+};
+
+// Not copyable; hand out pointers. Thread-safe (one mutex — tracing is for
+// observability, not a contended hot path), but only one trace is active at
+// a time: Begin while a trace is open returns 0, and spans recorded outside
+// any open trace still feed the stage histograms.
+class PageTracer {
+ public:
+  explicit PageTracer(MetricsRegistry* registry = nullptr,
+                      const PageTracerOptions& options = PageTracerOptions());
+  PageTracer(const PageTracer&) = delete;
+  PageTracer& operator=(const PageTracer&) = delete;
+
+  // Opens a trace; returns its id, or 0 if one is already active (the caller
+  // treats 0 as "inert": End(0, ...) is a no-op).
+  uint64_t Begin(TraceOp op, uint64_t page_id, TimeNs now);
+
+  // Stamps a span onto the active trace (if any) and the stage histogram.
+  // Zero-length spans are dropped.
+  void Span(TraceStage stage, TimeNs start, TimeNs end);
+
+  // Closes trace `id`: computes the total, pushes the record into the ring,
+  // feeds the per-op total histogram, and logs if over the slow threshold.
+  void End(uint64_t id, TimeNs now, bool ok);
+
+  bool active() const;
+  size_t size() const;           // Records currently held in the ring.
+  int64_t total_traces() const;  // Traces ever completed.
+  int64_t dropped() const;       // Ring overwrites (oldest records lost).
+  int64_t slow_ops() const;
+
+  // Ring contents, oldest first.
+  std::vector<TraceRecord> Records() const;
+  // JSON array of ring records (the TRACE_DUMP payload).
+  std::string ToJson() const;
+
+  void Reset();
+
+  const PageTracerOptions& options() const { return options_; }
+
+ private:
+  void PushLocked(TraceRecord&& record);
+
+  const PageTracerOptions options_;
+  MetricsRegistry* registry_;  // May be null: ring + log only.
+  // Cached metric pointers (stable for the registry's lifetime).
+  std::array<HistogramMetric*, kNumTraceStages> stage_histograms_{};
+  std::array<HistogramMetric*, kNumTraceOps> total_histograms_{};
+  std::array<Counter*, kNumTraceOps> op_counters_{};
+  Counter* slow_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+
+  mutable std::mutex mutex_;
+  bool active_ = false;
+  TraceRecord current_;
+  int64_t current_extra_spans_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<TraceRecord> ring_;
+  size_t ring_next_ = 0;  // Next slot to (over)write.
+  size_t ring_size_ = 0;
+  int64_t total_traces_ = 0;
+  int64_t dropped_ = 0;
+  int64_t slow_ops_ = 0;
+};
+
+// RAII trace for one policy-level PageOut/PageIn. Holds a pointer to the
+// caller's running simulated-time variable so the destructor closes the
+// trace at whatever time the operation actually reached, on every exit path.
+// Failure is the default; call set_ok() on the success path.
+class TraceScope {
+ public:
+  TraceScope(PageTracer* tracer, TraceOp op, uint64_t page_id, const TimeNs* now)
+      : tracer_(tracer), now_(now) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->Begin(op, page_id, *now_);
+    }
+  }
+  ~TraceScope() {
+    if (tracer_ != nullptr && id_ != 0) {
+      tracer_->End(id_, *now_, ok_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void set_ok() { ok_ = true; }
+  // Nonzero iff this scope owns the active trace.
+  uint64_t id() const { return id_; }
+
+ private:
+  PageTracer* tracer_;
+  const TimeNs* now_;
+  uint64_t id_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_TRACING_H_

@@ -1,0 +1,225 @@
+// MetricsRegistry / MetricsSnapshot unit tests: concurrent hot-path updates,
+// snapshot-delta math, export formats, and prefix-scoped resets.
+
+#include "src/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rmp {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, AtomicCompatSurface) {
+  Counter counter;
+  counter.fetch_add(3, std::memory_order_relaxed);
+  EXPECT_EQ(counter.load(), 3);
+  counter.store(7);
+  EXPECT_EQ(static_cast<int64_t>(counter), 7);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.depth");
+  gauge->Add(5);
+  gauge->Add(-2);
+  EXPECT_EQ(gauge->value(), 3);
+  gauge->Set(10);
+  EXPECT_EQ(gauge->value(), 10);
+}
+
+TEST(HistogramMetricTest, ConcurrentObservesKeepCountAndBounds) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 1000.0;
+  options.buckets = 20;
+  HistogramMetric* histogram = registry.GetHistogram("test.latency", options);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram->Observe(static_cast<double>((t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const HistogramData data = histogram->Snapshot();
+  EXPECT_EQ(data.count, static_cast<int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(data.min, 0.0);
+  EXPECT_EQ(data.max, 999.0);
+  int64_t bucket_total = 0;
+  for (int64_t b : data.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, data.count);
+}
+
+TEST(HistogramMetricTest, PercentileEdges) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 100.0;
+  options.buckets = 10;
+  HistogramMetric* histogram = registry.GetHistogram("test.edges", options);
+  histogram->Observe(42.0);
+  // A single sample reports itself exactly at every percentile — no
+  // interpolation artifacts.
+  EXPECT_EQ(histogram->Percentile(0), 42.0);
+  EXPECT_EQ(histogram->Percentile(50), 42.0);
+  EXPECT_EQ(histogram->Percentile(100), 42.0);
+  histogram->Observe(7.0);
+  histogram->Observe(93.0);
+  // p=100 is the exact observed max, p=0 the exact min.
+  EXPECT_EQ(histogram->Percentile(100), 93.0);
+  EXPECT_EQ(histogram->Percentile(0), 7.0);
+}
+
+TEST(HistogramMetricTest, LogScaleSpansDecades) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.lo = 100.0;     // 100 ns
+  options.hi = 1e10;      // 10 s
+  options.buckets = 64;
+  options.log_scale = true;
+  HistogramMetric* histogram = registry.GetHistogram("test.log", options);
+  histogram->Observe(1e3);
+  histogram->Observe(1e6);
+  histogram->Observe(1e9);
+  const HistogramData data = histogram->Snapshot();
+  EXPECT_EQ(data.count, 3);
+  // Samples five decades apart must land in distinct buckets.
+  int nonzero = 0;
+  for (int64_t b : data.buckets) {
+    nonzero += b > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(nonzero, 3);
+  EXPECT_EQ(data.Percentile(100), 1e9);
+  EXPECT_EQ(data.Percentile(0), 1e3);
+}
+
+TEST(RegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("test.key"), nullptr);
+  EXPECT_EQ(registry.GetGauge("test.key"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("test.key"), nullptr);
+}
+
+TEST(RegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.shared");
+  Counter* b = registry.GetCounter("test.shared");
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, ResetPrefixScopesToMatchingKeys) {
+  MetricsRegistry registry;
+  registry.GetCounter("peer.alpha.pages")->Increment(5);
+  registry.GetCounter("peer.beta.pages")->Increment(9);
+  registry.ResetPrefix("peer.alpha.");
+  EXPECT_EQ(registry.GetCounter("peer.alpha.pages")->value(), 0);
+  EXPECT_EQ(registry.GetCounter("peer.beta.pages")->value(), 9);
+}
+
+TEST(SnapshotTest, DeltaSubtractsCountersKeepsGauges) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.events");
+  Gauge* gauge = registry.GetGauge("test.level");
+  counter->Increment(10);
+  gauge->Set(4);
+  const MetricsSnapshot before = registry.Snapshot();
+  counter->Increment(7);
+  gauge->Set(9);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  EXPECT_EQ(delta.Scalar("test.events"), 7);
+  // A level has no meaningful delta: the current value passes through.
+  EXPECT_EQ(delta.Scalar("test.level"), 9);
+}
+
+TEST(SnapshotTest, DeltaSubtractsHistogramBuckets) {
+  MetricsRegistry registry;
+  HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 10.0;
+  options.buckets = 10;
+  HistogramMetric* histogram = registry.GetHistogram("test.h", options);
+  histogram->Observe(1.0);
+  histogram->Observe(2.0);
+  const MetricsSnapshot before = registry.Snapshot();
+  histogram->Observe(8.0);
+  const MetricsSnapshot delta = registry.Snapshot().Delta(before);
+  const MetricValue* value = delta.Find("test.h");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->histogram.count, 1);
+}
+
+TEST(SnapshotTest, TextExportOneLinePerMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Increment(3);
+  registry.GetGauge("b.level")->Set(-2);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("counter"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_NE(text.find("b.level"), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+}
+
+TEST(SnapshotTest, JsonExportCarriesKindsAndPercentiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.count")->Increment(3);
+  HistogramOptions options;
+  options.lo = 0.0;
+  options.hi = 10.0;
+  options.buckets = 10;
+  registry.GetHistogram("lat", options)->Observe(5.0);
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"a.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("a")->Increment(5);
+  registry.GetGauge("b")->Set(7);
+  registry.GetHistogram("c")->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("a")->value(), 0);
+  EXPECT_EQ(registry.GetGauge("b")->value(), 0);
+  EXPECT_EQ(registry.GetHistogram("c")->count(), 0);
+}
+
+TEST(RegistryTest, GlobalIsProcessWide) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace rmp

@@ -1,0 +1,270 @@
+// PageTracer unit and integration tests: ring wraparound, nested-scope
+// inerting, slow-op detection, span ordering across a faulty transport with
+// retries, and the STATS_QUERY / TRACE_DUMP introspection RPCs under fault
+// injection.
+
+#include "src/util/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/core/testbed.h"
+#include "src/net/ethernet_model.h"
+#include "src/util/metrics.h"
+
+namespace rmp {
+namespace {
+
+TEST(PageTracerTest, RingWrapsOldestFirst) {
+  PageTracerOptions options;
+  options.ring_capacity = 4;
+  MetricsRegistry registry;
+  PageTracer tracer(&registry, options);
+  for (uint64_t i = 0; i < 10; ++i) {
+    const TimeNs t = static_cast<TimeNs>(i) * 100;
+    const uint64_t id = tracer.Begin(TraceOp::kPageOut, i, t);
+    ASSERT_NE(id, 0u);
+    tracer.Span(TraceStage::kWire, t, t + 10);
+    tracer.End(id, t + 20, true);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_traces(), 10);
+  EXPECT_EQ(tracer.dropped(), 6);
+  const std::vector<TraceRecord> records = tracer.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest first, and only the last four survive.
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    EXPECT_LT(records[i].id, records[i + 1].id);
+  }
+  EXPECT_EQ(records.front().page_id, 6u);
+  EXPECT_EQ(records.back().page_id, 9u);
+  EXPECT_EQ(registry.GetCounter("trace.dropped")->value(), 6);
+}
+
+TEST(PageTracerTest, NestedBeginIsInert) {
+  PageTracer tracer;
+  const uint64_t outer = tracer.Begin(TraceOp::kPageOut, 1, 0);
+  ASSERT_NE(outer, 0u);
+  EXPECT_EQ(tracer.Begin(TraceOp::kPageIn, 2, 10), 0u);  // Nested: inert.
+  tracer.End(0, 20, true);                               // No-op.
+  EXPECT_TRUE(tracer.active());
+  tracer.End(outer, 30, true);
+  EXPECT_FALSE(tracer.active());
+  EXPECT_EQ(tracer.total_traces(), 1);
+}
+
+TEST(PageTracerTest, SlowOpTripsThresholdAndCounter) {
+  PageTracerOptions options;
+  options.slow_op_ns = 100;
+  MetricsRegistry registry;
+  PageTracer tracer(&registry, options);
+  const uint64_t fast = tracer.Begin(TraceOp::kPageIn, 1, 0);
+  tracer.End(fast, 50, true);
+  EXPECT_EQ(tracer.slow_ops(), 0);
+  const uint64_t slow = tracer.Begin(TraceOp::kPageIn, 2, 0);
+  tracer.End(slow, 250, true);
+  EXPECT_EQ(tracer.slow_ops(), 1);
+  EXPECT_EQ(registry.GetCounter("trace.slow_ops")->value(), 1);
+}
+
+TEST(PageTracerTest, StageTimeSumsSpans) {
+  PageTracer tracer;
+  const uint64_t id = tracer.Begin(TraceOp::kPageOut, 1, 0);
+  tracer.Span(TraceStage::kWire, 0, 30);
+  tracer.Span(TraceStage::kWire, 40, 50);
+  tracer.Span(TraceStage::kService, 30, 40);
+  tracer.End(id, 50, true);
+  const TraceRecord record = tracer.Records().back();
+  EXPECT_EQ(record.StageTime(TraceStage::kWire), 40);
+  EXPECT_EQ(record.StageTime(TraceStage::kService), 10);
+  EXPECT_EQ(record.StageTime(TraceStage::kParity), 0);
+  EXPECT_EQ(record.total, 50);
+}
+
+TEST(PageTracerTest, JsonCarriesRecordShape) {
+  PageTracer tracer;
+  const uint64_t id = tracer.Begin(TraceOp::kPageIn, 77, 5);
+  tracer.Span(TraceStage::kQueue, 5, 15);
+  tracer.End(id, 20, true);
+  const std::string json = tracer.ToJson();
+  EXPECT_NE(json.find("\"op\":\"pagein\""), std::string::npos);
+  EXPECT_NE(json.find("\"page\":77"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+}
+
+// A pagein whose first attempt loses the request must retry with backoff and
+// still produce one coherent trace: backoff span present, every span inside
+// the record's [start, start+total] window, spans in recording order.
+TEST(TracingIntegrationTest, RetriedPageInTracesBackoffSpan) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 2;
+  params.network = std::make_shared<EthernetModel>();
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok()) << bed.status().message();
+  PagingBackend& backend = (*bed)->backend();
+  auto* pager = dynamic_cast<RemotePagerBase*>(&backend);
+  ASSERT_NE(pager, nullptr);
+
+  PageBuffer page;
+  FillPattern(page.span(), 42);
+  auto out_done = backend.PageOut(0, 1, page.span());
+  ASSERT_TRUE(out_done.ok()) << out_done.status().message();
+
+  auto plan = std::make_shared<FaultPlan>(7);
+  plan->AddRule({.kind = FaultKind::kDropRequest, .at_op = 0,
+                 .only_type = MessageType::kPageIn});
+  (*bed)->InstallFaultPlan(0, plan);
+  (*bed)->InstallFaultPlan(1, plan);
+
+  PageBuffer read;
+  auto in_done = backend.PageIn(*out_done, 1, read.span());
+  ASSERT_TRUE(in_done.ok()) << in_done.status().message();
+  EXPECT_TRUE(CheckPattern(read.span(), 42));
+  EXPECT_EQ(plan->faults_fired(), 1);
+
+  const std::vector<TraceRecord> records = pager->tracer().Records();
+  ASSERT_GE(records.size(), 2u);
+  const TraceRecord& pagein = records.back();
+  EXPECT_EQ(pagein.op, TraceOp::kPageIn);
+  EXPECT_TRUE(pagein.ok);
+  EXPECT_GT(pagein.StageTime(TraceStage::kBackoff), 0);
+  EXPECT_GT(pagein.StageTime(TraceStage::kWire), 0);
+  for (const TraceSpan& span : pagein.spans) {
+    EXPECT_GE(span.start, pagein.start);
+    EXPECT_LE(span.start + span.duration, pagein.start + pagein.total);
+  }
+  for (size_t i = 0; i + 1 < pagein.spans.size(); ++i) {
+    EXPECT_LE(pagein.spans[i].start, pagein.spans[i + 1].start);
+  }
+  // The retry also shows in the stage histogram the bench reads.
+  HistogramMetric* backoff = pager->metrics().GetHistogram("trace.stage.backoff_ns");
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_GE(backoff->count(), 1);
+}
+
+// Acceptance: a STATS RPC round trip retrieves the remote server's registry
+// snapshot while a fault plan is interfering — the first query is dropped,
+// the retry succeeds and carries real counters.
+TEST(TracingIntegrationTest, StatsQueryRoundTripUnderFaultInjection) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok()) << bed.status().message();
+  PagingBackend& backend = (*bed)->backend();
+  auto* pager = dynamic_cast<RemotePagerBase*>(&backend);
+  ASSERT_NE(pager, nullptr);
+
+  PageBuffer page;
+  for (uint64_t id = 0; id < 8; ++id) {
+    FillPattern(page.span(), id + 1);
+    ASSERT_TRUE(backend.PageOut(0, id, page.span()).ok());
+  }
+
+  auto plan = std::make_shared<FaultPlan>(11);
+  plan->AddRule({.kind = FaultKind::kDropRequest, .at_op = 0,
+                 .only_type = MessageType::kStatsQuery});
+  (*bed)->InstallFaultPlan(0, plan);
+
+  ServerPeer& peer = pager->cluster().peer(0);
+  auto first = peer.QueryStats();
+  EXPECT_FALSE(first.ok());  // The plan ate the query.
+  EXPECT_EQ(plan->faults_fired(), 1);
+  peer.mark_alive();  // Connection is up; only a message was lost.
+  auto second = peer.QueryStats();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_NE(second->find("\"server.pageouts_served\""), std::string::npos);
+  EXPECT_NE(second->find("\"kind\":\"counter\""), std::string::npos);
+  // The snapshot is this incarnation's: mirroring sent every page to both
+  // replicas, so server 0 served all eight pageouts.
+  EXPECT_NE(second->find("\"value\":8"), std::string::npos);
+}
+
+// TRACE_DUMP ships the client tracer's ring across the wire.
+TEST(TracingIntegrationTest, TraceDumpTravelsTheWire) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok()) << bed.status().message();
+  PagingBackend& backend = (*bed)->backend();
+  auto* pager = dynamic_cast<RemotePagerBase*>(&backend);
+  ASSERT_NE(pager, nullptr);
+  (*bed)->AttachTracerToServer(0);
+
+  PageBuffer page;
+  FillPattern(page.span(), 9);
+  ASSERT_TRUE(backend.PageOut(0, 5, page.span()).ok());
+
+  auto dump = pager->cluster().peer(0).DumpRemoteTrace();
+  ASSERT_TRUE(dump.ok()) << dump.status().message();
+  EXPECT_NE(dump->find("\"op\":\"pageout\""), std::string::npos);
+  EXPECT_NE(dump->find("\"page\":5"), std::string::npos);
+
+  // A server with no tracer attached answers with an empty ring, not an
+  // error.
+  auto empty = pager->cluster().peer(1).DumpRemoteTrace();
+  ASSERT_TRUE(empty.ok()) << empty.status().message();
+  EXPECT_EQ(*empty, "[]");
+}
+
+// Restarting a server must reset its registry: the new incarnation's
+// STATS_QUERY reply starts from zero (no incarnation mixing).
+TEST(TracingIntegrationTest, RestartResetsServerRegistry) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok()) << bed.status().message();
+  PagingBackend& backend = (*bed)->backend();
+  auto* pager = dynamic_cast<RemotePagerBase*>(&backend);
+  ASSERT_NE(pager, nullptr);
+
+  PageBuffer page;
+  FillPattern(page.span(), 3);
+  ASSERT_TRUE(backend.PageOut(0, 0, page.span()).ok());
+  EXPECT_GT((*bed)->server(0).stats().pageouts_served.load() +
+                (*bed)->server(1).stats().pageouts_served.load(),
+            0);
+
+  (*bed)->CrashServer(0);
+  (*bed)->RestartServer(0);
+  EXPECT_EQ((*bed)->server(0).stats().pageouts_served.load(), 0);
+  EXPECT_EQ((*bed)->server(0).stats().bytes_stored.load(), 0);
+
+  // And the client-side peer Reset clears the peer.* prefix the same way.
+  ServerPeer& peer = pager->cluster().peer(0);
+  Counter* sent = pager->metrics().GetCounter("peer.server-0.pages_sent");
+  ASSERT_NE(sent, nullptr);
+  peer.Reset();
+  EXPECT_EQ(sent->value(), 0);
+  EXPECT_EQ(peer.pages_sent(), 0);
+  EXPECT_EQ(pager->metrics().GetCounter("peer.server-0.resets")->value(), 1);
+}
+
+TEST(TracingIntegrationTest, DumpMetricsShowsAllSections) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 2;
+  auto bed = Testbed::Create(params);
+  ASSERT_TRUE(bed.ok()) << bed.status().message();
+  PageBuffer page;
+  FillPattern(page.span(), 1);
+  ASSERT_TRUE((*bed)->backend().PageOut(0, 0, page.span()).ok());
+
+  const std::string dump = (*bed)->DumpMetrics();
+  EXPECT_NE(dump.find("# client (MIRRORING)"), std::string::npos);
+  EXPECT_NE(dump.find("# server-0"), std::string::npos);
+  EXPECT_NE(dump.find("# server-1"), std::string::npos);
+  EXPECT_NE(dump.find("# process"), std::string::npos);
+  EXPECT_NE(dump.find("backend.pageouts"), std::string::npos);
+  EXPECT_NE(dump.find("server.pageouts_served"), std::string::npos);
+  EXPECT_NE(dump.find("peer.server-0.pages_sent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmp
