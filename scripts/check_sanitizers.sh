@@ -22,7 +22,10 @@ sanitizers=("${@:-address}")
 # The self-healing suites (health monitor heartbeat thread, repair
 # coordinator) carry the repair_smoke label; run them under the same
 # sanitizers so the background pump thread is raced under TSan too.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke}"
+# reactor_smoke covers the event-loop transport: the fair-share scheduler's
+# worker handoffs, hostile-frame teardown, and the many-session churn soak
+# are exactly the loop-thread/worker races TSan exists to catch.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"
@@ -41,3 +44,17 @@ for sanitizer in "${sanitizers[@]}"; do
     ctest --test-dir "${build_dir}" -L "${label}" --output-on-failure -j
   echo "==> [${sanitizer}] OK"
 done
+
+# The io_uring reactor backend is compile-gated (RMP_IO_URING) and most
+# deployments build without it, so bit-rot would go unnoticed: keep it
+# compiling (transport library + the gated reactor_test smoke) even where the
+# kernel can't run it.
+if [[ "${RMP_SKIP_IO_URING_CHECK:-0}" != "1" ]]; then
+  build_dir="${repo_root}/build-iouring-check"
+  echo "==> [io_uring] compile check in ${build_dir}"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRMP_IO_URING=ON
+  cmake --build "${build_dir}" -j --target rmp_transport reactor_test
+  echo "==> [io_uring] OK"
+fi

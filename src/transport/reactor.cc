@@ -1,0 +1,858 @@
+#include "src/transport/reactor.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace rmp {
+
+namespace {
+
+Status ErrnoError(const char* what) {
+  return IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Process-wide reactor counters: connections come and go, so totals are only
+// meaningful summed across every loop and instance.
+struct ReactorMetrics {
+  Counter& frames_sent;
+  Counter& frames_received;
+  Counter& bytes_sent;
+  Counter& bytes_received;
+  Counter& accepts;
+  Gauge& connections;
+};
+
+ReactorMetrics& Metrics() {
+  static ReactorMetrics* metrics = new ReactorMetrics{
+      *MetricsRegistry::Global().GetCounter("reactor.frames_sent"),
+      *MetricsRegistry::Global().GetCounter("reactor.frames_received"),
+      *MetricsRegistry::Global().GetCounter("reactor.bytes_sent"),
+      *MetricsRegistry::Global().GetCounter("reactor.bytes_received"),
+      *MetricsRegistry::Global().GetCounter("reactor.accepts"),
+      *MetricsRegistry::Global().GetGauge("reactor.connections"),
+  };
+  return *metrics;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoError("fcntl(O_NONBLOCK)");
+  }
+  return OkStatus();
+}
+
+// Frames handed to writev per call: 32 frames → at most 64 iovecs, well
+// under IOV_MAX, large enough to coalesce small acks into one syscall.
+constexpr size_t kWritevFrames = 32;
+constexpr int kMaxPollEvents = 128;
+// Level-triggered read rounds per event; the poll re-fires for the rest, so
+// one flooding connection cannot monopolize its loop.
+constexpr int kLevelTriggeredReadRounds = 4;
+constexpr int kAcceptsPerEvent = 64;
+
+class EpollBackend final : public PollBackend {
+ public:
+  static std::unique_ptr<PollBackend> Create() {
+    UniqueFd fd(::epoll_create1(0));
+    if (!fd.valid()) {
+      return nullptr;
+    }
+    return std::unique_ptr<PollBackend>(new EpollBackend(std::move(fd)));
+  }
+
+  const char* name() const override { return "epoll"; }
+
+  Status Add(int fd, uint32_t events) override { return Ctl(EPOLL_CTL_ADD, fd, events); }
+  Status Mod(int fd, uint32_t events) override { return Ctl(EPOLL_CTL_MOD, fd, events); }
+  void Del(int fd) override {
+    epoll_event ev{};
+    ::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  int Wait(PollEvent* out, int max) override {
+    epoll_event events[kMaxPollEvents];
+    const int cap = max < kMaxPollEvents ? max : kMaxPollEvents;
+    const int n = ::epoll_wait(epfd_.get(), events, cap, -1);
+    if (n < 0) {
+      return errno == EINTR ? 0 : -1;
+    }
+    for (int i = 0; i < n; ++i) {
+      out[i].fd = events[i].data.fd;
+      out[i].events = events[i].events;
+    }
+    return n;
+  }
+
+ private:
+  explicit EpollBackend(UniqueFd fd) : epfd_(std::move(fd)) {}
+
+  Status Ctl(int op, int fd, uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_.get(), op, fd, &ev) != 0) {
+      return ErrnoError("epoll_ctl");
+    }
+    return OkStatus();
+  }
+
+  UniqueFd epfd_;
+};
+
+}  // namespace
+
+std::unique_ptr<PollBackend> MakeEpollBackend() { return EpollBackend::Create(); }
+
+#ifndef RMP_IO_URING
+// Built without the io_uring backend (see reactor_uring.cc): always fall
+// back to epoll.
+std::unique_ptr<PollBackend> MakeIoUringBackend() { return nullptr; }
+#endif
+
+// --- UniqueFd ---------------------------------------------------------------
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) {
+    Reset(other.Release());
+  }
+  return *this;
+}
+
+int UniqueFd::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+// --- ReactorOptions ---------------------------------------------------------
+
+Result<ReactorOptions> ReactorOptions::FromConfig(const Config& config) {
+  ReactorOptions options;
+  auto loops = config.GetInt("reactor.loop_threads", options.loop_threads);
+  if (!loops.ok()) {
+    return loops.status();
+  }
+  if (*loops < 1 || *loops > 64) {
+    return InvalidArgumentError("reactor.loop_threads out of range [1, 64]");
+  }
+  options.loop_threads = static_cast<int>(*loops);
+  auto edge = config.GetBool("reactor.edge_triggered", options.edge_triggered);
+  if (!edge.ok()) {
+    return edge.status();
+  }
+  options.edge_triggered = *edge;
+  auto uring = config.GetBool("reactor.io_uring", options.use_io_uring);
+  if (!uring.ok()) {
+    return uring.status();
+  }
+  options.use_io_uring = *uring;
+  auto sndbuf_kb = config.GetInt("reactor.sndbuf_kb", options.sndbuf_bytes / 1024);
+  if (!sndbuf_kb.ok()) {
+    return sndbuf_kb.status();
+  }
+  if (*sndbuf_kb < 0 || *sndbuf_kb > 64 * 1024) {
+    return InvalidArgumentError("reactor.sndbuf_kb out of range [0, 65536]");
+  }
+  options.sndbuf_bytes = static_cast<int>(*sndbuf_kb) * 1024;
+  return options;
+}
+
+// --- BufferPool -------------------------------------------------------------
+
+BufferPool::BufferPool(size_t buffer_bytes, size_t max_pooled)
+    : buffer_bytes_(buffer_bytes), max_pooled_(max_pooled) {}
+
+BufferPool::Lease& BufferPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    data_ = std::move(other.data_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferPool::Lease::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Release(std::move(data_));
+  }
+  pool_ = nullptr;
+}
+
+BufferPool::Lease BufferPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      auto buffer = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(buffer));
+    }
+  }
+  created_.fetch_add(1, std::memory_order_relaxed);
+  return Lease(this, std::make_unique<uint8_t[]>(buffer_bytes_));
+}
+
+void BufferPool::Release(std::unique_ptr<uint8_t[]> buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() < max_pooled_) {
+    free_.push_back(std::move(buffer));
+  }
+}
+
+size_t BufferPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+// --- ReactorConnection ------------------------------------------------------
+
+ReactorConnection::ReactorConnection(UniqueFd fd, std::shared_ptr<FrameSink> sink,
+                                     EventLoop* loop)
+    : loop_(loop), fd_(std::move(fd)), sink_(std::move(sink)) {}
+
+bool ReactorConnection::Send(Message frame, std::function<void()> on_written,
+                             bool flush) {
+  OutFrame out;
+  EncodeHeader(frame, PayloadCrc(std::span<const uint8_t>(frame.payload)), out.prefix);
+  out.payload = std::move(frame.payload);
+  out.on_written = std::move(on_written);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    outq_.push_back(std::move(out));
+    queued_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (flush) {
+    MaybeFlush();
+  }
+  return true;
+}
+
+void ReactorConnection::Close(Status reason) {
+  closed_.store(true, std::memory_order_release);
+  loop_->Post([self = shared_from_this(), reason = std::move(reason)] {
+    self->CloseOnLoop(reason);
+  });
+}
+
+void ReactorConnection::CloseAfterFlush(Status reason) {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_.store(true, std::memory_order_release);  // No further Sends.
+    closing_after_flush_ = true;
+    deferred_close_reason_ = reason;
+    if (outq_.empty() && !close_posted_) {
+      close_posted_ = true;
+      drained = true;
+    }
+  }
+  if (drained) {
+    loop_->Post([self = shared_from_this(), reason = std::move(reason)] {
+      self->CloseOnLoop(reason);
+    });
+  }
+  // Otherwise the flusher that drains the last frame posts the close.
+}
+
+void ReactorConnection::MaybeFlush() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A running flusher picks up newly queued frames itself; with EPOLLOUT
+    // armed the loop owns the resumption.
+    if (flushing_ || want_write_ || outq_.empty()) {
+      return;
+    }
+    flushing_ = true;
+  }
+  DoFlush();
+}
+
+void ReactorConnection::DoFlush() {
+  // Holds the single-flusher role: only this thread pops outq_ until it
+  // clears `flushing_`, so iovecs built under the lock stay valid across the
+  // unlocked sendmsg (deque push_back does not invalidate references).
+  std::vector<std::function<void()>> completed;
+  std::deque<OutFrame> dropped;
+  for (;;) {
+    iovec iov[kWritevFrames * 2];
+    int iovcnt = 0;
+    size_t want = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_.load(std::memory_order_relaxed) && close_posted_) {
+        // CloseOnLoop ran (or is posted) while we flushed: it left the queue
+        // to us. Drop it without firing callbacks.
+        dropped.swap(outq_);
+        flushing_ = false;
+        break;
+      }
+      if (outq_.empty() || want_write_) {
+        if (outq_.empty() && closing_after_flush_ && !close_posted_) {
+          close_posted_ = true;
+          loop_->Post([self = shared_from_this()] {
+            self->CloseOnLoop(self->deferred_close_reason_);
+          });
+        }
+        flushing_ = false;
+        break;
+      }
+      // Scatter-gather straight out of the queued frames (no coalescing
+      // copy): each frame contributes its header iovec and its payload
+      // iovec, offset by how much a previous partial write already sent.
+      for (const OutFrame& frame : outq_) {
+        if (iovcnt + 2 > static_cast<int>(kWritevFrames * 2)) {
+          break;
+        }
+        size_t offset = frame.sent;
+        if (offset < kWirePrefixSize) {
+          iov[iovcnt].iov_base = const_cast<uint8_t*>(frame.prefix) + offset;
+          iov[iovcnt].iov_len = kWirePrefixSize - offset;
+          ++iovcnt;
+          offset = 0;
+        } else {
+          offset -= kWirePrefixSize;
+        }
+        if (offset < frame.payload.size()) {
+          iov[iovcnt].iov_base = const_cast<uint8_t*>(frame.payload.data()) + offset;
+          iov[iovcnt].iov_len = frame.payload.size() - offset;
+          ++iovcnt;
+        }
+      }
+      for (int i = 0; i < iovcnt; ++i) {
+        want += iov[i].iov_len;
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket full: hand the remainder to the event loop via EPOLLOUT.
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          want_write_ = true;
+          flushing_ = false;
+        }
+        if (loop_->IsLoopThread()) {
+          ArmWriteOnLoop();
+        } else {
+          loop_->Post([self = shared_from_this()] { self->ArmWriteOnLoop(); });
+        }
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        flushing_ = false;
+      }
+      Close(ErrnoError("sendmsg"));
+      break;
+    }
+    Metrics().bytes_sent.Increment(n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      size_t remaining = static_cast<size_t>(n);
+      while (remaining > 0 && !outq_.empty()) {
+        OutFrame& frame = outq_.front();
+        const size_t total = kWirePrefixSize + frame.payload.size();
+        const size_t take = std::min(remaining, total - frame.sent);
+        frame.sent += take;
+        remaining -= take;
+        if (frame.sent < total) {
+          break;
+        }
+        Metrics().frames_sent.Increment();
+        queued_frames_.fetch_sub(1, std::memory_order_relaxed);
+        if (frame.on_written) {
+          completed.push_back(std::move(frame.on_written));
+        }
+        outq_.pop_front();
+      }
+    }
+    for (auto& cb : completed) {
+      cb();
+    }
+    completed.clear();
+    if (static_cast<size_t>(n) < want) {
+      // Short write: the socket buffer is (nearly) full. Try once more; the
+      // next sendmsg returns EAGAIN if it truly is, arming EPOLLOUT above.
+      continue;
+    }
+  }
+  if (!dropped.empty()) {
+    queued_frames_.fetch_sub(dropped.size(), std::memory_order_relaxed);
+  }
+}
+
+void ReactorConnection::ArmWriteOnLoop() {
+  if (closed_on_loop_ || !in_poll_) {
+    return;
+  }
+  uint32_t events = EPOLLIN | EPOLLOUT;
+  if (loop_->options_.edge_triggered) {
+    events |= EPOLLET;
+  }
+  Status status = loop_->backend_->Mod(fd_.get(), events);
+  if (!status.ok()) {
+    CloseOnLoop(status);
+  }
+}
+
+void ReactorConnection::HandleWritable() {
+  if (closed_on_loop_) {
+    return;
+  }
+  bool take = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    want_write_ = false;
+    if (!flushing_) {
+      flushing_ = true;
+      take = true;
+    }
+  }
+  // Disarm EPOLLOUT before flushing: level-triggered OUT on a writable
+  // socket would spin the loop otherwise. A renewed EAGAIN re-arms it.
+  uint32_t events = EPOLLIN;
+  if (loop_->options_.edge_triggered) {
+    events |= EPOLLET;
+  }
+  Status status = loop_->backend_->Mod(fd_.get(), events);
+  if (!status.ok()) {
+    if (take) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      flushing_ = false;
+    }
+    CloseOnLoop(status);
+    return;
+  }
+  if (take) {
+    DoFlush();
+  }
+}
+
+void ReactorConnection::HandleReadable() {
+  BufferPool::Lease lease = loop_->pool_->Acquire();
+  const int rounds = loop_->options_.edge_triggered ? INT32_MAX : kLevelTriggeredReadRounds;
+  for (int round = 0; round < rounds; ++round) {
+    const ssize_t n = ::recv(fd_.get(), lease.data(), lease.size(), 0);
+    if (n > 0) {
+      Metrics().bytes_received.Increment(n);
+      std::span<const uint8_t> chunk(lease.data(), static_cast<size_t>(n));
+      // Resume a partial frame through the buffering FrameReader first; its
+      // hostile-length check (payload_len bound before any buffering) is the
+      // wire-safety gate for the slow path.
+      if (reader_.buffered_bytes() > 0) {
+        reader_.Feed(chunk);
+        chunk = {};
+        for (;;) {
+          auto frame = reader_.Next();
+          if (!frame.ok()) {
+            if (frame.status().code() == ErrorCode::kNotFound) {
+              break;  // Partial frame; resume on the next readable event.
+            }
+            // Hostile length / bad magic / CRC mismatch: drop the stream.
+            CloseOnLoop(frame.status());
+            return;
+          }
+          Metrics().frames_received.Increment();
+          sink_->OnFrame(std::move(*frame));
+          if (closed_on_loop_) {
+            return;  // The sink closed us mid-batch.
+          }
+        }
+      }
+      // Fast path: decode complete frames straight out of the scratch
+      // buffer, skipping the FrameReader copy; only a trailing partial
+      // frame is buffered. DecodeHeader performs the same magic / reserved
+      // field / payload-bound validation the FrameReader path applies.
+      while (chunk.size() >= kWirePrefixSize) {
+        auto header = DecodeHeader(chunk.subspan(0, kWirePrefixSize));
+        if (!header.ok()) {
+          CloseOnLoop(header.status());
+          return;
+        }
+        const size_t total = kWirePrefixSize + header->payload_len;
+        if (chunk.size() < total) {
+          break;
+        }
+        Message frame = MessageFromHeader(*header);
+        if (header->payload_len > 0) {
+          frame.payload.assign(chunk.data() + kWirePrefixSize, chunk.data() + total);
+        }
+        if (PayloadCrc(std::span<const uint8_t>(frame.payload)) != header->payload_crc) {
+          CloseOnLoop(CorruptionError("payload CRC mismatch"));
+          return;
+        }
+        Metrics().frames_received.Increment();
+        sink_->OnFrame(std::move(frame));
+        if (closed_on_loop_) {
+          return;
+        }
+        chunk = chunk.subspan(total);
+      }
+      if (!chunk.empty()) {
+        reader_.Feed(chunk);
+      }
+      if (static_cast<size_t>(n) < lease.size() && !loop_->options_.edge_triggered) {
+        return;  // Likely drained; level-triggered poll re-fires otherwise.
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseOnLoop(UnavailableError("peer closed connection"));
+      return;
+    }
+    if (errno == EINTR) {
+      --round;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return;
+    }
+    CloseOnLoop(ErrnoError("recv"));
+    return;
+  }
+}
+
+void ReactorConnection::CloseOnLoop(const Status& reason) {
+  if (closed_on_loop_) {
+    return;
+  }
+  closed_on_loop_ = true;
+  std::deque<OutFrame> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_.store(true, std::memory_order_release);
+    close_posted_ = true;
+    if (!flushing_) {
+      // No flusher mid-sendmsg: safe to free the queued frames here. An
+      // active flusher sees closed_ + close_posted_ on its next lock and
+      // drops the queue itself (freeing frames under it would leave its
+      // iovecs dangling).
+      dropped.swap(outq_);
+    }
+  }
+  queued_frames_.fetch_sub(dropped.size(), std::memory_order_relaxed);
+  if (in_poll_) {
+    loop_->backend_->Del(fd_.get());
+    in_poll_ = false;
+  }
+  loop_->conns_.erase(fd_.get());
+  // Shutdown, don't close: the fd stays allocated until the connection
+  // object dies, so a racing flusher can never write to a recycled
+  // descriptor (its sendmsg just fails with EPIPE).
+  ::shutdown(fd_.get(), SHUT_RDWR);
+  Metrics().connections.Add(-1);
+  // Release the sink after the callback: breaks the conn↔sink ownership
+  // cycle so sessions free as soon as their owner lets go.
+  std::shared_ptr<FrameSink> sink = std::move(sink_);
+  if (sink != nullptr) {
+    sink->OnClose(reason);
+  }
+}
+
+// --- EventLoop --------------------------------------------------------------
+
+EventLoop::EventLoop(int index, const ReactorOptions& options, BufferPool* pool,
+                     const std::string& metric_prefix)
+    : index_(index),
+      options_(options),
+      pool_(pool),
+      ready_events_gauge_(*MetricsRegistry::Global().GetGauge(
+          metric_prefix + ".loop" + std::to_string(index) + ".ready_events")),
+      dispatches_(*MetricsRegistry::Global().GetCounter(
+          metric_prefix + ".loop" + std::to_string(index) + ".dispatches")) {
+  if (options_.use_io_uring) {
+    backend_ = MakeIoUringBackend();
+  }
+  if (backend_ == nullptr) {
+    backend_ = MakeEpollBackend();
+  }
+}
+
+EventLoop::~EventLoop() { StopAndJoin(); }
+
+Status EventLoop::Start() {
+  if (backend_ == nullptr) {
+    return InternalError("no poll backend available");
+  }
+  wakeup_fd_.Reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wakeup_fd_.valid()) {
+    return ErrnoError("eventfd");
+  }
+  Status status = backend_->Add(wakeup_fd_.get(), EPOLLIN);
+  if (!status.ok()) {
+    return status;
+  }
+  thread_ = std::thread([this] { Run(); });
+  return OkStatus();
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    if (!accepting_tasks_) {
+      return;
+    }
+    tasks_.push_back(std::move(task));
+    if (!wakeup_armed_) {
+      wakeup_armed_ = true;
+      wake = true;
+    }
+  }
+  if (wake) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeup_fd_.get(), &one, sizeof(one));
+  }
+}
+
+void EventLoop::RunTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    tasks.swap(tasks_);
+    wakeup_armed_ = false;
+  }
+  for (auto& task : tasks) {
+    task();
+  }
+}
+
+void EventLoop::AcceptReady(Listener* listener) {
+  for (int i = 0; i < kAcceptsPerEvent; ++i) {
+    const int fd = ::accept4(listener->fd.get(), nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != ECONNABORTED) {
+        RMP_LOG(kWarning) << "accept failed: " << std::strerror(errno);
+      }
+      return;
+    }
+    Metrics().accepts.Increment();
+    listener->on_accept(UniqueFd(fd));
+  }
+}
+
+void EventLoop::CloseAllOnLoop() {
+  // Copy: CloseOnLoop erases from conns_.
+  std::vector<std::shared_ptr<ReactorConnection>> conns;
+  conns.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) {
+    conns.push_back(conn);
+  }
+  for (auto& conn : conns) {
+    conn->CloseOnLoop(UnavailableError("reactor stopped"));
+  }
+  listeners_.clear();
+}
+
+void EventLoop::Run() {
+  PollEvent events[kMaxPollEvents];
+  while (running_) {
+    const int n = backend_->Wait(events, kMaxPollEvents);
+    if (n < 0) {
+      RMP_LOG(kWarning) << "poll backend failed on loop " << index_ << "; loop exiting";
+      break;
+    }
+    ready_events_gauge_.Set(n);
+    for (int i = 0; i < n && running_; ++i) {
+      const PollEvent& event = events[i];
+      dispatches_.Increment();
+      if (event.fd == wakeup_fd_.get()) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r = ::read(wakeup_fd_.get(), &drained, sizeof(drained));
+        RunTasks();
+        continue;
+      }
+      auto listener_it = listeners_.find(event.fd);
+      if (listener_it != listeners_.end()) {
+        AcceptReady(&listener_it->second);
+        continue;
+      }
+      auto it = conns_.find(event.fd);
+      if (it == conns_.end()) {
+        continue;  // Closed earlier in this batch.
+      }
+      std::shared_ptr<ReactorConnection> conn = it->second;
+      if ((event.events & EPOLLERR) != 0) {
+        conn->CloseOnLoop(IoError("socket error"));
+        continue;
+      }
+      if ((event.events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) != 0) {
+        conn->HandleReadable();
+      }
+      if ((event.events & EPOLLOUT) != 0) {
+        conn->HandleWritable();
+      }
+    }
+  }
+}
+
+void EventLoop::StopAndJoin() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  Post([this] {
+    CloseAllOnLoop();
+    running_ = false;
+  });
+  thread_.join();
+  std::lock_guard<std::mutex> lock(task_mutex_);
+  accepting_tasks_ = false;
+  tasks_.clear();
+}
+
+// --- Reactor ----------------------------------------------------------------
+
+namespace {
+std::string AutoPrefix(const std::string& requested) {
+  if (!requested.empty()) {
+    return requested;
+  }
+  static std::atomic<int> next{0};
+  return "reactor" + std::to_string(next.fetch_add(1));
+}
+}  // namespace
+
+Reactor::Reactor(ReactorOptions options, std::string metric_prefix)
+    : options_(options),
+      pool_(options.read_chunk_bytes, options.pooled_read_buffers) {
+  const std::string prefix = AutoPrefix(metric_prefix);
+  const int loops = options_.loop_threads < 1 ? 1 : options_.loop_threads;
+  loops_.reserve(static_cast<size_t>(loops));
+  for (int i = 0; i < loops; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>(i, options_, &pool_, prefix));
+    Status started = loops_.back()->Start();
+    if (!started.ok()) {
+      RMP_LOG(kError) << "event loop " << i << " failed to start: " << started.ToString();
+      loops_.pop_back();
+    }
+  }
+  if (loops_.empty()) {
+    // Keep the invariant that at least one loop exists; a loop whose Start
+    // failed still drops posted tasks safely.
+    loops_.push_back(std::make_unique<EventLoop>(0, options_, &pool_, prefix));
+    (void)loops_.back()->Start();
+  }
+}
+
+Reactor::~Reactor() { Stop(); }
+
+Reactor& Reactor::Shared() {
+  static Reactor* shared = [] {
+    ReactorOptions options;
+    if (const char* env = std::getenv("RMP_CLIENT_LOOPS")) {
+      const int loops = std::atoi(env);
+      if (loops >= 1 && loops <= 64) {
+        options.loop_threads = loops;
+      }
+    }
+    return new Reactor(options, "reactor.cli");
+  }();
+  return *shared;
+}
+
+std::shared_ptr<ReactorConnection> Reactor::Register(UniqueFd fd,
+                                                     std::shared_ptr<FrameSink> sink) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  Status nonblocking = SetNonBlocking(fd.get());
+  if (!nonblocking.ok()) {
+    return nullptr;
+  }
+  if (options_.sndbuf_bytes > 0) {
+    // Nonblocking writers pay an EPOLLOUT round trip (two epoll_ctl calls
+    // plus a poll cycle of delay) every time sendmsg hits EAGAIN; the kernel
+    // default (net.ipv4.tcp_wmem[1], commonly 16KB) backpressures after two
+    // pages. Explicit headroom keeps the direct-write fast path direct.
+    const int sndbuf = options_.sndbuf_bytes;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  }
+  EventLoop* loop =
+      loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size()].get();
+  auto conn = std::shared_ptr<ReactorConnection>(
+      new ReactorConnection(std::move(fd), std::move(sink), loop));
+  loop->Post([loop, conn] {
+    const int fd = conn->fd_.get();
+    loop->conns_[fd] = conn;
+    Metrics().connections.Add(1);
+    conn->sink_->OnOpen(conn);
+    uint32_t events = EPOLLIN;
+    if (loop->options_.edge_triggered) {
+      events |= EPOLLET;
+    }
+    Status added = loop->backend_->Add(fd, events);
+    if (!added.ok()) {
+      conn->CloseOnLoop(added);
+      return;
+    }
+    conn->in_poll_ = true;
+  });
+  return conn;
+}
+
+Status Reactor::AddListener(UniqueFd listen_fd, std::function<void(UniqueFd)> on_accept) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return UnavailableError("reactor stopped");
+  }
+  Status nonblocking = SetNonBlocking(listen_fd.get());
+  if (!nonblocking.ok()) {
+    return nonblocking;
+  }
+  EventLoop* loop =
+      loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size()].get();
+  const int fd = listen_fd.get();
+  loop->Post([loop, fd, listen_fd = std::make_shared<UniqueFd>(std::move(listen_fd)),
+              on_accept = std::move(on_accept)]() mutable {
+    EventLoop::Listener listener;
+    listener.fd = std::move(*listen_fd);
+    listener.on_accept = std::move(on_accept);
+    Status added = loop->backend_->Add(fd, EPOLLIN);
+    if (!added.ok()) {
+      RMP_LOG(kError) << "listener registration failed: " << added.ToString();
+      return;
+    }
+    loop->listeners_.emplace(fd, std::move(listener));
+  });
+  return OkStatus();
+}
+
+void Reactor::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  for (auto& loop : loops_) {
+    loop->StopAndJoin();
+  }
+}
+
+}  // namespace rmp

@@ -1,0 +1,376 @@
+// Event-driven transport core (DESIGN.md §13).
+//
+// A Reactor is a small fixed pool of event-loop threads — one poll instance
+// (epoll by default, io_uring behind the RMP_IO_URING build option) and one
+// eventfd per loop — that multiplexes every registered connection over
+// nonblocking sockets. This replaces the thread-per-session transport, whose
+// two I/O threads per connection plus per-session worker pools were a hard
+// wall at thousands of concurrent paging sessions.
+//
+// Structure:
+//   PollBackend        — epoll (level- or edge-triggered) or io_uring
+//                        poll-add; the loop is backend-agnostic.
+//   EventLoop          — owns a backend, an eventfd for cross-thread task
+//                        submission, and the connections assigned to it. All
+//                        I/O for a connection happens on its loop thread.
+//   ReactorConnection  — one nonblocking socket: a resumable FrameReader for
+//                        partial reads (the hostile-length checks in
+//                        FrameReader::Next are the wire-safety gate), a
+//                        partial-write resumable output queue flushed with
+//                        scatter-gather writev (header iovec + payload iovec,
+//                        zero-copy), and thread-safe Send from any thread.
+//   BufferPool         — registered, reusable read-scratch buffers shared by
+//                        the loops, so 10k idle connections do not each pin a
+//                        64 KB receive buffer.
+//   Reactor            — the loop pool. Connections are assigned round-robin;
+//                        Reactor::Shared() is the process-wide client-side
+//                        instance (TcpTransport registers there).
+//
+// Threading contract: OnOpen/OnFrame/OnClose fire on the connection's loop
+// thread, never concurrently with each other. Send/Close are safe from any
+// thread. Loop threads never block on user work — anything that can block
+// (request service, disk) belongs on the FairShareScheduler's workers
+// (scheduler.h), not in a FrameSink callback.
+
+#ifndef SRC_TRANSPORT_REACTOR_H_
+#define SRC_TRANSPORT_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/proto/wire.h"
+#include "src/util/config.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace rmp {
+
+// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+struct ReactorOptions {
+  // Event-loop threads in the pool. The paper's 1-client/16-server testbed
+  // needed none of this; thousands of sessions share these few loops.
+  int loop_threads = 2;
+  // Level-triggered epoll by default; edge-triggered drains every socket to
+  // EAGAIN per event (fewer wakeups, but a flooding peer can hold the loop
+  // longer). The io_uring backend re-arms oneshot polls, which behaves
+  // level-triggered regardless.
+  bool edge_triggered = false;
+  // Try the io_uring backend (only built under -DRMP_IO_URING=ON); falls
+  // back to epoll when the kernel or seccomp policy refuses io_uring_setup.
+#ifdef RMP_IO_URING
+  bool use_io_uring = true;
+#else
+  bool use_io_uring = false;
+#endif
+  // Size of one pooled read-scratch buffer and how many the pool retains.
+  size_t read_chunk_bytes = 64 * 1024;
+  size_t pooled_read_buffers = 8;
+  // SO_SNDBUF for registered sockets (0 = kernel default). The default
+  // tcp_wmem of ~16KB EAGAINs after two 8KB pages, forcing the direct-write
+  // path through an EPOLLOUT round trip; 256KB absorbs a depth-16 pipelined
+  // burst of page replies without backpressure. Kernel memory is allocated
+  // lazily, so idle connections don't pay this.
+  int sndbuf_bytes = 256 * 1024;
+
+  // Keys: reactor.loop_threads, reactor.edge_triggered, reactor.io_uring,
+  // reactor.sndbuf_kb.
+  static Result<ReactorOptions> FromConfig(const Config& config);
+};
+
+// Registered, reusable scratch buffers. Loops borrow one per readable event
+// instead of every connection pinning its own; the pool caps how many stay
+// resident between bursts.
+class BufferPool {
+ public:
+  BufferPool(size_t buffer_bytes, size_t max_pooled);
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(BufferPool* pool, std::unique_ptr<uint8_t[]> data) noexcept
+        : pool_(pool), data_(std::move(data)) {}
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept : pool_(other.pool_), data_(std::move(other.data_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    uint8_t* data() { return data_.get(); }
+    size_t size() const { return pool_ != nullptr ? pool_->buffer_bytes() : 0; }
+
+   private:
+    void Release();
+    BufferPool* pool_ = nullptr;
+    std::unique_ptr<uint8_t[]> data_;
+  };
+
+  Lease Acquire();
+  size_t buffer_bytes() const { return buffer_bytes_; }
+  size_t pooled() const;
+  size_t total_created() const { return created_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Lease;
+  void Release(std::unique_ptr<uint8_t[]> buffer);
+
+  const size_t buffer_bytes_;
+  const size_t max_pooled_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<uint8_t[]>> free_;
+  std::atomic<size_t> created_{0};
+};
+
+// One readiness notification. `events` uses the EPOLL* bit values.
+struct PollEvent {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
+// Readiness-notification backend: epoll or io_uring. All calls are made from
+// the owning loop thread only.
+class PollBackend {
+ public:
+  virtual ~PollBackend() = default;
+  virtual const char* name() const = 0;
+  virtual Status Add(int fd, uint32_t events) = 0;
+  virtual Status Mod(int fd, uint32_t events) = 0;
+  virtual void Del(int fd) = 0;
+  // Blocks until at least one event; returns the count (≤ max), 0 on EINTR,
+  // < 0 on an unrecoverable backend error.
+  virtual int Wait(PollEvent* out, int max) = 0;
+};
+
+std::unique_ptr<PollBackend> MakeEpollBackend();
+// nullptr when not built with RMP_IO_URING or when io_uring_setup fails at
+// runtime (old kernel, seccomp) — the caller falls back to epoll.
+std::unique_ptr<PollBackend> MakeIoUringBackend();
+
+class EventLoop;
+class Reactor;
+class ReactorConnection;
+
+// Decoded-frame and lifecycle callbacks for one connection, invoked on the
+// connection's loop thread (never concurrently with each other).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  // Fired once, before any OnFrame, when the connection is registered.
+  virtual void OnOpen(const std::shared_ptr<ReactorConnection>& conn) { (void)conn; }
+  virtual void OnFrame(Message frame) = 0;
+  // Fired exactly once; after it returns the sink is released by the loop.
+  virtual void OnClose(const Status& reason) = 0;
+};
+
+// One nonblocking socket owned by an event loop.
+//
+// Reads always happen on the loop thread. Writes use a direct path: the
+// thread calling Send flushes the output queue itself (scatter-gather
+// sendmsg on the nonblocking socket) when it can take the single-flusher
+// role, so the common uncongested send costs no cross-thread hop; only when
+// the socket back-pressures (EAGAIN) does the connection arm EPOLLOUT and
+// hand the remainder to the event loop.
+class ReactorConnection : public std::enable_shared_from_this<ReactorConnection> {
+ public:
+  // Queues a frame for transmission. Thread-safe; returns false when the
+  // connection is (being) closed and the frame was dropped. `on_written`,
+  // when set, fires after the frame's last byte reaches the socket, on
+  // whichever thread flushed it (not fired for frames dropped by a close);
+  // it must not block or re-enter Send recursively without bound. With
+  // `flush` false the frame is only queued (corked); the caller batches
+  // several frames and then calls Flush() once, collapsing them into a
+  // single scatter-gather write.
+  bool Send(Message frame, std::function<void()> on_written = nullptr,
+            bool flush = true);
+
+  // Kicks the flusher for frames queued with Send(..., flush=false).
+  // Thread-safe; a no-op when the queue is empty or a flush is in flight.
+  void Flush() { MaybeFlush(); }
+
+  // Asynchronously tears the connection down; OnClose(reason) fires once on
+  // the loop thread. Idempotent, thread-safe.
+  void Close(Status reason);
+
+  // Like Close, but the already-queued frames are flushed first (e.g. an
+  // auth-failure reply that must reach the peer before the drop).
+  void CloseAfterFlush(Status reason);
+
+  // True once the connection stops accepting Sends.
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // Frames accepted but not yet fully written (test/backpressure probe).
+  size_t queued_frames() const { return queued_frames_.load(std::memory_order_relaxed); }
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  friend class EventLoop;
+  friend class Reactor;
+
+  struct OutFrame {
+    uint8_t prefix[kWirePrefixSize];
+    std::vector<uint8_t> payload;
+    size_t sent = 0;  // Bytes of prefix+payload already on the wire.
+    std::function<void()> on_written;
+  };
+
+  ReactorConnection(UniqueFd fd, std::shared_ptr<FrameSink> sink, EventLoop* loop);
+
+  // Tries to take the flusher role and drain the output queue (any thread).
+  void MaybeFlush();
+  void DoFlush();
+
+  // Loop-thread-only handlers.
+  void HandleReadable();
+  void HandleWritable();
+  void ArmWriteOnLoop();
+  void CloseOnLoop(const Status& reason);
+
+  EventLoop* loop_;
+
+  // The fd stays open (shutdown, not closed) from CloseOnLoop until the
+  // connection object dies, so a concurrent flusher can never write to a
+  // recycled descriptor.
+  UniqueFd fd_;
+  std::atomic<bool> closed_{false};
+  std::atomic<size_t> queued_frames_{0};
+
+  // Output state (mutex_-guarded, producers + flusher + loop).
+  std::mutex mutex_;
+  std::deque<OutFrame> outq_;
+  bool flushing_ = false;     // Exactly one thread holds the flusher role.
+  bool want_write_ = false;   // EPOLLOUT armed (or being armed); flushers yield.
+  bool closing_after_flush_ = false;
+  bool close_posted_ = false;
+  Status deferred_close_reason_;
+
+  // Loop-thread-only state.
+  std::shared_ptr<FrameSink> sink_;
+  FrameReader reader_;  // Resumable partial-read codec state.
+  bool in_poll_ = false;
+  bool closed_on_loop_ = false;
+};
+
+// One event-loop thread: a poll backend, an eventfd for cross-thread task
+// posting, and the connections + listeners assigned to this loop.
+class EventLoop {
+ public:
+  EventLoop(int index, const ReactorOptions& options, BufferPool* pool,
+            const std::string& metric_prefix);
+  ~EventLoop();
+
+  Status Start();
+  void StopAndJoin();
+
+  // Runs `task` on the loop thread (FIFO relative to other posted tasks).
+  // Tasks posted after StopAndJoin are silently dropped.
+  void Post(std::function<void()> task);
+  bool IsLoopThread() const { return std::this_thread::get_id() == thread_.get_id(); }
+  const char* backend_name() const { return backend_->name(); }
+
+ private:
+  friend class Reactor;
+  friend class ReactorConnection;
+
+  struct Listener {
+    UniqueFd fd;
+    std::function<void(UniqueFd)> on_accept;
+  };
+
+  void Run();
+  void RunTasks();
+  void AcceptReady(Listener* listener);
+  void CloseAllOnLoop();
+
+  const int index_;
+  const ReactorOptions options_;
+  BufferPool* pool_;
+  std::unique_ptr<PollBackend> backend_;
+  UniqueFd wakeup_fd_;
+  std::thread thread_;
+
+  std::mutex task_mutex_;
+  std::vector<std::function<void()>> tasks_;
+  bool wakeup_armed_ = false;     // Under task_mutex_.
+  bool accepting_tasks_ = true;   // Under task_mutex_.
+
+  // Loop-thread-only.
+  bool running_ = true;
+  std::unordered_map<int, std::shared_ptr<ReactorConnection>> conns_;
+  std::unordered_map<int, Listener> listeners_;
+
+  Gauge& ready_events_gauge_;
+  Counter& dispatches_;
+};
+
+// The loop pool. Connections are assigned to loops round-robin.
+class Reactor {
+ public:
+  // `metric_prefix` scopes the per-loop gauges; empty picks a unique
+  // "reactor<N>" so concurrent instances (one per TcpServer) do not fight
+  // over the same gauge.
+  explicit Reactor(ReactorOptions options = ReactorOptions(), std::string metric_prefix = "");
+  ~Reactor();
+
+  // The process-wide client-side reactor (TcpTransport connections register
+  // here). Loop count from RMP_CLIENT_LOOPS, default 2. Never stopped.
+  static Reactor& Shared();
+
+  // Takes ownership of `fd` (made nonblocking), assigns a loop, and starts
+  // delivering sink callbacks on that loop's thread. Returns nullptr after
+  // Stop().
+  std::shared_ptr<ReactorConnection> Register(UniqueFd fd, std::shared_ptr<FrameSink> sink);
+
+  // Watches a listening socket; `on_accept` runs on the loop thread once per
+  // accepted (already nonblocking) connection.
+  Status AddListener(UniqueFd listen_fd, std::function<void(UniqueFd)> on_accept);
+
+  // Closes every connection and listener (OnClose fires for each), then
+  // joins the loop threads. Idempotent.
+  void Stop();
+
+  int loop_count() const { return static_cast<int>(loops_.size()); }
+  // Backend actually selected at runtime ("epoll" or "io_uring").
+  const char* backend_name() const { return loops_[0]->backend_name(); }
+  BufferPool& buffer_pool() { return pool_; }
+
+ private:
+  ReactorOptions options_;
+  BufferPool pool_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace rmp
+
+#endif  // SRC_TRANSPORT_REACTOR_H_

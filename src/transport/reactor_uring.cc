@@ -1,0 +1,365 @@
+// io_uring poll backend for the reactor (DESIGN.md §13).
+//
+// Compiled only under -DRMP_IO_URING=ON. No liburing: the ring is set up
+// with raw io_uring_setup/io_uring_enter syscalls and the mmapped SQ/CQ
+// rings, so the build needs nothing beyond <linux/io_uring.h>. The backend
+// models epoll semantics on top of oneshot IORING_OP_POLL_ADD: each
+// registered fd keeps one poll armed; when a completion fires, the fd is
+// re-armed on the next Wait. That behaves level-triggered — a socket that
+// still has unread bytes completes the fresh poll immediately.
+//
+// MakeIoUringBackend() probes at runtime: on kernels (or seccomp policies)
+// that refuse io_uring_setup it returns nullptr and the event loop falls
+// back to epoll, so an RMP_IO_URING build runs anywhere.
+
+#ifdef RMP_IO_URING
+
+#if !defined(__linux__) || !__has_include(<linux/io_uring.h>)
+#error "RMP_IO_URING requires linux with <linux/io_uring.h>"
+#endif
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/transport/reactor.h"
+
+namespace rmp {
+namespace {
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+
+int IoUringSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int IoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+// user_data tags: low 32 bits carry the fd, the top bit marks a POLL_REMOVE
+// completion (which we only need to discard).
+constexpr uint64_t kRemoveTag = 1ull << 63;
+
+uint32_t LoadAcquire(const uint32_t* p) {
+  return std::atomic_ref<const uint32_t>(*p).load(std::memory_order_acquire);
+}
+
+void StoreRelease(uint32_t* p, uint32_t v) {
+  std::atomic_ref<uint32_t>(*p).store(v, std::memory_order_release);
+}
+
+class IoUringBackend final : public PollBackend {
+ public:
+  static std::unique_ptr<PollBackend> TryCreate() {
+    io_uring_params params{};
+    const int ring_fd = IoUringSetup(kEntries, &params);
+    if (ring_fd < 0) {
+      return nullptr;  // Old kernel or seccomp: caller falls back to epoll.
+    }
+    auto backend = std::unique_ptr<IoUringBackend>(new IoUringBackend(ring_fd, params));
+    if (!backend->MapRings()) {
+      return nullptr;
+    }
+    return backend;
+  }
+
+  ~IoUringBackend() override {
+    if (sq_ring_ != MAP_FAILED && sq_ring_ != nullptr) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (cq_ring_ != MAP_FAILED && cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sqes_ != MAP_FAILED && sqes_ != nullptr) {
+      ::munmap(sqes_, sqe_bytes_);
+    }
+    if (ring_fd_ >= 0) {
+      ::close(ring_fd_);
+    }
+  }
+
+  const char* name() const override { return "io_uring"; }
+
+  Status Add(int fd, uint32_t events) override {
+    FdState& state = fds_[fd];
+    state.mask = events & ~static_cast<uint32_t>(EPOLLET);
+    if (!state.rearm_pending && state.inflight == 0) {
+      state.rearm_pending = true;
+      rearm_queue_.push_back(fd);
+    }
+    return OkStatus();
+  }
+
+  Status Mod(int fd, uint32_t events) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return Add(fd, events);
+    }
+    it->second.mask = events & ~static_cast<uint32_t>(EPOLLET);
+    if (it->second.inflight > 0) {
+      // Cancel the armed poll (its CQE comes back ECANCELED); the new mask
+      // arms once the cancellation drains.
+      PushRemove(fd);
+    } else if (!it->second.rearm_pending) {
+      it->second.rearm_pending = true;
+      rearm_queue_.push_back(fd);
+    }
+    return OkStatus();
+  }
+
+  void Del(int fd) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return;
+    }
+    it->second.mask = 0;
+    it->second.rearm_pending = false;
+    if (it->second.inflight > 0) {
+      PushRemove(fd);  // Entry is erased when the cancellation CQE lands.
+    } else {
+      fds_.erase(it);
+    }
+  }
+
+  int Wait(PollEvent* out, int max) override {
+    // Arm every fd whose previous oneshot completed (or that was just
+    // added), flushing the SQ in batches if the queue outgrows it.
+    while (!rearm_queue_.empty()) {
+      const int fd = rearm_queue_.back();
+      auto it = fds_.find(fd);
+      if (it == fds_.end() || !it->second.rearm_pending || it->second.inflight > 0 ||
+          it->second.mask == 0) {
+        rearm_queue_.pop_back();
+        if (it != fds_.end()) {
+          it->second.rearm_pending = false;
+        }
+        continue;
+      }
+      io_uring_sqe* sqe = NextSqe();
+      if (sqe == nullptr) {
+        if (!Flush()) {
+          return -1;
+        }
+        continue;
+      }
+      rearm_queue_.pop_back();
+      it->second.rearm_pending = false;
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_POLL_ADD;
+      sqe->fd = fd;
+      sqe->poll_events = static_cast<uint16_t>(it->second.mask & 0xffff);
+      sqe->user_data = static_cast<uint64_t>(static_cast<uint32_t>(fd));
+      it->second.inflight += 1;
+      pending_sqes_ += 1;
+    }
+
+    int produced = 0;
+    while (produced == 0) {
+      const int rc = IoUringEnter(ring_fd_, pending_sqes_, /*min_complete=*/1,
+                                  IORING_ENTER_GETEVENTS);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          return 0;
+        }
+        return -1;
+      }
+      pending_sqes_ = 0;
+      produced = DrainCqes(out, max);
+      // produced == 0 when every CQE was a cancellation echo; in that case
+      // re-arm anything freed up and block again.
+      if (produced == 0 && !rearm_queue_.empty()) {
+        return 0;  // Let the caller re-enter Wait (which re-arms first).
+      }
+    }
+    return produced;
+  }
+
+ private:
+  struct FdState {
+    uint32_t mask = 0;
+    int inflight = 0;
+    bool rearm_pending = false;
+  };
+
+  IoUringBackend(int ring_fd, const io_uring_params& params)
+      : ring_fd_(ring_fd), params_(params) {}
+
+  bool MapRings() {
+    sq_ring_bytes_ = params_.sq_off.array + params_.sq_entries * sizeof(uint32_t);
+    cq_ring_bytes_ = params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params_.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                      ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) {
+      return false;
+    }
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        return false;
+      }
+    }
+    sqe_bytes_ = params_.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                   ring_fd_, IORING_OFF_SQES);
+    if (sqes_ == MAP_FAILED) {
+      return false;
+    }
+    auto* sq = static_cast<uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<uint32_t*>(sq + params_.sq_off.head);
+    sq_tail_ = reinterpret_cast<uint32_t*>(sq + params_.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<uint32_t*>(sq + params_.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<uint32_t*>(sq + params_.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<uint32_t*>(cq + params_.cq_off.head);
+    cq_tail_ = reinterpret_cast<uint32_t*>(cq + params_.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<uint32_t*>(cq + params_.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params_.cq_off.cqes);
+    return true;
+  }
+
+  // Next free SQE, or nullptr when the SQ is full (flush first).
+  io_uring_sqe* NextSqe() {
+    const uint32_t head = LoadAcquire(sq_head_);
+    const uint32_t tail = *sq_tail_;
+    if (tail - head >= params_.sq_entries) {
+      return nullptr;
+    }
+    const uint32_t index = tail & sq_mask_;
+    sq_array_[index] = index;
+    StoreRelease(sq_tail_, tail + 1);
+    return &static_cast<io_uring_sqe*>(sqes_)[index];
+  }
+
+  bool Flush() {
+    while (pending_sqes_ > 0) {
+      const int rc = IoUringEnter(ring_fd_, pending_sqes_, 0, 0);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      pending_sqes_ -= rc;
+    }
+    return true;
+  }
+
+  void PushRemove(int fd) {
+    io_uring_sqe* sqe = NextSqe();
+    if (sqe == nullptr) {
+      if (!Flush()) {
+        return;
+      }
+      sqe = NextSqe();
+      if (sqe == nullptr) {
+        return;
+      }
+    }
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->addr = static_cast<uint64_t>(static_cast<uint32_t>(fd));
+    sqe->user_data = kRemoveTag | static_cast<uint64_t>(static_cast<uint32_t>(fd));
+    pending_sqes_ += 1;
+  }
+
+  int DrainCqes(PollEvent* out, int max) {
+    int produced = 0;
+    uint32_t head = *cq_head_;
+    const uint32_t tail = LoadAcquire(cq_tail_);
+    while (head != tail && produced < max) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      head += 1;
+      if ((cqe.user_data & kRemoveTag) != 0) {
+        continue;  // POLL_REMOVE echo; the cancelled poll's own CQE follows.
+      }
+      const int fd = static_cast<int>(cqe.user_data & 0xffffffffu);
+      auto it = fds_.find(fd);
+      if (it != fds_.end() && it->second.inflight > 0) {
+        it->second.inflight -= 1;
+      }
+      if (it != fds_.end() && it->second.mask == 0 && it->second.inflight == 0) {
+        fds_.erase(it);  // Deferred Del.
+        it = fds_.end();
+      }
+      if (cqe.res == -ECANCELED) {
+        // Cancelled by Mod/Del; re-arm under the (possibly new) mask.
+        if (it != fds_.end() && !it->second.rearm_pending && it->second.mask != 0) {
+          it->second.rearm_pending = true;
+          rearm_queue_.push_back(fd);
+        }
+        continue;
+      }
+      if (it == fds_.end()) {
+        continue;  // Completion for an fd deregistered meanwhile.
+      }
+      out[produced].fd = fd;
+      out[produced].events = cqe.res < 0 ? static_cast<uint32_t>(EPOLLERR)
+                                         : static_cast<uint32_t>(cqe.res) & 0xffffu;
+      produced += 1;
+      // Oneshot fired: queue the re-arm for the next Wait, after the caller
+      // has drained the socket.
+      if (!it->second.rearm_pending) {
+        it->second.rearm_pending = true;
+        rearm_queue_.push_back(fd);
+      }
+    }
+    StoreRelease(cq_head_, head);
+    return produced;
+  }
+
+  static constexpr unsigned kEntries = 1024;
+
+  const int ring_fd_;
+  io_uring_params params_;
+
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  void* sqes_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  size_t sqe_bytes_ = 0;
+
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  unsigned pending_sqes_ = 0;
+  std::unordered_map<int, FdState> fds_;
+  std::vector<int> rearm_queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<PollBackend> MakeIoUringBackend() { return IoUringBackend::TryCreate(); }
+
+}  // namespace rmp
+
+#endif  // RMP_IO_URING

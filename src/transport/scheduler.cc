@@ -1,0 +1,329 @@
+#include "src/transport/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rmp {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view TrafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kPagein:
+      return "pagein";
+    case TrafficClass::kPageout:
+      return "pageout";
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+TrafficClass ClassifyMessage(MessageType type) {
+  switch (type) {
+    case MessageType::kPageIn:
+    case MessageType::kPageInReply:
+    case MessageType::kPageInBatch:
+    case MessageType::kPageInBatchReply:
+      return TrafficClass::kPagein;
+    case MessageType::kPageOut:
+    case MessageType::kPageOutAck:
+    case MessageType::kPageOutBatch:
+    case MessageType::kPageOutBatchAck:
+    case MessageType::kDeltaPageOut:
+    case MessageType::kXorMerge:
+    case MessageType::kXorMergeAck:
+      return TrafficClass::kPageout;
+    case MessageType::kHeartbeat:
+    case MessageType::kHeartbeatAck:
+    case MessageType::kMigrate:
+    case MessageType::kMigrateReply:
+      return TrafficClass::kBackground;
+    default:
+      return TrafficClass::kControl;
+  }
+}
+
+Result<SchedulerOptions> SchedulerOptions::FromConfig(const Config& config) {
+  SchedulerOptions options;
+  struct KeyMap {
+    const char* key;
+    int index;
+  };
+  const KeyMap keys[] = {
+      {"scheduler.weight_pagein", 0},
+      {"scheduler.weight_pageout", 1},
+      {"scheduler.weight_control", 2},
+      {"scheduler.weight_background", 3},
+  };
+  for (const auto& [key, index] : keys) {
+    auto weight = config.GetInt(key, options.weights[index]);
+    if (!weight.ok()) {
+      return weight.status();
+    }
+    if (*weight < 1 || *weight > 1024) {
+      return InvalidArgumentError(std::string(key) + " out of range [1, 1024]");
+    }
+    options.weights[index] = static_cast<int>(*weight);
+  }
+  auto lanes = config.GetInt("scheduler.lanes_per_session", options.lanes_per_session);
+  if (!lanes.ok()) {
+    return lanes.status();
+  }
+  if (*lanes < 1 || *lanes > 256) {
+    return InvalidArgumentError("scheduler.lanes_per_session out of range [1, 256]");
+  }
+  options.lanes_per_session = static_cast<int>(*lanes);
+  return options;
+}
+
+FairShareScheduler::FairShareScheduler(SchedulerOptions options,
+                                       const std::string& metric_prefix)
+    : options_(options),
+      queued_gauge_(*MetricsRegistry::Global().GetGauge(metric_prefix + ".queued")),
+      dispatch_latency_us_(*MetricsRegistry::Global().GetHistogram(
+          metric_prefix + ".dispatch_latency_us",
+          HistogramOptions{1.0, 10e6, 48, /*log_scale=*/true})) {
+  for (int c = 0; c < kTrafficClasses; ++c) {
+    served_[c] = MetricsRegistry::Global().GetCounter(
+        metric_prefix + ".served_" + std::string(TrafficClassName(static_cast<TrafficClass>(c))));
+    credits_[c] = options_.weights[c];
+  }
+}
+
+FairShareScheduler::~FairShareScheduler() { Stop(); }
+
+std::shared_ptr<FairShareScheduler::Session> FairShareScheduler::AddSession(
+    std::shared_ptr<void> owner) {
+  auto session = std::make_shared<Session>();
+  session->owner = std::move(owner);
+  session->lanes.resize(static_cast<size_t>(options_.lanes_per_session));
+  std::lock_guard<std::mutex> lock(mutex_);
+  session->id = next_session_id_++;
+  return session;
+}
+
+void FairShareScheduler::RemoveSession(const std::shared_ptr<Session>& session) {
+  if (session == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session->dead) {
+    return;
+  }
+  session->dead = true;
+  // Drop queued items; in-service items finish (the worker holds the owner
+  // backref alive through its Item copy). Ring entries for this session are
+  // skipped lazily in Next.
+  int64_t dropped = 0;
+  for (Lane& lane : session->lanes) {
+    dropped += static_cast<int64_t>(lane.queue.size());
+    lane.queue.clear();
+    lane.scheduled = false;
+  }
+  if (dropped > 0) {
+    queued_gauge_.Add(-dropped);
+  }
+  session->owner.reset();
+}
+
+bool FairShareScheduler::Submit(const std::shared_ptr<Session>& session, Message request) {
+  Item item;
+  item.enqueue_ns = NowNanos();
+  const int lane_idx =
+      static_cast<int>(request.slot % static_cast<uint64_t>(options_.lanes_per_session));
+  item.lane = lane_idx;
+  item.session = session;
+  item.request = std::move(request);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_ || session->dead) {
+      return false;
+    }
+    item.owner = session->owner;
+    Lane& lane = session->lanes[static_cast<size_t>(lane_idx)];
+    lane.queue.push_back(std::move(item));
+    queued_gauge_.Add(1);
+    if (!lane.scheduled && !lane.running) {
+      EnqueueLaneLocked(session, lane_idx);
+    }
+    WakeOneLocked();
+  }
+  return true;
+}
+
+void FairShareScheduler::WakeOneLocked() {
+  if (parked_.empty()) {
+    return;
+  }
+  Waiter* waiter = parked_.back();
+  parked_.pop_back();
+  waiter->signaled = true;
+  // Signaled under the mutex on purpose: the waiter's wait() cannot return
+  // (and the worker thread cannot exit, destroying the thread-local Waiter)
+  // until it reacquires the lock we hold, so the condvar stays alive for the
+  // duration of the notify.
+  waiter->cv.notify_one();
+}
+
+void FairShareScheduler::EnqueueLaneLocked(const std::shared_ptr<Session>& session, int lane) {
+  Lane& state = session->lanes[static_cast<size_t>(lane)];
+  // The lane joins the ring of the class its *head* request belongs to; a
+  // lane mixing classes re-classifies every time it re-enters the ring.
+  const TrafficClass c = ClassifyMessage(state.queue.front().request.type);
+  rings_[static_cast<int>(c)].push_back(RingEntry{session, lane});
+  state.scheduled = true;
+}
+
+bool FairShareScheduler::HasRunnableLocked() const {
+  for (const auto& ring : rings_) {
+    if (!ring.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FairShareScheduler::PickClassLocked() {
+  // Two passes: first spend existing credit in priority order, then refill
+  // everyone and take the highest-priority non-empty ring. The refill is the
+  // fairness engine — weights bound each class's share of dispatch slots
+  // under contention without ever starving a class outright.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int c = 0; c < kTrafficClasses; ++c) {
+      if (!rings_[c].empty() && credits_[c] > 0) {
+        return c;
+      }
+    }
+    for (int c = 0; c < kTrafficClasses; ++c) {
+      credits_[c] = options_.weights[c];
+    }
+  }
+  return -1;  // No runnable lane at all.
+}
+
+bool FairShareScheduler::DispatchLocked(Item* out) {
+  // Stale ring entries (RemoveSession purged the lane) are skipped here, so
+  // one call may pop several entries before producing an item.
+  while (HasRunnableLocked()) {
+    const int c = PickClassLocked();
+    if (c < 0) {
+      return false;
+    }
+    RingEntry entry = std::move(rings_[c].front());
+    rings_[c].pop_front();
+    Lane& lane = entry.session->lanes[static_cast<size_t>(entry.lane)];
+    lane.scheduled = false;
+    if (entry.session->dead || lane.queue.empty()) {
+      continue;
+    }
+    credits_[c] -= 1;
+    *out = std::move(lane.queue.front());
+    lane.queue.pop_front();
+    lane.running = true;
+    queued_gauge_.Add(-1);
+    served_[c]->Increment();
+    dispatch_latency_us_.Observe(static_cast<double>(NowNanos() - out->enqueue_ns) / 1000.0);
+    return true;
+  }
+  return false;
+}
+
+bool FairShareScheduler::Next(Item* out) {
+  // Workers park LIFO: the most recently parked worker is woken first, so a
+  // light load is served by a small hot subset of the pool while the rest
+  // stay parked. Waking FIFO (a bare condition variable's typical order)
+  // rotates every dispatch to a cold thread and measurably hurts a
+  // single-core pipeline.
+  static thread_local Waiter waiter;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (DispatchLocked(out)) {
+      return true;
+    }
+    if (stopped_) {
+      return false;
+    }
+    waiter.signaled = false;
+    parked_.push_back(&waiter);
+    waiter.cv.wait(lock, [&] { return waiter.signaled || stopped_; });
+    if (!waiter.signaled) {
+      // Woken by Stop's broadcast (or spuriously): unpark ourselves.
+      auto it = std::find(parked_.begin(), parked_.end(), &waiter);
+      if (it != parked_.end()) {
+        parked_.erase(it);
+      }
+    }
+  }
+}
+
+bool FairShareScheduler::TryNext(Item* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return DispatchLocked(out);
+}
+
+bool FairShareScheduler::FinishLocked(const std::shared_ptr<Session>& session, int lane_idx) {
+  Lane& lane = session->lanes[static_cast<size_t>(lane_idx)];
+  lane.running = false;
+  if (!session->dead && !lane.queue.empty() && !lane.scheduled) {
+    EnqueueLaneLocked(session, lane_idx);
+    return true;
+  }
+  return false;
+}
+
+void FairShareScheduler::Done(const Item& item) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FinishLocked(item.session, item.lane)) {
+    WakeOneLocked();
+  }
+}
+
+bool FairShareScheduler::DoneAndNext(const std::shared_ptr<Session>& session, int lane,
+                                     Item* out) {
+  static thread_local Waiter waiter;
+  std::unique_lock<std::mutex> lock(mutex_);
+  FinishLocked(session, lane);
+  for (;;) {
+    if (DispatchLocked(out)) {
+      if (HasRunnableLocked()) {
+        WakeOneLocked();
+      }
+      return true;
+    }
+    if (stopped_) {
+      return false;
+    }
+    waiter.signaled = false;
+    parked_.push_back(&waiter);
+    waiter.cv.wait(lock, [&] { return waiter.signaled || stopped_; });
+    if (!waiter.signaled) {
+      auto it = std::find(parked_.begin(), parked_.end(), &waiter);
+      if (it != parked_.end()) {
+        parked_.erase(it);
+      }
+    }
+  }
+}
+
+void FairShareScheduler::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  // Under the mutex for the same lifetime reason as WakeOneLocked: a worker
+  // may destroy its thread-local Waiter the moment it observes stopped_.
+  for (Waiter* waiter : parked_) {
+    waiter->cv.notify_one();
+  }
+  parked_.clear();
+}
+
+}  // namespace rmp

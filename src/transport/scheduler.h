@@ -1,0 +1,187 @@
+// Two-level fair-share request scheduler (DESIGN.md §13).
+//
+// The reactor's loop threads must never block on request service, so decoded
+// requests are handed to a small worker pool through this scheduler. Per-slot
+// FIFO dispatch — what the thread-per-session transport did — lets a single
+// saturating background stream (repair resilver, migration drains) queue
+// ahead of foreground page faults. Here dispatch is fair at two levels:
+//
+//   Level 1: traffic classes, weighted round-robin. A foreground PAGEIN is
+//            worth more scheduler credit than a PAGEOUT, which outranks
+//            background repair/migration/heartbeat traffic. Weights are
+//            a ratio, not a priority: background classes still drain (no
+//            starvation in either direction), just slower under contention.
+//   Level 2: round-robin across session lanes within a class, so one chatty
+//            session cannot monopolize its class.
+//
+// A "lane" is the unit of ordering: requests in one lane are served FIFO and
+// never concurrently. Each session splits into `lanes_per_session` lanes by
+// slot (lane = slot % lanes), which reproduces the old transport's slot
+//-affinity guarantee — same-slot requests stay ordered, different slots may
+// be served in parallel — without a worker pool per session.
+
+#ifndef SRC_TRANSPORT_SCHEDULER_H_
+#define SRC_TRANSPORT_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/proto/wire.h"
+#include "src/util/config.h"
+#include "src/util/metrics.h"
+#include "src/util/status.h"
+
+namespace rmp {
+
+// Level-1 taxonomy. Order is dispatch priority under equal credit.
+enum class TrafficClass : uint8_t {
+  kPagein = 0,      // Foreground faults: a thread is blocked on this reply.
+  kPageout = 1,     // Dirty-page writeback: urgent but bufferable.
+  kControl = 2,     // Alloc/free/load/auth/stats — small and rare.
+  kBackground = 3,  // Repair, migration, heartbeats: bulk resilver traffic.
+};
+inline constexpr int kTrafficClasses = 4;
+
+std::string_view TrafficClassName(TrafficClass c);
+
+// Maps a request type to its class (replies classify with their requests so
+// peer-to-peer streams schedule symmetrically).
+TrafficClass ClassifyMessage(MessageType type);
+
+struct SchedulerOptions {
+  // Weighted-round-robin credits per refill, indexed by TrafficClass.
+  // Defaults 8:4:2:1 — under full contention foreground pagein gets ~53% of
+  // dispatch slots, background ~7%.
+  int weights[kTrafficClasses] = {8, 4, 2, 1};
+  // Ordering lanes per session (lane = slot % lanes_per_session). 1 = strict
+  // per-session FIFO; >1 allows same-session parallelism across slots.
+  int lanes_per_session = 8;
+
+  // Keys: scheduler.weight_pagein, scheduler.weight_pageout,
+  // scheduler.weight_control, scheduler.weight_background,
+  // scheduler.lanes_per_session.
+  static Result<SchedulerOptions> FromConfig(const Config& config);
+};
+
+// Thread-safe two-level fair-share queue. Producers (loop threads) Submit,
+// consumers (workers) block in Next and call Done after servicing the item;
+// a lane is not eligible for dispatch again until its previous item is Done.
+class FairShareScheduler {
+ public:
+  struct Session;
+
+  struct Item {
+    Message request;
+    std::shared_ptr<Session> session;
+    // Copy of the session's owner backref, taken under the scheduler lock at
+    // Submit so workers can use it without racing RemoveSession's reset.
+    std::shared_ptr<void> owner;
+    int lane = 0;
+    int64_t enqueue_ns = 0;
+  };
+
+  explicit FairShareScheduler(SchedulerOptions options = SchedulerOptions(),
+                              const std::string& metric_prefix = "sched");
+  ~FairShareScheduler();
+
+  FairShareScheduler(const FairShareScheduler&) = delete;
+  FairShareScheduler& operator=(const FairShareScheduler&) = delete;
+
+  // Registers a session. `owner` is an opaque backref (the transport's
+  // per-connection state) kept alive as long as items for this session are
+  // in flight.
+  std::shared_ptr<Session> AddSession(std::shared_ptr<void> owner);
+
+  // Marks the session dead and drops its queued (not in-service) items.
+  void RemoveSession(const std::shared_ptr<Session>& session);
+
+  // Enqueues one request. Returns false when the session is dead or the
+  // scheduler stopped (the caller drops the request).
+  bool Submit(const std::shared_ptr<Session>& session, Message request);
+
+  // Blocks for the next item; false when stopped and drained. The item's
+  // lane is held out of rotation until Done(item).
+  bool Next(Item* out);
+  // Like Next but never blocks: false when nothing is runnable right now.
+  // Lets workers drain a burst and batch (cork) the replies per connection
+  // before going back to a blocking wait.
+  bool TryNext(Item* out);
+  void Done(const Item& item);
+
+  // Done + Next fused into one critical section: completes `lane` of
+  // `session`, then the finishing worker claims the next runnable item for
+  // itself. Done followed by Next wakes a parked peer that usually loses the
+  // race to the finisher and parks again — a wasted futex wake/wait pair per
+  // request in steady state. Here a peer is woken only when runnable work
+  // remains after the self-dispatch, which keeps the pool work-conserving
+  // without the churn.
+  bool DoneAndNext(const std::shared_ptr<Session>& session, int lane, Item* out);
+
+  // Wakes all waiters; Next returns false once the queues are drained... and
+  // immediately for items submitted after.
+  void Stop();
+
+  size_t queued() const { return queued_gauge_.value() < 0 ? 0 : static_cast<size_t>(queued_gauge_.value()); }
+  int64_t served(TrafficClass c) const { return served_[static_cast<int>(c)]->value(); }
+  const SchedulerOptions& options() const { return options_; }
+
+  struct Lane {
+    std::deque<Item> queue;   // Front = next to serve. Items carry their lane.
+    bool scheduled = false;   // Present in its class ring.
+    bool running = false;     // A worker is servicing this lane's head.
+  };
+
+  struct Session {
+    std::shared_ptr<void> owner;
+    std::vector<Lane> lanes;
+    bool dead = false;
+    uint64_t id = 0;
+  };
+
+ private:
+  struct RingEntry {
+    std::shared_ptr<Session> session;
+    int lane;
+  };
+
+  // One per worker thread (thread-local in Next). Workers park on their own
+  // condition variable in a LIFO stack so dispatch wakes the hottest worker
+  // instead of round-robining the whole pool through the run queue.
+  struct Waiter {
+    std::condition_variable cv;
+    bool signaled = false;  // Guarded by mutex_.
+  };
+
+  // All private helpers run under mutex_.
+  int PickClassLocked();
+  bool DispatchLocked(Item* out);
+  bool HasRunnableLocked() const;
+  void EnqueueLaneLocked(const std::shared_ptr<Session>& session, int lane);
+  // Returns true when the lane was re-enqueued (more queued work behind it).
+  bool FinishLocked(const std::shared_ptr<Session>& session, int lane);
+  // Pops and signals the most recently parked waiter, while still holding
+  // mutex_ — the waiter's thread-local Waiter may be destroyed the instant
+  // its wait() returns, so the notify must complete before it can.
+  void WakeOneLocked();
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<Waiter*> parked_;  // LIFO stack of idle workers.
+  bool stopped_ = false;
+  uint64_t next_session_id_ = 1;
+  std::deque<RingEntry> rings_[kTrafficClasses];  // Level-2 round-robin rings.
+  int credits_[kTrafficClasses] = {0, 0, 0, 0};   // Level-1 WRR credit.
+
+  Counter* served_[kTrafficClasses];
+  Gauge& queued_gauge_;
+  HistogramMetric& dispatch_latency_us_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_TRANSPORT_SCHEDULER_H_

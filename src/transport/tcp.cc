@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
@@ -62,106 +64,7 @@ Status RecvExact(int fd, uint8_t* buf, size_t len) {
   return OkStatus();
 }
 
-// Per-session request pipeline on the server: `workers` threads pull decoded
-// requests and send replies as they finish, serialized per frame by
-// `send_mutex`. Requests are keyed to a worker by slot, so two requests for
-// the same slot are handled in arrival order while different slots overlap —
-// the ordering contract DESIGN.md documents for the pipelined wire model.
-class SessionWorkerPool {
- public:
-  SessionWorkerPool(int workers, MessageHandler* handler, int fd, std::mutex* send_mutex)
-      : handler_(handler), fd_(fd), send_mutex_(send_mutex) {
-    queues_.reserve(static_cast<size_t>(workers));
-    for (int i = 0; i < workers; ++i) {
-      queues_.push_back(std::make_unique<Queue>());
-    }
-    threads_.reserve(queues_.size());
-    for (auto& queue : queues_) {
-      threads_.emplace_back([this, q = queue.get()] { WorkerLoop(q); });
-    }
-  }
-
-  ~SessionWorkerPool() {
-    for (auto& queue : queues_) {
-      {
-        std::lock_guard<std::mutex> lock(queue->mutex);
-        queue->stopping = true;
-      }
-      queue->cv.notify_all();
-    }
-    for (auto& t : threads_) {
-      t.join();
-    }
-  }
-
-  void Dispatch(Message request) {
-    Queue& queue = *queues_[request.slot % queues_.size()];
-    {
-      std::lock_guard<std::mutex> lock(queue.mutex);
-      queue.items.push_back(std::move(request));
-    }
-    queue.cv.notify_one();
-  }
-
-  bool send_failed() const { return send_failed_.load(); }
-
- private:
-  struct Queue {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> items;
-    bool stopping = false;
-  };
-
-  void WorkerLoop(Queue* queue) {
-    for (;;) {
-      Message request;
-      {
-        std::unique_lock<std::mutex> lock(queue->mutex);
-        queue->cv.wait(lock, [queue] { return queue->stopping || !queue->items.empty(); });
-        if (queue->items.empty()) {
-          return;  // Stopping and drained.
-        }
-        request = std::move(queue->items.front());
-        queue->items.pop_front();
-      }
-      const Message reply = handler_->Handle(request);
-      std::lock_guard<std::mutex> lock(*send_mutex_);
-      if (!SendFrame(fd_, reply).ok()) {
-        send_failed_.store(true);
-      }
-    }
-  }
-
-  MessageHandler* handler_;
-  int fd_;
-  std::mutex* send_mutex_;
-  std::atomic<bool> send_failed_{false};
-  std::vector<std::unique_ptr<Queue>> queues_;
-  std::vector<std::thread> threads_;
-};
-
 }  // namespace
-
-UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
-  if (this != &other) {
-    Reset(other.Release());
-  }
-  return *this;
-}
-
-int UniqueFd::Release() {
-  const int fd = fd_;
-  fd_ = -1;
-  return fd;
-}
-
-void UniqueFd::Reset(int fd) {
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
-  fd_ = fd;
-}
 
 Status SendAll(int fd, std::span<const uint8_t> bytes) {
   size_t sent = 0;
@@ -236,10 +139,142 @@ Result<Message> ReadFrame(int fd) {
   return message;
 }
 
-TcpTransport::TcpTransport(UniqueFd fd) : fd_(std::move(fd)) {
-  sender_ = std::thread([this] { SenderLoop(); });
-  receiver_ = std::thread([this] { ReceiverLoop(); });
-}
+// --- TcpTransport -----------------------------------------------------------
+
+// The client connection's FrameSink: a request_id → future map plus the
+// bounded-submission accounting. Producers run CallAsync from arbitrary
+// threads; OnFrame/OnClose run on the connection's loop thread. The demux
+// outlives the TcpTransport if the loop still holds the sink when the
+// transport is destroyed, hence the shared_ptr split.
+class TcpTransport::Demux final : public FrameSink {
+ public:
+  RpcFuture Submit(const std::shared_ptr<ReactorConnection>& conn, Message request,
+                   std::shared_ptr<Demux> self) {
+    auto state = TcpTransport::NewFutureState();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        return RpcFuture::MakeReady(UnavailableError("transport closed"));
+      }
+      if (pending_.count(request.request_id) > 0) {
+        return RpcFuture::MakeReady(InvalidArgumentError(
+            "request_id " + std::to_string(request.request_id) + " already in flight"));
+      }
+      space_cv_.wait(lock, [this] { return stopping_ || unsent_ < kMaxQueuedSends; });
+      if (stopping_) {
+        return RpcFuture::MakeReady(UnavailableError("transport closed"));
+      }
+      pending_.emplace(request.request_id, state);
+      unsent_ += 1;
+      TcpMetrics().inflight_rpcs.Add(1);
+      TcpMetrics().send_queue_depth.Add(1);
+    }
+    // If the connection closed in between, the frame is dropped and OnClose
+    // (which always follows) fails the pending entry we just registered.
+    conn->Send(std::move(request),
+               [self = std::move(self)] { self->OnWritten(); });
+    return TcpTransport::WrapFuture(std::move(state));
+  }
+
+  Status SubmitOneWay(const std::shared_ptr<ReactorConnection>& conn, Message request,
+                      std::shared_ptr<Demux> self) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        return UnavailableError("transport closed");
+      }
+      space_cv_.wait(lock, [this] { return stopping_ || unsent_ < kMaxQueuedSends; });
+      if (stopping_) {
+        return UnavailableError("transport closed");
+      }
+      unsent_ += 1;
+      TcpMetrics().send_queue_depth.Add(1);
+    }
+    conn->Send(std::move(request),
+               [self = std::move(self)] { self->OnWritten(); });
+    return OkStatus();
+  }
+
+  // Fails every pending and queued request. `count_failure` marks an
+  // unexpected (peer-initiated) loss; an explicit Close is not a failure.
+  void FailAll(const std::string& reason, bool count_failure) {
+    std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> orphaned;
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      first = !stopping_;
+      stopping_ = true;
+      connected_.store(false, std::memory_order_release);
+      orphaned.swap(pending_);
+      TcpMetrics().send_queue_depth.Add(-static_cast<int64_t>(unsent_));
+      unsent_ = 0;
+    }
+    if (first && count_failure) {
+      TcpMetrics().connection_failures.Increment();
+    }
+    TcpMetrics().inflight_rpcs.Add(-static_cast<int64_t>(orphaned.size()));
+    space_cv_.notify_all();
+    for (auto& [id, state] : orphaned) {
+      TcpTransport::CompleteFuture(state, UnavailableError(reason));
+    }
+  }
+
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+
+  size_t inflight() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+  }
+
+  // FrameSink (loop thread).
+  void OnFrame(Message frame) override {
+    TcpMetrics().frames_received.Increment();
+    std::shared_ptr<RpcFuture::State> state;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = pending_.find(frame.request_id);
+      if (it != pending_.end()) {
+        state = std::move(it->second);
+        pending_.erase(it);
+        TcpMetrics().inflight_rpcs.Add(-1);
+      }
+    }
+    if (state != nullptr) {
+      TcpTransport::CompleteFuture(state, std::move(frame));
+    } else {
+      RMP_LOG(kWarning) << "dropping unmatched reply for request_id " << frame.request_id;
+    }
+  }
+
+  void OnClose(const Status& reason) override {
+    FailAll(reason.code() == ErrorCode::kUnavailable ? reason.message()
+                                                     : "connection lost: " + reason.message(),
+            /*count_failure=*/true);
+  }
+
+ private:
+  void OnWritten() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (unsent_ > 0) {
+        unsent_ -= 1;
+        TcpMetrics().send_queue_depth.Add(-1);
+      }
+    }
+    TcpMetrics().frames_sent.Increment();
+    space_cv_.notify_one();
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> pending_;
+  size_t unsent_ = 0;  // Frames accepted but not yet on the wire.
+  bool stopping_ = false;
+  std::atomic<bool> connected_{true};
+};
+
+TcpTransport::TcpTransport(std::shared_ptr<ReactorConnection> conn, std::shared_ptr<Demux> demux)
+    : conn_(std::move(conn)), demux_(std::move(demux)) {}
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host,
                                                             uint16_t port,
@@ -261,7 +296,13 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& h
   // Page-sized RPCs benefit from immediate sends.
   int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  auto transport = std::unique_ptr<TcpTransport>(new TcpTransport(std::move(fd)));
+  auto demux = std::make_shared<Demux>();
+  auto conn = Reactor::Shared().Register(std::move(fd), demux);
+  if (conn == nullptr) {
+    return UnavailableError("client reactor unavailable");
+  }
+  auto transport =
+      std::unique_ptr<TcpTransport>(new TcpTransport(std::move(conn), std::move(demux)));
   if (!auth_token.empty()) {
     auto reply = transport->Call(MakeAuth(1, auth_token));
     if (!reply.ok()) {
@@ -275,159 +316,135 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& h
 }
 
 void TcpTransport::Close() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      // Already closing/closed; fall through to join in case the first
-      // closer was FailConnection (which cannot join the I/O threads).
-    }
-    stopping_ = true;
-    connected_.store(false);
-  }
-  if (fd_.valid()) {
-    ::shutdown(fd_.get(), SHUT_RDWR);
-  }
-  send_cv_.notify_all();
-  space_cv_.notify_all();
-  if (sender_.joinable()) {
-    sender_.join();
-  }
-  if (receiver_.joinable()) {
-    receiver_.join();
-  }
-  FailConnection("transport closed");
-  fd_.Reset();
-}
-
-void TcpTransport::FailConnection(const std::string& reason) {
-  std::deque<SendItem> dropped;
-  std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> orphaned;
-  bool first_closer = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    first_closer = !stopping_;
-    stopping_ = true;
-    connected_.store(false);
-    dropped.swap(queue_);
-    orphaned.swap(pending_);
-  }
-  if (first_closer) {
-    TcpMetrics().connection_failures.Increment();
-  }
-  TcpMetrics().send_queue_depth.Add(-static_cast<int64_t>(dropped.size()));
-  TcpMetrics().inflight_rpcs.Add(-static_cast<int64_t>(orphaned.size()));
-  if (fd_.valid()) {
-    ::shutdown(fd_.get(), SHUT_RDWR);
-  }
-  send_cv_.notify_all();
-  space_cv_.notify_all();
-  for (auto& [id, state] : orphaned) {
-    RpcFuture::Complete(state, UnavailableError(reason));
-  }
+  demux_->FailAll("transport closed", /*count_failure=*/false);
+  conn_->Close(UnavailableError("transport closed"));
 }
 
 RpcFuture TcpTransport::CallAsync(Message request) {
-  auto state = RpcFuture::NewState();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) {
-      return RpcFuture::MakeReady(UnavailableError("transport closed"));
-    }
-    if (pending_.count(request.request_id) > 0) {
-      return RpcFuture::MakeReady(InvalidArgumentError(
-          "request_id " + std::to_string(request.request_id) + " already in flight"));
-    }
-    space_cv_.wait(lock, [this] { return stopping_ || queue_.size() < kMaxQueuedSends; });
-    if (stopping_) {
-      return RpcFuture::MakeReady(UnavailableError("transport closed"));
-    }
-    pending_.emplace(request.request_id, state);
-    queue_.push_back(SendItem{std::move(request)});
-    TcpMetrics().inflight_rpcs.Add(1);
-    TcpMetrics().send_queue_depth.Add(1);
-  }
-  send_cv_.notify_one();
-  return RpcFuture(std::move(state));
+  return demux_->Submit(conn_, std::move(request), demux_);
 }
 
 Result<Message> TcpTransport::Call(const Message& request) { return CallAsync(request).Wait(); }
 
 Status TcpTransport::SendOneWay(const Message& request) {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (stopping_) {
-      return UnavailableError("transport closed");
-    }
-    space_cv_.wait(lock, [this] { return stopping_ || queue_.size() < kMaxQueuedSends; });
-    if (stopping_) {
-      return UnavailableError("transport closed");
-    }
-    queue_.push_back(SendItem{request});
-    TcpMetrics().send_queue_depth.Add(1);
+  return demux_->SubmitOneWay(conn_, request, demux_);
+}
+
+bool TcpTransport::connected() const { return demux_->connected(); }
+
+size_t TcpTransport::inflight() const { return demux_->inflight(); }
+
+// --- TcpServer --------------------------------------------------------------
+
+Result<TcpServerOptions> TcpServerOptions::FromConfig(const Config& config) {
+  TcpServerOptions options;
+  auto reactor = ReactorOptions::FromConfig(config);
+  if (!reactor.ok()) {
+    return reactor.status();
   }
-  send_cv_.notify_one();
-  return OkStatus();
+  options.reactor = *reactor;
+  auto scheduler = SchedulerOptions::FromConfig(config);
+  if (!scheduler.ok()) {
+    return scheduler.status();
+  }
+  options.scheduler = *scheduler;
+  auto workers = config.GetInt("tcp.service_workers", options.service_workers);
+  if (!workers.ok()) {
+    return workers.status();
+  }
+  if (*workers < 1 || *workers > 1024) {
+    return InvalidArgumentError("tcp.service_workers out of range [1, 1024]");
+  }
+  options.service_workers = static_cast<int>(*workers);
+  auto backlog = config.GetInt("tcp.listen_backlog", options.listen_backlog);
+  if (!backlog.ok()) {
+    return backlog.status();
+  }
+  if (*backlog < 1) {
+    return InvalidArgumentError("tcp.listen_backlog must be positive");
+  }
+  options.listen_backlog = static_cast<int>(*backlog);
+  options.required_token = config.GetString("tcp.required_token", options.required_token);
+  return options;
 }
 
-size_t TcpTransport::inflight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return pending_.size();
-}
+// Per-connection server state: the handler, the auth gate, and the scheduler
+// session. All FrameSink callbacks run on the connection's loop thread; the
+// service workers touch only handler() and SendReply(), both safe after the
+// scheduler handoff.
+class TcpServer::ServerSession final : public FrameSink {
+ public:
+  ServerSession(TcpServer* server, std::unique_ptr<MessageHandler> handler,
+                std::string required_token)
+      : server_(server),
+        handler_(std::move(handler)),
+        required_token_(std::move(required_token)),
+        authenticated_(required_token_.empty()) {}
 
-void TcpTransport::SenderLoop() {
-  for (;;) {
-    SendItem item;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      send_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_) {
-        return;  // Queued items are failed by FailConnection/Close.
-      }
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      TcpMetrics().send_queue_depth.Add(-1);
-    }
-    space_cv_.notify_one();
-    const Status sent = SendFrame(fd_.get(), item.message);
-    if (!sent.ok()) {
-      FailConnection("send failed: " + sent.message());
+  void OnOpen(const std::shared_ptr<ReactorConnection>& conn) override { conn_ = conn; }
+
+  void OnFrame(Message frame) override {
+    if (frame.type == MessageType::kShutdown) {
+      conn_->CloseAfterFlush(UnavailableError("session shutdown"));
       return;
     }
-    TcpMetrics().frames_sent.Increment();
-  }
-}
-
-void TcpTransport::ReceiverLoop() {
-  for (;;) {
-    auto reply = ReadFrame(fd_.get());
-    if (!reply.ok()) {
-      FailConnection(reply.status().code() == ErrorCode::kUnavailable
-                         ? "peer closed connection"
-                         : "receive failed: " + reply.status().message());
+    if (frame.type == MessageType::kAuth) {
+      const std::string presented(frame.payload.begin(), frame.payload.end());
+      const bool good = required_token_.empty() || presented == required_token_;
+      authenticated_ = authenticated_ || good;
+      conn_->Send(MakeAuthReply(frame.request_id,
+                                good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition));
+      if (!good) {
+        // Bad token: the reply flushes, then the connection drops.
+        conn_->CloseAfterFlush(FailedPreconditionError("authentication rejected"));
+      }
       return;
     }
-    TcpMetrics().frames_received.Increment();
-    std::shared_ptr<RpcFuture::State> state;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = pending_.find(reply->request_id);
-      if (it != pending_.end()) {
-        state = std::move(it->second);
-        pending_.erase(it);
-        TcpMetrics().inflight_rpcs.Add(-1);
-      }
+    if (!authenticated_) {
+      // Nothing but AUTH is served before the handshake.
+      conn_->Send(MakeErrorReply(frame.request_id, ErrorCode::kFailedPrecondition));
+      return;
     }
-    if (state != nullptr) {
-      RpcFuture::Complete(state, std::move(*reply));
-    } else {
-      RMP_LOG(kWarning) << "dropping unmatched reply for request_id " << reply->request_id;
+    if (!server_->scheduler_->Submit(sched_, std::move(frame))) {
+      conn_->Send(MakeErrorReply(frame.request_id, ErrorCode::kUnavailable));
     }
   }
-}
+
+  void OnClose(const Status& reason) override {
+    (void)reason;
+    server_->Reap(this);
+  }
+
+  MessageHandler* handler() { return handler_.get(); }
+  void SendReply(Message reply) { conn_->Send(std::move(reply)); }
+  const std::shared_ptr<ReactorConnection>& connection() const { return conn_; }
+
+  std::shared_ptr<FairShareScheduler::Session> sched_;
+
+ private:
+  TcpServer* server_;
+  std::unique_ptr<MessageHandler> handler_;
+  const std::string required_token_;
+  bool authenticated_;
+  std::shared_ptr<ReactorConnection> conn_;
+};
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactory factory,
                                                     std::string required_token,
                                                     int session_workers) {
+  TcpServerOptions options;
+  options.required_token = std::move(required_token);
+  // Map the legacy knob onto the reactor model: `session_workers == 0` meant
+  // strict in-order service per session (one lane), > 0 meant slot-affine
+  // parallelism (lane = slot % workers, the old worker-pool keying). The knob
+  // sets the *ordering contract* (lanes), not the pool size — the service
+  // pool is shared by all sessions and stays at its own default.
+  options.scheduler.lanes_per_session = session_workers > 0 ? session_workers : 1;
+  return Start(port, std::move(factory), std::move(options));
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactory factory,
+                                                    TcpServerOptions options) {
   UniqueFd listen_fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!listen_fd.valid()) {
     return ErrnoError("socket");
@@ -441,7 +458,7 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactor
   if (::bind(listen_fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return ErrnoError("bind");
   }
-  if (::listen(listen_fd.get(), 16) != 0) {
+  if (::listen(listen_fd.get(), options.listen_backlog) != 0) {
     return ErrnoError("listen");
   }
   socklen_t len = sizeof(addr);
@@ -449,137 +466,98 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(uint16_t port, HandlerFactor
     return ErrnoError("getsockname");
   }
   const uint16_t bound_port = ntohs(addr.sin_port);
-  return std::unique_ptr<TcpServer>(new TcpServer(std::move(listen_fd), bound_port,
-                                                  std::move(factory), std::move(required_token),
-                                                  session_workers));
+  return std::unique_ptr<TcpServer>(
+      new TcpServer(std::move(listen_fd), bound_port, std::move(factory), std::move(options)));
 }
 
 TcpServer::TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
-                     std::string required_token, int session_workers)
-    : listen_fd_(std::move(listen_fd)),
-      port_(port),
-      factory_(std::move(factory)),
-      required_token_(std::move(required_token)),
-      session_workers_(session_workers) {
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+                     TcpServerOptions options)
+    : port_(port), factory_(std::move(factory)), options_(std::move(options)) {
+  reactor_ = std::make_unique<Reactor>(options_.reactor);
+  scheduler_ = std::make_unique<FairShareScheduler>(options_.scheduler);
+  const int workers = options_.service_workers < 1 ? 1 : options_.service_workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  Status listening =
+      reactor_->AddListener(std::move(listen_fd), [this](UniqueFd fd) { OnAccept(std::move(fd)); });
+  if (!listening.ok()) {
+    RMP_LOG(kError) << "listener setup failed: " << listening.ToString();
+  }
 }
 
 TcpServer::~TcpServer() { Shutdown(); }
+
+void TcpServer::OnAccept(UniqueFd fd) {
+  if (stopping_.load(std::memory_order_acquire)) {
+    return;  // Dropping the fd closes the connection.
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto session = std::make_shared<ServerSession>(this, factory_(), options_.required_token);
+  session->sched_ = scheduler_->AddSession(session);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.emplace(session.get(), session);
+  }
+  connections_served_.fetch_add(1);
+  if (reactor_->Register(std::move(fd), session) == nullptr) {
+    Reap(session.get());
+  }
+}
+
+void TcpServer::WorkerLoop() {
+  FairShareScheduler::Item item;
+  bool have = scheduler_->Next(&item);
+  while (have) {
+    auto session = std::static_pointer_cast<ServerSession>(item.owner);
+    if (session != nullptr) {
+      Message reply = session->handler()->Handle(item.request);
+      session->SendReply(std::move(reply));
+    }
+    auto sched_session = std::move(item.session);
+    const int lane = item.lane;
+    item = FairShareScheduler::Item();  // Drop session refs before blocking.
+    have = scheduler_->DoneAndNext(sched_session, lane, &item);
+  }
+}
+
+void TcpServer::Reap(ServerSession* session) {
+  std::shared_ptr<ServerSession> owned;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      return;
+    }
+    owned = std::move(it->second);
+    sessions_.erase(it);
+  }
+  scheduler_->RemoveSession(owned->sched_);
+}
+
+size_t TcpServer::live_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
 
 void TcpServer::Shutdown() {
   if (stopping_.exchange(true)) {
     return;
   }
-  // shutdown() (not close) unblocks accept() while leaving the descriptor
-  // valid for the accept thread to keep reading; it is released only after
-  // the join, so the thread can never race the Reset or hit a recycled fd.
-  ::shutdown(listen_fd_.get(), SHUT_RDWR);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
+  // Order matters: stopping the reactor closes every connection (OnClose →
+  // Reap runs on the loop threads before Stop returns), then the scheduler
+  // wakes the workers, which drain and exit. In-flight items keep their
+  // sessions alive via the owner backref until the workers drop them.
+  reactor_->Stop();
+  scheduler_->Stop();
+  for (auto& worker : workers_) {
+    worker.join();
   }
-  listen_fd_.Reset();
-  std::vector<std::thread> sessions;
-  {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    sessions.swap(sessions_);
-    // Wake session threads blocked in recv(); they observe EOF and exit.
-    for (const int fd : session_fds_) {
-      ::shutdown(fd, SHUT_RDWR);
-    }
-  }
-  for (auto& t : sessions) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
-}
-
-void TcpServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      break;  // Listen socket closed by Shutdown().
-    }
-    ++connections_served_;
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
-    session_fds_.push_back(fd);
-    sessions_.emplace_back([this, session_fd = UniqueFd(fd)]() mutable {
-      Session(std::move(session_fd));
-    });
-  }
-}
-
-void TcpServer::Session(UniqueFd fd) {
-  SessionLoop(fd);
-  // Deregister while the fd is still open so Shutdown() can never hit a
-  // recycled descriptor; the socket closes when `fd` goes out of scope.
+  workers_.clear();
   std::lock_guard<std::mutex> lock(sessions_mutex_);
-  session_fds_.erase(std::remove(session_fds_.begin(), session_fds_.end(), fd.get()),
-                     session_fds_.end());
-}
-
-void TcpServer::SessionLoop(UniqueFd& fd) {
-  std::unique_ptr<MessageHandler> handler = factory_();
-  // Serializes frames onto the socket: the inline path below and, when
-  // pipelining is on, the worker threads. Declared before the pool so the
-  // pool (whose workers lock it) is destroyed first.
-  std::mutex send_mutex;
-  std::unique_ptr<SessionWorkerPool> pool;
-  if (session_workers_ > 0) {
-    pool = std::make_unique<SessionWorkerPool>(session_workers_, handler.get(), fd.get(),
-                                               &send_mutex);
-  }
-  bool authenticated = required_token_.empty();
-  for (;;) {
-    auto next = ReadFrame(fd.get());
-    if (!next.ok()) {
-      if (next.status().code() != ErrorCode::kUnavailable) {
-        RMP_LOG(kWarning) << "dropping connection: " << next.status().ToString();
-      }
-      return;
-    }
-    if (pool != nullptr && pool->send_failed()) {
-      return;
-    }
-    if (next->type == MessageType::kShutdown) {
-      return;
-    }
-    if (next->type == MessageType::kAuth) {
-      const std::string presented(next->payload.begin(), next->payload.end());
-      const bool good = required_token_.empty() || presented == required_token_;
-      authenticated = authenticated || good;
-      const Message reply =
-          MakeAuthReply(next->request_id, good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition);
-      std::lock_guard<std::mutex> lock(send_mutex);
-      if (!SendFrame(fd.get(), reply).ok() || !good) {
-        return;  // Bad token: reply then drop the connection.
-      }
-      continue;
-    }
-    if (!authenticated) {
-      // Nothing but AUTH is served before the handshake.
-      const Message reply = MakeErrorReply(next->request_id, ErrorCode::kFailedPrecondition);
-      std::lock_guard<std::mutex> lock(send_mutex);
-      if (!SendFrame(fd.get(), reply).ok()) {
-        return;
-      }
-      continue;
-    }
-    if (pool != nullptr) {
-      pool->Dispatch(std::move(*next));
-      continue;
-    }
-    const Message reply = handler->Handle(*next);
-    std::lock_guard<std::mutex> lock(send_mutex);
-    if (!SendFrame(fd.get(), reply).ok()) {
-      return;
-    }
-  }
+  sessions_.clear();
 }
 
 }  // namespace rmp

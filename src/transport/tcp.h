@@ -1,29 +1,33 @@
 // Real TCP transport: the paper's deployment shape, usable across processes.
 //
-// TcpServer accepts connections on a loopback or LAN port and — like the
-// paper's user-level memory server, which forks "a new instance of the
-// server" per client (§3.2) — serves each connection on its own thread with
-// its own MessageHandler created by a factory. With `session_workers > 0` a
-// session additionally dispatches decoded requests to a small worker pool
-// (keyed by slot, so same-slot requests stay ordered) and replies may leave
-// the socket out of order — the pipelined client demultiplexes them by
-// request_id.
+// Since DESIGN.md §13 the socket core is event-driven: every connection —
+// client side and server side — is a nonblocking socket multiplexed onto a
+// small pool of reactor event-loop threads (reactor.h) instead of owning
+// dedicated I/O threads. The paper's user-level memory server forked "a new
+// instance of the server" per client (§3.2); the per-connection state here is
+// just a session object and a handler, so thousands of concurrent paging
+// sessions fit in one process.
 //
-// TcpTransport is the client half. Unlike the paper's single blocking
-// daemon, it keeps many requests outstanding on one connection: CallAsync
-// places the request on a bounded submission queue drained by a sender
-// thread (scatter-gather framing, no header+payload coalescing) while a
-// receiver thread reads exactly one header, then the payload directly into
-// Message::payload, and completes the matching future. Call() is
-// CallAsync().Wait().
+// TcpServer accepts on a loopback or LAN port through its own reactor. Each
+// accepted connection gets a MessageHandler from the factory; decoded
+// requests flow through a two-level fair-share scheduler (scheduler.h) to a
+// shared service-worker pool, so foreground PAGEIN traffic is dispatched
+// ahead of background repair/migration streams and no single session can
+// monopolize the workers. Replies may leave the socket out of order — the
+// pipelined client demultiplexes them by request_id. Same-slot requests of a
+// session stay ordered (they share a scheduler lane).
+//
+// TcpTransport is the client half. CallAsync registers the future, queues
+// the frame on the connection's reactor output queue (bounded: kMaxQueuedSends
+// frames not yet on the wire block further submissions — backpressure toward
+// the paging policies), and the reactor completes the matching future when
+// the reply frame arrives. Call() is CallAsync().Wait().
 
 #ifndef SRC_TRANSPORT_TCP_H_
 #define SRC_TRANSPORT_TCP_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -32,33 +36,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/transport/reactor.h"
+#include "src/transport/scheduler.h"
 #include "src/transport/transport.h"
 
 namespace rmp {
 
-// RAII file descriptor.
-class UniqueFd {
- public:
-  UniqueFd() = default;
-  explicit UniqueFd(int fd) : fd_(fd) {}
-  ~UniqueFd() { Reset(); }
-
-  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
-  UniqueFd& operator=(UniqueFd&& other) noexcept;
-  UniqueFd(const UniqueFd&) = delete;
-  UniqueFd& operator=(const UniqueFd&) = delete;
-
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
-  int Release();
-  void Reset(int fd = -1);
-
- private:
-  int fd_ = -1;
-};
-
 // Writes all of `bytes` to `fd`, retrying short writes. Returns IoError on
-// failure (EPIPE after a peer crash surfaces here).
+// failure (EPIPE after a peer crash surfaces here). Blocking-socket helper
+// for tools and tests; the transports themselves go through the reactor.
 Status SendAll(int fd, std::span<const uint8_t> bytes);
 
 // Frames `message` onto `fd` with one sendmsg: a stack-allocated header iovec
@@ -71,11 +57,12 @@ Result<Message> ReadFrame(int fd);
 
 class TcpTransport final : public Transport {
  public:
-  // Requests the submission queue will buffer before CallAsync blocks for
-  // space (backpressure toward the paging policies).
+  // Frames the connection will buffer before CallAsync blocks for space
+  // (backpressure toward the paging policies).
   static constexpr size_t kMaxQueuedSends = 64;
 
   // Connects to host:port (host is an IPv4 dotted quad or "localhost").
+  // The connection is registered on the process-wide Reactor::Shared().
   // When `auth_token` is non-empty, an AUTH handshake is performed before
   // the connection is handed back; a server that requires a different token
   // fails the connect with FAILED_PRECONDITION.
@@ -87,7 +74,7 @@ class TcpTransport final : public Transport {
   Result<Message> Call(const Message& request) override;
   RpcFuture CallAsync(Message request) override;
   Status SendOneWay(const Message& request) override;
-  bool connected() const override { return connected_.load(); }
+  bool connected() const override;
 
   // Closes the connection. Every outstanding future completes with
   // UnavailableError. Idempotent.
@@ -97,79 +84,107 @@ class TcpTransport final : public Transport {
   size_t inflight() const;
 
  private:
-  struct SendItem {
-    Message message;
-  };
+  class Demux;  // The connection's FrameSink: request_id → future demux.
 
-  explicit TcpTransport(UniqueFd fd);
+  explicit TcpTransport(std::shared_ptr<ReactorConnection> conn, std::shared_ptr<Demux> demux);
 
-  void SenderLoop();
-  void ReceiverLoop();
+  // RpcFuture private-state bridge for the nested Demux (only TcpTransport
+  // is befriended by RpcFuture).
+  static std::shared_ptr<RpcFuture::State> NewFutureState() { return RpcFuture::NewState(); }
+  static void CompleteFuture(const std::shared_ptr<RpcFuture::State>& state,
+                             Result<Message> result) {
+    RpcFuture::Complete(state, std::move(result));
+  }
+  static RpcFuture WrapFuture(std::shared_ptr<RpcFuture::State> state) {
+    return RpcFuture(std::move(state));
+  }
 
-  // Marks the connection dead and fails every queued and in-flight request.
-  // Safe to call from any thread, including the I/O threads; idempotent.
-  void FailConnection(const std::string& reason);
-
-  UniqueFd fd_;
-  std::atomic<bool> connected_{true};
-
-  mutable std::mutex mutex_;
-  std::condition_variable send_cv_;   // Sender waits for work / stop.
-  std::condition_variable space_cv_;  // Submitters wait for queue space.
-  std::deque<SendItem> queue_;
-  std::unordered_map<uint64_t, std::shared_ptr<RpcFuture::State>> pending_;
-  bool stopping_ = false;
-
-  std::thread sender_;
-  std::thread receiver_;
+  std::shared_ptr<ReactorConnection> conn_;
+  std::shared_ptr<Demux> demux_;
 };
 
-// Accept loop + per-connection session threads.
+// Server-side tuning. The defaults reproduce the paper-scale testbed; the
+// config keys let deployments scale the loop pool and skew the fair-share
+// weights without a rebuild.
+struct TcpServerOptions {
+  std::string required_token;  // Empty = open server.
+  // Threads servicing requests (the blocking half; loop threads never run
+  // handlers). 0 = pick a small default. The pool is shared by every session;
+  // sizing it past the typical runnable-lane count buys nothing and costs a
+  // futex wake/park round per dispatch (measured ~6% of depth-16 pipelined
+  // throughput at 16 workers on one core).
+  int service_workers = 8;
+  int listen_backlog = 1024;
+  ReactorOptions reactor;
+  SchedulerOptions scheduler;
+
+  // Reads reactor.*, scheduler.*, plus tcp.service_workers and
+  // tcp.listen_backlog.
+  static Result<TcpServerOptions> FromConfig(const Config& config);
+};
+
+// Reactor-backed server: one accept listener + N event loops + a fair-share
+// scheduled service-worker pool shared by every session.
 class TcpServer {
  public:
   using HandlerFactory = std::function<std::unique_ptr<MessageHandler>()>;
 
-  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
-  // accept thread. `factory` is invoked once per accepted connection. When
-  // `required_token` is non-empty, every session must open with a matching
-  // AUTH message before any other request is served (the paper's
-  // privileged-port restriction, modernized). `session_workers > 0` enables
-  // pipelined request handling within a session: that many worker threads
-  // handle requests concurrently (same-slot requests stay on one worker and
-  // thus in order) and replies may be sent out of order.
+  // Binds to 127.0.0.1:`port` (0 picks an ephemeral port). `factory` is
+  // invoked once per accepted connection. When `required_token` is
+  // non-empty, every session must open with a matching AUTH message before
+  // any other request is served (the paper's privileged-port restriction,
+  // modernized). `session_workers` maps onto the reactor model: it sizes the
+  // service-worker pool and the per-session lane count, reproducing the old
+  // transport's ordering contract — `session_workers == 0` serves each
+  // session's requests strictly in order, > 0 allows same-session
+  // parallelism with same-slot requests kept ordered.
   static Result<std::unique_ptr<TcpServer>> Start(uint16_t port, HandlerFactory factory,
                                                   std::string required_token = "",
                                                   int session_workers = 0);
+
+  // Full-control overload.
+  static Result<std::unique_ptr<TcpServer>> Start(uint16_t port, HandlerFactory factory,
+                                                  TcpServerOptions options);
 
   ~TcpServer();
 
   uint16_t port() const { return port_; }
   int connections_served() const { return connections_served_.load(); }
 
-  // Stops accepting and joins all session threads. Idempotent.
+  // Sessions currently open (closed sessions are reaped eagerly, not at
+  // Shutdown — the connect/disconnect churn regression probe).
+  size_t live_sessions() const;
+
+  // Scheduler introspection (per-class served counts in tests).
+  const FairShareScheduler& scheduler() const { return *scheduler_; }
+  // Poll backend actually selected at runtime ("epoll" or "io_uring").
+  const char* backend_name() const { return reactor_->backend_name(); }
+
+  // Stops accepting, closes every session, joins the loop and worker
+  // threads. Idempotent.
   void Shutdown();
 
  private:
-  TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory,
-            std::string required_token, int session_workers);
+  class ServerSession;
 
-  void AcceptLoop();
-  void Session(UniqueFd fd);
-  void SessionLoop(UniqueFd& fd);
+  TcpServer(UniqueFd listen_fd, uint16_t port, HandlerFactory factory, TcpServerOptions options);
 
-  UniqueFd listen_fd_;
+  void OnAccept(UniqueFd fd);
+  void WorkerLoop();
+  void Reap(ServerSession* session);
+
   uint16_t port_;
   HandlerFactory factory_;
-  std::string required_token_;
-  int session_workers_;
+  TcpServerOptions options_;
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<FairShareScheduler> scheduler_;
   std::atomic<bool> stopping_{false};
   std::atomic<int> connections_served_{0};
-  std::thread accept_thread_;
-  std::mutex sessions_mutex_;
-  std::vector<std::thread> sessions_;
-  // Raw fds of live sessions; Shutdown() half-closes them so session
-  // threads blocked in recv() wake up and can be joined.
-  std::vector<int> session_fds_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<ServerSession*, std::shared_ptr<ServerSession>> sessions_;
+
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace rmp
