@@ -10,11 +10,17 @@
 //   3. Pageout wire cost at batch=1 (one PAGEOUT message per page) vs
 //      batch=32 (one PAGEOUT_BATCH frame), over the in-process transport and
 //      a loopback TCP connection.
+//   4. Compressed cold tier: effective capacity (logical/physical bytes) and
+//      cold pagein p50 across a compressibility sweep (store.hot_pages small,
+//      promotion off, so reads stay on the decompress path), a dedup run
+//      (many stores, few distinct contents), and a flat tier-off pagein
+//      baseline for the added-latency comparison.
 //
 // Every row is also emitted through EmitBenchResult, so results land in
 // BENCH_data_plane.json. `--quick` shrinks the iteration counts to smoke-test
 // size (the ctest target runs that mode).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -241,6 +247,114 @@ void BenchBatchedPageouts(bool quick) {
   }
 }
 
+// --- 4. Compressed cold tier --------------------------------------------------
+
+struct ComprSpec {
+  const char* name;
+  unsigned compr_min;  // FillCompressiblePage knobs: percent of the page that
+  unsigned compr_max;  // is a zero run, drawn per page from [min, max].
+};
+
+MemoryServerParams TierBenchParams(const char* name, uint64_t capacity_pages, uint32_t hot_pages) {
+  MemoryServerParams params;
+  params.name = name;
+  params.capacity_pages = capacity_pages;
+  params.store_shards = 4;
+  params.tier.hot_page_limit = hot_pages;
+  // Promotion off: repeated loads stay cold, so the pagein numbers measure
+  // the decompress + verify path rather than a warmed hot set.
+  params.tier.promote_after_hits = 0;
+  return params;
+}
+
+uint64_t StoreSweepPages(MemoryServer* server, int pages, uint64_t seed0, const ComprSpec& spec) {
+  auto first = server->Allocate(static_cast<uint64_t>(pages));
+  if (!first.ok()) {
+    std::fprintf(stderr, "tier alloc failed: %s\n", first.status().ToString().c_str());
+    std::exit(1);
+  }
+  PageBuffer page;
+  for (int i = 0; i < pages; ++i) {
+    FillCompressiblePage(page.span(), seed0 + static_cast<uint64_t>(i), spec.compr_min,
+                         spec.compr_max);
+    if (!server->Store(*first + static_cast<uint64_t>(i), page.span()).ok()) {
+      std::exit(1);
+    }
+  }
+  return *first;
+}
+
+double PageinP50Micros(MemoryServer* server, uint64_t first_slot, int pages, int reads) {
+  std::vector<double> micros;
+  micros.reserve(static_cast<size_t>(reads));
+  for (int i = 0; i < reads; ++i) {
+    // Stride through the slots so consecutive reads don't share an extent.
+    const uint64_t slot = first_slot + static_cast<uint64_t>((i * 17) % pages);
+    const auto start = Clock::now();
+    auto loaded = server->Load(slot);
+    const double us = Seconds(Clock::now() - start) * 1e6;
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "tier load failed: %s\n", loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    micros.push_back(us);
+  }
+  std::sort(micros.begin(), micros.end());
+  return micros[micros.size() / 2];
+}
+
+void BenchCompressedTier(bool quick) {
+  const int pages = quick ? 192 : 1024;
+  const int reads = quick ? 384 : 4096;
+
+  // Flat baseline: same store, tier off, so the pagein delta isolates what
+  // the decompress path adds.
+  {
+    MemoryServer flat(TierBenchParams("flat-bench", static_cast<uint64_t>(pages) + 64,
+                                      /*hot_pages=*/0));
+    const uint64_t first = StoreSweepPages(&flat, pages, 5000, {"c50", 45, 55});
+    const double p50 = PageinP50Micros(&flat, first, pages, reads);
+    std::printf("tier flat       pagein p50 %6.2f us   (tier off)\n", p50);
+    EmitBenchResult("data_plane", "tier/flat/pagein_p50", "latency", p50, "us");
+  }
+
+  const ComprSpec sweep[] = {{"c25", 20, 30}, {"c50", 45, 55}, {"c75", 70, 80}, {"random", 0, 0}};
+  for (const ComprSpec& spec : sweep) {
+    MemoryServer server(TierBenchParams("tier-bench", static_cast<uint64_t>(pages) + 64,
+                                        /*hot_pages=*/64));
+    const uint64_t first = StoreSweepPages(&server, pages, 9000, spec);
+    const double ratio =
+        static_cast<double>(server.logical_bytes()) / static_cast<double>(server.physical_bytes());
+    const double p50 = PageinP50Micros(&server, first, pages, reads);
+    std::printf("tier %-10s capacity %5.2fx   pagein p50 %6.2f us\n", spec.name, ratio, p50);
+    const std::string prefix = std::string("tier/") + spec.name;
+    EmitBenchResult("data_plane", prefix + "/capacity", "effective_capacity", ratio, "x");
+    EmitBenchResult("data_plane", prefix + "/pagein_p50", "latency", p50, "us");
+  }
+
+  // Dedup: many stores, 16 distinct contents — physical bytes track the
+  // distinct set, so the ratio shows the refcounted index working.
+  {
+    MemoryServer server(TierBenchParams("dedup-bench", static_cast<uint64_t>(pages) + 64,
+                                        /*hot_pages=*/64));
+    auto first = server.Allocate(static_cast<uint64_t>(pages));
+    if (!first.ok()) {
+      std::exit(1);
+    }
+    PageBuffer page;
+    for (int i = 0; i < pages; ++i) {
+      FillCompressiblePage(page.span(), 7000 + static_cast<uint64_t>(i % 16), 45, 55);
+      if (!server.Store(*first + static_cast<uint64_t>(i), page.span()).ok()) {
+        std::exit(1);
+      }
+    }
+    const double ratio =
+        static_cast<double>(server.logical_bytes()) / static_cast<double>(server.physical_bytes());
+    std::printf("tier dedup      capacity %5.2fx   (16 distinct contents)\n", ratio);
+    EmitBenchResult("data_plane", "tier/dedup/capacity", "effective_capacity", ratio, "x");
+  }
+}
+
 int Main(int argc, char** argv) {
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
@@ -251,6 +365,7 @@ int Main(int argc, char** argv) {
   BenchXor(quick);
   BenchServerStore(quick);
   BenchBatchedPageouts(quick);
+  BenchCompressedTier(quick);
   return 0;
 }
 

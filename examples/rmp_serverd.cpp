@@ -12,6 +12,8 @@
 //   verbose        = false
 //   run_seconds    = 0        # 0 = run until killed
 //   auth_token     =          # non-empty: require AUTH from every client
+// plus the store.* tuning keys (sharding, compressed cold tier, spill —
+// see the README knob table and ApplyStoreConfig).
 
 #include <chrono>
 #include <cstdio>
@@ -55,6 +57,10 @@ int Main(int argc, char** argv) {
   MemoryServerParams server_params;
   server_params.name = config.GetString("name", "rmp-server");
   server_params.capacity_pages = static_cast<uint64_t>(*capacity_mb) * kMiB / kPageSize;
+  if (auto store = ApplyStoreConfig(config, &server_params); !store.ok()) {
+    std::fprintf(stderr, "store config: %s\n", store.ToString().c_str());
+    return 1;
+  }
   auto server = std::make_shared<MemoryServer>(server_params);
 
   auto listener = TcpServer::Start(

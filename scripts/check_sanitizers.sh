@@ -25,7 +25,11 @@ sanitizers=("${@:-address}")
 # reactor_smoke covers the event-loop transport: the fair-share scheduler's
 # worker handoffs, hostile-frame teardown, and the many-session churn soak
 # are exactly the loop-thread/worker races TSan exists to catch.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke}"
+# compress_smoke covers the codec and the compressed tier: the decompressor's
+# bounds checks against truncated/bit-flipped extents and the dedup refcount
+# lifecycle are where ASan/UBSan findings would hide behind "corruption"
+# status returns.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

@@ -48,6 +48,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
     MemoryServerParams server_params;
     server_params.name = "server-" + std::to_string(i);
     server_params.capacity_pages = params.server_capacity_pages;
+    server_params.tier = params.store_tier;
     testbed->servers_.push_back(std::make_unique<MemoryServer>(server_params));
     auto transport = std::make_unique<InProcTransport>(testbed->servers_.back().get());
     testbed->transports_.push_back(transport.get());

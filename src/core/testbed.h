@@ -54,6 +54,10 @@ struct TestbedParams {
   bool no_reliability_disk_fallback = false;
   // Extra server appended as the basic-parity hot spare.
   bool with_spare = false;
+  // Compressed cold tier applied to every server (off by default; see
+  // StoreTierParams). Tests use it to cross tier behaviour with the
+  // reliability policies and crash recovery.
+  StoreTierParams store_tier;
 };
 
 class Testbed {

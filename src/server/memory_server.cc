@@ -6,10 +6,60 @@
 #include <cstring>
 #include <thread>
 
+#include "src/util/checksum.h"
+#include "src/util/compress.h"
 #include "src/util/logging.h"
 #include "src/util/units.h"
 
 namespace rmp {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosSince(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() - t0).count();
+}
+
+// Demotion requires this much saving before it keeps the compressed form;
+// pages that barely shrink go into the extent raw, so a later cold pagein
+// skips a decompress that buys almost nothing.
+constexpr size_t kCompressCeiling = kPageSize - kPageSize / 16;
+
+}  // namespace
+
+Status ApplyStoreConfig(const Config& config, MemoryServerParams* params) {
+  auto shards = config.GetInt("store.shards", params->store_shards);
+  RMP_RETURN_IF_ERROR(shards.status());
+  params->store_shards = static_cast<uint32_t>(std::max<int64_t>(1, *shards));
+  auto service = config.GetInt("store.service_micros", params->store_service_micros);
+  RMP_RETURN_IF_ERROR(service.status());
+  params->store_service_micros = *service;
+
+  StoreTierParams& tier = params->tier;
+  auto hot = config.GetInt("store.hot_pages", static_cast<int64_t>(tier.hot_page_limit));
+  RMP_RETURN_IF_ERROR(hot.status());
+  tier.hot_page_limit = static_cast<uint64_t>(std::max<int64_t>(0, *hot));
+  auto compress = config.GetBool("store.compress", tier.compress);
+  RMP_RETURN_IF_ERROR(compress.status());
+  tier.compress = *compress;
+  auto dedup = config.GetBool("store.dedup", tier.dedup);
+  RMP_RETURN_IF_ERROR(dedup.status());
+  tier.dedup = *dedup;
+  auto promote = config.GetInt("store.promote_hits", tier.promote_after_hits);
+  RMP_RETURN_IF_ERROR(promote.status());
+  tier.promote_after_hits = static_cast<uint32_t>(std::max<int64_t>(0, *promote));
+  auto budget_kb =
+      config.GetInt("store.cold_budget_kb", static_cast<int64_t>(tier.cold_budget_bytes / 1024));
+  RMP_RETURN_IF_ERROR(budget_kb.status());
+  tier.cold_budget_bytes = static_cast<uint64_t>(std::max<int64_t>(0, *budget_kb)) * 1024;
+  auto spill = config.GetInt("store.spill_blocks", static_cast<int64_t>(tier.spill_blocks));
+  RMP_RETURN_IF_ERROR(spill.status());
+  tier.spill_blocks = static_cast<uint64_t>(std::max<int64_t>(0, *spill));
+  auto overcommit = config.GetDouble("store.overcommit", tier.logical_overcommit);
+  RMP_RETURN_IF_ERROR(overcommit.status());
+  tier.logical_overcommit = std::max(1.0, *overcommit);
+  return OkStatus();
+}
 
 MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {
   const uint32_t wanted = std::max<uint32_t>(1, params_.store_shards);
@@ -19,6 +69,22 @@ MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {
   }
   shard_count_ = 1u << shard_bits_;
   shards_ = std::make_unique<Shard[]>(shard_count_);
+  if (params_.tier.hot_page_limit > 0) {
+    per_shard_hot_limit_ = std::max<uint64_t>(1, params_.tier.hot_page_limit / shard_count_);
+    if (params_.tier.cold_budget_bytes > 0) {
+      per_shard_cold_budget_ =
+          std::max<uint64_t>(kExtentBytes, params_.tier.cold_budget_bytes / shard_count_);
+    }
+    if (params_.tier.spill_blocks > 0) {
+      auto disk = DiskStore::Create(params_.tier.spill_blocks);
+      if (disk.ok()) {
+        disk_ = std::make_unique<DiskStore>(std::move(*disk));
+      } else {
+        RMP_LOG(kWarning) << params_.name << " spill store unavailable ("
+                          << disk.status().message() << "); cold tier stays in memory";
+      }
+    }
+  }
 }
 
 MemoryServer::Shard& MemoryServer::ShardFor(uint64_t slot) const {
@@ -48,8 +114,353 @@ uint32_t MemoryServer::TakeFrameLocked(Shard* shard) {
   return frame;
 }
 
+// --- Cold-tier internals (shard mutex held) ----------------------------------
+
+void MemoryServer::MakeHotLocked(Shard* shard, uint64_t slot, SlotRef* ref,
+                                 uint32_t frame) const {
+  ref->tier = SlotRef::Tier::kHot;
+  ref->clock = 1;
+  ref->ref = frame;
+  ++shard->hot_count;
+  if (per_shard_hot_limit_ > 0) {
+    // With the tier off nothing ever pops the ring, so do not feed it.
+    ref->ring_epoch = ++shard->next_ring_epoch;
+    shard->clock_ring.emplace_back(slot, ref->ring_epoch);
+  }
+}
+
+void MemoryServer::ReleaseStorageLocked(Shard* shard, SlotRef* ref) const {
+  switch (ref->tier) {
+    case SlotRef::Tier::kHot:
+      shard->free_frames.push_back(ref->ref);
+      --shard->hot_count;
+      break;  // The slot's ring entry goes stale; the epoch check drops it.
+    case SlotRef::Tier::kCold:
+      ReleaseColdRefLocked(shard, ref->ref);
+      break;
+    case SlotRef::Tier::kZero:
+      break;
+  }
+}
+
+void MemoryServer::ReleaseColdRefLocked(Shard* shard, uint32_t entry_index) const {
+  ColdEntry& entry = shard->cold_entries[entry_index];
+  if (--entry.refs > 0) {
+    return;
+  }
+  if (params_.tier.dedup) {
+    auto range = shard->dedup.equal_range(entry.crc);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == entry_index) {
+        shard->dedup.erase(it);
+        break;
+      }
+    }
+  }
+  Extent& extent = shard->extents[entry.extent];
+  extent.dead += entry.bytes;
+  if (!extent.spilled()) {
+    shard->cold_live_bytes -= entry.bytes;
+  }
+  shard->cold_free.push_back(entry_index);
+  if (extent.sealed && extent.dead == extent.used) {
+    ReleaseExtentLocked(shard, entry.extent);
+  }
+}
+
+void MemoryServer::ReleaseExtentLocked(Shard* shard, uint32_t extent_index) const {
+  Extent& extent = shard->extents[extent_index];
+  if (extent.spilled()) {
+    std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+    const Status freed = disk_->Free(extent.disk_block, extent.disk_blocks);
+    if (!freed.ok()) {
+      RMP_LOG(kWarning) << params_.name << " failed to free a spill run: " << freed.message();
+    }
+  }
+  extent = Extent{};
+  if (shard->open_extent == extent_index) {
+    shard->open_extent = kNoIndex;
+  }
+  shard->extent_free.push_back(extent_index);
+}
+
+void MemoryServer::AppendColdLocked(Shard* shard, const uint8_t* bytes, uint32_t len,
+                                    uint32_t* extent_out, uint32_t* offset_out) const {
+  if (shard->open_extent == kNoIndex ||
+      shard->extents[shard->open_extent].capacity - shard->extents[shard->open_extent].used <
+          len) {
+    if (shard->open_extent != kNoIndex) {
+      Extent& full = shard->extents[shard->open_extent];
+      full.sealed = true;
+      const uint32_t sealed_index = shard->open_extent;
+      shard->open_extent = kNoIndex;
+      if (full.dead == full.used) {
+        ReleaseExtentLocked(shard, sealed_index);
+      }
+    }
+    uint32_t index;
+    if (!shard->extent_free.empty()) {
+      index = shard->extent_free.back();
+      shard->extent_free.pop_back();
+    } else {
+      index = static_cast<uint32_t>(shard->extents.size());
+      shard->extents.emplace_back();
+    }
+    Extent& fresh = shard->extents[index];
+    fresh.data = std::make_unique<uint8_t[]>(kExtentBytes);
+    fresh.capacity = kExtentBytes;
+    shard->open_extent = index;
+  }
+  Extent& open = shard->extents[shard->open_extent];
+  std::memcpy(open.data.get() + open.used, bytes, len);
+  *extent_out = shard->open_extent;
+  *offset_out = open.used;
+  open.used += len;
+  shard->cold_live_bytes += len;
+}
+
+bool MemoryServer::ColdEntryMatchesLocked(Shard* shard, const ColdEntry& entry,
+                                          const uint8_t* page) const {
+  const Extent& extent = shard->extents[entry.extent];
+  if (extent.spilled()) {
+    return false;  // Dedup only probes resident extents; a disk read per probe
+                   // would make demotion slower than the copy it saves.
+  }
+  const uint8_t* stored = extent.data.get() + entry.offset;
+  if (!entry.compressed) {
+    return entry.bytes == kPageSize && std::memcmp(stored, page, kPageSize) == 0;
+  }
+  thread_local std::vector<uint8_t> verify;
+  verify.resize(kPageSize);
+  if (!DecompressBlock(stored, entry.bytes, verify.data(), kPageSize).ok()) {
+    return false;
+  }
+  return std::memcmp(verify.data(), page, kPageSize) == 0;
+}
+
+void MemoryServer::DemoteLocked(Shard* shard, SlotRef* ref) const {
+  const uint32_t frame = ref->ref;
+  const uint8_t* page = FramePtr(*shard, frame);
+  const uint32_t crc = Crc32c(std::span<const uint8_t>(page, kPageSize));
+  uint32_t entry_index = kNoIndex;
+  if (params_.tier.dedup) {
+    auto range = shard->dedup.equal_range(crc);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (ColdEntryMatchesLocked(shard, shard->cold_entries[it->second], page)) {
+        entry_index = it->second;
+        break;
+      }
+    }
+  }
+  if (entry_index != kNoIndex) {
+    ++shard->cold_entries[entry_index].refs;
+    stats_.dedup_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    thread_local std::vector<uint8_t> scratch;
+    scratch.resize(CompressBound(kPageSize));
+    const uint8_t* stored = page;
+    uint32_t stored_bytes = kPageSize;
+    bool compressed = false;
+    if (params_.tier.compress) {
+      const auto t0 = SteadyClock::now();
+      const size_t csize = CompressBlock(page, kPageSize, scratch.data(), kCompressCeiling);
+      stats_.compress_us.Observe(MicrosSince(t0));
+      if (csize > 0) {
+        stored = scratch.data();
+        stored_bytes = static_cast<uint32_t>(csize);
+        compressed = true;
+      } else {
+        stats_.incompressible.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    uint32_t extent = 0;
+    uint32_t offset = 0;
+    AppendColdLocked(shard, stored, stored_bytes, &extent, &offset);
+    if (!shard->cold_free.empty()) {
+      entry_index = shard->cold_free.back();
+      shard->cold_free.pop_back();
+    } else {
+      entry_index = static_cast<uint32_t>(shard->cold_entries.size());
+      shard->cold_entries.emplace_back();
+    }
+    shard->cold_entries[entry_index] = ColdEntry{crc, stored_bytes, extent, offset, 1, compressed};
+    if (params_.tier.dedup) {
+      shard->dedup.emplace(crc, entry_index);
+    }
+    stats_.cold_source_bytes.fetch_add(kPageSize, std::memory_order_relaxed);
+    stats_.cold_stored_bytes.fetch_add(stored_bytes, std::memory_order_relaxed);
+  }
+  shard->free_frames.push_back(frame);
+  --shard->hot_count;
+  ref->tier = SlotRef::Tier::kCold;
+  ref->clock = 0;
+  ref->ref = entry_index;
+  stats_.demotions.fetch_add(1, std::memory_order_relaxed);
+  MaybeSpillLocked(shard);
+}
+
+void MemoryServer::MaybeDemoteLocked(Shard* shard) const {
+  if (per_shard_hot_limit_ == 0) {
+    return;
+  }
+  // Bounded pass: a ring full of referenced pages gets its bits cleared and
+  // re-queued once; the next store finishes the job. Amortized O(1).
+  size_t budget = shard->clock_ring.size() * 2;
+  while (shard->hot_count > per_shard_hot_limit_ && budget-- > 0 && !shard->clock_ring.empty()) {
+    const auto [slot, epoch] = shard->clock_ring.front();
+    shard->clock_ring.pop_front();
+    auto it = shard->pages.find(slot);
+    if (it == shard->pages.end() || it->second.tier != SlotRef::Tier::kHot ||
+        it->second.ring_epoch != epoch) {
+      continue;  // Stale: the slot was freed, demoted, or re-stored since.
+    }
+    SlotRef& ref = it->second;
+    if (ref.clock != 0) {
+      ref.clock = 0;  // Second chance.
+      shard->clock_ring.emplace_back(slot, epoch);
+      continue;
+    }
+    DemoteLocked(shard, &ref);
+  }
+}
+
+Status MemoryServer::UnspillExtentLocked(Shard* shard, uint32_t extent_index) const {
+  Extent& extent = shard->extents[extent_index];
+  auto data = std::make_unique<uint8_t[]>(extent.capacity);
+  {
+    std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+    // capacity is a multiple of kPageSize, so whole-block reads stay in
+    // bounds even when `used` ends mid-block.
+    for (uint64_t b = 0; b < extent.disk_blocks; ++b) {
+      RMP_RETURN_IF_ERROR(disk_->Read(extent.disk_block + b,
+                                      std::span<uint8_t>(data.get() + b * kPageSize, kPageSize)));
+    }
+    const Status freed = disk_->Free(extent.disk_block, extent.disk_blocks);
+    if (!freed.ok()) {
+      RMP_LOG(kWarning) << params_.name << " failed to free a spill run: " << freed.message();
+    }
+  }
+  extent.data = std::move(data);
+  extent.disk_block = 0;
+  extent.disk_blocks = 0;
+  shard->cold_live_bytes += extent.used - extent.dead;
+  stats_.unspills.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void MemoryServer::MaybeSpillLocked(Shard* shard) const {
+  if (disk_ == nullptr || per_shard_cold_budget_ == 0) {
+    return;
+  }
+  while (shard->cold_live_bytes > per_shard_cold_budget_) {
+    uint32_t victim = kNoIndex;
+    for (uint32_t i = 0; i < shard->extents.size(); ++i) {
+      const Extent& x = shard->extents[i];
+      if (x.sealed && !x.spilled() && x.data != nullptr && x.used > x.dead) {
+        victim = i;  // Lowest index ≈ oldest extent ≈ coldest payloads.
+        break;
+      }
+    }
+    if (victim == kNoIndex) {
+      return;  // Only the open extent is resident; nothing sealed to evict.
+    }
+    Extent& extent = shard->extents[victim];
+    const uint64_t blocks = (extent.used + kPageSize - 1) / kPageSize;
+    {
+      std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+      auto run = disk_->Allocate(blocks);
+      if (!run.ok()) {
+        return;  // Spill store full: keep extents resident.
+      }
+      bool failed = false;
+      for (uint64_t b = 0; b < blocks; ++b) {
+        if (!disk_->Write(*run + b, std::span<const uint8_t>(extent.data.get() + b * kPageSize,
+                                                             kPageSize))
+                 .ok()) {
+          failed = true;
+          break;
+        }
+      }
+      if (failed) {
+        (void)disk_->Free(*run, blocks);
+        return;
+      }
+      extent.disk_block = *run;
+      extent.disk_blocks = blocks;
+    }
+    extent.data.reset();
+    shard->cold_live_bytes -= extent.used - extent.dead;
+    stats_.spills.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status MemoryServer::ReadColdLocked(Shard* shard, uint32_t entry_index, uint8_t* out) const {
+  ColdEntry& entry = shard->cold_entries[entry_index];
+  if (shard->extents[entry.extent].spilled()) {
+    RMP_RETURN_IF_ERROR(UnspillExtentLocked(shard, entry.extent));
+  }
+  const Extent& extent = shard->extents[entry.extent];
+  const uint8_t* stored = extent.data.get() + entry.offset;
+  if (entry.compressed) {
+    const auto t0 = SteadyClock::now();
+    RMP_RETURN_IF_ERROR(DecompressBlock(stored, entry.bytes, out, kPageSize));
+    stats_.decompress_us.Observe(MicrosSince(t0));
+  } else {
+    std::memcpy(out, stored, kPageSize);
+  }
+  // End-to-end net: a bit flip anywhere in the cold path (extent memory, the
+  // spill file, the codec) surfaces here instead of reaching the client.
+  if (Crc32c(std::span<const uint8_t>(out, kPageSize)) != entry.crc) {
+    return CorruptionError(params_.name + " cold page failed its integrity check");
+  }
+  return OkStatus();
+}
+
+void MemoryServer::PromoteLocked(Shard* shard, uint64_t slot, SlotRef* ref,
+                                 const uint8_t* page) const {
+  const uint32_t entry_index = ref->ref;
+  const uint32_t frame = TakeFrameLocked(shard);
+  std::memcpy(FramePtr(*shard, frame), page, kPageSize);
+  ReleaseColdRefLocked(shard, entry_index);
+  MakeHotLocked(shard, slot, ref, frame);
+  stats_.promotions.fetch_add(1, std::memory_order_relaxed);
+  MaybeDemoteLocked(shard);
+}
+
+Result<uint32_t> MemoryServer::MaterializeHotLocked(Shard* shard, uint64_t slot,
+                                                    SlotRef* ref) const {
+  switch (ref->tier) {
+    case SlotRef::Tier::kHot:
+      return ref->ref;
+    case SlotRef::Tier::kZero: {
+      const uint32_t frame = TakeFrameLocked(shard);
+      std::memset(FramePtr(*shard, frame), 0, kPageSize);
+      MakeHotLocked(shard, slot, ref, frame);
+      return frame;
+    }
+    case SlotRef::Tier::kCold: {
+      thread_local std::vector<uint8_t> page;
+      page.resize(kPageSize);
+      RMP_RETURN_IF_ERROR(ReadColdLocked(shard, ref->ref, page.data()));
+      const uint32_t entry_index = ref->ref;
+      const uint32_t frame = TakeFrameLocked(shard);
+      std::memcpy(FramePtr(*shard, frame), page.data(), kPageSize);
+      ReleaseColdRefLocked(shard, entry_index);
+      MakeHotLocked(shard, slot, ref, frame);
+      return frame;
+    }
+  }
+  return InternalError("unreachable tier");
+}
+
+// --- Allocation and data path ------------------------------------------------
+
 uint64_t MemoryServer::EffectiveCapacityLocked() const {
-  const double available = static_cast<double>(params_.capacity_pages) * (1.0 - native_load_);
+  double available = static_cast<double>(params_.capacity_pages) * (1.0 - native_load_);
+  if (per_shard_hot_limit_ > 0) {
+    // Compression + dedup make extra logical pages physically affordable.
+    available *= params_.tier.logical_overcommit;
+  }
   return available <= 0.0 ? 0 : static_cast<uint64_t>(available);
 }
 
@@ -110,10 +521,10 @@ Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
   for (uint64_t s = first_slot; s < first_slot + pages; ++s) {
     Shard& shard = ShardFor(s);
     std::lock_guard<std::mutex> shard_lock(shard.mutex);
-    auto it = shard.frames.find(s);
-    if (it != shard.frames.end()) {
-      shard.free_frames.push_back(it->second);
-      shard.frames.erase(it);
+    auto it = shard.pages.find(s);
+    if (it != shard.pages.end()) {
+      ReleaseStorageLocked(&shard, &it->second);
+      shard.pages.erase(it);
     }
   }
   reserved_slots_ -= std::min(reserved_slots_, pages);
@@ -139,11 +550,31 @@ Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
-  if (inserted) {
-    it->second = TakeFrameLocked(&shard);
+  auto [it, inserted] = shard.pages.try_emplace(slot);
+  SlotRef& ref = it->second;
+  const bool elide_zero =
+      per_shard_hot_limit_ > 0 && params_.tier.compress && IsZeroBytes(page.data(), kPageSize);
+  if (elide_zero) {
+    if (!inserted) {
+      ReleaseStorageLocked(&shard, &ref);
+    }
+    ref.tier = SlotRef::Tier::kZero;
+    ref.clock = 0;
+    ref.ref = 0;
+    stats_.zero_elisions.fetch_add(1, std::memory_order_relaxed);
+  } else if (!inserted && ref.tier == SlotRef::Tier::kHot) {
+    // Overwrite in place: the frame is already ours.
+    std::memcpy(FramePtr(shard, ref.ref), page.data(), kPageSize);
+    ref.clock = 1;
+  } else {
+    if (!inserted) {
+      ReleaseStorageLocked(&shard, &ref);
+    }
+    const uint32_t frame = TakeFrameLocked(&shard);
+    std::memcpy(FramePtr(shard, frame), page.data(), kPageSize);
+    MakeHotLocked(&shard, slot, &ref, frame);
+    MaybeDemoteLocked(&shard);
   }
-  std::memcpy(FramePtr(shard, it->second), page.data(), kPageSize);
   if (params_.store_service_micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(params_.store_service_micros));
   }
@@ -173,16 +604,39 @@ Result<PageBuffer> MemoryServer::Load(uint64_t slot) const {
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  auto it = shard.frames.find(slot);
-  if (it == shard.frames.end()) {
+  auto it = shard.pages.find(slot);
+  if (it == shard.pages.end()) {
     return NotFoundError("slot " + std::to_string(slot) + " holds no page");
   }
   if (params_.store_service_micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(params_.store_service_micros));
   }
+  SlotRef& ref = it->second;
+  PageBuffer out;  // Zero-filled: the kZero tier returns it as-is.
+  switch (ref.tier) {
+    case SlotRef::Tier::kHot:
+      ref.clock = 1;
+      out.Assign(std::span<const uint8_t>(FramePtr(shard, ref.ref), kPageSize));
+      break;
+    case SlotRef::Tier::kZero:
+      break;
+    case SlotRef::Tier::kCold: {
+      RMP_RETURN_IF_ERROR(ReadColdLocked(&shard, ref.ref, out.data()));
+      const uint32_t hits = params_.tier.promote_after_hits;
+      if (hits > 0) {
+        if (ref.clock < 255) {
+          ++ref.clock;
+        }
+        if (ref.clock >= hits) {
+          PromoteLocked(&shard, slot, &ref, out.data());
+        }
+      }
+      break;
+    }
+  }
   stats_.pageins_served.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_returned.fetch_add(kPageSize, std::memory_order_relaxed);
-  return PageBuffer(std::span<const uint8_t>(FramePtr(shard, it->second), kPageSize));
+  return out;
 }
 
 Status MemoryServer::StoreBatch(std::span<const uint64_t> slots, std::span<const uint8_t> pages,
@@ -235,16 +689,26 @@ Result<PageBuffer> MemoryServer::DeltaStore(uint64_t slot, std::span<const uint8
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
+  auto [it, inserted] = shard.pages.try_emplace(slot);
+  uint32_t frame;
   if (inserted) {
-    it->second = TakeFrameLocked(&shard);
+    frame = TakeFrameLocked(&shard);
     // Recycled frames carry stale bytes; an absent slot must read as zeroes.
-    std::memset(FramePtr(shard, it->second), 0, kPageSize);
+    std::memset(FramePtr(shard, frame), 0, kPageSize);
+    MakeHotLocked(&shard, slot, &it->second, frame);
+  } else {
+    auto hot = MaterializeHotLocked(&shard, slot, &it->second);
+    if (!hot.ok()) {
+      return hot.status();
+    }
+    frame = *hot;
+    it->second.clock = 1;
   }
-  uint8_t* stored = FramePtr(shard, it->second);
+  uint8_t* stored = FramePtr(shard, frame);
   PageBuffer delta(std::span<const uint8_t>(stored, kPageSize));
   delta.XorWith(page);
   std::memcpy(stored, page.data(), kPageSize);
+  MaybeDemoteLocked(&shard);
   stats_.pageouts_served.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_stored.fetch_add(page.size(), std::memory_order_relaxed);
   return delta;
@@ -265,12 +729,22 @@ Status MemoryServer::XorMerge(uint64_t slot, std::span<const uint8_t> delta) {
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
-  auto [it, inserted] = shard.frames.try_emplace(slot, 0);
+  auto [it, inserted] = shard.pages.try_emplace(slot);
+  uint32_t frame;
   if (inserted) {
-    it->second = TakeFrameLocked(&shard);
-    std::memset(FramePtr(shard, it->second), 0, kPageSize);
+    frame = TakeFrameLocked(&shard);
+    std::memset(FramePtr(shard, frame), 0, kPageSize);
+    MakeHotLocked(&shard, slot, &it->second, frame);
+  } else {
+    auto hot = MaterializeHotLocked(&shard, slot, &it->second);
+    if (!hot.ok()) {
+      return hot.status();
+    }
+    frame = *hot;
+    it->second.clock = 1;
   }
-  XorBytes(FramePtr(shard, it->second), delta.data(), kPageSize);
+  XorBytes(FramePtr(shard, frame), delta.data(), kPageSize);
+  MaybeDemoteLocked(&shard);
   stats_.pageouts_served.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_stored.fetch_add(delta.size(), std::memory_order_relaxed);
   return OkStatus();
@@ -282,14 +756,14 @@ bool MemoryServer::Holds(uint64_t slot) const {
   }
   Shard& shard = ShardFor(slot);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.frames.count(slot) > 0;
+  return shard.pages.count(slot) > 0;
 }
 
 std::vector<uint64_t> MemoryServer::LiveSlots() const {
   std::vector<uint64_t> slots;
   for (uint32_t i = 0; i < shard_count_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    for (const auto& [slot, frame] : shards_[i].frames) {
+    for (const auto& [slot, ref] : shards_[i].pages) {
       slots.push_back(slot);
     }
   }
@@ -309,10 +783,26 @@ void MemoryServer::Crash() {
     next_slot_.store(0, std::memory_order_release);
   }
   for (uint32_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    shards_[i].frames.clear();
-    shards_[i].free_frames.clear();
-    shards_[i].slabs.clear();
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (uint32_t x = 0; x < shard.extents.size(); ++x) {
+      if (shard.extents[x].spilled()) {
+        ReleaseExtentLocked(&shard, x);  // Returns the disk run too.
+      }
+    }
+    shard.pages.clear();
+    shard.free_frames.clear();
+    shard.slabs.clear();
+    shard.clock_ring.clear();
+    shard.next_ring_epoch = 0;
+    shard.hot_count = 0;
+    shard.cold_entries.clear();
+    shard.cold_free.clear();
+    shard.dedup.clear();
+    shard.extents.clear();
+    shard.extent_free.clear();
+    shard.open_extent = kNoIndex;
+    shard.cold_live_bytes = 0;
   }
   RMP_LOG(kInfo) << params_.name << " crashed, all pages lost";
 }
@@ -329,12 +819,50 @@ void MemoryServer::ResetStats() {
   registry_.Reset();
 }
 
+TierOccupancy MemoryServer::tier_occupancy() const {
+  TierOccupancy occ;
+  for (uint32_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    occ.hot_pages += shard.hot_count;
+    for (const auto& [slot, ref] : shard.pages) {
+      if (ref.tier == SlotRef::Tier::kCold) {
+        ++occ.cold_pages;
+      } else if (ref.tier == SlotRef::Tier::kZero) {
+        ++occ.zero_pages;
+      }
+    }
+    occ.unique_cold_entries += shard.cold_entries.size() - shard.cold_free.size();
+    for (const Extent& x : shard.extents) {
+      if (x.used <= x.dead) {
+        continue;  // Empty husk or fully dead.
+      }
+      if (x.spilled()) {
+        occ.spilled_bytes += x.used - x.dead;
+      } else if (x.data != nullptr) {
+        occ.cold_physical_bytes += x.used - x.dead;
+      }
+    }
+    occ.logical_bytes += shard.pages.size() * kPageSize;
+  }
+  occ.physical_bytes = occ.hot_pages * kPageSize + occ.cold_physical_bytes;
+  return occ;
+}
+
 std::string MemoryServer::StatsJson() const {
   registry_.GetGauge("server.capacity_pages")->Set(static_cast<int64_t>(capacity_pages()));
   registry_.GetGauge("server.free_pages")->Set(static_cast<int64_t>(free_pages()));
   registry_.GetGauge("server.live_pages")->Set(static_cast<int64_t>(live_pages()));
   registry_.GetGauge("server.incarnation")->Set(static_cast<int64_t>(incarnation()));
   registry_.GetGauge("server.advise_stop")->Set(ShouldAdviseStop() ? 1 : 0);
+  const TierOccupancy occ = tier_occupancy();
+  registry_.GetGauge("server.hot_pages")->Set(static_cast<int64_t>(occ.hot_pages));
+  registry_.GetGauge("server.cold_pages")->Set(static_cast<int64_t>(occ.cold_pages));
+  registry_.GetGauge("server.zero_pages")->Set(static_cast<int64_t>(occ.zero_pages));
+  registry_.GetGauge("server.cold_unique")->Set(static_cast<int64_t>(occ.unique_cold_entries));
+  registry_.GetGauge("server.cold_spilled_bytes")->Set(static_cast<int64_t>(occ.spilled_bytes));
+  registry_.GetGauge("server.logical_bytes")->Set(static_cast<int64_t>(occ.logical_bytes));
+  registry_.GetGauge("server.physical_bytes")->Set(static_cast<int64_t>(occ.physical_bytes));
   return registry_.ExportJson();
 }
 
@@ -367,7 +895,7 @@ uint64_t MemoryServer::live_pages() const {
   uint64_t total = 0;
   for (uint32_t i = 0; i < shard_count_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mutex);
-    total += shards_[i].frames.size();
+    total += shards_[i].pages.size();
   }
   return total;
 }

@@ -17,7 +17,18 @@
 // in slab-allocated frames (kSlabPages per slab) recycled through a free
 // list, instead of one heap PageBuffer per page. Allocation bookkeeping
 // (slot runs, capacity, native load) lives under a separate control mutex;
-// lock order is control → shard. DESIGN.md §9 discusses the choices.
+// lock order is control → shard → disk-spill. DESIGN.md §9 discusses the
+// choices.
+//
+// Two-tier cold store (DESIGN.md §14): when StoreTierParams::hot_page_limit
+// is set, each shard runs a second-chance CLOCK over its uncompressed slab
+// frames. Pages the clock hand finds cold are demoted — content-hash
+// deduplicated against the shard's refcounted Crc32c index, then compressed
+// (LZ4-class, src/util/compress.h) into variable-size extents that can spill
+// to a file-backed DiskStore; all-zero pages are elided entirely. Cold loads
+// decompress on the way out and promote back to a slab frame after a few
+// hits. The wire protocol and every reliability policy see exactly the same
+// byte-in/byte-out contract; only the physical representation changes.
 //
 // Fault and load injection used by the experiments:
 //   Crash()          — drops every stored page (workstation crash, §2.2).
@@ -30,19 +41,50 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/disk/disk_store.h"
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
+#include "src/util/config.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
 #include "src/util/tracing.h"
 
 namespace rmp {
+
+// The compressed + deduplicated cold tier. Disabled by default
+// (hot_page_limit == 0): every page then lives in an uncompressed slab
+// frame, byte-for-byte the pre-tier server.
+struct StoreTierParams {
+  // Uncompressed resident pages the server keeps hot (split evenly across
+  // shards) before the CLOCK hand starts demoting. 0 disables the tier.
+  uint64_t hot_page_limit = 0;
+  // Demoted pages go through the LZ4-class codec; pages that do not shrink
+  // are stored raw in the extents. Also enables zero-page elision.
+  bool compress = true;
+  // Content-hash dedup across slots: a demoted page whose bytes already sit
+  // in the shard's cold index just takes a reference.
+  bool dedup = true;
+  // Cold pageins promote back to a hot frame after this many accesses;
+  // 0 = serve cold forever (benches use it to hold the cold-path cost).
+  uint32_t promote_after_hits = 2;
+  // In-memory budget for live cold-extent bytes (split across shards); once
+  // exceeded, sealed extents spill to the DiskStore. 0 = never spill.
+  uint64_t cold_budget_bytes = 0;
+  // Size (in kPageSize blocks) of the file-backed spill store; 0 = no spill
+  // backing, cold extents stay in memory regardless of budget.
+  uint64_t spill_blocks = 0;
+  // Admit up to overcommit × capacity logical pages; compression and dedup
+  // are what make the extra logical pages physically affordable. 1.0
+  // reproduces the paper's accounting exactly.
+  double logical_overcommit = 1.0;
+};
 
 struct MemoryServerParams {
   std::string name = "server";
@@ -59,7 +101,14 @@ struct MemoryServerParams {
   // thread yields the CPU, so striped shards overlap service the way
   // multi-core memcpys would, while a single mutex serializes it.
   int64_t store_service_micros = 0;
+  StoreTierParams tier;
 };
+
+// Applies the `store.*` Config keys (README: store tuning knobs) over
+// whatever `params` already holds: store.shards, store.service_micros,
+// store.hot_pages, store.compress, store.dedup, store.promote_hits,
+// store.cold_budget_kb, store.spill_blocks, store.overcommit.
+Status ApplyStoreConfig(const Config& config, MemoryServerParams* params);
 
 // The server's counters, backed by its MetricsRegistry (DESIGN.md §12): each
 // member is a registry Counter, so the same numbers the direct accessors see
@@ -75,7 +124,22 @@ struct MemoryServerStats {
         heartbeats_served(*registry->GetCounter("server.heartbeats_served")),
         migrations_served(*registry->GetCounter("server.migrations_served")),
         bytes_stored(*registry->GetCounter("server.bytes_stored")),
-        bytes_returned(*registry->GetCounter("server.bytes_returned")) {}
+        bytes_returned(*registry->GetCounter("server.bytes_returned")),
+        demotions(*registry->GetCounter("server.tier_demotions")),
+        promotions(*registry->GetCounter("server.tier_promotions")),
+        dedup_hits(*registry->GetCounter("server.dedup_hits")),
+        zero_elisions(*registry->GetCounter("server.zero_elisions")),
+        incompressible(*registry->GetCounter("server.incompressible_pages")),
+        spills(*registry->GetCounter("server.extent_spills")),
+        unspills(*registry->GetCounter("server.extent_unspills")),
+        cold_source_bytes(*registry->GetCounter("server.cold_source_bytes")),
+        cold_stored_bytes(*registry->GetCounter("server.cold_stored_bytes")),
+        compress_us(*registry->GetHistogram("server.compress_us",
+                                            {.lo = 0.1, .hi = 1e5, .buckets = 40,
+                                             .log_scale = true})),
+        decompress_us(*registry->GetHistogram("server.decompress_us",
+                                              {.lo = 0.1, .hi = 1e5, .buckets = 40,
+                                               .log_scale = true})) {}
 
   Counter& pageouts_served;
   Counter& pageins_served;
@@ -86,6 +150,34 @@ struct MemoryServerStats {
   Counter& migrations_served;  // MIGRATE (read-and-free) ops.
   Counter& bytes_stored;
   Counter& bytes_returned;
+  // Cold-tier lifecycle (DESIGN.md §14).
+  Counter& demotions;          // Hot frames packed into the cold tier.
+  Counter& promotions;         // Cold pages pulled back to hot frames.
+  Counter& dedup_hits;         // Demotions resolved by an existing entry.
+  Counter& zero_elisions;      // Stores elided because the page was zero.
+  Counter& incompressible;     // Demoted pages stored raw (codec did not win).
+  Counter& spills;             // Extents written to the spill DiskStore.
+  Counter& unspills;           // Extents read back on access.
+  Counter& cold_source_bytes;  // Logical bytes entering the cold tier.
+  Counter& cold_stored_bytes;  // Physical bytes those became in extents.
+  HistogramMetric& compress_us;    // Codec latency per demoted page.
+  HistogramMetric& decompress_us;  // Codec latency per cold pagein.
+};
+
+// Point-in-time tier occupancy, aggregated across shards. logical_bytes is
+// what the clients believe is stored (every live slot at page size);
+// physical_bytes is what the server actually holds in memory for them (hot
+// frames plus live in-memory extent bytes). Their ratio is the effective
+// capacity multiplier the compressed tier buys.
+struct TierOccupancy {
+  uint64_t hot_pages = 0;
+  uint64_t cold_pages = 0;  // Slots whose content lives in the cold tier.
+  uint64_t zero_pages = 0;  // Slots elided as all-zero.
+  uint64_t unique_cold_entries = 0;
+  uint64_t cold_physical_bytes = 0;  // Live cold bytes resident in memory.
+  uint64_t spilled_bytes = 0;        // Live cold bytes currently on disk.
+  uint64_t logical_bytes = 0;
+  uint64_t physical_bytes = 0;
 };
 
 class MemoryServer : public MessageHandler {
@@ -153,9 +245,16 @@ class MemoryServer : public MessageHandler {
   uint64_t live_pages() const;
   bool ShouldAdviseStop() const;
 
+  // --- Tier occupancy (DESIGN.md §14) -------------------------------------
+  // Logical vs physical occupancy; capacity claims are judged on the ratio.
+  TierOccupancy tier_occupancy() const;
+  uint64_t logical_bytes() const { return tier_occupancy().logical_bytes; }
+  uint64_t physical_bytes() const { return tier_occupancy().physical_bytes; }
+
   uint32_t shard_count() const { return shard_count_; }
   const MemoryServerStats& stats() const { return stats_; }
   const std::string& name() const { return params_.name; }
+  bool tier_enabled() const { return params_.tier.hot_page_limit > 0; }
 
   // --- Live introspection (DESIGN.md §12) ---------------------------------
   // The registry behind stats(), plus occupancy gauges refreshed on demand.
@@ -172,19 +271,97 @@ class MemoryServer : public MessageHandler {
   // Frames per slab: 64 × 8 KB = 512 KB slabs, large enough to amortize the
   // allocation, small enough that a lightly used shard stays cheap.
   static constexpr uint32_t kSlabPages = 64;
+  // Cold extents pack compressed blobs into 256 KB arenas — the spill unit.
+  static constexpr uint32_t kExtentBytes = 256 * 1024;
+  static constexpr uint32_t kNoIndex = 0xffffffffu;
+
+  // One deduplicated cold payload; slots reference it by index.
+  struct ColdEntry {
+    uint32_t crc = 0;     // Crc32c of the uncompressed page (dedup key, and
+                          // an integrity check on every cold read).
+    uint32_t bytes = 0;   // Stored length inside the extent.
+    uint32_t extent = 0;
+    uint32_t offset = 0;
+    uint32_t refs = 0;
+    bool compressed = false;  // false: raw (the codec did not win).
+  };
+
+  // A packed arena of cold payloads. Append-only while open; sealed when
+  // full. Freed bytes accrue as `dead`; a fully dead extent releases its
+  // memory (and its disk run, if spilled). disk_blocks > 0 means the bytes
+  // currently live in the spill DiskStore instead of `data`.
+  struct Extent {
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t capacity = 0;
+    uint32_t used = 0;
+    uint32_t dead = 0;
+    bool sealed = false;
+    uint64_t disk_block = 0;
+    uint64_t disk_blocks = 0;
+    bool spilled() const { return disk_blocks > 0; }
+  };
+
+  struct SlotRef {
+    enum class Tier : uint8_t { kHot, kCold, kZero };
+    Tier tier = Tier::kHot;
+    // Hot: the CLOCK referenced bit. Cold: promotion hit count (saturating).
+    uint8_t clock = 0;
+    // Hot: frame index (slab = ref / kSlabPages). Cold: ColdEntry index.
+    uint32_t ref = 0;
+    // Matches the clock-ring entry pushed when this slot last became hot;
+    // stale ring entries (slot freed, demoted, or re-stored since) fail the
+    // epoch check and are discarded instead of double-cycling.
+    uint32_t ring_epoch = 0;
+  };
 
   struct Shard {
     mutable std::mutex mutex;
-    // slot → frame index (slab = frame / kSlabPages, offset = frame % it).
-    std::unordered_map<uint64_t, uint32_t> frames;
+    std::unordered_map<uint64_t, SlotRef> pages;
     std::vector<std::unique_ptr<uint8_t[]>> slabs;
     std::vector<uint32_t> free_frames;
+    // --- Cold tier ---
+    // Second-chance order over hot slots; entries are (slot, ring_epoch).
+    std::deque<std::pair<uint64_t, uint32_t>> clock_ring;
+    uint32_t next_ring_epoch = 0;
+    uint64_t hot_count = 0;
+    std::vector<ColdEntry> cold_entries;
+    std::vector<uint32_t> cold_free;
+    std::unordered_multimap<uint32_t, uint32_t> dedup;  // crc → entry index.
+    std::vector<Extent> extents;
+    std::vector<uint32_t> extent_free;
+    uint32_t open_extent = kNoIndex;
+    uint64_t cold_live_bytes = 0;  // Live bytes in *in-memory* extents.
   };
 
   Shard& ShardFor(uint64_t slot) const;
   static uint8_t* FramePtr(const Shard& shard, uint32_t frame);
   // Pops a free frame, growing the slab list if needed. Shard mutex held.
   static uint32_t TakeFrameLocked(Shard* shard);
+
+  // --- Cold-tier internals (shard mutex held throughout) ------------------
+  void MakeHotLocked(Shard* shard, uint64_t slot, SlotRef* ref, uint32_t frame) const;
+  void ReleaseStorageLocked(Shard* shard, SlotRef* ref) const;
+  void ReleaseColdRefLocked(Shard* shard, uint32_t entry_index) const;
+  void ReleaseExtentLocked(Shard* shard, uint32_t extent_index) const;
+  // Runs the CLOCK hand until the shard is back under its hot limit (or the
+  // pass bound is hit); demotes un-referenced pages.
+  void MaybeDemoteLocked(Shard* shard) const;
+  void DemoteLocked(Shard* shard, SlotRef* ref) const;
+  // Appends `bytes` to the open extent (sealing/opening as needed).
+  void AppendColdLocked(Shard* shard, const uint8_t* bytes, uint32_t len, uint32_t* extent_out,
+                        uint32_t* offset_out) const;
+  // Byte-exact dedup verify of `page` against an existing entry.
+  bool ColdEntryMatchesLocked(Shard* shard, const ColdEntry& entry, const uint8_t* page) const;
+  // Reads entry bytes (unspilling its extent first if needed), decompresses,
+  // and CRC-verifies into `out` (kPageSize bytes).
+  Status ReadColdLocked(Shard* shard, uint32_t entry_index, uint8_t* out) const;
+  Status UnspillExtentLocked(Shard* shard, uint32_t extent_index) const;
+  void MaybeSpillLocked(Shard* shard) const;
+  // Promotes a cold slot back into a hot frame holding `page` bytes.
+  void PromoteLocked(Shard* shard, uint64_t slot, SlotRef* ref, const uint8_t* page) const;
+  // Ensures the slot's bytes sit in a hot frame (for read-modify-write ops);
+  // returns the frame index. The slot must exist.
+  Result<uint32_t> MaterializeHotLocked(Shard* shard, uint64_t slot, SlotRef* ref) const;
 
   uint64_t EffectiveCapacityLocked() const;
   uint64_t FreePagesLocked() const;
@@ -193,7 +370,13 @@ class MemoryServer : public MessageHandler {
   MemoryServerParams params_;
   uint32_t shard_count_ = 1;
   uint32_t shard_bits_ = 0;
+  uint64_t per_shard_hot_limit_ = 0;    // 0 = tier disabled.
+  uint64_t per_shard_cold_budget_ = 0;  // 0 = never spill.
   std::unique_ptr<Shard[]> shards_;
+
+  // Spill backing, shared by all shards. Lock order: shard → disk_mutex_.
+  mutable std::mutex disk_mutex_;
+  mutable std::unique_ptr<DiskStore> disk_;
 
   // Allocation bookkeeping; taken before any shard mutex, never after.
   mutable std::mutex control_mutex_;

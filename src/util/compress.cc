@@ -1,0 +1,328 @@
+#include "src/util/compress.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RMP_HAVE_X86_SIMD 1
+#include <immintrin.h>
+#else
+#define RMP_HAVE_X86_SIMD 0
+#endif
+
+namespace rmp {
+namespace {
+
+// Stream grammar (per sequence):
+//   token     = (literal_len:4 | match_len-4:4)
+//   ext bytes = runs of 255 extending either nibble past 15
+//   literals  = raw bytes
+//   offset    = 2 bytes little-endian, 1..dp (absent in the final sequence)
+// The final sequence is literals-only: the stream simply ends after them.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxInput = 65535;  // Offsets are 16-bit; page-class blocks.
+constexpr int kHashBits = 12;
+
+uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint32_t Hash32(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+// --- Match-extension kernels -------------------------------------------------
+//
+// All kernels return the exact longest common prefix of a and b (capped at
+// `max`), so every dispatch path drives the greedy parse to the same
+// sequences and the compressed bytes are identical across CPUs.
+
+// Pinned against autovectorization for the same reason as XorBytesScalarImpl:
+// the differential tests must compare the SIMD parse against a genuinely
+// scalar one. Word compares fall back to a byte loop on mismatch instead of
+// a count-trailing-zeros trick, which keeps the reference endian-agnostic.
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#endif
+size_t MatchLenScalarImpl(const uint8_t* a, const uint8_t* b, size_t max) {
+  size_t i = 0;
+  while (i + sizeof(uint64_t) <= max) {
+    uint64_t av;
+    uint64_t bv;
+    std::memcpy(&av, a + i, sizeof(av));
+    std::memcpy(&bv, b + i, sizeof(bv));
+    if (av != bv) {
+      break;
+    }
+    i += sizeof(uint64_t);
+  }
+  while (i < max && a[i] == b[i]) {
+    ++i;
+  }
+  return i;
+}
+
+#if RMP_HAVE_X86_SIMD
+
+size_t MatchLenSse2(const uint8_t* a, const uint8_t* b, size_t max) {
+  size_t i = 0;
+  for (; i + 16 <= max; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const uint32_t eq = static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffu) {
+      return i + static_cast<size_t>(__builtin_ctz(~eq & 0xffffu));
+    }
+  }
+  while (i < max && a[i] == b[i]) {
+    ++i;
+  }
+  return i;
+}
+
+__attribute__((target("avx2"))) size_t MatchLenAvx2(const uint8_t* a, const uint8_t* b,
+                                                    size_t max) {
+  size_t i = 0;
+  for (; i + 32 <= max; i += 32) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const uint32_t eq =
+        static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffffffu) {
+      return i + static_cast<size_t>(__builtin_ctz(~eq));
+    }
+  }
+  return i + MatchLenSse2(a + i, b + i, max - i);
+}
+
+#endif  // RMP_HAVE_X86_SIMD
+
+using MatchLenFn = size_t (*)(const uint8_t*, const uint8_t*, size_t);
+
+struct MatchImpl {
+  MatchLenFn fn;
+  std::string_view name;
+};
+
+MatchImpl PickMatchImpl() {
+#if RMP_HAVE_X86_SIMD
+  if (__builtin_cpu_supports("avx2")) {
+    return {MatchLenAvx2, "avx2"};
+  }
+  return {MatchLenSse2, "sse2"};
+#else
+  return {MatchLenScalarImpl, "scalar"};
+#endif
+}
+
+const MatchImpl& DispatchedMatch() {
+  static const MatchImpl impl = PickMatchImpl();
+  return impl;
+}
+
+// --- Encoder -----------------------------------------------------------------
+
+// Emission cursor with a hard ceiling: every write checks max_out, and a
+// ceiling hit aborts the whole compression (the caller stores raw instead).
+struct Emitter {
+  uint8_t* dst;
+  size_t op = 0;
+  size_t max_out;
+
+  bool Byte(uint8_t b) {
+    if (op >= max_out) {
+      return false;
+    }
+    dst[op++] = b;
+    return true;
+  }
+  bool Bytes(const uint8_t* p, size_t n) {
+    if (n > max_out - op) {
+      return false;
+    }
+    if (n > 0) {  // Empty input compresses from a possibly-null pointer.
+      std::memcpy(dst + op, p, n);
+      op += n;
+    }
+    return true;
+  }
+  bool ExtLen(size_t len) {  // Extension bytes for a nibble that hit 15.
+    while (len >= 255) {
+      if (!Byte(255)) {
+        return false;
+      }
+      len -= 255;
+    }
+    return Byte(static_cast<uint8_t>(len));
+  }
+};
+
+bool EmitSequence(Emitter* out, const uint8_t* literals, size_t lit_len, size_t offset,
+                  size_t match_len) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  const size_t match_extra = match_len - kMinMatch;
+  const size_t match_nibble = match_extra < 15 ? match_extra : 15;
+  if (!out->Byte(static_cast<uint8_t>((lit_nibble << 4) | match_nibble))) {
+    return false;
+  }
+  if (lit_nibble == 15 && !out->ExtLen(lit_len - 15)) {
+    return false;
+  }
+  if (!out->Bytes(literals, lit_len)) {
+    return false;
+  }
+  if (!out->Byte(static_cast<uint8_t>(offset & 0xff)) ||
+      !out->Byte(static_cast<uint8_t>(offset >> 8))) {
+    return false;
+  }
+  return match_nibble != 15 || out->ExtLen(match_extra - 15);
+}
+
+bool EmitFinalLiterals(Emitter* out, const uint8_t* literals, size_t lit_len) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  if (!out->Byte(static_cast<uint8_t>(lit_nibble << 4))) {
+    return false;
+  }
+  if (lit_nibble == 15 && !out->ExtLen(lit_len - 15)) {
+    return false;
+  }
+  return out->Bytes(literals, lit_len);
+}
+
+size_t CompressWith(MatchLenFn match_len, const uint8_t* src, size_t n, uint8_t* dst,
+                    size_t max_out) {
+  if (n > kMaxInput || max_out == 0) {
+    return 0;
+  }
+  uint16_t table[1 << kHashBits];  // Position + 1 of the last sight of a hash.
+  std::memset(table, 0, sizeof(table));
+  Emitter out{dst, 0, max_out};
+  size_t pos = 0;
+  size_t anchor = 0;
+  while (pos + kMinMatch <= n) {
+    const uint32_t seq = Read32(src + pos);
+    const uint32_t h = Hash32(seq);
+    const uint16_t slot = table[h];
+    table[h] = static_cast<uint16_t>(pos + 1);
+    if (slot == 0) {
+      ++pos;
+      continue;
+    }
+    const size_t cand = static_cast<size_t>(slot) - 1;
+    if (Read32(src + cand) != seq) {
+      ++pos;
+      continue;
+    }
+    const size_t mlen =
+        kMinMatch + match_len(src + cand + kMinMatch, src + pos + kMinMatch, n - pos - kMinMatch);
+    if (!EmitSequence(&out, src + anchor, pos - anchor, pos - cand, mlen)) {
+      return 0;
+    }
+    pos += mlen;
+    anchor = pos;
+  }
+  // No trailing token when the last match ends the input: an empty final
+  // sequence would be a byte no decoder needs, and stripping it is what makes
+  // "every strict prefix fails to decode" hold. The empty-input stream still
+  // gets one token so a valid compression is never 0 bytes (the error value).
+  if (n - anchor > 0 || out.op == 0) {
+    if (!EmitFinalLiterals(&out, src + anchor, n - anchor)) {
+      return 0;
+    }
+  }
+  return out.op;
+}
+
+}  // namespace
+
+size_t CompressBound(size_t n) { return n + n / 255 + 16; }
+
+size_t CompressBlock(const uint8_t* src, size_t n, uint8_t* dst, size_t max_out) {
+  return CompressWith(DispatchedMatch().fn, src, n, dst, max_out);
+}
+
+size_t CompressBlockScalar(const uint8_t* src, size_t n, uint8_t* dst, size_t max_out) {
+  return CompressWith(MatchLenScalarImpl, src, n, dst, max_out);
+}
+
+std::string_view CompressImplName() { return DispatchedMatch().name; }
+
+Status DecompressBlock(const uint8_t* src, size_t src_len, uint8_t* dst, size_t n) {
+  size_t sp = 0;
+  size_t dp = 0;
+  // Reads an extension run. Capped at kMaxInput + 255: any longer claim is
+  // hostile (no valid length exceeds the input bound), and the cap keeps a
+  // stream of 255s from accumulating toward overflow.
+  const auto read_ext = [&](size_t* len) -> bool {
+    while (sp < src_len) {
+      const uint8_t b = src[sp++];
+      *len += b;
+      if (*len > kMaxInput + 255) {
+        return false;
+      }
+      if (b != 255) {
+        return true;
+      }
+    }
+    return false;  // Ran off the stream mid-extension.
+  };
+  while (sp < src_len) {
+    const uint8_t token = src[sp++];
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !read_ext(&lit_len)) {
+      return CorruptionError("truncated literal-length extension");
+    }
+    if (lit_len > src_len - sp || lit_len > n - dp) {
+      return CorruptionError("literal run exceeds a buffer bound");
+    }
+    if (lit_len > 0) {  // dst may be null when decoding an empty stream.
+      std::memcpy(dst + dp, src + sp, lit_len);
+    }
+    sp += lit_len;
+    dp += lit_len;
+    if (sp == src_len) {
+      break;  // Final sequence: literals only, no offset follows.
+    }
+    if (src_len - sp < 2) {
+      return CorruptionError("truncated match offset");
+    }
+    const size_t offset = static_cast<size_t>(src[sp]) | (static_cast<size_t>(src[sp + 1]) << 8);
+    sp += 2;
+    if (offset == 0 || offset > dp) {
+      return CorruptionError("match offset outside the produced output");
+    }
+    size_t match_len = token & 0x0f;
+    if (match_len == 15 && !read_ext(&match_len)) {
+      return CorruptionError("truncated match-length extension");
+    }
+    match_len += kMinMatch;
+    if (match_len > n - dp) {
+      return CorruptionError("match run exceeds the output bound");
+    }
+    const uint8_t* from = dst + dp - offset;
+    uint8_t* to = dst + dp;
+    dp += match_len;
+    if (offset >= match_len) {
+      std::memcpy(to, from, match_len);
+    } else {
+      // Overlapping (run-generating) match: each pass copies the full periodic
+      // window produced so far, so the window doubles per memcpy and long runs
+      // (zero-heavy pages) cost O(log) copies instead of a byte loop. Source
+      // and destination of every memcpy are disjoint by construction.
+      size_t window = offset;
+      size_t done = 0;
+      while (done < match_len) {
+        const size_t chunk = window < match_len - done ? window : match_len - done;
+        std::memcpy(to + done, from, chunk);
+        done += chunk;
+        window *= 2;
+      }
+    }
+  }
+  if (dp != n || sp != src_len) {
+    return CorruptionError("stream ended with " + std::to_string(dp) + "/" + std::to_string(n) +
+                           " bytes produced");
+  }
+  return OkStatus();
+}
+
+}  // namespace rmp

@@ -1,0 +1,62 @@
+// LZ4-block-class page codec for the server's compressed cold tier.
+//
+// The format is a byte-oriented LZ77 stream (greedy hash-chain parse, 16-bit
+// offsets, minimum match 4) in the style of an LZ4 block: a token byte packs
+// the literal-run and match lengths, runs of 255 extend either, literals are
+// raw, and the final sequence carries no match. It is our own framing — we
+// do not promise LZ4 interoperability — chosen because an 8 KB page fits
+// comfortably in the 64 KB window and decode is a short branchy loop that
+// runs at memcpy-class speed on swap-cached data.
+//
+// The hot inner loop is match *extension* (how far do two windows agree?),
+// so that kernel is runtime-dispatched exactly like XorBytes in bytes.cc:
+// AVX2 -> SSE2 -> pinned-scalar, one CPUID probe at first use. The scalar
+// reference is pinned against autovectorization so differential tests
+// compare a genuinely scalar parse with the SIMD one; all paths compute the
+// same longest-common-prefix, so compressed output is byte-identical across
+// implementations and a differential test can assert equality, not just
+// round-tripping.
+//
+// The decoder trusts nothing: every length, offset, and copy is bounds
+// checked against both buffers, so a truncated or bit-flipped extent read
+// back from the cold tier (or its disk spill) surfaces as a clean
+// kCorruption status — never an out-of-bounds write. Zero pages are not
+// special-cased here; the store elides them entirely via IsZeroBytes before
+// the codec ever runs (the degenerate "compresses to nothing" case).
+
+#ifndef SRC_UTIL_COMPRESS_H_
+#define SRC_UTIL_COMPRESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace rmp {
+
+// Worst-case compressed size for `n` input bytes (all-literal stream plus
+// length-extension overhead). Size destination buffers with this.
+size_t CompressBound(size_t n);
+
+// Compresses `src[0..n)` into `dst[0..max_out)`. Returns the compressed size
+// (>= 1) on success, or 0 when the input does not fit under `max_out` —
+// the caller's "incompressible, store it raw" signal. Deterministic: the
+// same input always yields the same bytes, on every dispatch path.
+size_t CompressBlock(const uint8_t* src, size_t n, uint8_t* dst, size_t max_out);
+
+// The pinned-scalar reference parse (differential tests, non-x86 fallback).
+size_t CompressBlockScalar(const uint8_t* src, size_t n, uint8_t* dst, size_t max_out);
+
+// Decompresses exactly `n` bytes into `dst` from `src[0..src_len)`. Fails
+// with kCorruption unless the stream is well-formed, produces exactly `n`
+// output bytes, and consumes exactly `src_len` input bytes.
+Status DecompressBlock(const uint8_t* src, size_t src_len, uint8_t* dst, size_t n);
+
+// Name of the match-scan kernel the dispatcher picked: "avx2", "sse2" or
+// "scalar". Benches report it alongside codec throughput.
+std::string_view CompressImplName();
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_COMPRESS_H_

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -411,6 +412,32 @@ Result<std::unique_ptr<Workload>> MakeWorkloadByName(const std::string& name) {
     return MakeCc();
   }
   return NotFoundError("unknown workload: " + name);
+}
+
+void FillCompressiblePage(std::span<uint8_t> page, uint64_t seed, unsigned compr_min,
+                          unsigned compr_max) {
+  compr_min = std::min(compr_min, 100u);
+  compr_max = std::min(compr_max, 100u);
+  if (compr_max < compr_min) {
+    std::swap(compr_min, compr_max);
+  }
+  Rng rng(seed);
+  const unsigned pct =
+      compr_min == compr_max
+          ? compr_min
+          : compr_min + static_cast<unsigned>(rng.Next() % (compr_max - compr_min + 1));
+  // The incompressible head; the compressible remainder is a zero run.
+  const size_t random_bytes = page.size() * (100 - pct) / 100;
+  size_t i = 0;
+  for (; i + sizeof(uint64_t) <= random_bytes; i += sizeof(uint64_t)) {
+    const uint64_t v = rng.Next();
+    std::memcpy(page.data() + i, &v, sizeof(v));
+  }
+  if (i < random_bytes) {
+    const uint64_t v = rng.Next();
+    std::memcpy(page.data() + i, &v, random_bytes - i);
+  }
+  std::fill(page.begin() + random_bytes, page.end(), uint8_t{0});
 }
 
 }  // namespace rmp

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,16 @@ std::vector<std::unique_ptr<Workload>> MakePaperWorkloads();
 
 // Lookup by name ("MVEC", "GAUSS", "QSORT", "FFT", "FILTER", "CC").
 Result<std::unique_ptr<Workload>> MakeWorkloadByName(const std::string& name);
+
+// Fills `page` with content of tunable compressibility (the uszram-style
+// compr_min/compr_max knobs): a per-page percentage drawn seeded-uniform
+// from [compr_min, compr_max] is trivially compressible (a zero run), the
+// rest is incompressible random bytes. compr 0 = fully random, 100 = all
+// zeroes. Deterministic in `seed`, so equal seeds give byte-identical pages
+// (which is also how benches provoke dedup hits). Percentages clamp to
+// [0, 100]; a reversed range is swapped.
+void FillCompressiblePage(std::span<uint8_t> page, uint64_t seed, unsigned compr_min,
+                          unsigned compr_max);
 
 }  // namespace rmp
 

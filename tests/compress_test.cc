@@ -1,0 +1,266 @@
+// Codec conformance: SIMD-vs-scalar differential parses, adversarial
+// round-trips, and a hostile-input sweep (every truncation and a seeded
+// bit-flip fuzz) proving the decoder fails closed. The cold tier trusts
+// DecompressBlock with bytes that may have crossed a disk spill, so the
+// decoder must never read or write out of bounds — the sanitizer job runs
+// this suite under ASan/UBSan/TSan via the compress_smoke label.
+
+#include "src/util/compress.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/units.h"
+#include "src/workloads/workload.h"
+
+namespace rmp {
+namespace {
+
+std::vector<uint8_t> Compress(const std::vector<uint8_t>& in) {
+  std::vector<uint8_t> out(CompressBound(in.size()));
+  const size_t n = CompressBlock(in.data(), in.size(), out.data(), out.size());
+  EXPECT_GT(n, 0u);
+  out.resize(n);
+  return out;
+}
+
+void ExpectRoundTrip(const std::vector<uint8_t>& in) {
+  const std::vector<uint8_t> packed = Compress(in);
+  std::vector<uint8_t> back(in.size() + 64, 0xEE);
+  ASSERT_TRUE(DecompressBlock(packed.data(), packed.size(), back.data(), in.size()).ok());
+  if (!in.empty()) {
+    EXPECT_EQ(std::memcmp(back.data(), in.data(), in.size()), 0);
+  }
+  // The decoder must not have written past the requested length.
+  for (size_t i = in.size(); i < back.size(); ++i) {
+    ASSERT_EQ(back[i], 0xEE) << "decoder wrote past the output length at " << i;
+  }
+}
+
+// The adversarial corpus the issue calls out: incompressible bytes, long
+// runs, zero pages, short tails, plus structured patterns in between.
+std::vector<std::vector<uint8_t>> AdversarialInputs() {
+  std::vector<std::vector<uint8_t>> inputs;
+  inputs.push_back({});                                  // Empty.
+  inputs.push_back({0x42});                              // Single byte.
+  inputs.push_back(std::vector<uint8_t>(3, 0xAB));       // Below min match.
+  inputs.push_back(std::vector<uint8_t>(kPageSize, 0));  // Zero page.
+  inputs.push_back(std::vector<uint8_t>(kPageSize, 0x5A));  // Constant run.
+  // Short tails: every length around the match/word boundaries.
+  for (size_t n = 4; n <= 70; ++n) {
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<uint8_t>(i % 7);
+    }
+    inputs.push_back(std::move(v));
+  }
+  // Period-3 run: overlapping matches (offset < match length).
+  {
+    std::vector<uint8_t> v(kPageSize);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<uint8_t>("abc"[i % 3]);
+    }
+    inputs.push_back(std::move(v));
+  }
+  // Incompressible page.
+  {
+    std::vector<uint8_t> v(kPageSize);
+    Rng rng(7);
+    for (auto& b : v) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    inputs.push_back(std::move(v));
+  }
+  // Literal run longer than 15+255 (exercises multi-byte extensions).
+  {
+    std::vector<uint8_t> v(600);
+    Rng rng(11);
+    for (auto& b : v) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    inputs.push_back(std::move(v));
+  }
+  // Half random, half zeroes: the workload generator's shape.
+  {
+    std::vector<uint8_t> v(kPageSize);
+    FillCompressiblePage(std::span<uint8_t>(v.data(), v.size()), 21, 50, 50);
+    inputs.push_back(std::move(v));
+  }
+  // The repo's deterministic test pattern.
+  {
+    std::vector<uint8_t> v(kPageSize);
+    FillPattern(std::span<uint8_t>(v.data(), v.size()), 99);
+    inputs.push_back(std::move(v));
+  }
+  // Max input size.
+  {
+    std::vector<uint8_t> v(65535);
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<uint8_t>((i * i) >> 3);
+    }
+    inputs.push_back(std::move(v));
+  }
+  return inputs;
+}
+
+TEST(CompressTest, RoundTripsAdversarialCorpus) {
+  for (const auto& in : AdversarialInputs()) {
+    SCOPED_TRACE("input size " + std::to_string(in.size()));
+    ExpectRoundTrip(in);
+  }
+}
+
+// All match kernels compute the exact longest common prefix, so the greedy
+// parse — and therefore the compressed bytes — must be identical between the
+// dispatched SIMD path and the pinned-scalar reference. Byte equality, not
+// just mutual round-tripping.
+TEST(CompressTest, DispatchedMatchesScalarByteForByte) {
+  for (const auto& in : AdversarialInputs()) {
+    SCOPED_TRACE("input size " + std::to_string(in.size()));
+    std::vector<uint8_t> simd(CompressBound(in.size()), 0);
+    std::vector<uint8_t> scalar(CompressBound(in.size()), 0);
+    const size_t n_simd = CompressBlock(in.data(), in.size(), simd.data(), simd.size());
+    const size_t n_scalar = CompressBlockScalar(in.data(), in.size(), scalar.data(), scalar.size());
+    ASSERT_EQ(n_simd, n_scalar) << "impl " << CompressImplName();
+    EXPECT_EQ(std::memcmp(simd.data(), scalar.data(), n_simd), 0) << "impl " << CompressImplName();
+  }
+}
+
+TEST(CompressTest, DeterministicAcrossCalls) {
+  std::vector<uint8_t> in(kPageSize);
+  FillCompressiblePage(std::span<uint8_t>(in.data(), in.size()), 5, 30, 30);
+  const std::vector<uint8_t> a = Compress(in);
+  const std::vector<uint8_t> b = Compress(in);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CompressTest, CompressiblePageActuallyShrinks) {
+  std::vector<uint8_t> in(kPageSize);
+  FillCompressiblePage(std::span<uint8_t>(in.data(), in.size()), 3, 50, 50);
+  const std::vector<uint8_t> packed = Compress(in);
+  EXPECT_LT(packed.size(), kPageSize * 3 / 4);
+  std::vector<uint8_t> zeros(kPageSize, 0);
+  EXPECT_LT(Compress(zeros).size(), 64u);  // The degenerate all-zero case.
+}
+
+TEST(CompressTest, IncompressibleInputReportsNoFit) {
+  std::vector<uint8_t> in(kPageSize);
+  Rng rng(13);
+  for (auto& b : in) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint8_t> out(CompressBound(in.size()));
+  // Random bytes cannot fit under their own size: the caller's store-raw cue.
+  EXPECT_EQ(CompressBlock(in.data(), in.size(), out.data(), in.size() - 1), 0u);
+  // With worst-case room it must still succeed (as an all-literal stream).
+  EXPECT_GT(CompressBlock(in.data(), in.size(), out.data(), out.size()), 0u);
+}
+
+TEST(CompressTest, MaxOutIsAnExactCeiling) {
+  std::vector<uint8_t> in(kPageSize);
+  FillCompressiblePage(std::span<uint8_t>(in.data(), in.size()), 17, 40, 40);
+  const std::vector<uint8_t> packed = Compress(in);
+  std::vector<uint8_t> out(packed.size());
+  EXPECT_EQ(CompressBlock(in.data(), in.size(), out.data(), packed.size()), packed.size());
+  EXPECT_EQ(CompressBlock(in.data(), in.size(), out.data(), packed.size() - 1), 0u);
+}
+
+TEST(CompressTest, OversizedInputRejected) {
+  std::vector<uint8_t> in(65536, 0);
+  std::vector<uint8_t> out(CompressBound(in.size()));
+  EXPECT_EQ(CompressBlock(in.data(), in.size(), out.data(), out.size()), 0u);
+}
+
+// Every strict prefix of a valid stream must decode to a clean kCorruption —
+// this is what makes a torn extent read (or truncated spill block) safe.
+TEST(CompressTest, EveryTruncationFailsClosed) {
+  for (const auto& in : AdversarialInputs()) {
+    if (in.empty() || in.size() > 2048) {
+      continue;  // Keep the O(len^2) sweep fast.
+    }
+    SCOPED_TRACE("input size " + std::to_string(in.size()));
+    const std::vector<uint8_t> packed = Compress(in);
+    std::vector<uint8_t> back(in.size());
+    for (size_t cut = 0; cut < packed.size(); ++cut) {
+      const Status status = DecompressBlock(packed.data(), cut, back.data(), in.size());
+      ASSERT_FALSE(status.ok()) << "prefix of " << cut << "/" << packed.size() << " decoded";
+      ASSERT_EQ(status.code(), ErrorCode::kCorruption);
+    }
+  }
+}
+
+TEST(CompressTest, WrongLengthClaimsFailClosed) {
+  std::vector<uint8_t> in(kPageSize);
+  FillCompressiblePage(std::span<uint8_t>(in.data(), in.size()), 29, 60, 60);
+  const std::vector<uint8_t> packed = Compress(in);
+  std::vector<uint8_t> back(kPageSize + 1);
+  // Claiming less or more output than the stream produces is corruption.
+  EXPECT_EQ(DecompressBlock(packed.data(), packed.size(), back.data(), kPageSize - 1).code(),
+            ErrorCode::kCorruption);
+  EXPECT_EQ(DecompressBlock(packed.data(), packed.size(), back.data(), kPageSize + 1).code(),
+            ErrorCode::kCorruption);
+}
+
+// Seeded bit-flip fuzz: a flipped extent byte either still decodes to
+// exactly n bytes (the flip landed in literal data — the tier's CRC catches
+// that) or fails with kCorruption. Under ASan this also proves no flip can
+// push a read or write out of bounds.
+TEST(CompressTest, BitFlipFuzzNeverEscapesBounds) {
+  std::vector<uint8_t> in(kPageSize);
+  FillCompressiblePage(std::span<uint8_t>(in.data(), in.size()), 31, 45, 55);
+  const std::vector<uint8_t> packed = Compress(in);
+  std::vector<uint8_t> back(kPageSize);
+  Rng rng(0xF1195EED);
+  for (int round = 0; round < 4000; ++round) {
+    std::vector<uint8_t> mutated = packed;
+    const size_t byte = static_cast<size_t>(rng.Next() % mutated.size());
+    mutated[byte] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+    if (rng.Bernoulli(0.25)) {  // Sometimes flip a second byte.
+      mutated[rng.Next() % mutated.size()] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+    }
+    const Status status = DecompressBlock(mutated.data(), mutated.size(), back.data(), kPageSize);
+    if (!status.ok()) {
+      ASSERT_EQ(status.code(), ErrorCode::kCorruption);
+    }
+  }
+}
+
+// Hostile streams built by hand: extension runs claiming absurd lengths,
+// offsets pointing before the output, and matches overrunning the output.
+TEST(CompressTest, HandCraftedHostileStreamsFailClosed) {
+  std::vector<uint8_t> back(kPageSize);
+  const auto reject = [&](std::vector<uint8_t> stream, size_t n) {
+    const Status status = DecompressBlock(stream.data(), stream.size(), back.data(), n);
+    ASSERT_FALSE(status.ok());
+    ASSERT_EQ(status.code(), ErrorCode::kCorruption);
+  };
+  // Literal length 15 + endless 255 extension (runs off the stream).
+  reject({0xF0, 255, 255, 255}, kPageSize);
+  // Extension run claiming more than any valid input length.
+  {
+    std::vector<uint8_t> v{0xF0};
+    v.insert(v.end(), 300, 255);
+    reject(std::move(v), kPageSize);
+  }
+  // Literal run longer than the remaining input.
+  reject({0x50, 0x01}, kPageSize);
+  // Offset of zero.
+  reject({0x10, 0xAA, 0x00, 0x00, 0x00}, kPageSize);
+  // Offset beyond the bytes produced so far.
+  reject({0x10, 0xAA, 0x05, 0x00, 0x00}, kPageSize);
+  // Match that would overrun the requested output length.
+  reject({0x1F, 0xAA, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0x00}, 8);
+}
+
+TEST(CompressTest, ImplNameIsKnown) {
+  const std::string_view name = CompressImplName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+}
+
+}  // namespace
+}  // namespace rmp

@@ -19,6 +19,7 @@
 #include "src/core/testbed.h"
 #include "src/transport/fault_injection.h"
 #include "src/util/bytes.h"
+#include "src/workloads/workload.h"
 
 namespace rmp {
 namespace {
@@ -36,6 +37,10 @@ struct Scenario {
   FaultKind fault = FaultKind::kDropReply;
   Window window = Window::kMidPageout;
   uint64_t seed = 1;
+  // Runs every server with the compressed cold tier on (tight hot limit, so
+  // most of the working set is demoted): the reliability contract must hold
+  // regardless of which tier a page was in when the fault hit.
+  bool tiered = false;
 };
 
 // Failure-detector counters that must replay exactly run-to-run.
@@ -151,6 +156,10 @@ class ScenarioRunner {
         break;
       case Policy::kDisk:
         break;
+    }
+    if (scenario_.tiered) {
+      params.store_tier.hot_page_limit = 8;
+      params.store_tier.promote_after_hits = 2;
     }
     auto testbed = Testbed::Create(params);
     ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
@@ -323,7 +332,22 @@ INSTANTIATE_TEST_SUITE_P(
                  FaultKind::kDropReply, Window::kMidPageout, 402},
         // No reliability: only transient faults are survivable by design.
         Scenario{"no_reliability_pageout_drop_reply", Policy::kNoReliability,
-                 FaultKind::kDropReply, Window::kMidPageout, 501}),
+                 FaultKind::kDropReply, Window::kMidPageout, 501},
+        // Compressed cold tier on: the same contract with most pages demoted
+        // (crash of a mirror, a lost parity merge, reconstruction reading
+        // cold pages back, and the delta protocol materializing them).
+        Scenario{"tiered_mirroring_pageout_crash_after", Policy::kMirroring,
+                 FaultKind::kCrashAfterApply, Window::kMidPageout, 601, true},
+        Scenario{"tiered_mirroring_reconstruction_drop_reply", Policy::kMirroring,
+                 FaultKind::kDropReply, Window::kMidReconstruction, 602, true},
+        Scenario{"tiered_parity_logging_flush_crash_after", Policy::kParityLogging,
+                 FaultKind::kCrashAfterApply, Window::kMidParityFlush, 603, true},
+        Scenario{"tiered_parity_logging_reconstruction_drop_reply", Policy::kParityLogging,
+                 FaultKind::kDropReply, Window::kMidReconstruction, 604, true},
+        Scenario{"tiered_basic_parity_pageout_crash_after", Policy::kBasicParity,
+                 FaultKind::kCrashAfterApply, Window::kMidPageout, 605, true},
+        Scenario{"tiered_write_through_pageout_crash_after", Policy::kWriteThrough,
+                 FaultKind::kCrashAfterApply, Window::kMidPageout, 606, true}),
     [](const ::testing::TestParamInfo<Scenario>& info) { return info.param.label; });
 
 // The matrix is only as good as its reproducibility: the same scenario seed
@@ -586,6 +610,75 @@ TEST(SelfHealingConformanceTest, ParityServerFastRebootRebuildsTheLog) {
 }
 
 }  // namespace selfheal
+
+// Satellite: the compressed tier × RestartServer interactions the matrix's
+// windows do not reach directly — a reboot (memory gone, tier state gone)
+// followed by resilver onto a tiered store, and a healed partition where the
+// cold pages themselves must survive untouched.
+TEST(CompressedTierRecoveryTest, RebootResilverAndHealedPartitionKeepColdPages) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = 3;
+  params.server_capacity_pages = 512;
+  params.store_tier.hot_page_limit = 8;
+  params.store_tier.promote_after_hits = 2;
+  auto made = Testbed::Create(params);
+  ASSERT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  MirroringBackend* backend = bed->mirroring();
+  ASSERT_NE(backend, nullptr);
+
+  constexpr uint64_t kPages = 48;
+  TimeNs now = 0;
+  PageBuffer page;
+  for (uint64_t id = 0; id < kPages; ++id) {
+    FillCompressiblePage(page.span(), 7100 + id, 40, 60);
+    auto done = backend->PageOut(now, id, page.span());
+    ASSERT_TRUE(done.ok()) << done.status().ToString();
+    now = *done;
+  }
+  // The tight hot limit must have pushed most replicas cold somewhere.
+  uint64_t cold_total = 0;
+  for (size_t i = 0; i < bed->server_count(); ++i) {
+    cold_total += bed->server(i).tier_occupancy().cold_pages;
+  }
+  ASSERT_GT(cold_total, 0u);
+
+  const auto check_all = [&](const char* when) {
+    PageBuffer out;
+    PageBuffer want;
+    for (uint64_t id = 0; id < kPages; ++id) {
+      auto done = backend->PageIn(now, id, out.span());
+      ASSERT_TRUE(done.ok()) << when << " page " << id << ": " << done.status().ToString();
+      now = *done;
+      FillCompressiblePage(want.span(), 7100 + id, 40, 60);
+      EXPECT_EQ(out, want) << when << " page " << id;
+    }
+  };
+
+  // Reboot: server 0 dies with its tier state; the resilver re-mirrors the
+  // lost replicas onto the surviving tiered stores (which re-demote them),
+  // and the restarted server comes back empty with zeroed tier stats.
+  bed->CrashServer(0);
+  ASSERT_TRUE(backend->Recover(0, &now).ok());
+  bed->RestartServer(0);
+  EXPECT_EQ(bed->server(0).stats().demotions, 0);  // Reboot resets tier stats.
+  EXPECT_EQ(bed->server(0).tier_occupancy().logical_bytes, 0u);
+  check_all("after reboot+resilver");
+  // The survivors absorbed the resilvered replicas into their tiers.
+  const TierOccupancy resilvered = bed->server(1).tier_occupancy();
+  EXPECT_GT(resilvered.hot_pages + resilvered.cold_pages + resilvered.zero_pages, 0u);
+
+  // Healed partition: the store is untouched, so every cold page (and its
+  // extents) must still be there when the transports reconnect.
+  const TierOccupancy before = bed->server(1).tier_occupancy();
+  bed->PartitionServer(1);
+  bed->RestartServer(1, {.preserve_memory = true});
+  const TierOccupancy healed = bed->server(1).tier_occupancy();
+  EXPECT_EQ(healed.cold_pages, before.cold_pages);
+  EXPECT_EQ(healed.logical_bytes, before.logical_bytes);
+  check_all("after healed partition");
+}
 
 }  // namespace
 }  // namespace rmp

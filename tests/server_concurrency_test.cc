@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "src/server/memory_server.h"
 #include "src/util/bytes.h"
+#include "src/workloads/workload.h"
 
 namespace rmp {
 namespace {
@@ -223,6 +225,78 @@ TEST_P(ShardedParityRaceTest, FreeRacesStoresWithoutCorruption) {
 
 INSTANTIATE_TEST_SUITE_P(GlobalMutexAndSharded, ShardedParityRaceTest,
                          ::testing::Values(1u, 16u));
+
+// The compressed cold tier hangs demotion/promotion/dedup/extent state off
+// every one of the paths above; hammer them with the tier on so the shard
+// locks are proven over the new state, not just the slab frames. Threads
+// t and t+4 write identical contents to race the per-shard dedup index
+// from both sides, every 7th page is zeros to churn the elision path, and
+// freeing the odd half each round exercises refcounts and extent
+// dead-space reclamation under contention.
+TEST(ServerConcurrencyTest, TieredChurnKeepsEveryPageIntact) {
+  MemoryServerParams params;
+  params.capacity_pages = 4096;
+  params.store_shards = 4;
+  params.tier.hot_page_limit = 32;     // Small: every thread forces demotions.
+  params.tier.promote_after_hits = 1;  // Every cold reload promotes.
+  MemoryServer server(params);
+  constexpr int kThreads = 8;
+  constexpr int kPages = 48;
+  constexpr int kRounds = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &failures, t] {
+      auto base = server.Allocate(kPages);
+      if (!base.ok()) {
+        ++failures;
+        return;
+      }
+      PageBuffer page;
+      PageBuffer expect;
+      const auto fill = [t](std::span<uint8_t> out, int round, int i) {
+        if (i % 7 == 0) {
+          std::memset(out.data(), 0, out.size());
+        } else {
+          const uint64_t seed = static_cast<uint64_t>(t % 4) * 1000 +
+                                static_cast<uint64_t>(round) * 31 + static_cast<uint64_t>(i);
+          FillCompressiblePage(out, seed, 50, 50);
+        }
+      };
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kPages; ++i) {
+          fill(page.span(), round, i);
+          if (!server.Store(*base + static_cast<uint64_t>(i), page.span()).ok()) {
+            ++failures;
+            return;
+          }
+        }
+        for (int i = 0; i < kPages; ++i) {
+          auto loaded = server.Load(*base + static_cast<uint64_t>(i));
+          fill(expect.span(), round, i);
+          if (!loaded.ok() || std::memcmp(loaded->data(), expect.data(), kPageSize) != 0) {
+            ++failures;
+            return;
+          }
+        }
+        for (int i = 1; i < kPages; i += 2) {
+          if (!server.Free(*base + static_cast<uint64_t>(i), 1).ok()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& c : clients) {
+    c.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // The last round's frees stick: half of every thread's range is gone.
+  EXPECT_EQ(server.live_pages(), static_cast<uint64_t>(kThreads * kPages / 2));
+  EXPECT_GT(server.stats().demotions.load(), 0);
+}
 
 TEST(ServerConcurrencyTest, CrashDuringTrafficIsClean) {
   MemoryServerParams params;
