@@ -29,7 +29,10 @@ sanitizers=("${@:-address}")
 # bounds checks against truncated/bit-flipped extents and the dedup refcount
 # lifecycle are where ASan/UBSan findings would hide behind "corruption"
 # status returns.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke}"
+# tenant_smoke covers the multi-tenant QoS layer: quota admission under
+# concurrent multi-tenant churn is a lock-order/race surface (control vs
+# tenant mutex), so it runs under TSan alongside the scheduler suites.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke|tenant_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

@@ -1,6 +1,7 @@
 #include "src/core/cluster.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/util/logging.h"
 #include "src/util/units.h"
@@ -40,6 +41,20 @@ void ServerPeer::DropPool() {
   returned_.clear();
 }
 
+Result<Message> ServerPeer::Call(Message request) {
+  if (request.tenant == 0) {
+    request.tenant = tenant_;
+  }
+  return transport_->Call(request);
+}
+
+RpcFuture ServerPeer::CallAsync(Message request) {
+  if (request.tenant == 0) {
+    request.tenant = tenant_;
+  }
+  return transport_->CallAsync(std::move(request));
+}
+
 void ServerPeer::AttachMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
   metric_prefix_ = "peer." + name_ + ".";
@@ -71,7 +86,7 @@ void ServerPeer::Reset() {
 }
 
 Status ServerPeer::AllocExtent(uint64_t pages) {
-  auto reply = transport_->Call(MakeAllocRequest(NextRequestId(), pages));
+  auto reply = Call(MakeAllocRequest(NextRequestId(), pages));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -93,7 +108,7 @@ Status ServerPeer::AllocExtent(uint64_t pages) {
 }
 
 RpcFuture ServerPeer::StartPageOut(uint64_t slot, std::span<const uint8_t> page) {
-  return transport_->CallAsync(MakePageOut(NextRequestId(), slot, page));
+  return CallAsync(MakePageOut(NextRequestId(), slot, page));
 }
 
 Result<bool> ServerPeer::JoinPageOut(RpcFuture future) {
@@ -120,7 +135,7 @@ Result<bool> ServerPeer::PageOutTo(uint64_t slot, std::span<const uint8_t> page)
 }
 
 RpcFuture ServerPeer::StartPageIn(uint64_t slot) {
-  return transport_->CallAsync(MakePageIn(NextRequestId(), slot));
+  return CallAsync(MakePageIn(NextRequestId(), slot));
 }
 
 Status ServerPeer::JoinPageIn(RpcFuture future, std::span<uint8_t> out) {
@@ -155,7 +170,7 @@ Status ServerPeer::PageInFrom(uint64_t slot, std::span<uint8_t> out) {
 
 RpcFuture ServerPeer::StartPageOutBatch(std::span<const uint64_t> slots,
                                         std::span<const uint8_t> pages) {
-  return transport_->CallAsync(MakePageOutBatch(NextRequestId(), slots, pages));
+  return CallAsync(MakePageOutBatch(NextRequestId(), slots, pages));
 }
 
 Result<bool> ServerPeer::JoinPageOutBatch(RpcFuture future, uint64_t expected) {
@@ -188,7 +203,7 @@ Result<bool> ServerPeer::PageOutBatchTo(std::span<const uint64_t> slots,
 }
 
 RpcFuture ServerPeer::StartPageInBatch(std::span<const uint64_t> slots) {
-  return transport_->CallAsync(MakePageInBatch(NextRequestId(), slots));
+  return CallAsync(MakePageInBatch(NextRequestId(), slots));
 }
 
 Status ServerPeer::JoinPageInBatch(RpcFuture future, uint64_t expected, std::span<uint8_t> out) {
@@ -223,7 +238,7 @@ Status ServerPeer::PageInBatchFrom(std::span<const uint64_t> slots, std::span<ui
 }
 
 Status ServerPeer::FreeOn(uint64_t first_slot, uint64_t count) {
-  auto reply = transport_->Call(MakeFreeRequest(NextRequestId(), first_slot, count));
+  auto reply = Call(MakeFreeRequest(NextRequestId(), first_slot, count));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -240,7 +255,7 @@ Status ServerPeer::FreeOn(uint64_t first_slot, uint64_t count) {
 Result<PageBuffer> ServerPeer::DeltaPageOutTo(uint64_t slot, std::span<const uint8_t> page) {
   Message request = MakePageOut(NextRequestId(), slot, page);
   request.type = MessageType::kDeltaPageOut;
-  auto reply = transport_->Call(request);
+  auto reply = Call(std::move(request));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -261,7 +276,7 @@ Result<PageBuffer> ServerPeer::DeltaPageOutTo(uint64_t slot, std::span<const uin
 Status ServerPeer::XorMergeOn(uint64_t slot, std::span<const uint8_t> delta) {
   Message request = MakePageOut(NextRequestId(), slot, delta);
   request.type = MessageType::kXorMerge;
-  auto reply = transport_->Call(request);
+  auto reply = Call(std::move(request));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -277,7 +292,7 @@ Status ServerPeer::XorMergeOn(uint64_t slot, std::span<const uint8_t> delta) {
 }
 
 Result<ServerPeer::LoadInfo> ServerPeer::QueryLoad() {
-  auto reply = transport_->Call(MakeLoadQuery(NextRequestId()));
+  auto reply = Call(MakeLoadQuery(NextRequestId()));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -294,7 +309,7 @@ Result<ServerPeer::LoadInfo> ServerPeer::QueryLoad() {
 }
 
 Result<ServerPeer::HeartbeatInfo> ServerPeer::Heartbeat() {
-  auto reply = transport_->Call(MakeHeartbeat(NextRequestId()));
+  auto reply = Call(MakeHeartbeat(NextRequestId()));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -319,7 +334,7 @@ Status ServerPeer::MigrateRead(uint64_t slot, std::span<uint8_t> out) {
   if (out.size() != kPageSize) {
     return InvalidArgumentError("migrate target must be kPageSize");
   }
-  auto reply = transport_->Call(MakeMigrate(NextRequestId(), slot));
+  auto reply = Call(MakeMigrate(NextRequestId(), slot));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -342,7 +357,7 @@ Status ServerPeer::MigrateRead(uint64_t slot, std::span<uint8_t> out) {
 }
 
 Result<std::string> ServerPeer::QueryStats() {
-  auto reply = transport_->Call(MakeStatsQuery(NextRequestId()));
+  auto reply = Call(MakeStatsQuery(NextRequestId()));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();
@@ -358,7 +373,7 @@ Result<std::string> ServerPeer::QueryStats() {
 }
 
 Result<std::string> ServerPeer::DumpRemoteTrace() {
-  auto reply = transport_->Call(MakeTraceDump(NextRequestId()));
+  auto reply = Call(MakeTraceDump(NextRequestId()));
   if (!reply.ok()) {
     mark_dead();
     return reply.status();

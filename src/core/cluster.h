@@ -38,6 +38,14 @@ class ServerPeer {
   bool stopped() const { return stopped_; }
   void set_stopped(bool stopped) { stopped_ = stopped; }
 
+  // Tenant id stamped onto every outgoing request that does not already
+  // carry one (DESIGN.md §15). 0 = legacy/untenanted: requests go out
+  // untagged and a tenant-enforcing server attributes them to the session's
+  // AUTH-bound tenant (or the legacy lane). Set once at cluster assembly,
+  // before any RPC.
+  uint16_t tenant() const { return tenant_; }
+  void set_tenant(uint16_t tenant) { tenant_ = tenant; }
+
   // ADVISE_STOP semantics (§2.1): "send no more pages to this server" means
   // no *new* swap-space grants; slots the client already holds in its pool
   // remain valid (the server accounted for them when it granted them).
@@ -167,6 +175,10 @@ class ServerPeer {
 
  private:
   uint64_t NextRequestId() { return ++request_id_; }
+  // Transport forwarders that stamp tenant_ onto untagged requests; every
+  // RPC helper goes through one of them.
+  Result<Message> Call(Message request);
+  RpcFuture CallAsync(Message request);
   void NoteSent(int64_t n) {
     pages_sent_ += n;
     if (sent_counter_ != nullptr) {
@@ -183,6 +195,7 @@ class ServerPeer {
   std::string name_;
   std::unique_ptr<Transport> transport_;
   bool stopped_ = false;
+  uint16_t tenant_ = 0;
   bool no_new_extents_ = false;
   bool alive_ = true;
   uint64_t known_free_pages_ = 0;

@@ -24,36 +24,9 @@
 
 #include "src/core/health.h"
 #include "src/core/remote_pager.h"
+#include "src/util/token_bucket.h"
 
 namespace rmp {
-
-// Deterministic token bucket in whole pages. Fractional accrual is tracked
-// in token-billionths (rate * elapsed-ns), so pacing is exact integer math.
-class TokenBucket {
- public:
-  // rate_pages_per_sec == 0 disables pacing: every grant is unlimited.
-  TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages);
-
-  // Grants up to `want` tokens available at `now` (0 when the bucket is dry).
-  uint64_t TakeUpTo(uint64_t want, TimeNs now);
-
-  // Returns unused grant.
-  void Refund(uint64_t tokens);
-
-  // Earliest time at or after `now` when at least one token is available.
-  TimeNs NextAvailable(TimeNs now);
-
-  uint64_t rate() const { return rate_; }
-
- private:
-  void Refill(TimeNs now);
-
-  uint64_t rate_;
-  uint64_t burst_;
-  uint64_t tokens_;
-  uint64_t frac_ = 0;  // Accrued token-billionths, < kSecond.
-  TimeNs last_ = 0;
-};
 
 struct RepairParams {
   // Token-bucket rate for repair + migration traffic, in pages per second

@@ -49,6 +49,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
     server_params.name = "server-" + std::to_string(i);
     server_params.capacity_pages = params.server_capacity_pages;
     server_params.tier = params.store_tier;
+    server_params.tenants = params.tenants;
     testbed->servers_.push_back(std::make_unique<MemoryServer>(server_params));
     auto transport = std::make_unique<InProcTransport>(testbed->servers_.back().get());
     testbed->transports_.push_back(transport.get());
@@ -56,6 +57,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
     fault->SetCrashHook([bed, i] { bed->CrashServer(static_cast<size_t>(i)); });
     testbed->faults_.push_back(fault.get());
     cluster.AddPeer(server_params.name, std::move(fault));
+    cluster.peer(cluster.size() - 1).set_tenant(params.client_tenant);
   }
   // A spare must not be selected by normal placement until recovery uses it.
   if (params.with_spare) {

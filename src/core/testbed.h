@@ -58,6 +58,11 @@ struct TestbedParams {
   // StoreTierParams). Tests use it to cross tier behaviour with the
   // reliability policies and crash recovery.
   StoreTierParams store_tier;
+  // Per-tenant QoS policy applied to every server (empty = tenant
+  // enforcement off, the byte-identical legacy path; DESIGN.md §15).
+  TenantPolicyParams tenants;
+  // Tenant id stamped onto every client RPC (0 = legacy/untenanted).
+  uint16_t client_tenant = 0;
 };
 
 class Testbed {
@@ -114,8 +119,9 @@ class Testbed {
   void PartitionServer(size_t i);
 
   // One-stop live introspection: the client pager's registry (BackendStats
-  // synced in, trace stage histograms included), each server's registry,
-  // and the process-wide registry, as labeled text sections. Works for
+  // synced in, trace stage histograms included), each server's registry
+  // (per-tenant tenant.<id>.* counters/gauges included when enforcement is
+  // on), and the process-wide registry, as labeled text sections. Works for
   // kDisk too (client section omitted).
   std::string DumpMetrics();
 

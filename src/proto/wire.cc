@@ -118,7 +118,8 @@ std::string_view MessageTypeName(MessageType type) {
 }
 
 bool Message::operator==(const Message& other) const {
-  return type == other.type && flags == other.flags && request_id == other.request_id &&
+  return type == other.type && flags == other.flags && tenant == other.tenant &&
+         request_id == other.request_id &&
          slot == other.slot && count == other.count && aux == other.aux &&
          status == other.status && payload == other.payload;
 }
@@ -132,7 +133,8 @@ void EncodeHeader(const Message& message, uint32_t payload_crc, uint8_t* out) {
   StoreU32(out, kWireMagic);
   out[4] = static_cast<uint8_t>(message.type);
   out[5] = message.flags;
-  StoreU16(out + 6, 0);  // reserved
+  StoreU16(out + 6, message.tenant);  // Was reserved-zero pre-§15; tenant 0
+                                      // keeps the encoding byte-identical.
   StoreU64(out + 8, message.request_id);
   StoreU64(out + 16, message.slot);
   StoreU64(out + 24, message.count);
@@ -154,12 +156,16 @@ Result<WireHeader> DecodeHeader(std::span<const uint8_t> prefix) {
   if (!ValidType(raw_type)) {
     return ProtocolError("unknown message type " + std::to_string(raw_type));
   }
-  if (GetU16(p + 6) != 0) {
-    return ProtocolError("nonzero reserved field");
+  const uint16_t tenant = GetU16(p + 6);
+  if (tenant > kMaxTenantId) {
+    // Bound the id space before any per-tenant state exists: a flipped bit in
+    // the old reserved field must not conjure 65k metric/queue series.
+    return ProtocolError("tenant id " + std::to_string(tenant) + " exceeds wire maximum");
   }
   WireHeader h;
   h.type = static_cast<MessageType>(raw_type);
   h.flags = p[5];
+  h.tenant = tenant;
   h.request_id = GetU64(p + 8);
   h.slot = GetU64(p + 16);
   h.count = GetU64(p + 24);
@@ -178,6 +184,7 @@ Message MessageFromHeader(const WireHeader& header) {
   Message m;
   m.type = header.type;
   m.flags = header.flags;
+  m.tenant = header.tenant;
   m.request_id = header.request_id;
   m.slot = header.slot;
   m.count = header.count;
@@ -430,9 +437,10 @@ Message MakeErrorReply(uint64_t request_id, ErrorCode status) {
   return m;
 }
 
-Message MakeAuth(uint64_t request_id, std::string_view token) {
+Message MakeAuth(uint64_t request_id, std::string_view token, uint16_t tenant) {
   Message m;
   m.type = MessageType::kAuth;
+  m.tenant = tenant;
   m.request_id = request_id;
   m.payload.assign(token.begin(), token.end());
   return m;

@@ -10,7 +10,8 @@
 //   magic      u32   'RMP1'
 //   type       u8
 //   flags      u8    (bit 0: ADVISE_STOP piggyback)
-//   reserved   u16
+//   tenant_id  u16   0 = legacy/untenanted (the field was reserved-zero
+//                    before DESIGN.md ยง15, so old frames decode unchanged)
 //   request_id u64   client-chosen; echoed in the reply
 //   slot       u64   server swap slot (pageout/pagein)
 //   count      u64   page count (alloc/free) or free-pages (load report)
@@ -106,6 +107,11 @@ inline constexpr uint8_t kFlagAdviseStop = 0x1;  // "send no more pages here" (ย
 struct Message {
   MessageType type = MessageType::kErrorReply;
   uint8_t flags = 0;
+  // Tenant identity carried by every frame (DESIGN.md ยง15). 0 is the legacy
+  // untenanted id: it encodes to the bytes the old reserved field held, so a
+  // tenant-unaware peer is wire-compatible. Nonzero ids are bound to a
+  // session at AUTH time and validated against server quotas.
+  uint16_t tenant = 0;
   uint64_t request_id = 0;
   uint64_t slot = 0;
   uint64_t count = 0;
@@ -133,6 +139,11 @@ inline constexpr uint32_t kMaxBatchPages = 256;
 // must not drive an unbounded allocation. Sized for a full batch frame
 // (kMaxBatchPages x (8-byte slot + 8 KB page) is just over 2 MB).
 inline constexpr uint32_t kMaxWirePayload = 4u << 20;
+// Largest tenant id accepted from the wire. The field is a u16, but per-tenant
+// state (quota buckets, scheduler queues, metric series) is allocated per
+// observed id, so a hostile frame must not be able to demand 65k series; the
+// decoder rejects ids above this bound outright. 0 stays the legacy id.
+inline constexpr uint16_t kMaxTenantId = 1024;
 
 // The decoded fixed-size frame prefix. Splitting the prefix from the payload
 // lets the transport frame messages without coalescing header and payload
@@ -140,6 +151,7 @@ inline constexpr uint32_t kMaxWirePayload = 4u << 20;
 struct WireHeader {
   MessageType type = MessageType::kErrorReply;
   uint8_t flags = 0;
+  uint16_t tenant = 0;
   uint64_t request_id = 0;
   uint64_t slot = 0;
   uint64_t count = 0;
@@ -153,7 +165,7 @@ struct WireHeader {
 // into `out`, which must hold kWirePrefixSize bytes.
 void EncodeHeader(const Message& message, uint32_t payload_crc, uint8_t* out);
 
-// Parses and validates a frame prefix (magic, type, reserved field, payload
+// Parses and validates a frame prefix (magic, type, tenant bound, payload
 // bound). `prefix` must hold at least kWirePrefixSize bytes.
 Result<WireHeader> DecodeHeader(std::span<const uint8_t> prefix);
 
@@ -207,7 +219,9 @@ Message MakeLoadReport(uint64_t request_id, uint64_t free_pages, uint64_t total_
                        bool advise_stop);
 Message MakeShutdown(uint64_t request_id);
 Message MakeErrorReply(uint64_t request_id, ErrorCode status);
-Message MakeAuth(uint64_t request_id, std::string_view token);
+// `tenant` binds the session to a tenant id server-side (DESIGN.md ยง15);
+// 0 preserves the legacy untenanted handshake byte-for-byte.
+Message MakeAuth(uint64_t request_id, std::string_view token, uint16_t tenant = 0);
 Message MakeAuthReply(uint64_t request_id, ErrorCode status);
 Message MakeHeartbeat(uint64_t request_id);
 Message MakeHeartbeatAck(uint64_t request_id, uint64_t incarnation, uint64_t free_pages,

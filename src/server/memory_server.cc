@@ -25,7 +25,111 @@ double MicrosSince(SteadyClock::time_point t0) {
 // skips a decompress that buys almost nothing.
 constexpr size_t kCompressCeiling = kPageSize - kPageSize / 16;
 
+TimeNs NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now().time_since_epoch())
+      .count();
+}
+
+// A rate denial travels back in the reply shape the op expects, so clients
+// that only look at the status field keep working. Pageout-shaped denials
+// carry ADVISE_STOP: an over-rate tenant should back off exactly like one
+// paging against a full server.
+Message RateLimitedReply(const Message& request) {
+  switch (request.type) {
+    case MessageType::kPageIn:
+    case MessageType::kDeltaPageOut:
+      return MakePageInReply(request.request_id, request.slot, {}, ErrorCode::kResourceExhausted);
+    case MessageType::kPageOut:
+      return MakePageOutAck(request.request_id, request.slot, ErrorCode::kResourceExhausted, true);
+    case MessageType::kPageOutBatch:
+      return MakePageOutBatchAck(request.request_id, 0, ErrorCode::kResourceExhausted, true);
+    case MessageType::kPageInBatch:
+      return MakePageInBatchReply(request.request_id, {}, ErrorCode::kResourceExhausted);
+    case MessageType::kMigrate:
+      return MakeMigrateReply(request.request_id, request.slot, {}, ErrorCode::kResourceExhausted);
+    case MessageType::kXorMerge: {
+      Message reply;
+      reply.type = MessageType::kXorMergeAck;
+      reply.request_id = request.request_id;
+      reply.slot = request.slot;
+      reply.status = static_cast<uint32_t>(ErrorCode::kResourceExhausted);
+      return reply;
+    }
+    default:
+      return MakeErrorReply(request.request_id, ErrorCode::kResourceExhausted);
+  }
+}
+
 }  // namespace
+
+Status ApplyTenantConfig(const Config& config, TenantPolicyParams* params) {
+  auto strict = config.GetBool("tenant.strict", params->strict);
+  RMP_RETURN_IF_ERROR(strict.status());
+  params->strict = *strict;
+  for (const std::string& key : config.Keys()) {
+    if (key.rfind("tenant.", 0) != 0) {
+      continue;
+    }
+    const std::string rest = key.substr(7);
+    if (rest == "strict") {
+      continue;
+    }
+    const size_t dot = rest.find('.');
+    if (dot == std::string::npos || dot == 0) {
+      return InvalidArgumentError("malformed tenant key: " + key);
+    }
+    uint64_t id = 0;
+    for (size_t i = 0; i < dot; ++i) {
+      const char ch = rest[i];
+      if (ch < '0' || ch > '9') {
+        return InvalidArgumentError("malformed tenant id in key: " + key);
+      }
+      id = id * 10 + static_cast<uint64_t>(ch - '0');
+      if (id > kMaxTenantId) {
+        return InvalidArgumentError("tenant id out of range in key: " + key);
+      }
+    }
+    if (id == 0) {
+      return InvalidArgumentError("tenant 0 is the legacy lane and takes no quota: " + key);
+    }
+    TenantQuota* row = nullptr;
+    for (TenantQuota& q : params->tenants) {
+      if (q.id == id) {
+        row = &q;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      TenantQuota fresh;
+      fresh.id = static_cast<uint16_t>(id);
+      params->tenants.push_back(fresh);
+      row = &params->tenants.back();
+    }
+    const std::string field = rest.substr(dot + 1);
+    if (field == "quota_pages") {
+      auto v = config.GetInt(key, static_cast<int64_t>(row->memory_quota_pages));
+      RMP_RETURN_IF_ERROR(v.status());
+      row->memory_quota_pages = static_cast<uint64_t>(std::max<int64_t>(0, *v));
+    } else if (field == "rate") {
+      auto v = config.GetInt(key, static_cast<int64_t>(row->rate_pages_per_sec));
+      RMP_RETURN_IF_ERROR(v.status());
+      row->rate_pages_per_sec = static_cast<uint64_t>(std::max<int64_t>(0, *v));
+    } else if (field == "burst") {
+      auto v = config.GetInt(key, static_cast<int64_t>(row->burst_pages));
+      RMP_RETURN_IF_ERROR(v.status());
+      row->burst_pages = static_cast<uint64_t>(std::max<int64_t>(1, *v));
+    } else if (field == "advise_fraction") {
+      auto v = config.GetDouble(key, row->advise_stop_fraction);
+      RMP_RETURN_IF_ERROR(v.status());
+      row->advise_stop_fraction = std::clamp(*v, 0.0, 1.0);
+    } else if (field == "weight") {
+      continue;  // The scheduler's knob (SchedulerOptions::FromConfig), not ours.
+    } else {
+      return InvalidArgumentError("unknown tenant key: " + key);
+    }
+  }
+  return OkStatus();
+}
 
 Status ApplyStoreConfig(const Config& config, MemoryServerParams* params) {
   auto shards = config.GetInt("store.shards", params->store_shards);
@@ -85,6 +189,49 @@ MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {
       }
     }
   }
+  tenant_enforced_ = params_.tenants.enabled();
+  if (tenant_enforced_) {
+    std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+    for (const TenantQuota& quota : params_.tenants.tenants) {
+      if (quota.id == 0 || quota.id > kMaxTenantId) {
+        RMP_LOG(kWarning) << params_.name << " ignores tenant quota row with bad id " << quota.id;
+        continue;
+      }
+      TenantState state;
+      state.quota = quota;
+      state.bucket = TokenBucket(quota.rate_pages_per_sec, quota.burst_pages);
+      auto [it, inserted] = tenant_states_.emplace(quota.id, std::move(state));
+      if (inserted) {
+        BindTenantMetricsLocked(quota.id, &it->second);
+      }
+    }
+  }
+}
+
+void MemoryServer::BindTenantMetricsLocked(uint16_t tenant, TenantState* state) const {
+  const std::string prefix = "tenant." + std::to_string(tenant);
+  state->ops = registry_.GetCounter(prefix + ".ops");
+  state->denials = registry_.GetCounter(prefix + ".denials");
+  state->rate_denials = registry_.GetCounter(prefix + ".rate_denials");
+  state->reserved_gauge = registry_.GetGauge(prefix + ".reserved_pages");
+  state->service_us = registry_.GetHistogram(prefix + ".service_us",
+                                             {.lo = 0.1, .hi = 1e5, .buckets = 40,
+                                              .log_scale = true});
+}
+
+MemoryServer::TenantState* MemoryServer::TenantStateLocked(uint16_t tenant) const {
+  auto it = tenant_states_.find(tenant);
+  if (it != tenant_states_.end()) {
+    return &it->second;
+  }
+  if (params_.tenants.strict || tenant > kMaxTenantId) {
+    return nullptr;
+  }
+  TenantState state;
+  state.quota.id = tenant;  // Unlimited row: attribution only.
+  auto [inserted, ok] = tenant_states_.emplace(tenant, std::move(state));
+  BindTenantMetricsLocked(tenant, &inserted->second);
+  return &inserted->second;
 }
 
 MemoryServer::Shard& MemoryServer::ShardFor(uint64_t slot) const {
@@ -478,7 +625,7 @@ bool MemoryServer::AdviseStopLocked() const {
          params_.advise_stop_fraction * static_cast<double>(capacity);
 }
 
-Result<uint64_t> MemoryServer::Allocate(uint64_t pages) {
+Result<uint64_t> MemoryServer::Allocate(uint64_t pages, uint16_t tenant) {
   std::lock_guard<std::mutex> lock(control_mutex_);
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
@@ -488,35 +635,92 @@ Result<uint64_t> MemoryServer::Allocate(uint64_t pages) {
   }
   if (FreePagesLocked() < pages) {
     stats_.denials.fetch_add(1, std::memory_order_relaxed);
+    if (tenant_enforced_ && tenant != 0) {
+      std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+      if (TenantState* state = TenantStateLocked(tenant)) {
+        state->denials->Increment();
+      }
+    }
     return NoSpaceError(params_.name + " denies allocation of " + std::to_string(pages) +
                         " pages (free " + std::to_string(FreePagesLocked()) + ")");
   }
+  if (tenant_enforced_ && tenant != 0) {
+    std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+    TenantState* state = TenantStateLocked(tenant);
+    if (state == nullptr) {
+      return FailedPreconditionError(params_.name + " knows no tenant " + std::to_string(tenant));
+    }
+    if (state->quota.memory_quota_pages > 0 &&
+        state->reserved + pages > state->quota.memory_quota_pages) {
+      state->denials->Increment();
+      stats_.denials.fetch_add(1, std::memory_order_relaxed);
+      return NoSpaceError(params_.name + " denies tenant " + std::to_string(tenant) + " " +
+                          std::to_string(pages) + " pages (quota " +
+                          std::to_string(state->quota.memory_quota_pages) + ", reserved " +
+                          std::to_string(state->reserved) + ")");
+    }
+    state->reserved += pages;  // The remaining path below cannot fail.
+  }
   stats_.allocations.fetch_add(1, std::memory_order_relaxed);
   reserved_slots_ += pages;
+  uint64_t start = 0;
+  bool reused = false;
   // Reuse freed slot runs first so long-lived servers do not leak slot space.
   for (auto it = free_runs_.begin(); it != free_runs_.end(); ++it) {
     if (it->second >= pages) {
-      const uint64_t start = it->first;
+      start = it->first;
       it->first += pages;
       it->second -= pages;
       if (it->second == 0) {
         free_runs_.erase(it);
       }
-      return start;
+      reused = true;
+      break;
     }
   }
-  const uint64_t start = next_slot_.load(std::memory_order_relaxed);
-  next_slot_.store(start + pages, std::memory_order_release);
+  if (!reused) {
+    start = next_slot_.load(std::memory_order_relaxed);
+    next_slot_.store(start + pages, std::memory_order_release);
+  }
+  if (tenant_enforced_) {
+    // Track tenant-0 runs too: ownership checks must know a slot is legacy
+    // (anyone may touch it) rather than merely unknown.
+    tenant_runs_.emplace(start, std::make_pair(pages, tenant));
+  }
   return start;
 }
 
-Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
+Status MemoryServer::Free(uint64_t first_slot, uint64_t pages, uint16_t tenant) {
   std::lock_guard<std::mutex> lock(control_mutex_);
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
   if (pages == 0 || first_slot + pages > next_slot_.load(std::memory_order_relaxed)) {
     return InvalidArgumentError("bad free range");
+  }
+  if (tenant_enforced_ && tenant != 0) {
+    // A nonzero tenant may free only its own runs (and legacy tenant-0 ones);
+    // check the whole range up front so a denied free leaves nothing behind.
+    const uint64_t end = first_slot + pages;
+    auto it = tenant_runs_.upper_bound(first_slot);
+    if (it != tenant_runs_.begin()) {
+      --it;
+    }
+    for (; it != tenant_runs_.end() && it->first < end; ++it) {
+      if (it->first + it->second.first <= first_slot) {
+        continue;
+      }
+      const uint16_t owner = it->second.second;
+      if (owner != tenant && owner != 0) {
+        std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+        if (TenantState* state = TenantStateLocked(tenant)) {
+          state->denials->Increment();
+        }
+        return FailedPreconditionError("tenant " + std::to_string(tenant) +
+                                       " cannot free slots owned by tenant " +
+                                       std::to_string(owner));
+      }
+    }
   }
   for (uint64_t s = first_slot; s < first_slot + pages; ++s) {
     Shard& shard = ShardFor(s);
@@ -530,6 +734,70 @@ Status MemoryServer::Free(uint64_t first_slot, uint64_t pages) {
   reserved_slots_ -= std::min(reserved_slots_, pages);
   free_runs_.emplace_back(first_slot, pages);
   std::sort(free_runs_.begin(), free_runs_.end());
+  if (tenant_enforced_) {
+    ReleaseTenantRunsLocked(first_slot, pages);
+  }
+  return OkStatus();
+}
+
+void MemoryServer::ReleaseTenantRunsLocked(uint64_t first_slot, uint64_t pages) {
+  const uint64_t end = first_slot + pages;
+  std::vector<std::pair<uint64_t, std::pair<uint64_t, uint16_t>>> remnants;
+  std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+  auto it = tenant_runs_.upper_bound(first_slot);
+  if (it != tenant_runs_.begin()) {
+    --it;
+  }
+  while (it != tenant_runs_.end() && it->first < end) {
+    const uint64_t run_start = it->first;
+    const uint64_t run_end = run_start + it->second.first;
+    const uint16_t owner = it->second.second;
+    if (run_end <= first_slot) {
+      ++it;
+      continue;
+    }
+    const uint64_t cut_start = std::max(first_slot, run_start);
+    const uint64_t cut_end = std::min(end, run_end);
+    if (owner != 0) {
+      if (TenantState* state = TenantStateLocked(owner)) {
+        state->reserved -= std::min(state->reserved, cut_end - cut_start);
+      }
+    }
+    it = tenant_runs_.erase(it);
+    if (run_start < cut_start) {
+      remnants.emplace_back(run_start, std::make_pair(cut_start - run_start, owner));
+    }
+    if (cut_end < run_end) {
+      remnants.emplace_back(cut_end, std::make_pair(run_end - cut_end, owner));
+    }
+  }
+  for (const auto& piece : remnants) {
+    tenant_runs_.emplace(piece.first, piece.second);
+  }
+}
+
+Status MemoryServer::CheckSlotOwner(uint64_t slot, uint16_t tenant) const {
+  if (!tenant_enforced_ || tenant == 0) {
+    return OkStatus();
+  }
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  auto it = tenant_runs_.upper_bound(slot);
+  if (it == tenant_runs_.begin()) {
+    return OkStatus();  // Untracked slot: legacy space.
+  }
+  --it;
+  if (slot >= it->first + it->second.first) {
+    return OkStatus();
+  }
+  const uint16_t owner = it->second.second;
+  if (owner != tenant && owner != 0) {
+    std::lock_guard<std::mutex> tenant_lock(tenant_mutex_);
+    if (TenantState* state = TenantStateLocked(tenant)) {
+      state->denials->Increment();
+    }
+    return FailedPreconditionError("slot " + std::to_string(slot) + " belongs to tenant " +
+                                   std::to_string(owner) + ", not " + std::to_string(tenant));
+  }
   return OkStatus();
 }
 
@@ -583,14 +851,17 @@ Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
   return OkStatus();
 }
 
-Result<PageBuffer> MemoryServer::MigrateOut(uint64_t slot) {
+Result<PageBuffer> MemoryServer::MigrateOut(uint64_t slot, uint16_t tenant) {
+  // Ownership gate before the Load: a cross-tenant MIGRATE must not even read
+  // the page, let alone free it.
+  RMP_RETURN_IF_ERROR(CheckSlotOwner(slot, tenant));
   auto page = Load(slot);
   if (!page.ok()) {
     return page;
   }
   // The pagein counter was already bumped by Load; Free reclaims the slot so
   // the drained server's donated memory is immediately reusable.
-  RMP_RETURN_IF_ERROR(Free(slot, 1));
+  RMP_RETURN_IF_ERROR(Free(slot, 1, tenant));
   stats_.migrations_served.fetch_add(1, std::memory_order_relaxed);
   return page;
 }
@@ -781,6 +1052,14 @@ void MemoryServer::Crash() {
     free_runs_.clear();
     reserved_slots_ = 0;
     next_slot_.store(0, std::memory_order_release);
+    tenant_runs_.clear();
+  }
+  if (tenant_enforced_) {
+    // Every tenant's pages died with the process; their occupancy goes too.
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    for (auto& [id, state] : tenant_states_) {
+      state.reserved = 0;
+    }
   }
   for (uint32_t i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
@@ -863,6 +1142,12 @@ std::string MemoryServer::StatsJson() const {
   registry_.GetGauge("server.cold_spilled_bytes")->Set(static_cast<int64_t>(occ.spilled_bytes));
   registry_.GetGauge("server.logical_bytes")->Set(static_cast<int64_t>(occ.logical_bytes));
   registry_.GetGauge("server.physical_bytes")->Set(static_cast<int64_t>(occ.physical_bytes));
+  if (tenant_enforced_) {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    for (auto& [id, state] : tenant_states_) {
+      state.reserved_gauge->Set(static_cast<int64_t>(state.reserved));
+    }
+  }
   return registry_.ExportJson();
 }
 
@@ -905,7 +1190,107 @@ bool MemoryServer::ShouldAdviseStop() const {
   return AdviseStopLocked();
 }
 
+uint64_t MemoryServer::TenantReservedPages(uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_states_.find(tenant);
+  return it == tenant_states_.end() ? 0 : it->second.reserved;
+}
+
+bool MemoryServer::TenantShouldAdviseStop(uint16_t tenant) const {
+  if (!tenant_enforced_ || tenant == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto it = tenant_states_.find(tenant);
+  if (it == tenant_states_.end() || it->second.quota.memory_quota_pages == 0) {
+    return false;
+  }
+  const TenantState& state = it->second;
+  return static_cast<double>(state.reserved) >=
+         state.quota.advise_stop_fraction * static_cast<double>(state.quota.memory_quota_pages);
+}
+
+bool MemoryServer::AdmitTenant(const Message& request, Message* denial,
+                               HistogramMetric** service_us_out) {
+  *service_us_out = nullptr;
+  const uint16_t tenant = request.tenant;
+  if (tenant == 0) {
+    return true;
+  }
+  // Classify into a priority lane and a token cost. Lower lanes must leave a
+  // slice of the bucket untouched, so when a tenant runs hot its background
+  // and pageout traffic throttles first and pageins keep landing — the same
+  // ordering the scheduler's shedding uses (DESIGN.md §15).
+  uint64_t cost = 0;
+  int lane = 0;  // 0 = pagein (no reserve), 1 = pageout-ish, 2 = background.
+  switch (request.type) {
+    case MessageType::kPageIn:
+      cost = 1;
+      break;
+    case MessageType::kPageInBatch:
+      cost = std::clamp<uint64_t>(request.count, 1, kMaxBatchPages);
+      break;
+    case MessageType::kPageOut:
+    case MessageType::kDeltaPageOut:
+    case MessageType::kXorMerge:
+      cost = 1;
+      lane = 1;
+      break;
+    case MessageType::kPageOutBatch:
+      cost = std::clamp<uint64_t>(request.count, 1, kMaxBatchPages);
+      lane = 1;
+      break;
+    case MessageType::kMigrate:
+      cost = 1;
+      lane = 2;
+      break;
+    default:
+      break;  // Control traffic (alloc, heartbeat, stats) is never rate-gated.
+  }
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  TenantState* state = TenantStateLocked(tenant);
+  if (state == nullptr) {
+    *denial = MakeErrorReply(request.request_id, ErrorCode::kFailedPrecondition);
+    return false;
+  }
+  state->ops->Increment();
+  if (cost > 0 && state->quota.rate_pages_per_sec > 0) {
+    const TimeNs now = NowNanos();
+    const uint64_t burst = state->bucket.burst();
+    const uint64_t reserve = lane == 0 ? 0 : (lane == 1 ? burst / 8 : burst / 2);
+    if (state->bucket.Available(now) < cost + reserve) {
+      state->rate_denials->Increment();
+      *denial = RateLimitedReply(request);
+      return false;
+    }
+    state->bucket.TakeUpTo(cost, now);
+  }
+  *service_us_out = state->service_us;
+  return true;
+}
+
 Message MemoryServer::Handle(const Message& request) {
+  if (!tenant_enforced_) {
+    // Tenant policy off: the request takes exactly the pre-§15 path, whatever
+    // its tenant field says (attribution without enforcement costs nothing).
+    return HandleInternal(request);
+  }
+  Message denial;
+  HistogramMetric* service_us = nullptr;
+  if (!AdmitTenant(request, &denial, &service_us)) {
+    denial.tenant = request.tenant;
+    return denial;
+  }
+  const auto t0 = SteadyClock::now();
+  Message reply = HandleInternal(request);
+  reply.tenant = request.tenant;  // Replies echo the tenant for attribution.
+  if (service_us != nullptr) {
+    service_us->Observe(MicrosSince(t0));
+  }
+  return reply;
+}
+
+Message MemoryServer::HandleInternal(const Message& request) {
   if (has_slot_delays_.load(std::memory_order_acquire)) {
     int64_t delay_micros = 0;
     {
@@ -922,7 +1307,7 @@ Message MemoryServer::Handle(const Message& request) {
   }
   switch (request.type) {
     case MessageType::kAllocRequest: {
-      auto slot = Allocate(request.count);
+      auto slot = Allocate(request.count, request.tenant);
       if (!slot.ok()) {
         Message reply = MakeAllocReply(request.request_id, 0, slot.status().code());
         return reply;
@@ -932,7 +1317,7 @@ Message MemoryServer::Handle(const Message& request) {
       return reply;
     }
     case MessageType::kFreeRequest: {
-      const Status status = Free(request.slot, request.count);
+      const Status status = Free(request.slot, request.count, request.tenant);
       Message reply;
       reply.type = MessageType::kFreeReply;
       reply.request_id = request.request_id;
@@ -941,11 +1326,22 @@ Message MemoryServer::Handle(const Message& request) {
       return reply;
     }
     case MessageType::kPageOut: {
+      const Status owner = CheckSlotOwner(request.slot, request.tenant);
+      if (!owner.ok()) {
+        return MakePageOutAck(request.request_id, request.slot, owner.code(), false);
+      }
       const Status status = Store(request.slot, std::span<const uint8_t>(request.payload));
-      return MakePageOutAck(request.request_id, request.slot, status.code(),
-                            status.ok() && ShouldAdviseStop());
+      // Per-tenant backpressure rides the same bit: a tenant near its own
+      // quota sees ADVISE_STOP even when the server as a whole has room.
+      return MakePageOutAck(
+          request.request_id, request.slot, status.code(),
+          status.ok() && (ShouldAdviseStop() || TenantShouldAdviseStop(request.tenant)));
     }
     case MessageType::kPageIn: {
+      const Status owner = CheckSlotOwner(request.slot, request.tenant);
+      if (!owner.ok()) {
+        return MakePageInReply(request.request_id, request.slot, {}, owner.code());
+      }
       auto page = Load(request.slot);
       if (!page.ok()) {
         return MakePageInReply(request.request_id, request.slot, {}, page.status().code());
@@ -961,14 +1357,18 @@ Message MemoryServer::Handle(const Message& request) {
       uint64_t stored = 0;
       Status status = OkStatus();
       for (size_t i = 0; i < *count; ++i) {
-        status = Store(BatchSlot(request, i), BatchPage(request, i));
+        status = CheckSlotOwner(BatchSlot(request, i), request.tenant);
+        if (status.ok()) {
+          status = Store(BatchSlot(request, i), BatchPage(request, i));
+        }
         if (!status.ok()) {
           break;
         }
         ++stored;
       }
-      Message ack = MakePageOutBatchAck(request.request_id, stored, status.code(),
-                                        status.ok() && ShouldAdviseStop());
+      Message ack = MakePageOutBatchAck(
+          request.request_id, stored, status.code(),
+          status.ok() && (ShouldAdviseStop() || TenantShouldAdviseStop(request.tenant)));
       if (!status.ok()) {
         ack.aux = stored;  // Index of the first failing entry.
       }
@@ -983,6 +1383,12 @@ Message MemoryServer::Handle(const Message& request) {
       std::vector<uint8_t> pages;
       pages.reserve(*count * kPageSize);
       for (size_t i = 0; i < *count; ++i) {
+        const Status owner = CheckSlotOwner(BatchSlot(request, i), request.tenant);
+        if (!owner.ok()) {
+          Message reply = MakePageInBatchReply(request.request_id, {}, owner.code());
+          reply.aux = i;
+          return reply;
+        }
         auto page = Load(BatchSlot(request, i));
         if (!page.ok()) {
           Message reply = MakePageInBatchReply(request.request_id, {}, page.status().code());
@@ -999,6 +1405,10 @@ Message MemoryServer::Handle(const Message& request) {
                             AdviseStopLocked());
     }
     case MessageType::kDeltaPageOut: {
+      const Status owner = CheckSlotOwner(request.slot, request.tenant);
+      if (!owner.ok()) {
+        return MakePageInReply(request.request_id, request.slot, {}, owner.code());
+      }
       auto delta = DeltaStore(request.slot, std::span<const uint8_t>(request.payload));
       if (!delta.ok()) {
         return MakePageInReply(request.request_id, request.slot, {}, delta.status().code());
@@ -1007,7 +1417,10 @@ Message MemoryServer::Handle(const Message& request) {
       return MakePageInReply(request.request_id, request.slot, delta->span(), ErrorCode::kOk);
     }
     case MessageType::kXorMerge: {
-      const Status status = XorMerge(request.slot, std::span<const uint8_t>(request.payload));
+      Status status = CheckSlotOwner(request.slot, request.tenant);
+      if (status.ok()) {
+        status = XorMerge(request.slot, std::span<const uint8_t>(request.payload));
+      }
       Message reply;
       reply.type = MessageType::kXorMergeAck;
       reply.request_id = request.request_id;
@@ -1027,7 +1440,7 @@ Message MemoryServer::Handle(const Message& request) {
                               EffectiveCapacityLocked(), AdviseStopLocked());
     }
     case MessageType::kMigrate: {
-      auto page = MigrateOut(request.slot);
+      auto page = MigrateOut(request.slot, request.tenant);
       if (!page.ok()) {
         return MakeMigrateReply(request.request_id, request.slot, {}, page.status().code());
       }

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +55,7 @@
 #include "src/util/config.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
+#include "src/util/token_bucket.h"
 #include "src/util/tracing.h"
 
 namespace rmp {
@@ -86,6 +88,37 @@ struct StoreTierParams {
   double logical_overcommit = 1.0;
 };
 
+// One tenant's server-side quota row (DESIGN.md §15). Quotas are enforced per
+// server: a tenant paging against N servers gets N × its row, matching how
+// the paper's per-server ADVISE_STOP already scales.
+struct TenantQuota {
+  uint16_t id = 0;                  // 1..kMaxTenantId; 0 is never quota'd.
+  uint64_t memory_quota_pages = 0;  // Occupancy cap; 0 = unlimited.
+  uint64_t rate_pages_per_sec = 0;  // Request-rate token bucket; 0 = unlimited.
+  uint64_t burst_pages = 64;        // Bucket depth (and the priority headroom unit).
+  // Per-tenant ADVISE_STOP threshold, as a fraction of memory_quota_pages
+  // (meaningful only when the quota is set).
+  double advise_stop_fraction = 0.9;
+};
+
+// The server's whole tenant policy. Empty (the default) disables every
+// tenant code path: requests are handled exactly as the untenanted server
+// did, whatever their tenant field says.
+struct TenantPolicyParams {
+  std::vector<TenantQuota> tenants;
+  // Reject ops from nonzero tenant ids that have no quota row. Off by
+  // default: unknown tenants are admitted unlimited but still attributed
+  // (their metrics accrue under their own id, never another tenant's).
+  bool strict = false;
+
+  bool enabled() const { return !tenants.empty() || strict; }
+};
+
+// Applies the `tenant.*` Config keys (README: tenant knobs) over `params`:
+// tenant.strict plus, per declared id, tenant.<id>.quota_pages,
+// tenant.<id>.rate, tenant.<id>.burst, tenant.<id>.advise_fraction.
+Status ApplyTenantConfig(const Config& config, TenantPolicyParams* params);
+
 struct MemoryServerParams {
   std::string name = "server";
   uint64_t capacity_pages = 4096;  // Donated main memory (32 MB by default).
@@ -102,6 +135,9 @@ struct MemoryServerParams {
   // multi-core memcpys would, while a single mutex serializes it.
   int64_t store_service_micros = 0;
   StoreTierParams tier;
+  // Multi-tenant quotas + admission control (DESIGN.md §15). Disabled when
+  // empty: the server then behaves byte-identically to the untenanted seed.
+  TenantPolicyParams tenants;
 };
 
 // Applies the `store.*` Config keys (README: store tuning knobs) over
@@ -188,9 +224,13 @@ class MemoryServer : public MessageHandler {
   Message Handle(const Message& request) override;
 
   // Direct API (same semantics as the wire protocol; used by tests and by
-  // the recovery manager, which reads surviving servers' pages).
-  Result<uint64_t> Allocate(uint64_t pages);  // First slot of a fresh run.
-  Status Free(uint64_t first_slot, uint64_t pages);
+  // the recovery manager, which reads surviving servers' pages). The tenant
+  // overloads charge occupancy to a quota row; tenant 0 is the legacy lane
+  // (unquota'd, may touch any slot) so the untenanted callers keep working.
+  Result<uint64_t> Allocate(uint64_t pages) { return Allocate(pages, 0); }
+  Result<uint64_t> Allocate(uint64_t pages, uint16_t tenant);  // First slot of a fresh run.
+  Status Free(uint64_t first_slot, uint64_t pages) { return Free(first_slot, pages, 0); }
+  Status Free(uint64_t first_slot, uint64_t pages, uint16_t tenant);
   Status Store(uint64_t slot, std::span<const uint8_t> page);
   Result<PageBuffer> Load(uint64_t slot) const;
 
@@ -205,7 +245,8 @@ class MemoryServer : public MessageHandler {
 
   // MIGRATE: returns the page at `slot` and frees the slot in one operation
   // (the read half of the §2.1 drain path, one round trip on the wire).
-  Result<PageBuffer> MigrateOut(uint64_t slot);
+  Result<PageBuffer> MigrateOut(uint64_t slot) { return MigrateOut(slot, 0); }
+  Result<PageBuffer> MigrateOut(uint64_t slot, uint16_t tenant);
 
   // Basic-parity primitives (§2.2 "Parity"): the data server computes
   // old XOR new while storing, the parity server folds a delta into the
@@ -244,6 +285,15 @@ class MemoryServer : public MessageHandler {
   uint64_t free_pages() const;
   uint64_t live_pages() const;
   bool ShouldAdviseStop() const;
+
+  // --- Tenant introspection (DESIGN.md §15) -------------------------------
+  bool tenant_enforced() const { return tenant_enforced_; }
+  // Occupancy currently charged to `tenant` (0 for unknown ids).
+  uint64_t TenantReservedPages(uint16_t tenant) const;
+  // True when the tenant is past its own advise_stop_fraction of its quota;
+  // pageout acks for that tenant carry ADVISE_STOP even when the server as a
+  // whole has room (per-tenant backpressure).
+  bool TenantShouldAdviseStop(uint16_t tenant) const;
 
   // --- Tier occupancy (DESIGN.md §14) -------------------------------------
   // Logical vs physical occupancy; capacity claims are judged on the ratio.
@@ -367,6 +417,38 @@ class MemoryServer : public MessageHandler {
   uint64_t FreePagesLocked() const;
   bool AdviseStopLocked() const;
 
+  // --- Tenant admission (DESIGN.md §15) -----------------------------------
+  // Per-tenant quota state. Guarded by tenant_mutex_ (lock order:
+  // control_mutex_ → tenant_mutex_; the data path takes tenant_mutex_ alone).
+  struct TenantState {
+    TenantQuota quota;
+    uint64_t reserved = 0;  // Occupancy charged at Allocate, credited at Free.
+    TokenBucket bucket{0, 1};
+    Counter* ops = nullptr;           // Requests admitted.
+    Counter* denials = nullptr;       // Occupancy / ownership denials.
+    Counter* rate_denials = nullptr;  // Token-bucket rejections.
+    Gauge* reserved_gauge = nullptr;
+    HistogramMetric* service_us = nullptr;
+  };
+
+  // Finds (or, when !strict, lazily creates) the state row for a nonzero
+  // tenant. Returns nullptr for unknown ids under strict policy.
+  TenantState* TenantStateLocked(uint16_t tenant) const;
+  void BindTenantMetricsLocked(uint16_t tenant, TenantState* state) const;
+  // Credits quota rows and splits/erases ownership runs for a freed range.
+  // control_mutex_ held.
+  void ReleaseTenantRunsLocked(uint64_t first_slot, uint64_t pages);
+  // The untenanted dispatch switch; Handle wraps it with tenant admission.
+  Message HandleInternal(const Message& request);
+  // Rate-limit + attribution gate run before dispatch. Returns false and
+  // fills *denial when the op must be rejected; on admit, *service_us_out
+  // points at the tenant's latency histogram (null for tenant 0).
+  bool AdmitTenant(const Message& request, Message* denial,
+                   HistogramMetric** service_us_out);
+  // Ownership check for data ops: a nonzero tenant may only touch slots in
+  // runs it allocated. Tenant 0 (legacy/recovery) may touch everything.
+  Status CheckSlotOwner(uint64_t slot, uint16_t tenant) const;
+
   MemoryServerParams params_;
   uint32_t shard_count_ = 1;
   uint32_t shard_bits_ = 0;
@@ -382,6 +464,9 @@ class MemoryServer : public MessageHandler {
   mutable std::mutex control_mutex_;
   uint64_t reserved_slots_ = 0;  // Allocated (granted) but possibly unwritten.
   std::vector<std::pair<uint64_t, uint64_t>> free_runs_;
+  // Slot-run ownership when tenants are enforced: start → (pages, tenant).
+  // Lets Free/MIGRATE credit the right quota and reject cross-tenant frees.
+  std::map<uint64_t, std::pair<uint64_t, uint16_t>> tenant_runs_;
   double native_load_ = 0.0;
   std::unordered_map<uint64_t, int64_t> slot_delays_micros_;
 
@@ -390,6 +475,13 @@ class MemoryServer : public MessageHandler {
   std::atomic<bool> crashed_{false};
   std::atomic<bool> has_slot_delays_{false};
   std::atomic<uint64_t> incarnation_{1};
+
+  // Tenant quota rows; populated from params_.tenants at construction and
+  // lazily for attributed-but-unquota'd ids. tenant_enforced_ is immutable
+  // after construction, so the data path branches on it lock-free.
+  bool tenant_enforced_ = false;
+  mutable std::mutex tenant_mutex_;
+  mutable std::unordered_map<uint16_t, TenantState> tenant_states_;
 
   // Declared before stats_: the stat counters live in this registry.
   mutable MetricsRegistry registry_;

@@ -83,6 +83,55 @@ Result<SchedulerOptions> SchedulerOptions::FromConfig(const Config& config) {
     return InvalidArgumentError("scheduler.lanes_per_session out of range [1, 256]");
   }
   options.lanes_per_session = static_cast<int>(*lanes);
+  auto shed = config.GetInt("scheduler.shed_limit", options.shed_limit);
+  if (!shed.ok()) {
+    return shed.status();
+  }
+  if (*shed < 0 || *shed > (1 << 20)) {
+    return InvalidArgumentError("scheduler.shed_limit out of range [0, 1048576]");
+  }
+  options.shed_limit = static_cast<int>(*shed);
+  auto cap = config.GetInt("scheduler.tenant_queue_cap", options.tenant_queue_cap);
+  if (!cap.ok()) {
+    return cap.status();
+  }
+  if (*cap < 0 || *cap > (1 << 20)) {
+    return InvalidArgumentError("scheduler.tenant_queue_cap out of range [0, 1048576]");
+  }
+  options.tenant_queue_cap = static_cast<int>(*cap);
+  // tenant.<id>.weight rows; the other tenant.* keys belong to the server's
+  // quota policy (ApplyTenantConfig) and are ignored here.
+  for (const std::string& key : config.Keys()) {
+    if (key.rfind("tenant.", 0) != 0) {
+      continue;
+    }
+    const std::string rest = key.substr(7);
+    const size_t dot = rest.find('.');
+    if (dot == std::string::npos || rest.substr(dot + 1) != "weight") {
+      continue;
+    }
+    uint64_t id = 0;
+    bool digits = dot > 0;
+    for (size_t i = 0; i < dot && digits; ++i) {
+      const char ch = rest[i];
+      digits = ch >= '0' && ch <= '9';
+      if (digits) {
+        id = id * 10 + static_cast<uint64_t>(ch - '0');
+        digits = id <= kMaxTenantId;
+      }
+    }
+    if (!digits || id == 0) {
+      return InvalidArgumentError("malformed tenant id in key: " + key);
+    }
+    auto weight = config.GetInt(key, options.default_tenant_weight);
+    if (!weight.ok()) {
+      return weight.status();
+    }
+    if (*weight < 1 || *weight > 1024) {
+      return InvalidArgumentError(key + " out of range [1, 1024]");
+    }
+    options.tenant_weights.emplace_back(static_cast<uint16_t>(id), static_cast<int>(*weight));
+  }
   return options;
 }
 
@@ -96,20 +145,66 @@ FairShareScheduler::FairShareScheduler(SchedulerOptions options,
   for (int c = 0; c < kTrafficClasses; ++c) {
     served_[c] = MetricsRegistry::Global().GetCounter(
         metric_prefix + ".served_" + std::string(TrafficClassName(static_cast<TrafficClass>(c))));
-    credits_[c] = options_.weights[c];
   }
+  shed_ = MetricsRegistry::Global().GetCounter(metric_prefix + ".shed");
+  TenantQueueLocked(0);  // The untenanted queue always exists.
+}
+
+FairShareScheduler::TenantQueue* FairShareScheduler::TenantQueueLocked(uint16_t tenant) {
+  auto it = tenant_index_.find(tenant);
+  if (it != tenant_index_.end()) {
+    return tenants_[it->second].get();
+  }
+  auto queue = std::make_unique<TenantQueue>();
+  queue->id = tenant;
+  queue->weight = std::max(1, options_.default_tenant_weight);
+  for (const auto& [id, weight] : options_.tenant_weights) {
+    if (id == tenant) {
+      queue->weight = std::max(1, weight);
+      break;
+    }
+  }
+  queue->credit = queue->weight;
+  for (int c = 0; c < kTrafficClasses; ++c) {
+    queue->class_credits[c] = options_.weights[c];
+  }
+  tenant_index_.emplace(tenant, tenants_.size());
+  tenants_.push_back(std::move(queue));
+  return tenants_.back().get();
 }
 
 FairShareScheduler::~FairShareScheduler() { Stop(); }
 
 std::shared_ptr<FairShareScheduler::Session> FairShareScheduler::AddSession(
-    std::shared_ptr<void> owner) {
+    std::shared_ptr<void> owner, uint16_t tenant) {
   auto session = std::make_shared<Session>();
   session->owner = std::move(owner);
   session->lanes.resize(static_cast<size_t>(options_.lanes_per_session));
   std::lock_guard<std::mutex> lock(mutex_);
   session->id = next_session_id_++;
+  session->tenant = tenant;
+  TenantQueueLocked(tenant);
   return session;
+}
+
+void FairShareScheduler::SetSessionTenant(const std::shared_ptr<Session>& session,
+                                          uint16_t tenant) {
+  if (session == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (session->tenant == tenant) {
+    return;
+  }
+  int64_t queued = 0;
+  for (const Lane& lane : session->lanes) {
+    queued += static_cast<int64_t>(lane.queue.size());
+  }
+  TenantQueue* old_queue = TenantQueueLocked(session->tenant);
+  TenantQueue* new_queue = TenantQueueLocked(tenant);
+  old_queue->queued = std::max<int64_t>(0, old_queue->queued - queued);
+  new_queue->queued += queued;
+  session->tenant = tenant;
 }
 
 void FairShareScheduler::RemoveSession(const std::shared_ptr<Session>& session) {
@@ -132,33 +227,68 @@ void FairShareScheduler::RemoveSession(const std::shared_ptr<Session>& session) 
   }
   if (dropped > 0) {
     queued_gauge_.Add(-dropped);
+    total_queued_ = std::max<int64_t>(0, total_queued_ - dropped);
+    TenantQueue* tenant = TenantQueueLocked(session->tenant);
+    tenant->queued = std::max<int64_t>(0, tenant->queued - dropped);
   }
   session->owner.reset();
 }
 
 bool FairShareScheduler::Submit(const std::shared_ptr<Session>& session, Message request) {
+  return SubmitEx(session, std::move(request)) == SubmitResult::kOk;
+}
+
+SubmitResult FairShareScheduler::SubmitEx(const std::shared_ptr<Session>& session,
+                                          Message request) {
   Item item;
   item.enqueue_ns = NowNanos();
   const int lane_idx =
       static_cast<int>(request.slot % static_cast<uint64_t>(options_.lanes_per_session));
   item.lane = lane_idx;
   item.session = session;
+  const TrafficClass klass = ClassifyMessage(request.type);
   item.request = std::move(request);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_ || session->dead) {
-      return false;
+      return SubmitResult::kRejected;
+    }
+    TenantQueue* tenant = TenantQueueLocked(session->tenant);
+    if (ShedLocked(*tenant, klass)) {
+      shed_->Increment();
+      return SubmitResult::kShed;
     }
     item.owner = session->owner;
     Lane& lane = session->lanes[static_cast<size_t>(lane_idx)];
     lane.queue.push_back(std::move(item));
     queued_gauge_.Add(1);
+    total_queued_ += 1;
+    tenant->queued += 1;
     if (!lane.scheduled && !lane.running) {
       EnqueueLaneLocked(session, lane_idx);
     }
     WakeOneLocked();
   }
-  return true;
+  return SubmitResult::kOk;
+}
+
+bool FairShareScheduler::ShedLocked(const TenantQueue& tenant, TrafficClass klass) const {
+  // Shedding order mirrors the admission lanes: background first, pageout
+  // under deeper overload, foreground pageins and control never — a shed
+  // pagein would just come back as a retry of a blocked fault.
+  if (klass == TrafficClass::kPagein || klass == TrafficClass::kControl) {
+    return false;
+  }
+  if (options_.tenant_queue_cap > 0 && tenant.queued >= options_.tenant_queue_cap) {
+    return true;
+  }
+  if (options_.shed_limit <= 0) {
+    return false;
+  }
+  if (klass == TrafficClass::kBackground) {
+    return total_queued_ >= static_cast<int64_t>(options_.shed_limit);
+  }
+  return total_queued_ >= 2 * static_cast<int64_t>(options_.shed_limit);
 }
 
 void FairShareScheduler::WakeOneLocked() {
@@ -178,14 +308,17 @@ void FairShareScheduler::WakeOneLocked() {
 void FairShareScheduler::EnqueueLaneLocked(const std::shared_ptr<Session>& session, int lane) {
   Lane& state = session->lanes[static_cast<size_t>(lane)];
   // The lane joins the ring of the class its *head* request belongs to; a
-  // lane mixing classes re-classifies every time it re-enters the ring.
+  // lane mixing classes re-classifies every time it re-enters the ring. The
+  // ring lives under the session's *current* tenant, so a lane re-entering
+  // after SetSessionTenant migrates with its session.
   const TrafficClass c = ClassifyMessage(state.queue.front().request.type);
-  rings_[static_cast<int>(c)].push_back(RingEntry{session, lane});
+  TenantQueueLocked(session->tenant)->rings[static_cast<int>(c)].push_back(
+      RingEntry{session, lane});
   state.scheduled = true;
 }
 
-bool FairShareScheduler::HasRunnableLocked() const {
-  for (const auto& ring : rings_) {
+bool FairShareScheduler::TenantRunnable(const TenantQueue& tenant) {
+  for (const auto& ring : tenant.rings) {
     if (!ring.empty()) {
       return true;
     }
@@ -193,19 +326,53 @@ bool FairShareScheduler::HasRunnableLocked() const {
   return false;
 }
 
-int FairShareScheduler::PickClassLocked() {
+bool FairShareScheduler::HasRunnableLocked() const {
+  for (const auto& tenant : tenants_) {
+    if (TenantRunnable(*tenant)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FairShareScheduler::TenantQueue* FairShareScheduler::PickTenantLocked() {
+  // Level-0 WRR, same two-pass shape as the class pick below, but scanned
+  // from a rotating cursor: tenants are peers (no priority order), so ties
+  // must not always break toward the lowest index.
+  const size_t n = tenants_.size();
+  if (n == 0) {
+    return nullptr;
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t index = (tenant_cursor_ + i) % n;
+      TenantQueue* tenant = tenants_[index].get();
+      if (tenant->credit > 0 && TenantRunnable(*tenant)) {
+        tenant_cursor_ = index;  // Next pick resumes here; credit exhaustion
+                                 // is what moves the cursor on.
+        return tenant;
+      }
+    }
+    for (const auto& tenant : tenants_) {
+      tenant->credit = tenant->weight;
+    }
+  }
+  return nullptr;
+}
+
+int FairShareScheduler::PickClassLocked(TenantQueue* tenant) {
   // Two passes: first spend existing credit in priority order, then refill
   // everyone and take the highest-priority non-empty ring. The refill is the
   // fairness engine — weights bound each class's share of dispatch slots
   // under contention without ever starving a class outright.
   for (int pass = 0; pass < 2; ++pass) {
     for (int c = 0; c < kTrafficClasses; ++c) {
-      if (!rings_[c].empty() && credits_[c] > 0) {
+      if (!tenant->rings[c].empty() && tenant->class_credits[c] > 0) {
         return c;
       }
     }
     for (int c = 0; c < kTrafficClasses; ++c) {
-      credits_[c] = options_.weights[c];
+      tenant->class_credits[c] = options_.weights[c];
     }
   }
   return -1;  // No runnable lane at all.
@@ -215,18 +382,26 @@ bool FairShareScheduler::DispatchLocked(Item* out) {
   // Stale ring entries (RemoveSession purged the lane) are skipped here, so
   // one call may pop several entries before producing an item.
   while (HasRunnableLocked()) {
-    const int c = PickClassLocked();
+    TenantQueue* tenant = PickTenantLocked();
+    if (tenant == nullptr) {
+      return false;
+    }
+    const int c = PickClassLocked(tenant);
     if (c < 0) {
       return false;
     }
-    RingEntry entry = std::move(rings_[c].front());
-    rings_[c].pop_front();
+    RingEntry entry = std::move(tenant->rings[c].front());
+    tenant->rings[c].pop_front();
     Lane& lane = entry.session->lanes[static_cast<size_t>(entry.lane)];
     lane.scheduled = false;
     if (entry.session->dead || lane.queue.empty()) {
-      continue;
+      continue;  // Stale: no credit spent.
     }
-    credits_[c] -= 1;
+    tenant->credit -= 1;
+    tenant->class_credits[c] -= 1;
+    tenant->served += 1;
+    tenant->queued = std::max<int64_t>(0, tenant->queued - 1);
+    total_queued_ = std::max<int64_t>(0, total_queued_ - 1);
     *out = std::move(lane.queue.front());
     lane.queue.pop_front();
     lane.running = true;
@@ -236,6 +411,12 @@ bool FairShareScheduler::DispatchLocked(Item* out) {
     return true;
   }
   return false;
+}
+
+uint64_t FairShareScheduler::TenantServed(uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenant_index_.find(tenant);
+  return it == tenant_index_.end() ? 0 : tenants_[it->second]->served;
 }
 
 bool FairShareScheduler::Next(Item* out) {

@@ -19,6 +19,16 @@
 // slot (lane = slot % lanes), which reproduces the old transport's slot
 //-affinity guarantee — same-slot requests stay ordered, different slots may
 // be served in parallel — without a worker pool per session.
+//
+// Level 0 (DESIGN.md §15): tenants. Sessions carry a tenant id (bound at
+// AUTH); each tenant owns its own set of class rings and the top-level pick
+// is weighted round-robin across tenants, so dispatch share is
+// tenant weight × class weight and a flooding tenant cannot starve another
+// tenant's traffic. With every session on tenant 0 (the default) there is
+// exactly one tenant queue and the scheduler reduces to the two-level form.
+// Overload shedding (shed_limit / tenant_queue_cap) drops over-quota
+// background and pageout work at Submit — before it eats queue memory —
+// while foreground pageins and control traffic are never shed.
 
 #ifndef SRC_TRANSPORT_SCHEDULER_H_
 #define SRC_TRANSPORT_SCHEDULER_H_
@@ -28,6 +38,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/proto/wire.h"
@@ -61,11 +73,32 @@ struct SchedulerOptions {
   // per-session FIFO; >1 allows same-session parallelism across slots.
   int lanes_per_session = 8;
 
+  // --- Tenant WFQ + shedding (DESIGN.md §15) ------------------------------
+  // Per-tenant dispatch weights (id → weight); tenants without a row (and
+  // tenant 0) weigh default_tenant_weight. Ratios, not priorities: every
+  // tenant keeps draining under contention.
+  std::vector<std::pair<uint16_t, int>> tenant_weights;
+  int default_tenant_weight = 1;
+  // Overload shedding. 0 = never shed. With a limit S, background submits
+  // are shed once the total backlog reaches S and pageout-class submits once
+  // it reaches 2·S; pagein and control traffic is never shed.
+  int shed_limit = 0;
+  // Per-tenant backlog cap for sheddable (pageout/background) submits;
+  // 0 = uncapped. Bounds the queue memory one flooding tenant can pin.
+  int tenant_queue_cap = 0;
+
   // Keys: scheduler.weight_pagein, scheduler.weight_pageout,
   // scheduler.weight_control, scheduler.weight_background,
-  // scheduler.lanes_per_session.
+  // scheduler.lanes_per_session, scheduler.shed_limit,
+  // scheduler.tenant_queue_cap, tenant.<id>.weight.
   static Result<SchedulerOptions> FromConfig(const Config& config);
 };
+
+// Outcome of SubmitEx. kRejected = dead session or stopped scheduler (the
+// old `false`); kShed = overload policy dropped the request — the transport
+// answers RESOURCE_EXHAUSTED so the client backs off instead of retrying
+// blind.
+enum class SubmitResult : uint8_t { kOk, kRejected, kShed };
 
 // Thread-safe two-level fair-share queue. Producers (loop threads) Submit,
 // consumers (workers) block in Next and call Done after servicing the item;
@@ -93,8 +126,14 @@ class FairShareScheduler {
 
   // Registers a session. `owner` is an opaque backref (the transport's
   // per-connection state) kept alive as long as items for this session are
-  // in flight.
-  std::shared_ptr<Session> AddSession(std::shared_ptr<void> owner);
+  // in flight. `tenant` seeds the session's tenant id (0 = untenanted).
+  std::shared_ptr<Session> AddSession(std::shared_ptr<void> owner, uint16_t tenant = 0);
+
+  // Rebinds the session to `tenant` (the transport calls this when AUTH
+  // binds one). Work already queued transfers its backlog accounting; lanes
+  // already scheduled drain from the old tenant's rings once, then rejoin
+  // under the new tenant.
+  void SetSessionTenant(const std::shared_ptr<Session>& session, uint16_t tenant);
 
   // Marks the session dead and drops its queued (not in-service) items.
   void RemoveSession(const std::shared_ptr<Session>& session);
@@ -102,6 +141,9 @@ class FairShareScheduler {
   // Enqueues one request. Returns false when the session is dead or the
   // scheduler stopped (the caller drops the request).
   bool Submit(const std::shared_ptr<Session>& session, Message request);
+  // Like Submit, but distinguishes a dead-session rejection from an overload
+  // shed so the transport can answer them differently.
+  SubmitResult SubmitEx(const std::shared_ptr<Session>& session, Message request);
 
   // Blocks for the next item; false when stopped and drained. The item's
   // lane is held out of rotation until Done(item).
@@ -127,6 +169,10 @@ class FairShareScheduler {
 
   size_t queued() const { return queued_gauge_.value() < 0 ? 0 : static_cast<size_t>(queued_gauge_.value()); }
   int64_t served(TrafficClass c) const { return served_[static_cast<int>(c)]->value(); }
+  // Items dispatched on behalf of `tenant` (fairness assertions read this).
+  uint64_t TenantServed(uint16_t tenant) const;
+  // Submits dropped by the overload policy since construction.
+  int64_t shed_total() const { return shed_->value(); }
   const SchedulerOptions& options() const { return options_; }
 
   struct Lane {
@@ -140,12 +186,25 @@ class FairShareScheduler {
     std::vector<Lane> lanes;
     bool dead = false;
     uint64_t id = 0;
+    uint16_t tenant = 0;  // Guarded by the scheduler mutex.
   };
 
  private:
   struct RingEntry {
     std::shared_ptr<Session> session;
     int lane;
+  };
+
+  // Level-0 unit: one tenant's class rings plus its WRR accounting. Objects
+  // are heap-stable (vector of unique_ptr), so pointers survive growth.
+  struct TenantQueue {
+    uint16_t id = 0;
+    int weight = 1;
+    int credit = 1;
+    std::deque<RingEntry> rings[kTrafficClasses];
+    int class_credits[kTrafficClasses] = {0, 0, 0, 0};
+    int64_t queued = 0;    // Items sitting in lanes of this tenant's sessions.
+    uint64_t served = 0;   // Items dispatched.
   };
 
   // One per worker thread (thread-local in Next). Workers park on their own
@@ -157,9 +216,13 @@ class FairShareScheduler {
   };
 
   // All private helpers run under mutex_.
-  int PickClassLocked();
+  TenantQueue* TenantQueueLocked(uint16_t tenant);
+  TenantQueue* PickTenantLocked();
+  int PickClassLocked(TenantQueue* tenant);
+  bool ShedLocked(const TenantQueue& tenant, TrafficClass klass) const;
   bool DispatchLocked(Item* out);
   bool HasRunnableLocked() const;
+  static bool TenantRunnable(const TenantQueue& tenant);
   void EnqueueLaneLocked(const std::shared_ptr<Session>& session, int lane);
   // Returns true when the lane was re-enqueued (more queued work behind it).
   bool FinishLocked(const std::shared_ptr<Session>& session, int lane);
@@ -174,10 +237,14 @@ class FairShareScheduler {
   std::vector<Waiter*> parked_;  // LIFO stack of idle workers.
   bool stopped_ = false;
   uint64_t next_session_id_ = 1;
-  std::deque<RingEntry> rings_[kTrafficClasses];  // Level-2 round-robin rings.
-  int credits_[kTrafficClasses] = {0, 0, 0, 0};   // Level-1 WRR credit.
+  // Level-0 tenant queues, created on first use (tenant 0 at construction).
+  std::vector<std::unique_ptr<TenantQueue>> tenants_;
+  std::unordered_map<uint16_t, size_t> tenant_index_;
+  size_t tenant_cursor_ = 0;  // Round-robin start for the tenant scan.
+  int64_t total_queued_ = 0;  // Backlog across all tenants (shed threshold).
 
   Counter* served_[kTrafficClasses];
+  Counter* shed_;
   Gauge& queued_gauge_;
   HistogramMetric& dispatch_latency_us_;
 };

@@ -278,7 +278,8 @@ TcpTransport::TcpTransport(std::shared_ptr<ReactorConnection> conn, std::shared_
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& host,
                                                             uint16_t port,
-                                                            const std::string& auth_token) {
+                                                            const std::string& auth_token,
+                                                            uint16_t tenant) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     return ErrnoError("socket");
@@ -303,8 +304,11 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(const std::string& h
   }
   auto transport =
       std::unique_ptr<TcpTransport>(new TcpTransport(std::move(conn), std::move(demux)));
-  if (!auth_token.empty()) {
-    auto reply = transport->Call(MakeAuth(1, auth_token));
+  transport->tenant_ = tenant;
+  if (!auth_token.empty() || tenant != 0) {
+    // A tenant-only AUTH (empty token against an open server) still runs the
+    // handshake: the AUTH frame is what binds the tenant server-side.
+    auto reply = transport->Call(MakeAuth(1, auth_token, tenant));
     if (!reply.ok()) {
       return reply.status();
     }
@@ -321,12 +325,20 @@ void TcpTransport::Close() {
 }
 
 RpcFuture TcpTransport::CallAsync(Message request) {
+  if (request.tenant == 0) {
+    request.tenant = tenant_;
+  }
   return demux_->Submit(conn_, std::move(request), demux_);
 }
 
 Result<Message> TcpTransport::Call(const Message& request) { return CallAsync(request).Wait(); }
 
 Status TcpTransport::SendOneWay(const Message& request) {
+  if (request.tenant == 0 && tenant_ != 0) {
+    Message tagged = request;
+    tagged.tenant = tenant_;
+    return demux_->SubmitOneWay(conn_, std::move(tagged), demux_);
+  }
   return demux_->SubmitOneWay(conn_, request, demux_);
 }
 
@@ -392,6 +404,13 @@ class TcpServer::ServerSession final : public FrameSink {
       const std::string presented(frame.payload.begin(), frame.payload.end());
       const bool good = required_token_.empty() || presented == required_token_;
       authenticated_ = authenticated_ || good;
+      if (good && frame.tenant != 0 && tenant_ == 0) {
+        // The AUTH frame binds the session's tenant (DESIGN.md §15): every
+        // later frame is attributed to it, and the scheduler moves the
+        // session into that tenant's fair-share queue.
+        tenant_ = frame.tenant;
+        server_->scheduler_->SetSessionTenant(sched_, tenant_);
+      }
       conn_->Send(MakeAuthReply(frame.request_id,
                                 good ? ErrorCode::kOk : ErrorCode::kFailedPrecondition));
       if (!good) {
@@ -405,8 +424,30 @@ class TcpServer::ServerSession final : public FrameSink {
       conn_->Send(MakeErrorReply(frame.request_id, ErrorCode::kFailedPrecondition));
       return;
     }
-    if (!server_->scheduler_->Submit(sched_, std::move(frame))) {
-      conn_->Send(MakeErrorReply(frame.request_id, ErrorCode::kUnavailable));
+    if (frame.tenant == 0) {
+      frame.tenant = tenant_;  // Attribute untagged frames to the bound tenant.
+    } else if (tenant_ == 0) {
+      // Open server (or token-only AUTH): the first tagged frame binds.
+      tenant_ = frame.tenant;
+      server_->scheduler_->SetSessionTenant(sched_, tenant_);
+    } else if (frame.tenant != tenant_) {
+      // A session speaks for exactly one tenant; a mid-session flip is a
+      // spoof attempt (or a confused client), never silently re-attributed.
+      conn_->Send(MakeErrorReply(frame.request_id, ErrorCode::kFailedPrecondition));
+      return;
+    }
+    const uint64_t request_id = frame.request_id;
+    switch (server_->scheduler_->SubmitEx(sched_, std::move(frame))) {
+      case SubmitResult::kOk:
+        break;
+      case SubmitResult::kShed:
+        // Overload shed: transient, back off and retry (vs kUnavailable's
+        // dead-session finality).
+        conn_->Send(MakeErrorReply(request_id, ErrorCode::kResourceExhausted));
+        break;
+      case SubmitResult::kRejected:
+        conn_->Send(MakeErrorReply(request_id, ErrorCode::kUnavailable));
+        break;
     }
   }
 
@@ -426,6 +467,9 @@ class TcpServer::ServerSession final : public FrameSink {
   std::unique_ptr<MessageHandler> handler_;
   const std::string required_token_;
   bool authenticated_;
+  // The session's bound tenant (0 = unbound). Touched only on the
+  // connection's loop thread, like the rest of the FrameSink state.
+  uint16_t tenant_ = 0;
   std::shared_ptr<ReactorConnection> conn_;
 };
 

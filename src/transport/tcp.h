@@ -63,11 +63,14 @@ class TcpTransport final : public Transport {
 
   // Connects to host:port (host is an IPv4 dotted quad or "localhost").
   // The connection is registered on the process-wide Reactor::Shared().
-  // When `auth_token` is non-empty, an AUTH handshake is performed before
-  // the connection is handed back; a server that requires a different token
-  // fails the connect with FAILED_PRECONDITION.
+  // When `auth_token` is non-empty or `tenant` is nonzero, an AUTH handshake
+  // runs before the connection is handed back (the AUTH frame is what binds
+  // the session's tenant server-side, DESIGN.md §15); a server that requires
+  // a different token fails the connect with FAILED_PRECONDITION. A nonzero
+  // `tenant` is stamped onto every outgoing request that does not carry one.
   static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host, uint16_t port,
-                                                       const std::string& auth_token = "");
+                                                       const std::string& auth_token = "",
+                                                       uint16_t tenant = 0);
 
   ~TcpTransport() override { Close(); }
 
@@ -101,6 +104,7 @@ class TcpTransport final : public Transport {
 
   std::shared_ptr<ReactorConnection> conn_;
   std::shared_ptr<Demux> demux_;
+  uint16_t tenant_ = 0;  // Stamped onto untagged requests; immutable.
 };
 
 // Server-side tuning. The defaults reproduce the paper-scale testbed; the

@@ -28,6 +28,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "INTERNAL";
     case ErrorCode::kDataLoss:
       return "DATA_LOSS";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -72,6 +74,9 @@ Status InternalError(std::string message) {
 }
 Status DataLossError(std::string message) {
   return Status(ErrorCode::kDataLoss, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace rmp

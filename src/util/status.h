@@ -34,6 +34,11 @@ enum class ErrorCode {
                   // exceeded the policy's tolerance (e.g. both mirror
                   // replicas dead). Unlike kUnavailable this is permanent —
                   // retrying cannot help, and the pager must surface it.
+  kResourceExhausted,  // A per-tenant quota (request rate, queue share)
+                       // rejected the op. Unlike kNoSpace this is transient:
+                       // the token bucket refills, so backing off and
+                       // retrying is the right client response. Appended
+                       // after kDataLoss so older codes keep their wire value.
 };
 
 // Returns a stable human-readable name, e.g. "NO_SPACE".
@@ -78,6 +83,7 @@ Status CorruptionError(std::string message);
 Status IoError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 Status DataLossError(std::string message);
 
 // Result<T>: a T or an error Status. Minimal std::expected stand-in (C++20).

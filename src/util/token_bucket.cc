@@ -1,0 +1,74 @@
+#include "src/util/token_bucket.h"
+
+#include <algorithm>
+
+namespace rmp {
+namespace {
+// One token = one page; fractional accrual is tracked in billionths so the
+// pacing math is exact (rate is pages/sec, time is integer nanoseconds).
+constexpr uint64_t kTokenScale = 1'000'000'000ull;
+}  // namespace
+
+TokenBucket::TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages)
+    : rate_(rate_pages_per_sec),
+      burst_(std::max<uint64_t>(1, burst_pages)),
+      tokens_(burst_) {}  // Starts full: the first burst is free.
+
+void TokenBucket::Refill(TimeNs now) {
+  if (now <= last_) {
+    return;
+  }
+  const uint64_t delta = static_cast<uint64_t>(now - last_);
+  last_ = now;
+  const unsigned __int128 acc = static_cast<unsigned __int128>(rate_) * delta + frac_;
+  // The gained count can overflow u64 (max rate × max elapsed), so the cap
+  // comparison stays in 128-bit; only a sub-burst gain is narrowed.
+  const unsigned __int128 gained = acc / kTokenScale;
+  frac_ = static_cast<uint64_t>(acc % kTokenScale);
+  if (gained >= burst_ - tokens_) {
+    tokens_ = burst_;
+    frac_ = 0;  // A full bucket does not bank further accrual.
+  } else {
+    tokens_ += static_cast<uint64_t>(gained);
+  }
+}
+
+uint64_t TokenBucket::TakeUpTo(uint64_t want, TimeNs now) {
+  if (rate_ == 0) {
+    return want;
+  }
+  Refill(now);
+  const uint64_t take = std::min(want, tokens_);
+  tokens_ -= take;
+  return take;
+}
+
+void TokenBucket::Refund(uint64_t tokens) {
+  if (rate_ == 0) {
+    return;
+  }
+  tokens_ = std::min(burst_, tokens_ + tokens);
+}
+
+TimeNs TokenBucket::NextAvailable(TimeNs now) {
+  if (rate_ == 0) {
+    return now;
+  }
+  Refill(now);
+  if (tokens_ >= 1) {
+    return now;
+  }
+  const uint64_t needed = kTokenScale - frac_;
+  const uint64_t wait_ns = (needed + rate_ - 1) / rate_;
+  return now + static_cast<TimeNs>(wait_ns);
+}
+
+uint64_t TokenBucket::Available(TimeNs now) {
+  if (rate_ == 0) {
+    return UINT64_MAX;
+  }
+  Refill(now);
+  return tokens_;
+}
+
+}  // namespace rmp

@@ -1,0 +1,56 @@
+// Deterministic token bucket in whole pages.
+//
+// Fractional accrual is tracked in token-billionths (rate * elapsed-ns), so
+// pacing is exact integer math and runs are bit-reproducible. Originally the
+// repair coordinator's pacing engine (DESIGN.md §11); hoisted here so the
+// per-tenant request-rate quotas in MemoryServer (DESIGN.md §15) reuse the
+// same arithmetic instead of growing a second, subtly different limiter.
+//
+// Not thread-safe: callers serialize access (the repair coordinator runs on
+// the simulation loop; the server guards its tenant buckets with a mutex).
+
+#ifndef SRC_UTIL_TOKEN_BUCKET_H_
+#define SRC_UTIL_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace rmp {
+
+class TokenBucket {
+ public:
+  // rate_pages_per_sec == 0 disables pacing: every grant is unlimited.
+  // burst_pages is clamped to at least 1 so a configured-but-tiny bucket can
+  // always eventually grant a token.
+  TokenBucket(uint64_t rate_pages_per_sec, uint64_t burst_pages);
+
+  // Grants up to `want` tokens available at `now` (0 when the bucket is dry).
+  uint64_t TakeUpTo(uint64_t want, TimeNs now);
+
+  // Returns unused grant.
+  void Refund(uint64_t tokens);
+
+  // Earliest time at or after `now` when at least one token is available.
+  TimeNs NextAvailable(TimeNs now);
+
+  // Tokens on hand after refilling to `now`. UINT64_MAX when unpaced —
+  // admission thresholds (tenant priority lanes) compare against this.
+  uint64_t Available(TimeNs now);
+
+  uint64_t rate() const { return rate_; }
+  uint64_t burst() const { return burst_; }
+
+ private:
+  void Refill(TimeNs now);
+
+  uint64_t rate_;
+  uint64_t burst_;
+  uint64_t tokens_;
+  uint64_t frac_ = 0;  // Accrued token-billionths, < kSecond.
+  TimeNs last_ = 0;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_UTIL_TOKEN_BUCKET_H_

@@ -158,6 +158,117 @@ TEST(FairShareScheduler, StopUnblocksParkedWorkers) {
   EXPECT_EQ(returned.load(), 3);
 }
 
+// --- Tenant-level WFQ and shedding (DESIGN.md §15) ---------------------------
+
+TEST(FairShareScheduler, TenantWeightsSplitDispatchFourToOne) {
+  SchedulerOptions options;
+  options.tenant_weights = {{1, 4}, {2, 1}};
+  options.lanes_per_session = 1;
+  FairShareScheduler scheduler(options, "schedtest_tenant_wfq");
+  auto heavy = scheduler.AddSession(nullptr, /*tenant=*/1);
+  auto light = scheduler.AddSession(nullptr, /*tenant=*/2);
+  // Both tenants keep a same-class backlog, so every dispatch is a pure
+  // weight decision.
+  for (uint64_t id = 1; id <= 200; ++id) {
+    ASSERT_TRUE(scheduler.Submit(heavy, MakePageIn(id, id)));
+    ASSERT_TRUE(scheduler.Submit(light, MakePageIn(1000 + id, id)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    FairShareScheduler::Item item;
+    ASSERT_TRUE(scheduler.TryNext(&item));
+    scheduler.Done(item);
+  }
+  // 4:1 within ±10% of the dispatch share.
+  EXPECT_NEAR(static_cast<double>(scheduler.TenantServed(1)) / 100.0, 0.8, 0.1);
+  EXPECT_NEAR(static_cast<double>(scheduler.TenantServed(2)) / 100.0, 0.2, 0.1);
+  // Ratios, not priorities: the light tenant's backlog still drains fully.
+  FairShareScheduler::Item item;
+  while (scheduler.TryNext(&item)) {
+    scheduler.Done(item);
+  }
+  EXPECT_EQ(scheduler.TenantServed(1), 200u);
+  EXPECT_EQ(scheduler.TenantServed(2), 200u);
+}
+
+TEST(FairShareScheduler, FloodingTenantCannotStarveAnotherTenantsControl) {
+  FairShareScheduler scheduler(SchedulerOptions{}, "schedtest_tenant_ctl");
+  auto flood = scheduler.AddSession(nullptr, /*tenant=*/1);
+  auto victim = scheduler.AddSession(nullptr, /*tenant=*/2);
+  // Tenant 1 floods every class; tenant 2 has one control request queued.
+  for (uint64_t id = 1; id <= 300; ++id) {
+    ASSERT_TRUE(scheduler.Submit(flood, MakePageIn(id, id)));
+  }
+  ASSERT_TRUE(scheduler.Submit(victim, MakeLoadQuery(9999)));
+  int dispatches_until_control = 0;
+  bool found = false;
+  FairShareScheduler::Item item;
+  while (scheduler.TryNext(&item)) {
+    ++dispatches_until_control;
+    const bool is_control = item.session == victim;
+    scheduler.Done(item);
+    if (is_control) {
+      found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(found);
+  // Equal tenant weights alternate tenants, so the control op lands within a
+  // few dispatches — not behind the 300-deep flood.
+  EXPECT_LE(dispatches_until_control, 8);
+}
+
+TEST(FairShareScheduler, OverloadShedsBackgroundThenPageoutNeverPagein) {
+  SchedulerOptions options;
+  options.shed_limit = 8;
+  options.lanes_per_session = 1;
+  FairShareScheduler scheduler(options, "schedtest_shed");
+  auto session = scheduler.AddSession(nullptr, /*tenant=*/1);
+  PageBuffer page;
+  FillPattern(page.span(), 1);
+  // Fill the backlog to the background threshold with pageins (never shed).
+  for (uint64_t id = 1; id <= 8; ++id) {
+    ASSERT_EQ(scheduler.SubmitEx(session, MakePageIn(id, id)), SubmitResult::kOk);
+  }
+  // At total >= shed_limit, background submits shed; pageout still lands.
+  EXPECT_EQ(scheduler.SubmitEx(session, MakeHeartbeat(100)), SubmitResult::kShed);
+  EXPECT_EQ(scheduler.SubmitEx(session, MakePageOut(101, 50, page.span())),
+            SubmitResult::kOk);
+  // Push the backlog to 2x the limit: pageout sheds too, pagein never does.
+  for (uint64_t id = 200; scheduler.queued() < 16; ++id) {
+    ASSERT_EQ(scheduler.SubmitEx(session, MakePageIn(id, id)), SubmitResult::kOk);
+  }
+  EXPECT_EQ(scheduler.SubmitEx(session, MakePageOut(300, 51, page.span())),
+            SubmitResult::kShed);
+  EXPECT_EQ(scheduler.SubmitEx(session, MakePageIn(301, 52)), SubmitResult::kOk);
+  EXPECT_GE(scheduler.shed_total(), 2);
+  // Shed responses never consumed queue state: everything queued still drains.
+  FairShareScheduler::Item item;
+  while (scheduler.TryNext(&item)) {
+    scheduler.Done(item);
+  }
+  EXPECT_EQ(scheduler.queued(), 0u);
+}
+
+TEST(FairShareScheduler, TenantQueueCapBoundsOneTenantsBacklog) {
+  SchedulerOptions options;
+  options.tenant_queue_cap = 4;
+  options.lanes_per_session = 1;
+  FairShareScheduler scheduler(options, "schedtest_cap");
+  auto hog = scheduler.AddSession(nullptr, /*tenant=*/1);
+  auto neighbor = scheduler.AddSession(nullptr, /*tenant=*/2);
+  PageBuffer page;
+  FillPattern(page.span(), 2);
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_EQ(scheduler.SubmitEx(hog, MakePageOut(id, id, page.span())), SubmitResult::kOk);
+  }
+  // The hog's fifth sheddable submit bounces off its per-tenant cap...
+  EXPECT_EQ(scheduler.SubmitEx(hog, MakePageOut(5, 5, page.span())), SubmitResult::kShed);
+  // ...while the neighbor still queues, and the hog's pageins are exempt.
+  EXPECT_EQ(scheduler.SubmitEx(neighbor, MakePageOut(6, 6, page.span())),
+            SubmitResult::kOk);
+  EXPECT_EQ(scheduler.SubmitEx(hog, MakePageIn(7, 7)), SubmitResult::kOk);
+}
+
 // --- TcpServer integration ---------------------------------------------------
 
 struct ForwardingHandler : MessageHandler {
@@ -168,10 +279,12 @@ struct ForwardingHandler : MessageHandler {
 
 class ReactorTcpTest : public ::testing::Test {
  protected:
-  void StartServer(TcpServerOptions options = TcpServerOptions(), uint64_t capacity = 4096) {
+  void StartServer(TcpServerOptions options = TcpServerOptions(), uint64_t capacity = 4096,
+                   TenantPolicyParams tenants = TenantPolicyParams()) {
     MemoryServerParams params;
     params.name = "reactor-test";
     params.capacity_pages = capacity;
+    params.tenants = std::move(tenants);
     server_ = std::make_shared<MemoryServer>(params);
     auto started = TcpServer::Start(
         0,
@@ -305,6 +418,67 @@ TEST_F(ReactorTcpTest, HostileFrameClosesOnlyThatConnection) {
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   EXPECT_EQ(reply->type, MessageType::kLoadReport);
   ExpectLiveSessions(1);
+}
+
+// --- Session tenant binding over the wire (DESIGN.md §15) --------------------
+
+TEST_F(ReactorTcpTest, ConnectBindsTenantAndStampsUntaggedRequests) {
+  TenantPolicyParams tenants;
+  tenants.tenants = {{.id = 7, .memory_quota_pages = 64}};
+  StartServer(TcpServerOptions(), 4096, std::move(tenants));
+  auto client = TcpTransport::Connect("127.0.0.1", tcp_server_->port(), "", /*tenant=*/7);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // The request carries no tenant; the transport stamps the bound one and
+  // the enforcing server echoes and charges it.
+  auto granted = (*client)->Call(MakeAllocRequest(1, 8));
+  ASSERT_TRUE(granted.ok());
+  ASSERT_EQ(granted->status_code(), ErrorCode::kOk);
+  EXPECT_EQ(granted->tenant, 7);
+  EXPECT_EQ(server_->TenantReservedPages(7), 8u);
+  // The quota holds over the wire, not just on the direct API.
+  auto over = (*client)->Call(MakeAllocRequest(2, 64));
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ(over->status_code(), ErrorCode::kNoSpace);
+}
+
+TEST_F(ReactorTcpTest, MidSessionTenantFlipIsRejected) {
+  StartServer();
+  auto client = TcpTransport::Connect("127.0.0.1", tcp_server_->port(), "", /*tenant=*/7);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // The AUTH handshake bound tenant 7; a frame claiming tenant 9 on the same
+  // session is a spoof attempt — rejected, never re-attributed.
+  Message hostile = MakeAllocRequest(5, 4);
+  hostile.tenant = 9;
+  auto reply = (*client)->Call(hostile);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status_code(), ErrorCode::kFailedPrecondition);
+  // The session itself survives for correctly-attributed traffic.
+  auto good = (*client)->Call(MakeLoadQuery(6));
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->type, MessageType::kLoadReport);
+}
+
+TEST_F(ReactorTcpTest, FirstTaggedFrameBindsOnOpenServers) {
+  StartServer();
+  auto client = Connect();  // No AUTH handshake, no tenant.
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Message tagged = MakeLoadQuery(1);
+  tagged.tenant = 5;
+  auto first = (*client)->Call(tagged);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, MessageType::kLoadReport);
+  // Bound now: any other tag on this session is a flip.
+  Message flipped = MakeLoadQuery(2);
+  flipped.tenant = 6;
+  auto second = (*client)->Call(flipped);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status_code(), ErrorCode::kFailedPrecondition);
+  // The original binding still serves.
+  Message again = MakeLoadQuery(3);
+  again.tenant = 5;
+  auto third = (*client)->Call(again);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->type, MessageType::kLoadReport);
 }
 
 #ifdef RMP_IO_URING

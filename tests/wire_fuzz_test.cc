@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <vector>
 
 #include "src/proto/wire.h"
@@ -186,6 +187,98 @@ TEST(WireFuzzTest, ServerAnswersMalformedBatchWithCleanError) {
   }
   EXPECT_EQ(server.live_pages(), 0u);
   EXPECT_EQ(server.stats().bytes_stored.load(), 0u);
+}
+
+// --- Hostile tenant-bearing frames (DESIGN.md §15) ---------------------------
+
+TEST(WireFuzzTest, TenantIdRoundTripsThroughTheHeader) {
+  Message tagged = MakeAllocRequest(1, 16);
+  tagged.tenant = kMaxTenantId;  // The largest id the wire admits.
+  auto decoded = Decode(Encode(tagged));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->tenant, kMaxTenantId);
+  EXPECT_EQ(*decoded, tagged);  // operator== covers the tenant field.
+}
+
+TEST(WireFuzzTest, OutOfRangeTenantIdIsRejectedAtDecode) {
+  // The id space is bounded before any per-tenant state can exist: a hostile
+  // or bit-flipped id past kMaxTenantId must never reach attribution.
+  for (const uint16_t hostile : {static_cast<uint16_t>(kMaxTenantId + 1),
+                                 static_cast<uint16_t>(0x8000), uint16_t{0xffff}}) {
+    std::vector<uint8_t> bytes = Encode(MakeAllocRequest(1, 16));
+    // The tenant field is the u16 at bytes 6..7 (the pre-§15 reserved field).
+    bytes[6] = static_cast<uint8_t>(hostile & 0xff);
+    bytes[7] = static_cast<uint8_t>(hostile >> 8);
+    auto decoded = Decode(bytes);
+    ASSERT_FALSE(decoded.ok()) << "tenant " << hostile << " decoded";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+    FrameReader reader;
+    reader.Feed(bytes);
+    auto streamed = reader.Next();
+    ASSERT_FALSE(streamed.ok());
+    EXPECT_EQ(streamed.status().code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(WireFuzzTest, StrictServerAnswersUnknownTenantFramesCleanly) {
+  MemoryServerParams params;
+  params.tenants.tenants = {{.id = 7}};
+  params.tenants.strict = true;
+  MemoryServer server(params);
+  // An authenticated-id-only policy: every op from an undeclared tenant is a
+  // clean FAILED_PRECONDITION, never a crash or a partial apply.
+  PageBuffer page;
+  FillPattern(page.span(), 3);
+  for (Message hostile : {MakeAllocRequest(1, 8), MakePageIn(2, 5),
+                          MakePageOut(3, 5, page.span()), MakeMigrate(4, 5)}) {
+    hostile.tenant = 99;
+    const Message reply = server.Handle(hostile);
+    EXPECT_EQ(reply.status_code(), ErrorCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(server.live_pages(), 0u);
+  EXPECT_EQ(server.TenantReservedPages(99), 0u);
+  EXPECT_EQ(server.TenantReservedPages(7), 0u);
+}
+
+TEST(WireFuzzTest, FlippedTenantAndFlagBytesNeverCrossCharge) {
+  // Seeded sweep over the unprotected header bytes (flags at 5, tenant at
+  // 6..7): whatever id a flip lands on, the decode either rejects it or the
+  // server attributes the op to exactly that id — occupancy charged to any
+  // tenant must match the grants that tenant's own admitted allocs received.
+  MemoryServerParams params;
+  params.tenants.tenants = {{.id = 7, .memory_quota_pages = 256}, {.id = 9}};
+  MemoryServer server(params);
+  Rng rng(0x7e4aULL);
+  std::map<uint16_t, uint64_t> granted;
+  for (int iter = 0; iter < 200; ++iter) {
+    Message request = MakeAllocRequest(static_cast<uint64_t>(iter) + 1, 4);
+    request.tenant = rng.Bernoulli(0.5) ? 7 : 9;
+    std::vector<uint8_t> bytes = Encode(request);
+    const int flips = 1 + static_cast<int>(rng.Below(3));
+    for (int f = 0; f < flips; ++f) {
+      bytes[5 + rng.Below(3)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    auto decoded = Decode(bytes);
+    if (!decoded.ok()) {
+      continue;  // Out-of-range id: rejected before attribution, by design.
+    }
+    const Message reply = server.Handle(*decoded);
+    if (reply.type == MessageType::kAllocReply && reply.status_code() == ErrorCode::kOk) {
+      granted[decoded->tenant] += reply.count;
+    }
+  }
+  for (const auto& [tenant, pages] : granted) {
+    if (tenant == 0) {
+      continue;  // The legacy lane is deliberately unaccounted.
+    }
+    EXPECT_EQ(server.TenantReservedPages(tenant), pages) << "tenant " << tenant;
+  }
+  // Ids that never received a grant were never charged.
+  for (const uint16_t quiet : {uint16_t{3}, uint16_t{500}, kMaxTenantId}) {
+    if (granted.find(quiet) == granted.end()) {
+      EXPECT_EQ(server.TenantReservedPages(quiet), 0u);
+    }
+  }
 }
 
 // --- Seeded random corruption sweeps ---------------------------------------
