@@ -1,0 +1,224 @@
+// Elastic rebalance pacing bench: foreground pagein latency vs. the
+// cluster.rebalance_pages_per_sec token bucket (DESIGN.md §16).
+//
+// A NO_RELIABILITY cluster on the paper's 10 Mbit/s shared Ethernet gains a
+// third server under steady foreground load; the armed rebalance walks the
+// moved hash ranges onto it, then the same server is decommissioned and the
+// drain walks them back off. Both rebalance directions share the wire with
+// the foreground faults, so every granted chunk delays the arrivals queued
+// behind it — exactly the repair-pacing tradeoff, applied to scale-out.
+// Sweeping the bucket rate shows it directly: unpaced rebalance converges
+// fastest but pushes foreground p99 to whole migration bursts; a modest
+// rate holds p99 near the bare service time while the fill/drain stretch
+// out proportionally.
+//
+// Emits BENCH_rebalance.json rows per rate: foreground p50/p99 (ms), fill
+// and drain elapsed (s), and pages moved.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace rmp {
+namespace {
+
+constexpr uint64_t kPages = 192;             // Working set preloaded before the join.
+constexpr uint64_t kSeed = 23;
+constexpr DurationNs kArrival = Millis(20);  // Foreground fault every 20 ms.
+constexpr size_t kMaxSamples = 4000;         // Safety bound per phase.
+
+struct RateResult {
+  double steady_p99_ms = 0;  // Pre-join baseline: the wire with no rebalance.
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double fill_elapsed_s = 0;
+  double drain_elapsed_s = 0;
+  int64_t pages_rebalanced = 0;
+  size_t samples = 0;
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(values.size() - 1,
+                                static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[index];
+}
+
+// Drives foreground arrivals against the pump until the pending rebalance
+// completes (rebalances_completed advances past `completed_before`), then
+// samples a short post-convergence tail. Returns the completion instant.
+Result<TimeNs> DrivePhase(Testbed* bed, TimeNs now, int64_t completed_before,
+                          std::vector<double>* latencies_ms, uint64_t* next_page,
+                          TimeNs* arrival) {
+  PageBuffer buffer;
+  TimeNs done_at = 0;
+  size_t samples_at_done = 0;
+  const size_t start = latencies_ms->size();
+  while (latencies_ms->size() < start + kMaxSamples) {
+    // The rebalance runs one bucket grant at the current instant (or stalls
+    // on an empty bucket)...
+    auto pumped = bed->repair()->Pump(now);
+    if (!pumped.ok()) {
+      return pumped.status();
+    }
+    now = *pumped;
+    if (done_at == 0 && bed->repair()->stats().rebalances_completed > completed_before &&
+        bed->repair()->idle()) {
+      done_at = now;
+      samples_at_done = latencies_ms->size();
+    }
+    // ...then every foreground fault that arrived while the wire carried the
+    // chunk is served behind it; when none are backlogged, the next arrival
+    // is served on time, which also advances the clock the bucket refills
+    // against.
+    do {
+      auto done = bed->backend().PageIn(std::max(now, *arrival), *next_page, buffer.span());
+      if (!done.ok()) {
+        return done.status();
+      }
+      latencies_ms->push_back(ToMillis(*done - *arrival));
+      now = *done;
+      *next_page = (*next_page + 1) % kPages;
+      *arrival += kArrival;
+    } while (*arrival <= now);
+    if (done_at != 0 && latencies_ms->size() >= samples_at_done + 32) {
+      return done_at;
+    }
+  }
+  return InternalError("rebalance did not converge within the sample budget");
+}
+
+Result<RateResult> RunAtRate(uint64_t rate_pages_per_sec) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  params.server_capacity_pages = 1024;
+  params.network = PaperEthernet();
+  auto made = Testbed::Create(params);
+  if (!made.ok()) {
+    return made.status();
+  }
+  auto bed = std::move(*made);
+  RepairParams repair_params;
+  repair_params.rebalance_pages_per_sec = rate_pages_per_sec;
+  // A page move costs two wire transfers, so even a small burst parks real
+  // time in front of a foreground fault; paced configs keep it at 2 while
+  // the unpaced baseline moves full 8-page trains.
+  repair_params.rebalance_burst_pages = rate_pages_per_sec == 0 ? 8 : 2;
+  RMP_RETURN_IF_ERROR(bed->EnableSelfHealing(HealthParams(), repair_params));
+  RMP_RETURN_IF_ERROR(bed->EnableElasticMembership());
+
+  auto loaded = bed->Preload(kPages, kSeed);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  // Placement was map-directed from the first pageout, so the arm from
+  // EnableElasticMembership retires with nothing to move.
+  auto settled = bed->repair()->RunToQuiescence(*loaded);
+  if (!settled.ok()) {
+    return settled.status();
+  }
+  TimeNs now = *settled;
+
+  RateResult result;
+  std::vector<double> latencies_ms;
+  uint64_t next_page = 0;
+  TimeNs arrival = now + kArrival;
+
+  // Phase 0 — steady state: the same arrival process with no rebalance in
+  // flight, giving the baseline the paced p99 is judged against.
+  {
+    std::vector<double> steady_ms;
+    PageBuffer buffer;
+    for (int i = 0; i < 200; ++i) {
+      auto done = bed->backend().PageIn(std::max(now, arrival), next_page, buffer.span());
+      if (!done.ok()) {
+        return done.status();
+      }
+      steady_ms.push_back(ToMillis(*done - arrival));
+      now = *done;
+      next_page = (next_page + 1) % kPages;
+      arrival += kArrival;
+    }
+    result.steady_p99_ms = Percentile(steady_ms, 0.99);
+  }
+
+  // Phase 1 — scale-out: the new server joins and the fill walks the moved
+  // hash ranges onto it under load.
+  int64_t completed = bed->repair()->stats().rebalances_completed;
+  auto joined = bed->JoinServer(&now);
+  if (!joined.ok()) {
+    return joined.status();
+  }
+  const TimeNs join_time = now;
+  auto fill_done = DrivePhase(bed.get(), now, completed, &latencies_ms, &next_page, &arrival);
+  if (!fill_done.ok()) {
+    return fill_done.status();
+  }
+  now = std::max(*fill_done, arrival - kArrival);
+  result.fill_elapsed_s = ToSeconds(*fill_done - join_time);
+
+  // Phase 2 — scale-in: the same server leaves and the drain walks its
+  // ranges back onto the survivors.
+  completed = bed->repair()->stats().rebalances_completed;
+  RMP_RETURN_IF_ERROR(bed->DecommissionServer(*joined, &now));
+  const TimeNs leave_time = now;
+  auto drain_done = DrivePhase(bed.get(), now, completed, &latencies_ms, &next_page, &arrival);
+  if (!drain_done.ok()) {
+    return drain_done.status();
+  }
+  now = *drain_done;
+  result.drain_elapsed_s = ToSeconds(*drain_done - leave_time);
+  if (bed->remote_pager()->PagesOn(*joined) != 0) {
+    return InternalError("drain left pages on the decommissioned server");
+  }
+  RMP_RETURN_IF_ERROR(bed->CompleteDecommission(*joined, &now));
+
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  result.pages_rebalanced = bed->repair()->stats().pages_rebalanced;
+  result.samples = latencies_ms.size();
+  return result;
+}
+
+}  // namespace
+}  // namespace rmp
+
+int main() {
+  using namespace rmp;
+  // The shared wire serves ~45 page transfers/s and a move costs two (read +
+  // write), so the bucket only bites below ~20 moves/s; 0 = unpaced baseline.
+  const uint64_t rates[] = {0, 5, 10, 20};
+  std::printf("rebalance pacing vs foreground pagein latency "
+              "(NO_RELIABILITY, join+decommission, %llu pages)\n",
+              static_cast<unsigned long long>(kPages));
+  std::printf("%-22s %10s %10s %10s %10s %10s %10s\n", "bucket", "steady p99", "p50 ms",
+              "p99 ms", "fill s", "drain s", "pages");
+  for (const uint64_t rate : rates) {
+    auto result = RunAtRate(rate);
+    if (!result.ok()) {
+      std::fprintf(stderr, "rate %llu: %s\n", static_cast<unsigned long long>(rate),
+                   std::string(result.status().message()).c_str());
+      return 1;
+    }
+    const std::string config =
+        rate == 0 ? "no_reliability/unpaced" : "no_reliability/rate" + std::to_string(rate);
+    std::printf("%-22s %10.2f %10.2f %10.2f %10.2f %10.2f %10lld\n", config.c_str(),
+                result->steady_p99_ms, result->p50_ms, result->p99_ms, result->fill_elapsed_s,
+                result->drain_elapsed_s, static_cast<long long>(result->pages_rebalanced));
+    EmitBenchResult("rebalance", config, "steady_p99", result->steady_p99_ms, "ms");
+    EmitBenchResult("rebalance", config, "foreground_p50", result->p50_ms, "ms");
+    EmitBenchResult("rebalance", config, "foreground_p99", result->p99_ms, "ms");
+    EmitBenchResult("rebalance", config, "fill_elapsed", result->fill_elapsed_s, "s");
+    EmitBenchResult("rebalance", config, "drain_elapsed", result->drain_elapsed_s, "s");
+    EmitBenchResult("rebalance", config, "pages_rebalanced",
+                    static_cast<double>(result->pages_rebalanced), "pages");
+  }
+  return 0;
+}

@@ -32,7 +32,11 @@ sanitizers=("${@:-address}")
 # tenant_smoke covers the multi-tenant QoS layer: quota admission under
 # concurrent multi-tenant churn is a lock-order/race surface (control vs
 # tenant mutex), so it runs under TSan alongside the scheduler suites.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke|tenant_smoke}"
+# membership_smoke covers elastic membership (DESIGN.md §16): live
+# join/decommission rebalance moves pages while foreground paging runs, and
+# the map-frame fail-closed decoding is exactly where ASan/UBSan findings
+# would hide behind clean-looking protocol errors.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke|tenant_smoke|membership_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

@@ -7,6 +7,29 @@
 #include "src/util/units.h"
 
 namespace rmp {
+namespace {
+
+// Request types that carry the client's map epoch in `aux` (DESIGN.md §16) —
+// the ops the server's epoch gate examines. Control traffic stays unstamped
+// so it keeps flowing while a client is mid-refresh.
+bool EpochStamped(MessageType type) {
+  switch (type) {
+    case MessageType::kAllocRequest:
+    case MessageType::kFreeRequest:
+    case MessageType::kPageOut:
+    case MessageType::kPageIn:
+    case MessageType::kPageOutBatch:
+    case MessageType::kPageInBatch:
+    case MessageType::kDeltaPageOut:
+    case MessageType::kXorMerge:
+    case MessageType::kMigrate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 Result<uint64_t> ServerPeer::TakeSlot() {
   if (!returned_.empty()) {
@@ -45,12 +68,18 @@ Result<Message> ServerPeer::Call(Message request) {
   if (request.tenant == 0) {
     request.tenant = tenant_;
   }
+  if (epoch_ != 0 && request.aux == 0 && EpochStamped(request.type)) {
+    request.aux = epoch_;
+  }
   return transport_->Call(request);
 }
 
 RpcFuture ServerPeer::CallAsync(Message request) {
   if (request.tenant == 0) {
     request.tenant = tenant_;
+  }
+  if (epoch_ != 0 && request.aux == 0 && EpochStamped(request.type)) {
+    request.aux = epoch_;
   }
   return transport_->CallAsync(std::move(request));
 }
@@ -386,6 +415,44 @@ Result<std::string> ServerPeer::DumpRemoteTrace() {
     return ProtocolError("unexpected reply to TRACE_DUMP on " + name_);
   }
   return std::string(IntrospectionJson(*reply));
+}
+
+Result<ClusterMap> ServerPeer::QueryMap() {
+  auto reply = Call(MakeMapQuery(NextRequestId()));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kMapReply) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "map query refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to MAP_QUERY on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    return Status(reply->status_code(), "map query failed on " + name_);
+  }
+  return ClusterMap::Deserialize(std::span<const uint8_t>(reply->payload));
+}
+
+Status ServerPeer::PublishMap(uint64_t epoch, std::span<const uint8_t> map_bytes) {
+  auto reply = Call(MakeMapPublish(NextRequestId(), epoch, map_bytes));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kMapPublishAck) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "map publish refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to MAP_PUBLISH on " + name_);
+  }
+  if (reply->status_code() != ErrorCode::kOk) {
+    return Status(reply->status_code(), "map publish rejected by " + name_);
+  }
+  return OkStatus();
 }
 
 Result<size_t> Cluster::MostPromising(bool refresh) {

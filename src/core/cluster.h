@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/proto/cluster_map.h"
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
 #include "src/util/metrics.h"
@@ -45,6 +46,13 @@ class ServerPeer {
   // before any RPC.
   uint16_t tenant() const { return tenant_; }
   void set_tenant(uint16_t tenant) { tenant_ = tenant; }
+
+  // Cluster-map epoch stamped (in the `aux` header field) onto every
+  // epoch-gated data request (DESIGN.md §16). 0 = no map adopted: requests go
+  // out unstamped and the server's epoch gate ignores them. Updated by
+  // RemotePagerBase whenever it adopts a newer map.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
 
   // ADVISE_STOP semantics (§2.1): "send no more pages to this server" means
   // no *new* swap-space grants; slots the client already holds in its pool
@@ -173,6 +181,13 @@ class ServerPeer {
   Result<std::string> QueryStats();
   Result<std::string> DumpRemoteTrace();
 
+  // --- Cluster-map exchange (DESIGN.md §16) --------------------------------
+  // Pulls the server's current map (NotFound when it holds none).
+  Result<ClusterMap> QueryMap();
+  // Installs `map_bytes` (a serialized ClusterMap of epoch `epoch`) on the
+  // server; STALE_EPOCH if the server already holds a newer one.
+  Status PublishMap(uint64_t epoch, std::span<const uint8_t> map_bytes);
+
  private:
   uint64_t NextRequestId() { return ++request_id_; }
   // Transport forwarders that stamp tenant_ onto untagged requests; every
@@ -196,6 +211,7 @@ class ServerPeer {
   std::unique_ptr<Transport> transport_;
   bool stopped_ = false;
   uint16_t tenant_ = 0;
+  uint64_t epoch_ = 0;
   bool no_new_extents_ = false;
   bool alive_ = true;
   uint64_t known_free_pages_ = 0;

@@ -205,6 +205,10 @@ void HealthMonitor::ProbeLocked(size_t peer, std::vector<HealthEvent>* events) {
 
 void HealthMonitor::Tick(TimeNs now, std::vector<HealthEvent>* events) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (peers_.size() < cluster_->size()) {
+    // Elastic scale-out appended peers to the cluster; start probing them.
+    peers_.resize(cluster_->size());
+  }
   for (size_t i = 0; i < peers_.size(); ++i) {
     PeerState& state = peers_[i];
     if (state.next_heartbeat > now) {
@@ -217,11 +221,17 @@ void HealthMonitor::Tick(TimeNs now, std::vector<HealthEvent>* events) {
 
 void HealthMonitor::ReportUnavailable(size_t peer, std::vector<HealthEvent>* events) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (peers_.size() < cluster_->size()) {
+    peers_.resize(cluster_->size());
+  }
   MissLocked(peer, !cluster_->peer(peer).transport().connected(), events);
 }
 
 void HealthMonitor::MarkReadmitted(size_t peer) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (peer >= peers_.size()) {
+    return;
+  }
   PeerState& state = peers_[peer];
   if (state.health != PeerHealth::kRejoining) {
     return;
@@ -233,6 +243,9 @@ void HealthMonitor::MarkReadmitted(size_t peer) {
 
 PeerHealth HealthMonitor::health(size_t peer) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (peer >= peers_.size()) {
+    return PeerHealth::kAlive;  // Freshly joined; first Tick() will probe it.
+  }
   return peers_[peer].health;
 }
 

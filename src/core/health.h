@@ -79,7 +79,8 @@ struct HealthStats {
 
 class HealthMonitor {
  public:
-  // `cluster` must outlive the monitor. Peer count is fixed at construction.
+  // `cluster` must outlive the monitor. Peers appended to the cluster later
+  // (elastic scale-out, DESIGN.md §16) are picked up on the next Tick().
   explicit HealthMonitor(Cluster* cluster, const HealthParams& params = HealthParams());
   ~HealthMonitor();  // Stops the background pump if running.
 

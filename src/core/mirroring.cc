@@ -44,6 +44,23 @@ Result<MirroringBackend::Replica> MirroringBackend::AcquireReplicaSlot(TimeNs* n
   return NoSpaceError("no usable server for mirror replica");
 }
 
+Result<MirroringBackend::Replica> MirroringBackend::AcquireReplicaSlotPreferring(
+    size_t preferred, size_t avoid, TimeNs* now) {
+  if (preferred < cluster_.size() && preferred != avoid && cluster_.peer(preferred).usable()) {
+    auto slot = TakeSlotOn(preferred, now);
+    if (slot.ok()) {
+      return Replica{preferred, *slot};
+    }
+    if (slot.status().code() == ErrorCode::kNoSpace) {
+      cluster_.peer(preferred).set_stopped(true);
+    } else if (!IsRetryableError(slot.status())) {
+      return slot.status();
+    }
+    // Preferred peer full or flaky: any usable peer beats failing the write.
+  }
+  return AcquireReplicaSlot(now, avoid);
+}
+
 Result<MirroringBackend::Replica> MirroringBackend::WriteNewReplica(
     TimeNs* now, std::span<const uint8_t> data, size_t avoid) {
   for (size_t attempts = 0; attempts < cluster_.size() + 1; ++attempts) {
@@ -149,14 +166,22 @@ Result<TimeNs> MirroringBackend::PageOut(TimeNs now, uint64_t page_id,
   }
 
   // Fresh page: reserve slots on two distinct servers up front, then write
-  // both replicas in parallel.
+  // both replicas in parallel. With a cluster map adopted, the page's
+  // two-deep owner chain gets first refusal on each slot.
+  size_t want[2] = {cluster_.size(), cluster_.size()};
+  if (has_cluster_map()) {
+    const auto chain = cluster_map().OwnerChain(cluster_map().GroupOf(page_id), 2);
+    for (size_t c = 0; c < chain.size() && c < 2; ++c) {
+      want[c] = chain[c];
+    }
+  }
   MirrorEntry entry;
-  auto first = AcquireReplicaSlot(&now, cluster_.size());
+  auto first = AcquireReplicaSlotPreferring(want[0], cluster_.size(), &now);
   if (!first.ok()) {
     return first.status();
   }
   entry.copies[0] = *first;
-  auto second = AcquireReplicaSlot(&now, first->peer);
+  auto second = AcquireReplicaSlotPreferring(want[1], first->peer, &now);
   if (!second.ok()) {
     return second.status();
   }
@@ -358,6 +383,95 @@ Result<uint64_t> MirroringBackend::MigrateStep(size_t peer, uint64_t max_pages, 
     entry.copies[c] = *replica;
   }
   return victims.size();
+}
+
+Result<uint64_t> MirroringBackend::RebalanceStep(uint64_t max_pages, TimeNs* now) {
+  if (!has_cluster_map() || max_pages == 0) {
+    return 0;
+  }
+  const ClusterMap& map = cluster_map();
+  struct Move {
+    uint64_t page_id = 0;
+    int copy = 0;    // Which of the two copies is the stray.
+    size_t dest = 0; // The owner-chain peer missing a copy.
+  };
+  std::vector<Move> moves;
+  for (const auto& [page_id, entry] : table_) {
+    const auto chain = map.OwnerChain(map.GroupOf(page_id), 2);
+    if (chain.size() < 2) {
+      continue;  // Fewer than two active members: nowhere better to be.
+    }
+    const size_t p0 = entry.copies[0].peer;
+    const size_t p1 = entry.copies[1].peer;
+    const bool in0 = p0 == chain[0] || p0 == chain[1];
+    const bool in1 = p1 == chain[0] || p1 == chain[1];
+    if (in0 && in1 && p0 != p1) {
+      continue;  // Both copies sit on the chain already.
+    }
+    // Move one stray copy per step; a page with both copies astray converges
+    // over two steps. The destination is a chain peer not already holding a
+    // copy — and it must be usable before the move is attempted.
+    const int stray = in0 ? 1 : 0;
+    const size_t keep = stray == 0 ? p1 : p0;
+    const size_t dest = chain[0] != keep ? chain[0] : chain[1];
+    if (dest == entry.copies[stray].peer || !cluster_.peer(dest).usable()) {
+      continue;
+    }
+    moves.push_back({page_id, stray, dest});
+    if (moves.size() >= max_pages) {
+      break;
+    }
+  }
+  uint64_t moved = 0;
+  PageBuffer buffer;
+  for (const Move& mv : moves) {
+    MirrorEntry& entry = table_.at(mv.page_id);
+    const Replica old = entry.copies[mv.copy];
+    const Replica& other = entry.copies[1 - mv.copy];
+    // Read from whichever copy answers (the page always keeps two copies
+    // except for the stray being retired, so a crash mid-move loses nothing).
+    Status read = ReliablePageIn(old.peer, old.slot, buffer.span(), now);
+    if (read.ok()) {
+      *now = ChargePageTransfer(*now, old.peer);
+    } else {
+      if (!IsRetryableError(read)) {
+        return read;
+      }
+      Status mirror_read = ReliablePageIn(other.peer, other.slot, buffer.span(), now);
+      if (!mirror_read.ok()) {
+        continue;  // Neither copy reachable right now; a later step retries.
+      }
+      *now = ChargePageTransfer(*now, other.peer);
+    }
+    auto slot = TakeSlotOn(mv.dest, now);
+    if (!slot.ok()) {
+      continue;
+    }
+    auto advise = ReliablePageOut(mv.dest, *slot, buffer.span(), now);
+    if (!advise.ok()) {
+      cluster_.peer(mv.dest).ReturnSlot(*slot);
+      continue;
+    }
+    *now = ChargePageTransferAsync(*now, mv.dest);
+    if (*advise) {
+      cluster_.peer(mv.dest).set_no_new_extents(true);
+    }
+    // The table flips only after the chain peer holds an acknowledged copy;
+    // the stray's slot is then freed best-effort (a missed free costs the
+    // old server capacity, never the client data).
+    entry.copies[mv.copy] = Replica{mv.dest, *slot};
+    (void)ReliableFree(old.peer, old.slot, 1, now);
+    ++moved;
+  }
+  return moved;
+}
+
+uint64_t MirroringBackend::PagesOn(size_t peer) const {
+  uint64_t count = 0;
+  for (const auto& [page_id, entry] : table_) {
+    count += (entry.copies[0].peer == peer ? 1 : 0) + (entry.copies[1].peer == peer ? 1 : 0);
+  }
+  return count;
 }
 
 int64_t MirroringBackend::fully_replicated_pages() const {

@@ -42,6 +42,16 @@ class MirroringBackend final : public RemotePagerBase {
   // keeping both copies of every page on distinct servers throughout.
   Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
+  // Elastic-membership rebalance quantum (DESIGN.md §16): moves replica
+  // copies whose placement disagrees with the map's two-deep owner chain.
+  // One copy moves per page per step (read, write to the chain peer, free
+  // the stray copy — in that order), so the page keeps two acknowledged
+  // copies except for the stray being retired.
+  Result<uint64_t> RebalanceStep(uint64_t max_pages, TimeNs* now) override;
+
+  // Replica copies currently stored on `peer` (both copies count).
+  uint64_t PagesOn(size_t peer) const override;
+
   // Number of pages currently holding two live replicas (invariant probe).
   int64_t fully_replicated_pages() const;
 
@@ -57,6 +67,12 @@ class MirroringBackend final : public RemotePagerBase {
   // Reserves a fresh slot on some usable peer other than `avoid` (pass
   // cluster_.size() to allow any). Does not touch the page data.
   Result<Replica> AcquireReplicaSlot(TimeNs* now, size_t avoid);
+
+  // Like AcquireReplicaSlot but tries `preferred` first (the map's owner-
+  // chain peer); falls back to the round-robin scan when the preferred peer
+  // is unusable, full, or equal to `avoid`. Pass cluster_.size() as
+  // `preferred` to skip the preference.
+  Result<Replica> AcquireReplicaSlotPreferring(size_t preferred, size_t avoid, TimeNs* now);
 
   // Writes `data` to a fresh slot on some usable peer other than `avoid`
   // (pass cluster_.size() to allow any). Returns the written replica.

@@ -1,5 +1,7 @@
 #include "src/core/no_reliability.h"
 
+#include <cstring>
+#include <map>
 #include <vector>
 
 #include "src/util/logging.h"
@@ -29,9 +31,10 @@ Result<TimeNs> NoReliabilityBackend::SendToDisk(TimeNs now, uint64_t page_id,
 Result<TimeNs> NoReliabilityBackend::PlaceAndSend(TimeNs now, uint64_t page_id,
                                                   std::span<const uint8_t> data) {
   // Try servers until one takes the page; denial marks the server stopped
-  // (§2.1) and the search continues.
+  // (§2.1) and the search continues. With a cluster map adopted, the map
+  // owner gets first refusal so steady-state placement matches the ring.
   while (cluster_.AnyUsable()) {
-    auto pick = PickPeer(&now);
+    auto pick = PickPeerForPage(page_id, &now);
     if (!pick.ok()) {
       break;
     }
@@ -127,6 +130,9 @@ Result<TimeNs> NoReliabilityBackend::PageOut(TimeNs now, uint64_t page_id,
 
 Result<TimeNs> NoReliabilityBackend::PlaceBatch(TimeNs now, std::span<const uint64_t> page_ids,
                                                 std::span<const uint8_t> data) {
+  if (has_cluster_map()) {
+    return PlaceBatchByOwner(now, page_ids, data);
+  }
   const TimeNs start = now;
   size_t placed = 0;
   while (placed < page_ids.size() && cluster_.AnyUsable()) {
@@ -181,6 +187,100 @@ Result<TimeNs> NoReliabilityBackend::PlaceBatch(TimeNs now, std::span<const uint
   stats_.paging_time += now - start;
   for (; placed < page_ids.size(); ++placed) {
     auto done = PageOut(now, page_ids[placed], data.subspan(placed * kPageSize, kPageSize));
+    if (!done.ok()) {
+      return done;
+    }
+    now = *done;
+  }
+  return now;
+}
+
+Result<TimeNs> NoReliabilityBackend::PlaceBatchByOwner(TimeNs now,
+                                                       std::span<const uint64_t> page_ids,
+                                                       std::span<const uint8_t> data) {
+  const TimeNs start = now;
+  // Bucket the run by map owner so each batch frame lands where the ring
+  // says the pages belong. The run is hash-interleaved, so batches are
+  // assembled in a staging buffer rather than sliced out of `data`.
+  std::map<size_t, std::vector<size_t>> by_owner;
+  for (size_t i = 0; i < page_ids.size(); ++i) {
+    auto owner = MapOwnerPeer(page_ids[i]);
+    if (owner.ok() && cluster_.peer(*owner).usable()) {
+      by_owner[*owner].push_back(i);
+    }
+    // Unusable owner: the page rides the single-page path below, which
+    // falls back exactly like PlaceAndSend.
+  }
+  std::vector<bool> placed(page_ids.size(), false);
+  std::vector<uint8_t> staging;
+  for (auto& [peer_index, indices] : by_owner) {
+    ServerPeer& peer = cluster_.peer(peer_index);
+    size_t pos = 0;
+    while (pos < indices.size() && peer.usable()) {
+      std::vector<uint64_t> slots;
+      Status slot_status = OkStatus();
+      while (pos + slots.size() < indices.size() && slots.size() < kMaxBatchPages) {
+        auto slot = TakeSlotOn(peer_index, &now);
+        if (!slot.ok()) {
+          slot_status = slot.status();
+          break;
+        }
+        slots.push_back(*slot);
+      }
+      if (!slot_status.ok() && slot_status.code() != ErrorCode::kNoSpace &&
+          slot_status.code() != ErrorCode::kUnavailable) {
+        return slot_status;
+      }
+      if (slot_status.code() == ErrorCode::kNoSpace) {
+        peer.set_stopped(true);
+      }
+      if (slots.empty()) {
+        break;
+      }
+      staging.resize(slots.size() * kPageSize);
+      for (size_t j = 0; j < slots.size(); ++j) {
+        std::memcpy(staging.data() + j * kPageSize,
+                    data.data() + indices[pos + j] * kPageSize, kPageSize);
+      }
+      auto advise = peer.PageOutBatchTo(slots, staging);
+      if (!advise.ok()) {
+        if (advise.status().code() == ErrorCode::kStaleEpoch) {
+          // The server is alive and the slots are still ours — hand them
+          // back, refresh the map, and let the single-page path (which
+          // retries under the new epoch) take the rest of this bucket.
+          for (const uint64_t slot : slots) {
+            peer.ReturnSlot(slot);
+          }
+          NoteStaleEpoch(1, &now);
+          break;
+        }
+        if (advise.status().code() == ErrorCode::kUnavailable) {
+          break;  // Peer died mid-batch; its slots die with it.
+        }
+        return advise.status();
+      }
+      now = ChargePageBatchTransferAsync(now, slots.size(), peer_index);
+      if (*advise) {
+        peer.set_no_new_extents(true);
+      }
+      for (size_t j = 0; j < slots.size(); ++j) {
+        const size_t i = indices[pos + j];
+        Location& loc = table_[page_ids[i]];
+        loc.on_disk = false;
+        loc.peer = peer_index;
+        loc.slot = slots[j];
+        placed[i] = true;
+      }
+      stats_.pageouts += static_cast<int64_t>(slots.size());
+      pos += slots.size();
+    }
+  }
+  stats_.paging_time += now - start;
+  for (size_t i = 0; i < page_ids.size(); ++i) {
+    if (placed[i]) {
+      continue;
+    }
+    auto done = PageOut(now, page_ids[i], data.subspan(i * kPageSize, kPageSize));
     if (!done.ok()) {
       return done;
     }
@@ -293,6 +393,85 @@ Result<uint64_t> NoReliabilityBackend::MigrateStep(size_t peer_index, uint64_t m
   return victims.size();
 }
 
+Result<uint64_t> NoReliabilityBackend::RebalanceStep(uint64_t max_pages, TimeNs* now) {
+  if (!has_cluster_map() || max_pages == 0) {
+    return 0;
+  }
+  struct Move {
+    uint64_t page_id = 0;
+    size_t from = 0;
+    uint64_t slot = 0;
+    size_t to = 0;
+  };
+  std::vector<Move> moves;
+  for (const auto& [page_id, loc] : table_) {
+    if (loc.on_disk) {
+      continue;  // Disk-parked pages drain via DrainDiskToServers.
+    }
+    auto owner = MapOwnerPeer(page_id);
+    if (!owner.ok() || *owner == loc.peer) {
+      continue;
+    }
+    ServerPeer& holder = cluster_.peer(loc.peer);
+    if (!holder.transport().connected()) {
+      continue;  // Crashed holder: without redundancy there is nothing to move.
+    }
+    if (!cluster_.peer(*owner).usable()) {
+      continue;
+    }
+    moves.push_back({page_id, loc.peer, loc.slot, *owner});
+    if (moves.size() >= max_pages) {
+      break;
+    }
+  }
+  uint64_t moved = 0;
+  PageBuffer buffer;
+  for (const Move& mv : moves) {
+    // Read without freeing: the old holder keeps the only copy until the new
+    // owner has acked the write, so a crash mid-move never loses the page
+    // (the table still points at whichever server last acked it).
+    Status read = ReliablePageIn(mv.from, mv.slot, buffer.span(), now);
+    if (!read.ok()) {
+      continue;  // Holder hiccup; a later step retries this page.
+    }
+    *now = ChargePageTransfer(*now, mv.from);
+    auto slot = TakeSlotOn(mv.to, now);
+    if (!slot.ok()) {
+      continue;
+    }
+    auto advise = ReliablePageOut(mv.to, *slot, buffer.span(), now);
+    if (!advise.ok()) {
+      cluster_.peer(mv.to).ReturnSlot(*slot);
+      continue;
+    }
+    *now = ChargePageTransferAsync(*now, mv.to);
+    if (*advise) {
+      cluster_.peer(mv.to).set_no_new_extents(true);
+    }
+    // Only now does the table flip: reads keep hitting the old holder until
+    // the new owner holds an acknowledged copy.
+    Location& loc = table_[mv.page_id];
+    loc.on_disk = false;
+    loc.peer = mv.to;
+    loc.slot = *slot;
+    // Best-effort free of the old copy; a missed free costs the old server
+    // capacity, never the client data.
+    (void)ReliableFree(mv.from, mv.slot, 1, now);
+    ++moved;
+  }
+  return moved;
+}
+
+uint64_t NoReliabilityBackend::PagesOn(size_t peer) const {
+  uint64_t count = 0;
+  for (const auto& [page_id, loc] : table_) {
+    if (!loc.on_disk && loc.peer == peer) {
+      ++count;
+    }
+  }
+  return count;
+}
+
 Status NoReliabilityBackend::MigrateFrom(size_t peer_index, TimeNs* now) {
   uint64_t total = 0;
   while (true) {
@@ -313,9 +492,17 @@ Result<int> NoReliabilityBackend::DrainDiskToServers(TimeNs* now, int max_pages)
   if (local_disk_ == nullptr || pages_on_disk_ == 0) {
     return 0;
   }
-  // Re-open stopped-but-alive servers whose load has dropped.
+  // Re-open stopped-but-alive servers whose load has dropped. Peers the
+  // cluster map stopped (kLeaving or absent members) stay stopped — the map,
+  // not the load probe, owns their placement state.
   for (size_t i = 0; i < cluster_.size(); ++i) {
     ServerPeer& peer = cluster_.peer(i);
+    if (has_cluster_map()) {
+      const ClusterMember* member = cluster_map().FindMember(static_cast<uint32_t>(i));
+      if (member == nullptr || member->state != ClusterMember::State::kActive) {
+        continue;
+      }
+    }
     if (peer.alive() && (peer.stopped() || peer.no_new_extents())) {
       auto load = peer.QueryLoad();
       *now = ChargeControl(*now);

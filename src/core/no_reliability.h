@@ -53,6 +53,14 @@ class NoReliabilityBackend final : public RemotePagerBase {
   // 0 = the peer no longer holds any page.
   Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now) override;
 
+  // Elastic-membership rebalance quantum (DESIGN.md §16): moves pages whose
+  // holder disagrees with the adopted map onto their map owner, read-then-
+  // write-then-free so the page always has a live copy. 0 = placement
+  // matches the map (or nothing actionable right now).
+  Result<uint64_t> RebalanceStep(uint64_t max_pages, TimeNs* now) override;
+
+  uint64_t PagesOn(size_t peer) const override;
+
   // Replicates disk-parked pages back to servers with free memory (§2.1:
   // "the client periodically checks the memory load of all possible remote
   // memory servers"). Returns the number of pages moved.
@@ -76,6 +84,12 @@ class NoReliabilityBackend final : public RemotePagerBase {
   // pages no server takes ride the single-page path (and its disk fallback).
   Result<TimeNs> PlaceBatch(TimeNs now, std::span<const uint64_t> page_ids,
                             std::span<const uint8_t> data);
+
+  // Map-aware PlaceBatch: buckets the run by consistent-hash owner and ships
+  // each bucket as batch frames to its owner; pages whose owner is unusable
+  // ride the single-page path (which falls back like PlaceAndSend).
+  Result<TimeNs> PlaceBatchByOwner(TimeNs now, std::span<const uint64_t> page_ids,
+                                   std::span<const uint8_t> data);
 
   Result<TimeNs> SendToDisk(TimeNs now, uint64_t page_id, std::span<const uint8_t> data);
 

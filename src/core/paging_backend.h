@@ -45,6 +45,9 @@ struct BackendStats {
   int64_t reconstructions = 0;  // Pages rebuilt (parity XOR or re-upload)
                                 // after a crash.
   DurationNs backoff_time = 0;  // Time spent sleeping between retry attempts.
+  int64_t stale_epoch_retries = 0;  // Ops denied with STALE_EPOCH and retried
+                                    // after a map refresh (DESIGN.md §16) —
+                                    // never surfaced as data loss.
 };
 
 class PagingBackend {

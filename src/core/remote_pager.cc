@@ -55,6 +55,7 @@ void RemotePagerBase::SyncStatsToMetrics() {
   metrics_.GetCounter("backend.degraded_reads")->store(stats_.degraded_reads);
   metrics_.GetCounter("backend.reconstructions")->store(stats_.reconstructions);
   metrics_.GetCounter("backend.backoff_time_ns")->store(stats_.backoff_time);
+  metrics_.GetCounter("backend.stale_epoch_retries")->store(stats_.stale_epoch_retries);
 }
 
 Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
@@ -66,14 +67,21 @@ Result<uint64_t> RemotePagerBase::TakeSlotOn(size_t i, TimeNs* now) {
   if (peer.no_new_extents()) {
     return NoSpaceError(peer.name() + " advised stop; pool exhausted");
   }
-  Status granted = peer.AllocExtent(params_.alloc_extent_pages);
-  if (granted.code() == ErrorCode::kNoSpace && params_.alloc_extent_pages > 1) {
-    // A long-lived server's free space fragments into scattered single
-    // slots (reclaimed parity-group members); fall back to single-slot
-    // grants before giving up on the server.
-    granted = peer.AllocExtent(1);
+  for (int attempt = 1;; ++attempt) {
+    Status granted = peer.AllocExtent(params_.alloc_extent_pages);
+    if (granted.code() == ErrorCode::kNoSpace && params_.alloc_extent_pages > 1) {
+      // A long-lived server's free space fragments into scattered single
+      // slots (reclaimed parity-group members); fall back to single-slot
+      // grants before giving up on the server.
+      granted = peer.AllocExtent(1);
+    }
+    if (granted.code() == ErrorCode::kStaleEpoch && attempt < params_.retry.max_attempts) {
+      NoteStaleEpoch(attempt, now);
+      continue;
+    }
+    RMP_RETURN_IF_ERROR(granted);
+    break;
   }
-  RMP_RETURN_IF_ERROR(granted);
   *now = ChargeControl(*now);
   return peer.TakeSlot();
 }
@@ -116,6 +124,13 @@ Status RemotePagerBase::ReliablePageIn(size_t peer_index, uint64_t slot, std::sp
   Status status = OkStatus();
   for (int attempt = 1;; ++attempt) {
     status = peer.PageInFrom(slot, out);
+    if (status.code() == ErrorCode::kStaleEpoch && attempt < params_.retry.max_attempts) {
+      // The server holds a newer map than we stamped. Refresh and retry the
+      // same slot: during a handoff the old owner keeps serving reads until
+      // the new owner acked the last page, so the read stays answerable.
+      NoteStaleEpoch(attempt, now);
+      continue;
+    }
     if (status.ok() || attempt >= params_.retry.max_attempts ||
         !ShouldRetry(peer_index, status)) {
       return status;
@@ -132,9 +147,33 @@ Result<bool> RemotePagerBase::ReliablePageOut(size_t peer_index, uint64_t slot,
   ServerPeer& peer = cluster_.peer(peer_index);
   for (int attempt = 1;; ++attempt) {
     auto advise = peer.PageOutTo(slot, data);
+    if (advise.status().code() == ErrorCode::kStaleEpoch &&
+        attempt < params_.retry.max_attempts) {
+      NoteStaleEpoch(attempt, now);
+      continue;
+    }
     if (advise.ok() || attempt >= params_.retry.max_attempts ||
         !ShouldRetry(peer_index, advise.status())) {
       return advise;
+    }
+    peer.mark_alive();
+    ChargeBackoff(attempt, now);
+  }
+}
+
+Status RemotePagerBase::ReliableFree(size_t peer_index, uint64_t first_slot, uint64_t count,
+                                     TimeNs* now) {
+  ServerPeer& peer = cluster_.peer(peer_index);
+  Status status = OkStatus();
+  for (int attempt = 1;; ++attempt) {
+    status = peer.FreeOn(first_slot, count);
+    if (status.code() == ErrorCode::kStaleEpoch && attempt < params_.retry.max_attempts) {
+      NoteStaleEpoch(attempt, now);
+      continue;
+    }
+    if (status.ok() || attempt >= params_.retry.max_attempts ||
+        !ShouldRetry(peer_index, status)) {
+      return status;
     }
     peer.mark_alive();
     ChargeBackoff(attempt, now);
@@ -247,6 +286,126 @@ Result<uint64_t> RemotePagerBase::MigrateStep(size_t peer, uint64_t max_pages, T
   (void)max_pages;
   (void)now;
   return 0;
+}
+
+Result<uint64_t> RemotePagerBase::RebalanceStep(uint64_t max_pages, TimeNs* now) {
+  (void)max_pages;
+  (void)now;
+  return 0;
+}
+
+uint64_t RemotePagerBase::PagesOn(size_t peer) const {
+  (void)peer;
+  return 0;
+}
+
+void RemotePagerBase::AdoptLocal(const ClusterMap& map) {
+  map_ = map;
+  has_map_ = true;
+  // The map owns placement state from here on: every peer carries the epoch
+  // (stamped into data requests), ACTIVE members take new pages, kLeaving and
+  // absent members do not — but both keep serving reads for pages still on
+  // them (stopped peers stay read-usable; only placement skips them).
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    ServerPeer& peer = cluster_.peer(i);
+    peer.set_epoch(map_.epoch());
+    const ClusterMember* member = map_.FindMember(static_cast<uint32_t>(i));
+    peer.set_stopped(member == nullptr || member->state != ClusterMember::State::kActive);
+  }
+}
+
+bool RemotePagerBase::AdoptClusterMap(const ClusterMap& map, TimeNs* now, bool publish) {
+  if (has_map_ && map.epoch() <= map_.epoch()) {
+    return false;
+  }
+  AdoptLocal(map);
+  if (publish) {
+    // Best-effort fan-out: a peer that misses the publish (dead, mid-restart)
+    // learns the epoch from the next stamped request it denies, or from the
+    // republish after its repair. The client is the map coordinator here —
+    // the same central role the paper's pager already plays for placement.
+    const std::vector<uint8_t> bytes = map_.Serialize();
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      ServerPeer& peer = cluster_.peer(i);
+      if (!peer.alive() || !peer.transport().connected()) {
+        continue;
+      }
+      (void)peer.PublishMap(map_.epoch(), bytes);
+      *now = ChargeControl(*now, i);
+    }
+  }
+  return true;
+}
+
+Status RemotePagerBase::RefreshClusterMap(TimeNs* now) {
+  bool found = false;
+  ClusterMap newest;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    ServerPeer& peer = cluster_.peer(i);
+    if (!peer.transport().connected()) {
+      continue;
+    }
+    auto map = peer.QueryMap();
+    *now = ChargeControl(*now, i);
+    if (!map.ok()) {
+      continue;  // No map there (or the peer just died) — keep scanning.
+    }
+    if (!found || map->epoch() > newest.epoch()) {
+      newest = std::move(*map);
+      found = true;
+    }
+  }
+  last_map_refresh_ = *now;
+  if (!found) {
+    return UnavailableError("no peer returned a cluster map");
+  }
+  if (!has_map_ || newest.epoch() > map_.epoch()) {
+    AdoptLocal(newest);
+  }
+  return OkStatus();
+}
+
+Result<size_t> RemotePagerBase::MapOwnerPeer(uint64_t page_id) const {
+  if (!has_map_) {
+    return FailedPreconditionError("no cluster map adopted");
+  }
+  const uint32_t owner = map_.OwnerOf(map_.GroupOf(page_id));
+  if (owner >= cluster_.size()) {
+    return InternalError("map owner " + std::to_string(owner) + " beyond cluster");
+  }
+  return static_cast<size_t>(owner);
+}
+
+void RemotePagerBase::NotePeerAdded(size_t i) {
+  ServerPeer& peer = cluster_.peer(i);
+  peer.AttachMetrics(&metrics_);
+  if (has_map_) {
+    peer.set_epoch(map_.epoch());
+    const ClusterMember* member = map_.FindMember(static_cast<uint32_t>(i));
+    peer.set_stopped(member == nullptr || member->state != ClusterMember::State::kActive);
+  }
+}
+
+Result<size_t> RemotePagerBase::PickPeerForPage(uint64_t page_id, TimeNs* now) {
+  if (has_map_ && params_.map_refresh_interval > 0 &&
+      *now - last_map_refresh_ >= params_.map_refresh_interval) {
+    (void)RefreshClusterMap(now);  // Proactive; staleness is still recoverable.
+  }
+  if (has_map_) {
+    auto owner = MapOwnerPeer(page_id);
+    if (owner.ok() && cluster_.peer(*owner).usable()) {
+      return owner;
+    }
+    // Owner dead or full: any usable peer keeps the write landing; the
+    // rebalance job walks it home once the owner returns.
+  }
+  return PickPeer(now);
+}
+
+void RemotePagerBase::NoteStaleEpoch(int attempt, TimeNs* now) {
+  ++stats_.stale_epoch_retries;
+  (void)RefreshClusterMap(now);  // Best-effort: the retry re-tests the gate.
+  ChargeBackoff(attempt, now);
 }
 
 }  // namespace rmp

@@ -48,6 +48,11 @@ struct RemotePagerParams {
   // Page-lifecycle tracer tuning (DESIGN.md §12): ring size, slow-op
   // threshold, span cap.
   PageTracerOptions trace;
+  // Proactive cluster-map refresh period (`cluster.epoch_refresh_ms`,
+  // DESIGN.md §16). 0 = refresh only reactively, when a server denies an op
+  // with STALE_EPOCH — the cheapest correct configuration, since the denial
+  // carries the new epoch anyway.
+  DurationNs map_refresh_interval = 0;
 };
 
 class RemotePagerBase : public PagingBackend {
@@ -85,6 +90,44 @@ class RemotePagerBase : public PagingBackend {
   // other servers or local disk — the §2.1 migration story, triggered by
   // ADVISE_STOP. Default: nothing to drain.
   virtual Result<uint64_t> MigrateStep(size_t peer, uint64_t max_pages, TimeNs* now);
+
+  // --- Elastic membership (DESIGN.md §16) ----------------------------------
+
+  // Moves up to `max_pages` pages whose placement disagrees with the adopted
+  // cluster map onto their map owners (read from the old holder, write to the
+  // new owner, free the old copy — in that order, so a crash mid-move never
+  // leaves the page without a live source). Returns pages moved; 0 = the
+  // placement already matches the map. Default: nothing to rebalance.
+  virtual Result<uint64_t> RebalanceStep(uint64_t max_pages, TimeNs* now);
+
+  // Pages the policy currently stores on `peer` (replica copies count).
+  // Drives decommission completion: a kLeaving member with PagesOn == 0 can
+  // be dropped from the map. Default: 0.
+  virtual uint64_t PagesOn(size_t peer) const;
+
+  // Adopts `map` when it is newer than the current one: records it, stamps
+  // every peer's epoch (so subsequent data ops carry it in `aux`), and lets
+  // the map drive peer placement state (kLeaving / absent members stop
+  // receiving new pages). When `publish` is set, best-effort MAP_PUBLISHes
+  // the map to every alive peer — the client doubles as map coordinator, the
+  // same role the paper gives it for placement. Charges control traffic to
+  // *now. Returns true when the map was adopted (false = not newer).
+  bool AdoptClusterMap(const ClusterMap& map, TimeNs* now, bool publish = true);
+
+  // Queries every alive peer for its map and adopts the newest one found.
+  // The reactive half of stale-epoch recovery: a STALE_EPOCH denial calls
+  // this before the retry. Unavailable when no peer returned a map.
+  Status RefreshClusterMap(TimeNs* now);
+
+  bool has_cluster_map() const { return has_map_; }
+  const ClusterMap& cluster_map() const { return map_; }
+
+  // The peer index owning `page_id` under the adopted map.
+  Result<size_t> MapOwnerPeer(uint64_t page_id) const;
+
+  // Called after a peer is appended to cluster() at runtime (scale-out):
+  // wires its metrics and stamps the current map epoch onto it.
+  void NotePeerAdded(size_t i);
 
  protected:
   RemotePagerBase(Cluster cluster, std::shared_ptr<NetworkFabric> fabric,
@@ -168,6 +211,18 @@ class RemotePagerBase : public PagingBackend {
   // Picks a peer for a fresh page according to params_.selection.
   Result<size_t> PickPeer(TimeNs* now);
 
+  // Map-aware placement: the map owner of `page_id` when a map is adopted
+  // and the owner is usable, otherwise whatever PickPeer chooses. Also runs
+  // the proactive map refresh when map_refresh_interval has elapsed.
+  Result<size_t> PickPeerForPage(uint64_t page_id, TimeNs* now);
+
+  // FreeOn with the shared retry taxonomy (transient errors, STALE_EPOCH).
+  Status ReliableFree(size_t peer_index, uint64_t first_slot, uint64_t count, TimeNs* now);
+
+  // Reacts to a STALE_EPOCH denial: counts it, refreshes the map, and
+  // charges one backoff interval before the caller retries.
+  void NoteStaleEpoch(int attempt, TimeNs* now);
+
   // Stamps the spans of one fabric transfer (service / queue / wire) onto
   // the tracer and folds its costs into stats_; returns the completion time.
   TimeNs ChargeTransferCost(TimeNs now, const NetworkFabric::TransferCost& cost);
@@ -182,9 +237,18 @@ class RemotePagerBase : public PagingBackend {
   PageTracer tracer_;
 
  private:
+  // Installs `map` locally: records it and lets it drive peer epoch and
+  // placement state. Does not publish.
+  void AdoptLocal(const ClusterMap& map);
+
   // Refresh load info at most every this many pageouts (most-free mode).
   static constexpr int kLoadRefreshInterval = 64;
   int pageouts_since_refresh_ = kLoadRefreshInterval;  // Refresh on first use.
+
+  // Elastic membership (DESIGN.md §16).
+  ClusterMap map_;
+  bool has_map_ = false;
+  TimeNs last_map_refresh_ = 0;
 };
 
 }  // namespace rmp

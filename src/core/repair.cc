@@ -19,6 +19,9 @@ struct RepairMetrics {
   Counter& drains_completed;
   Counter& pages_migrated;
   Counter& rejoins;
+  Counter& rebalances_started;
+  Counter& rebalances_completed;
+  Counter& pages_rebalanced;
   Counter& throttle_time_ns;
 };
 
@@ -31,6 +34,9 @@ RepairMetrics& Metrics() {
       *MetricsRegistry::Global().GetCounter("repair.drains_completed"),
       *MetricsRegistry::Global().GetCounter("repair.pages_migrated"),
       *MetricsRegistry::Global().GetCounter("repair.rejoins"),
+      *MetricsRegistry::Global().GetCounter("repair.rebalances_started"),
+      *MetricsRegistry::Global().GetCounter("repair.rebalances_completed"),
+      *MetricsRegistry::Global().GetCounter("repair.pages_rebalanced"),
       *MetricsRegistry::Global().GetCounter("repair.throttle_time_ns"),
   };
   return *metrics;
@@ -43,6 +49,7 @@ RepairCoordinator::RepairCoordinator(RemotePagerBase* pager, HealthMonitor* moni
       monitor_(monitor),
       params_(params),
       bucket_(params.repair_pages_per_sec, params.repair_burst_pages),
+      rebalance_bucket_(params.rebalance_pages_per_sec, params.rebalance_burst_pages),
       repair_pending_(pager->cluster().size(), 0),
       drain_pending_(pager->cluster().size(), 0),
       rejoin_deferred_(pager->cluster().size(), 0),
@@ -137,6 +144,12 @@ Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed)
       rejoin_deferred_[peer] = 0;
       Readmit(peer);
     }
+    if (pager_->has_cluster_map()) {
+      // Crash reconstruction places pages wherever capacity allowed, not
+      // where the map wants them — walk them home now that redundancy is
+      // whole (crash-during-rebalance recovery, DESIGN.md §16).
+      NoteMapChange();
+    }
     return OkStatus();
   }
   stats_.pages_resilvered += static_cast<int64_t>(*done);
@@ -172,7 +185,53 @@ Status RepairCoordinator::StepDrain(size_t peer, TimeNs* now, bool* progressed) 
   return OkStatus();
 }
 
+Status RepairCoordinator::StepRebalance(TimeNs* now, bool* progressed) {
+  const uint64_t grant = rebalance_bucket_.TakeUpTo(params_.rebalance_burst_pages, *now);
+  if (grant == 0) {
+    return OkStatus();  // Bucket dry; RunToQuiescence advances the clock.
+  }
+  auto done = pager_->RebalanceStep(grant, now);
+  if (!done.ok()) {
+    rebalance_bucket_.Refund(grant);
+    return done.status();
+  }
+  if (*done < grant) {
+    rebalance_bucket_.Refund(grant - *done);
+  }
+  if (*done == 0) {
+    rebalance_pending_ = false;
+    ++stats_.rebalances_completed;
+    Metrics().rebalances_completed.Increment();
+    *progressed = true;
+    return OkStatus();
+  }
+  stats_.pages_rebalanced += static_cast<int64_t>(*done);
+  Metrics().pages_rebalanced.Increment(static_cast<int64_t>(*done));
+  *progressed = true;
+  return OkStatus();
+}
+
+void RepairCoordinator::EnsurePeerCapacity() {
+  const size_t n = pager_->cluster().size();
+  if (repair_pending_.size() < n) {
+    repair_pending_.resize(n, 0);
+    drain_pending_.resize(n, 0);
+    rejoin_deferred_.resize(n, 0);
+    drained_.resize(n, 0);
+  }
+}
+
+void RepairCoordinator::NoteMapChange() {
+  EnsurePeerCapacity();
+  if (!rebalance_pending_) {
+    rebalance_pending_ = true;
+    ++stats_.rebalances_started;
+    Metrics().rebalances_started.Increment();
+  }
+}
+
 Result<TimeNs> RepairCoordinator::Pump(TimeNs now) {
+  EnsurePeerCapacity();
   std::vector<HealthEvent> events;
   monitor_->Tick(now, &events);
   Absorb(events);
@@ -185,6 +244,18 @@ Result<TimeNs> RepairCoordinator::Pump(TimeNs now) {
   for (size_t peer = 0; peer < drain_pending_.size(); ++peer) {
     if (drain_pending_[peer]) {
       RMP_RETURN_IF_ERROR(StepDrain(peer, &now, &progressed));
+    }
+  }
+  if (rebalance_pending_) {
+    bool any_crash_repair = false;
+    for (size_t peer = 0; peer < repair_pending_.size(); ++peer) {
+      any_crash_repair = any_crash_repair || repair_pending_[peer] != 0;
+    }
+    // Redundancy repair outranks placement hygiene: while a crash is being
+    // rebuilt the rebalance job waits, then sweeps whatever the rebuild
+    // placed off-map.
+    if (!any_crash_repair) {
+      RMP_RETURN_IF_ERROR(StepRebalance(&now, &progressed));
     }
   }
   return now;
@@ -202,9 +273,27 @@ Result<TimeNs> RepairCoordinator::RunToQuiescence(TimeNs now) {
                             stats_.drains_completed != before.drains_completed ||
                             stats_.pages_resilvered != before.pages_resilvered ||
                             stats_.pages_migrated != before.pages_migrated ||
-                            stats_.rejoins != before.rejoins;
+                            stats_.rejoins != before.rejoins ||
+                            stats_.rebalances_completed != before.rebalances_completed ||
+                            stats_.pages_rebalanced != before.pages_rebalanced;
     if (!progressed && !idle()) {
-      const TimeNs next = bucket_.NextAvailable(now);
+      // Wait for whichever *runnable* pending job's bucket refills first. A
+      // rebalance gated behind a crash repair is pending but not runnable,
+      // so its (possibly full) bucket must not short-circuit the wait.
+      bool repair_or_drain = false;
+      bool any_crash_repair = false;
+      for (size_t peer = 0; peer < repair_pending_.size(); ++peer) {
+        repair_or_drain = repair_or_drain || repair_pending_[peer] || drain_pending_[peer];
+        any_crash_repair = any_crash_repair || repair_pending_[peer] != 0;
+      }
+      TimeNs next = 0;
+      if (repair_or_drain) {
+        next = bucket_.NextAvailable(now);
+      }
+      if (rebalance_pending_ && !any_crash_repair) {
+        const TimeNs rb = rebalance_bucket_.NextAvailable(now);
+        next = repair_or_drain ? std::min(next, rb) : rb;
+      }
       if (next <= now) {
         return InternalError("repair made no progress with tokens available");
       }
@@ -217,6 +306,9 @@ Result<TimeNs> RepairCoordinator::RunToQuiescence(TimeNs now) {
 }
 
 bool RepairCoordinator::idle() const {
+  if (rebalance_pending_) {
+    return false;
+  }
   for (size_t peer = 0; peer < repair_pending_.size(); ++peer) {
     if (repair_pending_[peer] || drain_pending_[peer]) {
       return false;

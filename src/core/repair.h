@@ -35,6 +35,11 @@ struct RepairParams {
   uint64_t repair_pages_per_sec = 0;
   // Bucket depth; also the largest chunk a single Pump() hands a policy.
   uint64_t repair_burst_pages = 64;
+  // Separate bucket for elastic-membership rebalance traffic
+  // (`cluster.rebalance_pages_per_sec`, DESIGN.md §16), so a scale-out fill
+  // and a crash resilver do not contend for the same tokens. 0 = unpaced.
+  uint64_t rebalance_pages_per_sec = 0;
+  uint64_t rebalance_burst_pages = 64;
 };
 
 struct RepairStats {
@@ -45,6 +50,9 @@ struct RepairStats {
   int64_t drains_completed = 0;
   int64_t pages_migrated = 0;  // Drain traffic (MigrateStep pages).
   int64_t rejoins = 0;         // Peers re-admitted via Reset().
+  int64_t rebalances_started = 0;    // Map changes that armed the job.
+  int64_t rebalances_completed = 0;  // Placement converged to the map.
+  int64_t pages_rebalanced = 0;      // Rebalance traffic (RebalanceStep pages).
   DurationNs throttle_time = 0;  // Simulated time repair waited for tokens.
 };
 
@@ -66,28 +74,40 @@ class RepairCoordinator {
   // token-bucket refill waits (counted in stats().throttle_time).
   Result<TimeNs> RunToQuiescence(TimeNs now);
 
+  // Arms the paced rebalance job (DESIGN.md §16). Call after every cluster
+  // map adoption — join, decommission, or a refresh that brought a newer
+  // epoch. Idempotent while a rebalance is already pending. Also grows the
+  // per-peer job vectors when the cluster gained members.
+  void NoteMapChange();
+
   bool idle() const;
   bool repair_pending(size_t peer) const { return repair_pending_[peer]; }
   bool drain_pending(size_t peer) const { return drain_pending_[peer]; }
+  bool rebalance_pending() const { return rebalance_pending_; }
   const RepairStats& stats() const { return stats_; }
 
  private:
   void Absorb(const std::vector<HealthEvent>& events);
   void Readmit(size_t peer);
+  // Grows the per-peer vectors after elastic scale-out appended peers.
+  void EnsurePeerCapacity();
   // Runs one granted chunk of the job; sets *progressed when pages moved or
   // a job completed.
   Status StepRepair(size_t peer, TimeNs* now, bool* progressed);
   Status StepDrain(size_t peer, TimeNs* now, bool* progressed);
+  Status StepRebalance(TimeNs* now, bool* progressed);
 
   RemotePagerBase* pager_;
   HealthMonitor* monitor_;
   RepairParams params_;
   TokenBucket bucket_;
+  TokenBucket rebalance_bucket_;
 
   std::vector<uint8_t> repair_pending_;
   std::vector<uint8_t> drain_pending_;
   std::vector<uint8_t> rejoin_deferred_;  // Reboot rejoin awaiting repair end.
   std::vector<uint8_t> drained_;          // We stopped it for a drain.
+  bool rebalance_pending_ = false;        // Placement may disagree with the map.
   RepairStats stats_;
 };
 

@@ -43,21 +43,8 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
       params.data_servers + (has_parity ? 1 : 0) + (params.with_spare ? 1 : 0);
 
   Cluster cluster;
-  Testbed* bed = testbed.get();  // Stable: Create returns the unique_ptr.
   for (int i = 0; i < total_servers; ++i) {
-    MemoryServerParams server_params;
-    server_params.name = "server-" + std::to_string(i);
-    server_params.capacity_pages = params.server_capacity_pages;
-    server_params.tier = params.store_tier;
-    server_params.tenants = params.tenants;
-    testbed->servers_.push_back(std::make_unique<MemoryServer>(server_params));
-    auto transport = std::make_unique<InProcTransport>(testbed->servers_.back().get());
-    testbed->transports_.push_back(transport.get());
-    auto fault = std::make_unique<FaultInjectingTransport>(std::move(transport));
-    fault->SetCrashHook([bed, i] { bed->CrashServer(static_cast<size_t>(i)); });
-    testbed->faults_.push_back(fault.get());
-    cluster.AddPeer(server_params.name, std::move(fault));
-    cluster.peer(cluster.size() - 1).set_tenant(params.client_tenant);
+    testbed->AddServerTo(&cluster);
   }
   // A spare must not be selected by normal placement until recovery uses it.
   if (params.with_spare) {
@@ -114,6 +101,23 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(const TestbedParams& params) {
       return InternalError("unreachable");
   }
   return testbed;
+}
+
+void Testbed::AddServerTo(Cluster* cluster) {
+  const size_t i = servers_.size();
+  MemoryServerParams server_params;
+  server_params.name = "server-" + std::to_string(i);
+  server_params.capacity_pages = params_.server_capacity_pages;
+  server_params.tier = params_.store_tier;
+  server_params.tenants = params_.tenants;
+  servers_.push_back(std::make_unique<MemoryServer>(server_params));
+  auto transport = std::make_unique<InProcTransport>(servers_.back().get());
+  transports_.push_back(transport.get());
+  auto fault = std::make_unique<FaultInjectingTransport>(std::move(transport));
+  fault->SetCrashHook([this, i] { CrashServer(i); });
+  faults_.push_back(fault.get());
+  cluster->AddPeer(server_params.name, std::move(fault));
+  cluster->peer(cluster->size() - 1).set_tenant(params_.client_tenant);
 }
 
 Result<TimeNs> Testbed::Preload(uint64_t pages, uint64_t seed, TimeNs now) {
@@ -191,6 +195,162 @@ Status Testbed::EnableSelfHealing(const HealthParams& health_params,
   }
   monitor_ = std::make_unique<HealthMonitor>(&pager->cluster(), health_params);
   repair_ = std::make_unique<RepairCoordinator>(pager, monitor_.get(), repair_params);
+  return OkStatus();
+}
+
+Status Testbed::AdoptNextMap(RemotePagerBase* pager, std::vector<ClusterMember> members,
+                             TimeNs* now) {
+  const ClusterMap map = ClusterMap::Build(pager->cluster_map().epoch() + 1,
+                                           pager->cluster_map().groups(), std::move(members));
+  if (!pager->AdoptClusterMap(map, now)) {
+    return InternalError("next cluster map rejected");
+  }
+  if (repair_ != nullptr) {
+    repair_->NoteMapChange();
+  }
+  return OkStatus();
+}
+
+Status Testbed::EnableElasticMembership(const ElasticParams& elastic, TimeNs* now) {
+  auto* pager = remote_pager();
+  if (pager == nullptr) {
+    return FailedPreconditionError("elastic membership needs a remote-memory policy");
+  }
+  if (pager->has_cluster_map()) {
+    return FailedPreconditionError("elastic membership already enabled");
+  }
+  TimeNs local = 0;
+  if (now == nullptr) {
+    now = &local;
+  }
+  std::vector<ClusterMember> members;
+  members.reserve(servers_.size());
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    members.push_back(ClusterMember{static_cast<uint32_t>(i), servers_[i]->incarnation(),
+                                    ClusterMember::State::kActive});
+  }
+  const ClusterMap map = ClusterMap::Build(1, elastic.page_groups, std::move(members));
+  if (!pager->AdoptClusterMap(map, now)) {
+    return InternalError("initial cluster map rejected");
+  }
+  if (repair_ != nullptr) {
+    repair_->NoteMapChange();
+  }
+  return OkStatus();
+}
+
+Result<size_t> Testbed::JoinServer(TimeNs* now) {
+  auto* pager = remote_pager();
+  if (pager == nullptr || !pager->has_cluster_map()) {
+    return FailedPreconditionError("enable elastic membership before joining servers");
+  }
+  TimeNs local = 0;
+  if (now == nullptr) {
+    now = &local;
+  }
+  AddServerTo(&pager->cluster());
+  const size_t i = servers_.size() - 1;
+  pager->NotePeerAdded(i);
+  std::vector<ClusterMember> members = pager->cluster_map().members();
+  members.push_back(ClusterMember{static_cast<uint32_t>(i), servers_[i]->incarnation(),
+                                  ClusterMember::State::kActive});
+  RMP_RETURN_IF_ERROR(AdoptNextMap(pager, std::move(members), now));
+  return i;
+}
+
+Status Testbed::DecommissionServer(size_t i, TimeNs* now) {
+  auto* pager = remote_pager();
+  if (pager == nullptr || !pager->has_cluster_map()) {
+    return FailedPreconditionError("enable elastic membership before decommissioning");
+  }
+  TimeNs local = 0;
+  if (now == nullptr) {
+    now = &local;
+  }
+  std::vector<ClusterMember> members = pager->cluster_map().members();
+  size_t actives = 0;
+  for (const ClusterMember& m : members) {
+    actives += m.state == ClusterMember::State::kActive ? 1 : 0;
+  }
+  for (ClusterMember& m : members) {
+    if (m.server_id != i) {
+      continue;
+    }
+    if (m.state != ClusterMember::State::kActive) {
+      return FailedPreconditionError("server is already leaving");
+    }
+    if (actives <= 1) {
+      return FailedPreconditionError("cannot decommission the last active server");
+    }
+    m.state = ClusterMember::State::kLeaving;
+    return AdoptNextMap(pager, std::move(members), now);
+  }
+  return NotFoundError("server " + std::to_string(i) + " is not in the cluster map");
+}
+
+Status Testbed::CompleteDecommission(size_t i, TimeNs* now) {
+  auto* pager = remote_pager();
+  if (pager == nullptr || !pager->has_cluster_map()) {
+    return FailedPreconditionError("enable elastic membership before decommissioning");
+  }
+  TimeNs local = 0;
+  if (now == nullptr) {
+    now = &local;
+  }
+  const uint64_t pages = pager->PagesOn(i);
+  if (pages != 0) {
+    return FailedPreconditionError("server still holds " + std::to_string(pages) +
+                                   " pages; let the rebalance drain it first");
+  }
+  std::vector<ClusterMember> members = pager->cluster_map().members();
+  bool found = false;
+  std::vector<ClusterMember> rest;
+  rest.reserve(members.size());
+  for (const ClusterMember& m : members) {
+    if (m.server_id == i) {
+      found = true;
+      continue;
+    }
+    rest.push_back(m);
+  }
+  if (!found) {
+    return NotFoundError("server " + std::to_string(i) + " is not in the cluster map");
+  }
+  size_t actives = 0;
+  for (const ClusterMember& m : rest) {
+    actives += m.state == ClusterMember::State::kActive ? 1 : 0;
+  }
+  if (rest.empty() || actives == 0) {
+    return FailedPreconditionError("cannot drop the last active server from the map");
+  }
+  return AdoptNextMap(pager, std::move(rest), now);
+}
+
+Status ApplyClusterConfig(const Config& config, ElasticParams* elastic, RepairParams* repair,
+                          RemotePagerParams* pager) {
+  if (elastic != nullptr) {
+    auto groups = config.GetInt("cluster.page_groups", elastic->page_groups);
+    RMP_RETURN_IF_ERROR(groups.status());
+    if (*groups < 1 || *groups > static_cast<int64_t>(kMaxPageGroups)) {
+      return InvalidArgumentError("cluster.page_groups out of range");
+    }
+    elastic->page_groups = static_cast<uint32_t>(*groups);
+  }
+  if (repair != nullptr) {
+    auto rate = config.GetInt("cluster.rebalance_pages_per_sec",
+                              static_cast<int64_t>(repair->rebalance_pages_per_sec));
+    RMP_RETURN_IF_ERROR(rate.status());
+    repair->rebalance_pages_per_sec = static_cast<uint64_t>(std::max<int64_t>(0, *rate));
+    auto burst = config.GetInt("cluster.rebalance_burst",
+                               static_cast<int64_t>(repair->rebalance_burst_pages));
+    RMP_RETURN_IF_ERROR(burst.status());
+    repair->rebalance_burst_pages = static_cast<uint64_t>(std::max<int64_t>(1, *burst));
+  }
+  if (pager != nullptr) {
+    auto refresh = config.GetInt("cluster.epoch_refresh_ms", pager->map_refresh_interval / Millis(1));
+    RMP_RETURN_IF_ERROR(refresh.status());
+    pager->map_refresh_interval = Millis(std::max<int64_t>(0, *refresh));
+  }
   return OkStatus();
 }
 

@@ -12,6 +12,8 @@
 
 #include "src/core/basic_parity.h"
 #include "src/core/health.h"
+#include "src/proto/cluster_map.h"
+#include "src/util/config.h"
 #include "src/core/mirroring.h"
 #include "src/core/no_reliability.h"
 #include "src/core/parity_logging.h"
@@ -34,6 +36,13 @@ enum class Policy {
 };
 
 std::string_view PolicyName(Policy policy);
+
+// Elastic-membership tuning (DESIGN.md §16).
+struct ElasticParams {
+  // Consistent-hash groups in the map (`cluster.page_groups`). More groups
+  // = finer rebalance ranges at a few bytes of map each.
+  uint32_t page_groups = 64;
+};
 
 struct TestbedParams {
   Policy policy = Policy::kNoReliability;
@@ -137,6 +146,34 @@ class Testbed {
   HealthMonitor* health() { return monitor_.get(); }
   RepairCoordinator* repair() { return repair_.get(); }
 
+  // --- Elastic membership (DESIGN.md §16) ----------------------------------
+
+  // Builds the epoch-1 cluster map (every current server ACTIVE at its boot
+  // incarnation), adopts it on the client, publishes it to every server, and
+  // arms the rebalance job. Requires a remote-memory policy; call after
+  // EnableSelfHealing when the paced rebalance should run (without the
+  // coordinator the map still drives placement and epoch checks).
+  Status EnableElasticMembership(const ElasticParams& elastic = {}, TimeNs* now = nullptr);
+
+  // Live scale-out: spins up one more server + transport, appends it to the
+  // cluster, and publishes an epoch+1 map with the new member ACTIVE. The
+  // armed rebalance then walks each moved hash range onto it. Returns the
+  // new peer index.
+  Result<size_t> JoinServer(TimeNs* now = nullptr);
+
+  // Live scale-in, step 1: mark peer `i` kLeaving in an epoch+1 map. It
+  // takes no new pages but keeps serving reads while the rebalance drains
+  // the ranges it owned.
+  Status DecommissionServer(size_t i, TimeNs* now = nullptr);
+
+  // Live scale-in, step 2: once the policy holds no pages on `i`
+  // (PagesOn(i) == 0), drop the member from the map entirely (epoch+1).
+  // FailedPrecondition while pages remain — finish the drain first.
+  Status CompleteDecommission(size_t i, TimeNs* now = nullptr);
+
+  // The backend as a remote pager (null for kDisk).
+  RemotePagerBase* remote_pager() { return dynamic_cast<RemotePagerBase*>(backend_.get()); }
+
   // The policy-typed views (null when the policy does not match).
   ParityLoggingBackend* parity_logging() {
     return params_.policy == Policy::kParityLogging
@@ -178,7 +215,24 @@ class Testbed {
   // Declared after backend_ (destroyed first): both reference its cluster.
   std::unique_ptr<HealthMonitor> monitor_;
   std::unique_ptr<RepairCoordinator> repair_;
+
+  // Builds one server + transport + fault wrapper and appends it to the
+  // given cluster (Create's local cluster, or the live one on JoinServer).
+  void AddServerTo(Cluster* cluster);
+
+  // Publishes `members` as the next map (epoch+1) and re-arms the rebalance.
+  Status AdoptNextMap(RemotePagerBase* pager, std::vector<ClusterMember> members, TimeNs* now);
 };
+
+// Applies the `cluster.*` Config keys (README: elastic membership knobs)
+// over the given params:
+//   cluster.page_groups             -> elastic->page_groups            (default 64)
+//   cluster.rebalance_pages_per_sec -> repair->rebalance_pages_per_sec (0 = unpaced)
+//   cluster.rebalance_burst         -> repair->rebalance_burst_pages   (default 64)
+//   cluster.epoch_refresh_ms        -> pager->map_refresh_interval     (0 = reactive)
+// Null out-params skip their keys. Absent keys keep the current values.
+Status ApplyClusterConfig(const Config& config, ElasticParams* elastic, RepairParams* repair,
+                          RemotePagerParams* pager);
 
 }  // namespace rmp
 

@@ -1,0 +1,209 @@
+#include "src/proto/cluster_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace rmp {
+namespace {
+
+constexpr uint32_t kMapMagic = 0x4d504d52;  // "RMPM".
+constexpr size_t kMapHeaderBytes = 4 + 8 + 4 + 4;
+constexpr size_t kMemberBytes = 4 + 8 + 1;
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms —
+// every map holder must derive the identical ring from the same members.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void StoreU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StoreU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+ClusterMap ClusterMap::Build(uint64_t epoch, uint32_t groups,
+                             std::vector<ClusterMember> members) {
+  assert(groups >= 1 && groups <= kMaxPageGroups);
+  assert(!members.empty() && members.size() <= kMaxClusterMembers);
+  ClusterMap map;
+  map.epoch_ = epoch;
+  map.groups_ = groups;
+  map.members_ = std::move(members);
+  map.RebuildRing();
+  return map;
+}
+
+void ClusterMap::RebuildRing() {
+  ring_.clear();
+  for (const ClusterMember& member : members_) {
+    if (member.state != ClusterMember::State::kActive) {
+      continue;
+    }
+    for (uint32_t v = 0; v < kRingVnodes; ++v) {
+      // Point derived from the server id alone (not the incarnation): a
+      // rebooted server keeps its ranges, so rejoin does not reshuffle the
+      // whole ring.
+      const uint64_t point = Mix64((static_cast<uint64_t>(member.server_id) << 32) | v);
+      ring_.emplace_back(point, member.server_id);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+const ClusterMember* ClusterMap::FindMember(uint32_t server_id) const {
+  for (const ClusterMember& member : members_) {
+    if (member.server_id == server_id) {
+      return &member;
+    }
+  }
+  return nullptr;
+}
+
+size_t ClusterMap::active_members() const {
+  size_t n = 0;
+  for (const ClusterMember& member : members_) {
+    n += member.state == ClusterMember::State::kActive ? 1 : 0;
+  }
+  return n;
+}
+
+uint32_t ClusterMap::GroupOf(uint64_t page_id) const {
+  assert(groups_ > 0);
+  return static_cast<uint32_t>(Mix64(page_id) % groups_);
+}
+
+uint32_t ClusterMap::OwnerOf(uint32_t group) const {
+  assert(!ring_.empty());
+  const uint64_t point = Mix64(0xc1a55e00ull + group);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, uint32_t{0}));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // Wrap around the ring.
+  }
+  return it->second;
+}
+
+std::vector<uint32_t> ClusterMap::OwnerChain(uint32_t group, size_t replicas) const {
+  std::vector<uint32_t> chain;
+  if (ring_.empty()) {
+    return chain;
+  }
+  const uint64_t point = Mix64(0xc1a55e00ull + group);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(point, uint32_t{0}));
+  // Walk at most one full lap collecting distinct owners.
+  for (size_t step = 0; step < ring_.size() && chain.size() < replicas; ++step) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    const uint32_t id = it->second;
+    if (std::find(chain.begin(), chain.end(), id) == chain.end()) {
+      chain.push_back(id);
+    }
+    ++it;
+  }
+  return chain;
+}
+
+std::vector<uint8_t> ClusterMap::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(kMapHeaderBytes + members_.size() * kMemberBytes);
+  StoreU32(&out, kMapMagic);
+  StoreU64(&out, epoch_);
+  StoreU32(&out, groups_);
+  StoreU32(&out, static_cast<uint32_t>(members_.size()));
+  for (const ClusterMember& member : members_) {
+    StoreU32(&out, member.server_id);
+    StoreU64(&out, member.incarnation);
+    out.push_back(static_cast<uint8_t>(member.state));
+  }
+  return out;
+}
+
+Result<ClusterMap> ClusterMap::Deserialize(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kMapHeaderBytes) {
+    return ProtocolError("cluster map shorter than header");
+  }
+  const uint8_t* p = bytes.data();
+  if (GetU32(p) != kMapMagic) {
+    return ProtocolError("cluster map bad magic");
+  }
+  const uint64_t epoch = GetU64(p + 4);
+  if (epoch == 0) {
+    return ProtocolError("cluster map epoch 0 is reserved");
+  }
+  const uint32_t groups = GetU32(p + 12);
+  if (groups < 1 || groups > kMaxPageGroups) {
+    return ProtocolError("cluster map group count " + std::to_string(groups) +
+                         " out of range");
+  }
+  const uint32_t member_count = GetU32(p + 16);
+  if (member_count < 1 || member_count > kMaxClusterMembers) {
+    // Bound before sizing anything: a flipped bit must not demand 4 G
+    // member entries.
+    return ProtocolError("cluster map member count " + std::to_string(member_count) +
+                         " out of range");
+  }
+  if (bytes.size() != kMapHeaderBytes + static_cast<size_t>(member_count) * kMemberBytes) {
+    return ProtocolError("cluster map length mismatch");
+  }
+  std::vector<ClusterMember> members;
+  members.reserve(member_count);
+  size_t active = 0;
+  for (uint32_t i = 0; i < member_count; ++i) {
+    const uint8_t* m = p + kMapHeaderBytes + i * kMemberBytes;
+    ClusterMember member;
+    member.server_id = GetU32(m);
+    member.incarnation = GetU64(m + 4);
+    const uint8_t raw_state = m[12];
+    if (raw_state > static_cast<uint8_t>(ClusterMember::State::kLeaving)) {
+      return ProtocolError("cluster map member state " + std::to_string(raw_state) +
+                           " unknown");
+    }
+    member.state = static_cast<ClusterMember::State>(raw_state);
+    active += member.state == ClusterMember::State::kActive ? 1 : 0;
+    for (const ClusterMember& seen : members) {
+      if (seen.server_id == member.server_id) {
+        return ProtocolError("cluster map duplicates server " +
+                             std::to_string(member.server_id));
+      }
+    }
+    members.push_back(member);
+  }
+  if (active == 0) {
+    // A map with no ACTIVE member has no ring: nothing could own anything.
+    return ProtocolError("cluster map has no active member");
+  }
+  return ClusterMap::Build(epoch, groups, std::move(members));
+}
+
+}  // namespace rmp

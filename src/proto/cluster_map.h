@@ -1,0 +1,115 @@
+// Epoch-numbered cluster map for elastic membership (DESIGN.md §16).
+//
+// The paper's pager runs against a server set fixed at startup; this module
+// makes placement a first-class, versioned runtime artifact. A ClusterMap
+// carries a monotonically increasing epoch, the member list (server id,
+// incarnation, lifecycle state), and the parameters of a consistent-hash
+// ring mapping page groups to owners. The ring itself is *derived* — every
+// holder of the same member list computes byte-identical vnode points — so
+// the wire format only ships the inputs, and two maps with equal epochs are
+// guaranteed to agree on placement.
+//
+// Serialized layout (all integers little-endian, fail-closed decoder):
+//   magic        u32   'RMPM'
+//   epoch        u64
+//   groups       u32   page groups on the ring, in [1, kMaxPageGroups]
+//   member_count u32   in [1, kMaxClusterMembers]
+//   per member:
+//     server_id    u32
+//     incarnation  u64
+//     state        u8   ClusterMember::State
+//
+// Every bound is checked on decode and the exact byte length must match;
+// truncated, oversized, or out-of-range frames are rejected with
+// ProtocolError like the rest of the wire layer.
+
+#ifndef SRC_PROTO_CLUSTER_MAP_H_
+#define SRC_PROTO_CLUSTER_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace rmp {
+
+// Bounds enforced by the decoder so a hostile frame cannot demand unbounded
+// member or ring state.
+inline constexpr uint32_t kMaxClusterMembers = 1024;
+inline constexpr uint32_t kMaxPageGroups = 65536;
+// Virtual nodes per ACTIVE member on the ring. More vnodes smooth the load
+// split; 64 keeps the moved-fraction on a join near 1/n without making ring
+// rebuilds expensive.
+inline constexpr uint32_t kRingVnodes = 64;
+
+struct ClusterMember {
+  enum class State : uint8_t {
+    kActive = 0,   // On the ring: owns hash ranges, accepts new pages.
+    kLeaving = 1,  // Decommissioning: off the ring (owns nothing new) but
+                   // still serving reads for pages not yet drained away.
+  };
+
+  uint32_t server_id = 0;    // Index into the client's ServerCluster.
+  uint64_t incarnation = 0;  // Server's restart counter at admission time.
+  State state = State::kActive;
+
+  bool operator==(const ClusterMember& other) const {
+    return server_id == other.server_id && incarnation == other.incarnation &&
+           state == other.state;
+  }
+};
+
+class ClusterMap {
+ public:
+  ClusterMap() = default;
+
+  // Builds a map and derives its ring. `groups` and the member list are
+  // clamped/validated by the caller; Build asserts the decoder's bounds.
+  static ClusterMap Build(uint64_t epoch, uint32_t groups, std::vector<ClusterMember> members);
+
+  uint64_t epoch() const { return epoch_; }
+  uint32_t groups() const { return groups_; }
+  const std::vector<ClusterMember>& members() const { return members_; }
+
+  // The member entry for `server_id`, or nullptr if not in the map.
+  const ClusterMember* FindMember(uint32_t server_id) const;
+
+  // Number of members in State::kActive (i.e. on the ring).
+  size_t active_members() const;
+
+  // The page group a page id hashes into.
+  uint32_t GroupOf(uint64_t page_id) const;
+
+  // The ring owner of `group`: the ACTIVE member whose vnode is the hash
+  // successor of the group's point. Returns the server_id. Requires at least
+  // one ACTIVE member (asserted).
+  uint32_t OwnerOf(uint32_t group) const;
+
+  // The first `replicas` *distinct* ACTIVE owners walking the ring from the
+  // group's point — the owner chain for a mirrored placement. Returns fewer
+  // entries when the cluster has fewer ACTIVE members than `replicas`.
+  std::vector<uint32_t> OwnerChain(uint32_t group, size_t replicas) const;
+
+  // Wire codec. Deserialize fails closed: exact length, every bound checked.
+  std::vector<uint8_t> Serialize() const;
+  static Result<ClusterMap> Deserialize(std::span<const uint8_t> bytes);
+
+  bool operator==(const ClusterMap& other) const {
+    return epoch_ == other.epoch_ && groups_ == other.groups_ && members_ == other.members_;
+  }
+
+ private:
+  void RebuildRing();
+
+  uint64_t epoch_ = 0;  // 0 = "no map": epoch numbering starts at 1.
+  uint32_t groups_ = 0;
+  std::vector<ClusterMember> members_;
+
+  // Derived: (vnode point, server_id) sorted by point. ACTIVE members only.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace rmp
+
+#endif  // SRC_PROTO_CLUSTER_MAP_H_

@@ -48,7 +48,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
-         t <= static_cast<uint8_t>(MessageType::kTraceDumpReply);
+         t <= static_cast<uint8_t>(MessageType::kMapPublishAck);
 }
 
 }  // namespace
@@ -113,6 +113,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "TRACE_DUMP";
     case MessageType::kTraceDumpReply:
       return "TRACE_DUMP_REPLY";
+    case MessageType::kMapQuery:
+      return "MAP_QUERY";
+    case MessageType::kMapReply:
+      return "MAP_REPLY";
+    case MessageType::kMapPublish:
+      return "MAP_PUBLISH";
+    case MessageType::kMapPublishAck:
+      return "MAP_PUBLISH_ACK";
   }
   return "UNKNOWN";
 }
@@ -415,6 +423,44 @@ Message MakeTraceDump(uint64_t request_id) {
 
 Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json) {
   return MakeIntrospectionReply(MessageType::kTraceDumpReply, request_id, incarnation, json);
+}
+
+Message MakeMapQuery(uint64_t request_id) {
+  Message m;
+  m.type = MessageType::kMapQuery;
+  m.request_id = request_id;
+  return m;
+}
+
+Message MakeMapReply(uint64_t request_id, uint64_t epoch, std::span<const uint8_t> map_bytes,
+                     ErrorCode status) {
+  Message m;
+  m.type = MessageType::kMapReply;
+  m.request_id = request_id;
+  m.slot = epoch;
+  m.count = map_bytes.size();
+  m.status = static_cast<uint32_t>(status);
+  m.payload.assign(map_bytes.begin(), map_bytes.end());
+  return m;
+}
+
+Message MakeMapPublish(uint64_t request_id, uint64_t epoch, std::span<const uint8_t> map_bytes) {
+  Message m;
+  m.type = MessageType::kMapPublish;
+  m.request_id = request_id;
+  m.slot = epoch;
+  m.count = map_bytes.size();
+  m.payload.assign(map_bytes.begin(), map_bytes.end());
+  return m;
+}
+
+Message MakeMapPublishAck(uint64_t request_id, uint64_t epoch, ErrorCode status) {
+  Message m;
+  m.type = MessageType::kMapPublishAck;
+  m.request_id = request_id;
+  m.slot = epoch;
+  m.status = static_cast<uint32_t>(status);
+  return m;
 }
 
 std::string_view IntrospectionJson(const Message& message) {

@@ -97,6 +97,17 @@ enum class MessageType : uint8_t {
   kStatsReply = 27,
   kTraceDump = 28,
   kTraceDumpReply = 29,
+  // Elastic membership (DESIGN.md §16): the cluster map — epoch, member list
+  // with incarnations, consistent-hash ring parameters — travels as a
+  // serialized payload (see src/proto/cluster_map.h for the layout, bounds,
+  // and the fail-closed decoder). MAP_QUERY pulls a server's current map;
+  // MAP_PUBLISH installs a newer one (servers accept only epoch >= their
+  // own). Both replies carry the epoch in `slot` so a stale client can
+  // learn how far behind it is without parsing the payload.
+  kMapQuery = 30,
+  kMapReply = 31,       // slot = epoch, count = payload size, payload = map.
+  kMapPublish = 32,     // slot = epoch, payload = serialized map.
+  kMapPublishAck = 33,  // slot = epoch now in force at the server.
 };
 
 std::string_view MessageTypeName(MessageType type);
@@ -233,6 +244,14 @@ Message MakeStatsQuery(uint64_t request_id);
 Message MakeStatsReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
 Message MakeTraceDump(uint64_t request_id);
 Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
+// Cluster-map distribution (DESIGN.md §16). `map_bytes` is a serialized
+// ClusterMap (src/proto/cluster_map.h); `epoch` duplicates the map's epoch in
+// the header so receivers can order frames without decoding the payload.
+Message MakeMapQuery(uint64_t request_id);
+Message MakeMapReply(uint64_t request_id, uint64_t epoch, std::span<const uint8_t> map_bytes,
+                     ErrorCode status);
+Message MakeMapPublish(uint64_t request_id, uint64_t epoch, std::span<const uint8_t> map_bytes);
+Message MakeMapPublishAck(uint64_t request_id, uint64_t epoch, ErrorCode status);
 
 // The JSON document carried by a kStatsReply / kTraceDumpReply payload.
 std::string_view IntrospectionJson(const Message& message);

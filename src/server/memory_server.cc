@@ -60,6 +60,72 @@ Message RateLimitedReply(const Message& request) {
   }
 }
 
+// A stale-epoch denial travels back in the reply shape the op expects, with
+// the server's current epoch in `aux` so the client learns the new epoch
+// before it even re-queries the map (DESIGN.md §16). Never ADVISE_STOP: the
+// client is not overloading anyone, it is just behind.
+Message EpochStaleReply(const Message& request, uint64_t epoch) {
+  Message reply;
+  switch (request.type) {
+    case MessageType::kAllocRequest:
+      reply = MakeAllocReply(request.request_id, 0, ErrorCode::kStaleEpoch);
+      break;
+    case MessageType::kFreeRequest:
+      reply.type = MessageType::kFreeReply;
+      reply.request_id = request.request_id;
+      reply.slot = request.slot;
+      reply.status = static_cast<uint32_t>(ErrorCode::kStaleEpoch);
+      break;
+    case MessageType::kPageIn:
+    case MessageType::kDeltaPageOut:
+      reply = MakePageInReply(request.request_id, request.slot, {}, ErrorCode::kStaleEpoch);
+      break;
+    case MessageType::kPageOut:
+      reply = MakePageOutAck(request.request_id, request.slot, ErrorCode::kStaleEpoch, false);
+      break;
+    case MessageType::kPageOutBatch:
+      reply = MakePageOutBatchAck(request.request_id, 0, ErrorCode::kStaleEpoch, false);
+      break;
+    case MessageType::kPageInBatch:
+      reply = MakePageInBatchReply(request.request_id, {}, ErrorCode::kStaleEpoch);
+      break;
+    case MessageType::kMigrate:
+      reply = MakeMigrateReply(request.request_id, request.slot, {}, ErrorCode::kStaleEpoch);
+      break;
+    case MessageType::kXorMerge:
+      reply.type = MessageType::kXorMergeAck;
+      reply.request_id = request.request_id;
+      reply.slot = request.slot;
+      reply.status = static_cast<uint32_t>(ErrorCode::kStaleEpoch);
+      break;
+    default:
+      reply = MakeErrorReply(request.request_id, ErrorCode::kStaleEpoch);
+      break;
+  }
+  reply.aux = epoch;
+  return reply;
+}
+
+// True for the ops a stale map can misroute: everything that names slots or
+// changes occupancy. Control traffic (heartbeat, stats, map exchange itself)
+// must keep flowing whatever epoch the client holds.
+bool EpochGated(MessageType type) {
+  switch (type) {
+    case MessageType::kAllocRequest:
+    case MessageType::kFreeRequest:
+    case MessageType::kPageOut:
+    case MessageType::kPageIn:
+    case MessageType::kPageOutBatch:
+    case MessageType::kPageInBatch:
+    case MessageType::kDeltaPageOut:
+    case MessageType::kXorMerge:
+    case MessageType::kMigrate:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 Status ApplyTenantConfig(const Config& config, TenantPolicyParams* params) {
@@ -1061,6 +1127,13 @@ void MemoryServer::Crash() {
       state.reserved = 0;
     }
   }
+  {
+    // The map died with the process: a restarted server waits for the
+    // coordinator to republish before its epoch gate bites again.
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    map_bytes_.clear();
+    map_epoch_.store(0, std::memory_order_release);
+  }
   for (uint32_t i = 0; i < shard_count_; ++i) {
     Shard& shard = shards_[i];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -1089,6 +1162,11 @@ void MemoryServer::Crash() {
 void MemoryServer::Restart() {
   incarnation_.fetch_add(1, std::memory_order_acq_rel);
   crashed_.store(false, std::memory_order_release);
+}
+
+std::vector<uint8_t> MemoryServer::map_bytes() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_bytes_;
 }
 
 void MemoryServer::ResetStats() {
@@ -1305,6 +1383,17 @@ Message MemoryServer::HandleInternal(const Message& request) {
       std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
     }
   }
+  // Epoch gate (DESIGN.md §16): a data op stamped (aux != 0) with an epoch
+  // strictly older than the map in force here was routed by a placement the
+  // cluster has since abandoned — deny it before it can land a page on the
+  // wrong owner. Unstamped requests (aux == 0, legacy clients) pass: the gate
+  // only bites clients that opted into the map protocol.
+  const uint64_t epoch_now = map_epoch_.load(std::memory_order_acquire);
+  if (epoch_now != 0 && request.aux != 0 && request.aux < epoch_now &&
+      EpochGated(request.type)) {
+    stats_.stale_epoch_rejections.fetch_add(1, std::memory_order_relaxed);
+    return EpochStaleReply(request, epoch_now);
+  }
   switch (request.type) {
     case MessageType::kAllocRequest: {
       auto slot = Allocate(request.count, request.tenant);
@@ -1458,6 +1547,41 @@ Message MemoryServer::HandleInternal(const Message& request) {
       }
       return MakeTraceDumpReply(request.request_id, incarnation(),
                                 tracer_ != nullptr ? tracer_->ToJson() : "[]");
+    }
+    case MessageType::kMapQuery: {
+      if (crashed()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      const uint64_t epoch = map_epoch_.load(std::memory_order_acquire);
+      if (epoch == 0) {
+        return MakeMapReply(request.request_id, 0, {}, ErrorCode::kNotFound);
+      }
+      return MakeMapReply(request.request_id, epoch, map_bytes_, ErrorCode::kOk);
+    }
+    case MessageType::kMapPublish: {
+      if (crashed()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      auto map = ClusterMap::Deserialize(std::span<const uint8_t>(request.payload));
+      if (!map.ok()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kProtocol);
+      }
+      if (request.slot != map->epoch()) {
+        // The header epoch exists so receivers can order frames without
+        // decoding; a frame whose two epochs disagree is lying somewhere.
+        return MakeErrorReply(request.request_id, ErrorCode::kProtocol);
+      }
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      const uint64_t current = map_epoch_.load(std::memory_order_acquire);
+      if (map->epoch() < current) {
+        stats_.stale_epoch_rejections.fetch_add(1, std::memory_order_relaxed);
+        return MakeMapPublishAck(request.request_id, current, ErrorCode::kStaleEpoch);
+      }
+      map_bytes_.assign(request.payload.begin(), request.payload.end());
+      map_epoch_.store(map->epoch(), std::memory_order_release);
+      stats_.map_publishes.fetch_add(1, std::memory_order_relaxed);
+      return MakeMapPublishAck(request.request_id, map->epoch(), ErrorCode::kOk);
     }
     case MessageType::kShutdown: {
       Message reply;

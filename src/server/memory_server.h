@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "src/disk/disk_store.h"
+#include "src/proto/cluster_map.h"
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
 #include "src/util/config.h"
@@ -159,6 +160,8 @@ struct MemoryServerStats {
         denials(*registry->GetCounter("server.denials")),
         heartbeats_served(*registry->GetCounter("server.heartbeats_served")),
         migrations_served(*registry->GetCounter("server.migrations_served")),
+        stale_epoch_rejections(*registry->GetCounter("server.stale_epoch_rejections")),
+        map_publishes(*registry->GetCounter("server.map_publishes")),
         bytes_stored(*registry->GetCounter("server.bytes_stored")),
         bytes_returned(*registry->GetCounter("server.bytes_returned")),
         demotions(*registry->GetCounter("server.tier_demotions")),
@@ -184,6 +187,8 @@ struct MemoryServerStats {
   Counter& denials;
   Counter& heartbeats_served;
   Counter& migrations_served;  // MIGRATE (read-and-free) ops.
+  Counter& stale_epoch_rejections;  // Data ops denied for an old map epoch (§16).
+  Counter& map_publishes;           // MAP_PUBLISH frames accepted.
   Counter& bytes_stored;
   Counter& bytes_returned;
   // Cold-tier lifecycle (DESIGN.md §14).
@@ -300,6 +305,14 @@ class MemoryServer : public MessageHandler {
   TierOccupancy tier_occupancy() const;
   uint64_t logical_bytes() const { return tier_occupancy().logical_bytes; }
   uint64_t physical_bytes() const { return tier_occupancy().physical_bytes; }
+
+  // --- Elastic membership (DESIGN.md §16) ---------------------------------
+  // The cluster-map epoch currently in force; 0 = no map adopted. Data ops
+  // stamped with an older epoch (request.aux) are denied with STALE_EPOCH so
+  // a stale client refreshes before it writes to the wrong owner.
+  uint64_t map_epoch() const { return map_epoch_.load(std::memory_order_acquire); }
+  // The serialized map last accepted over MAP_PUBLISH (empty when none).
+  std::vector<uint8_t> map_bytes() const;
 
   uint32_t shard_count() const { return shard_count_; }
   const MemoryServerStats& stats() const { return stats_; }
@@ -475,6 +488,13 @@ class MemoryServer : public MessageHandler {
   std::atomic<bool> crashed_{false};
   std::atomic<bool> has_slot_delays_{false};
   std::atomic<uint64_t> incarnation_{1};
+
+  // Elastic membership (DESIGN.md §16): the last adopted cluster map. The
+  // epoch is read lock-free on every data op (the stale gate); the serialized
+  // bytes sit under map_mutex_ and only matter on MAP_QUERY/MAP_PUBLISH.
+  mutable std::mutex map_mutex_;
+  std::vector<uint8_t> map_bytes_;
+  std::atomic<uint64_t> map_epoch_{0};
 
   // Tenant quota rows; populated from params_.tenants at construction and
   // lazily for attributed-but-unquota'd ids. tenant_enforced_ is immutable

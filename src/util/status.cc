@@ -30,6 +30,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "DATA_LOSS";
     case ErrorCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kStaleEpoch:
+      return "STALE_EPOCH";
   }
   return "UNKNOWN";
 }
@@ -77,6 +79,9 @@ Status DataLossError(std::string message) {
 }
 Status ResourceExhaustedError(std::string message) {
   return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status StaleEpochError(std::string message) {
+  return Status(ErrorCode::kStaleEpoch, std::move(message));
 }
 
 }  // namespace rmp

@@ -39,6 +39,11 @@ enum class ErrorCode {
                        // the token bucket refills, so backing off and
                        // retrying is the right client response. Appended
                        // after kDataLoss so older codes keep their wire value.
+  kStaleEpoch,         // The request carried a cluster-map epoch older than
+                       // the server's. Transient by design: the client must
+                       // refresh its map and retry against the new owner —
+                       // never surfaced as data loss. Appended last so older
+                       // codes keep their wire value.
 };
 
 // Returns a stable human-readable name, e.g. "NO_SPACE".
@@ -85,6 +90,7 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status DataLossError(std::string message);
+Status StaleEpochError(std::string message);
 
 // Result<T>: a T or an error Status. Minimal std::expected stand-in (C++20).
 template <typename T>

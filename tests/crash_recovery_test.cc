@@ -611,6 +611,187 @@ TEST(SelfHealingConformanceTest, ParityServerFastRebootRebuildsTheLog) {
 
 }  // namespace selfheal
 
+// --- Elastic membership × crashes (DESIGN.md §16) --------------------------
+// The rebalance job is background traffic like the resilver, so it inherits
+// the same contract: whatever crashes land mid-flight, every page written
+// before the fault reads back byte-identical afterwards. Four windows: a
+// crash queued ahead of a join, the joining server itself dying, a
+// decommission target dying mid-drain, and lossy transport under the
+// rebalance's own writes.
+
+namespace elastic {
+
+using selfheal::CheckPreloadedPages;
+using selfheal::FastHealth;
+using selfheal::kHealSeed;
+
+constexpr uint64_t kElasticPages = 48;
+
+RepairParams PacedEverything(uint64_t rebalance_pps = 2000, uint64_t rebalance_burst = 16) {
+  RepairParams params;
+  params.repair_pages_per_sec = 2000;
+  params.repair_burst_pages = 16;
+  params.rebalance_pages_per_sec = rebalance_pps;
+  params.rebalance_burst_pages = rebalance_burst;
+  return params;
+}
+
+std::unique_ptr<Testbed> MakeElasticMirrorBed(int servers = 3,
+                                              uint64_t rebalance_pps = 2000,
+                                              uint64_t rebalance_burst = 16) {
+  TestbedParams params;
+  params.policy = Policy::kMirroring;
+  params.data_servers = servers;
+  params.server_capacity_pages = 512;
+  auto made = Testbed::Create(params);
+  EXPECT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  EXPECT_TRUE(
+      bed->EnableSelfHealing(FastHealth(), PacedEverything(rebalance_pps, rebalance_burst)).ok());
+  EXPECT_TRUE(bed->EnableElasticMembership().ok());
+  return bed;
+}
+
+// A crash detected *before* the join's rebalance runs: redundancy repair
+// outranks the fill, then the rebalance sweeps onto the new member.
+TEST(ElasticCrashRecoveryTest, CrashQueuedAheadOfJoinRepairsFirstThenFills) {
+  auto bed = MakeElasticMirrorBed();
+  TimeNs now = *bed->Preload(kElasticPages, kHealSeed);
+  now = *bed->repair()->RunToQuiescence(*bed->repair()->Pump(now));
+
+  bed->CrashServer(1);
+  auto joined = bed->JoinServer(&now);  // Queued while peer 1 is still dark.
+  ASSERT_TRUE(joined.ok()) << joined.status().message();
+
+  auto pumped = bed->repair()->Pump(now + Millis(50));  // Detects the crash.
+  ASSERT_TRUE(pumped.ok()) << pumped.status().message();
+  ASSERT_TRUE(bed->repair()->repair_pending(1));
+  ASSERT_TRUE(bed->repair()->rebalance_pending());
+  auto quiesced = bed->repair()->RunToQuiescence(*pumped);
+  ASSERT_TRUE(quiesced.ok()) << quiesced.status().message();
+  now = *quiesced;
+
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(),
+            static_cast<int64_t>(kElasticPages));
+  EXPECT_GT(bed->remote_pager()->PagesOn(*joined), 0u);
+  EXPECT_GT(bed->repair()->stats().pages_rebalanced, 0);
+  CheckPreloadedPages(bed.get(), kElasticPages, &now);
+}
+
+// The joining server dies mid-fill: the pages it had absorbed are
+// reconstructed from the surviving mirrors, and after its reboot the
+// re-armed rebalance walks its ranges back onto it.
+TEST(ElasticCrashRecoveryTest, JoiningServerCrashMidFillReconstructsAndRefills) {
+  // Slow fill pacing so the crash window genuinely lands mid-flight.
+  auto bed = MakeElasticMirrorBed(3, /*rebalance_pps=*/200, /*rebalance_burst=*/4);
+  TimeNs now = *bed->Preload(kElasticPages, kHealSeed);
+  now = *bed->repair()->RunToQuiescence(*bed->repair()->Pump(now));
+
+  auto joined = bed->JoinServer(&now);
+  ASSERT_TRUE(joined.ok()) << joined.status().message();
+  const size_t fresh = *joined;
+
+  // A few paced pumps: the fill is genuinely mid-flight.
+  for (int i = 0; i < 3 && !bed->repair()->idle(); ++i) {
+    now = *bed->repair()->Pump(now + Millis(10));
+  }
+  ASSERT_FALSE(bed->repair()->idle()) << "fill finished before the crash window";
+
+  bed->CrashServer(fresh);
+  auto pumped = bed->repair()->Pump(now + Millis(50));
+  ASSERT_TRUE(pumped.ok()) << pumped.status().message();
+  auto quiesced = bed->repair()->RunToQuiescence(*pumped);
+  ASSERT_TRUE(quiesced.ok()) << quiesced.status().message();
+  now = *quiesced;
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(),
+            static_cast<int64_t>(kElasticPages));
+  CheckPreloadedPages(bed.get(), kElasticPages, &now);
+
+  // Reboot + re-admission re-arms the rebalance; the map never changed, so
+  // the same ranges flow back.
+  bed->RestartServer(fresh);
+  pumped = bed->repair()->Pump(now + Millis(50));
+  ASSERT_TRUE(pumped.ok()) << pumped.status().message();
+  quiesced = bed->repair()->RunToQuiescence(*pumped);
+  ASSERT_TRUE(quiesced.ok()) << quiesced.status().message();
+  now = *quiesced;
+  EXPECT_EQ(bed->health()->health(fresh), PeerHealth::kAlive);
+  EXPECT_GT(bed->remote_pager()->PagesOn(fresh), 0u);
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(),
+            static_cast<int64_t>(kElasticPages));
+  CheckPreloadedPages(bed.get(), kElasticPages, &now);
+}
+
+// The decommission target dies before its drain finishes: the crash repair
+// subsumes the drain (reconstruction re-homes everything it held), after
+// which the member can be dropped from the map.
+TEST(ElasticCrashRecoveryTest, DecommissionTargetCrashMidDrainStillCompletes) {
+  // Slow drain pacing so the crash window genuinely lands mid-flight.
+  auto bed = MakeElasticMirrorBed(4, /*rebalance_pps=*/200, /*rebalance_burst=*/4);
+  TimeNs now = *bed->Preload(kElasticPages, kHealSeed);
+  now = *bed->repair()->RunToQuiescence(*bed->repair()->Pump(now));
+  ASSERT_GT(bed->remote_pager()->PagesOn(2), 0u);
+
+  ASSERT_TRUE(bed->DecommissionServer(2, &now).ok());
+  for (int i = 0; i < 3 && !bed->repair()->idle(); ++i) {
+    now = *bed->repair()->Pump(now + Millis(10));
+  }
+  ASSERT_FALSE(bed->repair()->idle()) << "drain finished before the crash window";
+
+  bed->CrashServer(2);
+  auto pumped = bed->repair()->Pump(now + Millis(50));
+  ASSERT_TRUE(pumped.ok()) << pumped.status().message();
+  auto quiesced = bed->repair()->RunToQuiescence(*pumped);
+  ASSERT_TRUE(quiesced.ok()) << quiesced.status().message();
+  now = *quiesced;
+
+  EXPECT_EQ(bed->remote_pager()->PagesOn(2), 0u);
+  ASSERT_TRUE(bed->CompleteDecommission(2, &now).ok());
+  EXPECT_EQ(bed->remote_pager()->cluster_map().members().size(), 3u);
+  EXPECT_EQ(bed->mirroring()->fully_replicated_pages(),
+            static_cast<int64_t>(kElasticPages));
+  CheckPreloadedPages(bed.get(), kElasticPages, &now);
+}
+
+// Lossy transport under the rebalance's own writes: the fill's pageouts to
+// the new member lose replies and are retried by the reliable RPC layer —
+// duplicate applies are absorbed, nothing is lost, the fill still converges.
+TEST(ElasticCrashRecoveryTest, DroppedRepliesDuringRebalanceRetryWithoutLoss) {
+  TestbedParams params;
+  params.policy = Policy::kNoReliability;
+  params.data_servers = 2;
+  params.server_capacity_pages = 512;
+  auto made = Testbed::Create(params);
+  ASSERT_TRUE(made.ok());
+  auto bed = std::move(*made);
+  ASSERT_TRUE(bed->EnableSelfHealing(FastHealth(), PacedEverything()).ok());
+  ASSERT_TRUE(bed->EnableElasticMembership().ok());
+  TimeNs now = *bed->Preload(kElasticPages, kHealSeed);
+  now = *bed->repair()->RunToQuiescence(*bed->repair()->Pump(now));
+
+  auto joined = bed->JoinServer(&now);
+  ASSERT_TRUE(joined.ok()) << joined.status().message();
+
+  // The new member's wire eats the replies of its first two pageouts.
+  auto plan = std::make_shared<FaultPlan>(616);
+  plan->AddRule({.kind = FaultKind::kDropReply, .at_op = 0,
+                 .only_type = MessageType::kPageOut});
+  plan->AddRule({.kind = FaultKind::kDropReply, .at_op = 1,
+                 .only_type = MessageType::kPageOut});
+  bed->InstallFaultPlan(*joined, plan);
+
+  auto quiesced = bed->repair()->RunToQuiescence(*bed->repair()->Pump(now + Millis(10)));
+  ASSERT_TRUE(quiesced.ok()) << quiesced.status().message();
+  now = *quiesced;
+
+  EXPECT_GE(plan->faults_fired(), 1);
+  EXPECT_GE(bed->backend().stats().retries, 1);
+  EXPECT_GT(bed->remote_pager()->PagesOn(*joined), 0u);
+  CheckPreloadedPages(bed.get(), kElasticPages, &now);
+}
+
+}  // namespace elastic
+
 // Satellite: the compressed tier × RestartServer interactions the matrix's
 // windows do not reach directly — a reboot (memory gone, tier state gone)
 // followed by resilver onto a tiered store, and a healed partition where the

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "src/proto/cluster_map.h"
 #include "src/proto/wire.h"
 #include "src/server/memory_server.h"
 #include "src/util/bytes.h"
@@ -279,6 +280,131 @@ TEST(WireFuzzTest, FlippedTenantAndFlagBytesNeverCrossCharge) {
       EXPECT_EQ(server.TenantReservedPages(quiet), 0u);
     }
   }
+}
+
+// --- Hostile cluster-map frames (DESIGN.md §16) ------------------------------
+
+ClusterMap SampleMap() {
+  return ClusterMap::Build(5, 64,
+                           {{0, 1, ClusterMember::State::kActive},
+                            {1, 3, ClusterMember::State::kActive},
+                            {2, 2, ClusterMember::State::kLeaving}});
+}
+
+// Patches the little-endian u32 at `offset` in a serialized map.
+void PatchU32(std::vector<uint8_t>* bytes, size_t offset, uint32_t value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
+TEST(WireFuzzTest, EveryTruncationOfAMapFrameFailsClosed) {
+  const std::vector<uint8_t> bytes = SampleMap().Serialize();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = ClusterMap::Deserialize(std::span<const uint8_t>(bytes.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "map prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+  }
+  ASSERT_TRUE(ClusterMap::Deserialize(bytes).ok());
+}
+
+TEST(WireFuzzTest, MapMemberCountBoundsAreEnforcedBeforeAllocation) {
+  // member_count is the u32 at offset 16 (magic + epoch + groups). A hostile
+  // count must trip the bound before anything sizes a member vector by it.
+  for (const uint32_t hostile : {0u, kMaxClusterMembers + 1, 0xffffffffu}) {
+    std::vector<uint8_t> bytes = SampleMap().Serialize();
+    PatchU32(&bytes, 16, hostile);
+    auto decoded = ClusterMap::Deserialize(bytes);
+    ASSERT_FALSE(decoded.ok()) << "member_count " << hostile << " decoded";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+  }
+  // A count that *claims* fewer members than the frame carries (and vice
+  // versa) is a length mismatch, not a partial parse.
+  std::vector<uint8_t> bytes = SampleMap().Serialize();
+  PatchU32(&bytes, 16, 2);
+  EXPECT_FALSE(ClusterMap::Deserialize(bytes).ok());
+}
+
+TEST(WireFuzzTest, MapRingBoundsAndStatesAreValidated) {
+  // groups is the u32 at offset 12; 0 and past-the-bound both fail closed.
+  for (const uint32_t hostile : {0u, kMaxPageGroups + 1, 0xffffffffu}) {
+    std::vector<uint8_t> bytes = SampleMap().Serialize();
+    PatchU32(&bytes, 12, hostile);
+    auto decoded = ClusterMap::Deserialize(bytes);
+    ASSERT_FALSE(decoded.ok()) << "groups " << hostile << " decoded";
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+  }
+  // An out-of-range member state byte (first member's state is the u8 at
+  // offset 20 + 12) must be rejected, not cast blindly into the enum.
+  std::vector<uint8_t> bytes = SampleMap().Serialize();
+  bytes[20 + 12] = 0x7f;
+  EXPECT_FALSE(ClusterMap::Deserialize(bytes).ok());
+}
+
+TEST(WireFuzzTest, ServerAnswersHostileMapPublishesCleanly) {
+  MemoryServer server;
+  const std::vector<uint8_t> good = SampleMap().Serialize();
+
+  // Truncated map payloads: error reply, no map adopted.
+  for (const size_t len : {size_t{0}, size_t{4}, good.size() - 1}) {
+    const Message reply = server.Handle(
+        MakeMapPublish(1, 5, std::span<const uint8_t>(good.data(), len)));
+    EXPECT_EQ(reply.type, MessageType::kErrorReply);
+    EXPECT_EQ(reply.status_code(), ErrorCode::kProtocol);
+    EXPECT_EQ(server.map_epoch(), 0u);
+  }
+  // A publish whose header epoch disagrees with the map payload's epoch is
+  // hostile by definition — one of them lies.
+  {
+    const Message reply = server.Handle(MakeMapPublish(2, 9, good));
+    EXPECT_EQ(reply.type, MessageType::kErrorReply);
+    EXPECT_EQ(server.map_epoch(), 0u);
+  }
+  // The genuine frame lands...
+  ASSERT_EQ(server.Handle(MakeMapPublish(3, 5, good)).type, MessageType::kMapPublishAck);
+  EXPECT_EQ(server.map_epoch(), 5u);
+  // ...an absurd epoch in a frame that fails decode must NOT bump the epoch
+  // even though it is numerically newer.
+  {
+    std::vector<uint8_t> bad = SampleMap().Serialize();
+    PatchU32(&bad, 16, 0xffffffffu);
+    const Message reply =
+        server.Handle(MakeMapPublish(4, 0xffffffffffffffffull, bad));
+    EXPECT_EQ(reply.type, MessageType::kErrorReply);
+    EXPECT_EQ(server.map_epoch(), 5u);
+  }
+  EXPECT_EQ(server.stats().stale_epoch_rejections.value(), 0);
+}
+
+TEST(WireFuzzTest, RandomByteFlipsNeverBreakTheMapDecoder) {
+  // Seeded sweep: any flipped map frame either still decodes to an in-bounds
+  // map or fails with a clean protocol error — never an abort, never a map
+  // whose fields escape the documented bounds.
+  Rng rng(0x3a9cULL);
+  const std::vector<uint8_t> good = SampleMap().Serialize();
+  int decoded_ok = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> bytes = good;
+    const int flips = 1 + static_cast<int>(rng.Below(3));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.Below(bytes.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    auto decoded = ClusterMap::Deserialize(bytes);
+    if (!decoded.ok()) {
+      continue;
+    }
+    ++decoded_ok;
+    EXPECT_GE(decoded->epoch(), 1u) << "iteration " << iter;
+    EXPECT_GE(decoded->groups(), 1u) << "iteration " << iter;
+    EXPECT_LE(decoded->groups(), kMaxPageGroups) << "iteration " << iter;
+    EXPECT_GE(decoded->members().size(), 1u) << "iteration " << iter;
+    EXPECT_LE(decoded->members().size(), size_t{kMaxClusterMembers}) << "iteration " << iter;
+    // Whatever survived must still run the ring without tripping asserts
+    // (unless the flips deactivated every member, when there is no ring).
+    if (decoded->active_members() > 0) {
+      (void)decoded->OwnerOf(decoded->GroupOf(12345));
+      (void)decoded->OwnerChain(0, 2);
+    }
+  }
+  EXPECT_LT(decoded_ok, 400);  // The sweep genuinely exercised rejection.
 }
 
 // --- Seeded random corruption sweeps ---------------------------------------
