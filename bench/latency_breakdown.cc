@@ -14,6 +14,7 @@
 // pagein rows exclude the pageout phase's samples.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -31,8 +32,14 @@ struct PolicySetup {
   int data_servers;
 };
 
-// The stage histograms worth decomposing, in pipeline order.
-const char* const kStages[] = {"policy", "backoff", "queue", "wire", "service", "parity", "disk"};
+// The stage histograms worth decomposing, in pipeline order. The model
+// stages (policy..disk) are simulated-clock; the srv_* stages are *measured*
+// wall-clock spans pulled back from the servers' span rings (DESIGN.md §17),
+// so their magnitudes are real handler microseconds, not modeled Ethernet
+// milliseconds.
+const char* const kStages[] = {"policy",  "backoff",     "queue",     "wire",     "service",
+                               "parity",  "disk",        "srv_queue", "srv_service",
+                               "srv_store", "srv_disk"};
 
 void EmitStageRows(const char* config_prefix, const MetricsSnapshot& snapshot) {
   for (const char* stage : kStages) {
@@ -44,12 +51,17 @@ void EmitStageRows(const char* config_prefix, const MetricsSnapshot& snapshot) {
     }
     const HistogramData& h = value->histogram;
     const std::string config = std::string(config_prefix) + "/" + stage;
-    std::printf("  %-28s n=%-6lld p50 %8.3f ms  p95 %8.3f ms  p99 %8.3f ms\n", config.c_str(),
-                static_cast<long long>(h.count), h.Percentile(50) / 1e6, h.Percentile(95) / 1e6,
-                h.Percentile(99) / 1e6);
-    EmitBenchResult("latency_breakdown", config, "p50", h.Percentile(50) / 1e6, "ms");
-    EmitBenchResult("latency_breakdown", config, "p95", h.Percentile(95) / 1e6, "ms");
-    EmitBenchResult("latency_breakdown", config, "p99", h.Percentile(99) / 1e6, "ms");
+    // Measured server-side spans are real wall-clock handler time (µs scale);
+    // the model stages are simulated Ethernet time (ms scale).
+    const bool measured = std::strncmp(stage, "srv_", 4) == 0;
+    const double scale = measured ? 1e3 : 1e6;
+    const char* unit = measured ? "us" : "ms";
+    std::printf("  %-28s n=%-6lld p50 %8.3f %s  p95 %8.3f %s  p99 %8.3f %s\n", config.c_str(),
+                static_cast<long long>(h.count), h.Percentile(50) / scale, unit,
+                h.Percentile(95) / scale, unit, h.Percentile(99) / scale, unit);
+    EmitBenchResult("latency_breakdown", config, "p50", h.Percentile(50) / scale, unit);
+    EmitBenchResult("latency_breakdown", config, "p95", h.Percentile(95) / scale, unit);
+    EmitBenchResult("latency_breakdown", config, "p99", h.Percentile(99) / scale, unit);
   }
 }
 
@@ -98,6 +110,9 @@ Status RunPolicy(const PolicySetup& setup) {
     }
     now = *done;
   }
+  // Pull the measured server-side spans into the client stage histograms
+  // before snapshotting, so the srv_* rows report real handler time.
+  (*testbed)->StitchServerSpans();
   const MetricsSnapshot after_out = pager->metrics().Snapshot();
   EmitStageRows((name + "/pageout").c_str(), after_out);
   EmitTotalRow((name + "/pageout").c_str(), "pageout", after_out);
@@ -111,6 +126,7 @@ Status RunPolicy(const PolicySetup& setup) {
     }
     now = *done;
   }
+  (*testbed)->StitchServerSpans();
   const MetricsSnapshot after_in = pager->metrics().Snapshot().Delta(after_out);
   EmitStageRows((name + "/pagein").c_str(), after_in);
   EmitTotalRow((name + "/pagein").c_str(), "pagein", after_in);

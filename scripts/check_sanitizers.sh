@@ -36,7 +36,12 @@ sanitizers=("${@:-address}")
 # join/decommission rebalance moves pages while foreground paging runs, and
 # the map-frame fail-closed decoding is exactly where ASan/UBSan findings
 # would hide behind clean-looking protocol errors.
-label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke|tenant_smoke|membership_smoke}"
+# obs_smoke covers the observability pipeline (DESIGN.md §17): the span ring
+# and event journal are concurrent structures appended from transport worker
+# threads while pollers drain them over the wire — TSan territory — and the
+# introspection-reply fuzz sweeps plus the live rmptop demo (real TCP, traffic
+# thread) are where ASan would catch a payload view escaping its frame.
+label="${RMP_SMOKE_LABEL:-faults_smoke|repair_smoke|metrics_smoke|reactor_smoke|compress_smoke|tenant_smoke|membership_smoke|obs_smoke}"
 
 for sanitizer in "${sanitizers[@]}"; do
   build_dir="${repo_root}/build-${sanitizer}san"

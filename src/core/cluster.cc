@@ -71,6 +71,11 @@ Result<Message> ServerPeer::Call(Message request) {
   if (epoch_ != 0 && request.aux == 0 && EpochStamped(request.type)) {
     request.aux = epoch_;
   }
+  // Trace ids ride only on the data ops that have server-side stages worth
+  // measuring — the same set the epoch gate covers.
+  if (trace_source_ != nullptr && EpochStamped(request.type)) {
+    StampTraceId(&request, trace_source_->load(std::memory_order_relaxed));
+  }
   return transport_->Call(request);
 }
 
@@ -80,6 +85,9 @@ RpcFuture ServerPeer::CallAsync(Message request) {
   }
   if (epoch_ != 0 && request.aux == 0 && EpochStamped(request.type)) {
     request.aux = epoch_;
+  }
+  if (trace_source_ != nullptr && EpochStamped(request.type)) {
+    StampTraceId(&request, trace_source_->load(std::memory_order_relaxed));
   }
   return transport_->CallAsync(std::move(request));
 }
@@ -413,6 +421,45 @@ Result<std::string> ServerPeer::DumpRemoteTrace() {
       return Status(reply->status_code(), "trace dump refused by " + name_);
     }
     return ProtocolError("unexpected reply to TRACE_DUMP on " + name_);
+  }
+  return std::string(IntrospectionJson(*reply));
+}
+
+Result<std::string> ServerPeer::DumpServerSpans() {
+  auto reply = Call(MakeTraceDump(NextRequestId(), /*document=*/1));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kTraceDumpReply) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "span dump refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to TRACE_DUMP on " + name_);
+  }
+  return std::string(IntrospectionJson(*reply));
+}
+
+Result<std::string> ServerPeer::QueryEvents(uint64_t min_seq, uint64_t* next_seq,
+                                            uint64_t* incarnation) {
+  auto reply = Call(MakeEventsQuery(NextRequestId(), min_seq));
+  if (!reply.ok()) {
+    mark_dead();
+    return reply.status();
+  }
+  if (reply->type != MessageType::kEventsReply) {
+    if (reply->status_code() == ErrorCode::kUnavailable) {
+      mark_dead();
+      return Status(reply->status_code(), "events query refused by " + name_);
+    }
+    return ProtocolError("unexpected reply to EVENTS_QUERY on " + name_);
+  }
+  if (next_seq != nullptr) {
+    *next_seq = reply->count;
+  }
+  if (incarnation != nullptr) {
+    *incarnation = reply->slot;
   }
   return std::string(IntrospectionJson(*reply));
 }

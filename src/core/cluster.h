@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_CLUSTER_H_
 #define SRC_CORE_CLUSTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -53,6 +54,15 @@ class ServerPeer {
   // RemotePagerBase whenever it adopts a newer map.
   uint64_t epoch() const { return epoch_; }
   void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
+  // Distributed-trace stamping (DESIGN.md §17): when attached, every
+  // epoch-gated data request reads this atomic (the client PageTracer's
+  // active trace id, 0 = none) and, if nonzero, carries it in the reserved
+  // `status` header bytes with the TRACED flag set. The same id is re-stamped
+  // on every retry of the operation — including retries against a *different*
+  // peer after failover — so server spans from all attempts stitch into one
+  // trace. Null (the default) leaves the wire format untouched.
+  void set_trace_source(const std::atomic<uint32_t>* source) { trace_source_ = source; }
 
   // ADVISE_STOP semantics (§2.1): "send no more pages to this server" means
   // no *new* swap-space grants; slots the client already holds in its pool
@@ -180,6 +190,14 @@ class ServerPeer {
   // snapshot / trace ring as JSON (STATS_QUERY / TRACE_DUMP).
   Result<std::string> QueryStats();
   Result<std::string> DumpRemoteTrace();
+  // Fetches the server's span ring (TRACE_DUMP, document 1) as JSON.
+  Result<std::string> DumpServerSpans();
+  // Fetches the server's flight-recorder events with seq >= min_seq
+  // (EVENTS_QUERY) as JSON; `next_seq`/`incarnation` (optional) receive the
+  // reply's cursor and the server incarnation that produced it, so a poller
+  // can detect both new events and a restart that reset the journal.
+  Result<std::string> QueryEvents(uint64_t min_seq = 0, uint64_t* next_seq = nullptr,
+                                  uint64_t* incarnation = nullptr);
 
   // --- Cluster-map exchange (DESIGN.md §16) --------------------------------
   // Pulls the server's current map (NotFound when it holds none).
@@ -212,6 +230,7 @@ class ServerPeer {
   bool stopped_ = false;
   uint16_t tenant_ = 0;
   uint64_t epoch_ = 0;
+  const std::atomic<uint32_t>* trace_source_ = nullptr;
   bool no_new_extents_ = false;
   bool alive_ = true;
   uint64_t known_free_pages_ = 0;

@@ -118,6 +118,12 @@ void HealthMonitor::TransitionLocked(size_t peer, PeerHealth to, bool rebooted,
   if (events != nullptr) {
     events->push_back(event);
   }
+  if (events_journal_ != nullptr) {
+    events_journal_->Append(EventKind::kHealth, "health",
+                            p.name() + " " + std::string(PeerHealthName(event.from)) + "->" +
+                                std::string(PeerHealthName(to)) +
+                                (rebooted ? " (rebooted)" : ""));
+  }
   RMP_LOG(kInfo) << "health: " << p.name() << " " << PeerHealthName(event.from) << " -> "
                  << PeerHealthName(to) << (rebooted ? " (rebooted)" : "");
 }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/core/cluster.h"
+#include "src/util/events.h"
 #include "src/util/units.h"
 
 namespace rmp {
@@ -105,6 +106,10 @@ class HealthMonitor {
   PeerHealth health(size_t peer) const;
   HealthStats stats() const;
 
+  // Flight recorder (DESIGN.md §17): every transition appends one kHealth
+  // event to `journal`. Not owned; null (the default) disables the hook.
+  void AttachEvents(EventJournal* journal) { events_journal_ = journal; }
+
   // Wall-clock mode for live deployments: a thread calls Tick() every
   // `wall_period`, advancing the internal simulated clock by one heartbeat
   // interval per tick. Events are delivered to `on_event` (may be null)
@@ -132,6 +137,7 @@ class HealthMonitor {
 
   Cluster* cluster_;
   HealthParams params_;
+  EventJournal* events_journal_ = nullptr;
 
   mutable std::mutex mutex_;
   std::vector<PeerState> peers_;

@@ -302,6 +302,9 @@ uint64_t RemotePagerBase::PagesOn(size_t peer) const {
 void RemotePagerBase::AdoptLocal(const ClusterMap& map) {
   map_ = map;
   has_map_ = true;
+  events_.Append(EventKind::kEpoch, "client",
+                 "adopted map epoch=" + std::to_string(map.epoch()) + " members=" +
+                     std::to_string(map.members().size()));
   // The map owns placement state from here on: every peer carries the epoch
   // (stamped into data requests), ACTIVE members take new pages, kLeaving and
   // absent members do not — but both keep serving reads for pages still on
@@ -379,6 +382,8 @@ Result<size_t> RemotePagerBase::MapOwnerPeer(uint64_t page_id) const {
 void RemotePagerBase::NotePeerAdded(size_t i) {
   ServerPeer& peer = cluster_.peer(i);
   peer.AttachMetrics(&metrics_);
+  peer.set_trace_source(tracer_.wire_id());
+  events_.Append(EventKind::kMembership, "client", "peer " + peer.name() + " added");
   if (has_map_) {
     peer.set_epoch(map_.epoch());
     const ClusterMember* member = map_.FindMember(static_cast<uint32_t>(i));
@@ -404,6 +409,8 @@ Result<size_t> RemotePagerBase::PickPeerForPage(uint64_t page_id, TimeNs* now) {
 
 void RemotePagerBase::NoteStaleEpoch(int attempt, TimeNs* now) {
   ++stats_.stale_epoch_retries;
+  events_.Append(EventKind::kStaleEpoch, "client",
+                 "denied at attempt " + std::to_string(attempt) + ", refreshing map");
   (void)RefreshClusterMap(now);  // Best-effort: the retry re-tests the gate.
   ChargeBackoff(attempt, now);
 }

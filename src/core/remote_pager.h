@@ -11,8 +11,10 @@
 #include "src/core/cluster.h"
 #include "src/core/fabric.h"
 #include "src/core/paging_backend.h"
+#include "src/util/events.h"
 #include "src/util/metrics.h"
 #include "src/util/rng.h"
+#include "src/util/slo.h"
 #include "src/util/tracing.h"
 
 namespace rmp {
@@ -45,9 +47,13 @@ struct RemotePagerParams {
   uint64_t alloc_extent_pages = 256;
   ServerSelection selection = ServerSelection::kMostFree;
   RetryParams retry;
-  // Page-lifecycle tracer tuning (DESIGN.md §12): ring size, slow-op
-  // threshold, span cap.
+  // Page-lifecycle tracer tuning (DESIGN.md §12/§17): ring size, slow-op
+  // threshold, span cap, head-sampling rate.
   PageTracerOptions trace;
+  // Client-side flight recorder (DESIGN.md §17).
+  EventJournalOptions events;
+  // Paging SLO window feeding the `slo.*` gauges (DESIGN.md §17).
+  SloParams slo;
   // Proactive cluster-map refresh period (`cluster.epoch_refresh_ms`,
   // DESIGN.md §16). 0 = refresh only reactively, when a server denies an op
   // with STALE_EPOCH — the cheapest correct configuration, since the denial
@@ -70,6 +76,12 @@ class RemotePagerBase : public PagingBackend {
   const MetricsRegistry& metrics() const { return metrics_; }
   PageTracer& tracer() { return tracer_; }
   void SyncStatsToMetrics();
+  // The client's flight recorder (DESIGN.md §17): map adoptions, stale-epoch
+  // denials, and whatever the Testbed's state machines append through it.
+  EventJournal& events() { return events_; }
+  // The paging SLO window behind the `slo.*` gauges; fed by the tracer on
+  // every completed (sampled) trace.
+  SloTracker& slo() { return slo_; }
 
   // --- Self-healing hooks (DESIGN.md §11) ----------------------------------
   // Incremental, idempotent work quanta the RepairCoordinator drives under
@@ -136,9 +148,14 @@ class RemotePagerBase : public PagingBackend {
         fabric_(std::move(fabric)),
         params_(params),
         retry_rng_(params.retry.jitter_seed),
-        tracer_(&metrics_, params.trace) {
+        tracer_(&metrics_, params.trace),
+        events_(params.events),
+        slo_(&metrics_, params.slo) {
+    tracer_.AttachSlo(&slo_);
     for (size_t i = 0; i < cluster_.size(); ++i) {
       cluster_.peer(i).AttachMetrics(&metrics_);
+      // Every RPC stamps the active trace id onto the wire (DESIGN.md §17).
+      cluster_.peer(i).set_trace_source(tracer_.wire_id());
     }
   }
 
@@ -235,6 +252,8 @@ class RemotePagerBase : public PagingBackend {
   Rng retry_rng_;
   MetricsRegistry metrics_;  // Declared before tracer_: its histograms live here.
   PageTracer tracer_;
+  EventJournal events_;
+  SloTracker slo_;  // Declared after metrics_ (its gauges live there).
 
  private:
   // Installs `map` locally: records it and lets it drive peer epoch and

@@ -65,6 +65,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
           drain_pending_[peer] = 1;
           ++stats_.drains_started;
           Metrics().drains_started.Increment();
+          Journal(EventKind::kMigrate, "drain armed for peer " + std::to_string(peer));
         }
       } else if (drained_[peer] && !drain_pending_[peer]) {
         // Load dropped after a completed drain: lift the stop the drain
@@ -81,6 +82,7 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
         repair_pending_[peer] = 1;
         ++stats_.repairs_started;
         Metrics().repairs_started.Increment();
+        Journal(EventKind::kRepair, "repair armed for dead peer " + std::to_string(peer));
       }
       continue;
     }
@@ -92,6 +94,8 @@ void RepairCoordinator::Absorb(const std::vector<HealthEvent>& events) {
           repair_pending_[peer] = 1;
           ++stats_.repairs_started;
           Metrics().repairs_started.Increment();
+          Journal(EventKind::kRepair,
+                  "repair armed for rebooted peer " + std::to_string(peer));
         }
         rejoin_deferred_[peer] = 1;
       } else {
@@ -119,6 +123,7 @@ void RepairCoordinator::Readmit(size_t peer) {
   monitor_->MarkReadmitted(peer);
   ++stats_.rejoins;
   Metrics().rejoins.Increment();
+  Journal(EventKind::kMembership, "re-admitted peer " + std::to_string(peer));
   RMP_LOG(kInfo) << "repair: re-admitted peer " << peer;
 }
 
@@ -139,6 +144,7 @@ Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed)
     repair_pending_[peer] = 0;
     ++stats_.repairs_completed;
     Metrics().repairs_completed.Increment();
+    Journal(EventKind::kRepair, "repair completed for peer " + std::to_string(peer));
     *progressed = true;
     if (rejoin_deferred_[peer]) {
       rejoin_deferred_[peer] = 0;
@@ -154,6 +160,8 @@ Status RepairCoordinator::StepRepair(size_t peer, TimeNs* now, bool* progressed)
   }
   stats_.pages_resilvered += static_cast<int64_t>(*done);
   Metrics().pages_resilvered.Increment(static_cast<int64_t>(*done));
+  Journal(EventKind::kRepair, "resilvered " + std::to_string(*done) + " pages for peer " +
+                                  std::to_string(peer));
   *progressed = true;
   return OkStatus();
 }
@@ -175,12 +183,15 @@ Status RepairCoordinator::StepDrain(size_t peer, TimeNs* now, bool* progressed) 
     drain_pending_[peer] = 0;
     ++stats_.drains_completed;
     Metrics().drains_completed.Increment();
+    Journal(EventKind::kMigrate, "drain completed for peer " + std::to_string(peer));
     *progressed = true;
     return OkStatus();
   }
   drained_[peer] = 1;
   stats_.pages_migrated += static_cast<int64_t>(*done);
   Metrics().pages_migrated.Increment(static_cast<int64_t>(*done));
+  Journal(EventKind::kMigrate, "drained " + std::to_string(*done) + " pages off peer " +
+                                   std::to_string(peer));
   *progressed = true;
   return OkStatus();
 }
@@ -202,11 +213,13 @@ Status RepairCoordinator::StepRebalance(TimeNs* now, bool* progressed) {
     rebalance_pending_ = false;
     ++stats_.rebalances_completed;
     Metrics().rebalances_completed.Increment();
+    Journal(EventKind::kRebalance, "rebalance converged to the map");
     *progressed = true;
     return OkStatus();
   }
   stats_.pages_rebalanced += static_cast<int64_t>(*done);
   Metrics().pages_rebalanced.Increment(static_cast<int64_t>(*done));
+  Journal(EventKind::kRebalance, "moved " + std::to_string(*done) + " pages toward the map");
   *progressed = true;
   return OkStatus();
 }
@@ -227,6 +240,7 @@ void RepairCoordinator::NoteMapChange() {
     rebalance_pending_ = true;
     ++stats_.rebalances_started;
     Metrics().rebalances_started.Increment();
+    Journal(EventKind::kRebalance, "rebalance armed (map changed)");
   }
 }
 

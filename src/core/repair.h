@@ -80,6 +80,10 @@ class RepairCoordinator {
   // per-peer job vectors when the cluster gained members.
   void NoteMapChange();
 
+  // Flight recorder (DESIGN.md §17): job arm/step/complete decisions append
+  // kRepair/kMigrate/kRebalance events. Not owned; null disables the hook.
+  void AttachEvents(EventJournal* journal) { events_journal_ = journal; }
+
   bool idle() const;
   bool repair_pending(size_t peer) const { return repair_pending_[peer]; }
   bool drain_pending(size_t peer) const { return drain_pending_[peer]; }
@@ -97,9 +101,16 @@ class RepairCoordinator {
   Status StepDrain(size_t peer, TimeNs* now, bool* progressed);
   Status StepRebalance(TimeNs* now, bool* progressed);
 
+  void Journal(EventKind kind, const std::string& detail) {
+    if (events_journal_ != nullptr) {
+      events_journal_->Append(kind, "repair", detail);
+    }
+  }
+
   RemotePagerBase* pager_;
   HealthMonitor* monitor_;
   RepairParams params_;
+  EventJournal* events_journal_ = nullptr;
   TokenBucket bucket_;
   TokenBucket rebalance_bucket_;
 

@@ -1,6 +1,10 @@
 #include "src/core/testbed.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "src/util/slo.h"
+#include "src/util/tracing.h"
 
 namespace rmp {
 
@@ -110,6 +114,8 @@ void Testbed::AddServerTo(Cluster* cluster) {
   server_params.capacity_pages = params_.server_capacity_pages;
   server_params.tier = params_.store_tier;
   server_params.tenants = params_.tenants;
+  server_params.span_ring_capacity = params_.server_span_ring;
+  server_params.events = params_.server_events;
   servers_.push_back(std::make_unique<MemoryServer>(server_params));
   auto transport = std::make_unique<InProcTransport>(servers_.back().get());
   transports_.push_back(transport.get());
@@ -142,7 +148,17 @@ Result<TimeNs> Testbed::Preload(uint64_t pages, uint64_t seed, TimeNs now) {
   return now;
 }
 
+void Testbed::InstallFaultPlan(size_t i, std::shared_ptr<FaultPlan> plan) {
+  if (plan != nullptr) {
+    if (EventJournal* journal = events()) {
+      plan->AttachEvents(journal, "faults@" + servers_[i]->name());
+    }
+  }
+  faults_[i]->InstallPlan(std::move(plan));
+}
+
 void Testbed::CrashServer(size_t i) {
+  JournalClient(EventKind::kCrash, servers_[i]->name() + " crashed; transport severed");
   servers_[i]->Crash();
   transports_[i]->Disconnect();
   faults_[i]->Disconnect();
@@ -154,12 +170,18 @@ void Testbed::RestartServer(size_t i, RestartOptions opts) {
     // A restarted workstation's counters start from zero; stale pre-crash
     // totals would poison post-recovery assertions.
     servers_[i]->ResetStats();
+    JournalClient(EventKind::kRestart,
+                  servers_[i]->name() + " restarted empty; incarnation=" +
+                      std::to_string(servers_[i]->incarnation()));
+  } else {
+    JournalClient(EventKind::kRestart, servers_[i]->name() + " partition healed; pages intact");
   }
   transports_[i]->Reconnect();
   faults_[i]->Reconnect();
 }
 
 void Testbed::PartitionServer(size_t i) {
+  JournalClient(EventKind::kInfo, servers_[i]->name() + " partitioned; transports severed");
   transports_[i]->Disconnect();
   faults_[i]->Disconnect();
 }
@@ -187,6 +209,72 @@ void Testbed::AttachTracerToServer(size_t i) {
   }
 }
 
+size_t Testbed::StitchServerSpans() {
+  auto* pager = remote_pager();
+  if (pager == nullptr) {
+    return 0;
+  }
+  size_t attached = 0;
+  for (auto& server : servers_) {
+    for (const ServerSpan& span : server->span_ring().Drain()) {
+      pager->tracer().AttachServerSpan(span.trace_id, span.stage, span.start, span.duration);
+      ++attached;
+    }
+  }
+  return attached;
+}
+
+EventJournal* Testbed::events() {
+  auto* pager = remote_pager();
+  return pager != nullptr ? &pager->events() : nullptr;
+}
+
+void Testbed::JournalClient(EventKind kind, const std::string& detail) {
+  if (EventJournal* journal = events()) {
+    journal->Append(kind, "testbed", detail);
+  }
+}
+
+std::string Testbed::DumpFlightRecorder() {
+  // Every journal stamps the same process-monotonic clock (EventWallNanos),
+  // so a plain sort by wall_ns is a true merged timeline.
+  struct TimelineEntry {
+    std::string source;
+    Event event;
+  };
+  std::vector<TimelineEntry> entries;
+  if (auto* pager = remote_pager()) {
+    for (Event& e : pager->events().All()) {
+      entries.push_back(TimelineEntry{"client", std::move(e)});
+    }
+  }
+  for (auto& server : servers_) {
+    for (Event& e : server->events().All()) {
+      entries.push_back(TimelineEntry{server->name(), std::move(e)});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TimelineEntry& a, const TimelineEntry& b) {
+                     return a.event.wall_ns < b.event.wall_ns;
+                   });
+  std::string out = "=== flight recorder: " + std::to_string(entries.size()) +
+                    " events across " + std::to_string(1 + servers_.size()) + " journals ===\n";
+  if (entries.empty()) {
+    return out;
+  }
+  const int64_t base = entries.front().event.wall_ns;
+  char prefix[64];
+  for (const TimelineEntry& entry : entries) {
+    const Event& e = entry.event;
+    std::snprintf(prefix, sizeof(prefix), "[+%10.6fs] %-9s %-11s ",
+                  static_cast<double>(e.wall_ns - base) / 1e9, entry.source.c_str(),
+                  std::string(EventKindName(e.kind)).c_str());
+    out += prefix;
+    out += e.actor + ": " + e.detail + "\n";
+  }
+  return out;
+}
+
 Status Testbed::EnableSelfHealing(const HealthParams& health_params,
                                   const RepairParams& repair_params) {
   auto* pager = dynamic_cast<RemotePagerBase*>(backend_.get());
@@ -195,6 +283,9 @@ Status Testbed::EnableSelfHealing(const HealthParams& health_params,
   }
   monitor_ = std::make_unique<HealthMonitor>(&pager->cluster(), health_params);
   repair_ = std::make_unique<RepairCoordinator>(pager, monitor_.get(), repair_params);
+  // Both halves of the self-healing layer narrate onto the client journal.
+  monitor_->AttachEvents(&pager->events());
+  repair_->AttachEvents(&pager->events());
   return OkStatus();
 }
 
@@ -255,6 +346,9 @@ Result<size_t> Testbed::JoinServer(TimeNs* now) {
   members.push_back(ClusterMember{static_cast<uint32_t>(i), servers_[i]->incarnation(),
                                   ClusterMember::State::kActive});
   RMP_RETURN_IF_ERROR(AdoptNextMap(pager, std::move(members), now));
+  JournalClient(EventKind::kMembership,
+                servers_[i]->name() + " joined ACTIVE; map epoch=" +
+                    std::to_string(pager->cluster_map().epoch()));
   return i;
 }
 
@@ -283,7 +377,11 @@ Status Testbed::DecommissionServer(size_t i, TimeNs* now) {
       return FailedPreconditionError("cannot decommission the last active server");
     }
     m.state = ClusterMember::State::kLeaving;
-    return AdoptNextMap(pager, std::move(members), now);
+    RMP_RETURN_IF_ERROR(AdoptNextMap(pager, std::move(members), now));
+    JournalClient(EventKind::kMembership,
+                  servers_[i]->name() + " marked LEAVING; map epoch=" +
+                      std::to_string(pager->cluster_map().epoch()));
+    return OkStatus();
   }
   return NotFoundError("server " + std::to_string(i) + " is not in the cluster map");
 }
@@ -323,7 +421,11 @@ Status Testbed::CompleteDecommission(size_t i, TimeNs* now) {
   if (rest.empty() || actives == 0) {
     return FailedPreconditionError("cannot drop the last active server from the map");
   }
-  return AdoptNextMap(pager, std::move(rest), now);
+  RMP_RETURN_IF_ERROR(AdoptNextMap(pager, std::move(rest), now));
+  JournalClient(EventKind::kMembership,
+                servers_[i]->name() + " dropped from map; epoch=" +
+                    std::to_string(pager->cluster_map().epoch()));
+  return OkStatus();
 }
 
 Status ApplyClusterConfig(const Config& config, ElasticParams* elastic, RepairParams* repair,
@@ -351,6 +453,21 @@ Status ApplyClusterConfig(const Config& config, ElasticParams* elastic, RepairPa
     RMP_RETURN_IF_ERROR(refresh.status());
     pager->map_refresh_interval = Millis(std::max<int64_t>(0, *refresh));
   }
+  return OkStatus();
+}
+
+Status ApplyObservabilityConfig(const Config& config, TestbedParams* params) {
+  RMP_RETURN_IF_ERROR(ApplyTraceConfig(config, &params->pager.trace));
+  RMP_RETURN_IF_ERROR(ApplyEventsConfig(config, &params->pager.events));
+  RMP_RETURN_IF_ERROR(ApplySloConfig(config, &params->pager.slo));
+  // The server journals take the same `events.*` knobs as the client's.
+  RMP_RETURN_IF_ERROR(ApplyEventsConfig(config, &params->server_events));
+  auto span_ring = config.GetInt("trace.span_ring", static_cast<int64_t>(params->server_span_ring));
+  RMP_RETURN_IF_ERROR(span_ring.status());
+  if (*span_ring < 0) {
+    return InvalidArgumentError("trace.span_ring must be >= 0");
+  }
+  params->server_span_ring = static_cast<size_t>(*span_ring);
   return OkStatus();
 }
 

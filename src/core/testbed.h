@@ -22,6 +22,7 @@
 #include "src/server/memory_server.h"
 #include "src/transport/fault_injection.h"
 #include "src/transport/inproc_transport.h"
+#include "src/util/events.h"
 
 namespace rmp {
 
@@ -72,6 +73,11 @@ struct TestbedParams {
   TenantPolicyParams tenants;
   // Tenant id stamped onto every client RPC (0 = legacy/untenanted).
   uint16_t client_tenant = 0;
+  // Server-side observability (DESIGN.md §17): span-ring capacity and
+  // flight-recorder journal options applied to every server. The client
+  // pager's tracer/journal/SLO knobs live in `pager` (RemotePagerParams).
+  size_t server_span_ring = 4096;
+  EventJournalOptions server_events;
 };
 
 class Testbed {
@@ -101,9 +107,10 @@ class Testbed {
   // Crash faults fired by a plan invoke CrashServer(i) via the wrapper's
   // crash hook, so a mid-RPC crash behaves exactly like an explicit one.
   FaultInjectingTransport& fault(size_t i) { return *faults_[i]; }
-  void InstallFaultPlan(size_t i, std::shared_ptr<FaultPlan> plan) {
-    faults_[i]->InstallPlan(std::move(plan));
-  }
+  // Also points the plan's flight-recorder hook at the client journal
+  // (actor "faults@server-i"), so every injected fault lands on the merged
+  // timeline next to the transitions it caused.
+  void InstallFaultPlan(size_t i, std::shared_ptr<FaultPlan> plan);
 
   // Crashes server `i`: its stored pages vanish and its transport drops.
   void CrashServer(size_t i);
@@ -137,6 +144,26 @@ class Testbed {
   // Points server `i`'s TRACE_DUMP handler at the client pager's tracer so
   // a trace ring can be pulled back over the wire. No-op for kDisk.
   void AttachTracerToServer(size_t i);
+
+  // --- Observability (DESIGN.md §17) ---------------------------------------
+
+  // Drains every server's span ring into the client tracer: each measured
+  // srv_* span feeds its stage histogram and attaches to the matching trace
+  // record, so the next TRACE_DUMP / latency_breakdown snapshot reports
+  // *measured* server-side stages. The in-proc equivalent of pulling
+  // TRACE_DUMP (document 1) from each server. Returns the number of spans
+  // stitched; 0 for kDisk.
+  size_t StitchServerSpans();
+
+  // The client pager's flight-recorder journal (null for kDisk). The
+  // Testbed wires the health monitor, repair coordinator, fault plans, and
+  // its own lifecycle calls (crash/restart/join/decommission) into it.
+  EventJournal* events();
+
+  // Merges the client journal and every server's journal into one timeline
+  // (sorted on the shared process-monotonic clock) and renders it as text —
+  // the post-mortem dump a failed crash-recovery scenario prints.
+  std::string DumpFlightRecorder();
 
   // Attaches the self-healing layer (HealthMonitor + RepairCoordinator) to
   // the backend. Call once, after Create; fails for kDisk (no cluster).
@@ -220,6 +247,10 @@ class Testbed {
   // given cluster (Create's local cluster, or the live one on JoinServer).
   void AddServerTo(Cluster* cluster);
 
+  // Appends a lifecycle event (actor "testbed") to the client journal; the
+  // disabled path (kDisk, no pager) is a no-op.
+  void JournalClient(EventKind kind, const std::string& detail);
+
   // Publishes `members` as the next map (epoch+1) and re-arms the rebalance.
   Status AdoptNextMap(RemotePagerBase* pager, std::vector<ClusterMember> members, TimeNs* now);
 };
@@ -233,6 +264,15 @@ class Testbed {
 // Null out-params skip their keys. Absent keys keep the current values.
 Status ApplyClusterConfig(const Config& config, ElasticParams* elastic, RepairParams* repair,
                           RemotePagerParams* pager);
+
+// Applies the observability Config keys (README: observability knobs) over
+// the given testbed params:
+//   trace.*           -> params->pager.trace   (ApplyTraceConfig)
+//   trace.span_ring   -> params->server_span_ring (per-server span ring)
+//   events.*          -> params->pager.events AND params->server_events
+//   slo.*             -> params->pager.slo     (ApplySloConfig)
+// Absent keys keep the current values.
+Status ApplyObservabilityConfig(const Config& config, TestbedParams* params);
 
 }  // namespace rmp
 

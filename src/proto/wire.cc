@@ -48,7 +48,7 @@ uint64_t GetU64(const uint8_t* p) {
 
 bool ValidType(uint8_t t) {
   return t >= static_cast<uint8_t>(MessageType::kAllocRequest) &&
-         t <= static_cast<uint8_t>(MessageType::kMapPublishAck);
+         t <= static_cast<uint8_t>(MessageType::kEventsReply);
 }
 
 }  // namespace
@@ -121,6 +121,10 @@ std::string_view MessageTypeName(MessageType type) {
       return "MAP_PUBLISH";
     case MessageType::kMapPublishAck:
       return "MAP_PUBLISH_ACK";
+    case MessageType::kEventsQuery:
+      return "EVENTS_QUERY";
+    case MessageType::kEventsReply:
+      return "EVENTS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -414,15 +418,41 @@ Message MakeStatsReply(uint64_t request_id, uint64_t incarnation, std::string_vi
   return MakeIntrospectionReply(MessageType::kStatsReply, request_id, incarnation, json);
 }
 
-Message MakeTraceDump(uint64_t request_id) {
+Message MakeTraceDump(uint64_t request_id, uint64_t document) {
   Message m;
   m.type = MessageType::kTraceDump;
   m.request_id = request_id;
+  m.slot = document;
   return m;
 }
 
 Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json) {
   return MakeIntrospectionReply(MessageType::kTraceDumpReply, request_id, incarnation, json);
+}
+
+Message MakeEventsQuery(uint64_t request_id, uint64_t min_seq) {
+  Message m;
+  m.type = MessageType::kEventsQuery;
+  m.request_id = request_id;
+  m.slot = min_seq;
+  return m;
+}
+
+Message MakeEventsReply(uint64_t request_id, uint64_t incarnation, uint64_t next_seq,
+                        std::string_view json) {
+  Message m = MakeIntrospectionReply(MessageType::kEventsReply, request_id, incarnation, json);
+  m.count = next_seq;
+  return m;
+}
+
+void StampTraceId(Message* request, uint32_t trace_id) {
+  if (trace_id == 0) {
+    request->flags &= static_cast<uint8_t>(~kFlagTraced);
+    request->status = 0;
+    return;
+  }
+  request->flags |= kFlagTraced;
+  request->status = trace_id;
 }
 
 Message MakeMapQuery(uint64_t request_id) {

@@ -16,7 +16,12 @@
 //   slot       u64   server swap slot (pageout/pagein)
 //   count      u64   page count (alloc/free) or free-pages (load report)
 //   aux        u64   total pages (load report) / error detail
-//   status     u32   rmp::ErrorCode of a reply
+//   status     u32   rmp::ErrorCode of a reply. On a *request* the field was
+//                    reserved-zero; a request with the TRACED flag set
+//                    repurposes it as the trace id (DESIGN.md §17), the same
+//                    precedent tenant_id set for the reserved u16. Requests
+//                    without the flag leave it zero, so legacy frames decode
+//                    unchanged.
 //   payload_crc u32  CRC32 of payload (0 when empty)
 //   payload_len u32
 //   payload    payload_len bytes
@@ -108,12 +113,23 @@ enum class MessageType : uint8_t {
   kMapReply = 31,       // slot = epoch, count = payload size, payload = map.
   kMapPublish = 32,     // slot = epoch, payload = serialized map.
   kMapPublishAck = 33,  // slot = epoch now in force at the server.
+  // Flight recorder (DESIGN.md §17): EVENTS_QUERY pulls the server's
+  // structured event journal — health transitions, epoch adoptions,
+  // STALE_EPOCH refusals, tenant sheds — as a JSON array. The request `slot`
+  // is the minimum sequence number wanted (0 = everything still in the
+  // ring); the reply carries `slot` = incarnation and `count` = the journal's
+  // next sequence number, so a poller can resume from where it left off.
+  kEventsQuery = 34,
+  kEventsReply = 35,
 };
 
 std::string_view MessageTypeName(MessageType type);
 
 // Flag bits.
 inline constexpr uint8_t kFlagAdviseStop = 0x1;  // "send no more pages here" (§2.1).
+// Request carries a trace id in its `status` field (DESIGN.md §17). Only
+// ever set on requests; replies keep `status` as the error code.
+inline constexpr uint8_t kFlagTraced = 0x2;
 
 struct Message {
   MessageType type = MessageType::kErrorReply;
@@ -132,6 +148,9 @@ struct Message {
 
   bool advise_stop() const { return (flags & kFlagAdviseStop) != 0; }
   ErrorCode status_code() const { return static_cast<ErrorCode>(status); }
+  // Trace id of a request frame; 0 = untraced (legacy frames and sampled-out
+  // requests). Meaningless on replies.
+  uint32_t trace_id() const { return (flags & kFlagTraced) != 0 ? status : 0; }
 
   bool operator==(const Message& other) const;
 };
@@ -242,8 +261,18 @@ Message MakeMigrateReply(uint64_t request_id, uint64_t slot, std::span<const uin
                          ErrorCode status);
 Message MakeStatsQuery(uint64_t request_id);
 Message MakeStatsReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
-Message MakeTraceDump(uint64_t request_id);
+// `document` selects what TRACE_DUMP returns (travels in the request `slot`):
+// 0 = the attached tracer's trace ring (the original PR 5 behaviour),
+// 1 = the server's own span ring (DESIGN.md §17), for client-side stitching.
+Message MakeTraceDump(uint64_t request_id, uint64_t document = 0);
 Message MakeTraceDumpReply(uint64_t request_id, uint64_t incarnation, std::string_view json);
+Message MakeEventsQuery(uint64_t request_id, uint64_t min_seq = 0);
+Message MakeEventsReply(uint64_t request_id, uint64_t incarnation, uint64_t next_seq,
+                        std::string_view json);
+
+// Stamps `trace_id` onto a request frame (sets kFlagTraced and the status
+// field); 0 clears both. Never call on replies.
+void StampTraceId(Message* request, uint32_t trace_id);
 // Cluster-map distribution (DESIGN.md §16). `map_bytes` is a serialized
 // ClusterMap (src/proto/cluster_map.h); `epoch` duplicates the map's epoch in
 // the header so receivers can order frames without decoding the payload.
@@ -253,7 +282,8 @@ Message MakeMapReply(uint64_t request_id, uint64_t epoch, std::span<const uint8_
 Message MakeMapPublish(uint64_t request_id, uint64_t epoch, std::span<const uint8_t> map_bytes);
 Message MakeMapPublishAck(uint64_t request_id, uint64_t epoch, ErrorCode status);
 
-// The JSON document carried by a kStatsReply / kTraceDumpReply payload.
+// The JSON document carried by a kStatsReply / kTraceDumpReply /
+// kEventsReply payload.
 std::string_view IntrospectionJson(const Message& message);
 
 // Batched data-plane messages. `pages` is the concatenation of

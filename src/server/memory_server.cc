@@ -30,6 +30,31 @@ TimeNs NowNanos() {
       .count();
 }
 
+// Accumulates this scope's wall time into a ServerTraceScratch sink, but only
+// when a traced request is in flight on this thread (DESIGN.md §17) — the
+// untraced path pays one thread_local bool test and no clock reads.
+class ScratchTimer {
+ public:
+  explicit ScratchTimer(int64_t ServerTraceScratch::* sink) {
+    ServerTraceScratch& scratch = ServerScratch();
+    if (scratch.active) {
+      sink_ = &(scratch.*sink);
+      t0_ = NowNanos();
+    }
+  }
+  ~ScratchTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += NowNanos() - t0_;
+    }
+  }
+  ScratchTimer(const ScratchTimer&) = delete;
+  ScratchTimer& operator=(const ScratchTimer&) = delete;
+
+ private:
+  int64_t* sink_ = nullptr;
+  TimeNs t0_ = 0;
+};
+
 // A rate denial travels back in the reply shape the op expects, so clients
 // that only look at the status field keep working. Pageout-shaped denials
 // carry ADVISE_STOP: an over-rate tenant should back off exactly like one
@@ -231,7 +256,8 @@ Status ApplyStoreConfig(const Config& config, MemoryServerParams* params) {
   return OkStatus();
 }
 
-MemoryServer::MemoryServer(const MemoryServerParams& params) : params_(params) {
+MemoryServer::MemoryServer(const MemoryServerParams& params)
+    : params_(params), spans_(params.span_ring_capacity), events_(params.events) {
   const uint32_t wanted = std::max<uint32_t>(1, params_.store_shards);
   shard_bits_ = 0;
   while ((1u << shard_bits_) < wanted) {
@@ -538,6 +564,7 @@ void MemoryServer::MaybeDemoteLocked(Shard* shard) const {
 }
 
 Status MemoryServer::UnspillExtentLocked(Shard* shard, uint32_t extent_index) const {
+  ScratchTimer disk_timer(&ServerTraceScratch::disk_ns);
   Extent& extent = shard->extents[extent_index];
   auto data = std::make_unique<uint8_t[]>(extent.capacity);
   {
@@ -565,6 +592,7 @@ void MemoryServer::MaybeSpillLocked(Shard* shard) const {
   if (disk_ == nullptr || per_shard_cold_budget_ == 0) {
     return;
   }
+  ScratchTimer disk_timer(&ServerTraceScratch::disk_ns);
   while (shard->cold_live_bytes > per_shard_cold_budget_) {
     uint32_t victim = kNoIndex;
     for (uint32_t i = 0; i < shard->extents.size(); ++i) {
@@ -868,6 +896,7 @@ Status MemoryServer::CheckSlotOwner(uint64_t slot, uint16_t tenant) const {
 }
 
 Status MemoryServer::Store(uint64_t slot, std::span<const uint8_t> page) {
+  ScratchTimer store_timer(&ServerTraceScratch::store_ns);
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
@@ -933,6 +962,7 @@ Result<PageBuffer> MemoryServer::MigrateOut(uint64_t slot, uint16_t tenant) {
 }
 
 Result<PageBuffer> MemoryServer::Load(uint64_t slot) const {
+  ScratchTimer store_timer(&ServerTraceScratch::store_ns);
   if (crashed()) {
     return UnavailableError(params_.name + " crashed");
   }
@@ -1156,12 +1186,15 @@ void MemoryServer::Crash() {
     shard.open_extent = kNoIndex;
     shard.cold_live_bytes = 0;
   }
+  events_.Append(EventKind::kCrash, params_.name, "all pages lost");
   RMP_LOG(kInfo) << params_.name << " crashed, all pages lost";
 }
 
 void MemoryServer::Restart() {
   incarnation_.fetch_add(1, std::memory_order_acq_rel);
   crashed_.store(false, std::memory_order_release);
+  events_.Append(EventKind::kRestart, params_.name,
+                 "incarnation=" + std::to_string(incarnation()));
 }
 
 std::vector<uint8_t> MemoryServer::map_bytes() const {
@@ -1348,6 +1381,42 @@ bool MemoryServer::AdmitTenant(const Message& request, Message* denial,
 }
 
 Message MemoryServer::Handle(const Message& request) {
+  // Trace shim (DESIGN.md §17). Requests without a wire trace id — legacy
+  // frames, sampled-out operations, tracing off — pay exactly one flag test
+  // and fall through to the pre-§17 path.
+  const uint32_t trace_id = request.trace_id();
+  if (trace_id == 0) {
+    return HandleAdmitted(request);
+  }
+  // Traced request: time the handler wall-to-wall and let the store path
+  // accumulate its share into the per-thread scratch; the transport worker
+  // already deposited the scheduler queue delay there (0 for in-proc calls).
+  ServerTraceScratch& scratch = ServerScratch();
+  const int64_t queue_ns = scratch.queue_ns;
+  scratch.queue_ns = 0;
+  scratch.store_ns = 0;
+  scratch.disk_ns = 0;
+  scratch.active = true;
+  const TimeNs t0 = NowNanos();
+  Message reply = HandleAdmitted(request);
+  const TimeNs t1 = NowNanos();
+  scratch.active = false;
+  if (queue_ns > 0) {
+    spans_.Record(trace_id, TraceStage::kServerQueue, t0 - queue_ns, queue_ns);
+  }
+  spans_.Record(trace_id, TraceStage::kServerService, t0, t1 - t0);
+  // Store/disk are sub-spans of service (same start anchor): the breakdown
+  // reports how much of the service time the store path accounts for.
+  if (scratch.store_ns > 0) {
+    spans_.Record(trace_id, TraceStage::kServerStore, t0, scratch.store_ns);
+  }
+  if (scratch.disk_ns > 0) {
+    spans_.Record(trace_id, TraceStage::kServerDisk, t0, scratch.disk_ns);
+  }
+  return reply;
+}
+
+Message MemoryServer::HandleAdmitted(const Message& request) {
   if (!tenant_enforced_) {
     // Tenant policy off: the request takes exactly the pre-§15 path, whatever
     // its tenant field says (attribution without enforcement costs nothing).
@@ -1357,6 +1426,9 @@ Message MemoryServer::Handle(const Message& request) {
   HistogramMetric* service_us = nullptr;
   if (!AdmitTenant(request, &denial, &service_us)) {
     denial.tenant = request.tenant;
+    events_.Append(EventKind::kTenantShed, params_.name,
+                   "tenant=" + std::to_string(request.tenant) + " op=" +
+                       std::string(MessageTypeName(request.type)) + " shed");
     return denial;
   }
   const auto t0 = SteadyClock::now();
@@ -1392,6 +1464,9 @@ Message MemoryServer::HandleInternal(const Message& request) {
   if (epoch_now != 0 && request.aux != 0 && request.aux < epoch_now &&
       EpochGated(request.type)) {
     stats_.stale_epoch_rejections.fetch_add(1, std::memory_order_relaxed);
+    events_.Append(EventKind::kStaleEpoch, params_.name,
+                   "op=" + std::string(MessageTypeName(request.type)) + " stamped=" +
+                       std::to_string(request.aux) + " current=" + std::to_string(epoch_now));
     return EpochStaleReply(request, epoch_now);
   }
   switch (request.type) {
@@ -1545,8 +1620,20 @@ Message MemoryServer::HandleInternal(const Message& request) {
       if (crashed()) {
         return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
       }
+      // Document 0: the attached tracer's ring (client-side records).
+      // Document 1: this server's span ring (the stitch source).
+      if (request.slot == 1) {
+        return MakeTraceDumpReply(request.request_id, incarnation(), spans_.ToJson());
+      }
       return MakeTraceDumpReply(request.request_id, incarnation(),
                                 tracer_ != nullptr ? tracer_->ToJson() : "[]");
+    }
+    case MessageType::kEventsQuery: {
+      if (crashed()) {
+        return MakeErrorReply(request.request_id, ErrorCode::kUnavailable);
+      }
+      return MakeEventsReply(request.request_id, incarnation(), events_.next_seq(),
+                             events_.ToJson(request.slot));
     }
     case MessageType::kMapQuery: {
       if (crashed()) {
@@ -1576,11 +1663,16 @@ Message MemoryServer::HandleInternal(const Message& request) {
       const uint64_t current = map_epoch_.load(std::memory_order_acquire);
       if (map->epoch() < current) {
         stats_.stale_epoch_rejections.fetch_add(1, std::memory_order_relaxed);
+        events_.Append(EventKind::kStaleEpoch, params_.name,
+                       "MAP_PUBLISH epoch=" + std::to_string(map->epoch()) +
+                           " refused, current=" + std::to_string(current));
         return MakeMapPublishAck(request.request_id, current, ErrorCode::kStaleEpoch);
       }
       map_bytes_.assign(request.payload.begin(), request.payload.end());
       map_epoch_.store(map->epoch(), std::memory_order_release);
       stats_.map_publishes.fetch_add(1, std::memory_order_relaxed);
+      events_.Append(EventKind::kEpoch, params_.name,
+                     "adopted map epoch=" + std::to_string(map->epoch()));
       return MakeMapPublishAck(request.request_id, map->epoch(), ErrorCode::kOk);
     }
     case MessageType::kShutdown: {

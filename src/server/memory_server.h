@@ -54,6 +54,7 @@
 #include "src/transport/transport.h"
 #include "src/util/bytes.h"
 #include "src/util/config.h"
+#include "src/util/events.h"
 #include "src/util/metrics.h"
 #include "src/util/status.h"
 #include "src/util/token_bucket.h"
@@ -139,6 +140,11 @@ struct MemoryServerParams {
   // Multi-tenant quotas + admission control (DESIGN.md §15). Disabled when
   // empty: the server then behaves byte-identically to the untenanted seed.
   TenantPolicyParams tenants;
+  // Server-side observability (DESIGN.md §17): capacity of the per-server
+  // span ring traced requests append to (0 disables it), and the flight
+  // recorder's journal options.
+  size_t span_ring_capacity = 4096;
+  EventJournalOptions events;
 };
 
 // Applies the `store.*` Config keys (README: store tuning knobs) over
@@ -330,6 +336,15 @@ class MemoryServer : public MessageHandler {
   // dump travels the wire). Not owned; pass nullptr to detach.
   void AttachTracer(PageTracer* tracer) { tracer_ = tracer; }
 
+  // --- Distributed tracing + flight recorder (DESIGN.md §17) --------------
+  // Server-side spans recorded for requests that carried a wire trace id;
+  // answers TRACE_DUMP with document 1 and the Testbed's in-proc stitching.
+  SpanRing& span_ring() const { return spans_; }
+  // The server's flight recorder; answers EVENTS_QUERY. State machines that
+  // live *outside* the server (health, repair, fault plans) get their own
+  // journals — this one records the server's own decisions.
+  EventJournal& events() const { return events_; }
+
  private:
   // Frames per slab: 64 × 8 KB = 512 KB slabs, large enough to amortize the
   // allocation, small enough that a lightly used shard stays cheap.
@@ -453,6 +468,9 @@ class MemoryServer : public MessageHandler {
   void ReleaseTenantRunsLocked(uint64_t first_slot, uint64_t pages);
   // The untenanted dispatch switch; Handle wraps it with tenant admission.
   Message HandleInternal(const Message& request);
+  // Tenant admission + dispatch (the whole pre-§17 Handle). Handle itself is
+  // now only the trace shim: untraced requests fall straight through here.
+  Message HandleAdmitted(const Message& request);
   // Rate-limit + attribution gate run before dispatch. Returns false and
   // fills *denial when the op must be rejected; on admit, *service_us_out
   // points at the tenant's latency histogram (null for tenant 0).
@@ -507,6 +525,8 @@ class MemoryServer : public MessageHandler {
   mutable MetricsRegistry registry_;
   mutable MemoryServerStats stats_{&registry_};
   PageTracer* tracer_ = nullptr;
+  mutable SpanRing spans_;
+  mutable EventJournal events_;
 };
 
 }  // namespace rmp

@@ -36,6 +36,12 @@ void FaultPlan::AddRule(FaultRule rule) {
   rules_.push_back(ArmedRule{rule});
 }
 
+void FaultPlan::AttachEvents(EventJournal* journal, std::string actor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_journal_ = journal;
+  actor_ = std::move(actor);
+}
+
 FaultKind FaultPlan::Decide(const Message& request, TimeNs now, FaultRule* fired) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++ops_seen_;
@@ -72,6 +78,12 @@ FaultKind FaultPlan::Decide(const Message& request, TimeNs now, FaultRule* fired
   }
   ++winner->fired;
   ++faults_fired_;
+  if (events_journal_ != nullptr) {
+    events_journal_->Append(EventKind::kFault, actor_,
+                            std::string(FaultKindName(winner->rule.kind)) + " on " +
+                                std::string(MessageTypeName(request.type)) + " at op #" +
+                                std::to_string(ops_seen_));
+  }
   if (fired != nullptr) {
     *fired = winner->rule;
   }

@@ -36,10 +36,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/transport/transport.h"
+#include "src/util/events.h"
 #include "src/util/rng.h"
 #include "src/util/units.h"
 
@@ -122,6 +124,10 @@ class FaultPlan {
   int64_t ops_seen() const;
   int64_t faults_fired() const;
 
+  // Flight recorder (DESIGN.md §17): every firing appends one kFault event
+  // ("<KIND> on <op> at op #N") under `actor`. Not owned; null disables.
+  void AttachEvents(EventJournal* journal, std::string actor = "faults");
+
  private:
   struct ArmedRule {
     FaultRule rule;
@@ -131,6 +137,8 @@ class FaultPlan {
 
   const uint64_t seed_;
   mutable std::mutex mutex_;
+  EventJournal* events_journal_ = nullptr;
+  std::string actor_;
   Rng rng_;
   std::vector<ArmedRule> rules_;
   int64_t ops_seen_ = 0;

@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 
 #include "src/util/logging.h"
 #include "src/util/metrics.h"
+#include "src/util/tracing.h"
 
 namespace rmp {
 namespace {
@@ -557,6 +559,15 @@ void TcpServer::WorkerLoop() {
   while (have) {
     auto session = std::static_pointer_cast<ServerSession>(item.owner);
     if (session != nullptr) {
+      if (item.request.trace_id() != 0) {
+        // Traced request (DESIGN.md §17): hand the handler its scheduler
+        // queue + lane wait so the server can record a srv_queue span.
+        // Untraced requests skip even the clock read.
+        const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now().time_since_epoch())
+                                .count();
+        ServerScratch().queue_ns = std::max<int64_t>(0, now - item.enqueue_ns);
+      }
       Message reply = session->handler()->Handle(item.request);
       session->SendReply(std::move(reply));
     }

@@ -1,0 +1,188 @@
+#include "src/util/events.h"
+
+#include <chrono>
+
+namespace rmp {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHealth:
+      return "health";
+    case EventKind::kRepair:
+      return "repair";
+    case EventKind::kRebalance:
+      return "rebalance";
+    case EventKind::kMigrate:
+      return "migrate";
+    case EventKind::kEpoch:
+      return "epoch";
+    case EventKind::kStaleEpoch:
+      return "stale_epoch";
+    case EventKind::kTenantShed:
+      return "tenant_shed";
+    case EventKind::kFault:
+      return "fault";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kMembership:
+      return "membership";
+    case EventKind::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+int64_t EventWallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ApplyEventsConfig(const Config& config, EventJournalOptions* options) {
+  auto ring = config.GetInt("events.ring", static_cast<int64_t>(options->ring_capacity));
+  RMP_RETURN_IF_ERROR(ring.status());
+  if (*ring < 0) {
+    return InvalidArgumentError("events.ring must be >= 0");
+  }
+  options->ring_capacity = static_cast<size_t>(*ring);
+  auto detail = config.GetInt("events.max_detail", static_cast<int64_t>(options->max_detail_bytes));
+  RMP_RETURN_IF_ERROR(detail.status());
+  if (*detail < 1) {
+    return InvalidArgumentError("events.max_detail must be >= 1");
+  }
+  options->max_detail_bytes = static_cast<size_t>(*detail);
+  return OkStatus();
+}
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+EventJournal::EventJournal(const EventJournalOptions& options)
+    : options_(options), ring_(options.ring_capacity) {}
+
+void EventJournal::Append(EventKind kind, std::string_view actor, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) {
+    return;
+  }
+  Event& slot = ring_[ring_next_];
+  if (ring_size_ == ring_.size()) {
+    ++dropped_;
+  } else {
+    ++ring_size_;
+  }
+  slot.seq = next_seq_++;
+  slot.wall_ns = EventWallNanos();
+  slot.kind = kind;
+  slot.actor.assign(actor);
+  slot.detail.assign(detail.substr(0, options_.max_detail_bytes));
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+}
+
+std::vector<Event> EventJournal::Since(uint64_t min_seq, size_t limit) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  if (ring_.empty() || ring_size_ == 0) {
+    return out;
+  }
+  const size_t begin = ring_size_ == ring_.size() ? ring_next_ : 0;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    const Event& event = ring_[(begin + i) % ring_.size()];
+    if (event.seq < min_seq) {
+      continue;
+    }
+    out.push_back(event);
+    if (limit > 0 && out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+std::string EventJournal::ToJson(uint64_t min_seq, size_t limit) const {
+  const std::vector<Event> events = Since(min_seq, limit);
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& event = events[i];
+    if (i > 0) {
+      out += ",";
+    }
+    out += "{\"seq\":" + std::to_string(event.seq);
+    out += ",\"t\":" + std::to_string(event.wall_ns);
+    out += ",\"kind\":\"" + std::string(EventKindName(event.kind)) + "\"";
+    out += ",\"actor\":\"" + JsonEscape(event.actor) + "\"";
+    out += ",\"detail\":\"" + JsonEscape(event.detail) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_size_;
+}
+
+uint64_t EventJournal::next_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+int64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+size_t EventJournal::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void EventJournal::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.ring_capacity = capacity;
+  ring_.assign(capacity, Event());
+  ring_next_ = 0;
+  ring_size_ = 0;
+}
+
+void EventJournal::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(ring_.size(), Event());
+  ring_next_ = 0;
+  ring_size_ = 0;
+}
+
+}  // namespace rmp

@@ -46,8 +46,44 @@ const char* TraceStageName(TraceStage stage) {
       return "parity";
     case TraceStage::kDisk:
       return "disk";
+    case TraceStage::kServerQueue:
+      return "srv_queue";
+    case TraceStage::kServerService:
+      return "srv_service";
+    case TraceStage::kServerStore:
+      return "srv_store";
+    case TraceStage::kServerDisk:
+      return "srv_disk";
   }
   return "unknown";
+}
+
+Status ApplyTraceConfig(const Config& config, PageTracerOptions* options) {
+  auto ring = config.GetInt("trace.ring", static_cast<int64_t>(options->ring_capacity));
+  RMP_RETURN_IF_ERROR(ring.status());
+  if (*ring < 0) {
+    return InvalidArgumentError("trace.ring must be >= 0");
+  }
+  options->ring_capacity = static_cast<size_t>(*ring);
+  auto slow_us = config.GetInt("trace.slow_op_us", options->slow_op_ns / 1000);
+  RMP_RETURN_IF_ERROR(slow_us.status());
+  if (*slow_us < 0) {
+    return InvalidArgumentError("trace.slow_op_us must be >= 0");
+  }
+  options->slow_op_ns = *slow_us * 1000;
+  auto sample = config.GetInt("trace.sample_per_1k", options->sample_per_1k);
+  RMP_RETURN_IF_ERROR(sample.status());
+  if (*sample < 0 || *sample > 1000) {
+    return InvalidArgumentError("trace.sample_per_1k must be in [0, 1000]");
+  }
+  options->sample_per_1k = static_cast<int>(*sample);
+  auto spans = config.GetInt("trace.max_spans", static_cast<int64_t>(options->max_spans));
+  RMP_RETURN_IF_ERROR(spans.status());
+  if (*spans < 1) {
+    return InvalidArgumentError("trace.max_spans must be >= 1");
+  }
+  options->max_spans = static_cast<size_t>(*spans);
+  return OkStatus();
 }
 
 DurationNs TraceRecord::StageTime(TraceStage stage) const {
@@ -62,6 +98,7 @@ DurationNs TraceRecord::StageTime(TraceStage stage) const {
 
 PageTracer::PageTracer(MetricsRegistry* registry, const PageTracerOptions& options)
     : options_(options), registry_(registry), ring_(options.ring_capacity) {
+  enabled_.store(options.sample_per_1k > 0, std::memory_order_relaxed);
   if (registry_ != nullptr) {
     for (int s = 0; s < kNumTraceStages; ++s) {
       const std::string key =
@@ -81,8 +118,21 @@ PageTracer::PageTracer(MetricsRegistry* registry, const PageTracerOptions& optio
 }
 
 uint64_t PageTracer::Begin(TraceOp op, uint64_t page_id, TimeNs now) {
+  // Tracer hard-off (sample_per_1k == 0): one relaxed load, no lock — the
+  // provably-zero-overhead configuration (DESIGN.md §17).
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    return 0;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (active_ || options_.ring_capacity == 0) {
+    return 0;
+  }
+  // Head sampling: a deterministic rotation admits sample_per_1k of every
+  // 1000 operations offered, so runs stay bit-reproducible.
+  ++sample_seq_;
+  if (options_.sample_per_1k < 1000 &&
+      static_cast<int>(sample_seq_ % 1000) >= options_.sample_per_1k) {
+    ++sampled_out_;
     return 0;
   }
   active_ = true;
@@ -92,11 +142,12 @@ uint64_t PageTracer::Begin(TraceOp op, uint64_t page_id, TimeNs now) {
   current_.page_id = page_id;
   current_.start = now;
   current_extra_spans_ = 0;
+  wire_id_.store(static_cast<uint32_t>(current_.id), std::memory_order_relaxed);
   return current_.id;
 }
 
 void PageTracer::Span(TraceStage stage, TimeNs start, TimeNs end) {
-  if (end <= start) {
+  if (end <= start || !enabled_.load(std::memory_order_relaxed)) {
     return;
   }
   HistogramMetric* histogram = stage_histograms_[static_cast<size_t>(stage)];
@@ -114,6 +165,30 @@ void PageTracer::Span(TraceStage stage, TimeNs start, TimeNs end) {
   current_.spans.push_back(TraceSpan{stage, start, end - start});
 }
 
+void PageTracer::AttachServerSpan(uint32_t trace_id, TraceStage stage, TimeNs start,
+                                  DurationNs duration) {
+  if (trace_id == 0 || duration <= 0) {
+    return;
+  }
+  HistogramMetric* histogram = stage_histograms_[static_cast<size_t>(stage)];
+  if (histogram != nullptr) {
+    histogram->Observe(static_cast<double>(duration));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The matching record is usually recent: scan the ring newest-first.
+  for (size_t i = 0; i < ring_size_; ++i) {
+    const size_t index = (ring_next_ + ring_.size() - 1 - i) % ring_.size();
+    TraceRecord& record = ring_[index];
+    if (static_cast<uint32_t>(record.id) != trace_id) {
+      continue;
+    }
+    if (record.spans.size() < options_.max_spans) {
+      record.spans.push_back(TraceSpan{stage, start, duration});
+    }
+    return;
+  }
+}
+
 void PageTracer::End(uint64_t id, TimeNs now, bool ok) {
   if (id == 0) {
     return;
@@ -125,6 +200,7 @@ void PageTracer::End(uint64_t id, TimeNs now, bool ok) {
       return;
     }
     active_ = false;
+    wire_id_.store(0, std::memory_order_relaxed);
     current_.total = now - current_.start;
     current_.ok = ok;
     if (current_extra_spans_ > 0) {
@@ -139,6 +215,9 @@ void PageTracer::End(uint64_t id, TimeNs now, bool ok) {
     }
   }
   const size_t op_index = static_cast<size_t>(finished.op);
+  if (slo_ != nullptr) {
+    slo_->Record(finished.total);
+  }
   if (total_histograms_[op_index] != nullptr) {
     total_histograms_[op_index]->Observe(static_cast<double>(finished.total));
   }
@@ -197,6 +276,28 @@ int64_t PageTracer::slow_ops() const {
   return slow_ops_;
 }
 
+int64_t PageTracer::sampled_out() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sampled_out_;
+}
+
+void PageTracer::AttachSlo(SloTracker* slo) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slo_ = slo;
+}
+
+void PageTracer::Reconfigure(const PageTracerOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  ring_.assign(options.ring_capacity, TraceRecord());
+  ring_next_ = 0;
+  ring_size_ = 0;
+  active_ = false;
+  current_ = TraceRecord();
+  wire_id_.store(0, std::memory_order_relaxed);
+  enabled_.store(options.sample_per_1k > 0, std::memory_order_relaxed);
+}
+
 std::vector<TraceRecord> PageTracer::Records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<TraceRecord> out;
@@ -249,6 +350,102 @@ void PageTracer::Reset() {
   total_traces_ = 0;
   dropped_ = 0;
   slow_ops_ = 0;
+  sampled_out_ = 0;
+  wire_id_.store(0, std::memory_order_relaxed);
+}
+
+SpanRing::SpanRing(size_t capacity) : ring_(capacity) {}
+
+void SpanRing::Record(uint32_t trace_id, TraceStage stage, TimeNs start, DurationNs duration) {
+  if (trace_id == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) {
+    return;
+  }
+  if (ring_size_ == ring_.size()) {
+    ++dropped_;
+  } else {
+    ++ring_size_;
+  }
+  ring_[ring_next_] = ServerSpan{trace_id, stage, start, duration};
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+}
+
+std::vector<ServerSpan> SpanRing::Spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ServerSpan> out;
+  out.reserve(ring_size_);
+  const size_t begin = ring_size_ == ring_.size() ? ring_next_ : 0;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<ServerSpan> SpanRing::Drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ServerSpan> out;
+  out.reserve(ring_size_);
+  const size_t begin = ring_size_ == ring_.size() ? ring_next_ : 0;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  ring_next_ = 0;
+  ring_size_ = 0;
+  return out;
+}
+
+size_t SpanRing::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_size_;
+}
+
+int64_t SpanRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+size_t SpanRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+void SpanRing::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.assign(capacity, ServerSpan());
+  ring_next_ = 0;
+  ring_size_ = 0;
+}
+
+void SpanRing::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_next_ = 0;
+  ring_size_ = 0;
+  dropped_ = 0;
+}
+
+std::string SpanRing::ToJson() const {
+  const std::vector<ServerSpan> spans = Spans();
+  std::string out = "[";
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const ServerSpan& span = spans[s];
+    if (s > 0) {
+      out += ",";
+    }
+    out += "{\"trace\":" + std::to_string(span.trace_id);
+    out += ",\"stage\":\"" + std::string(TraceStageName(span.stage)) + "\"";
+    out += ",\"start\":" + std::to_string(span.start);
+    out += ",\"dur\":" + std::to_string(span.duration) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+ServerTraceScratch& ServerScratch() {
+  thread_local ServerTraceScratch scratch;
+  return scratch;
 }
 
 }  // namespace rmp

@@ -20,12 +20,16 @@
 #define SRC_UTIL_TRACING_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/config.h"
 #include "src/util/metrics.h"
+#include "src/util/slo.h"
+#include "src/util/status.h"
 #include "src/util/units.h"
 
 namespace rmp {
@@ -42,11 +46,23 @@ enum class TraceStage {
   kBackoff = 1,  // Sleeping between retry attempts.
   kQueue = 2,    // Queued behind earlier transfers on the wire Resource.
   kWire = 3,     // Wire occupancy of this transfer.
-  kService = 4,  // Protocol / server service time.
+  kService = 4,  // Protocol / server service time (modeled, client view).
   kParity = 5,   // Parity compute + parity-log traffic.
   kDisk = 6,     // Local-disk reads/writes (overflow, write-through).
+  // Server-side stages (DESIGN.md §17): *measured* wall-clock spans recorded
+  // in the server's span ring under the request's wire trace id and stitched
+  // into the client record at TRACE_DUMP time. They decompose the single
+  // inferred wire+service gap the client-side stages leave.
+  kServerQueue = 7,    // Scheduler queue + lane wait before a worker picked it up.
+  kServerService = 8,  // Handler execution, dispatch to reply built.
+  kServerStore = 9,    // Store path: hot frame / cold decompress / dedup work.
+  kServerDisk = 10,    // Cold-extent spill / unspill I/O.
 };
-inline constexpr int kNumTraceStages = 7;
+inline constexpr int kNumTraceStages = 11;
+// Stages measured server-side (wall clock) rather than in simulated time.
+inline constexpr bool IsServerStage(TraceStage stage) {
+  return static_cast<int>(stage) >= static_cast<int>(TraceStage::kServerQueue);
+}
 
 const char* TraceOpName(TraceOp op);
 const char* TraceStageName(TraceStage stage);
@@ -72,6 +88,8 @@ struct TraceRecord {
 };
 
 struct PageTracerOptions {
+  // Records the ring holds; 0 disables the ring (Begin returns 0, stage
+  // histograms still feed).
   size_t ring_capacity = 1024;
   // Operations completing in >= this much simulated time get a warning log
   // line and bump the slow-op counter; 0 disables the check.
@@ -79,7 +97,24 @@ struct PageTracerOptions {
   // Spans beyond this per trace are counted but not stored (a pathological
   // retry storm should not balloon a ring entry).
   size_t max_spans = 64;
+  // Head sampling (DESIGN.md §17): of every 1000 operations, this many open
+  // a trace (ring record + wire trace-id propagation). >= 1000 traces every
+  // operation (the pre-sampling behaviour). 0 disables the tracer entirely —
+  // Begin and Span become branch-and-return, no lock, no histogram — so
+  // tracing-off is provably off the hot path. Sampled-out operations (0 <
+  // rate < 1000) still feed the client stage histograms; only the ring
+  // record and the wire stamp are sampled.
+  int sample_per_1k = 1000;
 };
+
+// Applies the `trace.*` Config keys (README: observability knobs) over
+// `options`:
+//   trace.ring          -> ring_capacity   (0 = no ring)
+//   trace.slow_op_us    -> slow_op_ns      (0 = slow-op check disabled)
+//   trace.sample_per_1k -> sample_per_1k   (0 = tracer disabled entirely)
+//   trace.max_spans     -> max_spans
+// Absent keys keep the current values.
+Status ApplyTraceConfig(const Config& config, PageTracerOptions* options);
 
 // Not copyable; hand out pointers. Thread-safe (one mutex — tracing is for
 // observability, not a contended hot path), but only one trace is active at
@@ -104,6 +139,26 @@ class PageTracer {
   // feeds the per-op total histogram, and logs if over the slow threshold.
   void End(uint64_t id, TimeNs now, bool ok);
 
+  // Stitches one server-recorded span into this tracer (DESIGN.md §17):
+  // feeds the (server) stage histogram and, when the ring still holds the
+  // record whose low 32 id bits match `trace_id`, appends the span to it.
+  // `start` is server wall-clock time; `duration` is what percentiles see.
+  void AttachServerSpan(uint32_t trace_id, TraceStage stage, TimeNs start, DurationNs duration);
+
+  // The low 32 bits of the currently active trace id (0 = none). ServerPeer
+  // reads this atomically on every RPC to stamp the wire frame; handing out
+  // the atomic keeps the hot path at one relaxed load.
+  const std::atomic<uint32_t>* wire_id() const { return &wire_id_; }
+
+  // Replaces the options at runtime (Config-driven): resizes the ring
+  // (clearing it) and re-arms sampling and the slow-op threshold. Any active
+  // trace is abandoned.
+  void Reconfigure(const PageTracerOptions& options);
+
+  // Completed-trace latencies additionally feed this SLO window (not owned;
+  // null detaches). With sampling, the window sees the sampled subset.
+  void AttachSlo(SloTracker* slo);
+
   bool active() const;
   size_t size() const;           // Records currently held in the ring.
   int64_t total_traces() const;  // Traces ever completed.
@@ -117,12 +172,16 @@ class PageTracer {
 
   void Reset();
 
-  const PageTracerOptions& options() const { return options_; }
+  PageTracerOptions options() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return options_;
+  }
+  int64_t sampled_out() const;  // Begins skipped by head sampling.
 
  private:
   void PushLocked(TraceRecord&& record);
 
-  const PageTracerOptions options_;
+  PageTracerOptions options_;  // Guarded by mutex_ (Reconfigure rewrites it).
   MetricsRegistry* registry_;  // May be null: ring + log only.
   // Cached metric pointers (stable for the registry's lifetime).
   std::array<HistogramMetric*, kNumTraceStages> stage_histograms_{};
@@ -130,12 +189,21 @@ class PageTracer {
   std::array<Counter*, kNumTraceOps> op_counters_{};
   Counter* slow_counter_ = nullptr;
   Counter* dropped_counter_ = nullptr;
+  SloTracker* slo_ = nullptr;
+
+  // Hot-path fast flags, readable without mutex_: enabled_ is false only
+  // when sampling is 0 (tracer hard-off); wire_id_ mirrors the active
+  // trace's low 32 id bits for wire stamping.
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint32_t> wire_id_{0};
 
   mutable std::mutex mutex_;
   bool active_ = false;
   TraceRecord current_;
   int64_t current_extra_spans_ = 0;
   uint64_t next_id_ = 1;
+  uint64_t sample_seq_ = 0;  // Operations offered to Begin (sampling rotation).
+  int64_t sampled_out_ = 0;
   std::vector<TraceRecord> ring_;
   size_t ring_next_ = 0;  // Next slot to (over)write.
   size_t ring_size_ = 0;
@@ -174,6 +242,62 @@ class TraceScope {
   uint64_t id_ = 0;
   bool ok_ = false;
 };
+
+// One server-side measured span (DESIGN.md §17). Times are the *server's*
+// wall clock (steady-clock nanoseconds) — servers have no simulated time.
+struct ServerSpan {
+  uint32_t trace_id = 0;  // The wire trace id the request carried.
+  TraceStage stage = TraceStage::kServerService;
+  TimeNs start = 0;
+  DurationNs duration = 0;
+};
+
+// Bounded, thread-safe ring of server-side spans. Each MemoryServer owns
+// one; traced requests append, TRACE_DUMP (document 1) serializes it, and
+// the client drains it for stitching. Append cost is one short mutex-guarded
+// ring write, paid only by traced (sampled-in) requests.
+class SpanRing {
+ public:
+  explicit SpanRing(size_t capacity = 4096);
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  void Record(uint32_t trace_id, TraceStage stage, TimeNs start, DurationNs duration);
+
+  // Ring contents, oldest first.
+  std::vector<ServerSpan> Spans() const;
+  // Spans() + Clear() in one critical section (the stitch pull).
+  std::vector<ServerSpan> Drain();
+
+  size_t size() const;
+  int64_t dropped() const;  // Ring overwrites.
+  size_t capacity() const;
+  void SetCapacity(size_t capacity);  // Clears the ring.
+  void Clear();
+
+  // JSON array: [{"trace":..,"stage":"srv_service","start":..,"dur":..},...].
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ServerSpan> ring_;
+  size_t ring_next_ = 0;
+  size_t ring_size_ = 0;
+  int64_t dropped_ = 0;
+};
+
+// Per-thread scratch carrying measurements across the layers of one traced
+// request: the transport worker deposits the scheduler queue delay before
+// invoking the handler, and the store internals accumulate store/disk time
+// while `active` — so MessageHandler::Handle needs no side channel in its
+// signature. Untraced requests never touch it beyond the `active` check.
+struct ServerTraceScratch {
+  bool active = false;
+  int64_t queue_ns = 0;  // Scheduler queue + lane wait (set by the transport).
+  int64_t store_ns = 0;  // Accumulated store-path time.
+  int64_t disk_ns = 0;   // Accumulated spill/unspill I/O time.
+};
+ServerTraceScratch& ServerScratch();
 
 }  // namespace rmp
 

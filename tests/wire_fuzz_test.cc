@@ -11,12 +11,14 @@
 
 #include <cstring>
 #include <map>
+#include <string_view>
 #include <vector>
 
 #include "src/proto/cluster_map.h"
 #include "src/proto/wire.h"
 #include "src/server/memory_server.h"
 #include "src/util/bytes.h"
+#include "src/util/events.h"
 #include "src/util/rng.h"
 
 namespace rmp {
@@ -426,6 +428,114 @@ TEST(WireFuzzTest, RandomByteFlipsNeverBreakTheDecoder) {
     if (decoded.ok()) {
       const Message reply = server.Handle(*decoded);
       EXPECT_NE(reply.type, MessageType::kPageOut) << "iteration " << iter;
+    }
+  }
+}
+
+// --- Hostile introspection frames (DESIGN.md §17) ----------------------------
+
+std::vector<Message> SampleIntrospectionReplies() {
+  std::vector<Message> samples;
+  samples.push_back(MakeStatsReply(
+      1, 3, R"({"server.live_pages":{"kind":"gauge","value":42}})"));
+  samples.push_back(MakeTraceDumpReply(
+      2, 3, R"([{"trace":7,"stage":"srv_service","start":1000,"dur":250}])"));
+  samples.push_back(MakeEventsReply(
+      3, 3, 9, R"([{"seq":8,"t":123,"kind":"crash","actor":"testbed","detail":"s-0 \"died\""}])"));
+  samples.push_back(MakeStatsQuery(4));
+  samples.push_back(MakeTraceDump(5, 1));
+  samples.push_back(MakeEventsQuery(6, 8));
+  return samples;
+}
+
+TEST(WireFuzzTest, EveryTruncationOfAnIntrospectionReplyIsACleanError) {
+  for (const Message& sample : SampleIntrospectionReplies()) {
+    const std::vector<uint8_t> bytes = Encode(sample);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      auto decoded = Decode(std::span<const uint8_t>(bytes.data(), len));
+      ASSERT_FALSE(decoded.ok())
+          << MessageTypeName(sample.type) << " prefix of " << len << " bytes decoded";
+    }
+    auto whole = Decode(bytes);
+    ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+    EXPECT_EQ(*whole, sample);
+    // The JSON payload round-trips byte-exact (escapes included).
+    EXPECT_EQ(IntrospectionJson(*whole), IntrospectionJson(sample));
+  }
+}
+
+TEST(WireFuzzTest, OversizedIntrospectionPayloadLengthIsRejectedBeforeAllocation) {
+  // A stats/trace/events reply claiming a multi-gigabyte JSON document must
+  // trip the payload bound, not size a string by the hostile length.
+  for (const Message& sample : SampleIntrospectionReplies()) {
+    std::vector<uint8_t> bytes = Encode(sample);
+    const uint32_t huge = kMaxWirePayload + 1;
+    std::memcpy(bytes.data() + kWireHeaderSize, &huge, sizeof(huge));
+    auto decoded = Decode(bytes);
+    ASSERT_FALSE(decoded.ok()) << MessageTypeName(sample.type);
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kProtocol);
+    FrameReader reader;
+    reader.Feed(bytes);
+    auto streamed = reader.Next();
+    ASSERT_FALSE(streamed.ok());
+    EXPECT_EQ(streamed.status().code(), ErrorCode::kProtocol);
+  }
+}
+
+TEST(WireFuzzTest, RandomByteFlipsNeverBreakIntrospectionReplies) {
+  // Seeded sweep over the introspection frames: every flip either fails the
+  // CRC/bounds cleanly or yields a frame whose IntrospectionJson is safe to
+  // read — a string_view inside the payload, never past it.
+  const std::vector<Message> samples = SampleIntrospectionReplies();
+  Rng rng(0x0b5eULL);
+  int decoded_ok = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<uint8_t> bytes = Encode(samples[static_cast<size_t>(iter) % samples.size()]);
+    const int flips = 1 + static_cast<int>(rng.Below(3));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.Below(bytes.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    auto decoded = Decode(bytes);
+    if (!decoded.ok()) {
+      continue;
+    }
+    ++decoded_ok;
+    const std::string_view json = IntrospectionJson(*decoded);
+    EXPECT_LE(json.size(), decoded->payload.size()) << "iteration " << iter;
+    if (!json.empty()) {
+      // Touch both ends; ASan would flag any out-of-payload view.
+      volatile char sink = json.front();
+      sink = json.back();
+      (void)sink;
+    }
+  }
+  EXPECT_LT(decoded_ok, 400);  // The sweep genuinely exercised rejection.
+}
+
+TEST(WireFuzzTest, ServerAnswersIntrospectionQueriesUnderFlippedHeaders) {
+  // Flipped header bytes on the query side: whatever survives decode must get
+  // a well-formed reply (or clean error) out of a live server — the stats,
+  // span-ring, and events handlers never abort on hostile slot/count fields.
+  MemoryServer server;
+  server.events().Append(EventKind::kInfo, "fuzz", "seed event");
+  Rng rng(0x15e7ULL);
+  const std::vector<Message> queries = {MakeStatsQuery(1), MakeTraceDump(2, 0),
+                                        MakeTraceDump(3, 1), MakeEventsQuery(4, 0),
+                                        MakeEventsQuery(5, 0xffffffffffffffffull)};
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint8_t> bytes = Encode(queries[static_cast<size_t>(iter) % queries.size()]);
+    // Flip within the header only, so some frames keep a valid CRC.
+    bytes[rng.Below(kWireHeaderSize)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    auto decoded = Decode(bytes);
+    if (!decoded.ok()) {
+      continue;
+    }
+    const Message reply = server.Handle(*decoded);
+    if (reply.type == MessageType::kStatsReply || reply.type == MessageType::kTraceDumpReply ||
+        reply.type == MessageType::kEventsReply) {
+      // Whatever JSON came back must re-encode into a valid frame.
+      auto round = Decode(Encode(reply));
+      ASSERT_TRUE(round.ok()) << "iteration " << iter;
     }
   }
 }
